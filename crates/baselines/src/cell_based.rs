@@ -1,0 +1,318 @@
+//! The cell-based `DB(pct, dmin)` algorithm of Knorr & Ng (VLDB 1998) —
+//! the *algorithmic* contribution behind the paper's main comparator, which
+//! achieves time linear in `n` (though exponential in dimensionality) by
+//! classifying whole grid cells instead of objects.
+//!
+//! The space is partitioned into cells of edge `l = dmin / (2√d)`. Then:
+//!
+//! * any two objects in the same cell are within `dmin/2` of each other;
+//! * any object in a cell and any object in its **L1** neighborhood (the
+//!   immediately adjacent layer) are within `dmin`;
+//! * any object outside the **L2** neighborhood (layers `2..=⌈2√d⌉`) is
+//!   farther than `dmin` away.
+//!
+//! With `M` the maximum number of within-`dmin` objects an outlier may have
+//! (counting itself, per definition 2):
+//!
+//! 1. `count(cell) + count(L1) > M` → every object of the cell is a
+//!    **non-outlier** (red cell);
+//! 2. otherwise `count(cell) + count(L1) + count(L2) <= M` → every object
+//!    of the cell is an **outlier**;
+//! 3. otherwise only objects in L2 cells need be checked individually.
+//!
+//! The enumeration of the L2 block is `O((4√d + 1)^d)` cells, so like the
+//! original we restrict the algorithm to low dimensionality (`d <= 4`) and
+//! leave higher dimensions to the nested-loop / index variants in
+//! [`crate::db_outlier`]. Results are *identical* to the nested loop —
+//! property-tested.
+
+use crate::db_outlier::DbOutlierParams;
+use lof_core::{Dataset, Euclidean, LofError, Metric, Result};
+use std::collections::HashMap;
+
+/// Statistics reported alongside the flags, showing how much work the cell
+/// pruning saved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellStats {
+    /// Total non-empty cells.
+    pub cells: usize,
+    /// Cells whose objects were all cleared by rule 1 (red).
+    pub pruned_non_outlier_cells: usize,
+    /// Cells whose objects were all flagged by rule 2.
+    pub pruned_outlier_cells: usize,
+    /// Objects that needed individual distance checks (rule 3).
+    pub objects_checked_individually: usize,
+}
+
+/// Result of the cell-based algorithm.
+#[derive(Debug, Clone)]
+pub struct CellBasedResult {
+    /// Per-object outlier flags, identical to
+    /// [`crate::db_outlier::db_outliers`].
+    pub flags: Vec<bool>,
+    /// Work statistics.
+    pub stats: CellStats,
+}
+
+/// Runs the cell-based algorithm under the Euclidean metric.
+///
+/// # Errors
+///
+/// Returns [`LofError::EmptyDataset`] on empty input and
+/// [`LofError::DimensionMismatch`] for dimensionality above 4 (use the
+/// nested-loop variant there, as Knorr–Ng themselves do).
+pub fn db_outliers_cell_based(
+    data: &Dataset,
+    params: DbOutlierParams,
+) -> Result<CellBasedResult> {
+    if data.is_empty() {
+        return Err(LofError::EmptyDataset);
+    }
+    let d = data.dims();
+    if d == 0 || d > 4 {
+        return Err(LofError::DimensionMismatch { expected: 4, found: d });
+    }
+    let n = data.len();
+    let max_inside = params.max_inside(n);
+    if params.dmin == 0.0 {
+        // Degenerate threshold: only exact duplicates are "within"; fall
+        // back to per-object counting (the grid would need zero-width
+        // cells).
+        let flags = crate::db_outlier::db_outliers(data, &Euclidean, params)?;
+        let checked = flags.len();
+        return Ok(CellBasedResult {
+            flags,
+            stats: CellStats {
+                cells: 0,
+                pruned_non_outlier_cells: 0,
+                pruned_outlier_cells: 0,
+                objects_checked_individually: checked,
+            },
+        });
+    }
+
+    let sqrt_d = (d as f64).sqrt();
+    let edge = params.dmin / (2.0 * sqrt_d);
+    // L2 extends to layer ceil(2*sqrt(d)): beyond it, the minimum possible
+    // distance (layer - 1) * edge exceeds dmin.
+    let l2_radius = (2.0 * sqrt_d).ceil() as i64;
+
+    // Sparse cell map.
+    let (lo, _) = data.bounding_box().expect("non-empty dataset");
+    let cell_of = |p: &[f64]| -> Vec<i64> {
+        (0..d).map(|dim| ((p[dim] - lo[dim]) / edge).floor() as i64).collect()
+    };
+    let mut cells: HashMap<Vec<i64>, Vec<usize>> = HashMap::new();
+    for (id, p) in data.iter() {
+        cells.entry(cell_of(p)).or_default().push(id);
+    }
+
+    let mut flags = vec![false; n];
+    let mut stats = CellStats {
+        cells: cells.len(),
+        pruned_non_outlier_cells: 0,
+        pruned_outlier_cells: 0,
+        objects_checked_individually: 0,
+    };
+
+    // Enumerates all offsets with Chebyshev norm in [min_layer, max_layer].
+    fn for_each_offset(
+        d: usize,
+        min_layer: i64,
+        max_layer: i64,
+        f: &mut impl FnMut(&[i64]),
+    ) {
+        let mut offset = vec![0i64; d];
+        fn rec(
+            offset: &mut Vec<i64>,
+            dim: usize,
+            d: usize,
+            min_layer: i64,
+            max_layer: i64,
+            f: &mut impl FnMut(&[i64]),
+        ) {
+            if dim == d {
+                let cheb = offset.iter().map(|o| o.abs()).max().unwrap_or(0);
+                if cheb >= min_layer && cheb <= max_layer {
+                    f(offset);
+                }
+                return;
+            }
+            for v in -max_layer..=max_layer {
+                offset[dim] = v;
+                rec(offset, dim + 1, d, min_layer, max_layer, f);
+            }
+        }
+        rec(&mut offset, 0, d, min_layer, max_layer, f);
+    }
+
+    let count_in = |cell: &[i64], offsets_min: i64, offsets_max: i64| -> usize {
+        let mut total = 0;
+        for_each_offset(d, offsets_min, offsets_max, &mut |offset| {
+            let neighbor: Vec<i64> =
+                cell.iter().zip(offset).map(|(c, o)| c + o).collect();
+            if let Some(ids) = cells.get(&neighbor) {
+                total += ids.len();
+            }
+        });
+        total
+    };
+
+    for (cell, ids) in &cells {
+        let own = ids.len();
+        let with_l1 = own + count_in(cell, 1, 1);
+        if with_l1 > max_inside {
+            stats.pruned_non_outlier_cells += 1;
+            continue; // rule 1: all non-outliers (flags already false)
+        }
+        let with_l2 = with_l1 + count_in(cell, 2, l2_radius);
+        if with_l2 <= max_inside {
+            stats.pruned_outlier_cells += 1;
+            for &id in ids {
+                flags[id] = true; // rule 2: all outliers
+            }
+            continue;
+        }
+        // Rule 3: per-object check against L2 candidates only (own cell and
+        // L1 are already known to be within dmin).
+        let mut l2_candidates: Vec<usize> = Vec::new();
+        for_each_offset(d, 2, l2_radius, &mut |offset| {
+            let neighbor: Vec<i64> =
+                cell.iter().zip(offset).map(|(c, o)| c + o).collect();
+            if let Some(ids) = cells.get(&neighbor) {
+                l2_candidates.extend_from_slice(ids);
+            }
+        });
+        for &id in ids {
+            stats.objects_checked_individually += 1;
+            let p = data.point(id);
+            let mut inside = with_l1;
+            for &q in &l2_candidates {
+                if Euclidean.distance(p, data.point(q)) <= params.dmin {
+                    inside += 1;
+                    if inside > max_inside {
+                        break;
+                    }
+                }
+            }
+            flags[id] = inside <= max_inside;
+        }
+    }
+
+    Ok(CellBasedResult { flags, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db_outlier::db_outliers;
+
+    fn clusters_with_outliers() -> Dataset {
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                rows.push([i as f64 * 0.5, j as f64 * 0.5]);
+            }
+        }
+        rows.push([50.0, 50.0]);
+        rows.push([-30.0, 10.0]);
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_nested_loop() {
+        let ds = clusters_with_outliers();
+        for (pct, dmin) in [(98.0, 3.0), (95.0, 10.0), (90.0, 1.0), (99.9, 5.0)] {
+            let params = DbOutlierParams::new(pct, dmin).unwrap();
+            let cell = db_outliers_cell_based(&ds, params).unwrap();
+            let nested = db_outliers(&ds, &Euclidean, params).unwrap();
+            assert_eq!(cell.flags, nested, "pct={pct} dmin={dmin}");
+        }
+    }
+
+    #[test]
+    fn pruning_actually_happens() {
+        let ds = clusters_with_outliers();
+        let params = DbOutlierParams::new(98.0, 3.0).unwrap();
+        let result = db_outliers_cell_based(&ds, params).unwrap();
+        assert!(
+            result.stats.pruned_non_outlier_cells > 0,
+            "dense cells must be cleared wholesale: {:?}",
+            result.stats
+        );
+        assert!(
+            result.stats.objects_checked_individually < ds.len(),
+            "most objects must avoid individual checks: {:?}",
+            result.stats
+        );
+    }
+
+    #[test]
+    fn isolated_cells_are_flagged_by_rule_2() {
+        let ds = clusters_with_outliers();
+        let params = DbOutlierParams::new(98.0, 3.0).unwrap();
+        let result = db_outliers_cell_based(&ds, params).unwrap();
+        assert!(result.flags[100]);
+        assert!(result.flags[101]);
+        assert!(result.stats.pruned_outlier_cells >= 2);
+    }
+
+    #[test]
+    fn one_dimensional_data_works() {
+        let rows: Vec<[f64; 1]> = (0..30).map(|i| [i as f64 * 0.1]).collect();
+        let mut rows = rows;
+        rows.push([100.0]);
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let params = DbOutlierParams::new(95.0, 2.0).unwrap();
+        let cell = db_outliers_cell_based(&ds, params).unwrap();
+        let nested = db_outliers(&ds, &Euclidean, params).unwrap();
+        assert_eq!(cell.flags, nested);
+    }
+
+    #[test]
+    fn three_and_four_dimensional_data_work() {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..120 {
+            rows.push(vec![
+                (i % 5) as f64,
+                ((i / 5) % 5) as f64,
+                ((i / 25) % 5) as f64,
+            ]);
+        }
+        rows.push(vec![30.0, 30.0, 30.0]);
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let params = DbOutlierParams::new(97.0, 2.5).unwrap();
+        let cell = db_outliers_cell_based(&ds, params).unwrap();
+        let nested = db_outliers(&ds, &Euclidean, params).unwrap();
+        assert_eq!(cell.flags, nested);
+    }
+
+    #[test]
+    fn high_dimensions_are_rejected() {
+        let ds = Dataset::from_rows(&[vec![0.0; 5], vec![1.0; 5]]).unwrap();
+        let params = DbOutlierParams::new(95.0, 1.0).unwrap();
+        assert!(matches!(
+            db_outliers_cell_based(&ds, params),
+            Err(LofError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_dmin_falls_back_to_counting() {
+        let ds = Dataset::from_rows(&[[0.0], [0.0], [0.0], [5.0]]).unwrap();
+        let params = DbOutlierParams::new(60.0, 0.0).unwrap();
+        let cell = db_outliers_cell_based(&ds, params).unwrap();
+        let nested = db_outliers(&ds, &Euclidean, params).unwrap();
+        assert_eq!(cell.flags, nested);
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let ds = Dataset::new(2);
+        let params = DbOutlierParams::new(95.0, 1.0).unwrap();
+        assert!(matches!(
+            db_outliers_cell_based(&ds, params),
+            Err(LofError::EmptyDataset)
+        ));
+    }
+}

@@ -1,0 +1,223 @@
+//! Knorr–Ng distance-based outliers — the paper's definition 2 and its main
+//! comparator.
+//!
+//! An object `p` is a `DB(pct, dmin)`-outlier if at most `(100 − pct)%` of
+//! the database lies within distance `dmin` of `p` (the within-`dmin` count
+//! includes `p` itself, since definition 2 quantifies over all `q ∈ D`).
+//! Being an outlier here is *binary* and *global* — section 3 of the LOF
+//! paper constructs DS1 to show no `(pct, dmin)` can isolate its local
+//! outlier `o2`, which the harness reproduces.
+
+use lof_core::{Dataset, KnnProvider, LofError, Metric, Result};
+
+/// Parameters of the definition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbOutlierParams {
+    /// Percentage `pct` in `[0, 100]`.
+    pub pct: f64,
+    /// Distance threshold `dmin`.
+    pub dmin: f64,
+}
+
+impl DbOutlierParams {
+    /// Creates parameters, validating ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::InvalidPartition`] for `pct` outside `[0, 100]`
+    /// or negative/non-finite `dmin` (reusing the generic parameter-error
+    /// variant).
+    pub fn new(pct: f64, dmin: f64) -> Result<Self> {
+        if !(0.0..=100.0).contains(&pct) {
+            return Err(LofError::InvalidPartition(format!("pct {pct} outside [0, 100]")));
+        }
+        if !dmin.is_finite() || dmin < 0.0 {
+            return Err(LofError::InvalidPartition(format!("dmin {dmin} must be finite and >= 0")));
+        }
+        Ok(DbOutlierParams { pct, dmin })
+    }
+
+    /// The maximum number of within-`dmin` objects (including `p` itself) an
+    /// outlier may have in a dataset of `n` objects:
+    /// `floor((100 − pct)/100 · n)`.
+    pub fn max_inside(&self, n: usize) -> usize {
+        ((100.0 - self.pct) / 100.0 * n as f64).floor() as usize
+    }
+}
+
+/// Flags every `DB(pct, dmin)`-outlier by nested-loop counting with early
+/// exit (the object stops being a candidate as soon as its within-`dmin`
+/// count exceeds the threshold — the optimization Knorr–Ng's NL algorithm
+/// relies on).
+///
+/// ```
+/// use lof_baselines::{db_outliers, DbOutlierParams};
+/// use lof_core::{Dataset, Euclidean};
+///
+/// let rows: Vec<[f64; 1]> = (0..20).map(|i| [i as f64 * 0.1]).chain([[50.0]]).collect();
+/// let data = Dataset::from_rows(&rows).unwrap();
+/// let flags = db_outliers(&data, &Euclidean, DbOutlierParams::new(95.0, 5.0).unwrap()).unwrap();
+/// assert!(flags[20]);
+/// assert_eq!(flags.iter().filter(|&&f| f).count(), 1);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`LofError::EmptyDataset`] for empty input.
+pub fn db_outliers<M: Metric>(
+    data: &Dataset,
+    metric: &M,
+    params: DbOutlierParams,
+) -> Result<Vec<bool>> {
+    if data.is_empty() {
+        return Err(LofError::EmptyDataset);
+    }
+    let n = data.len();
+    let max_inside = params.max_inside(n);
+    let mut flags = Vec::with_capacity(n);
+    for p in 0..n {
+        let pp = data.point(p);
+        let mut inside = 0usize; // counts p itself via the q == p iteration
+        let mut outlier = true;
+        for q in 0..n {
+            if metric.distance(pp, data.point(q)) <= params.dmin {
+                inside += 1;
+                if inside > max_inside {
+                    outlier = false;
+                    break;
+                }
+            }
+        }
+        flags.push(outlier);
+    }
+    Ok(flags)
+}
+
+/// Index-accelerated variant: one range query per object. `provider` must
+/// index the same dataset.
+///
+/// # Errors
+///
+/// Propagates provider errors.
+pub fn db_outliers_with<P: KnnProvider + ?Sized>(
+    provider: &P,
+    params: DbOutlierParams,
+) -> Result<Vec<bool>> {
+    let n = provider.len();
+    if n == 0 {
+        return Err(LofError::EmptyDataset);
+    }
+    let max_inside = params.max_inside(n);
+    let mut flags = Vec::with_capacity(n);
+    for p in 0..n {
+        // +1: the provider excludes p itself, definition 2 does not.
+        let inside = provider.within(p, params.dmin)?.len() + 1;
+        flags.push(inside <= max_inside);
+    }
+    Ok(flags)
+}
+
+/// Searches a grid of `dmin` values for parameters that flag `target` as a
+/// `DB(pct, dmin)`-outlier while flagging as few other objects as possible.
+/// Returns `(params, flagged_others)` for the best grid point, or `None` if
+/// no grid point flags the target at all.
+///
+/// This is the tool the DS1 experiment uses to demonstrate section 3's
+/// impossibility argument empirically: for `o2`, every parameterization
+/// that flags it also flags a large chunk of `C1`.
+pub fn best_params_isolating<M: Metric>(
+    data: &Dataset,
+    metric: &M,
+    target: usize,
+    pct: f64,
+    dmin_grid: &[f64],
+) -> Option<(DbOutlierParams, usize)> {
+    let mut best: Option<(DbOutlierParams, usize)> = None;
+    for &dmin in dmin_grid {
+        let params = DbOutlierParams::new(pct, dmin).ok()?;
+        let flags = db_outliers(data, metric, params).ok()?;
+        if !flags[target] {
+            continue;
+        }
+        let others = flags.iter().enumerate().filter(|&(i, &f)| f && i != target).count();
+        if best.is_none_or(|(_, b)| others < b) {
+            best = Some((params, others));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lof_core::{Euclidean, LinearScan};
+
+    fn cluster_plus_outlier() -> Dataset {
+        let mut rows: Vec<[f64; 1]> = (0..20).map(|i| [i as f64 * 0.1]).collect();
+        rows.push([100.0]);
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn flags_the_global_outlier() {
+        let ds = cluster_plus_outlier();
+        // pct such that an outlier may have at most floor(0.02*21) = 0
+        // objects within dmin — impossible (p counts itself)? Use a looser
+        // setting: at most 1 (only itself inside).
+        let params = DbOutlierParams::new(95.0, 5.0).unwrap();
+        assert_eq!(params.max_inside(21), 1);
+        let flags = db_outliers(&ds, &Euclidean, params).unwrap();
+        assert!(flags[20]);
+        assert_eq!(flags.iter().filter(|&&f| f).count(), 1);
+    }
+
+    #[test]
+    fn nested_loop_and_index_variant_agree() {
+        let ds = cluster_plus_outlier();
+        let scan = LinearScan::new(&ds, Euclidean);
+        for (pct, dmin) in [(95.0, 5.0), (50.0, 1.0), (99.0, 0.05), (0.0, 1000.0)] {
+            let params = DbOutlierParams::new(pct, dmin).unwrap();
+            assert_eq!(
+                db_outliers(&ds, &Euclidean, params).unwrap(),
+                db_outliers_with(&scan, params).unwrap(),
+                "pct={pct} dmin={dmin}"
+            );
+        }
+    }
+
+    #[test]
+    fn pct_zero_flags_everything_pct_hundred_nothing() {
+        let ds = cluster_plus_outlier();
+        // pct = 0: threshold is n, everyone qualifies.
+        let all = db_outliers(&ds, &Euclidean, DbOutlierParams::new(0.0, 1.0).unwrap()).unwrap();
+        assert!(all.iter().all(|&f| f));
+        // pct = 100: threshold 0, nobody qualifies (each p counts itself).
+        let none =
+            db_outliers(&ds, &Euclidean, DbOutlierParams::new(100.0, 1.0).unwrap()).unwrap();
+        assert!(none.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(DbOutlierParams::new(-1.0, 1.0).is_err());
+        assert!(DbOutlierParams::new(101.0, 1.0).is_err());
+        assert!(DbOutlierParams::new(50.0, -2.0).is_err());
+        assert!(DbOutlierParams::new(50.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn best_params_finds_isolating_setting_for_global_outlier() {
+        let ds = cluster_plus_outlier();
+        let grid: Vec<f64> = (1..=20).map(|i| i as f64 * 0.5).collect();
+        let (params, others) =
+            best_params_isolating(&ds, &Euclidean, 20, 95.0, &grid).unwrap();
+        assert_eq!(others, 0, "global outlier is isolatable, found dmin={}", params.dmin);
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let ds = Dataset::new(1);
+        let params = DbOutlierParams::new(50.0, 1.0).unwrap();
+        assert!(matches!(db_outliers(&ds, &Euclidean, params), Err(LofError::EmptyDataset)));
+    }
+}

@@ -1,0 +1,226 @@
+//! DBSCAN (Ester, Kriegel, Sander, Xu, KDD 1996) — the density-based
+//! clustering algorithm LOF borrows its `MinPts` intuition from.
+//!
+//! Included as the "clustering algorithms handle outliers as binary noise"
+//! baseline of the paper's section 2: DBSCAN's noise set depends strongly
+//! on its global `(eps, min_pts)` density threshold, and noise membership is
+//! a yes/no property with no degree.
+
+use lof_core::{KnnProvider, LofError, Result};
+
+/// Cluster assignment produced by [`dbscan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// Member of the cluster with the given index (0-based).
+    Cluster(usize),
+    /// Noise: the binary "outlier" verdict of a clustering algorithm.
+    Noise,
+}
+
+impl Assignment {
+    /// True for noise points.
+    pub fn is_noise(self) -> bool {
+        matches!(self, Assignment::Noise)
+    }
+}
+
+/// The result of a DBSCAN run.
+#[derive(Debug, Clone)]
+pub struct DbscanResult {
+    /// Per-object assignment.
+    pub assignments: Vec<Assignment>,
+    /// Number of clusters found.
+    pub clusters: usize,
+}
+
+impl DbscanResult {
+    /// Ids of all noise points.
+    pub fn noise_ids(&self) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_noise())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Ids of the members of one cluster.
+    pub fn cluster_ids(&self, cluster: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == Assignment::Cluster(cluster))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Runs DBSCAN over an indexed dataset.
+///
+/// A point is a *core point* if at least `min_pts` objects (counting
+/// itself, as in the original paper) lie within `eps`. Clusters grow from
+/// core points through density-reachability; non-core points adjacent to a
+/// cluster join it as border points; everything else is noise.
+///
+/// ```
+/// use lof_baselines::dbscan;
+/// use lof_core::{Dataset, Euclidean, LinearScan};
+///
+/// let rows: Vec<[f64; 1]> = (0..10).map(|i| [i as f64 * 0.1]).chain([[9.0]]).collect();
+/// let data = Dataset::from_rows(&rows).unwrap();
+/// let scan = LinearScan::new(&data, Euclidean);
+/// let result = dbscan(&scan, 0.2, 3).unwrap();
+/// assert_eq!(result.clusters, 1);
+/// assert_eq!(result.noise_ids(), vec![10]);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`LofError::EmptyDataset`] on empty input,
+/// [`LofError::InvalidMinPts`] for `min_pts == 0`, and propagates provider
+/// errors.
+pub fn dbscan<P: KnnProvider + ?Sized>(
+    provider: &P,
+    eps: f64,
+    min_pts: usize,
+) -> Result<DbscanResult> {
+    let n = provider.len();
+    if n == 0 {
+        return Err(LofError::EmptyDataset);
+    }
+    if min_pts == 0 {
+        return Err(LofError::InvalidMinPts { min_pts, dataset_size: n });
+    }
+
+    const UNVISITED: usize = usize::MAX;
+    const NOISE: usize = usize::MAX - 1;
+    let mut label = vec![UNVISITED; n];
+    let mut clusters = 0usize;
+
+    for start in 0..n {
+        if label[start] != UNVISITED {
+            continue;
+        }
+        let neighbors = provider.within(start, eps)?;
+        if neighbors.len() + 1 < min_pts {
+            label[start] = NOISE;
+            continue;
+        }
+        // New cluster seeded at a core point; expand via BFS.
+        let cluster = clusters;
+        clusters += 1;
+        label[start] = cluster;
+        let mut frontier: Vec<usize> = neighbors.iter().map(|nb| nb.id).collect();
+        let mut cursor = 0;
+        while cursor < frontier.len() {
+            let q = frontier[cursor];
+            cursor += 1;
+            if label[q] == NOISE {
+                label[q] = cluster; // border point adopted by the cluster
+                continue;
+            }
+            if label[q] != UNVISITED {
+                continue;
+            }
+            label[q] = cluster;
+            let q_neighbors = provider.within(q, eps)?;
+            if q_neighbors.len() + 1 >= min_pts {
+                frontier.extend(q_neighbors.iter().map(|nb| nb.id));
+            }
+        }
+    }
+
+    let assignments = label
+        .into_iter()
+        .map(|l| if l == NOISE { Assignment::Noise } else { Assignment::Cluster(l) })
+        .collect();
+    Ok(DbscanResult { assignments, clusters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lof_core::{Dataset, Euclidean, LinearScan};
+
+    fn two_blobs_and_noise() -> Dataset {
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                rows.push([i as f64 * 0.5, j as f64 * 0.5]); // blob A
+                rows.push([20.0 + i as f64 * 0.5, j as f64 * 0.5]); // blob B
+            }
+        }
+        rows.push([10.0, 10.0]); // isolated noise (id 50)
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn finds_two_clusters_and_noise() {
+        let ds = two_blobs_and_noise();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let result = dbscan(&scan, 1.0, 4).unwrap();
+        assert_eq!(result.clusters, 2);
+        assert_eq!(result.noise_ids(), vec![50]);
+        // Each blob ends up in a single cluster.
+        let a0 = result.assignments[0];
+        for id in (0..50).step_by(2) {
+            assert_eq!(result.assignments[id], a0);
+        }
+    }
+
+    #[test]
+    fn eps_too_small_makes_everything_noise() {
+        let ds = two_blobs_and_noise();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let result = dbscan(&scan, 0.01, 4).unwrap();
+        assert_eq!(result.clusters, 0);
+        assert_eq!(result.noise_ids().len(), ds.len());
+    }
+
+    #[test]
+    fn eps_too_large_merges_everything() {
+        let ds = two_blobs_and_noise();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let result = dbscan(&scan, 100.0, 4).unwrap();
+        assert_eq!(result.clusters, 1);
+        assert!(result.noise_ids().is_empty());
+        // The global density threshold erases the outlier — the drawback
+        // section 2 points out.
+        assert!(!result.assignments[50].is_noise());
+    }
+
+    #[test]
+    fn noise_verdict_is_binary_not_graded() {
+        let ds = two_blobs_and_noise();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let result = dbscan(&scan, 1.0, 4).unwrap();
+        // The API simply cannot express "how outlying": this is the
+        // structural limitation LOF addresses.
+        for a in &result.assignments {
+            match a {
+                Assignment::Cluster(_) | Assignment::Noise => {}
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_ids_partition_non_noise() {
+        let ds = two_blobs_and_noise();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let result = dbscan(&scan, 1.0, 4).unwrap();
+        let total: usize =
+            (0..result.clusters).map(|c| result.cluster_ids(c).len()).sum::<usize>()
+                + result.noise_ids().len();
+        assert_eq!(total, ds.len());
+    }
+
+    #[test]
+    fn validation() {
+        let ds = Dataset::new(2);
+        let scan = LinearScan::new(&ds, Euclidean);
+        assert!(matches!(dbscan(&scan, 1.0, 3), Err(LofError::EmptyDataset)));
+        let ds = two_blobs_and_noise();
+        let scan = LinearScan::new(&ds, Euclidean);
+        assert!(matches!(dbscan(&scan, 1.0, 0), Err(LofError::InvalidMinPts { .. })));
+    }
+}

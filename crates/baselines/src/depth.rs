@@ -1,0 +1,236 @@
+//! Depth-based outliers for 2-d data — the second related-work category of
+//! section 2: assign each point a *depth* via convex-hull peeling
+//! (Tukey-style onion layers); shallow points are outliers.
+//!
+//! The paper notes depth approaches are practical only for `k <= 3` because
+//! they rest on k-d convex hulls (`Ω(n^{k/2})` lower bound); we implement
+//! the tractable 2-d case with Andrew's monotone chain, which is what
+//! \[16\]/\[18\]-style algorithms compute.
+
+use lof_core::{Dataset, LofError, Result};
+
+/// Peeling depth of every point: points on the outermost convex hull get
+/// depth 1, the hull of the remainder depth 2, and so on. Outliers are the
+/// *small*-depth points.
+///
+/// # Errors
+///
+/// Returns [`LofError::EmptyDataset`] for empty input and
+/// [`LofError::DimensionMismatch`] for non-2-d data.
+pub fn peeling_depths(data: &Dataset) -> Result<Vec<usize>> {
+    if data.is_empty() {
+        return Err(LofError::EmptyDataset);
+    }
+    if data.dims() != 2 {
+        return Err(LofError::DimensionMismatch { expected: 2, found: data.dims() });
+    }
+    let mut depth = vec![0usize; data.len()];
+    let mut remaining: Vec<usize> = (0..data.len()).collect();
+    let mut layer = 1usize;
+    while !remaining.is_empty() {
+        let hull = convex_hull_ids(data, &remaining);
+        for &id in &hull {
+            depth[id] = layer;
+        }
+        remaining.retain(|id| !hull.contains(id));
+        layer += 1;
+    }
+    Ok(depth)
+}
+
+/// The `n` shallowest points, ordered by (depth ascending, id).
+///
+/// # Errors
+///
+/// Same as [`peeling_depths`].
+pub fn shallowest(data: &Dataset, n: usize) -> Result<Vec<(usize, usize)>> {
+    let depths = peeling_depths(data)?;
+    let mut ranked: Vec<(usize, usize)> = depths.into_iter().enumerate().collect();
+    ranked.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(n);
+    Ok(ranked)
+}
+
+/// Convex hull (ids) of a subset of points via Andrew's monotone chain.
+/// Collinear boundary points are *included* (peeling must remove them,
+/// otherwise degenerate layers never shrink). Handles subsets of size <= 2
+/// by returning them whole.
+fn convex_hull_ids(data: &Dataset, subset: &[usize]) -> Vec<usize> {
+    if subset.len() <= 2 {
+        return subset.to_vec();
+    }
+    let mut pts: Vec<usize> = subset.to_vec();
+    pts.sort_unstable_by(|&a, &b| {
+        let pa = data.point(a);
+        let pb = data.point(b);
+        pa[0].total_cmp(&pb[0]).then(pa[1].total_cmp(&pb[1])).then(a.cmp(&b))
+    });
+    pts.dedup_by(|&mut a, &mut b| data.point(a) == data.point(b) && {
+        // Exact duplicates: keep one representative per location on the
+        // hull; the duplicate is peeled in a later layer. (dedup_by removes
+        // `a` when returning true.)
+        true
+    });
+    if pts.len() <= 2 {
+        // One or two distinct locations: the "hull" is those
+        // representatives. Without this guard the monotone chain would
+        // produce an empty hull for a single location and peeling would
+        // never shrink the remaining set.
+        return pts;
+    }
+
+    let cross = |o: usize, a: usize, b: usize| -> f64 {
+        let po = data.point(o);
+        let pa = data.point(a);
+        let pb = data.point(b);
+        (pa[0] - po[0]) * (pb[1] - po[1]) - (pa[1] - po[1]) * (pb[0] - po[0])
+    };
+
+    let mut hull: Vec<usize> = Vec::with_capacity(pts.len() * 2);
+    // Lower hull (keeping collinear points: pop only on strict clockwise
+    // turns).
+    for &p in &pts {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) < 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) < 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point repeats the first
+    hull.sort_unstable();
+    hull.dedup();
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_with_center_peels_in_two_layers() {
+        let ds = Dataset::from_rows(&[
+            [0.0, 0.0],
+            [2.0, 0.0],
+            [2.0, 2.0],
+            [0.0, 2.0],
+            [1.0, 1.0], // center
+        ])
+        .unwrap();
+        let depths = peeling_depths(&ds).unwrap();
+        assert_eq!(depths[..4], [1, 1, 1, 1]);
+        assert_eq!(depths[4], 2);
+    }
+
+    #[test]
+    fn nested_squares_produce_increasing_depth() {
+        let mut rows = Vec::new();
+        for layer in 0..3 {
+            let r = 10.0 - layer as f64 * 3.0;
+            rows.push([-r, -r]);
+            rows.push([r, -r]);
+            rows.push([r, r]);
+            rows.push([-r, r]);
+        }
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let depths = peeling_depths(&ds).unwrap();
+        for layer in 0..3 {
+            for corner in 0..4 {
+                assert_eq!(depths[layer * 4 + corner], layer + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn shallowest_reports_boundary_points_first() {
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                rows.push([i as f64, j as f64]);
+            }
+        }
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let top = shallowest(&ds, 4).unwrap();
+        for (id, depth) in top {
+            assert_eq!(depth, 1);
+            let p = ds.point(id);
+            assert!(
+                p[0] == 0.0 || p[0] == 5.0 || p[1] == 0.0 || p[1] == 5.0,
+                "depth-1 points are boundary points"
+            );
+        }
+    }
+
+    #[test]
+    fn collinear_points_terminate() {
+        let rows: Vec<[f64; 2]> = (0..10).map(|i| [i as f64, 0.0]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let depths = peeling_depths(&ds).unwrap();
+        assert!(depths.iter().all(|&d| d == 1), "one degenerate layer: {depths:?}");
+    }
+
+    #[test]
+    fn duplicates_terminate() {
+        let rows: Vec<[f64; 2]> = (0..8).map(|i| [(i % 2) as f64, 0.0]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let depths = peeling_depths(&ds).unwrap();
+        assert!(depths.iter().all(|&d| d >= 1));
+    }
+
+    #[test]
+    fn all_points_identical_terminates() {
+        // The single-distinct-location case that once hung: every layer
+        // peels exactly one representative.
+        let rows: Vec<[f64; 2]> = (0..5).map(|_| [3.0, 3.0]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let depths = peeling_depths(&ds).unwrap();
+        let mut sorted = depths.clone();
+        sorted.sort_unstable();
+        // One representative per layer until two remain, which share the
+        // final degenerate layer.
+        assert_eq!(sorted, vec![1, 2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn two_distinct_locations_with_duplicates_terminate() {
+        let rows: Vec<[f64; 2]> = (0..6).map(|i| [(i % 2) as f64 * 2.0, 1.0]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let depths = peeling_depths(&ds).unwrap();
+        assert_eq!(depths.iter().filter(|&&d| d == 1).count(), 2);
+        assert!(depths.iter().all(|&d| (1..=3).contains(&d)));
+    }
+
+    #[test]
+    fn depth_misses_local_outliers() {
+        // The section-2 criticism, executable: a local outlier *inside* the
+        // global point cloud gets a deep (inlier-ish) depth.
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                rows.push([i as f64 * 3.0, j as f64 * 3.0]); // sparse shell structure
+            }
+        }
+        rows.push([13.0, 14.0]); // interior point, locally fine
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let depths = peeling_depths(&ds).unwrap();
+        let interior = depths[100];
+        assert!(interior >= 3, "interior points are deep: {interior}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(peeling_depths(&Dataset::new(2)).is_err());
+        let ds3 = Dataset::from_rows(&[[1.0, 2.0, 3.0]]).unwrap();
+        assert!(matches!(
+            peeling_depths(&ds3),
+            Err(LofError::DimensionMismatch { expected: 2, found: 3 })
+        ));
+    }
+}

@@ -1,0 +1,225 @@
+//! Intensional knowledge of outliers — Knorr & Ng's follow-up (VLDB 1999,
+//! the LOF paper's reference \[14\]): instead of merely *flagging* an
+//! outlier, report the minimal attribute subspaces in which it is
+//! outlying. The LOF paper's own future-work section points here: "a local
+//! outlier may be outlying only on some, but not on all, dimensions
+//! (cf. \[14\])".
+//!
+//! [`strongest_outlying_subspaces`] enumerates attribute subsets up to a
+//! size cap and scores the object in each projection with the caller's
+//! chosen detector, returning:
+//!
+//! * **minimal outlying subspaces** — subspaces where the object's score
+//!   crosses the threshold while no proper subset's does (Knorr–Ng's
+//!   "non-trivial" outliers);
+//! * the score per evaluated subspace, for ranking.
+//!
+//! Enumeration is exponential in the dimension cap, exactly as in \[14\];
+//! the cap defaults to the full dimensionality for small `d` and should be
+//! lowered for wide tables.
+
+use lof_core::{Dataset, LofError, Result};
+
+/// One evaluated subspace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubspaceScore {
+    /// The attribute indices (ascending).
+    pub columns: Vec<usize>,
+    /// The detector's score for the target object in this projection.
+    pub score: f64,
+    /// Whether the score crossed the outlier threshold.
+    pub outlying: bool,
+}
+
+/// Result of a subspace scan for one object.
+#[derive(Debug, Clone)]
+pub struct IntensionalReport {
+    /// Every evaluated subspace with its score.
+    pub scores: Vec<SubspaceScore>,
+    /// The minimal outlying subspaces: outlying, with no outlying proper
+    /// subset among the evaluated ones.
+    pub minimal: Vec<Vec<usize>>,
+}
+
+impl IntensionalReport {
+    /// The strongest subspace by score (ties: smallest, then lexicographic).
+    pub fn strongest(&self) -> Option<&SubspaceScore> {
+        self.scores.iter().max_by(|a, b| {
+            a.score
+                .total_cmp(&b.score)
+                .then(b.columns.len().cmp(&a.columns.len()))
+                .then(b.columns.cmp(&a.columns))
+        })
+    }
+}
+
+/// Scans all attribute subsets of size `1..=max_dims` and reports where
+/// `target` is outlying.
+///
+/// `score_fn(projected_data, target)` computes the target's outlier score
+/// in a projection (e.g. max-LOF over a range); scores above `threshold`
+/// count as outlying. The scan evaluates `score_fn` once per subspace —
+/// `sum_{s=1..=max_dims} C(d, s)` calls.
+///
+/// # Errors
+///
+/// Returns [`LofError::UnknownObject`] for an out-of-range target,
+/// [`LofError::DimensionMismatch`] for `max_dims == 0`, and propagates the
+/// first `score_fn` error.
+pub fn strongest_outlying_subspaces<F>(
+    data: &Dataset,
+    target: usize,
+    max_dims: usize,
+    threshold: f64,
+    mut score_fn: F,
+) -> Result<IntensionalReport>
+where
+    F: FnMut(&Dataset, usize) -> Result<f64>,
+{
+    data.check_id(target)?;
+    let d = data.dims();
+    if max_dims == 0 {
+        return Err(LofError::DimensionMismatch { expected: d, found: 0 });
+    }
+    let max_dims = max_dims.min(d);
+
+    let mut scores: Vec<SubspaceScore> = Vec::new();
+    let mut subset: Vec<usize> = Vec::new();
+    enumerate_subsets(d, max_dims, 0, &mut subset, &mut |columns| {
+        let projected = data.project(columns)?;
+        let score = score_fn(&projected, target)?;
+        scores.push(SubspaceScore {
+            columns: columns.to_vec(),
+            score,
+            outlying: score > threshold,
+        });
+        Ok(())
+    })?;
+
+    // Minimality: an outlying subspace none of whose evaluated proper
+    // subsets is outlying.
+    let outlying: Vec<&SubspaceScore> = scores.iter().filter(|s| s.outlying).collect();
+    let mut minimal = Vec::new();
+    'candidates: for candidate in &outlying {
+        for other in &outlying {
+            if other.columns.len() < candidate.columns.len()
+                && other.columns.iter().all(|c| candidate.columns.contains(c))
+            {
+                continue 'candidates;
+            }
+        }
+        minimal.push(candidate.columns.clone());
+    }
+
+    Ok(IntensionalReport { scores, minimal })
+}
+
+fn enumerate_subsets(
+    d: usize,
+    max_size: usize,
+    start: usize,
+    subset: &mut Vec<usize>,
+    f: &mut impl FnMut(&[usize]) -> Result<()>,
+) -> Result<()> {
+    if !subset.is_empty() {
+        f(subset)?;
+    }
+    if subset.len() == max_size {
+        return Ok(());
+    }
+    for next in start..d {
+        subset.push(next);
+        enumerate_subsets(d, max_size, next + 1, subset, f)?;
+        subset.pop();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lof_core::LofDetector;
+
+    /// 3-d data where the last object is outlying on column 1 only.
+    fn fixture() -> Dataset {
+        let mut rows: Vec<[f64; 3]> = Vec::new();
+        for i in 0..40 {
+            rows.push([
+                (i % 8) as f64,
+                (i / 8) as f64 * 0.5,
+                ((i * 3) % 5) as f64,
+            ]);
+        }
+        rows.push([4.0, 30.0, 2.0]); // id 40: only column 1 is anomalous
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    fn lof_score(projected: &Dataset, target: usize) -> Result<f64> {
+        let result = LofDetector::with_range(5, 10)?.detect(projected)?;
+        result.score(target)
+    }
+
+    #[test]
+    fn finds_the_single_anomalous_column() {
+        let data = fixture();
+        let report =
+            strongest_outlying_subspaces(&data, 40, 3, 2.0, lof_score).unwrap();
+        // 1-, 2- and 3-subsets of 3 columns: 7 subspaces evaluated.
+        assert_eq!(report.scores.len(), 7);
+        assert_eq!(report.minimal, vec![vec![1]], "column 1 alone explains the outlier");
+        let strongest = report.strongest().unwrap();
+        assert!(strongest.columns.contains(&1));
+    }
+
+    #[test]
+    fn non_outlier_yields_no_minimal_subspace() {
+        let data = fixture();
+        let report =
+            strongest_outlying_subspaces(&data, 20, 3, 2.0, lof_score).unwrap();
+        assert!(report.minimal.is_empty());
+        assert!(report.scores.iter().all(|s| !s.outlying));
+    }
+
+    #[test]
+    fn dimension_cap_limits_enumeration() {
+        let data = fixture();
+        let report =
+            strongest_outlying_subspaces(&data, 40, 1, 2.0, lof_score).unwrap();
+        assert_eq!(report.scores.len(), 3, "only singletons evaluated");
+        assert!(report.scores.iter().all(|s| s.columns.len() == 1));
+    }
+
+    #[test]
+    fn minimality_excludes_supersets() {
+        let data = fixture();
+        let report =
+            strongest_outlying_subspaces(&data, 40, 3, 2.0, lof_score).unwrap();
+        // {1} is outlying, so {0,1}, {1,2}, {0,1,2} must not be minimal
+        // even though the object is outlying there too.
+        for minimal in &report.minimal {
+            assert_eq!(minimal, &vec![1]);
+        }
+        let superset = report
+            .scores
+            .iter()
+            .find(|s| s.columns == vec![0, 1])
+            .unwrap();
+        assert!(superset.outlying, "superset is outlying but not reported as minimal");
+    }
+
+    #[test]
+    fn validation() {
+        let data = fixture();
+        assert!(strongest_outlying_subspaces(&data, 999, 3, 2.0, lof_score).is_err());
+        assert!(strongest_outlying_subspaces(&data, 0, 0, 2.0, lof_score).is_err());
+    }
+
+    #[test]
+    fn score_errors_propagate() {
+        let data = fixture();
+        let result = strongest_outlying_subspaces(&data, 40, 2, 2.0, |_, _| {
+            Err(LofError::EmptyDataset)
+        });
+        assert!(matches!(result, Err(LofError::EmptyDataset)));
+    }
+}

@@ -1,0 +1,148 @@
+//! Ramaswamy–Rastogi–Shim outlier ranking (reference \[17\] of the paper):
+//! rank objects by the distance to their `k`-th nearest neighbor and report
+//! the top `n`.
+//!
+//! This refines `DB(pct, dmin)` from binary to ranked, but the score is
+//! still a raw distance, so — unlike LOF — it cannot equate "outlying by 3
+//! units from a dense cluster" with "outlying by 30 from a sparse one".
+
+use lof_core::{KnnProvider, Result};
+
+/// `k`-distance of every object (the `D^k` score of \[17\]).
+///
+/// # Errors
+///
+/// Propagates provider validation errors.
+pub fn kth_distance_scores<P: KnnProvider + ?Sized>(provider: &P, k: usize) -> Result<Vec<f64>> {
+    let mut scores = Vec::with_capacity(provider.len());
+    for id in 0..provider.len() {
+        let nn = provider.k_nearest(id, k)?;
+        scores.push(nn.last().expect("non-empty neighborhood").dist);
+    }
+    Ok(scores)
+}
+
+/// Mean distance to the `k` nearest neighbors (tie-inclusive) — the
+/// "weight" variant of distance-based outlier ranking (Angiulli & Pizzuti's
+/// refinement of \[17\]). Less sensitive to a single lucky close neighbor
+/// than the plain `k`-distance, but still distance-scaled and global.
+///
+/// # Errors
+///
+/// Propagates provider validation errors.
+pub fn mean_knn_distance_scores<P: KnnProvider + ?Sized>(
+    provider: &P,
+    k: usize,
+) -> Result<Vec<f64>> {
+    let mut scores = Vec::with_capacity(provider.len());
+    for id in 0..provider.len() {
+        let nn = provider.k_nearest(id, k)?;
+        scores.push(nn.iter().map(|n| n.dist).sum::<f64>() / nn.len() as f64);
+    }
+    Ok(scores)
+}
+
+/// The top `n` objects by `k`-distance, descending (the `D^k_n` outliers of
+/// \[17\]). Ties break by id.
+///
+/// # Errors
+///
+/// Propagates provider validation errors.
+pub fn top_n_outliers<P: KnnProvider + ?Sized>(
+    provider: &P,
+    k: usize,
+    n: usize,
+) -> Result<Vec<(usize, f64)>> {
+    let scores = kth_distance_scores(provider, k)?;
+    let mut ranked: Vec<(usize, f64)> = scores.into_iter().enumerate().collect();
+    ranked.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(n);
+    Ok(ranked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lof_core::{Dataset, Euclidean, LinearScan};
+
+    #[test]
+    fn far_point_ranks_first() {
+        let mut rows: Vec<[f64; 1]> = (0..30).map(|i| [i as f64 * 0.1]).collect();
+        rows.push([50.0]);
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let top = top_n_outliers(&scan, 3, 2).unwrap();
+        assert_eq!(top[0].0, 30);
+        assert!(top[0].1 > 40.0);
+        assert!(top[0].1 > top[1].1);
+    }
+
+    #[test]
+    fn misses_local_outliers_next_to_dense_clusters() {
+        // The motivating failure: a point 1.0 away from a dense cluster
+        // scores *lower* than regular members of a sparse cluster.
+        let mut rows: Vec<[f64; 1]> = (0..50).map(|i| [i as f64 * 0.01]).collect(); // dense
+        rows.push([1.5]); // local outlier next to the dense cluster (id 50)
+        rows.extend((0..20).map(|i| [100.0 + i as f64 * 3.0])); // sparse cluster
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let scores = kth_distance_scores(&scan, 3).unwrap();
+        let local_outlier_score = scores[50];
+        let sparse_member_score = scores[60];
+        assert!(
+            sparse_member_score > local_outlier_score,
+            "k-distance ranking prefers sparse-cluster members \
+             ({sparse_member_score}) over the local outlier ({local_outlier_score})"
+        );
+    }
+
+    #[test]
+    fn top_n_truncates_and_sorts() {
+        let rows: Vec<[f64; 1]> = (0..10).map(|i| [(i * i) as f64]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let top = top_n_outliers(&scan, 2, 3).unwrap();
+        assert_eq!(top.len(), 3);
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+
+    #[test]
+    fn mean_variant_is_bounded_by_kth_distance() {
+        let rows: Vec<[f64; 1]> = (0..25).map(|i| [(i * i % 37) as f64]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let kth = kth_distance_scores(&scan, 4).unwrap();
+        let mean = mean_knn_distance_scores(&scan, 4).unwrap();
+        for (m, k) in mean.iter().zip(&kth) {
+            assert!(m <= k, "mean of neighbor distances cannot exceed the k-distance");
+            assert!(*m >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mean_variant_smooths_single_close_neighbor() {
+        // A pair of near-duplicates far from a cluster: the k-distance of
+        // each pair member already reaches the cluster, but even at k = 1
+        // the *mean* variant with k = 3 flags them while plain 1-distance
+        // would not.
+        let mut rows: Vec<[f64; 1]> = (0..20).map(|i| [i as f64 * 0.1]).collect();
+        rows.push([50.0]);
+        rows.push([50.01]);
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let one_dist = kth_distance_scores(&scan, 1).unwrap();
+        let mean3 = mean_knn_distance_scores(&scan, 3).unwrap();
+        // Plain 1-distance: the pair looks as cozy as cluster members.
+        assert!(one_dist[20] < one_dist[..20].iter().cloned().fold(f64::MIN, f64::max) * 2.0);
+        // Mean-of-3 exposes them.
+        let max_cluster = mean3[..20].iter().cloned().fold(f64::MIN, f64::max);
+        assert!(mean3[20] > 10.0 * max_cluster);
+    }
+
+    #[test]
+    fn propagates_validation_errors() {
+        let ds = Dataset::from_rows(&[[0.0], [1.0]]).unwrap();
+        let scan = LinearScan::new(&ds, Euclidean);
+        assert!(kth_distance_scores(&scan, 5).is_err());
+    }
+}

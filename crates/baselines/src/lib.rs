@@ -1,0 +1,36 @@
+//! # lof-baselines — the comparison algorithms of the LOF paper
+//!
+//! Every notion of "outlier" the paper positions LOF against, implemented
+//! from scratch so the evaluation harness can reproduce the comparisons:
+//!
+//! | module | algorithm | paper role |
+//! |---|---|---|
+//! | [`db_outlier`] | Knorr–Ng `DB(pct, dmin)` outliers \[13\] (nested loop + index) | main comparator (definition 2, §3, §7.2) |
+//! | [`cell_based`] | Knorr–Ng cell-based algorithm (VLDB 1998) | the comparator's own linear-time algorithm |
+//! | [`knn_outlier`] | top-n by k-NN distance \[17\] | ranked distance-based outliers |
+//! | [`dbscan`] | DBSCAN \[7\] noise | "clustering treats outliers as binary noise" (§2) |
+//! | [`optics`] | OPTICS \[2\] | the conclusions' "handshake" partner |
+//! | [`statistical`] | z-score, Mahalanobis | distribution-based category (§2) |
+//! | [`depth`] | 2-d convex-hull peeling | depth-based category (§2) |
+//! | [`intensional`] | Knorr–Ng minimal outlying subspaces \[14\] | the future-work pointer for explaining high-dimensional outliers |
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cell_based;
+pub mod db_outlier;
+pub mod dbscan;
+pub mod intensional;
+pub mod depth;
+pub mod knn_outlier;
+pub mod optics;
+pub mod statistical;
+
+pub use cell_based::{db_outliers_cell_based, CellBasedResult, CellStats};
+pub use db_outlier::{best_params_isolating, db_outliers, db_outliers_with, DbOutlierParams};
+pub use dbscan::{dbscan, Assignment, DbscanResult};
+pub use intensional::{strongest_outlying_subspaces, IntensionalReport, SubspaceScore};
+pub use depth::{peeling_depths, shallowest};
+pub use knn_outlier::{kth_distance_scores, mean_knn_distance_scores, top_n_outliers};
+pub use optics::{optics, OpticsResult};
+pub use statistical::{mahalanobis_scores, max_abs_zscore};

@@ -1,0 +1,270 @@
+//! OPTICS (Ankerst, Breunig, Kriegel, Sander, SIGMOD 1999) — the
+//! hierarchical density ordering the LOF paper names as its "handshake"
+//! partner in the conclusions: both algorithms are built from the same
+//! `k-nn` queries and reachability distances, so computation can be shared.
+//!
+//! We expose the cluster ordering plus per-object reachability and core
+//! distances, a DBSCAN-equivalent flat-cluster extraction, and a
+//! reachability-based outlier report that can be cross-read against LOF
+//! scores (see the `optics_handshake` example).
+
+use lof_core::{KnnProvider, LofError, Result};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Output of an OPTICS run.
+#[derive(Debug, Clone)]
+pub struct OpticsResult {
+    /// Objects in cluster order (the x-axis of a reachability plot).
+    pub order: Vec<usize>,
+    /// Reachability distance per *object id* (`f64::INFINITY` =
+    /// undefined, i.e. the object starts a new component in the plot).
+    pub reachability: Vec<f64>,
+    /// Core distance per object id (`f64::INFINITY` when the object is
+    /// never a core object for the given `eps`/`min_pts`).
+    pub core_distance: Vec<f64>,
+}
+
+impl OpticsResult {
+    /// Reachability values in cluster order — the reachability plot itself.
+    pub fn reachability_plot(&self) -> Vec<f64> {
+        self.order.iter().map(|&id| self.reachability[id]).collect()
+    }
+
+    /// Extracts DBSCAN-equivalent flat clusters at threshold `eps_prime`
+    /// (<= the eps OPTICS ran with). Returns per-object cluster index, with
+    /// `None` for noise.
+    pub fn extract_clusters(&self, eps_prime: f64) -> Vec<Option<usize>> {
+        let mut labels = vec![None; self.order.len()];
+        let mut cluster: Option<usize> = None;
+        let mut next = 0usize;
+        for &id in &self.order {
+            if self.reachability[id] > eps_prime {
+                if self.core_distance[id] <= eps_prime {
+                    cluster = Some(next);
+                    next += 1;
+                    labels[id] = cluster;
+                } else {
+                    labels[id] = None; // noise
+                    cluster = None;
+                }
+            } else {
+                labels[id] = cluster;
+            }
+        }
+        labels
+    }
+
+    /// Objects whose reachability exceeds `threshold`, ranked by
+    /// reachability descending — a crude outlier report from the plot. Note
+    /// it is *distance*-scaled: unlike LOF it cannot compare isolation
+    /// across clusters of different density.
+    pub fn outliers_by_reachability(&self, threshold: f64) -> Vec<(usize, f64)> {
+        let mut out: Vec<(usize, f64)> = self
+            .reachability
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, r)| r > threshold && r.is_finite())
+            .collect();
+        out.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct Seed {
+    reachability: f64,
+    id: usize,
+}
+
+impl Eq for Seed {}
+
+impl Ord for Seed {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by (reachability, id).
+        other
+            .reachability
+            .total_cmp(&self.reachability)
+            .then(other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for Seed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs OPTICS with generating distance `eps` and density threshold
+/// `min_pts` (counting the object itself, as in the original paper).
+///
+/// Complexity is `O(n · cost(range query))`; pass `f64::INFINITY` as `eps`
+/// for a complete ordering.
+///
+/// ```
+/// use lof_baselines::optics;
+/// use lof_core::{Dataset, Euclidean, LinearScan};
+///
+/// let rows: Vec<[f64; 1]> = (0..10).map(|i| [i as f64 * 0.1]).chain([[9.0]]).collect();
+/// let data = Dataset::from_rows(&rows).unwrap();
+/// let scan = LinearScan::new(&data, Euclidean);
+/// let ordering = optics(&scan, f64::INFINITY, 3).unwrap();
+/// assert_eq!(ordering.order.len(), 11);
+/// // The isolated point is reached over a visible reachability jump.
+/// assert!(ordering.reachability[10] > 5.0);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`LofError::EmptyDataset`] / [`LofError::InvalidMinPts`] on
+/// invalid input and propagates provider errors.
+pub fn optics<P: KnnProvider + ?Sized>(
+    provider: &P,
+    eps: f64,
+    min_pts: usize,
+) -> Result<OpticsResult> {
+    let n = provider.len();
+    if n == 0 {
+        return Err(LofError::EmptyDataset);
+    }
+    if min_pts == 0 || min_pts > n {
+        return Err(LofError::InvalidMinPts { min_pts, dataset_size: n });
+    }
+
+    let mut processed = vec![false; n];
+    let mut reachability = vec![f64::INFINITY; n];
+    let mut core_distance = vec![f64::INFINITY; n];
+    let mut order = Vec::with_capacity(n);
+
+    for start in 0..n {
+        if processed[start] {
+            continue;
+        }
+        // Seed list for the current density-connected component, with lazy
+        // decrease-key: stale entries are skipped on pop.
+        let mut seeds: BinaryHeap<Seed> = BinaryHeap::new();
+        seeds.push(Seed { reachability: f64::INFINITY, id: start });
+        while let Some(Seed { id: p, reachability: r }) = seeds.pop() {
+            if processed[p] || r > reachability[p] {
+                continue; // stale entry
+            }
+            processed[p] = true;
+            order.push(p);
+
+            let neighbors = provider.within(p, eps)?;
+            // Core distance: min_pts-distance counting p itself, i.e. the
+            // (min_pts - 1)-th neighbor distance.
+            if neighbors.len() + 1 >= min_pts {
+                core_distance[p] =
+                    if min_pts == 1 { 0.0 } else { neighbors[min_pts - 2].dist };
+                for nb in &neighbors {
+                    if processed[nb.id] {
+                        continue;
+                    }
+                    let new_reach = core_distance[p].max(nb.dist);
+                    if new_reach < reachability[nb.id] {
+                        reachability[nb.id] = new_reach;
+                        seeds.push(Seed { reachability: new_reach, id: nb.id });
+                    }
+                }
+            }
+        }
+    }
+    Ok(OpticsResult { order, reachability, core_distance })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lof_core::{Dataset, Euclidean, LinearScan};
+
+    fn two_blobs() -> Dataset {
+        let mut rows: Vec<[f64; 1]> = (0..20).map(|i| [i as f64 * 0.1]).collect();
+        rows.extend((0..20).map(|i| [50.0 + i as f64 * 0.1]));
+        rows.push([25.0]); // isolated point, id 40
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn visits_every_object_once() {
+        let ds = two_blobs();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let result = optics(&scan, f64::INFINITY, 4).unwrap();
+        let mut order = result.order.clone();
+        order.sort_unstable();
+        assert_eq!(order, (0..ds.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blob_members_have_small_reachability() {
+        let ds = two_blobs();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let result = optics(&scan, f64::INFINITY, 4).unwrap();
+        // Interior members of either blob: reachability ≈ grid spacing.
+        for id in 5..15 {
+            assert!(result.reachability[id] <= 0.5, "id={id}: {}", result.reachability[id]);
+        }
+        // The isolated point is reached over a long jump.
+        assert!(result.reachability[40] > 10.0 || result.reachability[40].is_infinite());
+    }
+
+    #[test]
+    fn extract_clusters_matches_blob_structure() {
+        let ds = two_blobs();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let result = optics(&scan, f64::INFINITY, 4).unwrap();
+        let labels = result.extract_clusters(1.0);
+        let c0 = labels[0].expect("blob member clustered");
+        for label in &labels[..20] {
+            assert_eq!(*label, Some(c0));
+        }
+        let c1 = labels[20].expect("blob member clustered");
+        assert_ne!(c0, c1);
+        for label in &labels[20..40] {
+            assert_eq!(*label, Some(c1));
+        }
+        assert_eq!(labels[40], None, "isolated point is noise");
+    }
+
+    #[test]
+    fn outliers_by_reachability_reports_the_isolate() {
+        let ds = two_blobs();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let result = optics(&scan, f64::INFINITY, 4).unwrap();
+        let outliers = result.outliers_by_reachability(5.0);
+        assert!(outliers.iter().any(|&(id, _)| id == 40) || result.reachability[40].is_infinite());
+    }
+
+    #[test]
+    fn finite_eps_limits_connectivity() {
+        let ds = two_blobs();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let result = optics(&scan, 1.0, 4).unwrap();
+        // With eps = 1 the isolated point can never be a core object nor a
+        // neighbor, so its reachability stays undefined.
+        assert!(result.reachability[40].is_infinite());
+        assert!(result.core_distance[40].is_infinite());
+    }
+
+    #[test]
+    fn reachability_plot_follows_order() {
+        let ds = two_blobs();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let result = optics(&scan, f64::INFINITY, 4).unwrap();
+        let plot = result.reachability_plot();
+        assert_eq!(plot.len(), ds.len());
+        assert_eq!(plot[0], result.reachability[result.order[0]]);
+    }
+
+    #[test]
+    fn validation() {
+        let empty = Dataset::new(1);
+        let scan = LinearScan::new(&empty, Euclidean);
+        assert!(optics(&scan, 1.0, 3).is_err());
+        let ds = two_blobs();
+        let scan = LinearScan::new(&ds, Euclidean);
+        assert!(optics(&scan, 1.0, 0).is_err());
+        assert!(optics(&scan, 1.0, ds.len() + 1).is_err());
+    }
+}

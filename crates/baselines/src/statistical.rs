@@ -1,0 +1,262 @@
+//! Distribution-based discordancy scores — the first category of related
+//! work in the paper's section 2: fit a standard distribution, call the
+//! improbable points outliers.
+//!
+//! We provide the two canonical instances: per-dimension z-scores (the
+//! univariate tests the section criticizes as mostly univariate) and the
+//! Mahalanobis distance under a fitted multivariate normal.
+
+use lof_core::{Dataset, LofError, Result};
+
+/// Per-object score: the maximum absolute z-score over all dimensions.
+/// High values mean "extreme in at least one coordinate" — a global,
+/// axis-aligned notion that misses local outliers entirely.
+///
+/// # Errors
+///
+/// Returns [`LofError::EmptyDataset`] for empty input.
+pub fn max_abs_zscore(data: &Dataset) -> Result<Vec<f64>> {
+    if data.is_empty() {
+        return Err(LofError::EmptyDataset);
+    }
+    let dims = data.dims();
+    let n = data.len() as f64;
+    let mut mean = vec![0.0; dims];
+    for (_, p) in data.iter() {
+        for d in 0..dims {
+            mean[d] += p[d];
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut std_dev = vec![0.0; dims];
+    for (_, p) in data.iter() {
+        for d in 0..dims {
+            let delta = p[d] - mean[d];
+            std_dev[d] += delta * delta;
+        }
+    }
+    for s in &mut std_dev {
+        *s = (*s / n).sqrt();
+        if *s == 0.0 {
+            *s = 1.0; // constant column contributes z = 0
+        }
+    }
+    Ok(data
+        .iter()
+        .map(|(_, p)| {
+            (0..dims).map(|d| ((p[d] - mean[d]) / std_dev[d]).abs()).fold(0.0, f64::max)
+        })
+        .collect())
+}
+
+/// Mahalanobis distances under a multivariate normal fitted by sample mean
+/// and covariance. A small ridge (`1e-9` times the mean diagonal) keeps
+/// near-singular covariances invertible.
+///
+/// # Errors
+///
+/// Returns [`LofError::EmptyDataset`] for empty input and
+/// [`LofError::InvalidPartition`] when the (ridged) covariance is still
+/// singular.
+pub fn mahalanobis_scores(data: &Dataset) -> Result<Vec<f64>> {
+    if data.is_empty() {
+        return Err(LofError::EmptyDataset);
+    }
+    let dims = data.dims();
+    let n = data.len() as f64;
+
+    let mut mean = vec![0.0; dims];
+    for (_, p) in data.iter() {
+        for d in 0..dims {
+            mean[d] += p[d];
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+
+    // Sample covariance (row-major dims x dims).
+    let mut cov = vec![0.0; dims * dims];
+    for (_, p) in data.iter() {
+        for i in 0..dims {
+            let di = p[i] - mean[i];
+            for j in i..dims {
+                cov[i * dims + j] += di * (p[j] - mean[j]);
+            }
+        }
+    }
+    for i in 0..dims {
+        for j in i..dims {
+            let v = cov[i * dims + j] / n;
+            cov[i * dims + j] = v;
+            cov[j * dims + i] = v;
+        }
+    }
+    // Ridge regularization against degenerate directions.
+    let trace_mean =
+        (0..dims).map(|i| cov[i * dims + i]).sum::<f64>() / dims as f64;
+    let ridge = (trace_mean * 1e-9).max(f64::MIN_POSITIVE);
+    for i in 0..dims {
+        cov[i * dims + i] += ridge;
+    }
+
+    let inv = invert(&cov, dims).ok_or_else(|| {
+        LofError::InvalidPartition("covariance matrix is singular".to_owned())
+    })?;
+
+    let mut scores = Vec::with_capacity(data.len());
+    let mut centered = vec![0.0; dims];
+    for (_, p) in data.iter() {
+        for d in 0..dims {
+            centered[d] = p[d] - mean[d];
+        }
+        let mut quad = 0.0;
+        for i in 0..dims {
+            let mut row = 0.0;
+            for j in 0..dims {
+                row += inv[i * dims + j] * centered[j];
+            }
+            quad += centered[i] * row;
+        }
+        scores.push(quad.max(0.0).sqrt());
+    }
+    Ok(scores)
+}
+
+/// Gauss–Jordan inversion with partial pivoting; `None` when singular.
+fn invert(matrix: &[f64], n: usize) -> Option<Vec<f64>> {
+    let mut a = matrix.to_vec();
+    let mut inv = vec![0.0; n * n];
+    for i in 0..n {
+        inv[i * n + i] = 1.0;
+    }
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n).max_by(|&r1, &r2| {
+            a[r1 * n + col].abs().total_cmp(&a[r2 * n + col].abs())
+        })?;
+        if a[pivot_row * n + col].abs() < 1e-300 {
+            return None;
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                a.swap(col * n + j, pivot_row * n + j);
+                inv.swap(col * n + j, pivot_row * n + j);
+            }
+        }
+        let pivot = a[col * n + col];
+        for j in 0..n {
+            a[col * n + j] /= pivot;
+            inv[col * n + j] /= pivot;
+        }
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = a[row * n + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                a[row * n + j] -= factor * a[col * n + j];
+                inv[row * n + j] -= factor * inv[col * n + j];
+            }
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zscore_flags_coordinate_extremes() {
+        let mut rows: Vec<[f64; 2]> = (0..50).map(|i| [(i % 10) as f64, (i / 10) as f64]).collect();
+        rows.push([100.0, 2.0]);
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let scores = max_abs_zscore(&ds).unwrap();
+        let max_id = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(max_id, 50);
+    }
+
+    #[test]
+    fn zscore_handles_constant_columns() {
+        let ds = Dataset::from_rows(&[[1.0, 5.0], [2.0, 5.0], [3.0, 5.0]]).unwrap();
+        let scores = max_abs_zscore(&ds).unwrap();
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn mahalanobis_respects_correlation() {
+        // Points along the diagonal y = x; an off-diagonal point is more
+        // anomalous than an on-diagonal point equally far from the mean.
+        let mut rows: Vec<[f64; 2]> = (0..100)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                let jitter = if i % 2 == 0 { 0.1 } else { -0.1 };
+                [t, t + jitter]
+            })
+            .collect();
+        rows.push([9.0, 1.0]); // off the correlation ridge, id 100
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let scores = mahalanobis_scores(&ds).unwrap();
+        let on_diag_extreme = scores[99];
+        assert!(
+            scores[100] > 2.0 * on_diag_extreme,
+            "off-diagonal {} vs on-diagonal {}",
+            scores[100],
+            on_diag_extreme
+        );
+    }
+
+    #[test]
+    fn mahalanobis_of_center_is_small() {
+        let rows: Vec<[f64; 2]> =
+            (0..100).map(|i| [((i % 10) as f64) - 4.5, ((i / 10) as f64) - 4.5]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let scores = mahalanobis_scores(&ds).unwrap();
+        let min_id = scores.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let p = ds.point(min_id);
+        assert!(p[0].abs() <= 1.0 && p[1].abs() <= 1.0, "most central point wins");
+    }
+
+    #[test]
+    fn invert_recovers_identity() {
+        let m = vec![2.0, 0.0, 0.0, 4.0];
+        let inv = invert(&m, 2).unwrap();
+        assert!((inv[0] - 0.5).abs() < 1e-12);
+        assert!((inv[3] - 0.25).abs() < 1e-12);
+        assert_eq!(invert(&[0.0, 0.0, 0.0, 0.0], 2), None);
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        let ds = Dataset::new(2);
+        assert!(max_abs_zscore(&ds).is_err());
+        assert!(mahalanobis_scores(&ds).is_err());
+    }
+
+    #[test]
+    fn statistical_baselines_miss_local_outliers() {
+        // The paper's core criticism, executable: a point next to a dense
+        // cluster but inside the global spread gets an unremarkable score.
+        let mut rows: Vec<[f64; 1]> = (0..100).map(|i| [i as f64 * 0.01]).collect(); // dense near 0
+        rows.extend((0..10).map(|i| [50.0 + i as f64 * 5.0])); // sparse far out
+        rows.push([3.0]); // strong local outlier, id 110, well inside the range
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let z = max_abs_zscore(&ds).unwrap();
+        let sparse_member_max = z[100..110].iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            z[110] < sparse_member_max,
+            "z-score ranks the local outlier below ordinary sparse-cluster members"
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Property tests for the baseline detectors: the monotonicity and
+//! consistency laws each definition implies.
+
+use lof_baselines::{
+    db_outliers, db_outliers_with, dbscan, kth_distance_scores, mahalanobis_scores,
+    max_abs_zscore, optics, peeling_depths, top_n_outliers, DbOutlierParams,
+};
+use lof_core::{Dataset, Euclidean, KnnProvider, LinearScan};
+use proptest::prelude::*;
+
+fn dataset_strategy(max_n: usize, dims: usize) -> impl Strategy<Value = Dataset> {
+    (5usize..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![Just(0.0), Just(5.0), -40.0..40.0f64],
+                dims,
+            ),
+            n,
+        )
+        .prop_map(|rows| Dataset::from_rows(&rows).expect("finite rows"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn db_outliers_are_monotone_in_dmin(
+        data in dataset_strategy(40, 2),
+        pct in 50.0f64..100.0,
+        dmin in 0.1f64..20.0,
+    ) {
+        // Growing dmin can only shrink the outlier set: more objects fall
+        // within range of each p.
+        let small = db_outliers(&data, &Euclidean, DbOutlierParams::new(pct, dmin).unwrap()).unwrap();
+        let large =
+            db_outliers(&data, &Euclidean, DbOutlierParams::new(pct, dmin * 2.0).unwrap()).unwrap();
+        for (s, l) in small.iter().zip(&large) {
+            prop_assert!(*s || !*l, "outlier at larger dmin must be outlier at smaller");
+        }
+    }
+
+    #[test]
+    fn db_outliers_are_monotone_in_pct(
+        data in dataset_strategy(40, 2),
+        dmin in 0.1f64..20.0,
+    ) {
+        // Raising pct tightens the allowed inside-count, shrinking the set.
+        let loose = db_outliers(&data, &Euclidean, DbOutlierParams::new(60.0, dmin).unwrap()).unwrap();
+        let strict = db_outliers(&data, &Euclidean, DbOutlierParams::new(95.0, dmin).unwrap()).unwrap();
+        for (l, s) in loose.iter().zip(&strict) {
+            prop_assert!(*l || !*s, "strict-pct outlier must also be loose-pct outlier");
+        }
+    }
+
+    #[test]
+    fn db_outlier_variants_agree(
+        data in dataset_strategy(35, 2),
+        pct in 0.0f64..=100.0,
+        dmin in 0.0f64..30.0,
+    ) {
+        let params = DbOutlierParams::new(pct, dmin).unwrap();
+        let nested = db_outliers(&data, &Euclidean, params).unwrap();
+        let scan = LinearScan::new(&data, Euclidean);
+        let indexed = db_outliers_with(&scan, params).unwrap();
+        prop_assert_eq!(nested, indexed);
+    }
+
+    #[test]
+    fn cell_based_equals_nested_loop(
+        data in dataset_strategy(40, 2),
+        pct in 0.0f64..=100.0,
+        dmin in 0.0f64..30.0,
+    ) {
+        let params = DbOutlierParams::new(pct, dmin).unwrap();
+        let nested = db_outliers(&data, &Euclidean, params).unwrap();
+        let cell = lof_baselines::db_outliers_cell_based(&data, params).unwrap();
+        prop_assert_eq!(nested, cell.flags);
+    }
+
+    #[test]
+    fn cell_based_equals_nested_loop_3d(
+        data in dataset_strategy(35, 3),
+        pct in 50.0f64..=100.0,
+        dmin in 0.5f64..20.0,
+    ) {
+        let params = DbOutlierParams::new(pct, dmin).unwrap();
+        let nested = db_outliers(&data, &Euclidean, params).unwrap();
+        let cell = lof_baselines::db_outliers_cell_based(&data, params).unwrap();
+        prop_assert_eq!(nested, cell.flags);
+    }
+
+    #[test]
+    fn knn_outlier_ranking_is_sorted_and_consistent(
+        data in dataset_strategy(30, 2),
+        k in 1usize..6,
+        top in 1usize..10,
+    ) {
+        let k = k.min(data.len() - 1).max(1);
+        let scan = LinearScan::new(&data, Euclidean);
+        let scores = kth_distance_scores(&scan, k).unwrap();
+        let ranked = top_n_outliers(&scan, k, top).unwrap();
+        prop_assert_eq!(ranked.len(), top.min(data.len()));
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        for &(id, score) in &ranked {
+            prop_assert_eq!(score, scores[id]);
+        }
+        // Nothing outside the top-n beats anything inside it.
+        if let Some(&(_, cutoff)) = ranked.last() {
+            let inside: Vec<usize> = ranked.iter().map(|&(id, _)| id).collect();
+            for (id, &s) in scores.iter().enumerate() {
+                if !inside.contains(&id) {
+                    prop_assert!(s <= cutoff);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dbscan_clusters_partition_and_respect_min_pts(
+        data in dataset_strategy(40, 2),
+        eps in 0.5f64..20.0,
+        min_pts in 1usize..8,
+    ) {
+        let scan = LinearScan::new(&data, Euclidean);
+        let result = dbscan(&scan, eps, min_pts).unwrap();
+        prop_assert_eq!(result.assignments.len(), data.len());
+        // Every non-noise cluster contains at least one core point, hence
+        // at least min_pts objects (core point + its eps-neighbors, all of
+        // which join the cluster).
+        for c in 0..result.clusters {
+            let members = result.cluster_ids(c);
+            prop_assert!(!members.is_empty());
+            prop_assert!(
+                members.len() >= min_pts.min(data.len()),
+                "cluster {c} of size {} under min_pts {min_pts}",
+                members.len()
+            );
+        }
+    }
+
+    #[test]
+    fn dbscan_noise_points_are_not_core(
+        data in dataset_strategy(40, 2),
+        eps in 0.5f64..20.0,
+        min_pts in 2usize..8,
+    ) {
+        let scan = LinearScan::new(&data, Euclidean);
+        let result = dbscan(&scan, eps, min_pts).unwrap();
+        for id in result.noise_ids() {
+            let within = scan.within(id, eps).unwrap().len() + 1;
+            prop_assert!(within < min_pts, "noise point {id} is core ({within} >= {min_pts})");
+        }
+    }
+
+    #[test]
+    fn optics_order_is_a_permutation_and_core_distances_valid(
+        data in dataset_strategy(35, 2),
+        min_pts in 1usize..6,
+    ) {
+        let min_pts = min_pts.min(data.len()).max(1);
+        let scan = LinearScan::new(&data, Euclidean);
+        let result = optics(&scan, f64::INFINITY, min_pts).unwrap();
+        let mut order = result.order.clone();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..data.len()).collect::<Vec<_>>());
+        // Core distance == (min_pts - 1)-th neighbor distance under eps = inf.
+        for id in 0..data.len() {
+            if min_pts == 1 {
+                prop_assert_eq!(result.core_distance[id], 0.0);
+            } else {
+                let nn = scan.k_nearest(id, min_pts - 1).unwrap();
+                prop_assert_eq!(result.core_distance[id], nn[min_pts - 2].dist);
+            }
+        }
+    }
+
+    #[test]
+    fn optics_reachability_never_below_core_distance_of_source(
+        data in dataset_strategy(30, 2),
+        min_pts in 2usize..5,
+    ) {
+        let min_pts = min_pts.min(data.len()).max(2);
+        let scan = LinearScan::new(&data, Euclidean);
+        let result = optics(&scan, f64::INFINITY, min_pts).unwrap();
+        // Reachability is max(core-dist(source), d(source, target)), so the
+        // global minimum finite reachability >= global minimum core dist.
+        let min_reach = result
+            .reachability
+            .iter()
+            .cloned()
+            .filter(|r| r.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        let min_core = result
+            .core_distance
+            .iter()
+            .cloned()
+            .filter(|c| c.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        if min_reach.is_finite() && min_core.is_finite() {
+            prop_assert!(min_reach >= min_core - 1e-12);
+        }
+    }
+
+    #[test]
+    fn zscore_is_translation_invariant(
+        data in dataset_strategy(30, 2),
+        shift in -100.0f64..100.0,
+    ) {
+        let base = max_abs_zscore(&data).unwrap();
+        let shifted_rows: Vec<Vec<f64>> =
+            data.iter().map(|(_, p)| p.iter().map(|&v| v + shift).collect()).collect();
+        let shifted = max_abs_zscore(&Dataset::from_rows(&shifted_rows).unwrap()).unwrap();
+        for (a, b) in base.iter().zip(&shifted) {
+            prop_assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mahalanobis_is_affine_translation_invariant_and_nonnegative(
+        data in dataset_strategy(30, 2),
+        shift in -100.0f64..100.0,
+    ) {
+        let base = mahalanobis_scores(&data).unwrap();
+        for s in &base {
+            prop_assert!(*s >= 0.0);
+        }
+        let shifted_rows: Vec<Vec<f64>> =
+            data.iter().map(|(_, p)| p.iter().map(|&v| v + shift).collect()).collect();
+        let shifted = mahalanobis_scores(&Dataset::from_rows(&shifted_rows).unwrap()).unwrap();
+        for (a, b) in base.iter().zip(&shifted) {
+            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn peeling_depths_start_at_one_and_hull_is_layer_one(
+        data in dataset_strategy(30, 2),
+    ) {
+        let depths = peeling_depths(&data).unwrap();
+        prop_assert!(depths.iter().all(|&d| d >= 1));
+        prop_assert!(depths.contains(&1));
+        // Some point at each extremal coordinate is on the outer hull
+        // (duplicates share a location but only one representative per
+        // layer, so we assert existence, not a specific id).
+        for dim in 0..2 {
+            let min_v = (0..data.len())
+                .map(|i| data.point(i)[dim])
+                .fold(f64::INFINITY, f64::min);
+            let max_v = (0..data.len())
+                .map(|i| data.point(i)[dim])
+                .fold(f64::NEG_INFINITY, f64::max);
+            for v in [min_v, max_v] {
+                prop_assert!(
+                    (0..data.len()).any(|i| data.point(i)[dim] == v && depths[i] == 1),
+                    "no depth-1 point at extremal coordinate {v} of dim {dim}"
+                );
+            }
+        }
+    }
+}

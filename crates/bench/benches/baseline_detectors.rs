@@ -1,0 +1,50 @@
+//! Criterion microbenchmarks: LOF vs every baseline detector on the same
+//! workload (1000 2-d points, 10 clusters).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lof_baselines::{
+    db_outliers, dbscan, kth_distance_scores, mahalanobis_scores, max_abs_zscore, optics,
+    peeling_depths, DbOutlierParams,
+};
+use lof_core::{Euclidean, LofDetector};
+use lof_data::paper::perf_mixture;
+use lof_index::KdTree;
+use std::hint::black_box;
+
+fn bench_detectors(c: &mut Criterion) {
+    let data = perf_mixture(6, 1000, 2, 10);
+    let index = KdTree::new(&data, Euclidean);
+    let mut group = c.benchmark_group("detectors_n1000_d2");
+    group.sample_size(10);
+
+    group.bench_function("lof_range_30_50", |b| {
+        let detector = LofDetector::with_range(30, 50).unwrap();
+        b.iter(|| black_box(detector.detect_with(&index).unwrap()))
+    });
+    group.bench_function("lof_single_minpts_40", |b| {
+        let detector = LofDetector::with_min_pts(40).unwrap();
+        b.iter(|| black_box(detector.detect_with(&index).unwrap()))
+    });
+    group.bench_function("db_outliers_nested_loop", |b| {
+        let params = DbOutlierParams::new(99.0, 5.0).unwrap();
+        b.iter(|| black_box(db_outliers(&data, &Euclidean, params).unwrap()))
+    });
+    group.bench_function("knn_dist_scores_k40", |b| {
+        b.iter(|| black_box(kth_distance_scores(&index, 40).unwrap()))
+    });
+    group.bench_function("dbscan", |b| b.iter(|| black_box(dbscan(&index, 2.0, 10).unwrap())));
+    group.bench_function("optics", |b| {
+        b.iter(|| black_box(optics(&index, 10.0, 10).unwrap()))
+    });
+    group.bench_function("zscore", |b| b.iter(|| black_box(max_abs_zscore(&data).unwrap())));
+    group.bench_function("mahalanobis", |b| {
+        b.iter(|| black_box(mahalanobis_scores(&data).unwrap()))
+    });
+    group.bench_function("depth_peeling", |b| {
+        b.iter(|| black_box(peeling_depths(&data).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

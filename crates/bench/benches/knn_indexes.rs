@@ -1,0 +1,114 @@
+//! Criterion microbenchmarks: tie-inclusive 50-NN query cost per index, at
+//! 2 and 16 dimensions. The paper's regime map predicts: grid fastest at
+//! 2-d, trees competitive through medium dimensions, VA-file/scan the
+//! fallback at high dimensions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lof_core::{Euclidean, KnnProvider, LinearScan};
+use lof_data::paper::perf_mixture;
+use lof_index::{BallTree, GridIndex, KdTree, VaFile, XTree};
+use std::hint::black_box;
+
+const N: usize = 2000;
+const K: usize = 50;
+
+fn bench_queries(c: &mut Criterion) {
+    for dims in [2usize, 16] {
+        let data = perf_mixture(1, N, dims, 8);
+        let mut group = c.benchmark_group(format!("knn50_d{dims}"));
+        group.sample_size(20);
+
+        let scan = LinearScan::new(&data, Euclidean);
+        group.bench_function(BenchmarkId::new("linear", N), |b| {
+            let mut id = 0;
+            b.iter(|| {
+                id = (id + 97) % N;
+                black_box(scan.k_nearest(id, K).unwrap())
+            })
+        });
+
+        let grid = GridIndex::new(&data, Euclidean);
+        group.bench_function(BenchmarkId::new("grid", N), |b| {
+            let mut id = 0;
+            b.iter(|| {
+                id = (id + 97) % N;
+                black_box(grid.k_nearest(id, K).unwrap())
+            })
+        });
+
+        let kd = KdTree::new(&data, Euclidean);
+        group.bench_function(BenchmarkId::new("kdtree", N), |b| {
+            let mut id = 0;
+            b.iter(|| {
+                id = (id + 97) % N;
+                black_box(kd.k_nearest(id, K).unwrap())
+            })
+        });
+
+        let x = XTree::new(&data, Euclidean);
+        group.bench_function(BenchmarkId::new("xtree", N), |b| {
+            let mut id = 0;
+            b.iter(|| {
+                id = (id + 97) % N;
+                black_box(x.k_nearest(id, K).unwrap())
+            })
+        });
+
+        let va = VaFile::new(&data, Euclidean);
+        group.bench_function(BenchmarkId::new("vafile", N), |b| {
+            let mut id = 0;
+            b.iter(|| {
+                id = (id + 97) % N;
+                black_box(va.k_nearest(id, K).unwrap())
+            })
+        });
+
+        let ball = BallTree::new(&data, Euclidean);
+        group.bench_function(BenchmarkId::new("balltree", N), |b| {
+            let mut id = 0;
+            b.iter(|| {
+                id = (id + 97) % N;
+                black_box(ball.k_nearest(id, K).unwrap())
+            })
+        });
+
+        group.finish();
+    }
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let data = perf_mixture(2, N, 4, 8);
+    let mut group = c.benchmark_group("index_build_d4");
+    group.sample_size(10);
+    group.bench_function("grid", |b| b.iter(|| black_box(GridIndex::new(&data, Euclidean))));
+    group.bench_function("kdtree", |b| b.iter(|| black_box(KdTree::new(&data, Euclidean))));
+    group.bench_function("xtree", |b| b.iter(|| black_box(XTree::new(&data, Euclidean))));
+    group.bench_function("vafile", |b| b.iter(|| black_box(VaFile::new(&data, Euclidean))));
+    group.bench_function("balltree", |b| b.iter(|| black_box(BallTree::new(&data, Euclidean))));
+    group.finish();
+}
+
+/// Ablation: the X-tree's supernode policy vs. a plain R*-style tree
+/// (`max_overlap = 1.0`) on overlappy high-dimensional data — the
+/// comparison from the X-tree paper that motivates using it for LOF's
+/// materialization step.
+fn bench_supernode_ablation(c: &mut Criterion) {
+    use lof_index::XTreeOptions;
+    let data = perf_mixture(9, 2000, 12, 8);
+    let mut group = c.benchmark_group("xtree_supernode_ablation_d12");
+    group.sample_size(15);
+    for (name, max_overlap) in [("xtree_0.2", 0.2), ("rstar_1.0", 1.0), ("eager_0.0", 0.0)] {
+        let tree = XTree::with_options(&data, Euclidean, XTreeOptions { max_overlap });
+        group.bench_function(BenchmarkId::new(name, tree.supernode_count()), |b| {
+            let mut id = 0;
+            b.iter(|| {
+                id = (id + 97) % N;
+                black_box(tree.k_nearest(id, K).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_builds, bench_supernode_ablation);
+criterion_main!(benches);

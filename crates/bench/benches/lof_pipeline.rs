@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks for the two-step LOF pipeline: step 1
+//! (materialization), step 2 (LOF range scans), the serial/parallel
+//! variants, and an ablation of the `MinPts` range width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lof_core::parallel::{build_table_parallel, lof_range_parallel};
+use lof_core::{lof_range, Euclidean, MinPtsRange, NeighborhoodTable};
+use lof_data::paper::perf_mixture;
+use lof_index::KdTree;
+use std::hint::black_box;
+
+fn bench_materialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step1_materialization");
+    group.sample_size(10);
+    for n in [1000usize, 2000, 4000] {
+        let data = perf_mixture(3, n, 2, 8);
+        let index = KdTree::new(&data, Euclidean);
+        group.bench_function(BenchmarkId::new("serial", n), |b| {
+            b.iter(|| black_box(NeighborhoodTable::build(&index, 50).unwrap()))
+        });
+        group.bench_function(BenchmarkId::new("parallel8", n), |b| {
+            b.iter(|| black_box(build_table_parallel(&index, 50, 8).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lof_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step2_lof_range");
+    group.sample_size(10);
+    let range = MinPtsRange::new(10, 50).unwrap();
+    for n in [1000usize, 2000, 4000] {
+        let data = perf_mixture(4, n, 2, 8);
+        let index = KdTree::new(&data, Euclidean);
+        let table = NeighborhoodTable::build(&index, 50).unwrap();
+        group.bench_function(BenchmarkId::new("serial", n), |b| {
+            b.iter(|| black_box(lof_range(&table, range).unwrap()))
+        });
+        group.bench_function(BenchmarkId::new("parallel8", n), |b| {
+            b.iter(|| black_box(lof_range_parallel(&table, range, 8).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_width_ablation(c: &mut Criterion) {
+    // Cost of the section 6.2 heuristic: LOF over a range vs a single
+    // MinPts. Step 2 is linear in the range width.
+    let mut group = c.benchmark_group("ablation_range_width");
+    group.sample_size(10);
+    let data = perf_mixture(5, 2000, 2, 8);
+    let index = KdTree::new(&data, Euclidean);
+    let table = NeighborhoodTable::build(&index, 50).unwrap();
+    for width in [1usize, 11, 21, 41] {
+        let range = MinPtsRange::new(50 - (width - 1), 50).unwrap();
+        group.bench_function(BenchmarkId::new("minpts_values", width), |b| {
+            b.iter(|| black_box(lof_range(&table, range).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_materialization, bench_lof_step, bench_range_width_ablation);
+criterion_main!(benches);

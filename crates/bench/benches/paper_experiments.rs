@@ -1,0 +1,46 @@
+//! Criterion versions of the paper's performance figures (10 and 11), at
+//! sizes small enough for `cargo bench`. The standalone binaries
+//! (`fig10_materialization`, `fig11_lof_step`) run the full-size sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lof_core::{lof_range, Euclidean, LinearScan, MinPtsRange, NeighborhoodTable};
+use lof_data::paper::perf_mixture;
+use lof_index::KdTree;
+use std::hint::black_box;
+
+/// Figure 10 shape: materialization cost, index vs scan, low vs high dim.
+fn fig10_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_materialization");
+    group.sample_size(10);
+    for dims in [2usize, 10, 20] {
+        let data = perf_mixture(7, 2000, dims, 8);
+        let index = KdTree::new(&data, Euclidean);
+        group.bench_function(BenchmarkId::new("kdtree", dims), |b| {
+            b.iter(|| black_box(NeighborhoodTable::build(&index, 50).unwrap()))
+        });
+        let scan = LinearScan::new(&data, Euclidean);
+        group.bench_function(BenchmarkId::new("scan", dims), |b| {
+            b.iter(|| black_box(NeighborhoodTable::build(&scan, 50).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 11 shape: the LOF step is linear in n.
+fn fig11_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_lof_step");
+    group.sample_size(10);
+    let range = MinPtsRange::new(10, 50).unwrap();
+    for n in [1000usize, 2000, 4000, 8000] {
+        let data = perf_mixture(8, n, 2, 8);
+        let index = KdTree::new(&data, Euclidean);
+        let table = NeighborhoodTable::build(&index, 50).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| black_box(lof_range(&table, range).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10_shape, fig11_shape);
+criterion_main!(benches);

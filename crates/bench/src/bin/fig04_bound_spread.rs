@@ -1,0 +1,53 @@
+//! E2 — Figure 4: Theorem 1's upper and lower LOF bounds as a function of
+//! the `direct/indirect` ratio, for fluctuation percentages 1%, 5%, 10%.
+//!
+//! Expected shape: for fixed `pct`, both bounds — and their spread — grow
+//! linearly in `direct/indirect`; larger `pct` widens the band.
+
+use lof_bench::{banner, Table};
+use lof_core::bounds::{modelled_bounds, relative_span};
+
+fn main() {
+    banner(
+        "E2 fig04_bound_spread",
+        "fig. 4 — LOF_min/LOF_max vs direct/indirect for pct in {1, 5, 10}",
+    );
+    let mut table = Table::new(
+        "fig04",
+        &[
+            "direct_over_indirect",
+            "lof_min_pct1",
+            "lof_max_pct1",
+            "lof_min_pct5",
+            "lof_max_pct5",
+            "lof_min_pct10",
+            "lof_max_pct10",
+        ],
+    );
+    let indirect = 1.0;
+    for step in 0..=20 {
+        let ratio = 1.0 + step as f64 * 4.95; // 1..=100
+        let mut row = vec![ratio];
+        for pct in [1.0, 5.0, 10.0] {
+            let b = modelled_bounds(ratio, indirect, pct);
+            row.push(b.lower);
+            row.push(b.upper);
+        }
+        table.push(row);
+    }
+    table.print_and_save();
+
+    // Check the paper's stated consequence: the spread grows linearly in
+    // the ratio, i.e. spread / ratio is constant per pct.
+    println!("spread/(direct/indirect) must be constant per pct:");
+    for pct in [1.0, 5.0, 10.0] {
+        let at = |ratio: f64| modelled_bounds(ratio, 1.0, pct).spread() / ratio;
+        let (a, b, c) = (at(2.0), at(40.0), at(100.0));
+        let constant = (a - b).abs() < 1e-9 && (b - c).abs() < 1e-9;
+        println!(
+            "  pct={pct:4.1}: {a:.6} / {b:.6} / {c:.6} -> {} (closed form {:.6})",
+            if constant { "CONSTANT (linear growth REPRODUCED)" } else { "NOT CONSTANT" },
+            relative_span(pct)
+        );
+    }
+}

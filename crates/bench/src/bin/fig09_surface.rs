@@ -1,0 +1,85 @@
+//! E6 — Figure 9: the LOF "surface" over the four-cluster scene at
+//! `MinPts = 40`.
+//!
+//! Expected shape: objects of both uniform clusters sit at LOF ≈ 1; most
+//! Gaussian-cluster objects too, with weak (slightly > 1) outliers on the
+//! Gaussian fringes; the seven planted outliers score clearly higher, each
+//! scaled by the density of the cluster it is outlying relative to and its
+//! distance from it.
+
+use lof_bench::{banner, Table};
+use lof_core::{Aggregate, Euclidean, LofDetector};
+use lof_data::paper::fig9;
+use lof_index::KdTree;
+
+fn main() {
+    banner(
+        "E6 fig09_surface",
+        "fig. 9 — LOF of every object at MinPts = 40 over the 4-cluster scene",
+    );
+    let labeled = fig9(9);
+    let index = KdTree::new(&labeled.data, Euclidean);
+    let result = LofDetector::with_min_pts(40)
+        .expect("valid MinPts")
+        .detect_with(&index)
+        .expect("valid run");
+    let scores = result.scores();
+
+    // Full surface to CSV (x, y, lof) for plotting.
+    let mut surface = Table::new("fig09_surface", &["x", "y", "lof"]);
+    for (id, p) in labeled.data.iter() {
+        surface.push(vec![p[0], p[1], scores[id]]);
+    }
+    let path = lof_bench::results_dir().join("fig09_surface.csv");
+    let columns: Vec<&str> = surface.columns.iter().map(String::as_str).collect();
+    lof_data::csv::write_table(&path, &columns, &surface.rows).expect("results dir writable");
+    println!("[saved {} ({} rows)]", path.display(), surface.rows.len());
+
+    // Per-component summary.
+    let mut summary = Table::new("fig09_summary", &["component", "n", "mean_lof", "max_lof"]);
+    let names = ["sparse_gaussian", "dense_gaussian", "sparse_uniform", "dense_uniform"];
+    for (label, name) in names.iter().enumerate() {
+        let ids = labeled.ids_with_label(label);
+        let mean = ids.iter().map(|&i| scores[i]).sum::<f64>() / ids.len() as f64;
+        let max = ids.iter().map(|&i| scores[i]).fold(f64::MIN, f64::max);
+        println!("{name:15}: n={:4} mean LOF {mean:.3} max {max:.3}", ids.len());
+        summary.push(vec![label as f64, ids.len() as f64, mean, max]);
+    }
+    summary.print_and_save();
+
+    let uniform_ok = [2usize, 3].iter().all(|&l| {
+        let ids = labeled.ids_with_label(l);
+        let mean = ids.iter().map(|&i| scores[i]).sum::<f64>() / ids.len() as f64;
+        (mean - 1.0).abs() < 0.1
+    });
+    println!("uniform clusters have LOF ~= 1: {}", verdict(uniform_ok));
+
+    println!("\nplanted outliers:");
+    let outliers = labeled.outlier_ids();
+    let mut planted = Table::new("fig09_outliers", &["id", "x", "y", "lof"]);
+    for &id in &outliers {
+        let p = labeled.data.point(id);
+        println!("  id {id} at ({:6.1}, {:6.1}) -> LOF {:.2}", p[0], p[1], scores[id]);
+        planted.push(vec![id as f64, p[0], p[1], scores[id]]);
+    }
+    planted.print_and_save();
+
+    // Every planted outlier must outscore the *typical* cluster member and
+    // rank within the global top tier (Gaussian fringe points are allowed
+    // to be "weak outliers" per the paper's own reading of the figure).
+    let strong = outliers.iter().filter(|&&id| scores[id] > 1.5).count();
+    println!("planted outliers with LOF > 1.5: {strong} of {}", outliers.len());
+    let ranking = result.range_result().ranking(Aggregate::Max);
+    let top20: Vec<usize> = ranking.iter().take(20).map(|&(id, _)| id).collect();
+    let in_top = outliers.iter().filter(|id| top20.contains(id)).count();
+    println!("planted outliers inside the global top-20: {in_top} of {}", outliers.len());
+    println!("seven strong outliers stand out: {}", verdict(strong >= 6 && in_top >= 6));
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "REPRODUCED"
+    } else {
+        "NOT REPRODUCED"
+    }
+}

@@ -1,0 +1,83 @@
+//! E9 — Figure 10: wall-clock time of the materialization step
+//! (`MinPtsUB = 50` nearest neighborhoods for every object) as a function
+//! of `n`, for 2-, 5-, 10- and 20-dimensional data.
+//!
+//! Expected shape (paper): with a tree index the step is near-linear for 2
+//! and 5 dimensions and degrades toward quadratic for 10 and 20 dimensions
+//! (the well-known curse-of-dimensionality effect on index selectivity);
+//! the sequential scan is quadratic at every dimensionality. Build times
+//! are included, as in the paper ("the times shown do include the time to
+//! build the index").
+//!
+//! Run with `--release`; scale up with `LOF_SCALE=4` etc.
+
+use lof_bench::{banner, scale, time, Table};
+use lof_core::{Euclidean, LinearScan, NeighborhoodTable};
+use lof_data::paper::perf_mixture;
+use lof_index::{KdTree, XTree};
+
+const MIN_PTS_UB: usize = 50;
+
+fn main() {
+    banner(
+        "E9 fig10_materialization",
+        "fig. 10 — materialization runtime vs n for d in {2, 5, 10, 20}",
+    );
+    let scale = scale();
+    let sizes: Vec<usize> = [1000, 2000, 4000, 8000].iter().map(|&n| n * scale).collect();
+    let mut out = Table::new(
+        "fig10",
+        &["dims", "n", "kdtree_s", "xtree_s", "scan_s", "kdtree_vs_scan_speedup"],
+    );
+
+    for dims in [2usize, 5, 10, 20] {
+        for &n in &sizes {
+            let data = perf_mixture(10 + dims as u64, n, dims, 10);
+
+            let (kd_table, kd_time) = time(|| {
+                let index = KdTree::new(&data, Euclidean);
+                NeighborhoodTable::build(&index, MIN_PTS_UB).expect("valid build")
+            });
+            let (x_table, x_time) = time(|| {
+                let index = XTree::new(&data, Euclidean);
+                NeighborhoodTable::build(&index, MIN_PTS_UB).expect("valid build")
+            });
+            // The quadratic scan is capped to keep the harness quick.
+            let scan_time = if n <= 4000 * scale {
+                let (scan_table, t) = time(|| {
+                    let scan = LinearScan::new(&data, Euclidean);
+                    NeighborhoodTable::build(&scan, MIN_PTS_UB).expect("valid build")
+                });
+                assert_eq!(scan_table.stored_entries(), kd_table.stored_entries());
+                t.as_secs_f64()
+            } else {
+                f64::NAN
+            };
+            assert_eq!(kd_table.stored_entries(), x_table.stored_entries());
+
+            let kd_s = kd_time.as_secs_f64();
+            let x_s = x_time.as_secs_f64();
+            let speedup = if scan_time.is_nan() { f64::NAN } else { scan_time / kd_s };
+            println!(
+                "d={dims:2} n={n:6}: kdtree {kd_s:8.3}s  xtree {x_s:8.3}s  scan {scan_time:8.3}s"
+            );
+            out.push(vec![dims as f64, n as f64, kd_s, x_s, scan_time, speedup]);
+        }
+    }
+    out.print_and_save();
+
+    // Shape check: per-dimension scaling exponent of the kd-tree runtime
+    // between the smallest and largest n (1 = linear, 2 = quadratic).
+    println!("kd-tree scaling exponent log(t_big/t_small)/log(n_big/n_small):");
+    let rows_per_dim = sizes.len();
+    for (i, dims) in [2usize, 5, 10, 20].iter().enumerate() {
+        let first = &out.rows[i * rows_per_dim];
+        let last = &out.rows[i * rows_per_dim + rows_per_dim - 1];
+        let exponent = (last[2] / first[2]).ln() / (last[1] / first[1]).ln();
+        println!("  d={dims:2}: exponent {exponent:.2}");
+    }
+    println!(
+        "expected shape: exponent near 1 for d in {{2, 5}}, drifting toward 2 as d grows,\n\
+         and index >> scan at low d (the paper's 'index degenerates with dimension')."
+    );
+}

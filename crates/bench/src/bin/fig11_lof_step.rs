@@ -1,0 +1,64 @@
+//! E10 — Figure 11: wall-clock time of the LOF computation step (step 2:
+//! two scans of the materialization database per `MinPts` in 10..=50) as a
+//! function of `n`.
+//!
+//! Expected shape: linear in `n` — step 2 never touches the original data,
+//! only the size-`O(n · MinPtsUB)` table, which is also why its cost is
+//! independent of dimensionality. We verify both claims: linear scaling in
+//! `n`, and (near-)identical cost for 2-d and 20-d inputs of equal `n`.
+
+use lof_bench::{banner, scale, time, Table};
+use lof_core::{lof_range, Euclidean, MinPtsRange};
+use lof_core::parallel::build_table_parallel;
+use lof_core::LinearScan;
+use lof_data::paper::perf_mixture;
+use lof_index::KdTree;
+
+fn main() {
+    banner(
+        "E10 fig11_lof_step",
+        "fig. 11 — LOF-step runtime (MinPts 10..=50) is linear in n and dimension-free",
+    );
+    let scale = scale();
+    let range = MinPtsRange::new(10, 50).expect("valid range");
+    let sizes: Vec<usize> = [1000, 2000, 4000, 8000, 16000].iter().map(|&n| n * scale).collect();
+
+    let mut out = Table::new("fig11", &["n", "lof_step_s", "us_per_object_per_minpts"]);
+    for &n in &sizes {
+        let data = perf_mixture(11, n, 2, 10);
+        let index = KdTree::new(&data, Euclidean);
+        let table = build_table_parallel(&index, 50, 8).expect("valid build");
+        let (result, t) = time(|| lof_range(&table, range).expect("valid run"));
+        assert_eq!(result.len(), n);
+        let micros = t.as_secs_f64() * 1e6 / (n as f64 * range.len() as f64);
+        println!("n={n:6}: LOF step {:8.3}s  ({micros:.3} us/object/MinPts)", t.as_secs_f64());
+        out.push(vec![n as f64, t.as_secs_f64(), micros]);
+    }
+    out.print_and_save();
+
+    let first = &out.rows[0];
+    let last = &out.rows[out.rows.len() - 1];
+    let exponent = (last[1] / first[1]).ln() / (last[0] / first[0]).ln();
+    println!("scaling exponent: {exponent:.2} (paper: 1.0 — linear)");
+    println!("linear LOF step: {}", if exponent < 1.3 { "REPRODUCED" } else { "NOT REPRODUCED" });
+
+    // Dimension independence of step 2: same n, different dimensionality.
+    let n = 4000 * scale;
+    let mut dim_table = Table::new("fig11_dims", &["dims", "lof_step_s"]);
+    for dims in [2usize, 5, 10, 20] {
+        let data = perf_mixture(12, n, dims, 10);
+        let scan = LinearScan::new(&data, Euclidean);
+        let table = build_table_parallel(&scan, 50, 8).expect("valid build");
+        let (_, t) = time(|| lof_range(&table, range).expect("valid run"));
+        println!("d={dims:2} n={n}: LOF step {:.3}s", t.as_secs_f64());
+        dim_table.push(vec![dims as f64, t.as_secs_f64()]);
+    }
+    dim_table.print_and_save();
+    let times: Vec<f64> = dim_table.rows.iter().map(|r| r[1]).collect();
+    let spread = times.iter().cloned().fold(f64::MIN, f64::max)
+        / times.iter().cloned().fold(f64::MAX, f64::min);
+    println!(
+        "max/min step-2 time across dimensionalities: {spread:.2}x \
+         (step 2 reads only the table M; paper: dimension-independent)"
+    );
+}

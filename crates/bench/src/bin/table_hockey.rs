@@ -1,0 +1,141 @@
+//! E7 — the section 7.2 hockey experiments, on the synthetic NHL96 analog
+//! (substitution documented in DESIGN.md and `lof_data::hockey`).
+//!
+//! Test 1, subspace (points, plus/minus, penalty minutes): the paper found
+//! Vladimir Konstantinov to be the single `DB(0.998, 26.3044)` outlier and
+//! the top LOF object (2.4), with Matthew Barnaby second (2.0).
+//!
+//! Test 2, subspace (games played, goals, shooting percentage): Chris
+//! Osgood (LOF 6.0) and Mario Lemieux (2.8) are the `DB(0.997, 5)` outliers
+//! and the top LOF objects; Steve Poapst (3 games, 1 goal, 50% shooting)
+//! ranks third by LOF (2.5) but is invisible to `DB(pct, dmin)`.
+
+use lof_baselines::{db_outliers, DbOutlierParams};
+use lof_bench::{banner, Table};
+use lof_core::{Dataset, Euclidean, LofDetector, OutlierResult};
+use lof_data::hockey::{nhl96_analog, subspace_gp_goals_shooting, subspace_points_plusminus_pim};
+
+fn run_lof(data: &Dataset) -> OutlierResult {
+    // The paper: "computing the maximum LOF in the MinPts range of 30 to 50".
+    LofDetector::with_range(30, 50)
+        .expect("valid range")
+        .threads(8)
+        .detect(data)
+        .expect("valid dataset")
+}
+
+fn main() {
+    banner(
+        "E7 table_hockey",
+        "§7.2 — DB-outliers and top max-LOF agree on the NHL96-analog; LOF also finds Poapst",
+    );
+    let league = nhl96_analog(96, 850);
+    let names: Vec<&str> = league.players.iter().map(|p| p.name.as_str()).collect();
+
+    // ---- Test 1: (points, +/-, PIM) ----
+    println!("\n--- test 1: subspace (points, plus/minus, penalty minutes) ---");
+    let sub1 = subspace_points_plusminus_pim(&league);
+    let lof1 = run_lof(&sub1);
+    let ranking1 = lof1.ranking();
+    let mut t1 = Table::new("hockey_test1", &["rank", "player_id", "lof"]);
+    println!("top 5 by max-LOF:");
+    for (rank, &(id, score)) in ranking1.iter().take(5).enumerate() {
+        println!("  {}. {:28} LOF {score:.2}", rank + 1, names[id]);
+        t1.push(vec![(rank + 1) as f64, id as f64, score]);
+    }
+    t1.print_and_save();
+
+    // DB(pct, dmin): sweep dmin at the paper's pct = 99.8 (max one other
+    // object within dmin in an 855-player league -> max_inside = 1).
+    let mut db1_hits: Vec<(f64, Vec<usize>)> = Vec::new();
+    for dmin_step in 1..=60 {
+        let dmin = dmin_step as f64 * 5.0;
+        let params = DbOutlierParams::new(99.8, dmin).expect("valid params");
+        let flags = db_outliers(&sub1, &Euclidean, params).expect("valid data");
+        let flagged: Vec<usize> =
+            flags.iter().enumerate().filter(|(_, &f)| f).map(|(i, _)| i).collect();
+        if !flagged.is_empty() {
+            db1_hits.push((dmin, flagged));
+        }
+    }
+    let konst_only = db1_hits
+        .iter()
+        .filter(|(_, f)| f == &vec![league.konstantinov])
+        .map(|(d, _)| *d)
+        .collect::<Vec<_>>();
+    println!(
+        "DB(99.8, dmin) flags exactly {{Konstantinov}} for dmin in {:?}",
+        summarize_range(&konst_only)
+    );
+    let top2: Vec<usize> = ranking1.iter().take(2).map(|&(id, _)| id).collect();
+    println!(
+        "test 1 agreement (Konstantinov & Barnaby are the two top-LOF objects, and \
+         Konstantinov is isolatable as a sole DB outlier): {}",
+        verdict(
+            top2.contains(&league.konstantinov)
+                && top2.contains(&league.barnaby)
+                && !konst_only.is_empty()
+        )
+    );
+
+    // ---- Test 2: (games played, goals, shooting %) ----
+    println!("\n--- test 2: subspace (games played, goals, shooting%) ---");
+    let sub2 = subspace_gp_goals_shooting(&league);
+    let lof2 = run_lof(&sub2);
+    let ranking2 = lof2.ranking();
+    let mut t2 = Table::new("hockey_test2", &["rank", "player_id", "lof"]);
+    println!("top 5 by max-LOF:");
+    for (rank, &(id, score)) in ranking2.iter().take(5).enumerate() {
+        println!("  {}. {:28} LOF {score:.2}", rank + 1, names[id]);
+        t2.push(vec![(rank + 1) as f64, id as f64, score]);
+    }
+    t2.print_and_save();
+
+    // DB(99.7, 5): the paper's exact parameters.
+    let params = DbOutlierParams::new(99.7, 5.0).expect("valid params");
+    let flags = db_outliers(&sub2, &Euclidean, params).expect("valid data");
+    let db2: Vec<usize> = flags.iter().enumerate().filter(|(_, &f)| f).map(|(i, _)| i).collect();
+    println!("DB(99.7, 5) outliers: {:?}", db2.iter().map(|&i| names[i]).collect::<Vec<_>>());
+
+    let top3: Vec<usize> = ranking2.iter().take(3).map(|&(id, _)| id).collect();
+    let osgood_lemieux_top = top3.contains(&league.osgood) && top3.contains(&league.lemieux);
+    let db_agrees = db2.contains(&league.osgood) && db2.contains(&league.lemieux);
+    let poapst_rank = ranking2.iter().position(|&(id, _)| id == league.poapst).unwrap() + 1;
+    let poapst_score = lof2.score(league.poapst).expect("valid id");
+    let poapst_in_db = db2.contains(&league.poapst);
+    println!("Osgood & Lemieux in LOF top 3: {}", verdict(osgood_lemieux_top));
+    println!("DB(99.7, 5) also flags Osgood & Lemieux: {}", verdict(db_agrees));
+    println!(
+        "Poapst: LOF rank {poapst_rank} of 855, LOF {poapst_score:.2}, DB(99.7, 5) outlier: \
+         {poapst_in_db} (paper: LOF rank 3 at 2.5, not found by DB)"
+    );
+    // Exact rank depends on NHL96's precise small-sample shooting%
+    // geometry, which we can only approximate (DESIGN.md); the shape-level
+    // claim is that LOF grades the short-season oddball as clearly outlying
+    // while DB(pct, dmin) cannot flag him at any sensible setting.
+    println!(
+        "test 2 shape (LOF surfaces the short-season player DB misses): {}",
+        verdict(
+            osgood_lemieux_top
+                && db_agrees
+                && poapst_rank <= 43 // top 5% of the league
+                && poapst_score > 1.5
+                && !poapst_in_db
+        )
+    );
+}
+
+fn summarize_range(values: &[f64]) -> String {
+    match (values.first(), values.last()) {
+        (Some(lo), Some(hi)) => format!("[{lo}, {hi}] ({} grid points)", values.len()),
+        _ => "none".to_owned(),
+    }
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "REPRODUCED"
+    } else {
+        "NOT REPRODUCED"
+    }
+}

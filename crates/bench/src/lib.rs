@@ -1,0 +1,154 @@
+//! Shared harness plumbing for the experiment binaries.
+//!
+//! Every `src/bin/*` binary regenerates one figure or table of the paper:
+//! it prints the same series/rows the paper reports and writes the raw data
+//! to `results/<experiment>.csv` (override the directory with
+//! `LOF_RESULTS`). See DESIGN.md's experiment index for the mapping.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Directory experiment CSVs are written to (`$LOF_RESULTS`, default
+/// `results/`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("LOF_RESULTS").map_or_else(|| PathBuf::from("results"), PathBuf::from)
+}
+
+/// Scale factor for the performance experiments (`$LOF_SCALE`, default 1).
+/// `LOF_SCALE=4 cargo run --release --bin fig10_materialization` quadruples
+/// the dataset sizes.
+pub fn scale() -> usize {
+    std::env::var("LOF_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1).max(1)
+}
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// A printable, saveable experiment result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, used as the CSV filename (e.g. `fig07`).
+    pub name: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Numeric rows.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: &str, columns: &[&str]) -> Self {
+        Table {
+            name: name.to_owned(),
+            columns: columns.iter().map(|&c| c.to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the column count).
+    pub fn push(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch in {}", self.name);
+        self.rows.push(row);
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut cells: Vec<Vec<String>> = vec![self.columns.clone()];
+        for row in &self.rows {
+            cells.push(row.iter().map(|v| format_value(*v)).collect());
+        }
+        let widths: Vec<usize> = (0..self.columns.len())
+            .map(|c| cells.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        let mut out = String::new();
+        for (i, row) in cells.iter().enumerate() {
+            for (c, cell) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}", width = widths[c]);
+            }
+            out.push('\n');
+            if i == 0 {
+                let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Prints the table and saves it under `results/<name>.csv`.
+    pub fn print_and_save(&self) {
+        println!("{}", self.render());
+        let path = results_dir().join(format!("{}.csv", self.name));
+        let columns: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        match lof_data::csv::write_table(&path, &columns, &self.rows) {
+            Ok(()) => println!("[saved {}]", path.display()),
+            Err(e) => eprintln!("[warn] could not save {}: {e}", path.display()),
+        }
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_owned()
+    } else if (v.fract() == 0.0) && v.abs() < 1e12 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Prints an experiment banner with the paper artifact it reproduces.
+pub fn banner(experiment: &str, claim: &str) {
+    println!("==================================================================");
+    println!("{experiment}");
+    println!("paper: {claim}");
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_header_and_rows() {
+        let mut t = Table::new("test", &["a", "bb"]);
+        t.push(vec![1.0, 2.5]);
+        t.push(vec![10.0, f64::INFINITY]);
+        let s = t.render();
+        assert!(s.contains("a"));
+        assert!(s.contains("bb"));
+        assert!(s.contains("2.5000"));
+        assert!(s.contains("inf"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("test", &["a"]);
+        t.push(vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn scale_defaults_to_one() {
+        assert!(scale() >= 1);
+    }
+
+    #[test]
+    fn time_measures_something() {
+        let (v, d) = time(|| (0..10_000).sum::<u64>());
+        assert_eq!(v, 49995000);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,577 @@
+//! Library backing the `lof` command-line tool: argument parsing and the
+//! end-to-end run, separated from `main` so both are unit-testable.
+//!
+//! ```text
+//! lof [OPTIONS] <INPUT.csv>
+//!
+//! Scores every row of a numeric CSV with the Local Outlier Factor
+//! (Breunig et al., SIGMOD 2000) and prints a ranked report.
+//!
+//! OPTIONS:
+//!   --minpts LB[..UB]    MinPts value or range          [default: 10..20]
+//!   --aggregate AGG      max | min | mean               [default: max]
+//!   --metric METRIC      euclidean | manhattan | chebyshev | angular
+//!   --index INDEX        auto | scan | grid | kdtree | xtree | vafile | balltree
+//!   --columns C1,C2,..   project onto these columns (subspace analysis)
+//!   --standardize        z-score the columns first
+//!   --threshold T        only report objects with score > T
+//!   --top N              only report the N highest scores
+//!   --explain N          print full explanations for the top N objects
+//!   --threads N          worker threads                 [default: 1]
+//!   --output FILE        also write id,score CSV to FILE
+//!   --table FILE         cache the materialization database in FILE
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use lof_core::explain::explain;
+use lof_core::{
+    Aggregate, Angular, Chebyshev, Dataset, Euclidean, KnnProvider, LinearScan, LofDetector,
+    Manhattan, Metric, NeighborhoodTable, OutlierResult,
+};
+use lof_data::normalize::standardize;
+use lof_index::{BallTree, GridIndex, KdTree, VaFile, XTree};
+use std::fmt::Write as _;
+
+/// Parsed command-line configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Input CSV path.
+    pub input: String,
+    /// MinPts range (lb, ub).
+    pub min_pts: (usize, usize),
+    /// Score aggregate over the range.
+    pub aggregate: Aggregate,
+    /// Distance metric name.
+    pub metric: MetricChoice,
+    /// Index substrate.
+    pub index: IndexChoice,
+    /// Project onto these columns (in order) before scoring.
+    pub columns: Option<Vec<usize>>,
+    /// Standardize columns before scoring.
+    pub standardize: bool,
+    /// Only report scores above this threshold.
+    pub threshold: Option<f64>,
+    /// Only report the top N.
+    pub top: Option<usize>,
+    /// Print explanations for the top N objects.
+    pub explain: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Optional output CSV path.
+    pub output: Option<String>,
+    /// Materialization cache: load the table from this file if it exists,
+    /// otherwise build it and save it there.
+    pub table: Option<String>,
+}
+
+/// Supported metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum MetricChoice {
+    Euclidean,
+    Manhattan,
+    Chebyshev,
+    Angular,
+}
+
+/// Supported index substrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum IndexChoice {
+    /// Pick by dimensionality: grid for d <= 3, kd-tree for d <= 12,
+    /// VA-file beyond.
+    Auto,
+    Scan,
+    Grid,
+    KdTree,
+    XTree,
+    VaFile,
+    BallTree,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            input: String::new(),
+            min_pts: (10, 20),
+            aggregate: Aggregate::Max,
+            metric: MetricChoice::Euclidean,
+            index: IndexChoice::Auto,
+            columns: None,
+            standardize: false,
+            threshold: None,
+            top: None,
+            explain: 0,
+            threads: 1,
+            output: None,
+            table: None,
+        }
+    }
+}
+
+/// Parses CLI arguments (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing values, or
+/// unparsable numbers.
+pub fn parse_args(args: &[String]) -> Result<Config, String> {
+    let mut config = Config::default();
+    let mut iter = args.iter().peekable();
+    let mut positional: Vec<&String> = Vec::new();
+
+    fn value<'a>(
+        flag: &str,
+        iter: &mut std::iter::Peekable<std::slice::Iter<'a, String>>,
+    ) -> Result<&'a String, String> {
+        iter.next().ok_or_else(|| format!("{flag} requires a value"))
+    }
+
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--minpts" => {
+                let v = value("--minpts", &mut iter)?;
+                config.min_pts = parse_min_pts(v)?;
+            }
+            "--aggregate" => {
+                config.aggregate = match value("--aggregate", &mut iter)?.as_str() {
+                    "max" => Aggregate::Max,
+                    "min" => Aggregate::Min,
+                    "mean" => Aggregate::Mean,
+                    other => return Err(format!("unknown aggregate '{other}'")),
+                };
+            }
+            "--metric" => {
+                config.metric = match value("--metric", &mut iter)?.as_str() {
+                    "euclidean" => MetricChoice::Euclidean,
+                    "manhattan" => MetricChoice::Manhattan,
+                    "chebyshev" => MetricChoice::Chebyshev,
+                    "angular" => MetricChoice::Angular,
+                    other => return Err(format!("unknown metric '{other}'")),
+                };
+            }
+            "--index" => {
+                config.index = match value("--index", &mut iter)?.as_str() {
+                    "auto" => IndexChoice::Auto,
+                    "scan" => IndexChoice::Scan,
+                    "grid" => IndexChoice::Grid,
+                    "kdtree" => IndexChoice::KdTree,
+                    "xtree" => IndexChoice::XTree,
+                    "vafile" => IndexChoice::VaFile,
+                    "balltree" => IndexChoice::BallTree,
+                    other => return Err(format!("unknown index '{other}'")),
+                };
+            }
+            "--columns" => {
+                let list = value("--columns", &mut iter)?;
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(str::trim).map(str::parse).collect();
+                config.columns =
+                    Some(parsed.map_err(|e| format!("bad --columns '{list}': {e}"))?);
+            }
+            "--standardize" => config.standardize = true,
+            "--threshold" => {
+                config.threshold = Some(
+                    value("--threshold", &mut iter)?
+                        .parse()
+                        .map_err(|e| format!("bad --threshold: {e}"))?,
+                );
+            }
+            "--top" => {
+                config.top = Some(
+                    value("--top", &mut iter)?
+                        .parse()
+                        .map_err(|e| format!("bad --top: {e}"))?,
+                );
+            }
+            "--explain" => {
+                config.explain = value("--explain", &mut iter)?
+                    .parse()
+                    .map_err(|e| format!("bad --explain: {e}"))?;
+            }
+            "--threads" => {
+                config.threads = value("--threads", &mut iter)?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--output" => config.output = Some(value("--output", &mut iter)?.clone()),
+            "--table" => config.table = Some(value("--table", &mut iter)?.clone()),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            _ => positional.push(arg),
+        }
+    }
+
+    match positional.as_slice() {
+        [input] => config.input = (*input).clone(),
+        [] => return Err("missing input CSV path".to_owned()),
+        more => return Err(format!("expected one input path, got {}", more.len())),
+    }
+    Ok(config)
+}
+
+fn parse_min_pts(text: &str) -> Result<(usize, usize), String> {
+    if let Some((lb, ub)) = text.split_once("..") {
+        let lb: usize = lb.parse().map_err(|e| format!("bad MinPts lower bound: {e}"))?;
+        let ub: usize = ub.parse().map_err(|e| format!("bad MinPts upper bound: {e}"))?;
+        if lb == 0 || lb > ub {
+            return Err(format!("invalid MinPts range {lb}..{ub}"));
+        }
+        Ok((lb, ub))
+    } else {
+        let k: usize = text.parse().map_err(|e| format!("bad MinPts: {e}"))?;
+        if k == 0 {
+            return Err("MinPts must be >= 1".to_owned());
+        }
+        Ok((k, k))
+    }
+}
+
+/// The scored output of a run, ready for rendering.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// `(id, score)` ranked most-outlying first, after threshold/top cuts.
+    pub report: Vec<(usize, f64)>,
+    /// Full per-object scores in id order (for `--output`).
+    pub scores: Vec<f64>,
+    /// Rendered explanations for the requested top objects.
+    pub explanations: Vec<String>,
+}
+
+/// Runs the pipeline per `config` over an already-loaded dataset.
+///
+/// # Errors
+///
+/// Returns a human-readable message on invalid parameters or degenerate
+/// data.
+pub fn run(config: &Config, raw: &Dataset) -> Result<RunOutput, String> {
+    if raw.len() <= config.min_pts.1 {
+        return Err(format!(
+            "dataset has {} rows but MinPts upper bound is {}; need more rows than MinPts",
+            raw.len(),
+            config.min_pts.1
+        ));
+    }
+    let projected = match &config.columns {
+        Some(columns) => raw.project(columns).map_err(|e| e.to_string())?,
+        None => raw.clone(),
+    };
+    let data = if config.standardize { standardize(&projected) } else { projected };
+
+    let detector = LofDetector::with_range(config.min_pts.0, config.min_pts.1)
+        .map_err(|e| e.to_string())?
+        .aggregate(config.aggregate)
+        .threads(config.threads);
+
+    let index = resolve_index(config, &data);
+    let cache = config.table.as_deref();
+    let (result, table) = match config.metric {
+        MetricChoice::Euclidean => score(&detector, &index, &data, Euclidean, cache)?,
+        MetricChoice::Manhattan => score(&detector, &index, &data, Manhattan, cache)?,
+        MetricChoice::Chebyshev => score(&detector, &index, &data, Chebyshev, cache)?,
+        MetricChoice::Angular => score(&detector, &index, &data, Angular, cache)?,
+    };
+
+    let scores = result.scores();
+    let mut report = result.ranking();
+    if let Some(t) = config.threshold {
+        report.retain(|&(_, s)| s > t);
+    }
+    if let Some(top) = config.top {
+        report.truncate(top);
+    }
+
+    let mut explanations = Vec::new();
+    for &(id, _) in result.ranking().iter().take(config.explain) {
+        let ex = explain(&data, &table, config.min_pts.1, id).map_err(|e| e.to_string())?;
+        explanations.push(ex.render(&data));
+    }
+    Ok(RunOutput { report, scores, explanations })
+}
+
+/// Resolves `auto` to a concrete index for the data's dimensionality.
+fn resolve_index(config: &Config, data: &Dataset) -> IndexChoice {
+    match config.index {
+        IndexChoice::Auto => {
+            // Angular has no rectangle bound: only the ball tree prunes.
+            if config.metric == MetricChoice::Angular {
+                IndexChoice::BallTree
+            } else if data.dims() <= 3 {
+                IndexChoice::Grid
+            } else if data.dims() <= 12 {
+                IndexChoice::KdTree
+            } else {
+                IndexChoice::VaFile
+            }
+        }
+        concrete => concrete,
+    }
+}
+
+fn score<M: Metric + Clone>(
+    detector: &LofDetector<Euclidean>,
+    index: &IndexChoice,
+    data: &Dataset,
+    metric: M,
+    cache: Option<&str>,
+) -> Result<(OutlierResult, NeighborhoodTable), String> {
+    fn go<P: KnnProvider + Sync>(
+        detector: &LofDetector<Euclidean>,
+        provider: &P,
+        cache: Option<&str>,
+    ) -> Result<(OutlierResult, NeighborhoodTable), String> {
+        let table = match cache {
+            Some(path) if std::path::Path::new(path).exists() => {
+                let table = NeighborhoodTable::load(path).map_err(|e| e.to_string())?;
+                if table.len() != provider.len() || table.max_k() < detector.range().ub() {
+                    return Err(format!(
+                        "cached table '{path}' does not match this run \
+                         ({} objects @ max_k {}, need {} @ {})",
+                        table.len(),
+                        table.max_k(),
+                        provider.len(),
+                        detector.range().ub()
+                    ));
+                }
+                table
+            }
+            _ => {
+                let table = NeighborhoodTable::build(provider, detector.range().ub())
+                    .map_err(|e| e.to_string())?;
+                if let Some(path) = cache {
+                    table.save(path).map_err(|e| format!("cannot save table: {e}"))?;
+                }
+                table
+            }
+        };
+        let result = detector.detect_from_table(&table).map_err(|e| e.to_string())?;
+        Ok((result, table))
+    }
+    match index {
+        IndexChoice::Scan => go(detector, &LinearScan::new(data, metric), cache),
+        IndexChoice::Grid => go(detector, &GridIndex::new(data, metric), cache),
+        IndexChoice::KdTree => go(detector, &KdTree::new(data, metric), cache),
+        IndexChoice::XTree => go(detector, &XTree::new(data, metric), cache),
+        IndexChoice::VaFile => go(detector, &VaFile::new(data, metric), cache),
+        IndexChoice::BallTree => go(detector, &BallTree::new(data, metric), cache),
+        IndexChoice::Auto => unreachable!("resolved before dispatch"),
+    }
+}
+
+/// Renders the ranked report as an aligned text table.
+pub fn render_report(report: &[(usize, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>8}  {:>10}", "row", "LOF");
+    for (id, score) in report {
+        let _ = writeln!(out, "{id:>8}  {score:>10.4}");
+    }
+    out
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "usage: lof [OPTIONS] <INPUT.csv>
+
+Scores every row of a numeric CSV with the Local Outlier Factor
+(Breunig, Kriegel, Ng, Sander; SIGMOD 2000) and prints a ranked report.
+
+options:
+  --minpts LB[..UB]   MinPts value or range             [default: 10..20]
+  --aggregate AGG     max | min | mean                  [default: max]
+  --metric METRIC     euclidean | manhattan | chebyshev | angular
+  --index INDEX       auto | scan | grid | kdtree | xtree | vafile | balltree
+  --columns C1,C2,..  project onto these columns (subspace analysis)
+  --standardize       z-score the columns before computing distances
+  --threshold T       only report objects with score > T
+  --top N             only report the N highest scores
+  --explain N         print full explanations for the top N objects
+  --threads N         worker threads                    [default: 1]
+  --output FILE       also write an id,score CSV to FILE
+  --table FILE        cache the materialization: load FILE if present,
+                      else build and save it there
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_defaults_and_input() {
+        let config = parse_args(&args(&["data.csv"])).unwrap();
+        assert_eq!(config.input, "data.csv");
+        assert_eq!(config.min_pts, (10, 20));
+        assert_eq!(config.aggregate, Aggregate::Max);
+        assert_eq!(config.index, IndexChoice::Auto);
+        assert!(!config.standardize);
+    }
+
+    #[test]
+    fn parses_every_flag() {
+        let config = parse_args(&args(&[
+            "--minpts", "5..15", "--aggregate", "mean", "--metric", "manhattan", "--index",
+            "xtree", "--standardize", "--threshold", "1.5", "--top", "7", "--explain", "3",
+            "--threads", "4", "--output", "scores.csv", "in.csv",
+        ]))
+        .unwrap();
+        assert_eq!(config.min_pts, (5, 15));
+        assert_eq!(config.aggregate, Aggregate::Mean);
+        assert_eq!(config.metric, MetricChoice::Manhattan);
+        assert_eq!(config.index, IndexChoice::XTree);
+        assert!(config.standardize);
+        assert_eq!(config.threshold, Some(1.5));
+        assert_eq!(config.top, Some(7));
+        assert_eq!(config.explain, 3);
+        assert_eq!(config.threads, 4);
+        assert_eq!(config.output.as_deref(), Some("scores.csv"));
+        assert_eq!(config.input, "in.csv");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["a.csv", "b.csv"])).is_err());
+        assert!(parse_args(&args(&["--bogus", "a.csv"])).is_err());
+        assert!(parse_args(&args(&["--minpts", "0", "a.csv"])).is_err());
+        assert!(parse_args(&args(&["--minpts", "9..3", "a.csv"])).is_err());
+        assert!(parse_args(&args(&["--minpts", "abc", "a.csv"])).is_err());
+        assert!(parse_args(&args(&["--aggregate", "median", "a.csv"])).is_err());
+        assert!(parse_args(&args(&["--threshold"])).is_err());
+    }
+
+    #[test]
+    fn parses_columns() {
+        let config = parse_args(&args(&["--columns", "0, 2,3", "a.csv"])).unwrap();
+        assert_eq!(config.columns, Some(vec![0, 2, 3]));
+        assert!(parse_args(&args(&["--columns", "0,x", "a.csv"])).is_err());
+    }
+
+    #[test]
+    fn columns_projection_runs_subspace_analysis() {
+        // 3-d data whose outlier only shows in columns (0, 1): projecting
+        // away the noisy third column is the paper's subspace workflow.
+        let mut rows: Vec<[f64; 3]> = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                rows.push([i as f64, j as f64, (i * j % 7) as f64 * 100.0]);
+            }
+        }
+        rows.push([30.0, 30.0, 300.0]);
+        let data = Dataset::from_rows(&rows).unwrap();
+        let config = Config {
+            input: "unused".into(),
+            min_pts: (5, 10),
+            columns: Some(vec![0, 1]),
+            top: Some(1),
+            ..Config::default()
+        };
+        let output = run(&config, &data).unwrap();
+        assert_eq!(output.report[0].0, 36);
+    }
+
+    #[test]
+    fn single_min_pts_becomes_degenerate_range() {
+        let config = parse_args(&args(&["--minpts", "12", "a.csv"])).unwrap();
+        assert_eq!(config.min_pts, (12, 12));
+    }
+
+    fn toy_dataset() -> Dataset {
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                rows.push([i as f64, j as f64]);
+            }
+        }
+        rows.push([30.0, 30.0]);
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn run_finds_the_outlier_with_every_index() {
+        for index in [
+            IndexChoice::Scan,
+            IndexChoice::Grid,
+            IndexChoice::KdTree,
+            IndexChoice::XTree,
+            IndexChoice::VaFile,
+            IndexChoice::BallTree,
+            IndexChoice::Auto,
+        ] {
+            let config = Config {
+                input: "unused".into(),
+                min_pts: (5, 10),
+                index,
+                top: Some(1),
+                ..Config::default()
+            };
+            let output = run(&config, &toy_dataset()).unwrap();
+            assert_eq!(output.report[0].0, 36, "{index:?}");
+            assert!(output.report[0].1 > 3.0);
+        }
+    }
+
+    #[test]
+    fn threshold_and_top_filter() {
+        let config = Config {
+            input: "unused".into(),
+            min_pts: (5, 10),
+            threshold: Some(2.0),
+            ..Config::default()
+        };
+        let output = run(&config, &toy_dataset()).unwrap();
+        assert_eq!(output.report.len(), 1);
+        assert_eq!(output.scores.len(), 37);
+    }
+
+    #[test]
+    fn explanations_are_rendered() {
+        let config =
+            Config { input: "unused".into(), min_pts: (5, 10), explain: 2, ..Config::default() };
+        let output = run(&config, &toy_dataset()).unwrap();
+        assert_eq!(output.explanations.len(), 2);
+        assert!(output.explanations[0].contains("object 36"));
+    }
+
+    #[test]
+    fn run_validates_dataset_size() {
+        let config = Config { input: "unused".into(), min_pts: (10, 50), ..Config::default() };
+        let tiny = Dataset::from_rows(&[[0.0], [1.0]]).unwrap();
+        assert!(run(&config, &tiny).is_err());
+    }
+
+    #[test]
+    fn table_cache_roundtrips() {
+        let path = std::env::temp_dir().join("lof_cli_table_cache.lofm");
+        let _ = std::fs::remove_file(&path);
+        let config = Config {
+            input: "unused".into(),
+            min_pts: (5, 10),
+            table: Some(path.to_string_lossy().into_owned()),
+            ..Config::default()
+        };
+        let data = toy_dataset();
+        // First run builds and saves...
+        let first = run(&config, &data).unwrap();
+        assert!(path.exists(), "cache file must be written");
+        // ...second run loads and must agree exactly.
+        let second = run(&config, &data).unwrap();
+        assert_eq!(first.scores, second.scores);
+        // A mismatched dataset is rejected, not silently mis-scored.
+        let other = Dataset::from_rows(&[[0.0, 0.0]; 30]).unwrap();
+        assert!(run(&config, &other).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn report_renders_alignment() {
+        let text = render_report(&[(3, 2.5), (11, 1.25)]);
+        assert!(text.contains("row"));
+        assert!(text.contains("2.5000"));
+        assert_eq!(text.lines().count(), 3);
+    }
+}

@@ -1,0 +1,63 @@
+//! The `lof` command-line tool. See [`lof_cli::usage`] or run `lof --help`.
+
+use lof_cli::{parse_args, render_report, run, usage};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("error: {message}\n");
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let data = match lof_data::csv::load_dataset(&config.input) {
+        Ok(data) => data,
+        Err(e) => {
+            eprintln!("error: cannot read '{}': {e}", config.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loaded {} rows x {} columns from {}",
+        data.len(),
+        data.dims(),
+        config.input
+    );
+
+    let output = match run(&config, &data) {
+        Ok(output) => output,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{}", render_report(&output.report));
+    for explanation in &output.explanations {
+        println!("\n{explanation}");
+    }
+
+    if let Some(path) = &config.output {
+        let rows: Vec<Vec<f64>> = output
+            .scores
+            .iter()
+            .enumerate()
+            .map(|(id, &s)| vec![id as f64, s])
+            .collect();
+        if let Err(e) = lof_data::csv::write_table(path, &["id", "lof"], &rows) {
+            eprintln!("error: cannot write '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {} scores to {path}", rows.len());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,49 @@
+//! End-to-end: the CLI pipeline over the bundled demo datasets reproduces
+//! the documented outcomes.
+
+use lof_cli::{run, Config, IndexChoice};
+use std::path::PathBuf;
+
+fn dataset_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../datasets").join(name)
+}
+
+#[test]
+fn ds1_outliers_top_the_report() {
+    let data = lof_data::csv::load_dataset(dataset_path("ds1.csv")).expect("bundled csv");
+    assert_eq!(data.len(), 502);
+    let config = Config {
+        input: "unused".into(),
+        min_pts: (10, 30),
+        top: Some(2),
+        threads: 4,
+        ..Config::default()
+    };
+    let output = run(&config, &data).expect("valid run");
+    let ids: Vec<usize> = output.report.iter().map(|&(id, _)| id).collect();
+    assert_eq!(ids, vec![500, 501], "o1 and o2 must lead the ranking");
+    assert!(output.report[0].1 > 3.0);
+}
+
+#[test]
+fn fig9_planted_rows_dominate_threshold_report() {
+    let data = lof_data::csv::load_dataset(dataset_path("fig9.csv")).expect("bundled csv");
+    assert_eq!(data.len(), 1707);
+    let config = Config {
+        input: "unused".into(),
+        min_pts: (40, 40),
+        threshold: Some(1.5),
+        index: IndexChoice::KdTree,
+        threads: 4,
+        ..Config::default()
+    };
+    let output = run(&config, &data).expect("valid run");
+    let flagged: Vec<usize> = output.report.iter().map(|&(id, _)| id).collect();
+    for planted in 1700..1707 {
+        assert!(flagged.contains(&planted), "planted row {planted} missing");
+    }
+    // The planted rows occupy the very top of the report.
+    let top7: Vec<usize> = flagged.iter().copied().take(7).collect();
+    let planted_in_top = top7.iter().filter(|id| (1700..1707).contains(*id)).count();
+    assert!(planted_in_top >= 6, "top-7: {top7:?}");
+}

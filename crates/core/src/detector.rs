@@ -1,0 +1,264 @@
+//! High-level detector API: configure once, run the full two-step pipeline.
+//!
+//! ```
+//! use lof_core::{Dataset, LofDetector};
+//!
+//! let mut rows: Vec<[f64; 2]> = Vec::new();
+//! for i in 0..12 {
+//!     for j in 0..12 {
+//!         rows.push([i as f64, j as f64]);
+//!     }
+//! }
+//! rows.push([60.0, 60.0]); // an obvious outlier
+//! let data = Dataset::from_rows(&rows).unwrap();
+//!
+//! let result = LofDetector::with_range(10, 20)
+//!     .unwrap()
+//!     .detect(&data)
+//!     .unwrap();
+//! assert_eq!(result.ranking()[0].0, 144);
+//! assert!(result.score(144).unwrap() > 2.0);
+//! ```
+
+use crate::distance::{Euclidean, Metric};
+use crate::error::Result;
+use crate::materialize::NeighborhoodTable;
+use crate::neighbors::KnnProvider;
+use crate::parallel::{build_table_parallel, lof_range_parallel};
+use crate::point::Dataset;
+use crate::range::{lof_range, Aggregate, LofRangeResult, MinPtsRange};
+use crate::scan::LinearScan;
+
+/// A configured LOF pipeline: metric, `MinPts` range, aggregate, and an
+/// optional thread count.
+#[derive(Debug, Clone)]
+pub struct LofDetector<M: Metric = Euclidean> {
+    metric: M,
+    range: MinPtsRange,
+    aggregate: Aggregate,
+    threads: usize,
+}
+
+impl LofDetector<Euclidean> {
+    /// A detector for a single `MinPts`, Euclidean metric, max aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LofError::InvalidMinPts`] for `min_pts == 0`.
+    pub fn with_min_pts(min_pts: usize) -> Result<Self> {
+        Ok(LofDetector {
+            metric: Euclidean,
+            range: MinPtsRange::single(min_pts)?,
+            aggregate: Aggregate::Max,
+            threads: 1,
+        })
+    }
+
+    /// A detector over the `MinPts` range `[lb, ub]` (the section 6.2
+    /// heuristic), Euclidean metric, max aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LofError::InvalidRange`] when `lb > ub`.
+    pub fn with_range(lb: usize, ub: usize) -> Result<Self> {
+        Ok(LofDetector {
+            metric: Euclidean,
+            range: MinPtsRange::new(lb, ub)?,
+            aggregate: Aggregate::Max,
+            threads: 1,
+        })
+    }
+}
+
+impl<M: Metric> LofDetector<M> {
+    /// Replaces the distance metric.
+    pub fn metric<M2: Metric>(self, metric: M2) -> LofDetector<M2> {
+        LofDetector { metric, range: self.range, aggregate: self.aggregate, threads: self.threads }
+    }
+
+    /// Replaces the score aggregate (default: [`Aggregate::Max`], the
+    /// paper's ranking heuristic).
+    pub fn aggregate(mut self, aggregate: Aggregate) -> Self {
+        self.aggregate = aggregate;
+        self
+    }
+
+    /// Uses `threads` worker threads for both pipeline steps (default 1 =
+    /// serial; results are identical either way).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured `MinPts` range.
+    pub fn range(&self) -> MinPtsRange {
+        self.range
+    }
+
+    /// Runs the pipeline over any k-NN provider (typically an index from
+    /// `lof-index`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates provider validation errors.
+    pub fn detect_with<P: KnnProvider + Sync + ?Sized>(&self, provider: &P) -> Result<OutlierResult> {
+        let table = if self.threads > 1 {
+            build_table_parallel(provider, self.range.ub(), self.threads)?
+        } else {
+            NeighborhoodTable::build(provider, self.range.ub())?
+        };
+        self.detect_from_table(&table)
+    }
+
+    /// Runs step 2 only, over an already-materialized table (must have
+    /// `max_k >= range.ub()`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LofError::TableTooShallow`] when the table is too
+    /// shallow for the configured range.
+    pub fn detect_from_table(&self, table: &NeighborhoodTable) -> Result<OutlierResult> {
+        let range_result = if self.threads > 1 {
+            lof_range_parallel(table, self.range, self.threads)?
+        } else {
+            lof_range(table, self.range)?
+        };
+        Ok(OutlierResult { range_result, aggregate: self.aggregate })
+    }
+}
+
+impl<M: Metric + Clone> LofDetector<M> {
+    /// Runs the pipeline over `data` with a brute-force scan. For large
+    /// datasets, build a spatial index from `lof-index` and call
+    /// [`LofDetector::detect_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset/parameter validation errors.
+    pub fn detect(&self, data: &Dataset) -> Result<OutlierResult> {
+        let scan = LinearScan::new(data, self.metric.clone());
+        self.detect_with(&scan)
+    }
+}
+
+/// The outcome of a detector run: per-object aggregated scores plus the full
+/// per-`MinPts` traces.
+#[derive(Debug, Clone)]
+pub struct OutlierResult {
+    range_result: LofRangeResult,
+    aggregate: Aggregate,
+}
+
+impl OutlierResult {
+    /// Aggregated outlier score of one object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LofError::UnknownObject`] for out-of-range ids.
+    pub fn score(&self, id: usize) -> Result<f64> {
+        self.range_result.score(id, self.aggregate)
+    }
+
+    /// Aggregated scores of every object, in object order.
+    pub fn scores(&self) -> Vec<f64> {
+        self.range_result.scores(self.aggregate)
+    }
+
+    /// Objects ranked most-outlying-first.
+    pub fn ranking(&self) -> Vec<(usize, f64)> {
+        self.range_result.ranking(self.aggregate)
+    }
+
+    /// The `top` most outlying objects.
+    pub fn top(&self, top: usize) -> Vec<(usize, f64)> {
+        self.range_result.top_outliers(self.aggregate, top)
+    }
+
+    /// All objects whose aggregated score exceeds `threshold`, ranked. The
+    /// paper's soccer analysis, for example, reports "all the local outliers
+    /// with LOF > 1.5".
+    pub fn outliers_above(&self, threshold: f64) -> Vec<(usize, f64)> {
+        self.ranking().into_iter().take_while(|(_, s)| *s > threshold).collect()
+    }
+
+    /// The underlying per-`MinPts` result for fine-grained inspection.
+    pub fn range_result(&self) -> &LofRangeResult {
+        &self.range_result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Manhattan;
+
+    fn two_density_dataset() -> Dataset {
+        // Reproduces figure 1's structure in miniature: a sparse cluster, a
+        // dense cluster, and two detached points o1 (far from everything)
+        // and o2 (just outside the dense cluster).
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        for i in 0..7 {
+            for j in 0..7 {
+                rows.push([i as f64 * 4.0, j as f64 * 4.0]); // sparse C1
+            }
+        }
+        for i in 0..5 {
+            for j in 0..5 {
+                rows.push([60.0 + i as f64 * 0.3, 60.0 + j as f64 * 0.3]); // dense C2
+            }
+        }
+        rows.push([45.0, 45.0]); // o1-like, id 74
+        rows.push([63.0, 63.0]); // o2-like (near C2), id 75
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn detects_both_local_outliers() {
+        let data = two_density_dataset();
+        let result = LofDetector::with_range(5, 10).unwrap().detect(&data).unwrap();
+        let ranking = result.ranking();
+        let top2: Vec<usize> = ranking.iter().take(2).map(|(id, _)| *id).collect();
+        assert!(top2.contains(&74), "o1 missing from top 2: {top2:?}");
+        assert!(top2.contains(&75), "o2 missing from top 2: {top2:?}");
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let data = two_density_dataset();
+        let serial = LofDetector::with_range(4, 8).unwrap().detect(&data).unwrap();
+        let parallel =
+            LofDetector::with_range(4, 8).unwrap().threads(4).detect(&data).unwrap();
+        assert_eq!(serial.scores(), parallel.scores());
+    }
+
+    #[test]
+    fn metric_swap_works() {
+        let data = two_density_dataset();
+        let result =
+            LofDetector::with_range(5, 8).unwrap().metric(Manhattan).detect(&data).unwrap();
+        assert!(result.score(74).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn outliers_above_threshold() {
+        let data = two_density_dataset();
+        let result = LofDetector::with_range(5, 10).unwrap().detect(&data).unwrap();
+        let flagged = result.outliers_above(1.5);
+        assert!(!flagged.is_empty());
+        for (_, s) in &flagged {
+            assert!(*s > 1.5);
+        }
+        let all = result.outliers_above(f64::NEG_INFINITY);
+        assert_eq!(all.len(), data.len());
+    }
+
+    #[test]
+    fn detect_from_table_reuses_materialization() {
+        let data = two_density_dataset();
+        let scan = LinearScan::new(&data, Euclidean);
+        let table = NeighborhoodTable::build(&scan, 10).unwrap();
+        let a = LofDetector::with_range(5, 10).unwrap().detect_from_table(&table).unwrap();
+        let b = LofDetector::with_range(5, 10).unwrap().detect(&data).unwrap();
+        assert_eq!(a.scores(), b.scores());
+    }
+}

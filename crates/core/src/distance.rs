@@ -1,0 +1,347 @@
+//! Distance metrics.
+//!
+//! The paper only requires a distance function `d(p, q)`; the usual choice
+//! (and the one used in its experiments) is Euclidean distance. We provide
+//! the Minkowski family plus hooks the spatial indexes need: the minimum
+//! distance from a point to an axis-aligned rectangle (for tree/grid pruning)
+//! and a statement of whether the metric satisfies the triangle inequality
+//! (for metric-tree pruning).
+
+use std::fmt::Debug;
+
+/// A distance function over coordinate vectors.
+///
+/// Implementations must be symmetric, non-negative and return `0` for
+/// identical inputs. [`Metric::min_dist_to_rect`] must be a lower bound on
+/// the distance from `q` to any point inside the rectangle `[lo, hi]` — the
+/// spatial indexes rely on it for pruning, so a too-large value produces
+/// wrong query results (a too-small value only costs performance).
+pub trait Metric: Send + Sync + Debug {
+    /// Distance between two points of equal dimensionality.
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// Lower bound on `distance(q, x)` over all `x` with `lo <= x <= hi`
+    /// component-wise. The default clamps `q` into the rectangle, which is
+    /// exact for every Minkowski metric.
+    fn min_dist_to_rect(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+        debug_assert_eq!(q.len(), lo.len());
+        debug_assert_eq!(q.len(), hi.len());
+        let mut clamped = Vec::with_capacity(q.len());
+        for d in 0..q.len() {
+            clamped.push(q[d].clamp(lo[d], hi[d]));
+        }
+        self.distance(q, &clamped)
+    }
+
+    /// Whether the metric satisfies the triangle inequality. Metric trees
+    /// (ball trees) may only be used with metrics for which this holds.
+    fn is_metric(&self) -> bool {
+        true
+    }
+}
+
+/// Euclidean (L2) distance — the metric used in all of the paper's
+/// experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        squared_euclidean(a, b).sqrt()
+    }
+
+    fn min_dist_to_rect(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for d in 0..q.len() {
+            let delta = rect_gap(q[d], lo[d], hi[d]);
+            acc += delta * delta;
+        }
+        acc.sqrt()
+    }
+}
+
+/// Squared Euclidean distance. *Not* a metric (triangle inequality fails),
+/// but monotone in Euclidean distance, so k-NN *sets* agree with
+/// [`Euclidean`]; LOF values computed from it differ because reachability
+/// distances are squared. Useful for distance-heavy experimentation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SquaredEuclidean;
+
+impl Metric for SquaredEuclidean {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        squared_euclidean(a, b)
+    }
+
+    fn min_dist_to_rect(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for d in 0..q.len() {
+            let delta = rect_gap(q[d], lo[d], hi[d]);
+            acc += delta * delta;
+        }
+        acc
+    }
+
+    fn is_metric(&self) -> bool {
+        false
+    }
+}
+
+/// Manhattan (L1) distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Manhattan;
+
+impl Metric for Manhattan {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    fn min_dist_to_rect(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+        (0..q.len()).map(|d| rect_gap(q[d], lo[d], hi[d])).sum()
+    }
+}
+
+/// Chebyshev (L∞) distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Chebyshev;
+
+impl Metric for Chebyshev {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    fn min_dist_to_rect(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+        (0..q.len()).map(|d| rect_gap(q[d], lo[d], hi[d])).fold(0.0, f64::max)
+    }
+}
+
+/// Minkowski (Lp) distance for `p >= 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Minkowski {
+    p: f64,
+}
+
+impl Minkowski {
+    /// Creates an Lp metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 1` (the triangle inequality fails for `p < 1`).
+    pub fn new(p: f64) -> Self {
+        assert!(p >= 1.0, "Minkowski requires p >= 1, got {p}");
+        Minkowski { p }
+    }
+
+    /// The order `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Metric for Minkowski {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let sum: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs().powf(self.p)).sum();
+        sum.powf(1.0 / self.p)
+    }
+
+    fn min_dist_to_rect(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+        let sum: f64 = (0..q.len()).map(|d| rect_gap(q[d], lo[d], hi[d]).powf(self.p)).sum();
+        sum.powf(1.0 / self.p)
+    }
+}
+
+/// Angular distance: the angle (in radians) between two vectors seen from
+/// the origin. Unlike "cosine distance" (`1 − cos`), the angle itself
+/// satisfies the triangle inequality, so it is a proper metric (on nonzero
+/// vectors) and works with [`crate::scan::LinearScan`] and metric trees.
+/// Natural for direction-like data such as the normalized color histograms
+/// of the paper's 64-dimensional experiment.
+///
+/// Zero vectors are assigned angle 0 to the origin direction of the other
+/// vector (two zero vectors are at distance 0).
+///
+/// `min_dist_to_rect` returns 0: the generic clamp bound is *not* a valid
+/// lower bound for angles, so rectangle-based indexes (grid/kd-tree/X-tree/
+/// VA-file) degrade to correct-but-unpruned scans under this metric — use
+/// the ball tree, which only needs the triangle inequality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Angular;
+
+impl Metric for Angular {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut dot = 0.0;
+        let mut na = 0.0;
+        let mut nb = 0.0;
+        for (x, y) in a.iter().zip(b) {
+            dot += x * y;
+            na += x * x;
+            nb += y * y;
+        }
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0).acos()
+    }
+
+    fn min_dist_to_rect(&self, _q: &[f64], _lo: &[f64], _hi: &[f64]) -> f64 {
+        0.0 // no valid cheap bound; disables (never corrupts) pruning
+    }
+}
+
+#[inline]
+fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let delta = x - y;
+        acc += delta * delta;
+    }
+    acc
+}
+
+/// Per-dimension distance from coordinate `q` to the interval `[lo, hi]`.
+#[inline]
+fn rect_gap(q: f64, lo: f64, hi: f64) -> f64 {
+    if q < lo {
+        lo - q
+    } else if q > hi {
+        q - hi
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 3] = [1.0, 2.0, 3.0];
+    const B: [f64; 3] = [4.0, 6.0, 3.0];
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        assert!((Euclidean.distance(&A, &B) - 5.0).abs() < 1e-12);
+        assert_eq!(Euclidean.distance(&A, &A), 0.0);
+    }
+
+    #[test]
+    fn squared_euclidean_is_square_of_euclidean() {
+        let d = Euclidean.distance(&A, &B);
+        let d2 = SquaredEuclidean.distance(&A, &B);
+        assert!((d * d - d2).abs() < 1e-12);
+        assert!(!SquaredEuclidean.is_metric());
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev() {
+        assert!((Manhattan.distance(&A, &B) - 7.0).abs() < 1e-12);
+        assert!((Chebyshev.distance(&A, &B) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minkowski_interpolates_l1_l2() {
+        let l1 = Minkowski::new(1.0);
+        let l2 = Minkowski::new(2.0);
+        assert!((l1.distance(&A, &B) - Manhattan.distance(&A, &B)).abs() < 1e-12);
+        assert!((l2.distance(&A, &B) - Euclidean.distance(&A, &B)).abs() < 1e-12);
+        // As p grows, Lp approaches Chebyshev from above.
+        let l16 = Minkowski::new(16.0);
+        let linf = Chebyshev.distance(&A, &B);
+        assert!(l16.distance(&A, &B) >= linf);
+        assert!(l16.distance(&A, &B) < linf + 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "p >= 1")]
+    fn minkowski_rejects_sub_one_p() {
+        let _ = Minkowski::new(0.5);
+    }
+
+    #[test]
+    fn min_dist_to_rect_is_zero_inside() {
+        let lo = [0.0, 0.0];
+        let hi = [1.0, 1.0];
+        let inside = [0.5, 0.25];
+        assert_eq!(Euclidean.min_dist_to_rect(&inside, &lo, &hi), 0.0);
+        assert_eq!(Manhattan.min_dist_to_rect(&inside, &lo, &hi), 0.0);
+        assert_eq!(Chebyshev.min_dist_to_rect(&inside, &lo, &hi), 0.0);
+    }
+
+    #[test]
+    fn min_dist_to_rect_matches_nearest_corner() {
+        let lo = [0.0, 0.0];
+        let hi = [1.0, 1.0];
+        let q = [2.0, 2.0]; // nearest rect point is (1, 1)
+        assert!((Euclidean.min_dist_to_rect(&q, &lo, &hi) - 2f64.sqrt()).abs() < 1e-12);
+        assert!((Manhattan.min_dist_to_rect(&q, &lo, &hi) - 2.0).abs() < 1e-12);
+        assert!((Chebyshev.min_dist_to_rect(&q, &lo, &hi) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angular_basics() {
+        let x = [1.0, 0.0];
+        let y = [0.0, 1.0];
+        let diag = [1.0, 1.0];
+        let neg = [-1.0, 0.0];
+        assert!((Angular.distance(&x, &y) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((Angular.distance(&x, &diag) - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        assert!((Angular.distance(&x, &neg) - std::f64::consts::PI).abs() < 1e-12);
+        assert_eq!(Angular.distance(&x, &x), 0.0);
+        // Scale invariance: angles ignore magnitude.
+        assert!((Angular.distance(&[2.0, 2.0], &x) - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        // Zero vectors are benign.
+        assert_eq!(Angular.distance(&[0.0, 0.0], &x), 0.0);
+        // Pruning bound is disabled, not wrong.
+        assert_eq!(Angular.min_dist_to_rect(&x, &[5.0, 5.0], &[6.0, 6.0]), 0.0);
+        assert!(Angular.is_metric());
+    }
+
+    #[test]
+    fn angular_triangle_inequality_spot_checks() {
+        let vs = [
+            vec![1.0, 0.0, 0.0],
+            vec![0.5, 0.5, 0.0],
+            vec![0.1, 0.9, 0.3],
+            vec![-0.4, 0.2, 0.8],
+            vec![0.3, 0.3, 0.3],
+        ];
+        for a in &vs {
+            for b in &vs {
+                for c in &vs {
+                    let ab = Angular.distance(a, b);
+                    let bc = Angular.distance(b, c);
+                    let ac = Angular.distance(a, c);
+                    assert!(ac <= ab + bc + 1e-12, "triangle violated: {ac} > {ab} + {bc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_rect_bound_agrees_with_specialized() {
+        // The Minkowski override and the trait default (clamp + distance)
+        // must agree: both compute the distance to the clamped point.
+        #[derive(Debug)]
+        struct DefaultMink(f64);
+        impl Metric for DefaultMink {
+            fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+                Minkowski::new(self.0).distance(a, b)
+            }
+        }
+        let lo = [0.0, -1.0, 2.0];
+        let hi = [1.0, 1.0, 5.0];
+        let q = [3.0, 0.0, 1.0];
+        for p in [1.0, 2.0, 3.0] {
+            let specialized = Minkowski::new(p).min_dist_to_rect(&q, &lo, &hi);
+            let default = DefaultMink(p).min_dist_to_rect(&q, &lo, &hi);
+            assert!((specialized - default).abs() < 1e-12, "p = {p}");
+        }
+    }
+}

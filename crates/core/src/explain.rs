@@ -1,0 +1,265 @@
+//! Explaining *why* an object is outlying — the paper's first direction of
+//! ongoing work: "how to describe or explain why the identified local
+//! outliers are exceptional. This is particularly important for
+//! high-dimensional datasets, because a local outlier may be outlying only
+//! on some, but not on all, dimensions."
+//!
+//! [`explain`] assembles, for one object and one `MinPts`:
+//!
+//! * its LOF, local reachability density, and neighborhood;
+//! * the section 5.2 direct/indirect statistics and the Theorem 1 bounds
+//!   (which localize *how much* outlier-ness the neighborhood geometry can
+//!   produce);
+//! * per-dimension deviation scores — how far the object sits from its own
+//!   neighborhood, dimension by dimension, in neighborhood-σ units — which
+//!   answer the "outlying on which dimensions?" question.
+
+use crate::bounds::{neighborhood_stats_with, theorem1_bounds, LofBounds, NeighborhoodStats};
+use crate::error::Result;
+use crate::lof::lrd_ratio;
+use crate::lrd::local_reachability_densities_with;
+use crate::materialize::NeighborhoodTable;
+use crate::neighbors::Neighbor;
+use crate::point::Dataset;
+
+/// A full per-object account of one LOF value.
+#[derive(Debug, Clone)]
+pub struct OutlierExplanation {
+    /// The explained object.
+    pub id: usize,
+    /// The `MinPts` the explanation is for.
+    pub min_pts: usize,
+    /// `LOF_MinPts(id)`.
+    pub lof: f64,
+    /// `lrd_MinPts(id)`.
+    pub lrd: f64,
+    /// Mean lrd of the `MinPts`-nearest neighbors (the numerator of
+    /// definition 7, before dividing by `lrd`).
+    pub mean_neighbor_lrd: f64,
+    /// The tie-inclusive neighborhood (sorted by distance).
+    pub neighborhood: Vec<Neighbor>,
+    /// Direct/indirect reachability extremes (§5.2).
+    pub stats: NeighborhoodStats,
+    /// The Theorem 1 bounds implied by `stats`; tight bounds mean the
+    /// neighborhood lies in a single cluster (§5.3), loose bounds mean it
+    /// straddles clusters of different density (§5.4).
+    pub bounds: LofBounds,
+    /// Per-dimension deviation of the object from its neighborhood: the
+    /// object's distance from the neighborhood mean in that dimension,
+    /// divided by the neighborhood's standard deviation there (degenerate
+    /// dimensions score 0). Large entries mark the dimensions the object is
+    /// outlying *on*.
+    pub dimension_scores: Vec<f64>,
+}
+
+impl OutlierExplanation {
+    /// Dimensions ordered by decreasing contribution, as
+    /// `(dimension, score)` pairs.
+    pub fn dominant_dimensions(&self) -> Vec<(usize, f64)> {
+        let mut ranked: Vec<(usize, f64)> =
+            self.dimension_scores.iter().copied().enumerate().collect();
+        ranked.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked
+    }
+
+    /// Whether the Theorem 1 bounds are tight (within `rel_tol`
+    /// relative spread) — the §5.3 signal that the whole neighborhood sits
+    /// in one cluster.
+    pub fn bounds_are_tight(&self, rel_tol: f64) -> bool {
+        let mid = 0.5 * (self.bounds.lower + self.bounds.upper);
+        mid > 0.0 && self.bounds.spread() / mid <= rel_tol
+    }
+
+    /// A compact human-readable report.
+    pub fn render(&self, data: &Dataset) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "object {} @ MinPts {}: LOF = {:.3} (bounds [{:.3}, {:.3}])",
+            self.id, self.min_pts, self.lof, self.bounds.lower, self.bounds.upper
+        );
+        let _ = writeln!(
+            out,
+            "  lrd = {:.4}, neighbors' mean lrd = {:.4} ({}x denser)",
+            self.lrd,
+            self.mean_neighbor_lrd,
+            if self.lrd > 0.0 { format!("{:.2}", self.mean_neighbor_lrd / self.lrd) } else { "inf".to_owned() },
+        );
+        let _ = writeln!(
+            out,
+            "  neighborhood: {} objects, distances {:.3}..{:.3}",
+            self.neighborhood.len(),
+            self.neighborhood.first().map_or(0.0, |n| n.dist),
+            self.neighborhood.last().map_or(0.0, |n| n.dist),
+        );
+        let dominant: Vec<String> = self
+            .dominant_dimensions()
+            .into_iter()
+            .take(3)
+            .map(|(d, s)| format!("x{d} ({s:.1}sigma)"))
+            .collect();
+        let _ = writeln!(out, "  most outlying dimensions: {}", dominant.join(", "));
+        if let Some(p) = data.get(self.id) {
+            let _ = writeln!(out, "  coordinates: {p:?}");
+        }
+        out
+    }
+}
+
+/// Builds an [`OutlierExplanation`] for one object.
+///
+/// # Errors
+///
+/// Propagates table/dataset validation errors.
+pub fn explain(
+    data: &Dataset,
+    table: &NeighborhoodTable,
+    min_pts: usize,
+    id: usize,
+) -> Result<OutlierExplanation> {
+    data.check_id(id)?;
+    let k_distances = table.k_distances(min_pts)?;
+    let lrds = local_reachability_densities_with(table, min_pts, &k_distances)?;
+    let neighborhood = table.neighborhood(id, min_pts)?.to_vec();
+
+    let mut ratio_sum = 0.0;
+    let mut lrd_sum = 0.0;
+    for nb in &neighborhood {
+        ratio_sum += lrd_ratio(lrds[nb.id], lrds[id]);
+        lrd_sum += lrds[nb.id];
+    }
+    let card = neighborhood.len() as f64;
+    let lof = ratio_sum / card;
+    let mean_neighbor_lrd = lrd_sum / card;
+
+    let stats = neighborhood_stats_with(table, min_pts, id, &k_distances)?;
+    let bounds = theorem1_bounds(&stats);
+
+    // Per-dimension deviation from the neighborhood distribution.
+    let dims = data.dims();
+    let mut mean = vec![0.0; dims];
+    for nb in &neighborhood {
+        let p = data.point(nb.id);
+        for d in 0..dims {
+            mean[d] += p[d];
+        }
+    }
+    for m in &mut mean {
+        *m /= card;
+    }
+    let mut var = vec![0.0; dims];
+    for nb in &neighborhood {
+        let p = data.point(nb.id);
+        for d in 0..dims {
+            let delta = p[d] - mean[d];
+            var[d] += delta * delta;
+        }
+    }
+    let p = data.point(id);
+    let dimension_scores = (0..dims)
+        .map(|d| {
+            let std = (var[d] / card).sqrt();
+            if std > 0.0 {
+                (p[d] - mean[d]).abs() / std
+            } else if p[d] == mean[d] {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        })
+        .collect();
+
+    Ok(OutlierExplanation {
+        id,
+        min_pts,
+        lof,
+        lrd: lrds[id],
+        mean_neighbor_lrd,
+        neighborhood,
+        stats,
+        bounds,
+        dimension_scores,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Euclidean;
+    use crate::lof::lof_values;
+    use crate::scan::LinearScan;
+
+    /// Grid cluster plus an outlier displaced only along the y axis.
+    fn fixture() -> (Dataset, NeighborhoodTable) {
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                rows.push([i as f64, j as f64]);
+            }
+        }
+        rows.push([4.0, 30.0]); // outlying on y only, id 64
+        let data = Dataset::from_rows(&rows).unwrap();
+        let table = {
+            let scan = LinearScan::new(&data, Euclidean);
+            NeighborhoodTable::build(&scan, 8).unwrap()
+        };
+        (data, table)
+    }
+
+    #[test]
+    fn explanation_lof_matches_pipeline_lof() {
+        let (data, table) = fixture();
+        let lof = lof_values(&table, 6).unwrap();
+        for id in [0usize, 27, 64] {
+            let ex = explain(&data, &table, 6, id).unwrap();
+            assert!((ex.lof - lof[id]).abs() < 1e-12, "id {id}");
+            assert!(ex.bounds.contains(ex.lof));
+        }
+    }
+
+    #[test]
+    fn dominant_dimension_is_the_displaced_one() {
+        let (data, table) = fixture();
+        let ex = explain(&data, &table, 6, 64).unwrap();
+        let dominant = ex.dominant_dimensions();
+        assert_eq!(dominant[0].0, 1, "y axis must dominate: {dominant:?}");
+        assert!(dominant[0].1 > 2.0 * dominant[1].1.max(1e-9));
+    }
+
+    #[test]
+    fn interior_object_is_explained_as_inlier() {
+        let (data, table) = fixture();
+        let ex = explain(&data, &table, 6, 27).unwrap();
+        assert!((ex.lof - 1.0).abs() < 0.15);
+        assert!(ex.bounds_are_tight(0.8), "single-cluster neighborhood: {:?}", ex.bounds);
+        assert!(ex.dimension_scores.iter().all(|&s| s < 3.0));
+    }
+
+    #[test]
+    fn render_mentions_the_key_numbers() {
+        let (data, table) = fixture();
+        let ex = explain(&data, &table, 6, 64).unwrap();
+        let text = ex.render(&data);
+        assert!(text.contains("object 64"));
+        assert!(text.contains("LOF"));
+        assert!(text.contains("x1"));
+    }
+
+    #[test]
+    fn validates_ids() {
+        let (data, table) = fixture();
+        assert!(explain(&data, &table, 6, 400).is_err());
+        assert!(explain(&data, &table, 40, 0).is_err());
+    }
+
+    #[test]
+    fn degenerate_dimension_scores_zero_when_equal() {
+        let rows: Vec<[f64; 2]> = (0..12).map(|i| [i as f64, 7.0]).collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let scan = LinearScan::new(&data, Euclidean);
+        let table = NeighborhoodTable::build(&scan, 4).unwrap();
+        let ex = explain(&data, &table, 4, 5).unwrap();
+        assert_eq!(ex.dimension_scores[1], 0.0);
+    }
+}

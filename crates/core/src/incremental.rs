@@ -1,0 +1,568 @@
+//! Incremental LOF maintenance under insertions — the paper's second
+//! ongoing-work direction ("to further improve the performance of LOF
+//! computation") realized as a data structure: instead of recomputing the
+//! whole pipeline when an object arrives, only the objects whose
+//! k-distance, lrd or LOF can actually change are updated.
+//!
+//! The update cascade follows the dependency structure of definitions 3–7
+//! (the same analysis later formalized by Pokrajac et al., *Incremental
+//! Local Outlier Detection for Data Streams*, CIDA 2007):
+//!
+//! 1. the new object `q` enters the neighborhood of exactly the objects
+//!    `p` with `d(p, q) <= k-distance(p)` (its reverse k-NN) — set **A**;
+//!    their neighbor lists and k-distances change;
+//! 2. `lrd` must be recomputed for `q`, for every member of **A**, and for
+//!    every object whose neighborhood intersects **A** (their reachability
+//!    distances toward **A** changed) — set **B**;
+//! 3. `LOF` must be recomputed for every member of **B** and every object
+//!    whose neighborhood intersects **B** — set **C**.
+//!
+//! Everything outside **C** is untouched, which property tests verify by
+//! comparing against a full batch recomputation after every insert.
+//!
+//! This reference implementation finds reverse neighbors by a linear scan
+//! (`O(n)` per insert, versus `O(n · k)` for a batch recompute); swapping
+//! in a dynamic spatial index would make the scan logarithmic without
+//! changing the cascade.
+
+use crate::distance::Metric;
+use crate::error::{LofError, Result};
+use crate::lof::lrd_ratio;
+use crate::lrd::reach_dist;
+use crate::neighbors::{
+    cmp_neighbors, select_k_tie_inclusive, tie_inclusive_len, Neighbor,
+};
+use crate::point::Dataset;
+
+/// Summary of one insertion's update cascade (for diagnostics and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Objects whose neighborhood absorbed the new point (set A).
+    pub neighborhoods_updated: usize,
+    /// Objects whose lrd was recomputed (set B, including the new point).
+    pub lrds_recomputed: usize,
+    /// Objects whose LOF was recomputed (set C).
+    pub lofs_recomputed: usize,
+}
+
+/// A LOF model over a mutable dataset: maintains per-object neighborhoods,
+/// local reachability densities and LOF values for one fixed `MinPts` under
+/// point insertions and removals.
+///
+/// ```
+/// use lof_core::{Dataset, Euclidean};
+/// use lof_core::incremental::IncrementalLof;
+///
+/// let rows: Vec<[f64; 1]> = (0..20).map(|i| [i as f64 * 0.1]).collect();
+/// let seed = Dataset::from_rows(&rows).unwrap();
+/// let mut model = IncrementalLof::new(seed, Euclidean, 3).unwrap();
+///
+/// let (id, score, stats) = model.insert(&[10.0]).unwrap();
+/// assert!(score > 3.0, "isolated insert is immediately outlying");
+/// assert!(stats.lofs_recomputed < 20, "the cascade stays local");
+///
+/// model.remove(id).unwrap();
+/// assert_eq!(model.len(), 20);
+/// ```
+#[derive(Debug)]
+pub struct IncrementalLof<M: Metric> {
+    metric: M,
+    min_pts: usize,
+    data: Dataset,
+    /// Tie-inclusive `MinPts`-neighborhood per object (sorted).
+    neighborhoods: Vec<Vec<Neighbor>>,
+    lrd: Vec<f64>,
+    lof: Vec<f64>,
+}
+
+impl<M: Metric> IncrementalLof<M> {
+    /// Creates a model seeded with `data` (must hold more than `min_pts`
+    /// objects so every neighborhood is well defined).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::InvalidMinPts`] when `min_pts == 0` or
+    /// `min_pts >= data.len()`, [`LofError::EmptyDataset`] on empty input.
+    pub fn new(data: Dataset, metric: M, min_pts: usize) -> Result<Self> {
+        if data.is_empty() {
+            return Err(LofError::EmptyDataset);
+        }
+        if min_pts == 0 || min_pts >= data.len() {
+            return Err(LofError::InvalidMinPts { min_pts, dataset_size: data.len() });
+        }
+        let mut model = IncrementalLof {
+            metric,
+            min_pts,
+            data,
+            neighborhoods: Vec::new(),
+            lrd: Vec::new(),
+            lof: Vec::new(),
+        };
+        model.rebuild_all();
+        Ok(model)
+    }
+
+    /// Number of objects currently in the model.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the model holds no objects (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The `MinPts` the model maintains.
+    pub fn min_pts(&self) -> usize {
+        self.min_pts
+    }
+
+    /// The current dataset (insertion order = object ids).
+    pub fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Current LOF of an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::UnknownObject`] for out-of-range ids.
+    pub fn lof(&self, id: usize) -> Result<f64> {
+        self.data.check_id(id)?;
+        Ok(self.lof[id])
+    }
+
+    /// Current LOF values of all objects, in id order.
+    pub fn lof_values(&self) -> &[f64] {
+        &self.lof
+    }
+
+    /// Current local reachability densities, in id order.
+    pub fn lrd_values(&self) -> &[f64] {
+        &self.lrd
+    }
+
+    /// Inserts a point, updates the affected objects, and returns the new
+    /// object's id, its LOF, and cascade statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::DimensionMismatch`] /
+    /// [`LofError::NonFiniteCoordinate`] for invalid points.
+    pub fn insert(&mut self, point: &[f64]) -> Result<(usize, f64, UpdateStats)> {
+        let q = self.data.len();
+        self.data.push(point)?;
+
+        // q's own neighborhood among the pre-existing objects.
+        let mut candidates = Vec::with_capacity(q);
+        for id in 0..q {
+            candidates.push(Neighbor::new(id, self.metric.distance(point, self.data.point(id))));
+        }
+        let q_neighborhood = select_k_tie_inclusive(candidates, self.min_pts);
+        self.neighborhoods.push(q_neighborhood);
+        self.lrd.push(0.0);
+        self.lof.push(0.0);
+
+        // Set A: reverse neighbors — q falls within their k-distance (ties
+        // included: equal distance joins the neighborhood).
+        let mut set_a = Vec::new();
+        for p in 0..q {
+            let kdist = self.k_distance(p);
+            let d = self.metric.distance(self.data.point(p), point);
+            if d <= kdist {
+                self.absorb(p, Neighbor::new(q, d));
+                set_a.push(p);
+            }
+        }
+
+        // Set B: lrd recomputation — q, A, and everyone whose neighborhood
+        // intersects A.
+        let mut affected = vec![false; q + 1];
+        affected[q] = true;
+        for &p in &set_a {
+            affected[p] = true;
+        }
+        let mut set_b: Vec<usize> = Vec::new();
+        for o in 0..=q {
+            if affected[o] || self.neighborhoods[o].iter().any(|nb| affected[nb.id]) {
+                set_b.push(o);
+            }
+        }
+        for &o in &set_b {
+            self.lrd[o] = self.compute_lrd(o);
+        }
+
+        // Set C: LOF recomputation — B plus everyone whose neighborhood
+        // intersects B.
+        let mut in_b = vec![false; q + 1];
+        for &o in &set_b {
+            in_b[o] = true;
+        }
+        let mut set_c: Vec<usize> = Vec::new();
+        for o in 0..=q {
+            if in_b[o] || self.neighborhoods[o].iter().any(|nb| in_b[nb.id]) {
+                set_c.push(o);
+            }
+        }
+        for &o in &set_c {
+            self.lof[o] = self.compute_lof(o);
+        }
+
+        let stats = UpdateStats {
+            neighborhoods_updated: set_a.len(),
+            lrds_recomputed: set_b.len(),
+            lofs_recomputed: set_c.len(),
+        };
+        Ok((q, self.lof[q], stats))
+    }
+
+    /// Removes an object, updates the affected objects, and returns cascade
+    /// statistics. Swap-remove semantics: the last object is moved into the
+    /// removed slot, so the previous id `len() - 1` becomes `id`; all other
+    /// ids are stable.
+    ///
+    /// Deletion reverses the insertion cascade: objects that had the
+    /// removed object in their neighborhood lose a member — their
+    /// k-distance can only *grow*, so their neighborhoods are re-searched;
+    /// lrd/LOF recomputation then spreads exactly as for inserts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::UnknownObject`] for out-of-range ids and
+    /// [`LofError::InvalidMinPts`] when removal would leave fewer than
+    /// `min_pts + 1` objects (neighborhoods would become undefined).
+    pub fn remove(&mut self, id: usize) -> Result<UpdateStats> {
+        self.data.check_id(id)?;
+        if self.data.len() <= self.min_pts + 1 {
+            return Err(LofError::InvalidMinPts {
+                min_pts: self.min_pts,
+                dataset_size: self.data.len() - 1,
+            });
+        }
+        let last = self.data.len() - 1;
+
+        // Set A (under old ids): objects whose neighborhood contains the
+        // removed object.
+        let mut set_a: Vec<usize> = (0..self.data.len())
+            .filter(|&p| p != id && self.neighborhoods[p].iter().any(|nb| nb.id == id))
+            .collect();
+
+        // Rebuild the coordinate store with swap-remove semantics: the old
+        // `last` row lands in slot `id`.
+        let mut new_data = Dataset::with_capacity(self.data.dims(), last);
+        for i in 0..last {
+            let source = if i == id { last } else { i };
+            new_data.push(self.data.point(source)).expect("existing rows are valid");
+        }
+        self.data = new_data;
+
+        // Parallel structures follow the same swap-remove.
+        self.neighborhoods.swap_remove(id);
+        self.lrd.swap_remove(id);
+        self.lof.swap_remove(id);
+
+        // Remap stored neighbor ids (`last` -> `id`) everywhere.
+        let remap = |i: usize| if i == last { id } else { i };
+        for list in &mut self.neighborhoods {
+            for nb in list.iter_mut() {
+                nb.id = remap(nb.id);
+            }
+        }
+        for p in &mut set_a {
+            *p = remap(*p);
+        }
+
+        // Re-search the neighborhoods that lost a member (this also purges
+        // their stale reference to the removed object).
+        for &p in &set_a {
+            self.neighborhoods[p] = self.search_neighborhood(p);
+        }
+
+        // Sets B and C exactly as for insertion. The moved object keeps its
+        // neighborhood (only its id changed), so only set A seeds the
+        // cascade.
+        let n = self.data.len();
+        let mut affected = vec![false; n];
+        for &p in &set_a {
+            affected[p] = true;
+        }
+        let mut set_b: Vec<usize> = Vec::new();
+        for o in 0..n {
+            if affected[o] || self.neighborhoods[o].iter().any(|nb| affected[nb.id]) {
+                set_b.push(o);
+            }
+        }
+        for &o in &set_b {
+            self.lrd[o] = self.compute_lrd(o);
+        }
+        let mut in_b = vec![false; n];
+        for &o in &set_b {
+            in_b[o] = true;
+        }
+        let mut set_c: Vec<usize> = Vec::new();
+        for o in 0..n {
+            if in_b[o] || self.neighborhoods[o].iter().any(|nb| in_b[nb.id]) {
+                set_c.push(o);
+            }
+        }
+        for &o in &set_c {
+            self.lof[o] = self.compute_lof(o);
+        }
+
+        Ok(UpdateStats {
+            neighborhoods_updated: set_a.len(),
+            lrds_recomputed: set_b.len(),
+            lofs_recomputed: set_c.len(),
+        })
+    }
+
+    /// Brute-force neighborhood search for one object (deletion path).
+    fn search_neighborhood(&self, p: usize) -> Vec<Neighbor> {
+        let point = self.data.point(p);
+        let mut candidates = Vec::with_capacity(self.data.len() - 1);
+        for (other, x) in self.data.iter() {
+            if other != p {
+                candidates.push(Neighbor::new(other, self.metric.distance(point, x)));
+            }
+        }
+        select_k_tie_inclusive(candidates, self.min_pts)
+    }
+
+    /// `k-distance` of an object from its maintained neighborhood.
+    fn k_distance(&self, id: usize) -> f64 {
+        self.neighborhoods[id].last().expect("non-empty neighborhood").dist
+    }
+
+    /// Inserts `incoming` into `p`'s sorted neighborhood and re-trims it to
+    /// the tie-inclusive `MinPts` boundary. Correct because an insertion
+    /// can only *shrink* the k-distance: no object outside the old list can
+    /// enter.
+    fn absorb(&mut self, p: usize, incoming: Neighbor) {
+        let list = &mut self.neighborhoods[p];
+        let pos = list.partition_point(|nb| cmp_neighbors(nb, &incoming).is_lt());
+        list.insert(pos, incoming);
+        let keep = tie_inclusive_len(list, self.min_pts);
+        list.truncate(keep);
+    }
+
+    fn compute_lrd(&self, p: usize) -> f64 {
+        let neighborhood = &self.neighborhoods[p];
+        let mut sum = 0.0;
+        for nb in neighborhood {
+            sum += reach_dist(self.k_distance(nb.id), nb.dist);
+        }
+        let mean = sum / neighborhood.len() as f64;
+        if mean > 0.0 {
+            1.0 / mean
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn compute_lof(&self, p: usize) -> f64 {
+        let neighborhood = &self.neighborhoods[p];
+        let mut sum = 0.0;
+        for nb in neighborhood {
+            sum += lrd_ratio(self.lrd[nb.id], self.lrd[p]);
+        }
+        sum / neighborhood.len() as f64
+    }
+
+    /// Recomputes everything from scratch (used at construction; tests use
+    /// it as the oracle).
+    fn rebuild_all(&mut self) {
+        let n = self.data.len();
+        self.neighborhoods.clear();
+        for id in 0..n {
+            let mut candidates = Vec::with_capacity(n - 1);
+            let p = self.data.point(id);
+            for (other, x) in self.data.iter() {
+                if other != id {
+                    candidates.push(Neighbor::new(other, self.metric.distance(p, x)));
+                }
+            }
+            self.neighborhoods.push(select_k_tie_inclusive(candidates, self.min_pts));
+        }
+        self.lrd = (0..n).map(|id| self.compute_lrd(id)).collect();
+        self.lof = (0..n).map(|id| self.compute_lof(id)).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Euclidean;
+    use crate::lof::lof as batch_lof;
+
+    fn seed_dataset() -> Dataset {
+        let rows: Vec<[f64; 2]> =
+            (0..30).map(|i| [(i % 6) as f64, (i / 6) as f64]).collect();
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    fn assert_matches_batch(model: &IncrementalLof<Euclidean>) {
+        let expected = batch_lof(model.dataset(), Euclidean, model.min_pts()).unwrap();
+        for (id, (a, b)) in model.lof_values().iter().zip(&expected).enumerate() {
+            let ok = (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite());
+            assert!(ok, "id {id}: incremental {a} vs batch {b}");
+        }
+    }
+
+    #[test]
+    fn construction_matches_batch() {
+        let model = IncrementalLof::new(seed_dataset(), Euclidean, 4).unwrap();
+        assert_matches_batch(&model);
+    }
+
+    #[test]
+    fn inserts_match_batch_recompute() {
+        let mut model = IncrementalLof::new(seed_dataset(), Euclidean, 4).unwrap();
+        let inserts: Vec<[f64; 2]> = vec![
+            [2.5, 2.5],   // interior
+            [20.0, 20.0], // far outlier
+            [6.0, 0.0],   // edge extension
+            [2.5, 2.5],   // duplicate of an earlier insert
+            [19.9, 20.1], // near the outlier: densifies it
+            [0.0, 0.0],   // duplicate of a seed point
+        ];
+        for (step, p) in inserts.iter().enumerate() {
+            let (id, _, _) = model.insert(p).unwrap();
+            assert_eq!(id, 30 + step);
+            assert_matches_batch(&model);
+        }
+    }
+
+    #[test]
+    fn outlier_score_reacts_to_densification() {
+        let mut model = IncrementalLof::new(seed_dataset(), Euclidean, 4).unwrap();
+        let (outlier, score_alone, _) = model.insert(&[30.0, 30.0]).unwrap();
+        assert!(score_alone > 3.0, "isolated insert scores high: {score_alone}");
+        // Surround it with friends: its LOF must fall toward 1.
+        for delta in [[0.4, 0.0], [0.0, 0.4], [-0.4, 0.0], [0.0, -0.4], [0.3, 0.3]] {
+            model.insert(&[30.0 + delta[0], 30.0 + delta[1]]).unwrap();
+        }
+        let rescored = model.lof(outlier).unwrap();
+        assert!(
+            rescored < score_alone / 2.0,
+            "densified region must de-outlier: {score_alone} -> {rescored}"
+        );
+        assert_matches_batch(&model);
+    }
+
+    #[test]
+    fn cascade_is_local_for_far_inserts() {
+        // Two far-apart clusters: inserting into one must not touch the
+        // other cluster's values at all.
+        let mut rows: Vec<[f64; 2]> =
+            (0..25).map(|i| [(i % 5) as f64, (i / 5) as f64]).collect();
+        rows.extend((0..25).map(|i| [500.0 + (i % 5) as f64, (i / 5) as f64]));
+        let data = Dataset::from_rows(&rows).unwrap();
+        let mut model = IncrementalLof::new(data, Euclidean, 4).unwrap();
+        let before: Vec<f64> = model.lof_values()[25..50].to_vec();
+        let (_, _, stats) = model.insert(&[2.5, 2.5]).unwrap();
+        assert!(
+            stats.lofs_recomputed <= 26,
+            "cascade must stay inside the touched cluster: {stats:?}"
+        );
+        assert_eq!(&model.lof_values()[25..50], before.as_slice());
+        assert_matches_batch(&model);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(
+            IncrementalLof::new(Dataset::new(2), Euclidean, 3),
+            Err(LofError::EmptyDataset)
+        ));
+        assert!(IncrementalLof::new(seed_dataset(), Euclidean, 0).is_err());
+        assert!(IncrementalLof::new(seed_dataset(), Euclidean, 30).is_err());
+        let mut model = IncrementalLof::new(seed_dataset(), Euclidean, 3).unwrap();
+        assert!(model.insert(&[1.0]).is_err(), "dimension mismatch");
+        assert!(model.lof(999).is_err());
+    }
+
+    #[test]
+    fn removals_match_batch_recompute() {
+        let mut model = IncrementalLof::new(seed_dataset(), Euclidean, 4).unwrap();
+        // Remove from the middle, the front, and the back, re-validating
+        // against the batch oracle each time.
+        model.remove(14).unwrap();
+        assert_matches_batch(&model);
+        model.remove(0).unwrap();
+        assert_matches_batch(&model);
+        let back = model.len() - 1;
+        model.remove(back).unwrap();
+        assert_matches_batch(&model);
+        model.remove(7).unwrap();
+        assert_matches_batch(&model);
+        assert_eq!(model.len(), 26);
+    }
+
+    #[test]
+    fn remove_uses_swap_remove_semantics() {
+        let mut model = IncrementalLof::new(seed_dataset(), Euclidean, 4).unwrap();
+        let last_point = model.dataset().point(model.len() - 1).to_vec();
+        model.remove(3).unwrap();
+        assert_eq!(model.dataset().point(3), last_point.as_slice());
+        assert_eq!(model.len(), 29);
+    }
+
+    #[test]
+    fn insert_then_remove_roundtrips() {
+        let base = IncrementalLof::new(seed_dataset(), Euclidean, 4).unwrap();
+        let mut model = IncrementalLof::new(seed_dataset(), Euclidean, 4).unwrap();
+        let (id, _, _) = model.insert(&[100.0, 100.0]).unwrap();
+        model.remove(id).unwrap();
+        for (a, b) in base.lof_values().iter().zip(model.lof_values()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        assert_matches_batch(&model);
+    }
+
+    #[test]
+    fn removal_of_an_outliers_neighborhood_raises_it_back() {
+        let mut model = IncrementalLof::new(seed_dataset(), Euclidean, 4).unwrap();
+        let (outlier, _, _) = model.insert(&[30.0, 30.0]).unwrap();
+        let mut friends = Vec::new();
+        for delta in [[0.4, 0.0], [0.0, 0.4], [-0.4, 0.0], [0.0, -0.4], [0.3, 0.3]] {
+            let (id, _, _) = model.insert(&[30.0 + delta[0], 30.0 + delta[1]]).unwrap();
+            friends.push(id);
+        }
+        let densified = model.lof(outlier).unwrap();
+        // Remove the friends (highest id first so earlier ids stay valid).
+        friends.sort_unstable();
+        for &id in friends.iter().rev() {
+            model.remove(id).unwrap();
+        }
+        let re_isolated = model.lof(outlier).unwrap();
+        assert!(
+            re_isolated > densified * 1.5,
+            "losing its neighborhood must re-outlier it: {densified} -> {re_isolated}"
+        );
+        assert_matches_batch(&model);
+    }
+
+    #[test]
+    fn remove_validation() {
+        let mut model = IncrementalLof::new(seed_dataset(), Euclidean, 4).unwrap();
+        assert!(model.remove(999).is_err());
+        // Shrink to the minimum viable size (min_pts + 1 = 5 objects),
+        // then one more removal must fail.
+        while model.len() > 5 {
+            model.remove(0).unwrap();
+        }
+        assert!(matches!(model.remove(0), Err(LofError::InvalidMinPts { .. })));
+    }
+
+    #[test]
+    fn ties_survive_insertion() {
+        // Insert a point at exactly the k-distance of others: tie-inclusion
+        // must hold afterwards (verified via the batch oracle).
+        let rows: Vec<[f64; 1]> = (0..12).map(|i| [i as f64]).collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let mut model = IncrementalLof::new(data, Euclidean, 2).unwrap();
+        model.insert(&[5.5]).unwrap();
+        model.insert(&[5.5]).unwrap();
+        assert_matches_batch(&model);
+    }
+}

@@ -1,0 +1,259 @@
+//! The local outlier factor itself (definition 7) and the single-`MinPts`
+//! pipeline.
+
+use crate::distance::Metric;
+use crate::error::Result;
+use crate::lrd::local_reachability_densities_with;
+use crate::materialize::NeighborhoodTable;
+use crate::point::Dataset;
+use crate::scan::LinearScan;
+
+/// Ratio `lrd(o) / lrd(p)` with the conventions needed once infinite
+/// densities (duplicate clusters) enter the picture:
+///
+/// * both infinite → `1` (`p` and `o` sit in the same duplicate cluster and
+///   are equally dense, so neither is outlying relative to the other);
+/// * only `lrd(o)` infinite → `+∞` (`p` is infinitely less dense than its
+///   neighbor);
+/// * only `lrd(p)` infinite → `0`.
+///
+/// The paper sidesteps this by assuming no duplicates; these conventions are
+/// the standard ones (shared with ELKI/scikit-learn) and are only exercised
+/// in the degenerate cases.
+#[inline]
+pub fn lrd_ratio(lrd_o: f64, lrd_p: f64) -> f64 {
+    if lrd_o.is_infinite() && lrd_p.is_infinite() {
+        1.0
+    } else {
+        lrd_o / lrd_p
+    }
+}
+
+/// `LOF_MinPts(p)` for every object, computed from the materialization table
+/// — the paper's step 2 (two scans of `M`: one producing lrds, one averaging
+/// lrd ratios).
+///
+/// # Errors
+///
+/// Propagates table validation errors.
+pub fn lof_values(table: &NeighborhoodTable, min_pts: usize) -> Result<Vec<f64>> {
+    let k_distances = table.k_distances(min_pts)?;
+    lof_values_with(table, min_pts, &k_distances)
+}
+
+/// As [`lof_values`], reusing precomputed `k`-distances.
+pub fn lof_values_with(
+    table: &NeighborhoodTable,
+    min_pts: usize,
+    k_distances: &[f64],
+) -> Result<Vec<f64>> {
+    let lrd = local_reachability_densities_with(table, min_pts, k_distances)?;
+    let n = table.len();
+    let mut lof = Vec::with_capacity(n);
+    for p in 0..n {
+        let neighborhood = table.neighborhood(p, min_pts)?;
+        let mut sum = 0.0;
+        for nb in neighborhood {
+            sum += lrd_ratio(lrd[nb.id], lrd[p]);
+        }
+        lof.push(sum / neighborhood.len() as f64);
+    }
+    Ok(lof)
+}
+
+/// LOF of an arbitrary query point (not part of the dataset), given its
+/// tie-inclusive `MinPts`-distance neighborhood among the dataset's
+/// objects — the "score a new observation" (novelty) workflow.
+///
+/// The query contributes nothing to its neighbors' densities — it is
+/// scored against the materialized model exactly as definition 7 scores a
+/// dataset member, minus the self-exclusion.
+///
+/// # Errors
+///
+/// Returns [`crate::LofError::InvalidMinPts`] for an empty neighborhood and
+/// propagates table validation errors.
+pub fn lof_of_point_with(
+    table: &NeighborhoodTable,
+    min_pts: usize,
+    neighborhood: &[crate::neighbors::Neighbor],
+) -> Result<f64> {
+    if neighborhood.is_empty() {
+        return Err(crate::error::LofError::InvalidMinPts {
+            min_pts,
+            dataset_size: table.len(),
+        });
+    }
+    let k_distances = table.k_distances(min_pts)?;
+    let lrds = crate::lrd::local_reachability_densities_with(table, min_pts, &k_distances)?;
+
+    let mut reach_sum = 0.0;
+    for nb in neighborhood {
+        reach_sum += crate::lrd::reach_dist(k_distances[nb.id], nb.dist);
+    }
+    let card = neighborhood.len() as f64;
+    let mean_reach = reach_sum / card;
+    let query_lrd = if mean_reach > 0.0 { 1.0 / mean_reach } else { f64::INFINITY };
+    let mut ratio_sum = 0.0;
+    for nb in neighborhood {
+        ratio_sum += lrd_ratio(lrds[nb.id], query_lrd);
+    }
+    Ok(ratio_sum / card)
+}
+
+/// As [`lof_of_point_with`], computing the query's neighborhood by a
+/// brute-force scan of `data` (which must be the dataset `table` was built
+/// over). For repeated queries use a `lof-index` structure's
+/// `k_nearest_point` and call [`lof_of_point_with`] directly.
+///
+/// # Errors
+///
+/// Returns [`crate::LofError::DimensionMismatch`] for a query of the wrong
+/// dimensionality and propagates table validation errors.
+pub fn lof_of_point<M: Metric>(
+    data: &Dataset,
+    metric: &M,
+    table: &NeighborhoodTable,
+    min_pts: usize,
+    query: &[f64],
+) -> Result<f64> {
+    if query.len() != data.dims() {
+        return Err(crate::error::LofError::DimensionMismatch {
+            expected: data.dims(),
+            found: query.len(),
+        });
+    }
+    let mut all = Vec::with_capacity(data.len());
+    for (id, p) in data.iter() {
+        all.push(crate::neighbors::Neighbor::new(id, metric.distance(query, p)));
+    }
+    let neighborhood = crate::neighbors::select_k_tie_inclusive(all, min_pts);
+    lof_of_point_with(table, min_pts, &neighborhood)
+}
+
+/// One-shot convenience: LOF of every object of `data` for a single
+/// `MinPts`, using a brute-force scan. For repeated queries or large data,
+/// build a [`NeighborhoodTable`] over an index from `lof-index` instead.
+///
+/// # Errors
+///
+/// Returns [`crate::LofError::EmptyDataset`] /
+/// [`crate::LofError::InvalidMinPts`] on invalid inputs.
+pub fn lof<M: Metric>(data: &Dataset, metric: M, min_pts: usize) -> Result<Vec<f64>> {
+    let scan = LinearScan::new(data, metric);
+    let table = NeighborhoodTable::build(&scan, min_pts)?;
+    lof_values(&table, min_pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Euclidean;
+
+    #[test]
+    fn interior_of_uniform_line_has_lof_one() {
+        let rows: Vec<[f64; 1]> = (0..40).map(|i| [i as f64]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let lof = lof(&ds, Euclidean, 3).unwrap();
+        for (p, &value) in lof.iter().enumerate().take(30).skip(10) {
+            assert!((value - 1.0).abs() < 1e-9, "p={p} lof={value}");
+        }
+    }
+
+    #[test]
+    fn isolated_point_has_high_lof() {
+        // A tight cluster plus one far-away object.
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                rows.push([i as f64, j as f64]);
+            }
+        }
+        rows.push([50.0, 50.0]);
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let lof = lof(&ds, Euclidean, 5).unwrap();
+        let outlier = lof[100];
+        let max_inlier = lof[..100].iter().cloned().fold(f64::MIN, f64::max);
+        assert!(outlier > 5.0, "outlier lof = {outlier}");
+        assert!(outlier > 3.0 * max_inlier, "outlier {outlier} vs inliers {max_inlier}");
+    }
+
+    #[test]
+    fn lof_is_scale_invariant() {
+        // LOF is a ratio of densities, so uniformly scaling all coordinates
+        // leaves it unchanged — the "local" spirit of §5.3.
+        let rows: Vec<[f64; 2]> =
+            (0..30).map(|i| [(i % 6) as f64, (i / 6) as f64]).chain([[30.0, 30.0]]).collect();
+        let ds1 = Dataset::from_rows(&rows).unwrap();
+        let scaled: Vec<[f64; 2]> = rows.iter().map(|r| [r[0] * 1000.0, r[1] * 1000.0]).collect();
+        let ds2 = Dataset::from_rows(&scaled).unwrap();
+        let a = lof(&ds1, Euclidean, 4).unwrap();
+        let b = lof(&ds2, Euclidean, 4).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn duplicate_cluster_ratio_conventions() {
+        assert_eq!(lrd_ratio(f64::INFINITY, f64::INFINITY), 1.0);
+        assert_eq!(lrd_ratio(f64::INFINITY, 1.0), f64::INFINITY);
+        assert_eq!(lrd_ratio(1.0, f64::INFINITY), 0.0);
+        assert_eq!(lrd_ratio(2.0, 4.0), 0.5);
+    }
+
+    #[test]
+    fn all_duplicates_have_lof_one() {
+        let ds = Dataset::from_rows(&[[1.0], [1.0], [1.0], [1.0]]).unwrap();
+        let lof = lof(&ds, Euclidean, 2).unwrap();
+        for v in lof {
+            assert_eq!(v, 1.0);
+        }
+    }
+
+    #[test]
+    fn point_scoring_matches_member_scoring_in_symmetric_spots() {
+        use crate::materialize::NeighborhoodTable;
+        use crate::scan::LinearScan;
+        // Score a query placed exactly where a (removed) grid point was: it
+        // must look like an ordinary inlier.
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        for i in 0..9 {
+            for j in 0..9 {
+                if (i, j) != (4, 4) {
+                    rows.push([i as f64, j as f64]);
+                }
+            }
+        }
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let table = NeighborhoodTable::build(&scan, 8).unwrap();
+        let inlier = lof_of_point(&ds, &Euclidean, &table, 8, &[4.0, 4.0]).unwrap();
+        assert!((inlier - 1.0).abs() < 0.2, "hole-filling query scored {inlier}");
+        let outlier = lof_of_point(&ds, &Euclidean, &table, 8, &[40.0, 40.0]).unwrap();
+        assert!(outlier > 5.0, "far query scored {outlier}");
+        assert!(lof_of_point(&ds, &Euclidean, &table, 8, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn point_scoring_of_duplicate_heavy_query() {
+        use crate::materialize::NeighborhoodTable;
+        use crate::scan::LinearScan;
+        let ds = Dataset::from_rows(&[[0.0], [0.0], [0.0], [9.0]]).unwrap();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let table = NeighborhoodTable::build(&scan, 2).unwrap();
+        // Query coincides with the duplicate pile: infinite density, LOF 1.
+        let v = lof_of_point(&ds, &Euclidean, &table, 2, &[0.0]).unwrap();
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    fn min_pts_two_uses_raw_distances() {
+        // §6.1: "when the MinPts value is set to 2, this reduces to using the
+        // actual inter-object distance d(p, o) in definition 5" — for objects
+        // whose neighbors' 2-distances don't exceed those raw distances.
+        let ds = Dataset::from_rows(&[[0.0], [1.0], [2.0], [3.5], [10.0]]).unwrap();
+        let values = lof(&ds, Euclidean, 2).unwrap();
+        assert!(values[4] > values[1], "far point must be more outlying");
+    }
+}

@@ -1,0 +1,121 @@
+//! Reachability distance (definition 5) and local reachability density
+//! (definition 6).
+
+use crate::error::Result;
+use crate::materialize::NeighborhoodTable;
+
+/// `reach-dist_k(p, o) = max{ k-distance(o), d(p, o) }` (definition 5).
+///
+/// `k_distance_o` is `k-distance(o)` and `dist_po` is `d(p, o)`. Smoothing:
+/// objects inside `o`'s neighborhood all get the same reachability distance
+/// from `o`'s perspective, damping the statistical fluctuation of raw
+/// distances; the strength of the effect grows with `k`.
+#[inline]
+pub fn reach_dist(k_distance_o: f64, dist_po: f64) -> f64 {
+    k_distance_o.max(dist_po)
+}
+
+/// Local reachability densities of every object for a given `MinPts`
+/// (definition 6), computed from the materialization table — the first of
+/// the two scans of the paper's step 2.
+///
+/// `lrd(p)` is the inverse of the mean reachability distance from `p` to its
+/// `MinPts`-nearest neighbors. If every reachability distance is zero (at
+/// least `MinPts` duplicates of `p` exist), the density is `f64::INFINITY`,
+/// matching the paper's remark after definition 6; see
+/// [`crate::kdistance::k_distinct_neighborhood`] for the duplicate-tolerant
+/// alternative.
+///
+/// # Errors
+///
+/// Propagates table validation errors ([`crate::LofError::TableTooShallow`],
+/// [`crate::LofError::InvalidMinPts`]).
+pub fn local_reachability_densities(
+    table: &NeighborhoodTable,
+    min_pts: usize,
+) -> Result<Vec<f64>> {
+    let k_distances = table.k_distances(min_pts)?;
+    local_reachability_densities_with(table, min_pts, &k_distances)
+}
+
+/// As [`local_reachability_densities`], reusing precomputed `k`-distances
+/// (so a `MinPts`-range computation shares the first scan's output).
+pub fn local_reachability_densities_with(
+    table: &NeighborhoodTable,
+    min_pts: usize,
+    k_distances: &[f64],
+) -> Result<Vec<f64>> {
+    let n = table.len();
+    debug_assert_eq!(k_distances.len(), n);
+    let mut lrd = Vec::with_capacity(n);
+    for p in 0..n {
+        let neighborhood = table.neighborhood(p, min_pts)?;
+        let mut sum = 0.0;
+        for nb in neighborhood {
+            sum += reach_dist(k_distances[nb.id], nb.dist);
+        }
+        let mean = sum / neighborhood.len() as f64;
+        lrd.push(if mean > 0.0 { 1.0 / mean } else { f64::INFINITY });
+    }
+    Ok(lrd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Euclidean;
+    use crate::point::Dataset;
+    use crate::scan::LinearScan;
+
+    #[test]
+    fn reach_dist_matches_definition_5() {
+        // Far objects keep their true distance; close ones are smoothed up
+        // to the neighbor's k-distance (figure 2's p2 vs p1).
+        assert_eq!(reach_dist(2.0, 5.0), 5.0); // p2: actual distance wins
+        assert_eq!(reach_dist(2.0, 0.5), 2.0); // p1: k-distance wins
+        assert_eq!(reach_dist(2.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn lrd_of_uniform_line_is_uniform_inside() {
+        // Evenly spaced points: interior objects all see the same
+        // reachability geometry, so their lrds coincide.
+        let rows: Vec<[f64; 1]> = (0..20).map(|i| [i as f64]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let table = NeighborhoodTable::build(&scan, 3).unwrap();
+        let lrd = local_reachability_densities(&table, 3).unwrap();
+        for p in 5..15 {
+            assert!((lrd[p] - lrd[10]).abs() < 1e-12, "p={p}");
+        }
+        // Edge objects are less dense (their neighbors are one-sided).
+        assert!(lrd[0] < lrd[10]);
+    }
+
+    #[test]
+    fn lrd_hand_computed_example() {
+        // Points 0,1,2 at x = 0,1,2 and an outlier at x = 10; MinPts = 2.
+        let ds = Dataset::from_rows(&[[0.0], [1.0], [2.0], [10.0]]).unwrap();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let table = NeighborhoodTable::build(&scan, 2).unwrap();
+        let lrd = local_reachability_densities(&table, 2).unwrap();
+        // 2-distances: kd(0)=2 (neighbors 1,2), kd(1)=1 (0,2), kd(2)=2 (1,0),
+        // kd(3)=9 (2,1).
+        // lrd(1): neighbors 0 (d=1, kd=2 -> rd=2) and 2 (d=1, kd=2 -> rd=2);
+        // mean = 2, lrd = 0.5.
+        assert!((lrd[1] - 0.5).abs() < 1e-12);
+        // lrd(3): neighbors 2 (d=8, kd=2 -> rd=8) and 1 (d=9, kd=1 -> rd=9);
+        // mean = 8.5.
+        assert!((lrd[3] - 1.0 / 8.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_heavy_object_gets_infinite_lrd() {
+        let ds = Dataset::from_rows(&[[0.0], [0.0], [0.0], [5.0]]).unwrap();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let table = NeighborhoodTable::build(&scan, 2).unwrap();
+        let lrd = local_reachability_densities(&table, 2).unwrap();
+        assert!(lrd[0].is_infinite());
+        assert!(lrd[3].is_finite());
+    }
+}

@@ -1,0 +1,348 @@
+//! Step 1 of the paper's two-step algorithm (section 7.4): materialization
+//! of the `MinPtsUB`-nearest neighborhoods into a compact table `M`.
+//!
+//! "In the first step, the MinPtsUB-nearest neighbors for every point p are
+//! materialized, together with their distances to p. The result of this step
+//! is a materialization database M of size n·MinPtsUB distances. Note that
+//! the size of this intermediate result is independent of the dimension of
+//! the original data."
+//!
+//! The table stores, per object, the tie-inclusive `MinPtsUB`-distance
+//! neighborhood in CSR layout. Step 2 (the LOF scans in [`crate::lof`]) runs
+//! entirely off this table — the original dataset is no longer needed, which
+//! is exactly the property the paper exploits.
+
+use crate::error::{LofError, Result};
+use crate::neighbors::{tie_inclusive_len, KnnProvider, Neighbor};
+
+/// The materialization database `M`: per-object sorted, tie-inclusive
+/// `MinPtsUB`-nearest neighbor lists.
+#[derive(Debug, Clone)]
+pub struct NeighborhoodTable {
+    max_k: usize,
+    /// True for k-distinct-distance tables: their stored lists extend to
+    /// `max_k` *distinct* coordinate vectors, a boundary that cannot be
+    /// reconstructed from distances alone, so only `k == max_k` queries are
+    /// answerable.
+    distinct: bool,
+    /// CSR offsets; `offsets[i]..offsets[i+1]` indexes object `i`'s list.
+    offsets: Vec<usize>,
+    /// Concatenated neighbor lists, each sorted by (distance, id).
+    neighbors: Vec<Neighbor>,
+}
+
+impl NeighborhoodTable {
+    /// Materializes the `max_k`-nearest neighborhoods of every object.
+    ///
+    /// `max_k` plays the role of `MinPtsUB`; any `MinPts <= max_k` can later
+    /// be answered from the table without revisiting the dataset.
+    ///
+    /// ```
+    /// use lof_core::{Dataset, Euclidean, LinearScan, NeighborhoodTable};
+    ///
+    /// let data = Dataset::from_rows(&[[0.0], [1.0], [2.0], [10.0]]).unwrap();
+    /// let scan = LinearScan::new(&data, Euclidean);
+    /// let table = NeighborhoodTable::build(&scan, 2).unwrap();
+    /// assert_eq!(table.k_distance(0, 1).unwrap(), 1.0);
+    /// assert_eq!(table.k_distance(0, 2).unwrap(), 2.0);
+    /// assert_eq!(table.neighborhood(3, 2).unwrap().len(), 2);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::EmptyDataset`] on an empty provider and propagates
+    /// [`LofError::InvalidMinPts`] when `max_k` is not in `1..provider.len()`.
+    pub fn build<P: KnnProvider + ?Sized>(provider: &P, max_k: usize) -> Result<Self> {
+        let n = provider.len();
+        if n == 0 {
+            return Err(LofError::EmptyDataset);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut neighbors = Vec::with_capacity(n * max_k);
+        for id in 0..n {
+            let list = provider.k_nearest(id, max_k)?;
+            neighbors.extend_from_slice(&list);
+            offsets.push(neighbors.len());
+        }
+        Ok(NeighborhoodTable { max_k, distinct: false, offsets, neighbors })
+    }
+
+    /// Materializes *k-distinct-distance* neighborhoods (the paper's remedy
+    /// for duplicate-heavy data, sketched after definition 6): every
+    /// object's neighborhood extends until it covers `max_k` *distinct*
+    /// coordinate vectors, so no local reachability density downstream can
+    /// be infinite. With no duplicates present this is identical to
+    /// [`NeighborhoodTable::build`] over a scan.
+    ///
+    /// Note the table's `k-distances` are then k-*distinct*-distances; the
+    /// LOF pipeline on top is otherwise unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::EmptyDataset`] on empty data and
+    /// [`LofError::InvalidMinPts`] when any object has fewer than `max_k`
+    /// distinct other coordinate vectors.
+    pub fn build_distinct<M: crate::distance::Metric>(
+        data: &crate::point::Dataset,
+        metric: &M,
+        max_k: usize,
+    ) -> Result<Self> {
+        if data.is_empty() {
+            return Err(LofError::EmptyDataset);
+        }
+        let mut lists = Vec::with_capacity(data.len());
+        for id in 0..data.len() {
+            lists.push(crate::kdistance::k_distinct_neighborhood(data, metric, id, max_k)?);
+        }
+        let mut table = NeighborhoodTable::from_lists(max_k, lists);
+        table.distinct = true;
+        Ok(table)
+    }
+
+    /// True for k-distinct-distance tables (see
+    /// [`NeighborhoodTable::build_distinct`]).
+    pub fn is_distinct(&self) -> bool {
+        self.distinct
+    }
+
+    /// Assembles a table from raw parts (the persistence layer's
+    /// deserializer). Lists must be sorted and tie-inclusive for `max_k`.
+    pub(crate) fn from_parts(max_k: usize, distinct: bool, lists: Vec<Vec<Neighbor>>) -> Self {
+        let mut table = Self::from_lists(max_k, lists);
+        table.distinct = distinct;
+        table
+    }
+
+    /// Assembles a table from per-object lists (used by the parallel builder
+    /// and by tests). Lists must be sorted and tie-inclusive for `max_k`.
+    pub(crate) fn from_lists(max_k: usize, lists: Vec<Vec<Neighbor>>) -> Self {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        offsets.push(0);
+        let total: usize = lists.iter().map(Vec::len).sum();
+        let mut neighbors = Vec::with_capacity(total);
+        for list in lists {
+            neighbors.extend_from_slice(&list);
+            offsets.push(neighbors.len());
+        }
+        NeighborhoodTable { max_k, distinct: false, offsets, neighbors }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the table covers no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `MinPtsUB` the table was materialized with.
+    pub fn max_k(&self) -> usize {
+        self.max_k
+    }
+
+    /// Total number of stored `(neighbor, distance)` entries — the paper's
+    /// "size of M", at least `n * MinPtsUB` and more in the presence of ties.
+    pub fn stored_entries(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The full materialized (tie-inclusive `max_k`) list of an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::UnknownObject`] for out-of-range ids.
+    pub fn full_neighborhood(&self, id: usize) -> Result<&[Neighbor]> {
+        if id >= self.len() {
+            return Err(LofError::UnknownObject { id, dataset_size: self.len() });
+        }
+        Ok(&self.neighbors[self.offsets[id]..self.offsets[id + 1]])
+    }
+
+    /// The tie-inclusive `N_k(id)` for any `k <= max_k` (definition 4),
+    /// recovered as a prefix of the materialized list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::TableTooShallow`] when `k > max_k`,
+    /// [`LofError::InvalidMinPts`] when `k == 0`, and
+    /// [`LofError::UnknownObject`] for out-of-range ids.
+    pub fn neighborhood(&self, id: usize, k: usize) -> Result<&[Neighbor]> {
+        if k == 0 {
+            return Err(LofError::InvalidMinPts { min_pts: k, dataset_size: self.len() });
+        }
+        if k > self.max_k || (self.distinct && k != self.max_k) {
+            // Distinct tables cannot serve prefixes: the k-distinct boundary
+            // depends on coordinates the table no longer has.
+            return Err(LofError::TableTooShallow { materialized: self.max_k, requested: k });
+        }
+        let full = self.full_neighborhood(id)?;
+        if self.distinct {
+            return Ok(full);
+        }
+        Ok(&full[..tie_inclusive_len(full, k)])
+    }
+
+    /// `k-distance(id)` for any `k <= max_k` (definition 3).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NeighborhoodTable::neighborhood`].
+    pub fn k_distance(&self, id: usize, k: usize) -> Result<f64> {
+        let nb = self.neighborhood(id, k)?;
+        Ok(nb.last().expect("non-empty neighborhood").dist)
+    }
+
+    /// `k-distance(id)` for every object at once — one of the two `O(n)`
+    /// scans of step 2.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NeighborhoodTable::neighborhood`].
+    pub fn k_distances(&self, k: usize) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.len());
+        for id in 0..self.len() {
+            out.push(self.k_distance(id, k)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Euclidean;
+    use crate::point::Dataset;
+    use crate::scan::LinearScan;
+
+    fn table() -> NeighborhoodTable {
+        let ds = Dataset::from_rows(&[[0.0], [1.0], [2.0], [4.0], [8.0], [9.0]]).unwrap();
+        let scan = LinearScan::new(&ds, Euclidean);
+        NeighborhoodTable::build(&scan, 4).unwrap()
+    }
+
+    #[test]
+    fn build_covers_every_object() {
+        let t = table();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.max_k(), 4);
+        assert!(t.stored_entries() >= 6 * 4);
+        for id in 0..t.len() {
+            assert!(t.full_neighborhood(id).unwrap().len() >= 4);
+        }
+    }
+
+    #[test]
+    fn prefix_neighborhoods_match_direct_queries() {
+        let ds = Dataset::from_rows(&[[0.0], [1.0], [2.0], [4.0], [8.0], [9.0]]).unwrap();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let t = NeighborhoodTable::build(&scan, 4).unwrap();
+        for id in 0..ds.len() {
+            for k in 1..=4 {
+                assert_eq!(
+                    t.neighborhood(id, k).unwrap(),
+                    scan.k_nearest(id, k).unwrap().as_slice(),
+                    "id={id} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_preserves_ties() {
+        // x = 2 has neighbors at distance 1 (x=1) then a tie at distance 2
+        // (x=0 and x=4).
+        let t = table();
+        let n2 = t.neighborhood(2, 2).unwrap();
+        assert_eq!(n2.len(), 3);
+        assert_eq!(t.k_distance(2, 2).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn depth_and_id_validation() {
+        let t = table();
+        assert!(matches!(t.neighborhood(0, 5), Err(LofError::TableTooShallow { .. })));
+        assert!(matches!(t.neighborhood(0, 0), Err(LofError::InvalidMinPts { .. })));
+        assert!(matches!(t.neighborhood(7, 2), Err(LofError::UnknownObject { .. })));
+    }
+
+    #[test]
+    fn k_distances_bulk_equals_scalar() {
+        let t = table();
+        let bulk = t.k_distances(3).unwrap();
+        for (id, &kd) in bulk.iter().enumerate() {
+            assert_eq!(kd, t.k_distance(id, 3).unwrap());
+        }
+    }
+
+    #[test]
+    fn distinct_table_gives_finite_densities_on_duplicates() {
+        use crate::distance::Euclidean;
+        use crate::lof::lof_values;
+        use crate::lrd::local_reachability_densities;
+        // Four copies each of six cluster locations plus an isolate: the
+        // plain table yields infinite lrds, the distinct table does not.
+        let mut rows: Vec<[f64; 1]> = Vec::new();
+        for x in 0..6 {
+            for _ in 0..4 {
+                rows.push([x as f64]);
+            }
+        }
+        rows.push([50.0]); // id 24
+        let ds = Dataset::from_rows(&rows).unwrap();
+
+        let plain = {
+            let scan = LinearScan::new(&ds, Euclidean);
+            NeighborhoodTable::build(&scan, 3).unwrap()
+        };
+        let plain_lrd = local_reachability_densities(&plain, 3).unwrap();
+        assert!(plain_lrd[..24].iter().any(|v| v.is_infinite()));
+
+        let distinct = NeighborhoodTable::build_distinct(&ds, &Euclidean, 3).unwrap();
+        let distinct_lrd = local_reachability_densities(&distinct, 3).unwrap();
+        assert!(distinct_lrd.iter().all(|v| v.is_finite()));
+        let lof = lof_values(&distinct, 3).unwrap();
+        assert!(lof.iter().all(|v| v.is_finite()));
+        // The isolate is still the clear outlier.
+        let max_id =
+            lof.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert_eq!(max_id, 24);
+        // Distinct tables refuse prefix queries (the boundary is
+        // coordinate-dependent).
+        assert!(distinct.neighborhood(0, 2).is_err());
+        assert!(distinct.neighborhood(0, 3).is_ok());
+    }
+
+    #[test]
+    fn distinct_table_equals_plain_without_duplicates() {
+        use crate::distance::Euclidean;
+        let rows: Vec<[f64; 1]> = (0..15).map(|i| [(i * i) as f64]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let plain = NeighborhoodTable::build(&scan, 4).unwrap();
+        let distinct = NeighborhoodTable::build_distinct(&ds, &Euclidean, 4).unwrap();
+        for id in 0..ds.len() {
+            assert_eq!(
+                plain.full_neighborhood(id).unwrap(),
+                distinct.full_neighborhood(id).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_table_rejects_insufficient_variety() {
+        use crate::distance::Euclidean;
+        let ds = Dataset::from_rows(&[[0.0], [0.0], [1.0]]).unwrap();
+        assert!(NeighborhoodTable::build_distinct(&ds, &Euclidean, 2).is_err());
+        assert!(NeighborhoodTable::build_distinct(&Dataset::new(1), &Euclidean, 1).is_err());
+    }
+
+    #[test]
+    fn empty_provider_is_rejected() {
+        let ds = Dataset::new(1);
+        let scan = LinearScan::new(&ds, Euclidean);
+        assert!(matches!(NeighborhoodTable::build(&scan, 1), Err(LofError::EmptyDataset)));
+    }
+}

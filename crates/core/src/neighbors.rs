@@ -1,0 +1,162 @@
+//! Neighbor lists and the k-NN provider abstraction.
+//!
+//! Definition 4 of the paper makes the *k*-distance neighborhood
+//! tie-inclusive: it contains **every** object whose distance is not greater
+//! than the *k*-distance, so its cardinality can exceed `k`. All providers in
+//! this workspace implement exactly that semantics.
+
+use crate::error::Result;
+use serde::{Deserialize, Serialize};
+
+/// One entry of a neighbor list: an object id and its distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// Id of the neighboring object.
+    pub id: usize,
+    /// Distance from the query object to `id`.
+    pub dist: f64,
+}
+
+impl Neighbor {
+    /// Convenience constructor.
+    pub fn new(id: usize, dist: f64) -> Self {
+        Neighbor { id, dist }
+    }
+}
+
+/// Total order on neighbors: by distance, ties broken by id so results are
+/// deterministic across providers. Distances are finite by construction
+/// ([`crate::Dataset`] rejects non-finite coordinates).
+#[inline]
+pub fn cmp_neighbors(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+    a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id))
+}
+
+/// Sorts a neighbor list into the canonical order of [`cmp_neighbors`].
+pub fn sort_neighbors(neighbors: &mut [Neighbor]) {
+    neighbors.sort_unstable_by(cmp_neighbors);
+}
+
+/// Given a distance-sorted list, the end index of the tie-inclusive
+/// `k`-distance neighborhood: all entries with `dist <= list[k-1].dist`.
+///
+/// Returns `list.len()` when the list holds fewer than `k` entries.
+pub fn tie_inclusive_len(sorted: &[Neighbor], k: usize) -> usize {
+    debug_assert!(k >= 1);
+    if sorted.len() <= k {
+        return sorted.len();
+    }
+    let kdist = sorted[k - 1].dist;
+    // Entries are sorted, so scan forward from k until the distance grows.
+    let mut end = k;
+    while end < sorted.len() && sorted[end].dist <= kdist {
+        end += 1;
+    }
+    end
+}
+
+/// Reduces an *unsorted* candidate list (one entry per other object) to the
+/// tie-inclusive `k`-distance neighborhood, sorted canonically.
+///
+/// Runs in `O(n + m log m)` where `m` is the neighborhood size, using
+/// `select_nth_unstable` to find the `k`-distance without sorting everything.
+pub fn select_k_tie_inclusive(mut all: Vec<Neighbor>, k: usize) -> Vec<Neighbor> {
+    debug_assert!(k >= 1);
+    if all.len() > k {
+        all.select_nth_unstable_by(k - 1, cmp_neighbors);
+        // The element at k-1 is the k-th nearest in canonical order, so its
+        // distance is the k-distance (definition 3). Keep every candidate at
+        // that distance or closer (definition 4's tie inclusion).
+        let kdist = all[k - 1].dist;
+        all.retain(|n| n.dist <= kdist);
+    }
+    sort_neighbors(&mut all);
+    all
+}
+
+/// A source of tie-inclusive k-nearest-neighbor and range queries over a
+/// fixed dataset. Implemented by the brute-force scan and every spatial
+/// index in `lof-index`.
+pub trait KnnProvider {
+    /// Number of objects in the underlying dataset.
+    fn len(&self) -> usize;
+
+    /// True when the underlying dataset is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The tie-inclusive `k`-distance neighborhood `N_k(id)` (definition 4):
+    /// every object `q != id` with `d(id, q) <= k-distance(id)`, sorted by
+    /// [`cmp_neighbors`]. The result has at least `k` entries whenever the
+    /// dataset holds more than `k` objects.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`crate::LofError::InvalidMinPts`] when
+    /// `k == 0` or `k >= len()`, and [`crate::LofError::UnknownObject`] for
+    /// out-of-range ids.
+    fn k_nearest(&self, id: usize, k: usize) -> Result<Vec<Neighbor>>;
+
+    /// Every object `q != id` with `d(id, q) <= radius`, sorted by
+    /// [`cmp_neighbors`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LofError::UnknownObject`] for out-of-range ids.
+    fn within(&self, id: usize, radius: f64) -> Result<Vec<Neighbor>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: usize, dist: f64) -> Neighbor {
+        Neighbor::new(id, dist)
+    }
+
+    #[test]
+    fn tie_inclusive_len_matches_paper_example() {
+        // The example after definition 4: one object at distance 1, two at
+        // distance 2, three at distance 3. Then 4-distance(p) = 3 and
+        // |N_4(p)| = 6.
+        let sorted = vec![n(0, 1.0), n(1, 2.0), n(2, 2.0), n(3, 3.0), n(4, 3.0), n(5, 3.0)];
+        assert_eq!(tie_inclusive_len(&sorted, 4), 6);
+        // 2-distance = 2 and |N_2| = 3 (the tie at distance 2).
+        assert_eq!(tie_inclusive_len(&sorted, 2), 3);
+        // 3-distance is also 2 (two objects at distance 2 fill ranks 2..=3).
+        assert_eq!(tie_inclusive_len(&sorted, 3), 3);
+        assert_eq!(tie_inclusive_len(&sorted, 1), 1);
+        assert_eq!(tie_inclusive_len(&sorted, 6), 6);
+        assert_eq!(tie_inclusive_len(&sorted, 10), 6);
+    }
+
+    #[test]
+    fn sort_neighbors_breaks_ties_by_id() {
+        let mut v = vec![n(3, 1.0), n(1, 1.0), n(2, 0.5)];
+        sort_neighbors(&mut v);
+        assert_eq!(v, vec![n(2, 0.5), n(1, 1.0), n(3, 1.0)]);
+    }
+
+    #[test]
+    fn select_k_tie_inclusive_keeps_ties() {
+        let all = vec![n(0, 3.0), n(1, 1.0), n(2, 2.0), n(3, 2.0), n(4, 2.0), n(5, 9.0)];
+        let picked = select_k_tie_inclusive(all, 2);
+        // 2-distance = 2.0, and all three objects at distance 2.0 are kept.
+        assert_eq!(picked, vec![n(1, 1.0), n(2, 2.0), n(3, 2.0), n(4, 2.0)]);
+    }
+
+    #[test]
+    fn select_k_tie_inclusive_small_lists_pass_through() {
+        let all = vec![n(1, 5.0), n(0, 4.0)];
+        assert_eq!(select_k_tie_inclusive(all, 3), vec![n(0, 4.0), n(1, 5.0)]);
+    }
+
+    #[test]
+    fn cmp_is_total_on_finite_distances() {
+        use std::cmp::Ordering;
+        assert_eq!(cmp_neighbors(&n(0, 1.0), &n(0, 2.0)), Ordering::Less);
+        assert_eq!(cmp_neighbors(&n(0, 1.0), &n(0, 1.0)), Ordering::Equal);
+        assert_eq!(cmp_neighbors(&n(1, 1.0), &n(0, 1.0)), Ordering::Greater);
+    }
+}

@@ -1,0 +1,209 @@
+//! Parallel variants of the two-step algorithm.
+//!
+//! The paper's ongoing-work section asks "to further improve the performance
+//! of LOF computation"; both steps are embarrassingly parallel across
+//! objects (step 1) and across `MinPts` values (step 2), so we provide
+//! crossbeam scoped-thread versions. Results are bit-identical to the serial
+//! code — property tests assert this.
+
+use crate::error::{LofError, Result};
+use crate::lof::lof_values_with;
+use crate::materialize::NeighborhoodTable;
+use crate::neighbors::{KnnProvider, Neighbor};
+use crate::range::{LofRangeResult, MinPtsRange};
+use parking_lot::Mutex;
+
+/// Clamps a requested thread count to something sensible for `work_items`.
+fn effective_threads(threads: usize, work_items: usize) -> usize {
+    threads.max(1).min(work_items.max(1))
+}
+
+/// Builds the materialization table with `threads` worker threads, splitting
+/// the objects into contiguous chunks (step 1 in parallel).
+///
+/// # Errors
+///
+/// Same as [`NeighborhoodTable::build`]; the first error any worker hits is
+/// reported.
+pub fn build_table_parallel<P>(provider: &P, max_k: usize, threads: usize) -> Result<NeighborhoodTable>
+where
+    P: KnnProvider + Sync + ?Sized,
+{
+    let n = provider.len();
+    if n == 0 {
+        return Err(LofError::EmptyDataset);
+    }
+    let threads = effective_threads(threads, n);
+    if threads == 1 {
+        return NeighborhoodTable::build(provider, max_k);
+    }
+
+    let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+    let chunk = n.div_ceil(threads);
+    let first_error: Mutex<Option<LofError>> = Mutex::new(None);
+    crossbeam::thread::scope(|s| {
+        for (t, slots) in lists.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            let first_error = &first_error;
+            s.spawn(move |_| {
+                for (offset, slot) in slots.iter_mut().enumerate() {
+                    if first_error.lock().is_some() {
+                        return; // another worker already failed
+                    }
+                    match provider.k_nearest(start + offset, max_k) {
+                        Ok(list) => *slot = list,
+                        Err(e) => {
+                            let mut guard = first_error.lock();
+                            if guard.is_none() {
+                                *guard = Some(e);
+                            }
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("materialization worker panicked");
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    Ok(NeighborhoodTable::from_lists(max_k, lists))
+}
+
+/// Computes the LOF range with `threads` workers, one `MinPts` value per
+/// task (step 2 in parallel).
+///
+/// # Errors
+///
+/// Same as [`crate::range::lof_range`].
+pub fn lof_range_parallel(
+    table: &NeighborhoodTable,
+    range: MinPtsRange,
+    threads: usize,
+) -> Result<LofRangeResult> {
+    if range.ub() > table.max_k() {
+        return Err(LofError::TableTooShallow {
+            materialized: table.max_k(),
+            requested: range.ub(),
+        });
+    }
+    let rows_n = range.len();
+    let threads = effective_threads(threads, rows_n);
+    if threads == 1 {
+        return crate::range::lof_range(table, range);
+    }
+
+    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); rows_n];
+    let chunk = rows_n.div_ceil(threads);
+    let first_error: Mutex<Option<LofError>> = Mutex::new(None);
+    crossbeam::thread::scope(|s| {
+        for (t, slots) in rows.chunks_mut(chunk).enumerate() {
+            let start_row = t * chunk;
+            let first_error = &first_error;
+            s.spawn(move |_| {
+                for (offset, slot) in slots.iter_mut().enumerate() {
+                    let min_pts = range.lb() + start_row + offset;
+                    let computed = table
+                        .k_distances(min_pts)
+                        .and_then(|kd| lof_values_with(table, min_pts, &kd));
+                    match computed {
+                        Ok(values) => *slot = values,
+                        Err(e) => {
+                            let mut guard = first_error.lock();
+                            if guard.is_none() {
+                                *guard = Some(e);
+                            }
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("LOF worker panicked");
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    Ok(LofRangeResult::from_rows(range, table.len(), rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Euclidean;
+    use crate::point::Dataset;
+    use crate::range::lof_range;
+    use crate::scan::LinearScan;
+
+    fn dataset() -> Dataset {
+        // Two clusters of different density plus stragglers, 1-d for speed.
+        let mut rows: Vec<[f64; 1]> = Vec::new();
+        for i in 0..60 {
+            rows.push([i as f64 * 0.1]);
+        }
+        for i in 0..40 {
+            rows.push([100.0 + i as f64]);
+        }
+        rows.push([55.0]);
+        rows.push([-30.0]);
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn parallel_table_equals_serial() {
+        let ds = dataset();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let serial = NeighborhoodTable::build(&scan, 8).unwrap();
+        for threads in [1, 2, 3, 7] {
+            let par = build_table_parallel(&scan, 8, threads).unwrap();
+            assert_eq!(par.len(), serial.len());
+            assert_eq!(par.stored_entries(), serial.stored_entries());
+            for id in 0..serial.len() {
+                assert_eq!(
+                    par.full_neighborhood(id).unwrap(),
+                    serial.full_neighborhood(id).unwrap(),
+                    "threads={threads} id={id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_range_equals_serial() {
+        let ds = dataset();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let table = NeighborhoodTable::build(&scan, 10).unwrap();
+        let range = MinPtsRange::new(3, 10).unwrap();
+        let serial = lof_range(&table, range).unwrap();
+        for threads in [2, 4, 9] {
+            let par = lof_range_parallel(&table, range, threads).unwrap();
+            for k in range.iter() {
+                assert_eq!(par.at_min_pts(k).unwrap(), serial.at_min_pts(k).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_reports_validation_errors() {
+        let ds = dataset();
+        let scan = LinearScan::new(&ds, Euclidean);
+        assert!(build_table_parallel(&scan, ds.len(), 4).is_err());
+        let table = NeighborhoodTable::build(&scan, 5).unwrap();
+        assert!(matches!(
+            lof_range_parallel(&table, MinPtsRange::new(3, 9).unwrap(), 4),
+            Err(LofError::TableTooShallow { .. })
+        ));
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        let ds = dataset();
+        let scan = LinearScan::new(&ds, Euclidean);
+        // More threads than objects / rows must still work.
+        let table = build_table_parallel(&scan, 4, 10_000).unwrap();
+        let res =
+            lof_range_parallel(&table, MinPtsRange::new(2, 4).unwrap(), 10_000).unwrap();
+        assert_eq!(res.len(), ds.len());
+    }
+}

@@ -1,0 +1,234 @@
+//! Binary persistence for the materialization database `M`.
+//!
+//! The paper treats `M` as a first-class intermediate: "the
+//! MinPtsUB-nearest neighbors for every point p are materialized … The
+//! result of this step is a materialization database M", which step 2 then
+//! scans twice per `MinPts` — and whose values "are computed and written to
+//! a file". This module gives [`NeighborhoodTable`] that file form: a
+//! compact little-endian binary format, so an expensive materialization can
+//! be computed once and reloaded across runs (or shipped next to a model).
+//!
+//! Format (`LOFM` magic, version 1):
+//!
+//! ```text
+//! [magic u32 = 0x4C4F464D] [version u32] [max_k u64] [distinct u8]
+//! [n u64] [offsets: (n+1) x u64] [entries: total x (id u64, dist f64)]
+//! ```
+
+use crate::error::{LofError, Result};
+use crate::materialize::NeighborhoodTable;
+use crate::neighbors::Neighbor;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: u32 = 0x4C4F_464D; // "LOFM"
+const VERSION: u32 = 1;
+
+/// Serializes a table to any writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_table<W: Write>(table: &NeighborhoodTable, writer: &mut W) -> io::Result<()> {
+    writer.write_all(&MAGIC.to_le_bytes())?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(table.max_k() as u64).to_le_bytes())?;
+    writer.write_all(&[u8::from(table.is_distinct())])?;
+    let n = table.len() as u64;
+    writer.write_all(&n.to_le_bytes())?;
+
+    let mut offset = 0u64;
+    writer.write_all(&offset.to_le_bytes())?;
+    for id in 0..table.len() {
+        offset += table.full_neighborhood(id).expect("id in range").len() as u64;
+        writer.write_all(&offset.to_le_bytes())?;
+    }
+    for id in 0..table.len() {
+        for nb in table.full_neighborhood(id).expect("id in range") {
+            writer.write_all(&(nb.id as u64).to_le_bytes())?;
+            writer.write_all(&nb.dist.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a table from any reader.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for wrong magic/version or malformed payloads, and
+/// propagates I/O errors.
+pub fn read_table<R: Read>(reader: &mut R) -> io::Result<NeighborhoodTable> {
+    fn bad(msg: &str) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+    }
+    let mut u32_buf = [0u8; 4];
+    let mut u64_buf = [0u8; 8];
+
+    reader.read_exact(&mut u32_buf)?;
+    if u32::from_le_bytes(u32_buf) != MAGIC {
+        return Err(bad("not a LOF materialization file (bad magic)"));
+    }
+    reader.read_exact(&mut u32_buf)?;
+    let version = u32::from_le_bytes(u32_buf);
+    if version != VERSION {
+        return Err(bad("unsupported LOF materialization version"));
+    }
+    reader.read_exact(&mut u64_buf)?;
+    let max_k = u64::from_le_bytes(u64_buf) as usize;
+    let mut flag = [0u8; 1];
+    reader.read_exact(&mut flag)?;
+    let distinct = match flag[0] {
+        0 => false,
+        1 => true,
+        _ => return Err(bad("invalid distinct flag")),
+    };
+    reader.read_exact(&mut u64_buf)?;
+    let n = u64::from_le_bytes(u64_buf) as usize;
+
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        reader.read_exact(&mut u64_buf)?;
+        offsets.push(u64::from_le_bytes(u64_buf) as usize);
+    }
+    if offsets.first() != Some(&0) || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(bad("corrupt offset table"));
+    }
+    let total = *offsets.last().unwrap_or(&0);
+
+    let mut lists: Vec<Vec<Neighbor>> = Vec::with_capacity(n);
+    let mut remaining = total;
+    for w in offsets.windows(2) {
+        let len = w[1] - w[0];
+        let mut list = Vec::with_capacity(len);
+        for _ in 0..len {
+            reader.read_exact(&mut u64_buf)?;
+            let id = u64::from_le_bytes(u64_buf) as usize;
+            reader.read_exact(&mut u64_buf)?;
+            let dist = f64::from_le_bytes(u64_buf);
+            if id >= n || !dist.is_finite() || dist < 0.0 {
+                return Err(bad("corrupt neighbor entry"));
+            }
+            list.push(Neighbor::new(id, dist));
+            remaining -= 1;
+        }
+        if list.is_empty() {
+            return Err(bad("empty neighborhood in table"));
+        }
+        lists.push(list);
+    }
+    if remaining != 0 {
+        return Err(bad("entry count mismatch"));
+    }
+    Ok(NeighborhoodTable::from_parts(max_k, distinct, lists))
+}
+
+impl NeighborhoodTable {
+    /// Writes the table to a file (the paper's "written to a file" step).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut writer = BufWriter::new(std::fs::File::create(path)?);
+        write_table(self, &mut writer)?;
+        writer.flush()
+    }
+
+    /// Reads a table previously written by [`NeighborhoodTable::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::InvalidPartition`] wrapping the I/O/format error
+    /// message (reusing the generic invalid-input variant).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let file = std::fs::File::open(&path)
+            .map_err(|e| LofError::InvalidPartition(format!("cannot open table file: {e}")))?;
+        read_table(&mut BufReader::new(file))
+            .map_err(|e| LofError::InvalidPartition(format!("cannot read table file: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Euclidean;
+    use crate::lof::lof_values;
+    use crate::point::Dataset;
+    use crate::scan::LinearScan;
+
+    fn sample_table() -> NeighborhoodTable {
+        let rows: Vec<[f64; 2]> =
+            (0..40).map(|i| [(i % 8) as f64, (i / 8) as f64]).chain([[50.0, 50.0]]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let scan = LinearScan::new(&ds, Euclidean);
+        NeighborhoodTable::build(&scan, 6).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let table = sample_table();
+        let mut buf = Vec::new();
+        write_table(&table, &mut buf).unwrap();
+        let loaded = read_table(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), table.len());
+        assert_eq!(loaded.max_k(), table.max_k());
+        assert_eq!(loaded.stored_entries(), table.stored_entries());
+        for id in 0..table.len() {
+            assert_eq!(
+                loaded.full_neighborhood(id).unwrap(),
+                table.full_neighborhood(id).unwrap()
+            );
+        }
+        // Step 2 off the reloaded table is identical.
+        assert_eq!(lof_values(&loaded, 6).unwrap(), lof_values(&table, 6).unwrap());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let table = sample_table();
+        let path = std::env::temp_dir().join("lof_table_roundtrip.lofm");
+        table.save(&path).unwrap();
+        let loaded = NeighborhoodTable::load(&path).unwrap();
+        assert_eq!(loaded.stored_entries(), table.stored_entries());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn distinct_flag_survives() {
+        let ds = Dataset::from_rows(&[[0.0], [0.0], [1.0], [1.0], [2.0], [9.0]]).unwrap();
+        let table = NeighborhoodTable::build_distinct(&ds, &Euclidean, 2).unwrap();
+        let mut buf = Vec::new();
+        write_table(&table, &mut buf).unwrap();
+        let loaded = read_table(&mut buf.as_slice()).unwrap();
+        // Distinct tables only answer at max_k — semantics preserved.
+        assert!(loaded.neighborhood(0, 1).is_err());
+        assert!(loaded.neighborhood(0, 2).is_ok());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_table(&mut &b"not a table"[..]).is_err());
+        let mut buf = Vec::new();
+        write_table(&sample_table(), &mut buf).unwrap();
+        // Wrong magic.
+        let mut corrupted = buf.clone();
+        corrupted[0] ^= 0xFF;
+        assert!(read_table(&mut corrupted.as_slice()).is_err());
+        // Truncated payload.
+        let truncated = &buf[..buf.len() / 2];
+        assert!(read_table(&mut &truncated[..]).is_err());
+        // Corrupt a neighbor id to an out-of-range value.
+        let n = sample_table().len();
+        let header = 4 + 4 + 8 + 1 + 8 + (n + 1) * 8;
+        let mut bad_id = buf.clone();
+        bad_id[header..header + 8].copy_from_slice(&(u64::MAX).to_le_bytes());
+        assert!(read_table(&mut bad_id.as_slice()).is_err());
+    }
+
+    #[test]
+    fn load_missing_file_reports_cleanly() {
+        let err = NeighborhoodTable::load("/nonexistent/lof.table").unwrap_err();
+        assert!(err.to_string().contains("cannot open"));
+    }
+}

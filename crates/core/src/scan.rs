@@ -1,0 +1,136 @@
+//! Brute-force sequential scan k-NN provider.
+//!
+//! This is the "sequential scan" regime of the paper's section 7.4 — `O(n)`
+//! per query, `O(n²)` for the full materialization step — and it doubles as
+//! the correctness oracle every spatial index in `lof-index` is tested
+//! against.
+
+use crate::distance::Metric;
+use crate::error::{LofError, Result};
+use crate::neighbors::{select_k_tie_inclusive, sort_neighbors, KnnProvider, Neighbor};
+use crate::point::Dataset;
+
+/// Brute-force k-NN over a borrowed dataset.
+#[derive(Debug)]
+pub struct LinearScan<'a, M: Metric> {
+    data: &'a Dataset,
+    metric: M,
+}
+
+impl<'a, M: Metric> LinearScan<'a, M> {
+    /// Creates a scan provider over `data` using `metric`.
+    pub fn new(data: &'a Dataset, metric: M) -> Self {
+        LinearScan { data, metric }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        self.data
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    fn validate(&self, id: usize, k: usize) -> Result<()> {
+        self.data.check_id(id)?;
+        if k == 0 || k >= self.data.len() {
+            return Err(LofError::InvalidMinPts { min_pts: k, dataset_size: self.data.len() });
+        }
+        Ok(())
+    }
+}
+
+impl<M: Metric> KnnProvider for LinearScan<'_, M> {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn k_nearest(&self, id: usize, k: usize) -> Result<Vec<Neighbor>> {
+        self.validate(id, k)?;
+        let q = self.data.point(id);
+        let mut all = Vec::with_capacity(self.data.len() - 1);
+        for (j, p) in self.data.iter() {
+            if j != id {
+                all.push(Neighbor::new(j, self.metric.distance(q, p)));
+            }
+        }
+        Ok(select_k_tie_inclusive(all, k))
+    }
+
+    fn within(&self, id: usize, radius: f64) -> Result<Vec<Neighbor>> {
+        self.data.check_id(id)?;
+        let q = self.data.point(id);
+        let mut hits = Vec::new();
+        for (j, p) in self.data.iter() {
+            if j == id {
+                continue;
+            }
+            let d = self.metric.distance(q, p);
+            if d <= radius {
+                hits.push(Neighbor::new(j, d));
+            }
+        }
+        sort_neighbors(&mut hits);
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Euclidean;
+
+    fn line_dataset() -> Dataset {
+        // Points on a line at x = 0, 1, 2, 4, 8.
+        Dataset::from_rows(&[[0.0], [1.0], [2.0], [4.0], [8.0]]).unwrap()
+    }
+
+    #[test]
+    fn k_nearest_excludes_self_and_sorts() {
+        let ds = line_dataset();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let nn = scan.k_nearest(2, 2).unwrap();
+        // From x = 2: neighbors at 1 (d=1), 0 or 4 (d=2, tie!) — tie-inclusive
+        // keeps both.
+        assert_eq!(nn.len(), 3);
+        assert_eq!(nn[0].id, 1);
+        assert_eq!(nn[1].id, 0);
+        assert_eq!(nn[2].id, 3);
+        assert_eq!(nn[1].dist, 2.0);
+        assert_eq!(nn[2].dist, 2.0);
+    }
+
+    #[test]
+    fn k_nearest_rejects_bad_parameters() {
+        let ds = line_dataset();
+        let scan = LinearScan::new(&ds, Euclidean);
+        assert!(matches!(scan.k_nearest(0, 0), Err(LofError::InvalidMinPts { .. })));
+        assert!(matches!(scan.k_nearest(0, 5), Err(LofError::InvalidMinPts { .. })));
+        assert!(matches!(scan.k_nearest(9, 1), Err(LofError::UnknownObject { .. })));
+    }
+
+    #[test]
+    fn within_returns_radius_ball() {
+        let ds = line_dataset();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let hits = scan.within(0, 2.0).unwrap();
+        assert_eq!(hits.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(scan.within(0, 0.5).unwrap().is_empty());
+        // Radius is inclusive.
+        let hits = scan.within(0, 1.0).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn neighborhood_has_at_least_k_entries() {
+        let ds = line_dataset();
+        let scan = LinearScan::new(&ds, Euclidean);
+        for id in 0..ds.len() {
+            for k in 1..ds.len() {
+                assert!(scan.k_nearest(id, k).unwrap().len() >= k);
+            }
+        }
+    }
+}

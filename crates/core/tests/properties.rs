@@ -1,0 +1,435 @@
+//! Property tests for the executable theory of the paper: the section 5
+//! theorems hold for every object of random datasets, the two-step
+//! algorithm is equivalent to direct computation, and the parallel paths
+//! are bit-identical to the serial ones.
+
+use lof_core::bounds::{
+    lemma1_bound, neighborhood_stats, theorem1_bounds, theorem2_bounds,
+};
+use lof_core::lof::lof_values;
+use lof_core::parallel::{build_table_parallel, lof_range_parallel};
+use lof_core::{
+    lof_range, Aggregate, Dataset, Euclidean, KnnProvider, LinearScan, Manhattan, MinPtsRange,
+    NeighborhoodTable,
+};
+use proptest::prelude::*;
+
+fn dataset_strategy(max_n: usize, max_dims: usize) -> impl Strategy<Value = Dataset> {
+    (1usize..=max_dims, 8usize..=max_n).prop_flat_map(|(dims, n)| {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![Just(0.0), Just(2.0), -50.0..50.0f64, -0.5..0.5f64],
+                dims,
+            ),
+            n,
+        )
+        .prop_map(move |rows| Dataset::from_rows(&rows).expect("finite rows"))
+    })
+}
+
+/// Clusters-shaped datasets (two separated blobs) — more interesting LOF
+/// structure than uniform noise.
+fn clustered_strategy() -> impl Strategy<Value = Dataset> {
+    (6usize..20, 6usize..20, 0.1f64..2.0, 0.1f64..2.0).prop_flat_map(
+        |(n1, n2, spread1, spread2)| {
+            let total = n1 + n2;
+            proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), total).prop_map(
+                move |jitter| {
+                    let mut rows = Vec::with_capacity(total);
+                    for (i, (jx, jy)) in jitter.iter().enumerate() {
+                        if i < n1 {
+                            rows.push([jx * spread1, jy * spread1]);
+                        } else {
+                            rows.push([30.0 + jx * spread2, jy * spread2]);
+                        }
+                    }
+                    Dataset::from_rows(&rows).expect("finite rows")
+                },
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn theorem1_bounds_hold_for_every_object(
+        data in dataset_strategy(40, 3),
+        min_pts in 2usize..8,
+    ) {
+        let min_pts = min_pts.min(data.len() - 1).max(1);
+        let scan = LinearScan::new(&data, Euclidean);
+        let table = NeighborhoodTable::build(&scan, min_pts).unwrap();
+        let lof = lof_values(&table, min_pts).unwrap();
+        for (id, &value) in lof.iter().enumerate() {
+            if !value.is_finite() {
+                continue; // duplicate-degenerate objects are exempt
+            }
+            let stats = neighborhood_stats(&table, min_pts, id).unwrap();
+            if stats.direct_min == 0.0 || stats.indirect_min == 0.0 {
+                continue; // zero reachability => unbounded ratio, exempt
+            }
+            let bounds = theorem1_bounds(&stats);
+            prop_assert!(
+                bounds.contains(value),
+                "id={id}: LOF {value} outside [{}, {}]", bounds.lower, bounds.upper
+            );
+        }
+    }
+
+    #[test]
+    fn theorem2_bounds_hold_for_random_partitions(
+        data in clustered_strategy(),
+        min_pts in 2usize..6,
+        split_seed in 0usize..1000,
+    ) {
+        let min_pts = min_pts.min(data.len() - 1).max(1);
+        let scan = LinearScan::new(&data, Euclidean);
+        let table = NeighborhoodTable::build(&scan, min_pts).unwrap();
+        let lof = lof_values(&table, min_pts).unwrap();
+        for id in (0..data.len()).step_by(3) {
+            if !lof[id].is_finite() {
+                continue;
+            }
+            let stats = neighborhood_stats(&table, min_pts, id).unwrap();
+            if stats.direct_min == 0.0 || stats.indirect_min == 0.0 {
+                continue;
+            }
+            let neighbors: Vec<usize> =
+                table.neighborhood(id, min_pts).unwrap().iter().map(|n| n.id).collect();
+            // A pseudo-random 2-way partition.
+            let cut = 1 + (split_seed + id) % neighbors.len().max(1);
+            let parts: Vec<Vec<usize>> = if cut >= neighbors.len() {
+                vec![neighbors.clone()]
+            } else {
+                vec![neighbors[..cut].to_vec(), neighbors[cut..].to_vec()]
+            };
+            let bounds = theorem2_bounds(&table, min_pts, id, &parts).unwrap();
+            prop_assert!(
+                bounds.contains(lof[id]),
+                "id={id}: LOF {} outside theorem-2 [{}, {}]",
+                lof[id], bounds.lower, bounds.upper
+            );
+        }
+    }
+
+    #[test]
+    fn corollary1_theorem2_degenerates_to_theorem1(
+        data in dataset_strategy(30, 2),
+        min_pts in 2usize..6,
+    ) {
+        let min_pts = min_pts.min(data.len() - 1).max(1);
+        let scan = LinearScan::new(&data, Euclidean);
+        let table = NeighborhoodTable::build(&scan, min_pts).unwrap();
+        for id in 0..data.len() {
+            let stats = neighborhood_stats(&table, min_pts, id).unwrap();
+            if stats.indirect_min == 0.0 {
+                continue;
+            }
+            let t1 = theorem1_bounds(&stats);
+            let neighbors: Vec<usize> =
+                table.neighborhood(id, min_pts).unwrap().iter().map(|n| n.id).collect();
+            let t2 = theorem2_bounds(&table, min_pts, id, &[neighbors]).unwrap();
+            prop_assert!((t1.lower - t2.lower).abs() <= 1e-9 * (1.0 + t1.lower.abs()));
+            prop_assert!((t1.upper - t2.upper).abs() <= 1e-9 * (1.0 + t1.upper.abs()));
+        }
+    }
+
+    #[test]
+    fn lemma1_holds_for_deep_members_of_one_blob(
+        data in clustered_strategy(),
+        min_pts in 2usize..5,
+    ) {
+        let scan = LinearScan::new(&data, Euclidean);
+        let table = NeighborhoodTable::build(&scan, min_pts).unwrap();
+        let lof = lof_values(&table, min_pts).unwrap();
+        // Treat the whole dataset as "C": deep members' LOF must respect
+        // the epsilon bound.
+        let cluster: Vec<usize> = (0..data.len()).collect();
+        let cb = lemma1_bound(&data, &Euclidean, &table, min_pts, &cluster).unwrap();
+        if !cb.epsilon.is_finite() {
+            return Ok(()); // duplicate-degenerate: reach-dist-min == 0
+        }
+        for &p in &cb.deep_members {
+            prop_assert!(
+                cb.bounds.contains(lof[p]),
+                "deep member {p}: LOF {} outside [{}, {}] (eps {})",
+                lof[p], cb.bounds.lower, cb.bounds.upper, cb.epsilon
+            );
+        }
+    }
+
+    #[test]
+    fn two_step_algorithm_equals_direct_computation(
+        data in dataset_strategy(30, 3),
+        lb in 2usize..5,
+        width in 0usize..4,
+    ) {
+        let lb = lb.min(data.len().saturating_sub(2)).max(1);
+        let ub = (lb + width).min(data.len() - 1);
+        let scan = LinearScan::new(&data, Euclidean);
+        // Range computation from one deep table...
+        let table = NeighborhoodTable::build(&scan, ub).unwrap();
+        let range = lof_range(&table, MinPtsRange::new(lb, ub).unwrap()).unwrap();
+        // ...must equal per-MinPts computation from exact-depth tables.
+        for k in lb..=ub {
+            let exact_table = NeighborhoodTable::build(&scan, k).unwrap();
+            let direct = lof_values(&exact_table, k).unwrap();
+            let from_range = range.at_min_pts(k).unwrap();
+            for (a, b) in direct.iter().zip(from_range) {
+                prop_assert!(
+                    (a - b).abs() <= 1e-12 || (a.is_infinite() && b.is_infinite()),
+                    "k={k}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial(
+        data in dataset_strategy(30, 2),
+        threads in 2usize..6,
+    ) {
+        let max_k = (data.len() - 1).min(6);
+        let scan = LinearScan::new(&data, Euclidean);
+        let serial_table = NeighborhoodTable::build(&scan, max_k).unwrap();
+        let parallel_table = build_table_parallel(&scan, max_k, threads).unwrap();
+        for id in 0..data.len() {
+            prop_assert_eq!(
+                serial_table.full_neighborhood(id).unwrap(),
+                parallel_table.full_neighborhood(id).unwrap()
+            );
+        }
+        let range = MinPtsRange::new(1.max(max_k / 2), max_k).unwrap();
+        let serial = lof_range(&serial_table, range).unwrap();
+        let parallel = lof_range_parallel(&parallel_table, range, threads).unwrap();
+        for k in range.iter() {
+            prop_assert_eq!(serial.at_min_pts(k).unwrap(), parallel.at_min_pts(k).unwrap());
+        }
+    }
+
+    #[test]
+    fn aggregates_are_ordered(
+        data in dataset_strategy(30, 2),
+    ) {
+        let max_k = (data.len() - 1).min(6);
+        let lb = 1.max(max_k / 2);
+        let scan = LinearScan::new(&data, Euclidean);
+        let table = NeighborhoodTable::build(&scan, max_k).unwrap();
+        let result = lof_range(&table, MinPtsRange::new(lb, max_k).unwrap()).unwrap();
+        let mins = result.scores(Aggregate::Min);
+        let means = result.scores(Aggregate::Mean);
+        let maxs = result.scores(Aggregate::Max);
+        for id in 0..data.len() {
+            if mins[id].is_finite() && maxs[id].is_finite() {
+                prop_assert!(mins[id] <= means[id] + 1e-12);
+                prop_assert!(means[id] <= maxs[id] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lof_is_invariant_under_uniform_scaling_and_translation(
+        data in dataset_strategy(25, 2),
+        scale in 0.01f64..100.0,
+        shift in -50.0f64..50.0,
+    ) {
+        let min_pts = (data.len() - 1).min(4);
+        let original = lof_core::lof(&data, Euclidean, min_pts).unwrap();
+        let transformed_rows: Vec<Vec<f64>> = data
+            .iter()
+            .map(|(_, p)| p.iter().map(|&v| v * scale + shift).collect())
+            .collect();
+        let transformed = Dataset::from_rows(&transformed_rows).unwrap();
+        let rescored = lof_core::lof(&transformed, Euclidean, min_pts).unwrap();
+        for (a, b) in original.iter().zip(&rescored) {
+            if a.is_finite() && b.is_finite() {
+                prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn lof_is_permutation_equivariant(
+        data in dataset_strategy(25, 2),
+        rotation in 1usize..20,
+    ) {
+        // Relabeling objects permutes the LOF vector identically.
+        let n = data.len();
+        let rotation = rotation % n;
+        let min_pts = (n - 1).min(4);
+        let original = lof_core::lof(&data, Euclidean, min_pts).unwrap();
+        let rotated_rows: Vec<Vec<f64>> =
+            (0..n).map(|i| data.point((i + rotation) % n).to_vec()).collect();
+        let rotated_data = Dataset::from_rows(&rotated_rows).unwrap();
+        let rotated = lof_core::lof(&rotated_data, Euclidean, min_pts).unwrap();
+        for i in 0..n {
+            let (a, b) = (original[(i + rotation) % n], rotated[i]);
+            if a.is_finite() && b.is_finite() {
+                prop_assert!((a - b).abs() < 1e-9);
+            } else {
+                prop_assert_eq!(a.is_infinite(), b.is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn metric_choice_changes_values_not_validity(
+        data in dataset_strategy(25, 3),
+    ) {
+        // LOF under L1 still satisfies theorem 1 — the theory is metric-
+        // agnostic.
+        let min_pts = (data.len() - 1).min(4);
+        let scan = LinearScan::new(&data, Manhattan);
+        let table = NeighborhoodTable::build(&scan, min_pts).unwrap();
+        let lof = lof_values(&table, min_pts).unwrap();
+        for (id, &value) in lof.iter().enumerate() {
+            if !value.is_finite() {
+                continue;
+            }
+            let stats = neighborhood_stats(&table, min_pts, id).unwrap();
+            if stats.direct_min == 0.0 || stats.indirect_min == 0.0 {
+                continue;
+            }
+            prop_assert!(theorem1_bounds(&stats).contains(value));
+        }
+    }
+
+    #[test]
+    fn incremental_model_tracks_batch_under_random_edits(
+        data in proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![Just(0.0), Just(2.0), -50.0..50.0f64],
+                2, // fixed 2-d so inserts always match
+            ),
+            8usize..20,
+        ).prop_map(|rows| Dataset::from_rows(&rows).expect("finite rows")),
+        edits in proptest::collection::vec(
+            prop_oneof![
+                // Insert a point (coordinates from the same value pool).
+                (proptest::collection::vec(-50.0f64..50.0, 2)).prop_map(Some),
+                Just(None), // remove a pseudo-random object
+            ],
+            1..12,
+        ),
+        removal_seed in 0usize..1000,
+    ) {
+        use lof_core::incremental::IncrementalLof;
+        let min_pts = 3.min(data.len() - 1).max(1);
+        let mut model = IncrementalLof::new(data, Euclidean, min_pts).unwrap();
+        for (step, edit) in edits.into_iter().enumerate() {
+            match edit {
+                Some(point) => {
+                    model.insert(&point).unwrap();
+                }
+                None => {
+                    if model.len() > min_pts + 1 {
+                        let id = (removal_seed + step * 7) % model.len();
+                        model.remove(id).unwrap();
+                    }
+                }
+            }
+            let batch = lof_core::lof(model.dataset(), Euclidean, min_pts).unwrap();
+            for (id, (a, b)) in model.lof_values().iter().zip(&batch).enumerate() {
+                prop_assert!(
+                    (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()),
+                    "step {step} id {id}: incremental {a} vs batch {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_distinct_neighborhood_is_superset_of_plain(
+        data in proptest::collection::vec(
+            proptest::collection::vec(prop_oneof![Just(0.0), Just(1.0), Just(4.0), -9.0..9.0f64], 2),
+            8usize..25,
+        ).prop_map(|rows| Dataset::from_rows(&rows).expect("finite rows")),
+        k in 1usize..5,
+    ) {
+        use lof_core::kdistance::k_distinct_neighborhood;
+        let scan = LinearScan::new(&data, Euclidean);
+        let k = k.min(data.len() - 1).max(1);
+        for id in 0..data.len() {
+            let Ok(distinct) = k_distinct_neighborhood(&data, &Euclidean, id, k) else {
+                continue; // fewer than k distinct locations: legitimately rejected
+            };
+            let plain = scan.k_nearest(id, k).unwrap();
+            // Every plain neighbor is within the distinct neighborhood:
+            // the k-distinct-distance can only be >= the k-distance.
+            let distinct_ids: Vec<usize> = distinct.iter().map(|n| n.id).collect();
+            for nb in &plain {
+                prop_assert!(distinct_ids.contains(&nb.id));
+            }
+            // And the distinct set spans at least k distinct coordinates
+            // different from the query's.
+            let q = data.point(id);
+            let mut coords: Vec<&[f64]> = Vec::new();
+            for nb in &distinct {
+                let c = data.point(nb.id);
+                if c != q && !coords.contains(&c) {
+                    coords.push(c);
+                }
+            }
+            prop_assert!(coords.len() >= k);
+        }
+    }
+
+    #[test]
+    fn point_scoring_is_consistent_with_neighborhood_scoring(
+        data in proptest::collection::vec(
+            proptest::collection::vec(-20.0f64..20.0, 2),
+            10usize..30,
+        ).prop_map(|rows| Dataset::from_rows(&rows).expect("finite rows")),
+        query in proptest::collection::vec(-30.0f64..30.0, 2),
+        min_pts in 2usize..5,
+    ) {
+        use lof_core::lof::{lof_of_point, lof_of_point_with};
+        use lof_core::neighbors::select_k_tie_inclusive;
+        use lof_core::{Metric, Neighbor};
+        let min_pts = min_pts.min(data.len() - 1).max(1);
+        let scan = LinearScan::new(&data, Euclidean);
+        let table = NeighborhoodTable::build(&scan, min_pts).unwrap();
+        // Convenience wrapper == explicit-neighborhood call.
+        let direct = lof_of_point(&data, &Euclidean, &table, min_pts, &query).unwrap();
+        let candidates: Vec<Neighbor> = data
+            .iter()
+            .map(|(id, p)| Neighbor::new(id, Euclidean.distance(&query, p)))
+            .collect();
+        let neighborhood = select_k_tie_inclusive(candidates, min_pts);
+        let via_with = lof_of_point_with(&table, min_pts, &neighborhood).unwrap();
+        prop_assert!(
+            (direct - via_with).abs() < 1e-12
+                || (direct.is_infinite() && via_with.is_infinite())
+        );
+        prop_assert!(direct >= 0.0 || !direct.is_nan());
+    }
+
+    #[test]
+    fn uniform_grid_interior_has_lof_near_one(
+        spacing in 0.1f64..10.0,
+        cols in 6usize..12,
+    ) {
+        // The paper's uniform-distribution sanity check: with MinPts >= 10
+        // nothing in a uniform grid interior should look outlying.
+        let rows_n = cols;
+        let mut rows = Vec::new();
+        for i in 0..cols {
+            for j in 0..rows_n {
+                rows.push([i as f64 * spacing, j as f64 * spacing]);
+            }
+        }
+        let data = Dataset::from_rows(&rows).unwrap();
+        let lof = lof_core::lof(&data, Euclidean, 10).unwrap();
+        for i in 2..cols - 2 {
+            for j in 2..rows_n - 2 {
+                let id = i * rows_n + j;
+                prop_assert!(
+                    (lof[id] - 1.0).abs() < 0.25,
+                    "interior ({i},{j}) has LOF {}", lof[id]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Minimal CSV persistence for datasets and score tables.
+//!
+//! The harness writes every experiment's raw series to `results/*.csv`;
+//! this module is the shared writer/reader (hand-rolled: the workspace's
+//! dependency policy has no `csv` crate, and we only need numeric tables).
+
+use lof_core::{Dataset, LofError};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Serializes a dataset to CSV with a generated `x0,x1,…` header.
+pub fn dataset_to_csv(data: &Dataset) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = (0..data.dims()).map(|d| format!("x{d}")).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for (_, p) in data.iter() {
+        let mut first = true;
+        for v in p {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a CSV of numeric columns (optional non-numeric header row is
+/// skipped automatically).
+///
+/// # Errors
+///
+/// Returns [`LofError::DimensionMismatch`] for ragged rows and
+/// [`LofError::NonFiniteCoordinate`] for unparsable or non-finite fields.
+pub fn dataset_from_csv(text: &str) -> Result<Dataset, LofError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        let parsed: Option<Vec<f64>> =
+            fields.iter().map(|f| f.parse::<f64>().ok()).collect();
+        match parsed {
+            Some(values) => rows.push(values),
+            None if line_no == 0 && rows.is_empty() => continue, // header
+            None => {
+                return Err(LofError::NonFiniteCoordinate { point: rows.len(), dim: 0 });
+            }
+        }
+    }
+    let dims = rows.first().map_or(0, Vec::len);
+    for row in &rows {
+        if row.len() != dims {
+            return Err(LofError::DimensionMismatch { expected: dims, found: row.len() });
+        }
+    }
+    if dims == 0 {
+        return Ok(Dataset::new(0));
+    }
+    let mut ds = Dataset::with_capacity(dims, rows.len());
+    for row in &rows {
+        ds.push(row)?;
+    }
+    Ok(ds)
+}
+
+/// Writes a generic named-column table (the shape every experiment result
+/// takes) to a CSV file, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_table(
+    path: impl AsRef<Path>,
+    columns: &[&str],
+    rows: &[Vec<f64>],
+) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = String::new();
+    out.push_str(&columns.join(","));
+    out.push('\n');
+    for row in rows {
+        let mut first = true;
+        for v in row {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+            first = false;
+        }
+        out.push('\n');
+    }
+    fs::write(path, out)
+}
+
+/// Saves a dataset to a CSV file, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_dataset(path: impl AsRef<Path>, data: &Dataset) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, dataset_to_csv(data))
+}
+
+/// Loads a dataset from a CSV file.
+///
+/// # Errors
+///
+/// Propagates I/O errors; parse failures surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn load_dataset(path: impl AsRef<Path>) -> io::Result<Dataset> {
+    let text = fs::read_to_string(path)?;
+    dataset_from_csv(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_string() {
+        let ds = Dataset::from_rows(&[[1.0, 2.5], [-3.0, 0.125]]).unwrap();
+        let text = dataset_to_csv(&ds);
+        let back = dataset_from_csv(&text).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn header_is_optional() {
+        let with = "x0,x1\n1,2\n3,4\n";
+        let without = "1,2\n3,4\n";
+        assert_eq!(dataset_from_csv(with).unwrap(), dataset_from_csv(without).unwrap());
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        assert!(dataset_from_csv("1,2\n3\n").is_err());
+    }
+
+    #[test]
+    fn garbage_fields_are_rejected() {
+        assert!(dataset_from_csv("1,2\nfoo,4\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_dataset() {
+        assert!(dataset_from_csv("").unwrap().is_empty());
+        assert!(dataset_from_csv("a,b\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn roundtrip_via_file() {
+        let dir = std::env::temp_dir().join("lof_csv_test");
+        let path = dir.join("ds.csv");
+        let ds = Dataset::from_rows(&[[9.0], [8.0], [7.5]]).unwrap();
+        save_dataset(&path, &ds).unwrap();
+        assert_eq!(load_dataset(&path).unwrap(), ds);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn write_table_produces_header_and_rows() {
+        let dir = std::env::temp_dir().join("lof_table_test");
+        let path = dir.join("t.csv");
+        write_table(&path, &["k", "lof"], &[vec![1.0, 2.0], vec![2.0, 1.5]]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("k,lof\n"));
+        assert_eq!(text.lines().count(), 3);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,284 @@
+//! Primitive point-cloud generators and a labeled mixture builder.
+
+use crate::rng::{standard_normal, WorkloadRng};
+use lof_core::Dataset;
+use rand::RngExt;
+
+/// A dataset together with a ground-truth label per point.
+///
+/// Labels identify the generating component: `0..k` for mixture clusters,
+/// [`LabeledDataset::OUTLIER`] for planted outliers. LOF never sees the
+/// labels — the harness uses them to check who *should* score high.
+#[derive(Debug, Clone)]
+pub struct LabeledDataset {
+    /// The points.
+    pub data: Dataset,
+    /// One label per point.
+    pub labels: Vec<usize>,
+}
+
+impl LabeledDataset {
+    /// Label marking a planted outlier.
+    pub const OUTLIER: usize = usize::MAX;
+
+    /// Ids of all points carrying a given label.
+    pub fn ids_with_label(&self, label: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == label)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Ids of all planted outliers.
+    pub fn outlier_ids(&self) -> Vec<usize> {
+        self.ids_with_label(Self::OUTLIER)
+    }
+
+    /// The member of a labeled component closest to the component's
+    /// centroid — the "representative object" figure 8's per-cluster LOF
+    /// traces are plotted for. `None` when no point carries the label.
+    pub fn representative(&self, label: usize) -> Option<usize> {
+        let ids = self.ids_with_label(label);
+        let first = *ids.first()?;
+        let dims = self.data.dims();
+        let mut centroid = vec![0.0; dims];
+        for &id in &ids {
+            let p = self.data.point(id);
+            for d in 0..dims {
+                centroid[d] += p[d];
+            }
+        }
+        for c in &mut centroid {
+            *c /= ids.len() as f64;
+        }
+        let mut best = first;
+        let mut best_dist = f64::INFINITY;
+        for &id in &ids {
+            let p = self.data.point(id);
+            let dist: f64 = p.iter().zip(&centroid).map(|(a, b)| (a - b) * (a - b)).sum();
+            if dist < best_dist {
+                best_dist = dist;
+                best = id;
+            }
+        }
+        Some(best)
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// `n` points from an isotropic Gaussian around `center`.
+pub fn gaussian_cluster(rng: &mut WorkloadRng, n: usize, center: &[f64], std_dev: f64) -> Dataset {
+    let dims = center.len();
+    let mut ds = Dataset::with_capacity(dims, n);
+    let mut row = vec![0.0; dims];
+    for _ in 0..n {
+        for (d, v) in row.iter_mut().enumerate() {
+            *v = center[d] + std_dev * standard_normal(rng);
+        }
+        ds.push(&row).expect("generated coordinates are finite");
+    }
+    ds
+}
+
+/// `n` points uniform over the axis-aligned box `[lo, hi]`.
+pub fn uniform_box(rng: &mut WorkloadRng, n: usize, lo: &[f64], hi: &[f64]) -> Dataset {
+    assert_eq!(lo.len(), hi.len());
+    let dims = lo.len();
+    let mut ds = Dataset::with_capacity(dims, n);
+    let mut row = vec![0.0; dims];
+    for _ in 0..n {
+        for (d, v) in row.iter_mut().enumerate() {
+            *v = if hi[d] > lo[d] { rng.random_range(lo[d]..hi[d]) } else { lo[d] };
+        }
+        ds.push(&row).expect("generated coordinates are finite");
+    }
+    ds
+}
+
+/// `n` points uniform over a 2-d disk.
+pub fn uniform_disk(rng: &mut WorkloadRng, n: usize, center: [f64; 2], radius: f64) -> Dataset {
+    let mut ds = Dataset::with_capacity(2, n);
+    for _ in 0..n {
+        let r = radius * rng.random::<f64>().sqrt();
+        let theta = rng.random_range(0.0..std::f64::consts::TAU);
+        ds.push(&[center[0] + r * theta.cos(), center[1] + r * theta.sin()])
+            .expect("generated coordinates are finite");
+    }
+    ds
+}
+
+/// `n` points uniform over a 2-d annulus (useful for "cluster with a hole"
+/// shapes that defeat global outlier definitions).
+pub fn ring(
+    rng: &mut WorkloadRng,
+    n: usize,
+    center: [f64; 2],
+    r_inner: f64,
+    r_outer: f64,
+) -> Dataset {
+    assert!(r_inner <= r_outer);
+    let mut ds = Dataset::with_capacity(2, n);
+    for _ in 0..n {
+        // Area-uniform radius on the annulus.
+        let u = rng.random::<f64>();
+        let r = (r_inner * r_inner + u * (r_outer * r_outer - r_inner * r_inner)).sqrt();
+        let theta = rng.random_range(0.0..std::f64::consts::TAU);
+        ds.push(&[center[0] + r * theta.cos(), center[1] + r * theta.sin()])
+            .expect("generated coordinates are finite");
+    }
+    ds
+}
+
+/// One component of a [`mixture`].
+#[derive(Debug, Clone)]
+pub enum Component {
+    /// Isotropic Gaussian: `(n, center, std_dev)`.
+    Gaussian(usize, Vec<f64>, f64),
+    /// Uniform box: `(n, lo, hi)`.
+    UniformBox(usize, Vec<f64>, Vec<f64>),
+    /// Uniform 2-d disk: `(n, center, radius)`.
+    UniformDisk(usize, [f64; 2], f64),
+}
+
+impl Component {
+    fn generate(&self, rng: &mut WorkloadRng) -> Dataset {
+        match self {
+            Component::Gaussian(n, center, std) => gaussian_cluster(rng, *n, center, *std),
+            Component::UniformBox(n, lo, hi) => uniform_box(rng, *n, lo, hi),
+            Component::UniformDisk(n, center, radius) => uniform_disk(rng, *n, *center, *radius),
+        }
+    }
+}
+
+/// Builds a labeled mixture of components plus explicit planted outliers.
+pub fn mixture(
+    rng: &mut WorkloadRng,
+    components: &[Component],
+    planted_outliers: &[Vec<f64>],
+) -> LabeledDataset {
+    let dims = match components.first() {
+        Some(Component::Gaussian(_, c, _)) => c.len(),
+        Some(Component::UniformBox(_, lo, _)) => lo.len(),
+        Some(Component::UniformDisk(..)) => 2,
+        None => planted_outliers.first().map_or(0, Vec::len),
+    };
+    let mut data = Dataset::new(dims);
+    let mut labels = Vec::new();
+    for (label, component) in components.iter().enumerate() {
+        let part = component.generate(rng);
+        labels.extend(std::iter::repeat_n(label, part.len()));
+        data.extend(&part).expect("components agree on dimensionality");
+    }
+    for outlier in planted_outliers {
+        data.push(outlier).expect("outlier has the mixture's dimensionality");
+        labels.push(LabeledDataset::OUTLIER);
+    }
+    LabeledDataset { data, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn gaussian_cluster_centers_correctly() {
+        let mut rng = seeded(3);
+        let ds = gaussian_cluster(&mut rng, 20_000, &[5.0, -2.0], 1.5);
+        assert_eq!(ds.len(), 20_000);
+        let mut mean = [0.0, 0.0];
+        for (_, p) in ds.iter() {
+            mean[0] += p[0];
+            mean[1] += p[1];
+        }
+        mean[0] /= ds.len() as f64;
+        mean[1] /= ds.len() as f64;
+        assert!((mean[0] - 5.0).abs() < 0.05);
+        assert!((mean[1] + 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn uniform_box_respects_bounds() {
+        let mut rng = seeded(9);
+        let ds = uniform_box(&mut rng, 5_000, &[0.0, 10.0], &[1.0, 20.0]);
+        for (_, p) in ds.iter() {
+            assert!((0.0..1.0).contains(&p[0]));
+            assert!((10.0..20.0).contains(&p[1]));
+        }
+    }
+
+    #[test]
+    fn uniform_box_handles_degenerate_dim() {
+        let mut rng = seeded(9);
+        let ds = uniform_box(&mut rng, 100, &[0.0, 5.0], &[1.0, 5.0]);
+        for (_, p) in ds.iter() {
+            assert_eq!(p[1], 5.0);
+        }
+    }
+
+    #[test]
+    fn disk_and_ring_respect_radii() {
+        let mut rng = seeded(11);
+        let disk = uniform_disk(&mut rng, 2_000, [1.0, 1.0], 3.0);
+        for (_, p) in disk.iter() {
+            let r = ((p[0] - 1.0).powi(2) + (p[1] - 1.0).powi(2)).sqrt();
+            assert!(r <= 3.0 + 1e-9);
+        }
+        let annulus = ring(&mut rng, 2_000, [0.0, 0.0], 2.0, 4.0);
+        for (_, p) in annulus.iter() {
+            let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            assert!((2.0 - 1e-9..=4.0 + 1e-9).contains(&r));
+        }
+    }
+
+    #[test]
+    fn mixture_labels_line_up() {
+        let mut rng = seeded(5);
+        let labeled = mixture(
+            &mut rng,
+            &[
+                Component::Gaussian(50, vec![0.0, 0.0], 1.0),
+                Component::UniformBox(30, vec![10.0, 10.0], vec![12.0, 12.0]),
+            ],
+            &[vec![100.0, 100.0], vec![-50.0, 0.0]],
+        );
+        assert_eq!(labeled.len(), 82);
+        assert_eq!(labeled.ids_with_label(0).len(), 50);
+        assert_eq!(labeled.ids_with_label(1).len(), 30);
+        assert_eq!(labeled.outlier_ids(), vec![80, 81]);
+    }
+
+    #[test]
+    fn representative_is_central() {
+        let mut rng = seeded(13);
+        let labeled = mixture(
+            &mut rng,
+            &[Component::Gaussian(200, vec![10.0, -5.0], 2.0)],
+            &[vec![100.0, 100.0]],
+        );
+        let rep = labeled.representative(0).unwrap();
+        let p = labeled.data.point(rep);
+        assert!((p[0] - 10.0).abs() < 1.0, "rep x = {}", p[0]);
+        assert!((p[1] + 5.0).abs() < 1.0, "rep y = {}", p[1]);
+        assert!(labeled.representative(9).is_none());
+    }
+
+    #[test]
+    fn same_seed_same_mixture() {
+        let spec = [Component::Gaussian(40, vec![1.0], 0.5)];
+        let a = mixture(&mut seeded(77), &spec, &[]);
+        let b = mixture(&mut seeded(77), &spec, &[]);
+        assert_eq!(a.data, b.data);
+    }
+}

@@ -1,0 +1,288 @@
+//! A synthetic stand-in for the NHL96 player-statistics dataset of the
+//! paper's section 7.2.
+//!
+//! **Substitution** (see DESIGN.md): the original experiment ran on
+//! historical NHL player data we do not have. What the experiment actually
+//! demonstrates is *rank agreement*: the objects Knorr–Ng's `DB(pct, dmin)`
+//! definition flags in two 3-d subspaces are also the top max-LOF objects,
+//! and LOF additionally surfaces a "short-season" player (Steve Poapst: 3
+//! games, 1 goal, 50% shooting) that `DB` misses. We therefore synthesize a
+//! league with the same statistical skeleton — a large mass of correlated
+//! regular players plus planted analogs of the paper's named outliers — and
+//! the harness asserts the same rank structure.
+
+use crate::rng::{normal, seeded};
+use lof_core::Dataset;
+use rand::RngExt;
+
+/// One season line of a synthetic skater (or goalie).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Player {
+    /// Display name; planted analogs carry the paper's player's name with
+    /// an `(analog)` suffix.
+    pub name: String,
+    /// Games played (0–82).
+    pub games_played: u32,
+    /// Goals scored.
+    pub goals: u32,
+    /// Assists.
+    pub assists: u32,
+    /// Plus/minus rating.
+    pub plus_minus: i32,
+    /// Penalty minutes.
+    pub penalty_minutes: u32,
+    /// Shots on goal.
+    pub shots: u32,
+}
+
+impl Player {
+    /// Points = goals + assists.
+    pub fn points(&self) -> u32 {
+        self.goals + self.assists
+    }
+
+    /// Shooting percentage (goals per 100 shots); 0 for shotless players.
+    pub fn shooting_pct(&self) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            100.0 * self.goals as f64 / self.shots as f64
+        }
+    }
+}
+
+/// The synthetic league, with the indices of the planted analogs.
+#[derive(Debug, Clone)]
+pub struct HockeyLeague {
+    /// All players; planted analogs are at the recorded indices.
+    pub players: Vec<Player>,
+    /// Vladimir Konstantinov analog: modest scorer with an extreme
+    /// plus/minus and high penalty minutes — the paper's only
+    /// `DB(0.998, 26.3044)` outlier and its top LOF (2.4) in the
+    /// (points, +/-, PIM) subspace.
+    pub konstantinov: usize,
+    /// Matthew Barnaby analog: league-leading penalty minutes — the paper's
+    /// second-strongest LOF outlier (2.0) in the same subspace.
+    pub barnaby: usize,
+    /// Chris Osgood analog: a goalie who scored — top LOF (6.0) in the
+    /// (games, goals, shooting%) subspace.
+    pub osgood: usize,
+    /// Mario Lemieux analog: extreme scorer — LOF 2.8 in the same subspace.
+    pub lemieux: usize,
+    /// Steve Poapst analog: 3 games, 1 goal, 50% shooting — rank three by
+    /// LOF (2.5) but invisible to `DB(pct, dmin)`.
+    pub poapst: usize,
+}
+
+/// Generates the synthetic league (`n_regulars` background players plus the
+/// five planted analogs; the paper's NHL96 season has on the order of 850
+/// players, so `nhl96_analog(seed, 850)` is the faithful call).
+pub fn nhl96_analog(seed: u64, n_regulars: usize) -> HockeyLeague {
+    let mut rng = seeded(seed);
+    let mut players = Vec::with_capacity(n_regulars + 5);
+
+    for i in 0..n_regulars {
+        // Three tiers: fringe call-ups, regulars, stars.
+        let tier = match i % 10 {
+            0..=1 => 0, // 20% fringe
+            2..=8 => 1, // 70% regulars
+            _ => 2,     // 10% stars
+        };
+        // Fringe call-ups take so few shots that their shooting percentage
+        // is a noisy small-sample quantity (0%, 25%, 33%, 50%, …) — exactly
+        // the crowd that keeps a Poapst-like season from being a
+        // DB(pct, dmin) outlier in the (GP, goals, S%) subspace while LOF
+        // still ranks him by *degree*.
+        let (gp, shots, goals, pim_rate) = match tier {
+            0 => {
+                // Call-ups: a compact band of 1–10 game seasons whose tiny
+                // shot samples quantize shooting% to 0, 25, 33, 50, … —
+                // the loose crowd that keeps any single short-season oddity
+                // from being a DB(pct, dmin) outlier.
+                let gp: u32 = rng.random_range(1..=10);
+                let shots: u32 = rng.random_range(0..=(2 * gp).min(12));
+                let raw_goals =
+                    (0..shots).filter(|_| rng.random::<f64>() < 0.12).count() as u32;
+                let goals = raw_goals.min(shots.saturating_sub(1));
+                (gp, shots, goals, rng.random_range(0.0..1.0))
+            }
+            1 => {
+                let gp: u32 = rng.random_range(30..=82);
+                let shots = ((gp as f64) * rng.random_range(0.8..2.5)).round() as u32;
+                let goals =
+                    ((shots as f64) * rng.random_range(5.0..13.0) / 100.0).round() as u32;
+                // Every league has its enforcers: a PIM tail reaching ~310
+                // keeps high-PIM seasons *mutually* within DB range while a
+                // 335-PIM league leader is still locally sparse.
+                let pim_rate = if rng.random::<f64>() < 0.10 {
+                    rng.random_range(2.0..3.8)
+                } else {
+                    rng.random_range(0.2..1.8)
+                };
+                (gp, shots, goals, pim_rate)
+            }
+            _ => {
+                let gp: u32 = rng.random_range(60..=82);
+                let shots = ((gp as f64) * rng.random_range(2.5..4.0)).round() as u32;
+                let goals =
+                    ((shots as f64) * rng.random_range(9.0..17.0) / 100.0).round() as u32;
+                (gp, shots, goals, rng.random_range(0.2..1.2))
+            }
+        };
+        let assists = (goals as f64 * rng.random_range(0.8..2.2)).round() as u32;
+        let plus_minus = normal(&mut rng, 0.0, 8.0).round() as i32;
+        let penalty_minutes = ((gp as f64) * pim_rate).round() as u32;
+        players.push(Player {
+            name: format!("Skater {i:03}"),
+            games_played: gp,
+            goals,
+            assists,
+            plus_minus: plus_minus.clamp(-33, 33),
+            penalty_minutes,
+            shots,
+        });
+    }
+
+    let konstantinov = players.len();
+    players.push(Player {
+        name: "V. Konstantinov (analog)".to_owned(),
+        games_played: 81,
+        goals: 14,
+        assists: 20,
+        plus_minus: 60, // far beyond the clamped ±40 background
+        penalty_minutes: 139,
+        shots: 140,
+    });
+    let barnaby = players.len();
+    players.push(Player {
+        name: "M. Barnaby (analog)".to_owned(),
+        games_played: 75,
+        goals: 19,
+        assists: 24,
+        plus_minus: -7,
+        penalty_minutes: 335, // roughly double any background player
+        shots: 130,
+    });
+    let osgood = players.len();
+    players.push(Player {
+        name: "C. Osgood (analog)".to_owned(),
+        games_played: 50,
+        goals: 1, // the goalie who scored
+        assists: 1,
+        plus_minus: 0,
+        penalty_minutes: 4,
+        shots: 2, // shooting% = 50
+    });
+    let lemieux = players.len();
+    players.push(Player {
+        name: "M. Lemieux (analog)".to_owned(),
+        games_played: 70,
+        goals: 69,
+        assists: 92,
+        plus_minus: 33,
+        penalty_minutes: 54,
+        shots: 338, // shooting% ≈ 20.4 with an extreme goal total
+    });
+    let poapst = players.len();
+    players.push(Player {
+        name: "S. Poapst (analog)".to_owned(),
+        games_played: 3,
+        goals: 1,
+        assists: 0,
+        plus_minus: -1,
+        penalty_minutes: 2,
+        shots: 2, // shooting% = 50 on a three-game season
+    });
+
+    HockeyLeague { players, konstantinov, barnaby, osgood, lemieux, poapst }
+}
+
+/// The paper's first test subspace: (points scored, plus/minus, penalty
+/// minutes).
+pub fn subspace_points_plusminus_pim(league: &HockeyLeague) -> Dataset {
+    let rows: Vec<[f64; 3]> = league
+        .players
+        .iter()
+        .map(|p| [p.points() as f64, p.plus_minus as f64, p.penalty_minutes as f64])
+        .collect();
+    Dataset::from_rows(&rows).expect("player stats are finite")
+}
+
+/// The paper's second test subspace: (games played, goals scored, shooting
+/// percentage).
+pub fn subspace_gp_goals_shooting(league: &HockeyLeague) -> Dataset {
+    let rows: Vec<[f64; 3]> = league
+        .players
+        .iter()
+        .map(|p| [p.games_played as f64, p.goals as f64, p.shooting_pct()])
+        .collect();
+    Dataset::from_rows(&rows).expect("player stats are finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn league_has_expected_size_and_analogs() {
+        let league = nhl96_analog(1, 850);
+        assert_eq!(league.players.len(), 855);
+        assert_eq!(league.players[league.konstantinov].plus_minus, 60);
+        assert_eq!(league.players[league.barnaby].penalty_minutes, 335);
+        assert_eq!(league.players[league.osgood].shooting_pct(), 50.0);
+        assert_eq!(league.players[league.poapst].games_played, 3);
+        assert_eq!(league.players[league.lemieux].goals, 69);
+    }
+
+    #[test]
+    fn planted_extremes_dominate_background() {
+        let league = nhl96_analog(2, 850);
+        let background = &league.players[..850];
+        let max_pm = background.iter().map(|p| p.plus_minus).max().unwrap();
+        let max_pim = background.iter().map(|p| p.penalty_minutes).max().unwrap();
+        let max_goals = background.iter().map(|p| p.goals).max().unwrap();
+        // Konstantinov leads +/- by a wide margin; Barnaby leads PIM but
+        // with an enforcer tail close behind (that tail is what keeps him
+        // from being a DB outlier while leaving him locally sparse).
+        assert!(league.players[league.konstantinov].plus_minus > max_pm + 15);
+        assert!(league.players[league.barnaby].penalty_minutes > max_pim);
+        assert!(max_pim > 200, "enforcer PIM tail exists (got {max_pim})");
+        assert!(league.players[league.lemieux].goals > max_goals + 10);
+    }
+
+    #[test]
+    fn subspaces_have_right_shape() {
+        let league = nhl96_analog(3, 100);
+        let a = subspace_points_plusminus_pim(&league);
+        let b = subspace_gp_goals_shooting(&league);
+        assert_eq!(a.len(), 105);
+        assert_eq!(a.dims(), 3);
+        assert_eq!(b.len(), 105);
+        assert_eq!(b.dims(), 3);
+        // Row order matches player order.
+        let k = league.konstantinov;
+        assert_eq!(a.point(k)[1], 60.0);
+    }
+
+    #[test]
+    fn points_is_goals_plus_assists() {
+        let p = Player {
+            name: "x".into(),
+            games_played: 10,
+            goals: 3,
+            assists: 7,
+            plus_minus: 0,
+            penalty_minutes: 0,
+            shots: 30,
+        };
+        assert_eq!(p.points(), 10);
+        assert!((p.shooting_pct() - 10.0).abs() < 1e-12);
+        let shotless = Player { shots: 0, ..p };
+        assert_eq!(shotless.shooting_pct(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(nhl96_analog(7, 200).players, nhl96_analog(7, 200).players);
+    }
+}

@@ -1,0 +1,32 @@
+//! # lof-data — workloads for the LOF reproduction
+//!
+//! Seeded, deterministic dataset generators:
+//!
+//! * [`generators`] — Gaussian/uniform primitives and a labeled mixture
+//!   builder;
+//! * [`paper`] — the paper's synthetic datasets (figure 1's DS1, the
+//!   figure 7 Gaussian, figure 8's S1/S2/S3, figure 9's four-cluster scene,
+//!   the figure 10/11 performance mixtures, and 64-d histogram-like data);
+//! * [`hockey`] / [`soccer`] — planted-structure stand-ins for the NHL96
+//!   and Bundesliga 1998/99 datasets used in sections 7.2–7.3 (the
+//!   substitutions are documented in DESIGN.md);
+//! * [`normalize`] — z-score / min-max column scaling;
+//! * [`metrics`] — detection-quality metrics (precision@k, ROC-AUC) for
+//!   labeled workloads;
+//! * [`csv`] — plain-text persistence for datasets and result tables.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod csv;
+pub mod generators;
+pub mod hockey;
+pub mod metrics;
+pub mod normalize;
+pub mod paper;
+pub mod rng;
+pub mod soccer;
+
+pub use generators::{gaussian_cluster, mixture, ring, uniform_box, uniform_disk, Component, LabeledDataset};
+pub use normalize::{min_max_scale, standardize, ZScore};
+pub use rng::{seeded, WorkloadRng};

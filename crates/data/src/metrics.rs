@@ -1,0 +1,161 @@
+//! Detection-quality metrics for labeled workloads: given per-object
+//! outlier scores and the ground-truth planted-outlier ids, quantify how
+//! well a detector separates them. Used by the harness to report
+//! precision@k and ROC-AUC next to the paper's qualitative claims.
+
+/// Precision at `k`: the fraction of the `k` top-scored objects that are
+/// true outliers. Ties broken by object id for determinism; `k` is clamped
+/// to the number of objects.
+pub fn precision_at_k(scores: &[f64], truth: &[usize], k: usize) -> f64 {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let mut ranked: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
+    ranked.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let hits = ranked[..k].iter().filter(|(id, _)| truth.contains(id)).count();
+    hits as f64 / k as f64
+}
+
+/// Recall at `k`: the fraction of true outliers captured in the top `k`.
+pub fn recall_at_k(scores: &[f64], truth: &[usize], k: usize) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let k = k.min(scores.len());
+    let mut ranked: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
+    ranked.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let hits = ranked[..k].iter().filter(|(id, _)| truth.contains(id)).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Area under the ROC curve: the probability that a uniformly random true
+/// outlier outscores a uniformly random inlier (ties count half). 1.0 is a
+/// perfect ranking, 0.5 is chance.
+///
+/// Computed exactly via the rank-sum (Mann–Whitney) formulation in
+/// `O(n log n)`.
+pub fn roc_auc(scores: &[f64], truth: &[usize]) -> f64 {
+    let n = scores.len();
+    let positives = truth.len();
+    let negatives = n - positives;
+    if positives == 0 || negatives == 0 {
+        return 0.5;
+    }
+    let is_positive = {
+        let mut mask = vec![false; n];
+        for &id in truth {
+            mask[id] = true;
+        }
+        mask
+    };
+    // Ranks with ties averaged.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut rank_sum_positive = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Average rank of the tie group [i..=j] (1-based ranks).
+        let avg_rank = (i + j + 2) as f64 / 2.0;
+        for &id in &order[i..=j] {
+            if is_positive[id] {
+                rank_sum_positive += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_positive - (positives * (positives + 1)) as f64 / 2.0;
+    u / (positives as f64 * negatives as f64)
+}
+
+/// Average precision: the mean of precision@k over the ranks `k` at which
+/// true outliers appear — the area under the precision–recall curve.
+pub fn average_precision(scores: &[f64], truth: &[usize]) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mut ranked: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
+    ranked.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (rank, (id, _)) in ranked.iter().enumerate() {
+        if truth.contains(id) {
+            hits += 1;
+            sum += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    sum / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        // Outliers 3, 4 hold the two highest scores.
+        let scores = [0.1, 0.2, 0.3, 0.9, 0.8];
+        let truth = [3, 4];
+        assert_eq!(precision_at_k(&scores, &truth, 2), 1.0);
+        assert_eq!(recall_at_k(&scores, &truth, 2), 1.0);
+        assert_eq!(roc_auc(&scores, &truth), 1.0);
+        assert_eq!(average_precision(&scores, &truth), 1.0);
+    }
+
+    #[test]
+    fn inverted_ranking_scores_zero() {
+        let scores = [0.9, 0.8, 0.7, 0.1, 0.2];
+        let truth = [3, 4];
+        assert_eq!(precision_at_k(&scores, &truth, 2), 0.0);
+        assert_eq!(roc_auc(&scores, &truth), 0.0);
+    }
+
+    #[test]
+    fn chance_level_is_half() {
+        // All scores tied: AUC must be exactly 0.5.
+        let scores = [1.0; 10];
+        let truth = [0, 1, 2];
+        assert!((roc_auc(&scores, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_ranking() {
+        // One outlier on top, one buried at the bottom.
+        let scores = [0.9, 0.5, 0.4, 0.3, 0.1];
+        let truth = [0, 4];
+        assert_eq!(precision_at_k(&scores, &truth, 2), 0.5);
+        assert_eq!(recall_at_k(&scores, &truth, 2), 0.5);
+        // AUC: pairs (0 vs {1,2,3}) all won, (4 vs {1,2,3}) all lost -> 0.5.
+        assert!((roc_auc(&scores, &truth) - 0.5).abs() < 1e-12);
+        // AP: hit at rank 1 (precision 1) and rank 5 (precision 2/5).
+        assert!((average_precision(&scores, &truth) - (1.0 + 0.4) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(precision_at_k(&[], &[], 3), 0.0);
+        assert_eq!(recall_at_k(&[1.0], &[], 1), 0.0);
+        assert_eq!(roc_auc(&[1.0, 2.0], &[]), 0.5);
+        assert_eq!(roc_auc(&[1.0, 2.0], &[0, 1]), 0.5);
+        assert_eq!(average_precision(&[1.0], &[]), 0.0);
+    }
+
+    #[test]
+    fn k_is_clamped() {
+        let scores = [0.9, 0.1];
+        let truth = [0];
+        assert_eq!(precision_at_k(&scores, &truth, 100), 0.5);
+        assert_eq!(recall_at_k(&scores, &truth, 100), 1.0);
+    }
+
+    #[test]
+    fn auc_handles_infinite_scores() {
+        let scores = [f64::INFINITY, 1.0, 0.5, f64::NEG_INFINITY];
+        let truth = [0];
+        assert_eq!(roc_auc(&scores, &truth), 1.0);
+    }
+}

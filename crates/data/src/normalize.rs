@@ -1,0 +1,162 @@
+//! Column-wise feature scaling.
+//!
+//! LOF is scale-invariant only under *uniform* scaling; datasets mixing
+//! units (games played 0–34 next to goals-per-game 0–0.7) let one column
+//! dominate Euclidean distances. The paper's experiments implicitly work in
+//! attribute units; we expose explicit z-score and min-max scalers so the
+//! harness (and users) can make the choice deliberately.
+
+use lof_core::Dataset;
+
+/// Per-column mean/standard deviation, reusable to transform new points
+/// consistently with a fitted dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZScore {
+    means: Vec<f64>,
+    std_devs: Vec<f64>,
+}
+
+impl ZScore {
+    /// Fits column statistics. Constant columns get `std_dev = 1` so they
+    /// map to 0 instead of dividing by zero.
+    pub fn fit(data: &Dataset) -> Self {
+        let dims = data.dims();
+        let n = data.len().max(1) as f64;
+        let mut means = vec![0.0; dims];
+        for (_, p) in data.iter() {
+            for d in 0..dims {
+                means[d] += p[d];
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; dims];
+        for (_, p) in data.iter() {
+            for d in 0..dims {
+                let delta = p[d] - means[d];
+                vars[d] += delta * delta;
+            }
+        }
+        let std_devs = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        ZScore { means, std_devs }
+    }
+
+    /// Transforms a dataset with the fitted statistics.
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        let dims = data.dims();
+        let mut out = Dataset::with_capacity(dims, data.len());
+        let mut row = vec![0.0; dims];
+        for (_, p) in data.iter() {
+            for d in 0..dims {
+                row[d] = (p[d] - self.means[d]) / self.std_devs[d];
+            }
+            out.push(&row).expect("finite after scaling");
+        }
+        out
+    }
+
+    /// Transforms a single point.
+    pub fn transform_point(&self, p: &[f64]) -> Vec<f64> {
+        p.iter().enumerate().map(|(d, &v)| (v - self.means[d]) / self.std_devs[d]).collect()
+    }
+
+    /// Per-column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-column standard deviations.
+    pub fn std_devs(&self) -> &[f64] {
+        &self.std_devs
+    }
+}
+
+/// Fit + transform in one call.
+pub fn standardize(data: &Dataset) -> Dataset {
+    ZScore::fit(data).transform(data)
+}
+
+/// Rescales every column to `[0, 1]` (constant columns map to 0).
+pub fn min_max_scale(data: &Dataset) -> Dataset {
+    let dims = data.dims();
+    let Some((lo, hi)) = data.bounding_box() else {
+        return Dataset::new(dims);
+    };
+    let mut out = Dataset::with_capacity(dims, data.len());
+    let mut row = vec![0.0; dims];
+    for (_, p) in data.iter() {
+        for d in 0..dims {
+            let extent = hi[d] - lo[d];
+            row[d] = if extent > 0.0 { (p[d] - lo[d]) / extent } else { 0.0 };
+        }
+        out.push(&row).expect("finite after scaling");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_rows(&[[1.0, 100.0], [2.0, 200.0], [3.0, 300.0], [4.0, 400.0]]).unwrap()
+    }
+
+    #[test]
+    fn zscore_produces_zero_mean_unit_variance() {
+        let z = standardize(&sample());
+        for d in 0..2 {
+            let mean: f64 = z.iter().map(|(_, p)| p[d]).sum::<f64>() / z.len() as f64;
+            let var: f64 = z.iter().map(|(_, p)| p[d] * p[d]).sum::<f64>() / z.len() as f64;
+            assert!(mean.abs() < 1e-12, "dim {d} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-12, "dim {d} var {var}");
+        }
+    }
+
+    #[test]
+    fn zscore_constant_column_is_safe() {
+        let ds = Dataset::from_rows(&[[5.0, 1.0], [5.0, 2.0], [5.0, 3.0]]).unwrap();
+        let z = standardize(&ds);
+        for (_, p) in z.iter() {
+            assert_eq!(p[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn transform_point_matches_bulk_transform() {
+        let ds = sample();
+        let scaler = ZScore::fit(&ds);
+        let bulk = scaler.transform(&ds);
+        for (id, p) in ds.iter() {
+            assert_eq!(scaler.transform_point(p), bulk.point(id));
+        }
+    }
+
+    #[test]
+    fn min_max_hits_unit_interval() {
+        let m = min_max_scale(&sample());
+        let (lo, hi) = m.bounding_box().unwrap();
+        assert_eq!(lo, vec![0.0, 0.0]);
+        assert_eq!(hi, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn min_max_constant_column_maps_to_zero() {
+        let ds = Dataset::from_rows(&[[7.0], [7.0]]).unwrap();
+        let m = min_max_scale(&ds);
+        for (_, p) in m.iter() {
+            assert_eq!(p[0], 0.0);
+        }
+    }
+}

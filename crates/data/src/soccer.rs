@@ -1,0 +1,271 @@
+//! A synthetic stand-in for the "Fußball 1. Bundesliga" 1998/99 dataset of
+//! the paper's section 7.3 (table 3).
+//!
+//! **Substitution** (see DESIGN.md): the original database holds 375 real
+//! players with (name, games played, goals scored, position). Outlier
+//! detection ran on the 3-d subspace (games, average goals per game,
+//! position-as-integer), whose structure is four position clusters plus five
+//! domain-meaningful outliers (table 3). We synthesize a league with the
+//! same marginal statistics (table 3's summary rows: games median 21 / mean
+//! 18.0 / σ 11.0 / max 34; goals median 1 / mean 1.9 / σ 3.0 / max 23) and
+//! plant the five named outliers with their exact table-3 attribute values.
+
+use crate::rng::seeded;
+use lof_core::Dataset;
+use rand::RngExt;
+
+/// Player position, coded as an integer exactly as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Position {
+    /// Goalkeeper (code 1).
+    Goalie = 1,
+    /// Defender (code 2).
+    Defense = 2,
+    /// Midfielder/center (code 3).
+    Center = 3,
+    /// Forward (code 4).
+    Offense = 4,
+}
+
+impl Position {
+    /// The integer code used as the third dataset dimension.
+    pub fn code(self) -> f64 {
+        self as u8 as f64
+    }
+}
+
+/// One season line of a synthetic Bundesliga player.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoccerPlayer {
+    /// Display name; planted analogs carry the paper's player's name with
+    /// an `(analog)` suffix.
+    pub name: String,
+    /// Games played (0–34; the Bundesliga season has 34 rounds).
+    pub games: u32,
+    /// Goals scored.
+    pub goals: u32,
+    /// Playing position.
+    pub position: Position,
+}
+
+impl SoccerPlayer {
+    /// Average goals per game (0 for players without appearances).
+    pub fn goals_per_game(&self) -> f64 {
+        if self.games == 0 {
+            0.0
+        } else {
+            self.goals as f64 / self.games as f64
+        }
+    }
+}
+
+/// The synthetic league, with the indices of the five table-3 outliers.
+#[derive(Debug, Clone)]
+pub struct SoccerLeague {
+    /// All 375 players.
+    pub players: Vec<SoccerPlayer>,
+    /// Michael Preetz analog — table 3 rank 1, LOF 1.87: maximum games (34)
+    /// *and* maximum goals (23), the league's top scorer.
+    pub preetz: usize,
+    /// Michael Schjönberg analog — rank 2, LOF 1.70: a defender with an
+    /// exceptional goals-per-game (he took the penalty kicks).
+    pub schjoenberg: usize,
+    /// Hans-Jörg Butt analog — rank 3, LOF 1.67: the only goalie to score
+    /// any goal (7 of them; penalty kicks again).
+    pub butt: usize,
+    /// Ulf Kirsten analog — rank 4, LOF 1.63: very high scoring average.
+    pub kirsten: usize,
+    /// Giovane Elber analog — rank 5, LOF 1.55: very high scoring average.
+    pub elber: usize,
+}
+
+/// Samples a small-mean Poisson (Knuth's product method).
+fn poisson(rng: &mut crate::rng::WorkloadRng, lambda: f64) -> u32 {
+    let limit = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+        if k > 1000 {
+            return k; // defensive: unreachable for the lambdas we use
+        }
+    }
+}
+
+/// Generates the 375-player synthetic Bundesliga season.
+pub fn bundesliga_analog(seed: u64) -> SoccerLeague {
+    let mut rng = seeded(seed);
+    let mut players = Vec::with_capacity(375);
+
+    // 370 background players: 18 teams' worth of goalies, defenders,
+    // midfielders and forwards. Games played: a broad 0..=34 spread with a
+    // bulge of regulars, matching table 3's median 21 / mean 18 / σ 11.
+    let quotas: [(Position, usize); 4] = [
+        (Position::Goalie, 40),
+        (Position::Defense, 120),
+        (Position::Center, 120),
+        (Position::Offense, 90),
+    ];
+    for (position, quota) in quotas {
+        for i in 0..quota {
+            // A mix of regulars (uniform high) and squad players (uniform
+            // low) reproduces the wide spread of games played.
+            let games: u32 = if rng.random::<f64>() < 0.6 {
+                rng.random_range(15..=34)
+            } else {
+                rng.random_range(0..=20)
+            };
+            // Expected goals per appearance by position. Background players
+            // are capped both in total goals and in goals-per-game so none
+            // rivals the planted outliers on either axis (the real league's
+            // named outliers were unique on exactly these margins; a 1-game
+            // 1-goal squad player would otherwise fake a 1.0 goals/game).
+            let (rate, cap, max_gpg) = match position {
+                Position::Goalie => (0.0, 0, 0.0),
+                Position::Defense => (0.05, 4, 0.22),
+                Position::Center => (0.10, 7, 0.30),
+                Position::Offense => (0.28, 12, 0.45),
+            };
+            let gpg_cap = (games as f64 * max_gpg).floor() as u32;
+            let goals = poisson(&mut rng, rate * games as f64).min(cap).min(gpg_cap);
+            players.push(SoccerPlayer {
+                name: format!("{position:?} {i:03}"),
+                games,
+                goals,
+                position,
+            });
+        }
+    }
+
+    // The five planted outliers with their exact table-3 values.
+    let preetz = players.len();
+    players.push(SoccerPlayer {
+        name: "Michael Preetz (analog)".to_owned(),
+        games: 34,
+        goals: 23,
+        position: Position::Offense,
+    });
+    let schjoenberg = players.len();
+    players.push(SoccerPlayer {
+        name: "Michael Schjönberg (analog)".to_owned(),
+        games: 15,
+        goals: 6,
+        position: Position::Defense,
+    });
+    let butt = players.len();
+    players.push(SoccerPlayer {
+        name: "Hans-Jörg Butt (analog)".to_owned(),
+        games: 34,
+        goals: 7,
+        position: Position::Goalie,
+    });
+    let kirsten = players.len();
+    players.push(SoccerPlayer {
+        name: "Ulf Kirsten (analog)".to_owned(),
+        games: 31,
+        goals: 19,
+        position: Position::Offense,
+    });
+    let elber = players.len();
+    players.push(SoccerPlayer {
+        name: "Giovane Elber (analog)".to_owned(),
+        games: 21,
+        goals: 13,
+        position: Position::Offense,
+    });
+
+    SoccerLeague { players, preetz, schjoenberg, butt, kirsten, elber }
+}
+
+/// The paper's 3-d detection subspace: (games played, average goals per
+/// game, position code).
+pub fn soccer_dataset(league: &SoccerLeague) -> Dataset {
+    let rows: Vec<[f64; 3]> = league
+        .players
+        .iter()
+        .map(|p| [p.games as f64, p.goals_per_game(), p.position.code()])
+        .collect();
+    Dataset::from_rows(&rows).expect("player stats are finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn league_shape_matches_table3() {
+        let league = bundesliga_analog(1);
+        assert_eq!(league.players.len(), 375);
+        let games: Vec<u32> = league.players.iter().map(|p| p.games).collect();
+        let goals: Vec<u32> = league.players.iter().map(|p| p.goals).collect();
+        assert_eq!(*games.iter().max().unwrap(), 34);
+        assert_eq!(*goals.iter().max().unwrap(), 23, "Preetz is top scorer");
+        let mean_games = games.iter().sum::<u32>() as f64 / 375.0;
+        let mean_goals = goals.iter().sum::<u32>() as f64 / 375.0;
+        // Table 3's summary rows: mean 18.0 games, 1.9 goals.
+        assert!((mean_games - 18.0).abs() < 3.0, "mean games {mean_games}");
+        assert!((mean_goals - 1.9).abs() < 1.0, "mean goals {mean_goals}");
+    }
+
+    #[test]
+    fn butt_is_the_only_scoring_goalie() {
+        let league = bundesliga_analog(2);
+        for (i, p) in league.players.iter().enumerate() {
+            if p.position == Position::Goalie && i != league.butt {
+                assert_eq!(p.goals, 0, "background goalie {i} must not score");
+            }
+        }
+        assert_eq!(league.players[league.butt].goals, 7);
+    }
+
+    #[test]
+    fn planted_forwards_out_score_background() {
+        let league = bundesliga_analog(3);
+        let planted = [league.preetz, league.kirsten, league.elber];
+        let max_bg_goals = league
+            .players
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !planted.contains(i) && *i != league.butt && *i != league.schjoenberg)
+            .map(|(_, p)| p.goals)
+            .max()
+            .unwrap();
+        assert!(max_bg_goals <= 12);
+        assert!(league.players[league.preetz].goals > max_bg_goals + 5);
+    }
+
+    #[test]
+    fn dataset_matches_paper_subspace() {
+        let league = bundesliga_analog(4);
+        let ds = soccer_dataset(&league);
+        assert_eq!(ds.len(), 375);
+        assert_eq!(ds.dims(), 3);
+        let preetz = ds.point(league.preetz);
+        assert_eq!(preetz[0], 34.0);
+        assert!((preetz[1] - 23.0 / 34.0).abs() < 1e-12);
+        assert_eq!(preetz[2], 4.0);
+    }
+
+    #[test]
+    fn goals_per_game_handles_zero_games() {
+        let p = SoccerPlayer {
+            name: "bench".into(),
+            games: 0,
+            goals: 0,
+            position: Position::Center,
+        };
+        assert_eq!(p.goals_per_game(), 0.0);
+    }
+
+    #[test]
+    fn position_codes_match_paper() {
+        assert_eq!(Position::Goalie.code(), 1.0);
+        assert_eq!(Position::Defense.code(), 2.0);
+        assert_eq!(Position::Center.code(), 3.0);
+        assert_eq!(Position::Offense.code(), 4.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the workload generators: determinism, advertised
+//! shapes, and scaling laws.
+
+use lof_data::csv::{dataset_from_csv, dataset_to_csv};
+use lof_data::generators::{mixture, Component};
+use lof_data::normalize::{min_max_scale, standardize, ZScore};
+use lof_data::paper::perf_mixture;
+use lof_data::rng::seeded;
+use lof_data::{gaussian_cluster, ring, uniform_box, uniform_disk};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn generators_are_deterministic_per_seed(
+        seed in 0u64..1000,
+        n in 1usize..200,
+        dims in 1usize..6,
+    ) {
+        let center = vec![1.5; dims];
+        let a = gaussian_cluster(&mut seeded(seed), n, &center, 2.0);
+        let b = gaussian_cluster(&mut seeded(seed), n, &center, 2.0);
+        prop_assert_eq!(a, b);
+        let a = perf_mixture(seed, n, dims, 4);
+        let b = perf_mixture(seed, n, dims, 4);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ(
+        seed in 0u64..1000,
+        n in 10usize..100,
+    ) {
+        let a = gaussian_cluster(&mut seeded(seed), n, &[0.0], 1.0);
+        let b = gaussian_cluster(&mut seeded(seed + 1), n, &[0.0], 1.0);
+        prop_assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_box_stays_inside(
+        n in 1usize..300,
+        lo in -50.0f64..0.0,
+        extent in 0.0f64..100.0,
+        seed in 0u64..100,
+    ) {
+        let hi = lo + extent;
+        let ds = uniform_box(&mut seeded(seed), n, &[lo, lo], &[hi, hi]);
+        prop_assert_eq!(ds.len(), n);
+        for (_, p) in ds.iter() {
+            prop_assert!(p[0] >= lo && p[0] <= hi);
+            prop_assert!(p[1] >= lo && p[1] <= hi);
+        }
+    }
+
+    #[test]
+    fn disk_and_ring_radii(
+        n in 1usize..300,
+        r_inner in 0.0f64..5.0,
+        extra in 0.0f64..5.0,
+        seed in 0u64..100,
+    ) {
+        let r_outer = r_inner + extra;
+        let ds = ring(&mut seeded(seed), n, [0.0, 0.0], r_inner, r_outer);
+        for (_, p) in ds.iter() {
+            let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            prop_assert!(r >= r_inner - 1e-9 && r <= r_outer + 1e-9);
+        }
+        let ds = uniform_disk(&mut seeded(seed), n, [3.0, -2.0], r_outer);
+        for (_, p) in ds.iter() {
+            let r = ((p[0] - 3.0).powi(2) + (p[1] + 2.0).powi(2)).sqrt();
+            prop_assert!(r <= r_outer + 1e-9);
+        }
+    }
+
+    #[test]
+    fn mixture_label_counts_match_spec(
+        n1 in 1usize..50,
+        n2 in 1usize..50,
+        outliers in 0usize..5,
+        seed in 0u64..100,
+    ) {
+        let planted: Vec<Vec<f64>> = (0..outliers).map(|i| vec![100.0 + i as f64, 0.0]).collect();
+        let labeled = mixture(
+            &mut seeded(seed),
+            &[
+                Component::Gaussian(n1, vec![0.0, 0.0], 1.0),
+                Component::UniformBox(n2, vec![10.0, 10.0], vec![12.0, 12.0]),
+            ],
+            &planted,
+        );
+        prop_assert_eq!(labeled.len(), n1 + n2 + outliers);
+        prop_assert_eq!(labeled.ids_with_label(0).len(), n1);
+        prop_assert_eq!(labeled.ids_with_label(1).len(), n2);
+        prop_assert_eq!(labeled.outlier_ids().len(), outliers);
+    }
+
+    #[test]
+    fn standardize_then_stats_are_canonical(
+        n in 3usize..100,
+        seed in 0u64..100,
+        spread in 0.1f64..50.0,
+    ) {
+        let ds = gaussian_cluster(&mut seeded(seed), n, &[7.0, -3.0], spread);
+        let z = standardize(&ds);
+        for d in 0..2 {
+            let mean: f64 = z.iter().map(|(_, p)| p[d]).sum::<f64>() / n as f64;
+            let var: f64 = z.iter().map(|(_, p)| p[d] * p[d]).sum::<f64>() / n as f64;
+            prop_assert!(mean.abs() < 1e-8);
+            prop_assert!((var - 1.0).abs() < 1e-8);
+        }
+        let m = min_max_scale(&ds);
+        let (lo, hi) = m.bounding_box().unwrap();
+        for d in 0..2 {
+            prop_assert!(lo[d] >= -1e-12 && hi[d] <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zscore_transform_point_matches_bulk(
+        n in 3usize..60,
+        seed in 0u64..100,
+    ) {
+        let ds = gaussian_cluster(&mut seeded(seed), n, &[0.0, 10.0, -5.0], 4.0);
+        let scaler = ZScore::fit(&ds);
+        let bulk = scaler.transform(&ds);
+        for (id, p) in ds.iter() {
+            prop_assert_eq!(scaler.transform_point(p), bulk.point(id).to_vec());
+        }
+    }
+
+    #[test]
+    fn csv_roundtrips_exactly(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e6f64..1e6, 3),
+            1..50,
+        ),
+    ) {
+        let ds = lof_core::Dataset::from_rows(&rows).unwrap();
+        let text = dataset_to_csv(&ds);
+        let back = dataset_from_csv(&text).unwrap();
+        prop_assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn perf_mixture_shape(
+        n in 1usize..500,
+        dims in 1usize..8,
+        clusters in 1usize..10,
+        seed in 0u64..50,
+    ) {
+        let ds = perf_mixture(seed, n, dims, clusters);
+        prop_assert_eq!(ds.len(), n);
+        prop_assert_eq!(ds.dims(), dims);
+    }
+}

@@ -1,0 +1,368 @@
+//! Ball tree: a metric tree that only needs the triangle inequality, so it
+//! supports every proper [`Metric`] (not just coordinate-decomposable ones).
+//!
+//! Not part of the paper's index lineup; included because LOF itself only
+//! requires a distance function, and a metric tree lets the full pipeline
+//! run efficiently under e.g. Manhattan or Minkowski-3 distances at scale.
+//!
+//! Construction: recursive two-means-style splitting — pick the point
+//! farthest from the node centroid and the point farthest from *it* as
+//! poles, assign points to the nearer pole. Search prunes a ball when
+//! `d(q, center) - radius` exceeds the current bound.
+
+use crate::common::impl_knn_provider;
+use crate::kbest::KBest;
+use lof_core::neighbors::sort_neighbors;
+use lof_core::{Dataset, Metric, Neighbor};
+
+const LEAF_SIZE: usize = 16;
+
+#[derive(Debug)]
+struct Node {
+    center: Vec<f64>,
+    radius: f64,
+    start: usize,
+    end: usize,
+    children: Option<(usize, usize)>,
+}
+
+/// A ball tree over a borrowed dataset.
+///
+/// ```
+/// use lof_core::{Dataset, Manhattan, KnnProvider};
+/// use lof_index::BallTree;
+///
+/// let rows: Vec<[f64; 2]> = (0..50).map(|i| [(i % 5) as f64, (i / 5) as f64]).collect();
+/// let data = Dataset::from_rows(&rows).unwrap();
+/// let tree = BallTree::new(&data, Manhattan); // any proper metric works
+/// assert_eq!(tree.k_nearest(0, 2).unwrap()[0].dist, 1.0);
+/// ```
+#[derive(Debug)]
+pub struct BallTree<'a, M: Metric> {
+    data: &'a Dataset,
+    metric: M,
+    ids: Vec<usize>,
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+impl<'a, M: Metric> BallTree<'a, M> {
+    /// Builds the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metric.is_metric()` is false (e.g.
+    /// [`lof_core::SquaredEuclidean`]): ball pruning needs the triangle
+    /// inequality, and silently wrong neighbors would be worse than a panic.
+    pub fn new(data: &'a Dataset, metric: M) -> Self {
+        assert!(
+            metric.is_metric(),
+            "BallTree requires a metric satisfying the triangle inequality"
+        );
+        let mut ids: Vec<usize> = (0..data.len()).collect();
+        let mut nodes = Vec::new();
+        let root = if data.is_empty() {
+            usize::MAX
+        } else {
+            let n = data.len();
+            build(data, &metric, &mut ids, 0, n, &mut nodes)
+        };
+        BallTree { data, metric, ids, nodes, root }
+    }
+
+    /// Number of indexed objects.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of tree nodes (diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Checks the ball invariant — every point under a node lies within
+    /// the node's radius of its center — for every node.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated node.
+    pub fn validate(&self) -> Result<(), String> {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            for &id in &self.ids[node.start..node.end] {
+                let d = self.metric.distance(&node.center, self.data.point(id));
+                if d > node.radius * (1.0 + 1e-12) + 1e-12 {
+                    return Err(format!(
+                        "node {idx} (range {}..{}, radius {}): point {id} at distance {d}",
+                        node.start, node.end, node.radius
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn node_min_dist(&self, q: &[f64], node: usize) -> f64 {
+        let n = &self.nodes[node];
+        (self.metric.distance(q, &n.center) - n.radius).max(0.0)
+    }
+
+    /// Pruning test with a relative tolerance: the ball bound is computed
+    /// from a *derived* centroid, so rounding can lift `min_dist` a few ulp
+    /// above the true infimum; an exact `>` comparison would then wrongly
+    /// prune points lying exactly on the query radius. Loosening only costs
+    /// a few extra node visits, never correctness.
+    #[inline]
+    fn prune(min_dist: f64, bound: f64) -> bool {
+        min_dist > bound * (1.0 + 1e-9) + f64::MIN_POSITIVE
+    }
+
+    fn search_k_distance(&self, q: &[f64], k: usize, exclude: Option<usize>) -> f64 {
+        let mut best = KBest::new(k);
+        self.knn_rec(self.root, q, exclude, &mut best);
+        best.k_distance().expect("validated: at least k candidates exist")
+    }
+
+    fn knn_rec(&self, node_id: usize, q: &[f64], exclude: Option<usize>, best: &mut KBest) {
+        if Self::prune(self.node_min_dist(q, node_id), best.bound()) {
+            return;
+        }
+        let node = &self.nodes[node_id];
+        match node.children {
+            None => {
+                for &id in &self.ids[node.start..node.end] {
+                    if Some(id) != exclude {
+                        best.offer(id, self.metric.distance(q, self.data.point(id)));
+                    }
+                }
+            }
+            Some((left, right)) => {
+                let dl = self.node_min_dist(q, left);
+                let dr = self.node_min_dist(q, right);
+                let (first, second) = if dl <= dr { (left, right) } else { (right, left) };
+                self.knn_rec(first, q, exclude, best);
+                self.knn_rec(second, q, exclude, best);
+            }
+        }
+    }
+
+    fn search_within(&self, q: &[f64], radius: f64, exclude: Option<usize>) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        if self.root != usize::MAX {
+            self.range_rec(self.root, q, radius, exclude, &mut out);
+        }
+        sort_neighbors(&mut out);
+        out
+    }
+
+    fn range_rec(
+        &self,
+        node_id: usize,
+        q: &[f64],
+        radius: f64,
+        exclude: Option<usize>,
+        out: &mut Vec<Neighbor>,
+    ) {
+        if Self::prune(self.node_min_dist(q, node_id), radius) {
+            return;
+        }
+        let node = &self.nodes[node_id];
+        match node.children {
+            None => {
+                for &id in &self.ids[node.start..node.end] {
+                    if Some(id) == exclude {
+                        continue;
+                    }
+                    let d = self.metric.distance(q, self.data.point(id));
+                    if d <= radius {
+                        out.push(Neighbor::new(id, d));
+                    }
+                }
+            }
+            Some((left, right)) => {
+                self.range_rec(left, q, radius, exclude, out);
+                self.range_rec(right, q, radius, exclude, out);
+            }
+        }
+    }
+}
+
+fn build<M: Metric>(
+    data: &Dataset,
+    metric: &M,
+    ids: &mut [usize],
+    start: usize,
+    end: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let slice = &ids[start..end];
+    let dims = data.dims();
+
+    // Centroid of the slice.
+    let mut center = vec![0.0; dims];
+    for &id in slice {
+        let p = data.point(id);
+        for d in 0..dims {
+            center[d] += p[d];
+        }
+    }
+    for c in &mut center {
+        *c /= slice.len() as f64;
+    }
+    let radius = slice
+        .iter()
+        .map(|&id| metric.distance(&center, data.point(id)))
+        .fold(0.0, f64::max);
+
+    let count = end - start;
+    if count <= LEAF_SIZE || radius == 0.0 {
+        nodes.push(Node { center, radius, start, end, children: None });
+        return nodes.len() - 1;
+    }
+
+    // Poles: farthest from centroid, then farthest from that pole.
+    let pole_a = *slice
+        .iter()
+        .max_by(|&&a, &&b| {
+            metric
+                .distance(&center, data.point(a))
+                .total_cmp(&metric.distance(&center, data.point(b)))
+                .then(a.cmp(&b))
+        })
+        .expect("non-empty slice");
+    let pole_b = *slice
+        .iter()
+        .max_by(|&&a, &&b| {
+            metric
+                .distance(data.point(pole_a), data.point(a))
+                .total_cmp(&metric.distance(data.point(pole_a), data.point(b)))
+                .then(a.cmp(&b))
+        })
+        .expect("non-empty slice");
+
+    // Partition by nearer pole; ties (and identical poles) to A.
+    let slice = &mut ids[start..end];
+    let mut mid = 0;
+    for i in 0..slice.len() {
+        let p = data.point(slice[i]);
+        let da = metric.distance(p, data.point(pole_a));
+        let db = metric.distance(p, data.point(pole_b));
+        if da <= db {
+            slice.swap(mid, i);
+            mid += 1;
+        }
+    }
+    // A degenerate partition (all points to one side) falls back to an even
+    // split, which keeps the tree balanced and terminating.
+    if mid == 0 || mid == count {
+        mid = count / 2;
+    }
+
+    let left = build(data, metric, ids, start, start + mid, nodes);
+    let right = build(data, metric, ids, start + mid, end, nodes);
+    nodes.push(Node { center, radius, start, end, children: Some((left, right)) });
+    nodes.len() - 1
+}
+
+impl_knn_provider!(BallTree);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lof_core::{Euclidean, KnnProvider, LinearScan, Manhattan, Minkowski, SquaredEuclidean};
+
+    fn dataset(n: usize, dims: usize, seed: u64) -> Dataset {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut ds = Dataset::new(dims);
+        let mut row = vec![0.0; dims];
+        for _ in 0..n {
+            for v in &mut row {
+                *v = next() * 20.0;
+            }
+            ds.push(&row).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn matches_linear_scan_euclidean() {
+        let ds = dataset(300, 4, 11);
+        let tree = BallTree::new(&ds, Euclidean);
+        let scan = LinearScan::new(&ds, Euclidean);
+        for id in (0..ds.len()).step_by(29) {
+            for k in [1, 6, 25] {
+                assert_eq!(
+                    tree.k_nearest(id, k).unwrap(),
+                    scan.k_nearest(id, k).unwrap(),
+                    "id={id} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_linear_scan_exotic_metrics() {
+        let ds = dataset(200, 3, 4242);
+        for_metric(&ds, Manhattan);
+        for_metric(&ds, Minkowski::new(3.0));
+    }
+
+    #[test]
+    fn matches_linear_scan_angular() {
+        use lof_core::Angular;
+        // Strictly positive coordinates so no zero vectors arise.
+        let mut ds = Dataset::new(4);
+        let mut state = 77u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..150 {
+            ds.push(&[next() + 0.1, next() + 0.1, next() + 0.1, next() + 0.1]).unwrap();
+        }
+        let tree = BallTree::new(&ds, Angular);
+        let scan = LinearScan::new(&ds, Angular);
+        for id in (0..ds.len()).step_by(13) {
+            assert_eq!(tree.k_nearest(id, 6).unwrap(), scan.k_nearest(id, 6).unwrap());
+            assert_eq!(tree.within(id, 0.4).unwrap(), scan.within(id, 0.4).unwrap());
+        }
+        tree.validate().unwrap();
+    }
+
+    fn for_metric<M: Metric + Clone>(ds: &Dataset, metric: M) {
+        let tree = BallTree::new(ds, metric.clone());
+        let scan = LinearScan::new(ds, metric);
+        for id in (0..ds.len()).step_by(17) {
+            assert_eq!(tree.k_nearest(id, 7).unwrap(), scan.k_nearest(id, 7).unwrap());
+            assert_eq!(tree.within(id, 5.0).unwrap(), scan.within(id, 5.0).unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "triangle inequality")]
+    fn rejects_non_metric() {
+        let ds = dataset(10, 2, 1);
+        let _ = BallTree::new(&ds, SquaredEuclidean);
+    }
+
+    #[test]
+    fn duplicate_heavy_data() {
+        let rows: Vec<[f64; 2]> = (0..80).map(|i| [(i % 2) as f64, (i % 3) as f64]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let tree = BallTree::new(&ds, Euclidean);
+        let scan = LinearScan::new(&ds, Euclidean);
+        for id in (0..ds.len()).step_by(9) {
+            assert_eq!(tree.k_nearest(id, 10).unwrap(), scan.k_nearest(id, 10).unwrap());
+        }
+    }
+
+    #[test]
+    fn splits_beyond_root() {
+        let ds = dataset(300, 4, 11);
+        let tree = BallTree::new(&ds, Euclidean);
+        assert!(tree.node_count() > 1);
+    }
+}

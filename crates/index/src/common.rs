@@ -1,0 +1,118 @@
+//! Shared plumbing for the index implementations.
+
+use lof_core::{LofError, Result};
+
+/// Validates a `k_nearest(id, k)` query against dataset size `n`.
+pub(crate) fn validate_knn(n: usize, id: usize, k: usize) -> Result<()> {
+    if id >= n {
+        return Err(LofError::UnknownObject { id, dataset_size: n });
+    }
+    if k == 0 || k >= n {
+        return Err(LofError::InvalidMinPts { min_pts: k, dataset_size: n });
+    }
+    Ok(())
+}
+
+/// Validates a `within(id, radius)` query against dataset size `n`.
+pub(crate) fn validate_within(n: usize, id: usize) -> Result<()> {
+    if id >= n {
+        return Err(LofError::UnknownObject { id, dataset_size: n });
+    }
+    Ok(())
+}
+
+/// Implements [`lof_core::KnnProvider`] for an index type exposing the
+/// internal two-phase search API:
+///
+/// * `fn search_k_distance(&self, q, k, exclude) -> f64` — exact `k`-distance
+///   among candidates (excluding `exclude`);
+/// * `fn search_within(&self, q, radius, exclude) -> Vec<Neighbor>` — all
+///   candidates within `radius` (inclusive), sorted canonically;
+/// * `fn size(&self) -> usize`.
+///
+/// Tie-inclusion (definition 4) falls out of running the range phase at the
+/// exact `k`-distance.
+macro_rules! impl_knn_provider {
+    ($ty:ident) => {
+        impl<M: lof_core::Metric> lof_core::KnnProvider for $ty<'_, M> {
+            fn len(&self) -> usize {
+                self.size()
+            }
+
+            fn k_nearest(
+                &self,
+                id: usize,
+                k: usize,
+            ) -> lof_core::Result<Vec<lof_core::Neighbor>> {
+                crate::common::validate_knn(self.size(), id, k)?;
+                let q = self.data.point(id);
+                let k_distance = self.search_k_distance(q, k, Some(id));
+                Ok(self.search_within(q, k_distance, Some(id)))
+            }
+
+            fn within(
+                &self,
+                id: usize,
+                radius: f64,
+            ) -> lof_core::Result<Vec<lof_core::Neighbor>> {
+                crate::common::validate_within(self.size(), id)?;
+                Ok(self.search_within(self.data.point(id), radius, Some(id)))
+            }
+        }
+
+        impl<M: lof_core::Metric> $ty<'_, M> {
+            /// Tie-inclusive k-nearest neighbors of an arbitrary query point
+            /// (which need not be part of the dataset; no object is
+            /// excluded).
+            ///
+            /// # Errors
+            ///
+            /// Returns [`lof_core::LofError::InvalidMinPts`] when `k == 0`
+            /// or `k > len()`, and [`lof_core::LofError::DimensionMismatch`]
+            /// for queries of the wrong dimensionality.
+            pub fn k_nearest_point(
+                &self,
+                q: &[f64],
+                k: usize,
+            ) -> lof_core::Result<Vec<lof_core::Neighbor>> {
+                if q.len() != self.data.dims() {
+                    return Err(lof_core::LofError::DimensionMismatch {
+                        expected: self.data.dims(),
+                        found: q.len(),
+                    });
+                }
+                if k == 0 || k > self.size() {
+                    return Err(lof_core::LofError::InvalidMinPts {
+                        min_pts: k,
+                        dataset_size: self.size(),
+                    });
+                }
+                let k_distance = self.search_k_distance(q, k, None);
+                Ok(self.search_within(q, k_distance, None))
+            }
+
+            /// All objects within `radius` (inclusive) of an arbitrary query
+            /// point, sorted canonically.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`lof_core::LofError::DimensionMismatch`] for queries
+            /// of the wrong dimensionality.
+            pub fn within_point(
+                &self,
+                q: &[f64],
+                radius: f64,
+            ) -> lof_core::Result<Vec<lof_core::Neighbor>> {
+                if q.len() != self.data.dims() {
+                    return Err(lof_core::LofError::DimensionMismatch {
+                        expected: self.data.dims(),
+                        found: q.len(),
+                    });
+                }
+                Ok(self.search_within(q, radius, None))
+            }
+        }
+    };
+}
+
+pub(crate) use impl_knn_provider;

@@ -1,0 +1,141 @@
+//! A bounded max-heap tracking the `k` nearest candidates seen so far.
+//!
+//! Every index in this crate answers a tie-inclusive k-NN query the same
+//! way: an exact best-first / pruned search using this heap determines the
+//! `k`-distance, then a range query at that radius collects the full
+//! tie-inclusive neighborhood. The heap's [`KBest::bound`] is the pruning
+//! radius during the first phase.
+
+use lof_core::Neighbor;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    dist: f64,
+    id: usize,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by (distance, id): the canonical-order-largest candidate
+        // sits on top and is evicted first.
+        self.dist.total_cmp(&other.dist).then(self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Tracks the `k` candidates smallest in `(distance, id)` order.
+#[derive(Debug)]
+pub struct KBest {
+    k: usize,
+    heap: BinaryHeap<Entry>,
+}
+
+impl KBest {
+    /// A tracker for the `k` nearest candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "KBest requires k >= 1");
+        KBest { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offers a candidate; keeps it only if it beats the current worst.
+    pub fn offer(&mut self, id: usize, dist: f64) {
+        if self.heap.len() < self.k {
+            self.heap.push(Entry { dist, id });
+        } else if (Entry { dist, id }) < *self.heap.peek().expect("heap holds k entries") {
+            self.heap.pop();
+            self.heap.push(Entry { dist, id });
+        }
+    }
+
+    /// Current pruning bound: the k-th best distance seen, or `+∞` while
+    /// fewer than `k` candidates have been offered. Subtrees whose minimum
+    /// possible distance **exceeds** this bound cannot contribute.
+    pub fn bound(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().expect("heap holds k entries").dist
+        }
+    }
+
+    /// Number of candidates currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no candidate has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The exact `k`-distance once the search is complete: the distance of
+    /// the worst kept candidate (`None` if nothing was offered).
+    pub fn k_distance(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.dist)
+    }
+
+    /// Drains into a sorted neighbor list (ascending canonical order).
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> =
+            self.heap.into_iter().map(|e| Neighbor::new(e.id, e.dist)).collect();
+        lof_core::neighbors::sort_neighbors(&mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_k_smallest() {
+        let mut kb = KBest::new(3);
+        for (id, d) in [(0, 5.0), (1, 1.0), (2, 3.0), (3, 0.5), (4, 4.0)] {
+            kb.offer(id, d);
+        }
+        let v = kb.into_sorted();
+        assert_eq!(v.iter().map(|n| n.id).collect::<Vec<_>>(), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn bound_is_infinite_until_full() {
+        let mut kb = KBest::new(2);
+        assert_eq!(kb.bound(), f64::INFINITY);
+        kb.offer(0, 1.0);
+        assert_eq!(kb.bound(), f64::INFINITY);
+        kb.offer(1, 2.0);
+        assert_eq!(kb.bound(), 2.0);
+        kb.offer(2, 0.5);
+        assert_eq!(kb.bound(), 1.0);
+        assert_eq!(kb.k_distance(), Some(1.0));
+    }
+
+    #[test]
+    fn equal_distances_prefer_smaller_ids() {
+        let mut kb = KBest::new(2);
+        kb.offer(5, 1.0);
+        kb.offer(3, 1.0);
+        kb.offer(1, 1.0);
+        let v = kb.into_sorted();
+        assert_eq!(v.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_panics() {
+        let _ = KBest::new(0);
+    }
+}

@@ -1,0 +1,292 @@
+//! kd-tree: the classic main-memory spatial index for low- to
+//! medium-dimensional k-NN queries (the `O(log n)`-per-query regime of the
+//! paper's section 7.4).
+//!
+//! Median-split construction over an id permutation (no point copies),
+//! bounding boxes per node, and depth-first search with
+//! `Metric::min_dist_to_rect` pruning.
+
+use crate::common::impl_knn_provider;
+use crate::kbest::KBest;
+use lof_core::neighbors::sort_neighbors;
+use lof_core::{Dataset, Metric, Neighbor};
+
+const LEAF_SIZE: usize = 16;
+
+#[derive(Debug)]
+struct Node {
+    /// Bounding box of all points below this node.
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    /// Range into `KdTree::ids`.
+    start: usize,
+    end: usize,
+    /// Children indices into `KdTree::nodes`; `None` for leaves.
+    children: Option<(usize, usize)>,
+}
+
+/// A kd-tree over a borrowed dataset.
+///
+/// ```
+/// use lof_core::{Dataset, Euclidean, KnnProvider};
+/// use lof_index::KdTree;
+///
+/// let rows: Vec<[f64; 2]> = (0..100).map(|i| [(i % 10) as f64, (i / 10) as f64]).collect();
+/// let data = Dataset::from_rows(&rows).unwrap();
+/// let tree = KdTree::new(&data, Euclidean);
+/// // Query by id (excludes the object itself)...
+/// assert_eq!(tree.k_nearest(55, 4).unwrap().len(), 4);
+/// // ...or by arbitrary point (no exclusion).
+/// assert_eq!(tree.k_nearest_point(&[4.5, 4.5], 4).unwrap().len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct KdTree<'a, M: Metric> {
+    data: &'a Dataset,
+    metric: M,
+    ids: Vec<usize>,
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+impl<'a, M: Metric> KdTree<'a, M> {
+    /// Builds the tree in `O(n log n)`.
+    pub fn new(data: &'a Dataset, metric: M) -> Self {
+        let mut ids: Vec<usize> = (0..data.len()).collect();
+        let mut nodes = Vec::new();
+        let root = if data.is_empty() {
+            usize::MAX
+        } else {
+            let n = data.len();
+            build(data, &mut ids, 0, n, &mut nodes)
+        };
+        KdTree { data, metric, ids, nodes, root }
+    }
+
+    /// Number of indexed objects.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of tree nodes (for diagnostics and tests).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn search_k_distance(&self, q: &[f64], k: usize, exclude: Option<usize>) -> f64 {
+        let mut best = KBest::new(k);
+        self.knn_rec(self.root, q, exclude, &mut best);
+        best.k_distance().expect("validated: at least k candidates exist")
+    }
+
+    fn knn_rec(&self, node_id: usize, q: &[f64], exclude: Option<usize>, best: &mut KBest) {
+        let node = &self.nodes[node_id];
+        if self.metric.min_dist_to_rect(q, &node.lo, &node.hi) > best.bound() {
+            return;
+        }
+        match node.children {
+            None => {
+                for &id in &self.ids[node.start..node.end] {
+                    if Some(id) != exclude {
+                        best.offer(id, self.metric.distance(q, self.data.point(id)));
+                    }
+                }
+            }
+            Some((left, right)) => {
+                // Visit the nearer child first so the bound tightens early.
+                let dl = self.metric.min_dist_to_rect(q, &self.nodes[left].lo, &self.nodes[left].hi);
+                let dr =
+                    self.metric.min_dist_to_rect(q, &self.nodes[right].lo, &self.nodes[right].hi);
+                let (first, second) = if dl <= dr { (left, right) } else { (right, left) };
+                self.knn_rec(first, q, exclude, best);
+                self.knn_rec(second, q, exclude, best);
+            }
+        }
+    }
+
+    fn search_within(&self, q: &[f64], radius: f64, exclude: Option<usize>) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        if self.root != usize::MAX {
+            self.range_rec(self.root, q, radius, exclude, &mut out);
+        }
+        sort_neighbors(&mut out);
+        out
+    }
+
+    fn range_rec(
+        &self,
+        node_id: usize,
+        q: &[f64],
+        radius: f64,
+        exclude: Option<usize>,
+        out: &mut Vec<Neighbor>,
+    ) {
+        let node = &self.nodes[node_id];
+        if self.metric.min_dist_to_rect(q, &node.lo, &node.hi) > radius {
+            return;
+        }
+        match node.children {
+            None => {
+                for &id in &self.ids[node.start..node.end] {
+                    if Some(id) == exclude {
+                        continue;
+                    }
+                    let d = self.metric.distance(q, self.data.point(id));
+                    if d <= radius {
+                        out.push(Neighbor::new(id, d));
+                    }
+                }
+            }
+            Some((left, right)) => {
+                self.range_rec(left, q, radius, exclude, out);
+                self.range_rec(right, q, radius, exclude, out);
+            }
+        }
+    }
+}
+
+/// Recursively builds the subtree over `ids[start..end]`, returning its node
+/// index.
+fn build(data: &Dataset, ids: &mut [usize], start: usize, end: usize, nodes: &mut Vec<Node>) -> usize {
+    let slice = &ids[start..end];
+    let dims = data.dims();
+    let mut lo = data.point(slice[0]).to_vec();
+    let mut hi = lo.clone();
+    for &id in &slice[1..] {
+        let p = data.point(id);
+        for d in 0..dims {
+            if p[d] < lo[d] {
+                lo[d] = p[d];
+            }
+            if p[d] > hi[d] {
+                hi[d] = p[d];
+            }
+        }
+    }
+
+    let count = end - start;
+    if count <= LEAF_SIZE {
+        nodes.push(Node { lo, hi, start, end, children: None });
+        return nodes.len() - 1;
+    }
+
+    // Split on the dimension of largest extent, at the median.
+    let mut split_dim = 0;
+    let mut best_extent = hi[0] - lo[0];
+    for d in 1..dims {
+        let extent = hi[d] - lo[d];
+        if extent > best_extent {
+            best_extent = extent;
+            split_dim = d;
+        }
+    }
+    if best_extent == 0.0 {
+        // All points identical in every dimension: an (oversized) leaf is
+        // the only sensible shape.
+        nodes.push(Node { lo, hi, start, end, children: None });
+        return nodes.len() - 1;
+    }
+
+    let mid = count / 2;
+    ids[start..end].select_nth_unstable_by(mid, |&a, &b| {
+        data.point(a)[split_dim]
+            .total_cmp(&data.point(b)[split_dim])
+            .then(a.cmp(&b))
+    });
+
+    let left = build(data, ids, start, start + mid, nodes);
+    let right = build(data, ids, start + mid, end, nodes);
+    nodes.push(Node { lo, hi, start, end, children: Some((left, right)) });
+    nodes.len() - 1
+}
+
+impl_knn_provider!(KdTree);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lof_core::{Euclidean, KnnProvider, LinearScan, Manhattan};
+
+    fn clustered_dataset() -> Dataset {
+        // Deterministic pseudo-random points via a tiny LCG — two clusters.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut rows = Vec::new();
+        for i in 0..200 {
+            let offset = if i % 2 == 0 { 0.0 } else { 10.0 };
+            rows.push([offset + next() * 2.0, offset + next() * 2.0, next()]);
+        }
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn matches_linear_scan_on_clustered_data() {
+        let ds = clustered_dataset();
+        let tree = KdTree::new(&ds, Euclidean);
+        let scan = LinearScan::new(&ds, Euclidean);
+        for id in (0..ds.len()).step_by(13) {
+            for k in [1, 3, 10] {
+                assert_eq!(
+                    tree.k_nearest(id, k).unwrap(),
+                    scan.k_nearest(id, k).unwrap(),
+                    "id={id} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn within_matches_linear_scan() {
+        let ds = clustered_dataset();
+        let tree = KdTree::new(&ds, Manhattan);
+        let scan = LinearScan::new(&ds, Manhattan);
+        for id in (0..ds.len()).step_by(29) {
+            for radius in [0.1, 1.0, 5.0, 100.0] {
+                assert_eq!(tree.within(id, radius).unwrap(), scan.within(id, radius).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn query_by_point_includes_exact_matches() {
+        let ds = Dataset::from_rows(&[[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [5.0, 5.0]]).unwrap();
+        let tree = KdTree::new(&ds, Euclidean);
+        let nn = tree.k_nearest_point(&[0.0, 0.0], 1).unwrap();
+        assert_eq!(nn[0].id, 0);
+        assert_eq!(nn[0].dist, 0.0);
+        let all = tree.within_point(&[0.0, 0.0], 1.0).unwrap();
+        assert_eq!(all.len(), 3);
+        assert!(tree.k_nearest_point(&[0.0], 1).is_err());
+        assert!(tree.k_nearest_point(&[0.0, 0.0], 5).is_err());
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let rows: Vec<[f64; 2]> = (0..50).map(|i| [(i % 3) as f64, 0.0]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let tree = KdTree::new(&ds, Euclidean);
+        let scan = LinearScan::new(&ds, Euclidean);
+        for id in 0..ds.len() {
+            assert_eq!(tree.k_nearest(id, 5).unwrap(), scan.k_nearest(id, 5).unwrap());
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let ds = clustered_dataset();
+        let tree = KdTree::new(&ds, Euclidean);
+        assert!(tree.k_nearest(0, 0).is_err());
+        assert!(tree.k_nearest(0, ds.len()).is_err());
+        assert!(tree.k_nearest(ds.len(), 1).is_err());
+        assert!(tree.within(ds.len(), 1.0).is_err());
+    }
+
+    #[test]
+    fn builds_internal_nodes_for_large_inputs() {
+        let ds = clustered_dataset();
+        let tree = KdTree::new(&ds, Euclidean);
+        assert!(tree.node_count() > 1, "200 points must split beyond one leaf");
+    }
+}

@@ -1,0 +1,349 @@
+//! VA-file: vector approximation file (Weber, Schek, Blott, VLDB 1998) —
+//! the paper's recommendation for "extremely high-dimensional data", where
+//! tree indexes degenerate and a compressed sequential scan wins.
+//!
+//! Every coordinate is quantized into `2^BITS` equi-width intervals of the
+//! data's bounding box; the resulting cell signatures are bit-packed into a
+//! contiguous byte buffer (the "approximation file"). Queries scan the
+//! signatures computing per-object lower/upper distance bounds, and only
+//! refine the survivors against the real vectors (filter-and-refine):
+//!
+//! 1. scan phase: keep the `k` smallest **upper** bounds as a candidate
+//!    threshold, collect objects whose **lower** bound does not exceed it;
+//! 2. refine phase: visit candidates in lower-bound order, computing exact
+//!    distances; stop once the next lower bound exceeds the running
+//!    `k`-distance.
+//!
+//! Distance bounds use `Metric::min_dist_to_rect` for the lower bound and
+//! the farthest-corner distance for the upper bound — exact for the whole
+//! Minkowski family (any metric that is monotone in per-dimension
+//! coordinate gaps).
+
+use crate::common::impl_knn_provider;
+use crate::kbest::KBest;
+use bytes::{BufMut, BytesMut};
+use lof_core::neighbors::sort_neighbors;
+use lof_core::{Dataset, Metric, Neighbor};
+
+/// Default bits per dimension in the approximation (the VA-file paper's
+/// experiments use 4–8; 6 is a good default).
+const DEFAULT_BITS: u32 = 6;
+
+/// A VA-file over a borrowed dataset.
+///
+/// ```
+/// use lof_core::{Dataset, Euclidean, KnnProvider};
+/// use lof_index::VaFile;
+///
+/// let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64; 16]).collect();
+/// let data = Dataset::from_rows(&rows).unwrap();
+/// let va = VaFile::new(&data, Euclidean);
+/// assert!(va.approximation_bytes() < 60 * 16 * 8 / 5, "compressed signatures");
+/// assert_eq!(va.k_nearest(30, 2).unwrap().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct VaFile<'a, M: Metric> {
+    data: &'a Dataset,
+    metric: M,
+    bits: u32,
+    cells: usize,
+    lo: Vec<f64>,
+    /// Interval width per dimension (strictly positive).
+    width: Vec<f64>,
+    /// Bit-packed approximations, `BITS * dims` bits per object, stored in
+    /// one contiguous buffer.
+    approximations: bytes::Bytes,
+}
+
+impl<'a, M: Metric> VaFile<'a, M> {
+    /// Builds the approximation file with the default 6 bits per
+    /// dimension, in `O(n · dims)`.
+    pub fn new(data: &'a Dataset, metric: M) -> Self {
+        Self::with_bits(data, metric, DEFAULT_BITS)
+    }
+
+    /// Builds the approximation file with an explicit resolution — the
+    /// VA-file's central tuning knob: more bits mean a larger signature
+    /// file but tighter bounds and fewer exact-distance refinements.
+    /// Results are identical at any resolution; only the filtering power
+    /// changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 8`.
+    pub fn with_bits(data: &'a Dataset, metric: M, bits: u32) -> Self {
+        assert!((1..=8).contains(&bits), "VA-file bits must be in 1..=8, got {bits}");
+        let cells = 1usize << bits;
+        let dims = data.dims().max(1);
+        let (lo, hi) = data
+            .bounding_box()
+            .unwrap_or_else(|| (vec![0.0; dims], vec![1.0; dims]));
+        let mut width = Vec::with_capacity(dims);
+        for d in 0..dims {
+            let extent = hi[d] - lo[d];
+            width.push(if extent > 0.0 { extent / cells as f64 } else { 1.0 });
+        }
+
+        let bits_per_object = bits as usize * dims;
+        let bytes_total = (data.len() * bits_per_object).div_ceil(8);
+        let mut buf = BytesMut::with_capacity(bytes_total + 8);
+        let mut acc: u64 = 0;
+        let mut acc_bits: u32 = 0;
+        for (_, p) in data.iter() {
+            for d in 0..dims {
+                let cell = cell_index(p[d], lo[d], width[d], cells);
+                acc |= (cell as u64) << acc_bits;
+                acc_bits += bits;
+                while acc_bits >= 8 {
+                    buf.put_u8((acc & 0xFF) as u8);
+                    acc >>= 8;
+                    acc_bits -= 8;
+                }
+            }
+        }
+        if acc_bits > 0 {
+            buf.put_u8((acc & 0xFF) as u8);
+        }
+        VaFile { data, metric, bits, cells, lo, width, approximations: buf.freeze() }
+    }
+
+    /// The configured bits per dimension.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of indexed objects.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Size of the approximation file in bytes (diagnostic; the compression
+    /// the VA-file trades exactness for).
+    pub fn approximation_bytes(&self) -> usize {
+        self.approximations.len()
+    }
+
+    /// Reads the quantized cell of `object` in dimension `dim`.
+    fn cell(&self, object: usize, dim: usize) -> usize {
+        let dims = self.data.dims();
+        let bit_offset = (object * dims + dim) * self.bits as usize;
+        let byte = bit_offset / 8;
+        let shift = (bit_offset % 8) as u32;
+        // bits <= 8, so two bytes always suffice.
+        let lo = self.approximations[byte] as u16;
+        let hi = *self.approximations.get(byte + 1).unwrap_or(&0) as u16;
+        (((lo | (hi << 8)) >> shift) as usize) & (self.cells - 1)
+    }
+
+    /// `(lower, upper)` bounds on the distance from `q` to `object`, from
+    /// the approximation alone.
+    fn bounds(&self, q: &[f64], object: usize) -> (f64, f64) {
+        let dims = self.data.dims();
+        let mut cell_lo = Vec::with_capacity(dims);
+        let mut cell_hi = Vec::with_capacity(dims);
+        let mut far = Vec::with_capacity(dims);
+        #[allow(clippy::needless_range_loop)] // walks four parallel per-dim arrays
+        for d in 0..dims {
+            let c = self.cell(object, d) as f64;
+            // Widen each cell by a hair so that floating-point rounding in
+            // the quantization can never push a coordinate outside its cell,
+            // which would break the bracketing guarantee.
+            let slack = self.width[d] * 1e-9;
+            let lo = self.lo[d] + c * self.width[d] - slack;
+            let hi = lo + self.width[d] + 2.0 * slack;
+            cell_lo.push(lo);
+            cell_hi.push(hi);
+            // Farthest corner of the cell from q in this dimension.
+            far.push(if (q[d] - lo).abs() >= (q[d] - hi).abs() { lo } else { hi });
+        }
+        let lower = self.metric.min_dist_to_rect(q, &cell_lo, &cell_hi);
+        let upper = self.metric.distance(q, &far);
+        (lower, upper)
+    }
+
+    fn search_k_distance(&self, q: &[f64], k: usize, exclude: Option<usize>) -> f64 {
+        // Phase 1: scan approximations.
+        let n = self.data.len();
+        let mut threshold = KBest::new(k); // k smallest upper bounds
+        let mut candidates: Vec<(f64, usize)> = Vec::new();
+        for id in 0..n {
+            if Some(id) == exclude {
+                continue;
+            }
+            let (lower, upper) = self.bounds(q, id);
+            threshold.offer(id, upper);
+            candidates.push((lower, id));
+        }
+        let cutoff = threshold.k_distance().expect("validated: k candidates exist");
+        candidates.retain(|&(lower, _)| lower <= cutoff);
+        candidates.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        // Phase 2: refine in lower-bound order.
+        let mut best = KBest::new(k);
+        for &(lower, id) in &candidates {
+            if lower > best.bound() {
+                break;
+            }
+            best.offer(id, self.metric.distance(q, self.data.point(id)));
+        }
+        best.k_distance().expect("validated: at least k candidates exist")
+    }
+
+    fn search_within(&self, q: &[f64], radius: f64, exclude: Option<usize>) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        for id in 0..self.data.len() {
+            if Some(id) == exclude {
+                continue;
+            }
+            let (lower, _) = self.bounds(q, id);
+            if lower > radius {
+                continue; // filtered by the approximation alone
+            }
+            let d = self.metric.distance(q, self.data.point(id));
+            if d <= radius {
+                out.push(Neighbor::new(id, d));
+            }
+        }
+        sort_neighbors(&mut out);
+        out
+    }
+}
+
+#[inline]
+fn cell_index(value: f64, lo: f64, width: f64, cells: usize) -> usize {
+    (((value - lo) / width).floor() as isize).clamp(0, cells as isize - 1) as usize
+}
+
+impl_knn_provider!(VaFile);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lof_core::{Chebyshev, Euclidean, KnnProvider, LinearScan, Manhattan};
+
+    fn dataset(n: usize, dims: usize, seed: u64) -> Dataset {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut ds = Dataset::new(dims);
+        let mut row = vec![0.0; dims];
+        for _ in 0..n {
+            for v in &mut row {
+                *v = next() * 10.0 - 5.0;
+            }
+            ds.push(&row).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn matches_linear_scan_high_dim() {
+        let ds = dataset(200, 16, 1234);
+        let va = VaFile::new(&ds, Euclidean);
+        let scan = LinearScan::new(&ds, Euclidean);
+        for id in (0..ds.len()).step_by(19) {
+            for k in [1, 5, 15] {
+                assert_eq!(
+                    va.k_nearest(id, k).unwrap(),
+                    scan.k_nearest(id, k).unwrap(),
+                    "id={id} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_linear_scan_for_each_metric() {
+        let ds = dataset(150, 8, 77);
+        let scan_e = LinearScan::new(&ds, Euclidean);
+        let scan_m = LinearScan::new(&ds, Manhattan);
+        let scan_c = LinearScan::new(&ds, Chebyshev);
+        let va_e = VaFile::new(&ds, Euclidean);
+        let va_m = VaFile::new(&ds, Manhattan);
+        let va_c = VaFile::new(&ds, Chebyshev);
+        for id in (0..ds.len()).step_by(13) {
+            assert_eq!(va_e.k_nearest(id, 6).unwrap(), scan_e.k_nearest(id, 6).unwrap());
+            assert_eq!(va_m.k_nearest(id, 6).unwrap(), scan_m.k_nearest(id, 6).unwrap());
+            assert_eq!(va_c.k_nearest(id, 6).unwrap(), scan_c.k_nearest(id, 6).unwrap());
+        }
+    }
+
+    #[test]
+    fn within_matches_linear_scan() {
+        let ds = dataset(200, 10, 5);
+        let va = VaFile::new(&ds, Euclidean);
+        let scan = LinearScan::new(&ds, Euclidean);
+        for id in (0..ds.len()).step_by(23) {
+            for radius in [1.0, 4.0, 12.0] {
+                assert_eq!(va.within(id, radius).unwrap(), scan.within(id, radius).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn approximation_is_compact() {
+        let ds = dataset(100, 16, 9);
+        let va = VaFile::new(&ds, Euclidean);
+        // 6 bits x 16 dims x 100 objects = 9600 bits = 1200 bytes, vs
+        // 12,800 bytes of raw f64 coordinates.
+        assert_eq!(va.approximation_bytes(), 1200);
+    }
+
+    #[test]
+    fn bounds_bracket_true_distance() {
+        let ds = dataset(80, 6, 31);
+        let va = VaFile::new(&ds, Euclidean);
+        for id in 0..ds.len() {
+            let q = ds.point(0);
+            let (lower, upper) = va.bounds(q, id);
+            let exact = Euclidean.distance(q, ds.point(id));
+            assert!(lower <= exact + 1e-12, "id={id}: lower={lower} exact={exact}");
+            assert!(upper >= exact - 1e-12, "id={id}: upper={upper} exact={exact}");
+        }
+    }
+
+    #[test]
+    fn every_resolution_gives_identical_results() {
+        let ds = dataset(120, 6, 2025);
+        let scan = LinearScan::new(&ds, Euclidean);
+        for bits in [1u32, 2, 4, 6, 8] {
+            let va = VaFile::with_bits(&ds, Euclidean, bits);
+            assert_eq!(va.bits(), bits);
+            for id in (0..ds.len()).step_by(17) {
+                assert_eq!(
+                    va.k_nearest(id, 5).unwrap(),
+                    scan.k_nearest(id, 5).unwrap(),
+                    "bits={bits} id={id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signature_size_scales_with_bits() {
+        let ds = dataset(100, 8, 3);
+        let small = VaFile::with_bits(&ds, Euclidean, 2);
+        let large = VaFile::with_bits(&ds, Euclidean, 8);
+        assert_eq!(large.approximation_bytes(), small.approximation_bytes() * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=8")]
+    fn rejects_zero_bits() {
+        let ds = dataset(10, 2, 1);
+        let _ = VaFile::with_bits(&ds, Euclidean, 0);
+    }
+
+    #[test]
+    fn duplicates_and_degenerate_dims() {
+        let rows: Vec<[f64; 3]> = (0..60).map(|i| [(i % 2) as f64, 3.0, (i % 5) as f64]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let va = VaFile::new(&ds, Euclidean);
+        let scan = LinearScan::new(&ds, Euclidean);
+        for id in (0..ds.len()).step_by(7) {
+            assert_eq!(va.k_nearest(id, 4).unwrap(), scan.k_nearest(id, 4).unwrap());
+        }
+    }
+}

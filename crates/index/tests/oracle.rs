@@ -1,0 +1,198 @@
+//! Property tests: every spatial index answers exactly like the
+//! brute-force [`LinearScan`] oracle — same tie-inclusive k-NN sets, same
+//! range results — over random datasets, metrics, `k` and radii.
+
+use lof_core::{Chebyshev, Dataset, Euclidean, KnnProvider, LinearScan, Manhattan, Metric};
+use lof_index::{BallTree, GridIndex, KdTree, VaFile, XTree};
+use proptest::prelude::*;
+
+/// Random dataset: n points, dims dimensions, coordinates drawn from a
+/// small set of magnitudes including exact duplicates.
+fn dataset_strategy(max_n: usize, max_dims: usize) -> impl Strategy<Value = Dataset> {
+    (2usize..=max_dims, 5usize..=max_n).prop_flat_map(|(dims, n)| {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![
+                    Just(0.0),
+                    Just(1.0),
+                    Just(-3.5),
+                    -100.0..100.0f64,
+                    -1.0..1.0f64,
+                ],
+                dims,
+            ),
+            n,
+        )
+        .prop_map(move |rows| Dataset::from_rows(&rows).expect("finite rows"))
+    })
+}
+
+fn assert_index_matches_oracle<P: KnnProvider>(
+    name: &str,
+    index: &P,
+    oracle: &LinearScan<'_, impl Metric>,
+    data: &Dataset,
+    k: usize,
+    radius: f64,
+) {
+    let k = k.min(data.len() - 1).max(1);
+    for id in 0..data.len() {
+        let got = index.k_nearest(id, k).unwrap();
+        let want = oracle.k_nearest(id, k).unwrap();
+        assert_eq!(got, want, "{name}: k_nearest(id={id}, k={k}) diverges");
+        let got = index.within(id, radius).unwrap();
+        let want = oracle.within(id, radius).unwrap();
+        assert_eq!(got, want, "{name}: within(id={id}, r={radius}) diverges");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kdtree_matches_oracle_euclidean(
+        data in dataset_strategy(60, 4),
+        k in 1usize..12,
+        radius in 0.0f64..150.0,
+    ) {
+        let index = KdTree::new(&data, Euclidean);
+        let oracle = LinearScan::new(&data, Euclidean);
+        assert_index_matches_oracle("kdtree", &index, &oracle, &data, k, radius);
+    }
+
+    #[test]
+    fn grid_matches_oracle_euclidean(
+        data in dataset_strategy(60, 3),
+        k in 1usize..12,
+        radius in 0.0f64..150.0,
+    ) {
+        let index = GridIndex::new(&data, Euclidean);
+        let oracle = LinearScan::new(&data, Euclidean);
+        assert_index_matches_oracle("grid", &index, &oracle, &data, k, radius);
+    }
+
+    #[test]
+    fn xtree_matches_oracle_euclidean(
+        data in dataset_strategy(60, 5),
+        k in 1usize..12,
+        radius in 0.0f64..150.0,
+    ) {
+        let index = XTree::new(&data, Euclidean);
+        let oracle = LinearScan::new(&data, Euclidean);
+        assert_index_matches_oracle("xtree", &index, &oracle, &data, k, radius);
+    }
+
+    #[test]
+    fn vafile_matches_oracle_euclidean(
+        data in dataset_strategy(50, 6),
+        k in 1usize..10,
+        radius in 0.0f64..150.0,
+    ) {
+        let index = VaFile::new(&data, Euclidean);
+        let oracle = LinearScan::new(&data, Euclidean);
+        assert_index_matches_oracle("vafile", &index, &oracle, &data, k, radius);
+    }
+
+    #[test]
+    fn balltree_matches_oracle_euclidean(
+        data in dataset_strategy(60, 4),
+        k in 1usize..12,
+        radius in 0.0f64..150.0,
+    ) {
+        let index = BallTree::new(&data, Euclidean);
+        let oracle = LinearScan::new(&data, Euclidean);
+        assert_index_matches_oracle("balltree", &index, &oracle, &data, k, radius);
+    }
+
+    #[test]
+    fn indexes_match_oracle_manhattan(
+        data in dataset_strategy(40, 3),
+        k in 1usize..8,
+        radius in 0.0f64..150.0,
+    ) {
+        let oracle = LinearScan::new(&data, Manhattan);
+        let kd = KdTree::new(&data, Manhattan);
+        assert_index_matches_oracle("kdtree/L1", &kd, &oracle, &data, k, radius);
+        let grid = GridIndex::new(&data, Manhattan);
+        assert_index_matches_oracle("grid/L1", &grid, &oracle, &data, k, radius);
+        let x = XTree::new(&data, Manhattan);
+        assert_index_matches_oracle("xtree/L1", &x, &oracle, &data, k, radius);
+        let va = VaFile::new(&data, Manhattan);
+        assert_index_matches_oracle("vafile/L1", &va, &oracle, &data, k, radius);
+        let ball = BallTree::new(&data, Manhattan);
+        assert_index_matches_oracle("balltree/L1", &ball, &oracle, &data, k, radius);
+    }
+
+    #[test]
+    fn indexes_match_oracle_chebyshev(
+        data in dataset_strategy(40, 3),
+        k in 1usize..8,
+        radius in 0.0f64..150.0,
+    ) {
+        let oracle = LinearScan::new(&data, Chebyshev);
+        let kd = KdTree::new(&data, Chebyshev);
+        assert_index_matches_oracle("kdtree/Linf", &kd, &oracle, &data, k, radius);
+        let x = XTree::new(&data, Chebyshev);
+        assert_index_matches_oracle("xtree/Linf", &x, &oracle, &data, k, radius);
+        let ball = BallTree::new(&data, Chebyshev);
+        assert_index_matches_oracle("balltree/Linf", &ball, &oracle, &data, k, radius);
+    }
+
+    #[test]
+    fn neighborhood_cardinality_at_least_k(
+        data in dataset_strategy(50, 3),
+        k in 1usize..10,
+    ) {
+        // Definition 4: |N_k(p)| >= k whenever enough objects exist.
+        let k = k.min(data.len() - 1).max(1);
+        let index = KdTree::new(&data, Euclidean);
+        for id in 0..data.len() {
+            let nn = index.k_nearest(id, k).unwrap();
+            prop_assert!(nn.len() >= k);
+            // And everything in the neighborhood is within the k-distance.
+            let kdist = nn.last().unwrap().dist;
+            prop_assert!(nn.iter().all(|n| n.dist <= kdist));
+            // Sorted canonically.
+            for w in nn.windows(2) {
+                prop_assert!(
+                    (w[0].dist, w[0].id) < (w[1].dist, w[1].id)
+                        || (w[0].dist < w[1].dist)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_distance_is_monotone_in_k(
+        data in dataset_strategy(40, 3),
+    ) {
+        let index = KdTree::new(&data, Euclidean);
+        let max_k = (data.len() - 1).min(8);
+        for id in 0..data.len() {
+            let mut prev = 0.0;
+            for k in 1..=max_k {
+                let kdist = index.k_nearest(id, k).unwrap().last().unwrap().dist;
+                prop_assert!(kdist >= prev, "k-distance must grow with k");
+                prev = kdist;
+            }
+        }
+    }
+
+    #[test]
+    fn point_queries_agree_with_id_queries(
+        data in dataset_strategy(40, 3),
+        k in 1usize..8,
+    ) {
+        // k_nearest_point(q, k+1) with q being a dataset point must equal
+        // k_nearest(id, k) plus the point itself at distance 0 — when no
+        // duplicates are closer than the k-th neighbor's tie group, the
+        // relationship is exact on the leading entries.
+        let k = k.min(data.len() - 1).max(1);
+        let index = KdTree::new(&data, Euclidean);
+        for id in 0..data.len().min(10) {
+            let by_point = index.k_nearest_point(data.point(id), k + 1).unwrap();
+            prop_assert!(by_point.iter().any(|n| n.id == id && n.dist == 0.0));
+            prop_assert!(by_point.len() > k);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the query-by-point API (`k_nearest_point` /
+//! `within_point`): every index must agree with a hand-rolled scan over
+//! arbitrary query points, including points far outside the data's
+//! bounding box (where grid clamping and tree pruning are easiest to get
+//! wrong).
+
+use lof_core::neighbors::{select_k_tie_inclusive, sort_neighbors};
+use lof_core::{Dataset, Euclidean, Metric, Neighbor};
+use lof_index::{BallTree, GridIndex, KdTree, VaFile, XTree};
+use proptest::prelude::*;
+
+fn oracle_knn(data: &Dataset, q: &[f64], k: usize) -> Vec<Neighbor> {
+    let all: Vec<Neighbor> = data
+        .iter()
+        .map(|(id, p)| Neighbor::new(id, Euclidean.distance(q, p)))
+        .collect();
+    select_k_tie_inclusive(all, k)
+}
+
+fn oracle_within(data: &Dataset, q: &[f64], radius: f64) -> Vec<Neighbor> {
+    let mut hits: Vec<Neighbor> = data
+        .iter()
+        .map(|(id, p)| Neighbor::new(id, Euclidean.distance(q, p)))
+        .filter(|n| n.dist <= radius)
+        .collect();
+    sort_neighbors(&mut hits);
+    hits
+}
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..=3).prop_flat_map(|dims| {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![Just(0.0), Just(7.5), -60.0..60.0f64],
+                dims,
+            ),
+            6usize..40,
+        )
+        .prop_map(|rows| Dataset::from_rows(&rows).expect("finite rows"))
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![-60.0..60.0f64, Just(0.0), 500.0..1000.0f64, -1000.0..-500.0f64],
+        2..=3,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn point_queries_match_oracle(
+        data in dataset_strategy(),
+        query in query_strategy(),
+        k in 1usize..8,
+        radius in 0.0f64..300.0,
+    ) {
+        let query: Vec<f64> = query.into_iter().take(data.dims()).collect();
+        if query.len() != data.dims() {
+            return Ok(()); // dims mismatch between strategies: skip
+        }
+        let k = k.min(data.len());
+        let want_knn = oracle_knn(&data, &query, k);
+        let want_within = oracle_within(&data, &query, radius);
+
+        macro_rules! check {
+            ($name:literal, $index:expr) => {{
+                let index = $index;
+                prop_assert_eq!(
+                    index.k_nearest_point(&query, k).unwrap(),
+                    want_knn.clone(),
+                    "{}: k_nearest_point(k={})", $name, k
+                );
+                prop_assert_eq!(
+                    index.within_point(&query, radius).unwrap(),
+                    want_within.clone(),
+                    "{}: within_point(r={})", $name, radius
+                );
+            }};
+        }
+        check!("grid", GridIndex::new(&data, Euclidean));
+        check!("kdtree", KdTree::new(&data, Euclidean));
+        check!("xtree", XTree::new(&data, Euclidean));
+        check!("xtree-bulk", XTree::bulk_load(&data, Euclidean));
+        check!("vafile", VaFile::new(&data, Euclidean));
+        check!("balltree", BallTree::new(&data, Euclidean));
+    }
+
+    #[test]
+    fn point_query_validation(
+        data in dataset_strategy(),
+    ) {
+        let index = KdTree::new(&data, Euclidean);
+        let wrong_dims = vec![0.0; data.dims() + 1];
+        prop_assert!(index.k_nearest_point(&wrong_dims, 1).is_err());
+        prop_assert!(index.within_point(&wrong_dims, 1.0).is_err());
+        let q = vec![0.0; data.dims()];
+        prop_assert!(index.k_nearest_point(&q, 0).is_err());
+        prop_assert!(index.k_nearest_point(&q, data.len() + 1).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! The paper's section 7.2 hockey scenario as a library user would run it:
+//! two 3-attribute subspace analyses over a full player table, with the
+//! materialization database persisted between them.
+//!
+//! ```sh
+//! cargo run --release --example hockey_outliers
+//! ```
+
+use lof::data::hockey::{nhl96_analog, subspace_gp_goals_shooting, subspace_points_plusminus_pim};
+use lof::{Euclidean, KdTree, LofDetector, NeighborhoodTable};
+
+fn main() {
+    let league = nhl96_analog(96, 850);
+    let names: Vec<&str> = league.players.iter().map(|p| p.name.as_str()).collect();
+    let detector = LofDetector::with_range(30, 50).expect("valid range").threads(8);
+
+    // Subspace 1: who is exceptional in (points, plus/minus, penalty
+    // minutes)?
+    let sub1 = subspace_points_plusminus_pim(&league);
+    let result1 = detector.detect(&sub1).expect("valid data");
+    println!("subspace (points, +/-, PIM) — top 5 by max-LOF:");
+    for (rank, (id, score)) in result1.top(5).into_iter().enumerate() {
+        let p = &league.players[id];
+        println!(
+            "  {}. {:28} LOF {score:4.2}  (pts {:3}, +/- {:+3}, PIM {:3})",
+            rank + 1,
+            names[id],
+            p.points(),
+            p.plus_minus,
+            p.penalty_minutes
+        );
+    }
+
+    // Subspace 2, demonstrating the persisted-materialization workflow:
+    // build M once, save it, reload, run step 2 off the file.
+    let sub2 = subspace_gp_goals_shooting(&league);
+    let index = KdTree::new(&sub2, Euclidean);
+    let table = NeighborhoodTable::build(&index, 50).expect("valid build");
+    let path = std::env::temp_dir().join("hockey_sub2.lofm");
+    table.save(&path).expect("writable temp dir");
+    let reloaded = NeighborhoodTable::load(&path).expect("just written");
+    println!(
+        "\nmaterialization database M: {} entries, persisted and reloaded from {}",
+        reloaded.stored_entries(),
+        path.display()
+    );
+    let _ = std::fs::remove_file(&path);
+
+    let result2 = detector.detect_from_table(&reloaded).expect("valid table");
+    println!("\nsubspace (games, goals, shooting%) — top 5 by max-LOF:");
+    for (rank, (id, score)) in result2.top(5).into_iter().enumerate() {
+        let p = &league.players[id];
+        println!(
+            "  {}. {:28} LOF {score:4.2}  (GP {:2}, G {:2}, S% {:4.1})",
+            rank + 1,
+            names[id],
+            p.games_played,
+            p.goals,
+            p.shooting_pct()
+        );
+    }
+
+    // The paper's named outliers must surface.
+    let top1: Vec<usize> = result1.top(2).into_iter().map(|(id, _)| id).collect();
+    assert!(top1.contains(&league.konstantinov) && top1.contains(&league.barnaby));
+    let top2: Vec<usize> = result2.top(3).into_iter().map(|(id, _)| id).collect();
+    assert!(top2.contains(&league.osgood) && top2.contains(&league.lemieux));
+    println!("\nKonstantinov, Barnaby, Osgood and Lemieux all surfaced — done.");
+}

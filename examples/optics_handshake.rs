@@ -1,0 +1,98 @@
+//! The paper's future-work "handshake" with OPTICS, prototyped: run both
+//! algorithms off the *same* materialized neighborhoods conceptually —
+//! here, the same index — and read them side by side. OPTICS explains
+//! *which cluster* a LOF outlier is outlying relative to; LOF grades *how*
+//! outlying each point on the reachability plot is.
+//!
+//! ```sh
+//! cargo run --release --example optics_handshake
+//! ```
+
+use lof::baselines::optics;
+use lof::data::paper::ds1;
+use lof::data::paper::{DS1_O1, DS1_O2};
+use lof::{Euclidean, KdTree, LofDetector};
+
+fn main() {
+    let labeled = ds1(7);
+    let index = KdTree::new(&labeled.data, Euclidean);
+
+    // Shared k-NN substrate: LOF...
+    let lof = LofDetector::with_range(10, 30).unwrap().detect_with(&index).unwrap();
+    // ...and OPTICS (min_pts matching the LOF range's lower bound).
+    let ordering = optics(&index, f64::INFINITY, 10).unwrap();
+
+    // Flat clusters from the reachability plot explain the scene.
+    let clusters = ordering.extract_clusters(6.0);
+    let cluster_of = |id: usize| clusters[id];
+    println!("OPTICS flat clusters at eps' = 6.0:");
+    let n_clusters = clusters.iter().flatten().max().map_or(0, |&c| c + 1);
+    for c in 0..n_clusters {
+        let size = clusters.iter().filter(|&&l| l == Some(c)).count();
+        if size > 5 {
+            println!("  cluster {c}: {size} objects");
+        }
+    }
+    let noise = clusters.iter().filter(|l| l.is_none()).count();
+    println!("  noise: {noise} objects");
+
+    // The handshake: annotate each top-LOF outlier with the cluster its
+    // neighborhood belongs to.
+    println!("\ntop LOF outliers, explained via OPTICS:");
+    for (id, score) in lof.top(4) {
+        let neighbors = index.k_nearest_point(labeled.data.point(id), 11).unwrap();
+        let mut neighbor_cluster = None;
+        for nb in neighbors.iter().skip(1) {
+            if let Some(c) = cluster_of(nb.id) {
+                neighbor_cluster = Some(c);
+                break;
+            }
+        }
+        let relative_to = match neighbor_cluster {
+            Some(c) => {
+                let size = clusters.iter().filter(|&&l| l == Some(c)).count();
+                format!("outlying relative to cluster {c} ({size} objects)")
+            }
+            None => "surrounded by noise".to_owned(),
+        };
+        let tag = if id == DS1_O1 {
+            " [o1]"
+        } else if id == DS1_O2 {
+            " [o2]"
+        } else {
+            ""
+        };
+        println!("  object {id:3}{tag}: LOF {score:.2} — {relative_to}");
+    }
+
+    // Reachability vs LOF: LOF normalizes by local density, reachability
+    // stays in distance units. Either way o2 cannot be isolated from the
+    // plot alone: depending on traversal order its reachability is either
+    // tiny (reached through dense C2 — smaller than ordinary C1 members'!)
+    // or exactly the generic cluster-jump spike every component start has.
+    let sparse_members_above = ordering
+        .reachability
+        .iter()
+        .take(500)
+        .filter(|r| r.is_finite() && **r >= ordering.reachability[DS1_O2])
+        .count();
+    println!(
+        "\nLOF(o1) = {:.2}, LOF(o2) = {:.2}; reachability(o1) = {:.1}, reachability(o2) = {:.1}",
+        lof.score(DS1_O1).unwrap(),
+        lof.score(DS1_O2).unwrap(),
+        ordering.reachability[DS1_O1],
+        ordering.reachability[DS1_O2],
+    );
+    if sparse_members_above > 0 {
+        println!(
+            "o2's reachability is exceeded by {sparse_members_above} ordinary cluster members — \
+             a distance-scaled view cannot single it out; LOF's density ratio can."
+        );
+    } else {
+        println!(
+            "o2 drew the component-entry spike this traversal — indistinguishable from the \
+             jump any cluster start produces; LOF's density ratio needs no such luck."
+        );
+    }
+    println!("the two views are complementary: OPTICS explains, LOF grades.");
+}

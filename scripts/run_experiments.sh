@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Regenerates every figure and table of the paper (E1-E11, see DESIGN.md).
+# Raw series are written to results/*.csv; each binary prints REPRODUCED /
+# NOT REPRODUCED verdicts for its shape-level claims.
+#
+# Usage: scripts/run_experiments.sh [LOF_SCALE]
+#   LOF_SCALE scales the fig10/fig11 dataset sizes (default 1).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export LOF_SCALE="${1:-1}"
+
+BINS=(
+  fig01_ds1
+  fig04_bound_spread
+  fig05_relative_span
+  fig07_gaussian_minpts
+  fig08_cluster_sizes
+  fig09_surface
+  fig10_materialization
+  fig11_lof_step
+  table_hockey
+  table3_soccer
+  exp_highdim64
+  exp_incremental
+  exp_detector_quality
+)
+
+cargo build --release -p lof-bench --bins
+
+mkdir -p results
+summary=()
+for bin in "${BINS[@]}"; do
+  echo
+  log="results/${bin}.log"
+  cargo run --quiet --release -p lof-bench --bin "$bin" | tee "$log"
+  n_bad=$(grep -c "NOT REPRODUCED" "$log" || true)
+  summary+=("$bin: $([ "$n_bad" -eq 0 ] && echo OK || echo "$n_bad claims NOT reproduced")")
+done
+
+echo
+echo "== verdict summary =="
+printf '%s\n' "${summary[@]}"

@@ -1,0 +1,51 @@
+//! # lof — density-based local outlier detection
+//!
+//! An open-source Rust reproduction of
+//!
+//! > Markus M. Breunig, Hans-Peter Kriegel, Raymond T. Ng, Jörg Sander.
+//! > *LOF: Identifying Density-Based Local Outliers.* SIGMOD 2000.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`core`] (`lof-core`) — the LOF algorithm: k-distance neighborhoods,
+//!   reachability distances, local reachability density, LOF over `MinPts`
+//!   ranges, the paper's formal bounds, and the [`LofDetector`] front door;
+//! * [`index`] (`lof-index`) — k-NN substrates (grid, kd-tree, X-tree,
+//!   VA-file, ball tree);
+//! * [`data`] (`lof-data`) — workload generators, including the paper's
+//!   synthetic datasets and the hockey/soccer stand-ins;
+//! * [`baselines`] (`lof-baselines`) — every comparison algorithm the paper
+//!   positions LOF against.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lof::{Dataset, LofDetector};
+//!
+//! let mut rows: Vec<[f64; 2]> = (0..100)
+//!     .map(|i| [(i % 10) as f64, (i / 10) as f64])
+//!     .collect();
+//! rows.push([40.0, 40.0]);
+//! let data = Dataset::from_rows(&rows).unwrap();
+//!
+//! let result = LofDetector::with_range(10, 20).unwrap().detect(&data).unwrap();
+//! assert_eq!(result.ranking()[0].0, 100);
+//! ```
+//!
+//! See the `examples/` directory for end-to-end scenarios and
+//! `crates/bench/src/bin/` for the binaries regenerating every figure and
+//! table of the paper's evaluation.
+
+#![warn(missing_docs)]
+
+pub use lof_baselines as baselines;
+pub use lof_core as core;
+pub use lof_data as data;
+pub use lof_index as index;
+
+pub use lof_core::{
+    Aggregate, Angular, Chebyshev, Dataset, Euclidean, KnnProvider, LinearScan, LofDetector, LofError,
+    LofRangeResult, Manhattan, Metric, MinPtsRange, Minkowski, Neighbor, NeighborhoodTable,
+    OutlierResult, Result,
+};
+pub use lof_index::{BallTree, GridIndex, KdTree, VaFile, XTree};

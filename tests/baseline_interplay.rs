@@ -1,0 +1,164 @@
+//! Cross-algorithm consistency: the baselines agree with each other (and
+//! with LOF) exactly where theory says they must.
+
+use lof::baselines::{
+    dbscan, kth_distance_scores, mean_knn_distance_scores, optics, top_n_outliers,
+};
+use lof::data::metrics::roc_auc;
+use lof::data::paper::fig8;
+use lof::data::{mixture, seeded, Component};
+use lof::{Dataset, Euclidean, KdTree, KnnProvider, LinearScan, LofDetector};
+
+fn scene() -> Dataset {
+    let mut rng = seeded(77);
+    mixture(
+        &mut rng,
+        &[
+            Component::Gaussian(80, vec![0.0, 0.0], 1.0),
+            Component::Gaussian(60, vec![30.0, 0.0], 2.0),
+        ],
+        &[vec![15.0, 15.0], vec![-10.0, -10.0]],
+    )
+    .data
+}
+
+/// OPTICS with an eps' extraction is DBSCAN-equivalent: same noise set and
+/// the same partition of core points into clusters (up to label renaming).
+/// Border points may attach to either adjacent cluster in both algorithms,
+/// so the comparison is restricted to core points.
+#[test]
+fn optics_extraction_matches_dbscan() {
+    let data = scene();
+    let scan = LinearScan::new(&data, Euclidean);
+    for (eps, min_pts) in [(1.5, 5), (2.5, 4), (0.8, 3)] {
+        let db = dbscan(&scan, eps, min_pts).unwrap();
+        let ordering = optics(&scan, f64::INFINITY, min_pts).unwrap();
+        let extracted = ordering.extract_clusters(eps);
+
+        // Core points: at least min_pts objects (incl. self) within eps.
+        let core: Vec<usize> = (0..data.len())
+            .filter(|&id| scan.within(id, eps).unwrap().len() + 1 >= min_pts)
+            .collect();
+
+        // Noise agreement on every object that is core-or-noise in both.
+        for &id in &core {
+            assert!(
+                !db.assignments[id].is_noise(),
+                "core point {id} cannot be DBSCAN noise"
+            );
+            assert!(
+                extracted[id].is_some(),
+                "core point {id} cannot be OPTICS-extraction noise (eps={eps})"
+            );
+        }
+
+        // Core points in the same DBSCAN cluster share an OPTICS cluster
+        // and vice versa (label renaming allowed): check the partitions
+        // refine each other.
+        for &a in &core {
+            for &b in &core {
+                let same_db = db.assignments[a] == db.assignments[b];
+                let same_opt = extracted[a] == extracted[b];
+                assert_eq!(
+                    same_db, same_opt,
+                    "core pair ({a},{b}) split differently at eps={eps}: \
+                     dbscan {same_db} vs optics {same_opt}"
+                );
+            }
+        }
+    }
+}
+
+/// Both kNN-distance variants must agree with LOF on *global* outliers —
+/// the regime where all reasonable detectors coincide.
+#[test]
+fn all_detectors_agree_on_global_outliers() {
+    let data = scene();
+    let index = KdTree::new(&data, Euclidean);
+    let truth = vec![140usize, 141]; // the two planted detached points
+
+    let lof_scores =
+        LofDetector::with_range(10, 20).unwrap().detect_with(&index).unwrap().scores();
+    let kth = kth_distance_scores(&index, 10).unwrap();
+    let mean = mean_knn_distance_scores(&index, 10).unwrap();
+
+    for (name, scores) in
+        [("lof", &lof_scores), ("kth", &kth), ("mean", &mean)]
+    {
+        let auc = roc_auc(scores, &truth);
+        assert!(auc > 0.99, "{name} must nail global outliers (AUC {auc})");
+    }
+    let top2 = top_n_outliers(&index, 10, 2).unwrap();
+    let ids: Vec<usize> = top2.iter().map(|&(id, _)| id).collect();
+    assert!(ids.contains(&140) && ids.contains(&141));
+}
+
+/// On figure 8's size-10 micro-cluster, LOF (MinPts = 15) sees outliers
+/// while DBSCAN at the matching density threshold must make a *binary*
+/// call: either the whole micro-cluster is noise or none of it is — the
+/// granularity gap the paper's section 2 describes.
+#[test]
+fn dbscan_binary_verdict_vs_lof_degrees() {
+    let labeled = fig8(8);
+    let data = &labeled.data;
+    let scan = LinearScan::new(data, Euclidean);
+    let s1 = labeled.ids_with_label(0);
+
+    let lof_scores =
+        LofDetector::with_min_pts(15).unwrap().detect_with(&scan).unwrap().scores();
+    let s1_min =
+        s1.iter().map(|&i| lof_scores[i]).fold(f64::INFINITY, f64::min);
+    let s1_max =
+        s1.iter().map(|&i| lof_scores[i]).fold(f64::NEG_INFINITY, f64::max);
+    assert!(s1_min > 1.5, "LOF grades every S1 member as outlying ({s1_min})");
+    assert!(s1_max > s1_min, "and with *degrees*, not one value");
+
+    // DBSCAN: under any eps, S1 is either one cluster (not noise) or all
+    // noise — never graded.
+    for eps in [0.5, 2.0, 10.0] {
+        let db = dbscan(&scan, eps, 5).unwrap();
+        let verdicts: Vec<bool> =
+            s1.iter().map(|&i| db.assignments[i].is_noise()).collect();
+        let all_same = verdicts.iter().all(|&v| v == verdicts[0]);
+        assert!(all_same, "eps={eps}: DBSCAN must treat the tight micro-cluster uniformly");
+    }
+}
+
+/// The kNN-distance ranking and LOF disagree exactly where densities vary:
+/// the sparser cluster's ordinary members outscore the dense cluster's
+/// planted local outlier under kNN-distance, never under LOF.
+#[test]
+fn distance_ranking_diverges_from_lof_across_densities() {
+    let mut rng = seeded(3);
+    let labeled = mixture(
+        &mut rng,
+        &[
+            Component::Gaussian(100, vec![0.0, 0.0], 0.3), // dense
+            Component::Gaussian(100, vec![50.0, 0.0], 6.0), // sparse
+        ],
+        &[vec![3.0, 0.0]], // local outlier by the dense cluster (id 200)
+    );
+    let data = &labeled.data;
+    let index = KdTree::new(data, Euclidean);
+
+    let lof_scores =
+        LofDetector::with_range(10, 20).unwrap().detect_with(&index).unwrap().scores();
+    let kth = kth_distance_scores(&index, 10).unwrap();
+
+    let sparse_max_kth =
+        labeled.ids_with_label(1).iter().map(|&i| kth[i]).fold(f64::MIN, f64::max);
+    assert!(
+        kth[200] < sparse_max_kth,
+        "kNN-distance buries the local outlier below sparse members"
+    );
+    let sparse_max_lof = labeled
+        .ids_with_label(1)
+        .iter()
+        .map(|&i| lof_scores[i])
+        .fold(f64::MIN, f64::max);
+    assert!(
+        lof_scores[200] > sparse_max_lof,
+        "LOF ranks it above every sparse-cluster member ({} vs {sparse_max_lof})",
+        lof_scores[200]
+    );
+}

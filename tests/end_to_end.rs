@@ -1,0 +1,190 @@
+//! Cross-crate integration tests: the full pipeline over the paper's
+//! datasets, every index substrate, and the baseline comparisons.
+
+use lof::baselines::{db_outliers, DbOutlierParams};
+use lof::data::paper::{ds1, fig8, fig9, histograms64, DS1_O1, DS1_O2};
+use lof::data::LabeledDataset;
+use lof::{
+    Aggregate, BallTree, Dataset, Euclidean, GridIndex, KdTree, LinearScan,
+    LofDetector, VaFile, XTree,
+};
+
+#[test]
+fn ds1_reproduces_the_section_3_story() {
+    let labeled = ds1(42);
+    let result = LofDetector::with_range(10, 30)
+        .unwrap()
+        .detect(&labeled.data)
+        .unwrap();
+    let ranking = result.ranking();
+    let top2: Vec<usize> = ranking.iter().take(2).map(|&(id, _)| id).collect();
+    assert!(top2.contains(&DS1_O1), "o1 must top the ranking");
+    assert!(top2.contains(&DS1_O2), "o2 must top the ranking");
+    // Cluster members stay well below the outliers.
+    let worst_member = ranking
+        .iter()
+        .filter(|(id, _)| *id != DS1_O1 && *id != DS1_O2)
+        .map(|&(_, s)| s)
+        .fold(f64::MIN, f64::max);
+    assert!(result.score(DS1_O2).unwrap() > worst_member);
+
+    // And DB(pct, dmin) cannot isolate o2: any parameterization flagging it
+    // co-flags a big chunk of C1.
+    for dmin in [1.0, 2.0, 4.0, 8.0] {
+        let flags =
+            db_outliers(&labeled.data, &Euclidean, DbOutlierParams::new(99.0, dmin).unwrap())
+                .unwrap();
+        if flags[DS1_O2] {
+            let c1_flagged = labeled.ids_with_label(0).iter().filter(|&&i| flags[i]).count();
+            assert!(
+                c1_flagged > 40,
+                "dmin={dmin}: o2 flagged but only {c1_flagged} C1 members co-flagged"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_index_yields_identical_lof_results() {
+    let labeled = fig8(3);
+    let data = &labeled.data;
+    let detector = LofDetector::with_range(10, 20).unwrap();
+
+    let reference = detector.detect_with(&LinearScan::new(data, Euclidean)).unwrap().scores();
+    let via_grid = detector.detect_with(&GridIndex::new(data, Euclidean)).unwrap().scores();
+    let via_kd = detector.detect_with(&KdTree::new(data, Euclidean)).unwrap().scores();
+    let via_x = detector.detect_with(&XTree::new(data, Euclidean)).unwrap().scores();
+    let via_va = detector.detect_with(&VaFile::new(data, Euclidean)).unwrap().scores();
+    let via_ball = detector.detect_with(&BallTree::new(data, Euclidean)).unwrap().scores();
+    for id in 0..data.len() {
+        for (name, scores) in [
+            ("grid", &via_grid),
+            ("kdtree", &via_kd),
+            ("xtree", &via_x),
+            ("vafile", &via_va),
+            ("balltree", &via_ball),
+        ] {
+            assert!(
+                (scores[id] - reference[id]).abs() < 1e-9,
+                "{name} diverges at {id}: {} vs {}",
+                scores[id],
+                reference[id]
+            );
+        }
+    }
+}
+
+#[test]
+fn fig9_outliers_rise_above_both_uniform_clusters() {
+    let labeled = fig9(9);
+    let index = KdTree::new(&labeled.data, Euclidean);
+    let result = LofDetector::with_min_pts(40).unwrap().threads(4).detect_with(&index).unwrap();
+    let scores = result.scores();
+    for label in [2usize, 3] {
+        let ids = labeled.ids_with_label(label);
+        let mean: f64 = ids.iter().map(|&i| scores[i]).sum::<f64>() / ids.len() as f64;
+        assert!((mean - 1.0).abs() < 0.1, "uniform cluster {label} mean {mean}");
+    }
+    for &id in &labeled.outlier_ids() {
+        assert!(scores[id] > 1.5, "planted outlier {id} scored {}", scores[id]);
+    }
+}
+
+#[test]
+fn highdim_histograms_work_through_the_vafile() {
+    let labeled = histograms64(64, 4, 40, 6);
+    let index = VaFile::new(&labeled.data, Euclidean);
+    let result = LofDetector::with_range(10, 20).unwrap().detect_with(&index).unwrap();
+    let ranking = result.ranking();
+    let top6: Vec<usize> = ranking.iter().take(6).map(|&(id, _)| id).collect();
+    let hits =
+        labeled.outlier_ids().iter().filter(|id| top6.contains(id)).count();
+    assert!(hits >= 5, "only {hits} of 6 planted 64-d outliers in the top 6");
+}
+
+#[test]
+fn duplicates_flow_through_the_whole_pipeline() {
+    // A duplicate-heavy dataset must neither crash nor mark duplicate
+    // cluster members outlying.
+    let mut rows: Vec<[f64; 2]> = Vec::new();
+    for _ in 0..20 {
+        rows.push([1.0, 1.0]);
+        rows.push([2.0, 2.0]);
+    }
+    rows.push([50.0, 50.0]);
+    let data = Dataset::from_rows(&rows).unwrap();
+    let result = LofDetector::with_range(3, 10).unwrap().detect(&data).unwrap();
+    let scores = result.scores();
+    assert!(scores[40] > 1.0 || scores[40].is_infinite());
+    assert_eq!(result.ranking()[0].0, 40);
+    for (id, &score) in scores.iter().enumerate().take(40) {
+        assert!(score <= 1.0 + 1e-9, "duplicate member {id} scored {score}");
+    }
+}
+
+#[test]
+fn aggregates_and_thresholds_compose() {
+    let labeled = ds1(7);
+    let detector = LofDetector::with_range(10, 25).unwrap();
+    let max_res = detector.clone().aggregate(Aggregate::Max).detect(&labeled.data).unwrap();
+    let min_res = detector.clone().aggregate(Aggregate::Min).detect(&labeled.data).unwrap();
+    let mean_res = detector.aggregate(Aggregate::Mean).detect(&labeled.data).unwrap();
+    for id in 0..labeled.len() {
+        let (lo, mid, hi) = (
+            min_res.score(id).unwrap(),
+            mean_res.score(id).unwrap(),
+            max_res.score(id).unwrap(),
+        );
+        assert!(lo <= mid + 1e-12 && mid <= hi + 1e-12, "id {id}: {lo} {mid} {hi}");
+    }
+    // The paper's argument for Max: it never under-reports an outlier.
+    assert!(max_res.outliers_above(1.5).len() >= min_res.outliers_above(1.5).len());
+}
+
+#[test]
+fn labeled_dataset_helpers_are_consistent() {
+    let labeled = fig9(1);
+    let mut total = labeled.outlier_ids().len();
+    for label in 0..4 {
+        total += labeled.ids_with_label(label).len();
+    }
+    assert_eq!(total, labeled.len());
+    let rep = labeled.representative(1).unwrap();
+    assert_eq!(labeled.labels[rep], 1);
+    assert_eq!(labeled.labels[labeled.outlier_ids()[0]], LabeledDataset::OUTLIER);
+}
+
+#[test]
+fn table_reuse_across_detectors() {
+    // Materialize once with the widest range, reuse for narrower ranges —
+    // the workflow the paper's two-step split enables.
+    let labeled = fig8(5);
+    let index = KdTree::new(&labeled.data, Euclidean);
+    let table = lof::NeighborhoodTable::build(&index, 50).unwrap();
+    for (lb, ub) in [(10, 50), (10, 20), (30, 45), (50, 50)] {
+        let via_table = LofDetector::with_range(lb, ub)
+            .unwrap()
+            .detect_from_table(&table)
+            .unwrap();
+        let direct = LofDetector::with_range(lb, ub)
+            .unwrap()
+            .detect_with(&index)
+            .unwrap();
+        assert_eq!(via_table.scores(), direct.scores(), "range {lb}..={ub}");
+    }
+}
+
+#[test]
+fn point_queries_support_scoring_workflows() {
+    // k_nearest_point lets applications examine neighborhoods of points
+    // that are not part of the dataset (e.g. incoming transactions).
+    let labeled = ds1(11);
+    let index = KdTree::new(&labeled.data, Euclidean);
+    let probe = [305.0, 90.0]; // inside dense C2
+    let nn = index.k_nearest_point(&probe, 10).unwrap();
+    assert!(nn.len() >= 10);
+    assert!(nn[0].dist < 2.0, "C2 is dense around the probe");
+    let far_probe = [500.0, 500.0];
+    let nn = index.k_nearest_point(&far_probe, 3).unwrap();
+    assert!(nn[0].dist > 100.0);
+}
