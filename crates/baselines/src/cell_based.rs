@@ -61,10 +61,7 @@ pub struct CellBasedResult {
 /// Returns [`LofError::EmptyDataset`] on empty input and
 /// [`LofError::DimensionMismatch`] for dimensionality above 4 (use the
 /// nested-loop variant there, as Knorr–Ng themselves do).
-pub fn db_outliers_cell_based(
-    data: &Dataset,
-    params: DbOutlierParams,
-) -> Result<CellBasedResult> {
+pub fn db_outliers_cell_based(data: &Dataset, params: DbOutlierParams) -> Result<CellBasedResult> {
     if data.is_empty() {
         return Err(LofError::EmptyDataset);
     }
@@ -116,12 +113,7 @@ pub fn db_outliers_cell_based(
     };
 
     // Enumerates all offsets with Chebyshev norm in [min_layer, max_layer].
-    fn for_each_offset(
-        d: usize,
-        min_layer: i64,
-        max_layer: i64,
-        f: &mut impl FnMut(&[i64]),
-    ) {
+    fn for_each_offset(d: usize, min_layer: i64, max_layer: i64, f: &mut impl FnMut(&[i64])) {
         let mut offset = vec![0i64; d];
         fn rec(
             offset: &mut Vec<i64>,
@@ -149,8 +141,7 @@ pub fn db_outliers_cell_based(
     let count_in = |cell: &[i64], offsets_min: i64, offsets_max: i64| -> usize {
         let mut total = 0;
         for_each_offset(d, offsets_min, offsets_max, &mut |offset| {
-            let neighbor: Vec<i64> =
-                cell.iter().zip(offset).map(|(c, o)| c + o).collect();
+            let neighbor: Vec<i64> = cell.iter().zip(offset).map(|(c, o)| c + o).collect();
             if let Some(ids) = cells.get(&neighbor) {
                 total += ids.len();
             }
@@ -177,8 +168,7 @@ pub fn db_outliers_cell_based(
         // L1 are already known to be within dmin).
         let mut l2_candidates: Vec<usize> = Vec::new();
         for_each_offset(d, 2, l2_radius, &mut |offset| {
-            let neighbor: Vec<i64> =
-                cell.iter().zip(offset).map(|(c, o)| c + o).collect();
+            let neighbor: Vec<i64> = cell.iter().zip(offset).map(|(c, o)| c + o).collect();
             if let Some(ids) = cells.get(&neighbor) {
                 l2_candidates.extend_from_slice(ids);
             }
@@ -273,11 +263,7 @@ mod tests {
     fn three_and_four_dimensional_data_work() {
         let mut rows: Vec<Vec<f64>> = Vec::new();
         for i in 0..120 {
-            rows.push(vec![
-                (i % 5) as f64,
-                ((i / 5) % 5) as f64,
-                ((i / 25) % 5) as f64,
-            ]);
+            rows.push(vec![(i % 5) as f64, ((i / 5) % 5) as f64, ((i / 25) % 5) as f64]);
         }
         rows.push(vec![30.0, 30.0, 30.0]);
         let ds = Dataset::from_rows(&rows).unwrap();
@@ -310,9 +296,6 @@ mod tests {
     fn empty_dataset_is_rejected() {
         let ds = Dataset::new(2);
         let params = DbOutlierParams::new(95.0, 1.0).unwrap();
-        assert!(matches!(
-            db_outliers_cell_based(&ds, params),
-            Err(LofError::EmptyDataset)
-        ));
+        assert!(matches!(db_outliers_cell_based(&ds, params), Err(LofError::EmptyDataset)));
     }
 }

@@ -192,8 +192,7 @@ mod tests {
         let all = db_outliers(&ds, &Euclidean, DbOutlierParams::new(0.0, 1.0).unwrap()).unwrap();
         assert!(all.iter().all(|&f| f));
         // pct = 100: threshold 0, nobody qualifies (each p counts itself).
-        let none =
-            db_outliers(&ds, &Euclidean, DbOutlierParams::new(100.0, 1.0).unwrap()).unwrap();
+        let none = db_outliers(&ds, &Euclidean, DbOutlierParams::new(100.0, 1.0).unwrap()).unwrap();
         assert!(none.iter().all(|&f| !f));
     }
 
@@ -209,8 +208,7 @@ mod tests {
     fn best_params_finds_isolating_setting_for_global_outlier() {
         let ds = cluster_plus_outlier();
         let grid: Vec<f64> = (1..=20).map(|i| i as f64 * 0.5).collect();
-        let (params, others) =
-            best_params_isolating(&ds, &Euclidean, 20, 95.0, &grid).unwrap();
+        let (params, others) = best_params_isolating(&ds, &Euclidean, 20, 95.0, &grid).unwrap();
         assert_eq!(others, 0, "global outlier is isolatable, found dmin={}", params.dmin);
     }
 

@@ -36,12 +36,7 @@ pub struct DbscanResult {
 impl DbscanResult {
     /// Ids of all noise points.
     pub fn noise_ids(&self) -> Vec<usize> {
-        self.assignments
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| a.is_noise())
-            .map(|(i, _)| i)
-            .collect()
+        self.assignments.iter().enumerate().filter(|(_, a)| a.is_noise()).map(|(i, _)| i).collect()
     }
 
     /// Ids of the members of one cluster.
@@ -208,9 +203,8 @@ mod tests {
         let ds = two_blobs_and_noise();
         let scan = LinearScan::new(&ds, Euclidean);
         let result = dbscan(&scan, 1.0, 4).unwrap();
-        let total: usize =
-            (0..result.clusters).map(|c| result.cluster_ids(c).len()).sum::<usize>()
-                + result.noise_ids().len();
+        let total: usize = (0..result.clusters).map(|c| result.cluster_ids(c).len()).sum::<usize>()
+            + result.noise_ids().len();
         assert_eq!(total, ds.len());
     }
 

@@ -65,11 +65,13 @@ fn convex_hull_ids(data: &Dataset, subset: &[usize]) -> Vec<usize> {
         let pb = data.point(b);
         pa[0].total_cmp(&pb[0]).then(pa[1].total_cmp(&pb[1])).then(a.cmp(&b))
     });
-    pts.dedup_by(|&mut a, &mut b| data.point(a) == data.point(b) && {
-        // Exact duplicates: keep one representative per location on the
-        // hull; the duplicate is peeled in a later layer. (dedup_by removes
-        // `a` when returning true.)
-        true
+    pts.dedup_by(|&mut a, &mut b| {
+        data.point(a) == data.point(b) && {
+            // Exact duplicates: keep one representative per location on the
+            // hull; the duplicate is peeled in a later layer. (dedup_by removes
+            // `a` when returning true.)
+            true
+        }
     });
     if pts.len() <= 2 {
         // One or two distinct locations: the "hull" is those

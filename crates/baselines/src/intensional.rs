@@ -144,11 +144,7 @@ mod tests {
     fn fixture() -> Dataset {
         let mut rows: Vec<[f64; 3]> = Vec::new();
         for i in 0..40 {
-            rows.push([
-                (i % 8) as f64,
-                (i / 8) as f64 * 0.5,
-                ((i * 3) % 5) as f64,
-            ]);
+            rows.push([(i % 8) as f64, (i / 8) as f64 * 0.5, ((i * 3) % 5) as f64]);
         }
         rows.push([4.0, 30.0, 2.0]); // id 40: only column 1 is anomalous
         Dataset::from_rows(&rows).unwrap()
@@ -162,8 +158,7 @@ mod tests {
     #[test]
     fn finds_the_single_anomalous_column() {
         let data = fixture();
-        let report =
-            strongest_outlying_subspaces(&data, 40, 3, 2.0, lof_score).unwrap();
+        let report = strongest_outlying_subspaces(&data, 40, 3, 2.0, lof_score).unwrap();
         // 1-, 2- and 3-subsets of 3 columns: 7 subspaces evaluated.
         assert_eq!(report.scores.len(), 7);
         assert_eq!(report.minimal, vec![vec![1]], "column 1 alone explains the outlier");
@@ -174,8 +169,7 @@ mod tests {
     #[test]
     fn non_outlier_yields_no_minimal_subspace() {
         let data = fixture();
-        let report =
-            strongest_outlying_subspaces(&data, 20, 3, 2.0, lof_score).unwrap();
+        let report = strongest_outlying_subspaces(&data, 20, 3, 2.0, lof_score).unwrap();
         assert!(report.minimal.is_empty());
         assert!(report.scores.iter().all(|s| !s.outlying));
     }
@@ -183,8 +177,7 @@ mod tests {
     #[test]
     fn dimension_cap_limits_enumeration() {
         let data = fixture();
-        let report =
-            strongest_outlying_subspaces(&data, 40, 1, 2.0, lof_score).unwrap();
+        let report = strongest_outlying_subspaces(&data, 40, 1, 2.0, lof_score).unwrap();
         assert_eq!(report.scores.len(), 3, "only singletons evaluated");
         assert!(report.scores.iter().all(|s| s.columns.len() == 1));
     }
@@ -192,18 +185,13 @@ mod tests {
     #[test]
     fn minimality_excludes_supersets() {
         let data = fixture();
-        let report =
-            strongest_outlying_subspaces(&data, 40, 3, 2.0, lof_score).unwrap();
+        let report = strongest_outlying_subspaces(&data, 40, 3, 2.0, lof_score).unwrap();
         // {1} is outlying, so {0,1}, {1,2}, {0,1,2} must not be minimal
         // even though the object is outlying there too.
         for minimal in &report.minimal {
             assert_eq!(minimal, &vec![1]);
         }
-        let superset = report
-            .scores
-            .iter()
-            .find(|s| s.columns == vec![0, 1])
-            .unwrap();
+        let superset = report.scores.iter().find(|s| s.columns == vec![0, 1]).unwrap();
         assert!(superset.outlying, "superset is outlying but not reported as minimal");
     }
 
@@ -217,9 +205,8 @@ mod tests {
     #[test]
     fn score_errors_propagate() {
         let data = fixture();
-        let result = strongest_outlying_subspaces(&data, 40, 2, 2.0, |_, _| {
-            Err(LofError::EmptyDataset)
-        });
+        let result =
+            strongest_outlying_subspaces(&data, 40, 2, 2.0, |_, _| Err(LofError::EmptyDataset));
         assert!(matches!(result, Err(LofError::EmptyDataset)));
     }
 }

@@ -20,8 +20,8 @@
 pub mod cell_based;
 pub mod db_outlier;
 pub mod dbscan;
-pub mod intensional;
 pub mod depth;
+pub mod intensional;
 pub mod knn_outlier;
 pub mod optics;
 pub mod statistical;
@@ -29,8 +29,8 @@ pub mod statistical;
 pub use cell_based::{db_outliers_cell_based, CellBasedResult, CellStats};
 pub use db_outlier::{best_params_isolating, db_outliers, db_outliers_with, DbOutlierParams};
 pub use dbscan::{dbscan, Assignment, DbscanResult};
-pub use intensional::{strongest_outlying_subspaces, IntensionalReport, SubspaceScore};
 pub use depth::{peeling_depths, shallowest};
+pub use intensional::{strongest_outlying_subspaces, IntensionalReport, SubspaceScore};
 pub use knn_outlier::{kth_distance_scores, mean_knn_distance_scores, top_n_outliers};
 pub use optics::{optics, OpticsResult};
 pub use statistical::{mahalanobis_scores, max_abs_zscore};

@@ -83,10 +83,7 @@ impl Eq for Seed {}
 impl Ord for Seed {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap by (reachability, id).
-        other
-            .reachability
-            .total_cmp(&self.reachability)
-            .then(other.id.cmp(&self.id))
+        other.reachability.total_cmp(&self.reachability).then(other.id.cmp(&self.id))
     }
 }
 
@@ -156,8 +153,7 @@ pub fn optics<P: KnnProvider + ?Sized>(
             // Core distance: min_pts-distance counting p itself, i.e. the
             // (min_pts - 1)-th neighbor distance.
             if neighbors.len() + 1 >= min_pts {
-                core_distance[p] =
-                    if min_pts == 1 { 0.0 } else { neighbors[min_pts - 2].dist };
+                core_distance[p] = if min_pts == 1 { 0.0 } else { neighbors[min_pts - 2].dist };
                 for nb in &neighbors {
                     if processed[nb.id] {
                         continue;

@@ -45,9 +45,7 @@ pub fn max_abs_zscore(data: &Dataset) -> Result<Vec<f64>> {
     }
     Ok(data
         .iter()
-        .map(|(_, p)| {
-            (0..dims).map(|d| ((p[d] - mean[d]) / std_dev[d]).abs()).fold(0.0, f64::max)
-        })
+        .map(|(_, p)| (0..dims).map(|d| ((p[d] - mean[d]) / std_dev[d]).abs()).fold(0.0, f64::max))
         .collect())
 }
 
@@ -95,16 +93,14 @@ pub fn mahalanobis_scores(data: &Dataset) -> Result<Vec<f64>> {
         }
     }
     // Ridge regularization against degenerate directions.
-    let trace_mean =
-        (0..dims).map(|i| cov[i * dims + i]).sum::<f64>() / dims as f64;
+    let trace_mean = (0..dims).map(|i| cov[i * dims + i]).sum::<f64>() / dims as f64;
     let ridge = (trace_mean * 1e-9).max(f64::MIN_POSITIVE);
     for i in 0..dims {
         cov[i * dims + i] += ridge;
     }
 
-    let inv = invert(&cov, dims).ok_or_else(|| {
-        LofError::InvalidPartition("covariance matrix is singular".to_owned())
-    })?;
+    let inv = invert(&cov, dims)
+        .ok_or_else(|| LofError::InvalidPartition("covariance matrix is singular".to_owned()))?;
 
     let mut scores = Vec::with_capacity(data.len());
     let mut centered = vec![0.0; dims];
@@ -134,9 +130,8 @@ fn invert(matrix: &[f64], n: usize) -> Option<Vec<f64>> {
     }
     for col in 0..n {
         // Partial pivot.
-        let pivot_row = (col..n).max_by(|&r1, &r2| {
-            a[r1 * n + col].abs().total_cmp(&a[r2 * n + col].abs())
-        })?;
+        let pivot_row =
+            (col..n).max_by(|&r1, &r2| a[r1 * n + col].abs().total_cmp(&a[r2 * n + col].abs()))?;
         if a[pivot_row * n + col].abs() < 1e-300 {
             return None;
         }
@@ -178,12 +173,7 @@ mod tests {
         rows.push([100.0, 2.0]);
         let ds = Dataset::from_rows(&rows).unwrap();
         let scores = max_abs_zscore(&ds).unwrap();
-        let max_id = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0;
+        let max_id = scores.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert_eq!(max_id, 50);
     }
 

@@ -2,8 +2,8 @@
 //! consistency laws each definition implies.
 
 use lof_baselines::{
-    db_outliers, db_outliers_with, dbscan, kth_distance_scores, mahalanobis_scores,
-    max_abs_zscore, optics, peeling_depths, top_n_outliers, DbOutlierParams,
+    db_outliers, db_outliers_with, dbscan, kth_distance_scores, mahalanobis_scores, max_abs_zscore,
+    optics, peeling_depths, top_n_outliers, DbOutlierParams,
 };
 use lof_core::{Dataset, Euclidean, KnnProvider, LinearScan};
 use proptest::prelude::*;
@@ -11,10 +11,7 @@ use proptest::prelude::*;
 fn dataset_strategy(max_n: usize, dims: usize) -> impl Strategy<Value = Dataset> {
     (5usize..=max_n).prop_flat_map(move |n| {
         proptest::collection::vec(
-            proptest::collection::vec(
-                prop_oneof![Just(0.0), Just(5.0), -40.0..40.0f64],
-                dims,
-            ),
+            proptest::collection::vec(prop_oneof![Just(0.0), Just(5.0), -40.0..40.0f64], dims),
             n,
         )
         .prop_map(|rows| Dataset::from_rows(&rows).expect("finite rows"))

@@ -33,16 +33,12 @@ fn bench_detectors(c: &mut Criterion) {
         b.iter(|| black_box(kth_distance_scores(&index, 40).unwrap()))
     });
     group.bench_function("dbscan", |b| b.iter(|| black_box(dbscan(&index, 2.0, 10).unwrap())));
-    group.bench_function("optics", |b| {
-        b.iter(|| black_box(optics(&index, 10.0, 10).unwrap()))
-    });
+    group.bench_function("optics", |b| b.iter(|| black_box(optics(&index, 10.0, 10).unwrap())));
     group.bench_function("zscore", |b| b.iter(|| black_box(max_abs_zscore(&data).unwrap())));
     group.bench_function("mahalanobis", |b| {
         b.iter(|| black_box(mahalanobis_scores(&data).unwrap()))
     });
-    group.bench_function("depth_peeling", |b| {
-        b.iter(|| black_box(peeling_depths(&data).unwrap()))
-    });
+    group.bench_function("depth_peeling", |b| b.iter(|| black_box(peeling_depths(&data).unwrap())));
     group.finish();
 }
 

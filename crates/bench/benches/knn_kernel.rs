@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks for the blocked squared-distance k-NN kernel
+//! at the acceptance configuration (n = 10000, d = 10, k = 50): the seed's
+//! per-query allocating scan vs. the zero-allocation scratch path vs. the
+//! cache-blocked batch kernel. `cargo run --release --bin bench_knn` emits
+//! the same comparison as machine-readable `BENCH_knn.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lof_core::knn::KnnScratch;
+use lof_core::neighbors::select_k_tie_inclusive;
+use lof_core::{Dataset, Euclidean, KnnProvider, LinearScan, Metric, Neighbor};
+use lof_data::paper::perf_mixture;
+use std::hint::black_box;
+
+const N: usize = 10_000;
+const DIMS: usize = 10;
+const K: usize = 50;
+/// Queries per timed iteration; per-query figures divide by this.
+const BATCH: usize = 64;
+
+/// The seed's query path: a fresh candidate vector per query, scalar
+/// distance loop, tie-inclusive selection — everything allocates.
+fn seed_style_query(data: &Dataset, id: usize, k: usize) -> Vec<Neighbor> {
+    let q = data.point(id);
+    let all: Vec<Neighbor> = (0..data.len())
+        .filter(|&other| other != id)
+        .map(|other| Neighbor::new(other, Euclidean.distance(q, data.point(other))))
+        .collect();
+    select_k_tie_inclusive(all, k)
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let data = perf_mixture(7, N, DIMS, 8);
+    let scan = LinearScan::new(&data, Euclidean);
+    let mut group = c.benchmark_group(format!("knn_kernel_n{N}_d{DIMS}_k{K}"));
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("seed_scan", BATCH), |b| {
+        let mut start = 0;
+        b.iter(|| {
+            start = (start + 257) % (N - BATCH);
+            for id in start..start + BATCH {
+                black_box(seed_style_query(&data, id, K));
+            }
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("scratch_per_query", BATCH), |b| {
+        let mut scratch = KnnScratch::new();
+        let mut out: Vec<Neighbor> = Vec::new();
+        let mut start = 0;
+        b.iter(|| {
+            start = (start + 257) % (N - BATCH);
+            for id in start..start + BATCH {
+                out.clear();
+                black_box(scan.k_nearest_into(id, K, &mut scratch, &mut out).unwrap());
+            }
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("blocked_batch", BATCH), |b| {
+        let mut scratch = KnnScratch::new();
+        let mut out: Vec<Neighbor> = Vec::new();
+        let mut lens: Vec<usize> = Vec::new();
+        let mut start = 0;
+        b.iter(|| {
+            start = (start + 257) % (N - BATCH);
+            out.clear();
+            lens.clear();
+            scan.batch_k_nearest(start..start + BATCH, K, &mut scratch, &mut out, &mut lens)
+                .unwrap();
+            black_box(out.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Machine-readable kernel benchmark: full `MinPtsUB = 50` materialization
+//! over n = 10000, d = 10 points through the seed's per-query allocating
+//! scan vs. the cache-blocked batch kernel, written as `BENCH_knn.json`
+//! (override the path with `BENCH_KNN_OUT`). Verifies both paths return
+//! bit-identical neighborhoods before timing.
+//!
+//! Run with `--release`; scale with `LOF_SCALE` as usual.
+
+use lof_bench::{banner, scale, time};
+use lof_core::knn::KnnScratch;
+use lof_core::neighbors::select_k_tie_inclusive;
+use lof_core::{Dataset, Euclidean, KnnProvider, LinearScan, Metric, Neighbor};
+use lof_data::paper::perf_mixture;
+
+const K: usize = 50;
+
+/// The seed's query path: fresh candidate vector per query, scalar distance
+/// loop, tie-inclusive selection.
+fn seed_style_query(data: &Dataset, id: usize, k: usize) -> Vec<Neighbor> {
+    let q = data.point(id);
+    let all: Vec<Neighbor> = (0..data.len())
+        .filter(|&other| other != id)
+        .map(|other| Neighbor::new(other, Euclidean.distance(q, data.point(other))))
+        .collect();
+    select_k_tie_inclusive(all, k)
+}
+
+fn main() {
+    banner("bench_knn", "blocked k-NN kernel vs seed scan (JSON output)");
+    let n = 10_000 * scale();
+    let dims = 10;
+    let data = perf_mixture(7, n, dims, 8);
+    let scan = LinearScan::new(&data, Euclidean);
+
+    // Correctness gate first: the two paths must agree bit-for-bit on a
+    // sample, otherwise the timing comparison is meaningless.
+    let mut scratch = KnnScratch::new();
+    let (mut flat, mut lens) = (Vec::new(), Vec::new());
+    scan.batch_k_nearest(0..128, K, &mut scratch, &mut flat, &mut lens).expect("valid batch");
+    let mut cursor = 0;
+    for (id, &len) in lens.iter().enumerate() {
+        let want = seed_style_query(&data, id, K);
+        let got = &flat[cursor..cursor + len];
+        assert_eq!(got.len(), want.len(), "neighborhood size diverges at id {id}");
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.id, w.id, "neighbor ids diverge at id {id}");
+            assert_eq!(g.dist.to_bits(), w.dist.to_bits(), "distance bits diverge at id {id}");
+        }
+        cursor += len;
+    }
+    println!("correctness gate: blocked batch == seed scan on 128 sampled neighborhoods");
+
+    // Seed path: every object, one allocating query at a time.
+    let (_, seed_time) = time(|| {
+        for id in 0..n {
+            std::hint::black_box(seed_style_query(&data, id, K));
+        }
+    });
+
+    // Blocked path: one batched materialization pass over every object.
+    let (_, blocked_time) = time(|| {
+        let mut scratch = KnnScratch::new();
+        let (mut flat, mut lens) = (Vec::new(), Vec::new());
+        scan.batch_k_nearest(0..n, K, &mut scratch, &mut flat, &mut lens).expect("valid batch");
+        std::hint::black_box(flat.len())
+    });
+
+    let seed_ns = seed_time.as_nanos() as f64 / n as f64;
+    let blocked_ns = blocked_time.as_nanos() as f64 / n as f64;
+    let speedup = seed_ns / blocked_ns;
+    println!(
+        "n={n} d={dims} k={K}: seed scan {seed_ns:10.0} ns/query, \
+         blocked kernel {blocked_ns:10.0} ns/query ({speedup:.2}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"dataset_size\": {n},\n  \"dims\": {dims},\n  \"k\": {K},\n  \
+         \"seed_scan_ns_per_query\": {seed_ns:.1},\n  \
+         \"blocked_kernel_ns_per_query\": {blocked_ns:.1},\n  \
+         \"speedup\": {speedup:.3}\n}}\n"
+    );
+    let path = std::env::var("BENCH_KNN_OUT").unwrap_or_else(|_| "BENCH_knn.json".to_owned());
+    std::fs::write(&path, &json).expect("cannot write benchmark JSON");
+    println!("wrote {path}:\n{json}");
+}

@@ -74,11 +74,9 @@ fn main() {
     // Shape: LOF's AUC is best (or tied-best) on every scene.
     let mut lof_wins = true;
     for scene_idx in 0..3 {
-        let rows: Vec<&Vec<f64>> =
-            out.rows.iter().filter(|r| r[0] == scene_idx as f64).collect();
+        let rows: Vec<&Vec<f64>> = out.rows.iter().filter(|r| r[0] == scene_idx as f64).collect();
         let lof_auc = rows.iter().find(|r| r[1] == 0.0).expect("lof row")[2];
-        let best_other =
-            rows.iter().filter(|r| r[1] != 0.0).map(|r| r[2]).fold(f64::MIN, f64::max);
+        let best_other = rows.iter().filter(|r| r[1] != 0.0).map(|r| r[2]).fold(f64::MIN, f64::max);
         lof_wins &= lof_auc >= best_other - 0.02;
     }
     println!(

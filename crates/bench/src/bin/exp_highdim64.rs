@@ -78,16 +78,13 @@ fn main() {
         .expect("valid range")
         .detect_with(&angular_index) // the metric lives in the index
         .expect("valid dataset");
-    let angular_top10: Vec<usize> =
-        angular.ranking().iter().take(10).map(|&(id, _)| id).collect();
-    let angular_hits =
-        labeled.outlier_ids().iter().filter(|id| angular_top10.contains(id)).count();
+    let angular_top10: Vec<usize> = angular.ranking().iter().take(10).map(|&(id, _)| id).collect();
+    let angular_hits = labeled.outlier_ids().iter().filter(|id| angular_top10.contains(id)).count();
     println!("\nangular-metric cross-check: {angular_hits} of 10 planted outliers in its top 10");
 
     let ranking = result.ranking();
     let top10: Vec<usize> = ranking.iter().take(10).map(|&(id, _)| id).collect();
-    let outliers_in_top10 =
-        labeled.outlier_ids().iter().filter(|id| top10.contains(id)).count();
+    let outliers_in_top10 = labeled.outlier_ids().iter().filter(|id| top10.contains(id)).count();
     println!("planted outliers in top 10: {outliers_in_top10} of 10");
     println!("max outlier LOF: {outlier_max:.2} (paper: up to ~7)");
     println!(

@@ -95,8 +95,7 @@ fn main() {
             let params = DbOutlierParams::new(99.0, dmin).ok()?;
             let flags = db_outliers(data, &Euclidean, params).ok()?;
             flags[DS1_O2].then(|| {
-                let c1_flagged =
-                    labeled.ids_with_label(0).iter().filter(|&&id| flags[id]).count();
+                let c1_flagged = labeled.ids_with_label(0).iter().filter(|&&id| flags[id]).count();
                 (dmin, c1_flagged)
             })
         })

@@ -39,14 +39,11 @@ fn main() {
     // S1 outlying in the mid range (MinPts 15..=34; at ~35 the S2 members'
     // neighborhoods start to include S1 and the two clusters merge into
     // one 45-object group — the paper's first phase transition).
-    let s1_mid_min =
-        (5..=24).map(|r| col(r, 1)).fold(f64::INFINITY, f64::min); // rows 5..=24 = MinPts 15..=34
+    let s1_mid_min = (5..=24).map(|r| col(r, 1)).fold(f64::INFINITY, f64::min); // rows 5..=24 = MinPts 15..=34
     println!("min LOF of S1 rep over MinPts 15..=34: {s1_mid_min:.2}");
     println!("S1 strongly outlying in the mid range: {}", verdict(s1_mid_min > 1.5));
     let s1_after_merge = (26..=30).map(|r| col(r, 1)).fold(f64::NEG_INFINITY, f64::max);
-    println!(
-        "max LOF of S1 rep once S1 and S2 merge (MinPts 36..=40): {s1_after_merge:.2}"
-    );
+    println!("max LOF of S1 rep once S1 and S2 merge (MinPts 36..=40): {s1_after_merge:.2}");
     println!(
         "S1 and S2 'exhibit roughly the same behavior' past the merge: {}",
         verdict((s1_after_merge - 1.0).abs() < 0.3)

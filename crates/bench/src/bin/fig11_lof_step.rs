@@ -8,9 +8,9 @@
 //! `n`, and (near-)identical cost for 2-d and 20-d inputs of equal `n`.
 
 use lof_bench::{banner, scale, time, Table};
-use lof_core::{lof_range, Euclidean, MinPtsRange};
 use lof_core::parallel::build_table_parallel;
 use lof_core::LinearScan;
+use lof_core::{lof_range, Euclidean, MinPtsRange};
 use lof_data::paper::perf_mixture;
 use lof_index::KdTree;
 

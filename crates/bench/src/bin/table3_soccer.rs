@@ -31,8 +31,12 @@ fn main() {
 
     let flagged = result.outliers_above(1.5);
     println!("players with max-LOF > 1.5 (paper reports exactly the five planted ones):\n");
-    println!("{:>4}  {:>6}  {:<30} {:>5} {:>5}  position", "rank", "LOF", "player", "games", "goals");
-    let mut out = Table::new("table3_soccer", &["rank", "player_id", "lof", "games", "goals", "position"]);
+    println!(
+        "{:>4}  {:>6}  {:<30} {:>5} {:>5}  position",
+        "rank", "LOF", "player", "games", "goals"
+    );
+    let mut out =
+        Table::new("table3_soccer", &["rank", "player_id", "lof", "games", "goals", "position"]);
     for (rank, &(id, score)) in flagged.iter().enumerate() {
         let p = &league.players[id];
         println!(
@@ -72,8 +76,7 @@ fn main() {
         all_top &= rank <= 8;
     }
     let flagged_ids: Vec<usize> = flagged.iter().map(|&(id, _)| id).collect();
-    let planted_flagged =
-        planted.iter().filter(|&&(_, id)| flagged_ids.contains(&id)).count();
+    let planted_flagged = planted.iter().filter(|&&(_, id)| flagged_ids.contains(&id)).count();
     println!("\nplanted outliers among the LOF > 1.5 set: {planted_flagged} of 5");
     println!(
         "table 3 shape (five planted analogs dominate the outlier report): {}",

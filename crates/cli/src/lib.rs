@@ -17,7 +17,7 @@
 //!   --threshold T        only report objects with score > T
 //!   --top N              only report the N highest scores
 //!   --explain N          print full explanations for the top N objects
-//!   --threads N          worker threads                 [default: 1]
+//!   --threads N          worker threads                 [default: all cores]
 //!   --output FILE        also write id,score CSV to FILE
 //!   --table FILE         cache the materialization database in FILE
 //! ```
@@ -27,8 +27,8 @@
 
 use lof_core::explain::explain;
 use lof_core::{
-    Aggregate, Angular, Chebyshev, Dataset, Euclidean, KnnProvider, LinearScan, LofDetector,
-    Manhattan, Metric, NeighborhoodTable, OutlierResult,
+    build_table_parallel, Aggregate, Angular, Chebyshev, Dataset, Euclidean, KnnProvider,
+    LinearScan, LofDetector, Manhattan, Metric, NeighborhoodTable, OutlierResult,
 };
 use lof_data::normalize::standardize;
 use lof_index::{BallTree, GridIndex, KdTree, VaFile, XTree};
@@ -57,7 +57,8 @@ pub struct Config {
     pub top: Option<usize>,
     /// Print explanations for the top N objects.
     pub explain: usize,
-    /// Worker threads.
+    /// Worker threads for materialization and scoring (defaults to every
+    /// available core; results are identical at any thread count).
     pub threads: usize,
     /// Optional output CSV path.
     pub output: Option<String>,
@@ -104,7 +105,7 @@ impl Default for Config {
             threshold: None,
             top: None,
             explain: 0,
-            threads: 1,
+            threads: default_threads(),
             output: None,
             table: None,
         }
@@ -168,8 +169,7 @@ pub fn parse_args(args: &[String]) -> Result<Config, String> {
                 let list = value("--columns", &mut iter)?;
                 let parsed: Result<Vec<usize>, _> =
                     list.split(',').map(str::trim).map(str::parse).collect();
-                config.columns =
-                    Some(parsed.map_err(|e| format!("bad --columns '{list}': {e}"))?);
+                config.columns = Some(parsed.map_err(|e| format!("bad --columns '{list}': {e}"))?);
             }
             "--standardize" => config.standardize = true,
             "--threshold" => {
@@ -181,9 +181,7 @@ pub fn parse_args(args: &[String]) -> Result<Config, String> {
             }
             "--top" => {
                 config.top = Some(
-                    value("--top", &mut iter)?
-                        .parse()
-                        .map_err(|e| format!("bad --top: {e}"))?,
+                    value("--top", &mut iter)?.parse().map_err(|e| format!("bad --top: {e}"))?,
                 );
             }
             "--explain" => {
@@ -209,6 +207,12 @@ pub fn parse_args(args: &[String]) -> Result<Config, String> {
         more => return Err(format!("expected one input path, got {}", more.len())),
     }
     Ok(config)
+}
+
+/// Default worker-thread count: every available core (1 when the
+/// parallelism query fails, e.g. under restrictive sandboxes).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 fn parse_min_pts(text: &str) -> Result<(usize, usize), String> {
@@ -266,11 +270,12 @@ pub fn run(config: &Config, raw: &Dataset) -> Result<RunOutput, String> {
 
     let index = resolve_index(config, &data);
     let cache = config.table.as_deref();
+    let threads = config.threads.max(1);
     let (result, table) = match config.metric {
-        MetricChoice::Euclidean => score(&detector, &index, &data, Euclidean, cache)?,
-        MetricChoice::Manhattan => score(&detector, &index, &data, Manhattan, cache)?,
-        MetricChoice::Chebyshev => score(&detector, &index, &data, Chebyshev, cache)?,
-        MetricChoice::Angular => score(&detector, &index, &data, Angular, cache)?,
+        MetricChoice::Euclidean => score(&detector, &index, &data, Euclidean, cache, threads)?,
+        MetricChoice::Manhattan => score(&detector, &index, &data, Manhattan, cache, threads)?,
+        MetricChoice::Chebyshev => score(&detector, &index, &data, Chebyshev, cache, threads)?,
+        MetricChoice::Angular => score(&detector, &index, &data, Angular, cache, threads)?,
     };
 
     let scores = result.scores();
@@ -315,11 +320,13 @@ fn score<M: Metric + Clone>(
     data: &Dataset,
     metric: M,
     cache: Option<&str>,
+    threads: usize,
 ) -> Result<(OutlierResult, NeighborhoodTable), String> {
     fn go<P: KnnProvider + Sync>(
         detector: &LofDetector<Euclidean>,
         provider: &P,
         cache: Option<&str>,
+        threads: usize,
     ) -> Result<(OutlierResult, NeighborhoodTable), String> {
         let table = match cache {
             Some(path) if std::path::Path::new(path).exists() => {
@@ -337,7 +344,9 @@ fn score<M: Metric + Clone>(
                 table
             }
             _ => {
-                let table = NeighborhoodTable::build(provider, detector.range().ub())
+                // `build_table_parallel` falls back to the serial build at
+                // `threads == 1` and is byte-identical to it otherwise.
+                let table = build_table_parallel(provider, detector.range().ub(), threads)
                     .map_err(|e| e.to_string())?;
                 if let Some(path) = cache {
                     table.save(path).map_err(|e| format!("cannot save table: {e}"))?;
@@ -349,12 +358,12 @@ fn score<M: Metric + Clone>(
         Ok((result, table))
     }
     match index {
-        IndexChoice::Scan => go(detector, &LinearScan::new(data, metric), cache),
-        IndexChoice::Grid => go(detector, &GridIndex::new(data, metric), cache),
-        IndexChoice::KdTree => go(detector, &KdTree::new(data, metric), cache),
-        IndexChoice::XTree => go(detector, &XTree::new(data, metric), cache),
-        IndexChoice::VaFile => go(detector, &VaFile::new(data, metric), cache),
-        IndexChoice::BallTree => go(detector, &BallTree::new(data, metric), cache),
+        IndexChoice::Scan => go(detector, &LinearScan::new(data, metric), cache, threads),
+        IndexChoice::Grid => go(detector, &GridIndex::new(data, metric), cache, threads),
+        IndexChoice::KdTree => go(detector, &KdTree::new(data, metric), cache, threads),
+        IndexChoice::XTree => go(detector, &XTree::new(data, metric), cache, threads),
+        IndexChoice::VaFile => go(detector, &VaFile::new(data, metric), cache, threads),
+        IndexChoice::BallTree => go(detector, &BallTree::new(data, metric), cache, threads),
         IndexChoice::Auto => unreachable!("resolved before dispatch"),
     }
 }
@@ -386,7 +395,9 @@ options:
   --threshold T       only report objects with score > T
   --top N             only report the N highest scores
   --explain N         print full explanations for the top N objects
-  --threads N         worker threads                    [default: 1]
+  --threads N         worker threads (materialization and scoring both
+                      parallelize; results are identical at any N)
+                                                        [default: all cores]
   --output FILE       also write an id,score CSV to FILE
   --table FILE        cache the materialization: load FILE if present,
                       else build and save it there
@@ -414,9 +425,26 @@ mod tests {
     #[test]
     fn parses_every_flag() {
         let config = parse_args(&args(&[
-            "--minpts", "5..15", "--aggregate", "mean", "--metric", "manhattan", "--index",
-            "xtree", "--standardize", "--threshold", "1.5", "--top", "7", "--explain", "3",
-            "--threads", "4", "--output", "scores.csv", "in.csv",
+            "--minpts",
+            "5..15",
+            "--aggregate",
+            "mean",
+            "--metric",
+            "manhattan",
+            "--index",
+            "xtree",
+            "--standardize",
+            "--threshold",
+            "1.5",
+            "--top",
+            "7",
+            "--explain",
+            "3",
+            "--threads",
+            "4",
+            "--output",
+            "scores.csv",
+            "in.csv",
         ]))
         .unwrap();
         assert_eq!(config.min_pts, (5, 15));
@@ -472,6 +500,24 @@ mod tests {
         };
         let output = run(&config, &data).unwrap();
         assert_eq!(output.report[0].0, 36);
+    }
+
+    #[test]
+    fn default_thread_count_uses_available_cores() {
+        let config = parse_args(&args(&["data.csv"])).unwrap();
+        assert_eq!(config.threads, default_threads());
+        assert!(config.threads >= 1);
+    }
+
+    #[test]
+    fn thread_counts_agree_on_scores() {
+        let data = toy_dataset();
+        let base = Config { input: "unused".into(), min_pts: (5, 10), ..Config::default() };
+        let serial = run(&Config { threads: 1, ..base.clone() }, &data).unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = run(&Config { threads, ..base.clone() }, &data).unwrap();
+            assert_eq!(serial.scores, parallel.scores, "threads={threads}");
+        }
     }
 
     #[test]

@@ -26,12 +26,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    eprintln!(
-        "loaded {} rows x {} columns from {}",
-        data.len(),
-        data.dims(),
-        config.input
-    );
+    eprintln!("loaded {} rows x {} columns from {}", data.len(), data.dims(), config.input);
 
     let output = match run(&config, &data) {
         Ok(output) => output,
@@ -47,12 +42,8 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &config.output {
-        let rows: Vec<Vec<f64>> = output
-            .scores
-            .iter()
-            .enumerate()
-            .map(|(id, &s)| vec![id as f64, s])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            output.scores.iter().enumerate().map(|(id, &s)| vec![id as f64, s]).collect();
         if let Err(e) = lof_data::csv::write_table(path, &["id", "lof"], &rows) {
             eprintln!("error: cannot write '{path}': {e}");
             return ExitCode::FAILURE;

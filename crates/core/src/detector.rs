@@ -101,7 +101,10 @@ impl<M: Metric> LofDetector<M> {
     /// # Errors
     ///
     /// Propagates provider validation errors.
-    pub fn detect_with<P: KnnProvider + Sync + ?Sized>(&self, provider: &P) -> Result<OutlierResult> {
+    pub fn detect_with<P: KnnProvider + Sync + ?Sized>(
+        &self,
+        provider: &P,
+    ) -> Result<OutlierResult> {
         let table = if self.threads > 1 {
             build_table_parallel(provider, self.range.ub(), self.threads)?
         } else {
@@ -226,8 +229,7 @@ mod tests {
     fn threads_do_not_change_results() {
         let data = two_density_dataset();
         let serial = LofDetector::with_range(4, 8).unwrap().detect(&data).unwrap();
-        let parallel =
-            LofDetector::with_range(4, 8).unwrap().threads(4).detect(&data).unwrap();
+        let parallel = LofDetector::with_range(4, 8).unwrap().threads(4).detect(&data).unwrap();
         assert_eq!(serial.scores(), parallel.scores());
     }
 

@@ -9,6 +9,27 @@
 
 use std::fmt::Debug;
 
+/// Stack capacity for the default [`Metric::min_dist_to_rect`]; covers
+/// every dimensionality in the paper's experiments (max 64-d) without
+/// touching the heap.
+const CLAMP_STACK_DIMS: usize = 64;
+
+/// How a metric relates to the blocked squared-Euclidean kernel in
+/// [`crate::kernel`]. Metrics whose distance is a monotone function of
+/// squared Euclidean distance can run k-NN selection entirely in squared
+/// space (no `sqrt` per candidate) and use the norm-precompute batch
+/// kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedForm {
+    /// `distance == sqrt(squared_euclidean)`: select on squared keys,
+    /// take one `sqrt` per surviving neighbor.
+    Euclidean,
+    /// `distance == squared_euclidean`: squared keys *are* the distances.
+    SquaredEuclidean,
+    /// No squared-space shortcut; use the generic `distance` path.
+    Generic,
+}
+
 /// A distance function over coordinate vectors.
 ///
 /// Implementations must be symmetric, non-negative and return `0` for
@@ -22,15 +43,41 @@ pub trait Metric: Send + Sync + Debug {
 
     /// Lower bound on `distance(q, x)` over all `x` with `lo <= x <= hi`
     /// component-wise. The default clamps `q` into the rectangle, which is
-    /// exact for every Minkowski metric.
+    /// exact for every Minkowski metric. The clamped point lives in a
+    /// fixed-size stack buffer (heap fallback only above
+    /// [`CLAMP_STACK_DIMS`] dimensions), so pruning never allocates on
+    /// realistic dimensionalities.
     fn min_dist_to_rect(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
         debug_assert_eq!(q.len(), lo.len());
         debug_assert_eq!(q.len(), hi.len());
-        let mut clamped = Vec::with_capacity(q.len());
-        for d in 0..q.len() {
-            clamped.push(q[d].clamp(lo[d], hi[d]));
+        if q.len() <= CLAMP_STACK_DIMS {
+            let mut clamped = [0.0; CLAMP_STACK_DIMS];
+            for d in 0..q.len() {
+                clamped[d] = q[d].clamp(lo[d], hi[d]);
+            }
+            self.distance(q, &clamped[..q.len()])
+        } else {
+            let clamped: Vec<f64> = (0..q.len()).map(|d| q[d].clamp(lo[d], hi[d])).collect();
+            self.distance(q, &clamped)
         }
-        self.distance(q, &clamped)
+    }
+
+    /// Lower bound on the **squared Euclidean** distance from `q` to the
+    /// rectangle — the pruning key of the squared-space tree descent.
+    /// Only meaningful when [`Metric::blocked_form`] is not
+    /// [`BlockedForm::Generic`]; the default squares
+    /// [`Metric::min_dist_to_rect`], the Euclidean metrics override it
+    /// with a direct gap accumulation (no `sqrt`, no allocation).
+    fn min_dist_to_rect_sq(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+        let d = self.min_dist_to_rect(q, lo, hi);
+        d * d
+    }
+
+    /// Whether this metric can be served by the blocked squared-distance
+    /// kernel and squared-space selection. Defaults to
+    /// [`BlockedForm::Generic`] (no shortcut).
+    fn blocked_form(&self) -> BlockedForm {
+        BlockedForm::Generic
     }
 
     /// Whether the metric satisfies the triangle inequality. Metric trees
@@ -52,12 +99,20 @@ impl Metric for Euclidean {
     }
 
     fn min_dist_to_rect(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+        self.min_dist_to_rect_sq(q, lo, hi).sqrt()
+    }
+
+    fn min_dist_to_rect_sq(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
         let mut acc = 0.0;
         for d in 0..q.len() {
             let delta = rect_gap(q[d], lo[d], hi[d]);
             acc += delta * delta;
         }
-        acc.sqrt()
+        acc
+    }
+
+    fn blocked_form(&self) -> BlockedForm {
+        BlockedForm::Euclidean
     }
 }
 
@@ -75,12 +130,20 @@ impl Metric for SquaredEuclidean {
     }
 
     fn min_dist_to_rect(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+        self.min_dist_to_rect_sq(q, lo, hi)
+    }
+
+    fn min_dist_to_rect_sq(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
         let mut acc = 0.0;
         for d in 0..q.len() {
             let delta = rect_gap(q[d], lo[d], hi[d]);
             acc += delta * delta;
         }
         acc
+    }
+
+    fn blocked_form(&self) -> BlockedForm {
+        BlockedForm::SquaredEuclidean
     }
 
     fn is_metric(&self) -> bool {
@@ -195,8 +258,13 @@ impl Metric for Angular {
     }
 }
 
+/// Squared Euclidean distance between two points.
+///
+/// This exact summation order (one forward pass, `acc += delta * delta`)
+/// is the reference the blocked kernel's refine step reproduces, so the
+/// fast path stays bit-identical to the scalar path.
 #[inline]
-fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = 0.0;
     for (x, y) in a.iter().zip(b) {
@@ -322,6 +390,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn squared_rect_bound_is_square_of_rect_bound() {
+        let lo = [0.0, -1.0, 2.0];
+        let hi = [1.0, 1.0, 5.0];
+        let q = [3.0, 0.0, 1.0];
+        let d = Euclidean.min_dist_to_rect(&q, &lo, &hi);
+        let sq = Euclidean.min_dist_to_rect_sq(&q, &lo, &hi);
+        assert_eq!(d, sq.sqrt());
+        assert_eq!(SquaredEuclidean.min_dist_to_rect(&q, &lo, &hi), sq);
+        // Default (squaring) impl on a metric without an override.
+        let cheb = Chebyshev.min_dist_to_rect(&q, &lo, &hi);
+        assert_eq!(Chebyshev.min_dist_to_rect_sq(&q, &lo, &hi), cheb * cheb);
+    }
+
+    #[test]
+    fn blocked_forms_are_declared_correctly() {
+        assert_eq!(Euclidean.blocked_form(), BlockedForm::Euclidean);
+        assert_eq!(SquaredEuclidean.blocked_form(), BlockedForm::SquaredEuclidean);
+        assert_eq!(Manhattan.blocked_form(), BlockedForm::Generic);
+        assert_eq!(Chebyshev.blocked_form(), BlockedForm::Generic);
+        assert_eq!(Minkowski::new(3.0).blocked_form(), BlockedForm::Generic);
+        assert_eq!(Angular.blocked_form(), BlockedForm::Generic);
+    }
+
+    #[test]
+    fn default_rect_bound_handles_high_dimensions() {
+        // Above the stack-buffer capacity the default falls back to a
+        // heap buffer; semantics must not change.
+        let dims = CLAMP_STACK_DIMS + 9;
+        let lo = vec![0.0; dims];
+        let hi = vec![1.0; dims];
+        let q: Vec<f64> = (0..dims).map(|d| if d % 2 == 0 { 2.0 } else { 0.5 }).collect();
+        let expected = (dims.div_ceil(2) as f64).sqrt(); // 1.0 gap on even dims
+        #[derive(Debug)]
+        struct DefaultEuclid;
+        impl Metric for DefaultEuclid {
+            fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+                squared_euclidean(a, b).sqrt()
+            }
+        }
+        assert!((DefaultEuclid.min_dist_to_rect(&q, &lo, &hi) - expected).abs() < 1e-12);
     }
 
     #[test]

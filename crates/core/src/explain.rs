@@ -84,7 +84,11 @@ impl OutlierExplanation {
             "  lrd = {:.4}, neighbors' mean lrd = {:.4} ({}x denser)",
             self.lrd,
             self.mean_neighbor_lrd,
-            if self.lrd > 0.0 { format!("{:.2}", self.mean_neighbor_lrd / self.lrd) } else { "inf".to_owned() },
+            if self.lrd > 0.0 {
+                format!("{:.2}", self.mean_neighbor_lrd / self.lrd)
+            } else {
+                "inf".to_owned()
+            },
         );
         let _ = writeln!(
             out,

@@ -29,9 +29,7 @@ use crate::distance::Metric;
 use crate::error::{LofError, Result};
 use crate::lof::lrd_ratio;
 use crate::lrd::reach_dist;
-use crate::neighbors::{
-    cmp_neighbors, select_k_tie_inclusive, tie_inclusive_len, Neighbor,
-};
+use crate::neighbors::{cmp_neighbors, select_k_tie_inclusive, tie_inclusive_len, Neighbor};
 use crate::point::Dataset;
 
 /// Summary of one insertion's update cascade (for diagnostics and tests).
@@ -395,8 +393,7 @@ mod tests {
     use crate::lof::lof as batch_lof;
 
     fn seed_dataset() -> Dataset {
-        let rows: Vec<[f64; 2]> =
-            (0..30).map(|i| [(i % 6) as f64, (i / 6) as f64]).collect();
+        let rows: Vec<[f64; 2]> = (0..30).map(|i| [(i % 6) as f64, (i / 6) as f64]).collect();
         Dataset::from_rows(&rows).unwrap()
     }
 
@@ -453,8 +450,7 @@ mod tests {
     fn cascade_is_local_for_far_inserts() {
         // Two far-apart clusters: inserting into one must not touch the
         // other cluster's values at all.
-        let mut rows: Vec<[f64; 2]> =
-            (0..25).map(|i| [(i % 5) as f64, (i / 5) as f64]).collect();
+        let mut rows: Vec<[f64; 2]> = (0..25).map(|i| [(i % 5) as f64, (i / 5) as f64]).collect();
         rows.extend((0..25).map(|i| [500.0 + (i % 5) as f64, (i / 5) as f64]));
         let data = Dataset::from_rows(&rows).unwrap();
         let mut model = IncrementalLof::new(data, Euclidean, 4).unwrap();

@@ -58,6 +58,8 @@ pub mod error;
 pub mod explain;
 pub mod incremental;
 pub mod kdistance;
+pub mod kernel;
+pub mod knn;
 pub mod lof;
 pub mod lrd;
 pub mod materialize;
@@ -74,9 +76,12 @@ pub use distance::{Angular, Chebyshev, Euclidean, Manhattan, Metric, Minkowski, 
 pub use error::{LofError, Result};
 pub use explain::{explain, OutlierExplanation};
 pub use incremental::{IncrementalLof, UpdateStats};
+pub use kernel::BlockKernel;
+pub use knn::{with_thread_scratch, BoundedMaxHeap, KnnScratch};
 pub use lof::{lof, lof_of_point, lof_of_point_with};
 pub use materialize::NeighborhoodTable;
 pub use neighbors::{KnnProvider, Neighbor};
+pub use parallel::build_table_parallel;
 pub use point::Dataset;
 pub use range::{lof_range, Aggregate, LofRangeResult, MinPtsRange};
 pub use scan::LinearScan;

@@ -79,10 +79,7 @@ pub fn lof_of_point_with(
     neighborhood: &[crate::neighbors::Neighbor],
 ) -> Result<f64> {
     if neighborhood.is_empty() {
-        return Err(crate::error::LofError::InvalidMinPts {
-            min_pts,
-            dataset_size: table.len(),
-        });
+        return Err(crate::error::LofError::InvalidMinPts { min_pts, dataset_size: table.len() });
     }
     let k_distances = table.k_distances(min_pts)?;
     let lrds = crate::lrd::local_reachability_densities_with(table, min_pts, &k_distances)?;

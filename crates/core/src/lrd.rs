@@ -30,10 +30,7 @@ pub fn reach_dist(k_distance_o: f64, dist_po: f64) -> f64 {
 ///
 /// Propagates table validation errors ([`crate::LofError::TableTooShallow`],
 /// [`crate::LofError::InvalidMinPts`]).
-pub fn local_reachability_densities(
-    table: &NeighborhoodTable,
-    min_pts: usize,
-) -> Result<Vec<f64>> {
+pub fn local_reachability_densities(table: &NeighborhoodTable, min_pts: usize) -> Result<Vec<f64>> {
     let k_distances = table.k_distances(min_pts)?;
     local_reachability_densities_with(table, min_pts, &k_distances)
 }

@@ -57,15 +57,11 @@ impl NeighborhoodTable {
         if n == 0 {
             return Err(LofError::EmptyDataset);
         }
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0);
+        let mut scratch = crate::knn::KnnScratch::new();
         let mut neighbors = Vec::with_capacity(n * max_k);
-        for id in 0..n {
-            let list = provider.k_nearest(id, max_k)?;
-            neighbors.extend_from_slice(&list);
-            offsets.push(neighbors.len());
-        }
-        Ok(NeighborhoodTable { max_k, distinct: false, offsets, neighbors })
+        let mut lens = Vec::with_capacity(n);
+        provider.batch_k_nearest(0..n, max_k, &mut scratch, &mut neighbors, &mut lens)?;
+        Ok(Self::from_flat(max_k, neighbors, &lens))
     }
 
     /// Materializes *k-distinct-distance* neighborhoods (the paper's remedy
@@ -112,6 +108,21 @@ impl NeighborhoodTable {
         let mut table = Self::from_lists(max_k, lists);
         table.distinct = distinct;
         table
+    }
+
+    /// Assembles a table from the flat output of
+    /// [`KnnProvider::batch_k_nearest`]: concatenated per-object lists
+    /// plus their lengths. Used by the serial and parallel builders.
+    pub(crate) fn from_flat(max_k: usize, neighbors: Vec<Neighbor>, lens: &[usize]) -> Self {
+        let mut offsets = Vec::with_capacity(lens.len() + 1);
+        offsets.push(0);
+        let mut acc = 0;
+        for &len in lens {
+            acc += len;
+            offsets.push(acc);
+        }
+        debug_assert_eq!(acc, neighbors.len());
+        NeighborhoodTable { max_k, distinct: false, offsets, neighbors }
     }
 
     /// Assembles a table from per-object lists (used by the parallel builder
@@ -306,8 +317,7 @@ mod tests {
         let lof = lof_values(&distinct, 3).unwrap();
         assert!(lof.iter().all(|v| v.is_finite()));
         // The isolate is still the clear outlier.
-        let max_id =
-            lof.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let max_id = lof.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert_eq!(max_id, 24);
         // Distinct tables refuse prefix queries (the boundary is
         // coordinate-dependent).

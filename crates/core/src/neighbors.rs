@@ -6,10 +6,9 @@
 //! this workspace implement exactly that semantics.
 
 use crate::error::Result;
-use serde::{Deserialize, Serialize};
 
 /// One entry of a neighbor list: an object id and its distance to the query.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Neighbor {
     /// Id of the neighboring object.
     pub id: usize,
@@ -61,6 +60,15 @@ pub fn tie_inclusive_len(sorted: &[Neighbor], k: usize) -> usize {
 /// Runs in `O(n + m log m)` where `m` is the neighborhood size, using
 /// `select_nth_unstable` to find the `k`-distance without sorting everything.
 pub fn select_k_tie_inclusive(mut all: Vec<Neighbor>, k: usize) -> Vec<Neighbor> {
+    select_k_tie_inclusive_in_place(&mut all, k);
+    all
+}
+
+/// [`select_k_tie_inclusive`] on a borrowed buffer: truncates `all` to the
+/// tie-inclusive `k`-distance neighborhood in canonical order without
+/// giving up the buffer's storage. The zero-allocation query paths stage
+/// candidates in a scratch buffer and reduce them with this.
+pub fn select_k_tie_inclusive_in_place(all: &mut Vec<Neighbor>, k: usize) {
     debug_assert!(k >= 1);
     if all.len() > k {
         all.select_nth_unstable_by(k - 1, cmp_neighbors);
@@ -70,8 +78,7 @@ pub fn select_k_tie_inclusive(mut all: Vec<Neighbor>, k: usize) -> Vec<Neighbor>
         let kdist = all[k - 1].dist;
         all.retain(|n| n.dist <= kdist);
     }
-    sort_neighbors(&mut all);
-    all
+    sort_neighbors(all);
 }
 
 /// A source of tie-inclusive k-nearest-neighbor and range queries over a
@@ -97,6 +104,57 @@ pub trait KnnProvider {
     /// `k == 0` or `k >= len()`, and [`crate::LofError::UnknownObject`] for
     /// out-of-range ids.
     fn k_nearest(&self, id: usize, k: usize) -> Result<Vec<Neighbor>>;
+
+    /// [`KnnProvider::k_nearest`] without the per-query allocation:
+    /// appends the neighborhood to `out` (canonically sorted) and returns
+    /// the number of entries appended. Search state lives in `scratch`,
+    /// which is reused across calls.
+    ///
+    /// The default delegates to `k_nearest` (and therefore allocates);
+    /// every provider in this workspace overrides it with a true
+    /// scratch-based search.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KnnProvider::k_nearest`].
+    fn k_nearest_into(
+        &self,
+        id: usize,
+        k: usize,
+        scratch: &mut crate::knn::KnnScratch,
+        out: &mut Vec<Neighbor>,
+    ) -> Result<usize> {
+        let _ = scratch;
+        let list = self.k_nearest(id, k)?;
+        out.extend_from_slice(&list);
+        Ok(list.len())
+    }
+
+    /// Materializes the neighborhoods of a contiguous id range in one
+    /// call: appends each id's neighborhood to `out` (in id order) and
+    /// pushes its length onto `lens`. This is the entry point the table
+    /// builders use; batch-aware providers (the blocked kernel behind
+    /// [`crate::scan::LinearScan`]) override it to amortize work across
+    /// queries.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KnnProvider::k_nearest`]; on error, partially appended
+    /// output must be considered garbage.
+    fn batch_k_nearest(
+        &self,
+        ids: std::ops::Range<usize>,
+        k: usize,
+        scratch: &mut crate::knn::KnnScratch,
+        out: &mut Vec<Neighbor>,
+        lens: &mut Vec<usize>,
+    ) -> Result<()> {
+        for id in ids {
+            let added = self.k_nearest_into(id, k, scratch, out)?;
+            lens.push(added);
+        }
+        Ok(())
+    }
 
     /// Every object `q != id` with `d(id, q) <= radius`, sorted by
     /// [`cmp_neighbors`].

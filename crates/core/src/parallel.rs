@@ -3,19 +3,43 @@
 //! The paper's ongoing-work section asks "to further improve the performance
 //! of LOF computation"; both steps are embarrassingly parallel across
 //! objects (step 1) and across `MinPts` values (step 2), so we provide
-//! crossbeam scoped-thread versions. Results are bit-identical to the serial
-//! code — property tests assert this.
+//! scoped-thread versions. Results are bit-identical to the serial code —
+//! property tests assert this.
+//!
+//! Coordination is lock-free on the hot path: workers march through their
+//! chunk in sub-batches (step 1 uses the provider's
+//! [`KnnProvider::batch_k_nearest`], so the blocked kernel amortizes work
+//! within each sub-batch) and poll a relaxed [`AtomicBool`] stop flag
+//! between sub-batches. The error mutex is touched exactly once, by the
+//! first worker that fails; everyone else sees the flag and exits.
 
 use crate::error::{LofError, Result};
+use crate::knn::KnnScratch;
 use crate::lof::lof_values_with;
 use crate::materialize::NeighborhoodTable;
 use crate::neighbors::{KnnProvider, Neighbor};
 use crate::range::{LofRangeResult, MinPtsRange};
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Ids per step-1 sub-batch: large enough that the blocked kernel fills
+/// whole query blocks and the stop-flag poll is noise, small enough that
+/// a failing run stops promptly.
+const STEP1_SUB_BATCH: usize = 64;
 
 /// Clamps a requested thread count to something sensible for `work_items`.
 fn effective_threads(threads: usize, work_items: usize) -> usize {
     threads.max(1).min(work_items.max(1))
+}
+
+/// Records `err` as the run's first error (if none is recorded yet) and
+/// raises the stop flag. Called off the hot path only.
+fn record_error(stop: &AtomicBool, slot: &Mutex<Option<LofError>>, err: LofError) {
+    let mut guard = slot.lock().expect("error mutex poisoned");
+    if guard.is_none() {
+        *guard = Some(err);
+    }
+    stop.store(true, Ordering::Relaxed);
 }
 
 /// Builds the materialization table with `threads` worker threads, splitting
@@ -25,7 +49,11 @@ fn effective_threads(threads: usize, work_items: usize) -> usize {
 ///
 /// Same as [`NeighborhoodTable::build`]; the first error any worker hits is
 /// reported.
-pub fn build_table_parallel<P>(provider: &P, max_k: usize, threads: usize) -> Result<NeighborhoodTable>
+pub fn build_table_parallel<P>(
+    provider: &P,
+    max_k: usize,
+    threads: usize,
+) -> Result<NeighborhoodTable>
 where
     P: KnnProvider + Sync + ?Sized,
 {
@@ -38,37 +66,60 @@ where
         return NeighborhoodTable::build(provider, max_k);
     }
 
-    let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
     let chunk = n.div_ceil(threads);
+    let stop = AtomicBool::new(false);
     let first_error: Mutex<Option<LofError>> = Mutex::new(None);
-    crossbeam::thread::scope(|s| {
-        for (t, slots) in lists.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            let first_error = &first_error;
-            s.spawn(move |_| {
-                for (offset, slot) in slots.iter_mut().enumerate() {
-                    if first_error.lock().is_some() {
-                        return; // another worker already failed
-                    }
-                    match provider.k_nearest(start + offset, max_k) {
-                        Ok(list) => *slot = list,
-                        Err(e) => {
-                            let mut guard = first_error.lock();
-                            if guard.is_none() {
-                                *guard = Some(e);
-                            }
-                            return;
+    // Per-chunk flat outputs, joined in chunk order below so the
+    // assembled table is byte-identical to the serial build.
+    let chunk_results = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(n);
+                let (stop, first_error) = (&stop, &first_error);
+                s.spawn(move || {
+                    let mut scratch = KnnScratch::new();
+                    let mut out: Vec<Neighbor> = Vec::new();
+                    let mut lens: Vec<usize> = Vec::new();
+                    let mut sub = start;
+                    while sub < end {
+                        if stop.load(Ordering::Relaxed) {
+                            return None; // another worker already failed
                         }
+                        let sub_end = (sub + STEP1_SUB_BATCH).min(end);
+                        if let Err(e) = provider.batch_k_nearest(
+                            sub..sub_end,
+                            max_k,
+                            &mut scratch,
+                            &mut out,
+                            &mut lens,
+                        ) {
+                            record_error(stop, first_error, e);
+                            return None;
+                        }
+                        sub = sub_end;
                     }
-                }
-            });
-        }
-    })
-    .expect("materialization worker panicked");
-    if let Some(e) = first_error.into_inner() {
+                    Some((out, lens))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("materialization worker panicked"))
+            .collect::<Vec<_>>()
+    });
+
+    if let Some(e) = first_error.into_inner().expect("error mutex poisoned") {
         return Err(e);
     }
-    Ok(NeighborhoodTable::from_lists(max_k, lists))
+    let mut neighbors = Vec::with_capacity(n * max_k);
+    let mut lens = Vec::with_capacity(n);
+    for part in chunk_results {
+        let (part_out, part_lens) = part.expect("no error recorded, so every chunk completed");
+        neighbors.extend_from_slice(&part_out);
+        lens.extend_from_slice(&part_lens);
+    }
+    Ok(NeighborhoodTable::from_flat(max_k, neighbors, &lens))
 }
 
 /// Computes the LOF range with `threads` workers, one `MinPts` value per
@@ -96,13 +147,17 @@ pub fn lof_range_parallel(
 
     let mut rows: Vec<Vec<f64>> = vec![Vec::new(); rows_n];
     let chunk = rows_n.div_ceil(threads);
+    let stop = AtomicBool::new(false);
     let first_error: Mutex<Option<LofError>> = Mutex::new(None);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (t, slots) in rows.chunks_mut(chunk).enumerate() {
             let start_row = t * chunk;
-            let first_error = &first_error;
-            s.spawn(move |_| {
+            let (stop, first_error) = (&stop, &first_error);
+            s.spawn(move || {
                 for (offset, slot) in slots.iter_mut().enumerate() {
+                    if stop.load(Ordering::Relaxed) {
+                        return; // another worker already failed
+                    }
                     let min_pts = range.lb() + start_row + offset;
                     let computed = table
                         .k_distances(min_pts)
@@ -110,19 +165,15 @@ pub fn lof_range_parallel(
                     match computed {
                         Ok(values) => *slot = values,
                         Err(e) => {
-                            let mut guard = first_error.lock();
-                            if guard.is_none() {
-                                *guard = Some(e);
-                            }
+                            record_error(stop, first_error, e);
                             return;
                         }
                     }
                 }
             });
         }
-    })
-    .expect("LOF worker panicked");
-    if let Some(e) = first_error.into_inner() {
+    });
+    if let Some(e) = first_error.into_inner().expect("error mutex poisoned") {
         return Err(e);
     }
     Ok(LofRangeResult::from_rows(range, table.len(), rows))
@@ -202,8 +253,23 @@ mod tests {
         let scan = LinearScan::new(&ds, Euclidean);
         // More threads than objects / rows must still work.
         let table = build_table_parallel(&scan, 4, 10_000).unwrap();
-        let res =
-            lof_range_parallel(&table, MinPtsRange::new(2, 4).unwrap(), 10_000).unwrap();
+        let res = lof_range_parallel(&table, MinPtsRange::new(2, 4).unwrap(), 10_000).unwrap();
         assert_eq!(res.len(), ds.len());
+    }
+
+    #[test]
+    fn worker_chunks_exceeding_sub_batch_still_match_serial() {
+        // > STEP1_SUB_BATCH ids per worker chunk so the sub-batch loop
+        // takes more than one lap.
+        let rows: Vec<[f64; 1]> = (0..(2 * STEP1_SUB_BATCH + 7))
+            .map(|i| [((i * 37) % 100) as f64 + (i as f64) * 1e-3])
+            .collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let serial = NeighborhoodTable::build(&scan, 6).unwrap();
+        let par = build_table_parallel(&scan, 6, 2).unwrap();
+        for id in 0..serial.len() {
+            assert_eq!(par.full_neighborhood(id).unwrap(), serial.full_neighborhood(id).unwrap());
+        }
     }
 }

@@ -175,10 +175,7 @@ mod tests {
         assert_eq!(loaded.max_k(), table.max_k());
         assert_eq!(loaded.stored_entries(), table.stored_entries());
         for id in 0..table.len() {
-            assert_eq!(
-                loaded.full_neighborhood(id).unwrap(),
-                table.full_neighborhood(id).unwrap()
-            );
+            assert_eq!(loaded.full_neighborhood(id).unwrap(), table.full_neighborhood(id).unwrap());
         }
         // Step 2 off the reloaded table is identical.
         assert_eq!(lof_values(&loaded, 6).unwrap(), lof_values(&table, 6).unwrap());

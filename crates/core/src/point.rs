@@ -6,14 +6,13 @@
 //! workspace refer to objects by these ids.
 
 use crate::error::{LofError, Result};
-use serde::{Deserialize, Serialize};
 
 /// A dense collection of `len` points in `dims`-dimensional space.
 ///
 /// Coordinates are validated to be finite on construction, so downstream
 /// distance computations never see NaN (which would poison the total orders
 /// used by k-NN search).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     dims: usize,
     coords: Vec<f64>,
@@ -125,7 +124,11 @@ impl Dataset {
 
     /// Coordinates of the point with the given id, or `None` out of range.
     pub fn get(&self, id: usize) -> Option<&[f64]> {
-        if id < self.len() { Some(self.point(id)) } else { None }
+        if id < self.len() {
+            Some(self.point(id))
+        } else {
+            None
+        }
     }
 
     /// Iterates over `(id, coordinates)` pairs.
@@ -299,11 +302,5 @@ mod tests {
         let ds = Dataset::from_rows(&[[0.0]]).unwrap();
         assert!(ds.check_id(0).is_ok());
         assert_eq!(ds.check_id(1).unwrap_err(), LofError::UnknownObject { id: 1, dataset_size: 1 });
-    }
-
-    #[test]
-    fn dataset_is_serde_serializable() {
-        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-        assert_serde::<Dataset>();
     }
 }

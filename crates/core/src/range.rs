@@ -18,7 +18,7 @@ use crate::materialize::NeighborhoodTable;
 /// should be local outliers, `ub` = largest set of "close by" objects that
 /// may jointly be outliers; 10–20 and 30–50 are the values used in its
 /// experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MinPtsRange {
     lb: usize,
     ub: usize,
@@ -104,9 +104,8 @@ impl Aggregate {
     }
 }
 
-/// Per-object LOF values for every `MinPts` of a range (serializable, so
-/// experiment outputs can be persisted and reloaded).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+/// Per-object LOF values for every `MinPts` of a range.
+#[derive(Debug, Clone)]
 pub struct LofRangeResult {
     range: MinPtsRange,
     n: usize,
@@ -183,7 +182,9 @@ impl LofRangeResult {
     /// Aggregated scores of every object, in object order.
     pub fn scores(&self, aggregate: Aggregate) -> Vec<f64> {
         (0..self.n)
-            .map(|id| aggregate.apply((0..self.range.len()).map(|row| self.values[row * self.n + id])))
+            .map(|id| {
+                aggregate.apply((0..self.range.len()).map(|row| self.values[row * self.n + id]))
+            })
             .collect()
     }
 
@@ -269,14 +270,6 @@ mod tests {
         let scan = LinearScan::new(&ds, Euclidean);
         let table = NeighborhoodTable::build(&scan, 10).unwrap();
         lof_range(&table, MinPtsRange::new(3, 10).unwrap()).unwrap()
-    }
-
-    #[test]
-    fn results_are_serde_serializable() {
-        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-        assert_serde::<MinPtsRange>();
-        assert_serde::<LofRangeResult>();
-        assert_serde::<crate::neighbors::Neighbor>();
     }
 
     #[test]

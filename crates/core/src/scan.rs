@@ -4,10 +4,18 @@
 //! per query, `O(n²)` for the full materialization step — and it doubles as
 //! the correctness oracle every spatial index in `lof-index` is tested
 //! against.
+//!
+//! For metrics with a squared-Euclidean form the scan routes through the
+//! cache-blocked batch kernel in [`crate::kernel`] (bit-identical
+//! results, see the module docs there); other metrics take a scalar path
+//! that stages candidates in reusable scratch buffers. Neither path
+//! allocates per query once its scratch is warm.
 
 use crate::distance::Metric;
 use crate::error::{LofError, Result};
-use crate::neighbors::{select_k_tie_inclusive, sort_neighbors, KnnProvider, Neighbor};
+use crate::kernel::BlockKernel;
+use crate::knn::{with_thread_scratch, KnnScratch};
+use crate::neighbors::{select_k_tie_inclusive_in_place, sort_neighbors, KnnProvider, Neighbor};
 use crate::point::Dataset;
 
 /// Brute-force k-NN over a borrowed dataset.
@@ -15,12 +23,16 @@ use crate::point::Dataset;
 pub struct LinearScan<'a, M: Metric> {
     data: &'a Dataset,
     metric: M,
+    /// Blocked-kernel state; `None` for metrics without a
+    /// squared-Euclidean form.
+    kernel: Option<BlockKernel>,
 }
 
 impl<'a, M: Metric> LinearScan<'a, M> {
     /// Creates a scan provider over `data` using `metric`.
     pub fn new(data: &'a Dataset, metric: M) -> Self {
-        LinearScan { data, metric }
+        let kernel = BlockKernel::for_metric(data, &metric);
+        LinearScan { data, metric, kernel }
     }
 
     /// The underlying dataset.
@@ -40,6 +52,28 @@ impl<'a, M: Metric> LinearScan<'a, M> {
         }
         Ok(())
     }
+
+    /// Scalar fallback for metrics without a blocked form: stages every
+    /// candidate in the scratch, reduces in place. No allocation once
+    /// the scratch has grown to `n` entries.
+    fn k_nearest_scalar(
+        &self,
+        id: usize,
+        k: usize,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+    ) -> usize {
+        let q = self.data.point(id);
+        scratch.neighbors.clear();
+        for (j, p) in self.data.iter() {
+            if j != id {
+                scratch.neighbors.push(Neighbor::new(j, self.metric.distance(q, p)));
+            }
+        }
+        select_k_tie_inclusive_in_place(&mut scratch.neighbors, k);
+        out.extend_from_slice(&scratch.neighbors);
+        scratch.neighbors.len()
+    }
 }
 
 impl<M: Metric> KnnProvider for LinearScan<'_, M> {
@@ -48,15 +82,48 @@ impl<M: Metric> KnnProvider for LinearScan<'_, M> {
     }
 
     fn k_nearest(&self, id: usize, k: usize) -> Result<Vec<Neighbor>> {
+        with_thread_scratch(|scratch| {
+            let mut out = Vec::new();
+            self.k_nearest_into(id, k, scratch, &mut out)?;
+            Ok(out)
+        })
+    }
+
+    fn k_nearest_into(
+        &self,
+        id: usize,
+        k: usize,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+    ) -> Result<usize> {
         self.validate(id, k)?;
-        let q = self.data.point(id);
-        let mut all = Vec::with_capacity(self.data.len() - 1);
-        for (j, p) in self.data.iter() {
-            if j != id {
-                all.push(Neighbor::new(j, self.metric.distance(q, p)));
+        Ok(match &self.kernel {
+            Some(kernel) => kernel.k_nearest_into(self.data, id, k, scratch, out),
+            None => self.k_nearest_scalar(id, k, scratch, out),
+        })
+    }
+
+    fn batch_k_nearest(
+        &self,
+        ids: std::ops::Range<usize>,
+        k: usize,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+        lens: &mut Vec<usize>,
+    ) -> Result<()> {
+        if let Some(last) = ids.clone().last() {
+            self.validate(last, k)?;
+        }
+        match &self.kernel {
+            Some(kernel) => kernel.batch_k_nearest(self.data, ids, k, scratch, out, lens),
+            None => {
+                for id in ids {
+                    let added = self.k_nearest_scalar(id, k, scratch, out);
+                    lens.push(added);
+                }
             }
         }
-        Ok(select_k_tie_inclusive(all, k))
+        Ok(())
     }
 
     fn within(&self, id: usize, radius: f64) -> Result<Vec<Neighbor>> {
@@ -132,5 +199,57 @@ mod tests {
                 assert!(scan.k_nearest(id, k).unwrap().len() >= k);
             }
         }
+    }
+
+    #[test]
+    fn into_and_batch_agree_with_k_nearest() {
+        use crate::distance::Manhattan;
+        use crate::knn::KnnScratch;
+        let ds = Dataset::from_rows(&[
+            [0.0, 1.0],
+            [1.0, 0.5],
+            [2.0, -1.0],
+            [2.0, -1.0], // duplicate
+            [4.0, 4.0],
+            [8.0, 0.0],
+        ])
+        .unwrap();
+        // Euclidean exercises the blocked kernel, Manhattan the scalar path.
+        fn check<M: crate::distance::Metric>(ds: &Dataset, metric: M) {
+            let scan = LinearScan::new(ds, metric);
+            let mut scratch = KnnScratch::new();
+            for k in 1..ds.len() {
+                let (mut flat, mut lens) = (Vec::new(), Vec::new());
+                scan.batch_k_nearest(0..ds.len(), k, &mut scratch, &mut flat, &mut lens).unwrap();
+                let mut cursor = 0;
+                for id in 0..ds.len() {
+                    let reference = scan.k_nearest(id, k).unwrap();
+                    let mut into = Vec::new();
+                    let added = scan.k_nearest_into(id, k, &mut scratch, &mut into).unwrap();
+                    assert_eq!(added, reference.len());
+                    assert_eq!(into, reference);
+                    assert_eq!(&flat[cursor..cursor + lens[id]], reference.as_slice());
+                    cursor += lens[id];
+                }
+                assert_eq!(cursor, flat.len());
+            }
+        }
+        check(&ds, Euclidean);
+        check(&ds, Manhattan);
+    }
+
+    #[test]
+    fn batch_propagates_validation_errors() {
+        use crate::knn::KnnScratch;
+        let ds = line_dataset();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let mut scratch = KnnScratch::new();
+        let (mut flat, mut lens) = (Vec::new(), Vec::new());
+        assert!(scan
+            .batch_k_nearest(0..ds.len(), ds.len(), &mut scratch, &mut flat, &mut lens)
+            .is_err());
+        assert!(scan
+            .batch_k_nearest(0..ds.len() + 2, 1, &mut scratch, &mut flat, &mut lens)
+            .is_err());
     }
 }

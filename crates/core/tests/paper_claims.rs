@@ -32,9 +32,8 @@ fn uniform_data_needs_min_pts_at_least_ten() {
     let table = NeighborhoodTable::build(&scan, 30).unwrap();
     let result = lof_range(&table, MinPtsRange::new(2, 30).unwrap()).unwrap();
 
-    let max_at = |k: usize| {
-        result.at_min_pts(k).unwrap().iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-    };
+    let max_at =
+        |k: usize| result.at_min_pts(k).unwrap().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let small_k_max = (2..6).map(max_at).fold(f64::NEG_INFINITY, f64::max);
     let large_k_max = (10..=30).map(max_at).fold(f64::NEG_INFINITY, f64::max);
     assert!(
@@ -83,10 +82,7 @@ fn min_pts_lb_is_the_minimum_cluster_size() {
     let at5 = result.at_min_pts(5).unwrap();
     let c_max5 = at5[..7].iter().cloned().fold(f64::MIN, f64::max);
     let p5 = at5[7];
-    assert!(
-        p5 > 2.0 * c_max5,
-        "with MinPts <= |C| p must stick out: p={p5}, C max={c_max5}"
-    );
+    assert!(p5 > 2.0 * c_max5, "with MinPts <= |C| p must stick out: p={p5}, C max={c_max5}");
 }
 
 /// Definition 5's remark: reachability distances smooth away "the
@@ -127,8 +123,7 @@ fn reachability_smoothing_grows_with_k() {
     let stddev = |k: usize| {
         let values = result.at_min_pts(k).unwrap();
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64)
-            .sqrt()
+        (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64).sqrt()
     };
     let early = stddev(2);
     let late = stddev(25);

@@ -3,9 +3,7 @@
 //! algorithm is equivalent to direct computation, and the parallel paths
 //! are bit-identical to the serial ones.
 
-use lof_core::bounds::{
-    lemma1_bound, neighborhood_stats, theorem1_bounds, theorem2_bounds,
-};
+use lof_core::bounds::{lemma1_bound, neighborhood_stats, theorem1_bounds, theorem2_bounds};
 use lof_core::lof::lof_values;
 use lof_core::parallel::{build_table_parallel, lof_range_parallel};
 use lof_core::{
@@ -33,19 +31,17 @@ fn clustered_strategy() -> impl Strategy<Value = Dataset> {
     (6usize..20, 6usize..20, 0.1f64..2.0, 0.1f64..2.0).prop_flat_map(
         |(n1, n2, spread1, spread2)| {
             let total = n1 + n2;
-            proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), total).prop_map(
-                move |jitter| {
-                    let mut rows = Vec::with_capacity(total);
-                    for (i, (jx, jy)) in jitter.iter().enumerate() {
-                        if i < n1 {
-                            rows.push([jx * spread1, jy * spread1]);
-                        } else {
-                            rows.push([30.0 + jx * spread2, jy * spread2]);
-                        }
+            proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), total).prop_map(move |jitter| {
+                let mut rows = Vec::with_capacity(total);
+                for (i, (jx, jy)) in jitter.iter().enumerate() {
+                    if i < n1 {
+                        rows.push([jx * spread1, jy * spread1]);
+                    } else {
+                        rows.push([30.0 + jx * spread2, jy * spread2]);
                     }
-                    Dataset::from_rows(&rows).expect("finite rows")
-                },
-            )
+                }
+                Dataset::from_rows(&rows).expect("finite rows")
+            })
         },
     )
 }

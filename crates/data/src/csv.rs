@@ -45,8 +45,7 @@ pub fn dataset_from_csv(text: &str) -> Result<Dataset, LofError> {
             continue;
         }
         let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
-        let parsed: Option<Vec<f64>> =
-            fields.iter().map(|f| f.parse::<f64>().ok()).collect();
+        let parsed: Option<Vec<f64>> = fields.iter().map(|f| f.parse::<f64>().ok()).collect();
         match parsed {
             Some(values) => rows.push(values),
             None if line_no == 0 && rows.is_empty() => continue, // header
@@ -77,11 +76,7 @@ pub fn dataset_from_csv(text: &str) -> Result<Dataset, LofError> {
 /// # Errors
 ///
 /// Propagates I/O errors.
-pub fn write_table(
-    path: impl AsRef<Path>,
-    columns: &[&str],
-    rows: &[Vec<f64>],
-) -> io::Result<()> {
+pub fn write_table(path: impl AsRef<Path>, columns: &[&str], rows: &[Vec<f64>]) -> io::Result<()> {
     let path = path.as_ref();
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;

@@ -23,12 +23,7 @@ impl LabeledDataset {
 
     /// Ids of all points carrying a given label.
     pub fn ids_with_label(&self, label: usize) -> Vec<usize> {
-        self.labels
-            .iter()
-            .enumerate()
-            .filter(|(_, &l)| l == label)
-            .map(|(i, _)| i)
-            .collect()
+        self.labels.iter().enumerate().filter(|(_, &l)| l == label).map(|(i, _)| i).collect()
     }
 
     /// Ids of all planted outliers.

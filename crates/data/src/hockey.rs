@@ -101,16 +101,14 @@ pub fn nhl96_analog(seed: u64, n_regulars: usize) -> HockeyLeague {
                 // from being a DB(pct, dmin) outlier.
                 let gp: u32 = rng.random_range(1..=10);
                 let shots: u32 = rng.random_range(0..=(2 * gp).min(12));
-                let raw_goals =
-                    (0..shots).filter(|_| rng.random::<f64>() < 0.12).count() as u32;
+                let raw_goals = (0..shots).filter(|_| rng.random::<f64>() < 0.12).count() as u32;
                 let goals = raw_goals.min(shots.saturating_sub(1));
                 (gp, shots, goals, rng.random_range(0.0..1.0))
             }
             1 => {
                 let gp: u32 = rng.random_range(30..=82);
                 let shots = ((gp as f64) * rng.random_range(0.8..2.5)).round() as u32;
-                let goals =
-                    ((shots as f64) * rng.random_range(5.0..13.0) / 100.0).round() as u32;
+                let goals = ((shots as f64) * rng.random_range(5.0..13.0) / 100.0).round() as u32;
                 // Every league has its enforcers: a PIM tail reaching ~310
                 // keeps high-PIM seasons *mutually* within DB range while a
                 // 335-PIM league leader is still locally sparse.
@@ -124,8 +122,7 @@ pub fn nhl96_analog(seed: u64, n_regulars: usize) -> HockeyLeague {
             _ => {
                 let gp: u32 = rng.random_range(60..=82);
                 let shots = ((gp as f64) * rng.random_range(2.5..4.0)).round() as u32;
-                let goals =
-                    ((shots as f64) * rng.random_range(9.0..17.0) / 100.0).round() as u32;
+                let goals = ((shots as f64) * rng.random_range(9.0..17.0) / 100.0).round() as u32;
                 (gp, shots, goals, rng.random_range(0.2..1.2))
             }
         };

@@ -27,6 +27,8 @@ pub mod paper;
 pub mod rng;
 pub mod soccer;
 
-pub use generators::{gaussian_cluster, mixture, ring, uniform_box, uniform_disk, Component, LabeledDataset};
+pub use generators::{
+    gaussian_cluster, mixture, ring, uniform_box, uniform_disk, Component, LabeledDataset,
+};
 pub use normalize::{min_max_scale, standardize, ZScore};
 pub use rng::{seeded, WorkloadRng};

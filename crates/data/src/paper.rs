@@ -93,12 +93,12 @@ pub fn fig9(seed: u64) -> LabeledDataset {
             // Seven planted outliers at varying distances from clusters of
             // varying density — their LOF should scale with the density of
             // the cluster they are outlying relative to, and their distance.
-            vec![75.0, 60.0],  // just below the dense Gaussian
-            vec![85.0, 85.0],  // above-right of the dense Gaussian
-            vec![55.0, 50.0],  // between everything
-            vec![95.0, 50.0],  // right edge, near the dense uniform
-            vec![50.0, 95.0],  // between the two Gaussians
-            vec![10.0, 55.0],  // above the sparse uniform
+            vec![75.0, 60.0],   // just below the dense Gaussian
+            vec![85.0, 85.0],   // above-right of the dense Gaussian
+            vec![55.0, 50.0],   // between everything
+            vec![95.0, 50.0],   // right edge, near the dense uniform
+            vec![50.0, 95.0],   // between the two Gaussians
+            vec![10.0, 55.0],   // above the sparse uniform
             vec![110.0, 110.0], // far corner, global outlier
         ],
     )
@@ -141,7 +141,12 @@ pub fn perf_mixture(seed: u64, n: usize, dims: usize, n_clusters: usize) -> Data
 /// simplex. Each cluster has a sparse prototype distribution (a "scene");
 /// members add small renormalized noise. Outliers are blends of two scenes
 /// plus heavy noise — plausible histograms that belong to no cluster.
-pub fn histograms64(seed: u64, clusters: usize, per_cluster: usize, outliers: usize) -> LabeledDataset {
+pub fn histograms64(
+    seed: u64,
+    clusters: usize,
+    per_cluster: usize,
+    outliers: usize,
+) -> LabeledDataset {
     const DIMS: usize = 64;
     let mut rng = seeded(seed);
 

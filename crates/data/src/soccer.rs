@@ -252,12 +252,8 @@ mod tests {
 
     #[test]
     fn goals_per_game_handles_zero_games() {
-        let p = SoccerPlayer {
-            name: "bench".into(),
-            games: 0,
-            goals: 0,
-            position: Position::Center,
-        };
+        let p =
+            SoccerPlayer { name: "bench".into(), games: 0, goals: 0, position: Position::Center };
         assert_eq!(p.goals_per_game(), 0.0);
     }
 

@@ -11,9 +11,7 @@
 //! `d(q, center) - radius` exceeds the current bound.
 
 use crate::common::impl_knn_provider;
-use crate::kbest::KBest;
-use lof_core::neighbors::sort_neighbors;
-use lof_core::{Dataset, Metric, Neighbor};
+use lof_core::{BoundedMaxHeap, Dataset, KnnScratch, Metric, Neighbor};
 
 const LEAF_SIZE: usize = 16;
 
@@ -116,13 +114,26 @@ impl<'a, M: Metric> BallTree<'a, M> {
         min_dist > bound * (1.0 + 1e-9) + f64::MIN_POSITIVE
     }
 
-    fn search_k_distance(&self, q: &[f64], k: usize, exclude: Option<usize>) -> f64 {
-        let mut best = KBest::new(k);
-        self.knn_rec(self.root, q, exclude, &mut best);
-        best.k_distance().expect("validated: at least k candidates exist")
+    fn search_k_distance(
+        &self,
+        q: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+        scratch: &mut KnnScratch,
+    ) -> f64 {
+        let best = &mut scratch.heap;
+        best.reset(k);
+        self.knn_rec(self.root, q, exclude, best);
+        best.kth_dist().expect("validated: at least k candidates exist")
     }
 
-    fn knn_rec(&self, node_id: usize, q: &[f64], exclude: Option<usize>, best: &mut KBest) {
+    fn knn_rec(
+        &self,
+        node_id: usize,
+        q: &[f64],
+        exclude: Option<usize>,
+        best: &mut BoundedMaxHeap,
+    ) {
         if Self::prune(self.node_min_dist(q, node_id), best.bound()) {
             return;
         }
@@ -145,13 +156,17 @@ impl<'a, M: Metric> BallTree<'a, M> {
         }
     }
 
-    fn search_within(&self, q: &[f64], radius: f64, exclude: Option<usize>) -> Vec<Neighbor> {
-        let mut out = Vec::new();
+    fn search_within_into(
+        &self,
+        q: &[f64],
+        radius: f64,
+        exclude: Option<usize>,
+        _scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
         if self.root != usize::MAX {
-            self.range_rec(self.root, q, radius, exclude, &mut out);
+            self.range_rec(self.root, q, radius, exclude, out);
         }
-        sort_neighbors(&mut out);
-        out
     }
 
     fn range_rec(
@@ -208,10 +223,8 @@ fn build<M: Metric>(
     for c in &mut center {
         *c /= slice.len() as f64;
     }
-    let radius = slice
-        .iter()
-        .map(|&id| metric.distance(&center, data.point(id)))
-        .fold(0.0, f64::max);
+    let radius =
+        slice.iter().map(|&id| metric.distance(&center, data.point(id))).fold(0.0, f64::max);
 
     let count = end - start;
     if count <= LEAF_SIZE || radius == 0.0 {

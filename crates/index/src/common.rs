@@ -24,14 +24,19 @@ pub(crate) fn validate_within(n: usize, id: usize) -> Result<()> {
 /// Implements [`lof_core::KnnProvider`] for an index type exposing the
 /// internal two-phase search API:
 ///
-/// * `fn search_k_distance(&self, q, k, exclude) -> f64` — exact `k`-distance
-///   among candidates (excluding `exclude`);
-/// * `fn search_within(&self, q, radius, exclude) -> Vec<Neighbor>` — all
-///   candidates within `radius` (inclusive), sorted canonically;
+/// * `fn search_k_distance(&self, q, k, exclude, scratch) -> f64` — exact
+///   `k`-distance among candidates (excluding `exclude`), using the scratch
+///   buffers for all transient search state;
+/// * `fn search_within_into(&self, q, radius, exclude, scratch, out)` —
+///   appends all candidates within `radius` (inclusive) to `out`, in any
+///   order (the macro sorts the appended tail canonically);
 /// * `fn size(&self) -> usize`.
 ///
 /// Tie-inclusion (definition 4) falls out of running the range phase at the
-/// exact `k`-distance.
+/// exact `k`-distance. Because both phases draw every buffer from the
+/// caller's [`lof_core::KnnScratch`], the generated `k_nearest_into` is
+/// allocation-free once the scratch is warm; `k_nearest`/`within` borrow
+/// the calling thread's shared scratch.
 macro_rules! impl_knn_provider {
     ($ty:ident) => {
         impl<M: lof_core::Metric> lof_core::KnnProvider for $ty<'_, M> {
@@ -39,24 +44,44 @@ macro_rules! impl_knn_provider {
                 self.size()
             }
 
-            fn k_nearest(
+            fn k_nearest(&self, id: usize, k: usize) -> lof_core::Result<Vec<lof_core::Neighbor>> {
+                lof_core::with_thread_scratch(|scratch| {
+                    let mut out = Vec::new();
+                    self.k_nearest_into(id, k, scratch, &mut out)?;
+                    Ok(out)
+                })
+            }
+
+            fn k_nearest_into(
                 &self,
                 id: usize,
                 k: usize,
-            ) -> lof_core::Result<Vec<lof_core::Neighbor>> {
+                scratch: &mut lof_core::KnnScratch,
+                out: &mut Vec<lof_core::Neighbor>,
+            ) -> lof_core::Result<usize> {
                 crate::common::validate_knn(self.size(), id, k)?;
                 let q = self.data.point(id);
-                let k_distance = self.search_k_distance(q, k, Some(id));
-                Ok(self.search_within(q, k_distance, Some(id)))
+                let k_distance = self.search_k_distance(q, k, Some(id), scratch);
+                let start = out.len();
+                self.search_within_into(q, k_distance, Some(id), scratch, out);
+                lof_core::neighbors::sort_neighbors(&mut out[start..]);
+                Ok(out.len() - start)
             }
 
-            fn within(
-                &self,
-                id: usize,
-                radius: f64,
-            ) -> lof_core::Result<Vec<lof_core::Neighbor>> {
+            fn within(&self, id: usize, radius: f64) -> lof_core::Result<Vec<lof_core::Neighbor>> {
                 crate::common::validate_within(self.size(), id)?;
-                Ok(self.search_within(self.data.point(id), radius, Some(id)))
+                lof_core::with_thread_scratch(|scratch| {
+                    let mut out = Vec::new();
+                    self.search_within_into(
+                        self.data.point(id),
+                        radius,
+                        Some(id),
+                        scratch,
+                        &mut out,
+                    );
+                    lof_core::neighbors::sort_neighbors(&mut out);
+                    Ok(out)
+                })
             }
         }
 
@@ -87,8 +112,13 @@ macro_rules! impl_knn_provider {
                         dataset_size: self.size(),
                     });
                 }
-                let k_distance = self.search_k_distance(q, k, None);
-                Ok(self.search_within(q, k_distance, None))
+                lof_core::with_thread_scratch(|scratch| {
+                    let k_distance = self.search_k_distance(q, k, None, scratch);
+                    let mut out = Vec::new();
+                    self.search_within_into(q, k_distance, None, scratch, &mut out);
+                    lof_core::neighbors::sort_neighbors(&mut out);
+                    Ok(out)
+                })
             }
 
             /// All objects within `radius` (inclusive) of an arbitrary query
@@ -109,7 +139,12 @@ macro_rules! impl_knn_provider {
                         found: q.len(),
                     });
                 }
-                Ok(self.search_within(q, radius, None))
+                lof_core::with_thread_scratch(|scratch| {
+                    let mut out = Vec::new();
+                    self.search_within_into(q, radius, None, scratch, &mut out);
+                    lof_core::neighbors::sort_neighbors(&mut out);
+                    Ok(out)
+                })
             }
         }
     };

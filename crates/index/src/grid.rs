@@ -13,9 +13,7 @@
 //! behavior; use the kd-tree/X-tree there instead.
 
 use crate::common::impl_knn_provider;
-use crate::kbest::KBest;
-use lof_core::neighbors::sort_neighbors;
-use lof_core::{Dataset, Metric, Neighbor};
+use lof_core::{Dataset, KnnScratch, Metric, Neighbor};
 
 /// Target mean number of points per (non-empty) cell.
 const TARGET_OCCUPANCY: f64 = 4.0;
@@ -50,9 +48,7 @@ impl<'a, M: Metric> GridIndex<'a, M> {
     /// Builds the grid in `O(n)`.
     pub fn new(data: &'a Dataset, metric: M) -> Self {
         let dims = data.dims().max(1);
-        let (lo, hi) = data
-            .bounding_box()
-            .unwrap_or_else(|| (vec![0.0; dims], vec![1.0; dims]));
+        let (lo, hi) = data.bounding_box().unwrap_or_else(|| (vec![0.0; dims], vec![1.0; dims]));
 
         // Pick cells-per-dim so that total cells ≈ n / occupancy, evenly
         // split across dimensions, capped for memory.
@@ -77,8 +73,10 @@ impl<'a, M: Metric> GridIndex<'a, M> {
         let total: usize = cells_per_dim.iter().product();
         let mut buckets = vec![Vec::new(); total];
         let me = GridIndex { data, metric, lo, cell_width, cells_per_dim, buckets: Vec::new() };
+        let mut cell = Vec::new();
         for (id, p) in data.iter() {
-            buckets[me.bucket_of(p)].push(id);
+            me.cell_of_into(p, &mut cell);
+            buckets[me.flatten(&cell)].push(id);
         }
         GridIndex { buckets, ..me }
     }
@@ -93,25 +91,17 @@ impl<'a, M: Metric> GridIndex<'a, M> {
         self.buckets.len()
     }
 
-    /// The grid cell coordinates containing point `p`.
-    fn cell_of(&self, p: &[f64]) -> Vec<usize> {
-        (0..p.len())
-            .map(|d| {
-                let raw = ((p[d] - self.lo[d]) / self.cell_width[d]).floor() as isize;
-                raw.clamp(0, self.cells_per_dim[d] as isize - 1) as usize
-            })
-            .collect()
-    }
-
-    fn bucket_of(&self, p: &[f64]) -> usize {
-        let cell = self.cell_of(p);
-        self.flatten(&cell)
+    /// Writes the grid cell coordinates containing point `p` into `out`.
+    fn cell_of_into(&self, p: &[f64], out: &mut Vec<usize>) {
+        out.clear();
+        out.extend((0..p.len()).map(|d| {
+            let raw = ((p[d] - self.lo[d]) / self.cell_width[d]).floor() as isize;
+            raw.clamp(0, self.cells_per_dim[d] as isize - 1) as usize
+        }));
     }
 
     fn flatten(&self, cell: &[usize]) -> usize {
-        cell.iter()
-            .zip(&self.cells_per_dim)
-            .fold(0, |idx, (&c, &per_dim)| idx * per_dim + c)
+        cell.iter().zip(&self.cells_per_dim).fold(0, |idx, (&c, &per_dim)| idx * per_dim + c)
     }
 
     /// Lower bound on the distance from `q` to any cell of the rectangle
@@ -150,15 +140,17 @@ impl<'a, M: Metric> GridIndex<'a, M> {
 
     /// Visits every cell whose Chebyshev distance (in cell units) from
     /// `center` is exactly `shell`, calling `f(bucket_index, cell_coords)`.
+    /// `walk` is a reusable coordinate buffer for the enumeration.
     fn for_each_shell_cell(
         &self,
         center: &[usize],
         shell: usize,
+        walk: &mut Vec<usize>,
         f: &mut impl FnMut(usize, &[usize]),
     ) {
-        let dims = center.len();
-        let mut cell = vec![0usize; dims];
-        self.shell_rec(center, shell, 0, false, &mut cell, f);
+        walk.clear();
+        walk.resize(center.len(), 0);
+        self.shell_rec(center, shell, 0, false, walk, f);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -195,30 +187,39 @@ impl<'a, M: Metric> GridIndex<'a, M> {
         }
     }
 
-    fn cell_rect(&self, cell: &[usize]) -> (Vec<f64>, Vec<f64>) {
-        let mut lo = Vec::with_capacity(cell.len());
-        let mut hi = Vec::with_capacity(cell.len());
+    /// Writes the rectangle of `cell` into the `lo`/`hi` buffers.
+    fn cell_rect_into(&self, cell: &[usize], lo: &mut Vec<f64>, hi: &mut Vec<f64>) {
+        lo.clear();
+        hi.clear();
         for (d, &c) in cell.iter().enumerate() {
             lo.push(self.lo[d] + c as f64 * self.cell_width[d]);
             hi.push(self.lo[d] + (c + 1) as f64 * self.cell_width[d]);
         }
-        (lo, hi)
     }
 
     fn max_shell(&self) -> usize {
         self.cells_per_dim.iter().max().copied().unwrap_or(1)
     }
 
-    fn search_k_distance(&self, q: &[f64], k: usize, exclude: Option<usize>) -> f64 {
-        let center = self.cell_of(q);
-        let mut best = KBest::new(k);
+    fn search_k_distance(
+        &self,
+        q: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+        scratch: &mut KnnScratch,
+    ) -> f64 {
+        // Disjoint field borrows: `cell` holds the query's cell, `cell2`
+        // walks the shells, `lo`/`hi` stage each visited cell's rectangle.
+        let KnnScratch { heap: best, cell: center, cell2: walk, lo, hi, .. } = scratch;
+        self.cell_of_into(q, center);
+        best.reset(k);
         for shell in 0..=self.max_shell() {
-            if self.shell_min_dist(q, &center, shell) > best.bound() {
+            if self.shell_min_dist(q, center, shell) > best.bound() {
                 break;
             }
-            self.for_each_shell_cell(&center, shell, &mut |bucket, cell| {
-                let (lo, hi) = self.cell_rect(cell);
-                if self.metric.min_dist_to_rect(q, &lo, &hi) > best.bound() {
+            self.for_each_shell_cell(center, shell, walk, &mut |bucket, cell| {
+                self.cell_rect_into(cell, lo, hi);
+                if self.metric.min_dist_to_rect(q, lo, hi) > best.bound() {
                     return;
                 }
                 for &id in &self.buckets[bucket] {
@@ -228,19 +229,26 @@ impl<'a, M: Metric> GridIndex<'a, M> {
                 }
             });
         }
-        best.k_distance().expect("validated: at least k candidates exist")
+        best.kth_dist().expect("validated: at least k candidates exist")
     }
 
-    fn search_within(&self, q: &[f64], radius: f64, exclude: Option<usize>) -> Vec<Neighbor> {
-        let center = self.cell_of(q);
-        let mut out = Vec::new();
+    fn search_within_into(
+        &self,
+        q: &[f64],
+        radius: f64,
+        exclude: Option<usize>,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        let KnnScratch { cell: center, cell2: walk, lo, hi, .. } = scratch;
+        self.cell_of_into(q, center);
         for shell in 0..=self.max_shell() {
-            if self.shell_min_dist(q, &center, shell) > radius {
+            if self.shell_min_dist(q, center, shell) > radius {
                 break;
             }
-            self.for_each_shell_cell(&center, shell, &mut |bucket, cell| {
-                let (lo, hi) = self.cell_rect(cell);
-                if self.metric.min_dist_to_rect(q, &lo, &hi) > radius {
+            self.for_each_shell_cell(center, shell, walk, &mut |bucket, cell| {
+                self.cell_rect_into(cell, lo, hi);
+                if self.metric.min_dist_to_rect(q, lo, hi) > radius {
                     return;
                 }
                 for &id in &self.buckets[bucket] {
@@ -254,8 +262,6 @@ impl<'a, M: Metric> GridIndex<'a, M> {
                 }
             });
         }
-        sort_neighbors(&mut out);
-        out
     }
 }
 

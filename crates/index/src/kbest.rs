@@ -5,38 +5,17 @@
 //! `k`-distance, then a range query at that radius collects the full
 //! tie-inclusive neighborhood. The heap's [`KBest::bound`] is the pruning
 //! radius during the first phase.
+//!
+//! Since the zero-allocation refactor this is a thin owning wrapper around
+//! [`lof_core::BoundedMaxHeap`]; the internal search paths borrow the heap
+//! out of a [`lof_core::KnnScratch`] directly and skip this type.
 
-use lof_core::Neighbor;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Entry {
-    dist: f64,
-    id: usize,
-}
-
-impl Eq for Entry {}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap by (distance, id): the canonical-order-largest candidate
-        // sits on top and is evicted first.
-        self.dist.total_cmp(&other.dist).then(self.id.cmp(&other.id))
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
+use lof_core::{BoundedMaxHeap, Neighbor};
 
 /// Tracks the `k` candidates smallest in `(distance, id)` order.
 #[derive(Debug)]
 pub struct KBest {
-    k: usize,
-    heap: BinaryHeap<Entry>,
+    heap: BoundedMaxHeap,
 }
 
 impl KBest {
@@ -46,29 +25,21 @@ impl KBest {
     ///
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
-        assert!(k > 0, "KBest requires k >= 1");
-        KBest { k, heap: BinaryHeap::with_capacity(k + 1) }
+        let mut heap = BoundedMaxHeap::new();
+        heap.reset(k);
+        KBest { heap }
     }
 
     /// Offers a candidate; keeps it only if it beats the current worst.
     pub fn offer(&mut self, id: usize, dist: f64) {
-        if self.heap.len() < self.k {
-            self.heap.push(Entry { dist, id });
-        } else if (Entry { dist, id }) < *self.heap.peek().expect("heap holds k entries") {
-            self.heap.pop();
-            self.heap.push(Entry { dist, id });
-        }
+        self.heap.offer(id, dist);
     }
 
     /// Current pruning bound: the k-th best distance seen, or `+∞` while
     /// fewer than `k` candidates have been offered. Subtrees whose minimum
     /// possible distance **exceeds** this bound cannot contribute.
     pub fn bound(&self) -> f64 {
-        if self.heap.len() < self.k {
-            f64::INFINITY
-        } else {
-            self.heap.peek().expect("heap holds k entries").dist
-        }
+        self.heap.bound()
     }
 
     /// Number of candidates currently held.
@@ -84,13 +55,13 @@ impl KBest {
     /// The exact `k`-distance once the search is complete: the distance of
     /// the worst kept candidate (`None` if nothing was offered).
     pub fn k_distance(&self) -> Option<f64> {
-        self.heap.peek().map(|e| e.dist)
+        self.heap.kth_dist()
     }
 
     /// Drains into a sorted neighbor list (ascending canonical order).
-    pub fn into_sorted(self) -> Vec<Neighbor> {
-        let mut v: Vec<Neighbor> =
-            self.heap.into_iter().map(|e| Neighbor::new(e.id, e.dist)).collect();
+    pub fn into_sorted(mut self) -> Vec<Neighbor> {
+        let mut v = Vec::with_capacity(self.heap.len());
+        self.heap.append_to(&mut v);
         lof_core::neighbors::sort_neighbors(&mut v);
         v
     }
@@ -129,6 +100,8 @@ mod tests {
         kb.offer(5, 1.0);
         kb.offer(3, 1.0);
         kb.offer(1, 1.0);
+        assert_eq!(kb.len(), 2);
+        assert!(!kb.is_empty());
         let v = kb.into_sorted();
         assert_eq!(v.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 3]);
     }

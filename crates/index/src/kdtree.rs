@@ -5,11 +5,16 @@
 //! Median-split construction over an id permutation (no point copies),
 //! bounding boxes per node, and depth-first search with
 //! `Metric::min_dist_to_rect` pruning.
+//!
+//! For metrics with a squared-Euclidean form the k-distance descent runs
+//! entirely in squared space (`min_dist_to_rect_sq` pruning, no square
+//! roots in the inner loop) and takes a single square root at the end —
+//! exact, because `sqrt` is monotone, so the k-th smallest squared
+//! distance maps to the k-th smallest distance.
 
 use crate::common::impl_knn_provider;
-use crate::kbest::KBest;
-use lof_core::neighbors::sort_neighbors;
-use lof_core::{Dataset, Metric, Neighbor};
+use lof_core::distance::BlockedForm;
+use lof_core::{BoundedMaxHeap, Dataset, KnnScratch, Metric, Neighbor};
 
 const LEAF_SIZE: usize = 16;
 
@@ -72,13 +77,42 @@ impl<'a, M: Metric> KdTree<'a, M> {
         self.nodes.len()
     }
 
-    fn search_k_distance(&self, q: &[f64], k: usize, exclude: Option<usize>) -> f64 {
-        let mut best = KBest::new(k);
-        self.knn_rec(self.root, q, exclude, &mut best);
-        best.k_distance().expect("validated: at least k candidates exist")
+    fn search_k_distance(
+        &self,
+        q: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+        scratch: &mut KnnScratch,
+    ) -> f64 {
+        let best = &mut scratch.heap;
+        best.reset(k);
+        match self.metric.blocked_form() {
+            // Squared-space descent: one sqrt total instead of one per
+            // visited point. Exact — sqrt is monotone, so order statistics
+            // commute with it, and `Euclidean::distance` is literally
+            // `squared_euclidean(..).sqrt()`.
+            BlockedForm::Euclidean => {
+                self.knn_rec_sq(self.root, q, exclude, best);
+                best.kth_dist().expect("validated: at least k candidates exist").sqrt()
+            }
+            BlockedForm::SquaredEuclidean => {
+                self.knn_rec_sq(self.root, q, exclude, best);
+                best.kth_dist().expect("validated: at least k candidates exist")
+            }
+            BlockedForm::Generic => {
+                self.knn_rec(self.root, q, exclude, best);
+                best.kth_dist().expect("validated: at least k candidates exist")
+            }
+        }
     }
 
-    fn knn_rec(&self, node_id: usize, q: &[f64], exclude: Option<usize>, best: &mut KBest) {
+    fn knn_rec(
+        &self,
+        node_id: usize,
+        q: &[f64],
+        exclude: Option<usize>,
+        best: &mut BoundedMaxHeap,
+    ) {
         let node = &self.nodes[node_id];
         if self.metric.min_dist_to_rect(q, &node.lo, &node.hi) > best.bound() {
             return;
@@ -93,7 +127,8 @@ impl<'a, M: Metric> KdTree<'a, M> {
             }
             Some((left, right)) => {
                 // Visit the nearer child first so the bound tightens early.
-                let dl = self.metric.min_dist_to_rect(q, &self.nodes[left].lo, &self.nodes[left].hi);
+                let dl =
+                    self.metric.min_dist_to_rect(q, &self.nodes[left].lo, &self.nodes[left].hi);
                 let dr =
                     self.metric.min_dist_to_rect(q, &self.nodes[right].lo, &self.nodes[right].hi);
                 let (first, second) = if dl <= dr { (left, right) } else { (right, left) };
@@ -103,13 +138,56 @@ impl<'a, M: Metric> KdTree<'a, M> {
         }
     }
 
-    fn search_within(&self, q: &[f64], radius: f64, exclude: Option<usize>) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        if self.root != usize::MAX {
-            self.range_rec(self.root, q, radius, exclude, &mut out);
+    /// [`KdTree::knn_rec`] with distances and rectangle bounds kept in
+    /// squared-Euclidean space; the heap holds squared distances.
+    fn knn_rec_sq(
+        &self,
+        node_id: usize,
+        q: &[f64],
+        exclude: Option<usize>,
+        best: &mut BoundedMaxHeap,
+    ) {
+        let node = &self.nodes[node_id];
+        if self.metric.min_dist_to_rect_sq(q, &node.lo, &node.hi) > best.bound() {
+            return;
         }
-        sort_neighbors(&mut out);
-        out
+        match node.children {
+            None => {
+                for &id in &self.ids[node.start..node.end] {
+                    if Some(id) != exclude {
+                        best.offer(
+                            id,
+                            lof_core::distance::squared_euclidean(q, self.data.point(id)),
+                        );
+                    }
+                }
+            }
+            Some((left, right)) => {
+                let dl =
+                    self.metric.min_dist_to_rect_sq(q, &self.nodes[left].lo, &self.nodes[left].hi);
+                let dr = self.metric.min_dist_to_rect_sq(
+                    q,
+                    &self.nodes[right].lo,
+                    &self.nodes[right].hi,
+                );
+                let (first, second) = if dl <= dr { (left, right) } else { (right, left) };
+                self.knn_rec_sq(first, q, exclude, best);
+                self.knn_rec_sq(second, q, exclude, best);
+            }
+        }
+    }
+
+    fn search_within_into(
+        &self,
+        q: &[f64],
+        radius: f64,
+        exclude: Option<usize>,
+        _scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        if self.root != usize::MAX {
+            self.range_rec(self.root, q, radius, exclude, out);
+        }
     }
 
     fn range_rec(
@@ -146,7 +224,13 @@ impl<'a, M: Metric> KdTree<'a, M> {
 
 /// Recursively builds the subtree over `ids[start..end]`, returning its node
 /// index.
-fn build(data: &Dataset, ids: &mut [usize], start: usize, end: usize, nodes: &mut Vec<Node>) -> usize {
+fn build(
+    data: &Dataset,
+    ids: &mut [usize],
+    start: usize,
+    end: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
     let slice = &ids[start..end];
     let dims = data.dims();
     let mut lo = data.point(slice[0]).to_vec();
@@ -188,9 +272,7 @@ fn build(data: &Dataset, ids: &mut [usize], start: usize, end: usize, nodes: &mu
 
     let mid = count / 2;
     ids[start..end].select_nth_unstable_by(mid, |&a, &b| {
-        data.point(a)[split_dim]
-            .total_cmp(&data.point(b)[split_dim])
-            .then(a.cmp(&b))
+        data.point(a)[split_dim].total_cmp(&data.point(b)[split_dim]).then(a.cmp(&b))
     });
 
     let left = build(data, ids, start, start + mid, nodes);

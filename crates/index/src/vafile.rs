@@ -20,10 +20,7 @@
 //! coordinate gaps).
 
 use crate::common::impl_knn_provider;
-use crate::kbest::KBest;
-use bytes::{BufMut, BytesMut};
-use lof_core::neighbors::sort_neighbors;
-use lof_core::{Dataset, Metric, Neighbor};
+use lof_core::{Dataset, KnnScratch, Metric, Neighbor};
 
 /// Default bits per dimension in the approximation (the VA-file paper's
 /// experiments use 4–8; 6 is a good default).
@@ -52,7 +49,7 @@ pub struct VaFile<'a, M: Metric> {
     width: Vec<f64>,
     /// Bit-packed approximations, `BITS * dims` bits per object, stored in
     /// one contiguous buffer.
-    approximations: bytes::Bytes,
+    approximations: Vec<u8>,
 }
 
 impl<'a, M: Metric> VaFile<'a, M> {
@@ -75,9 +72,7 @@ impl<'a, M: Metric> VaFile<'a, M> {
         assert!((1..=8).contains(&bits), "VA-file bits must be in 1..=8, got {bits}");
         let cells = 1usize << bits;
         let dims = data.dims().max(1);
-        let (lo, hi) = data
-            .bounding_box()
-            .unwrap_or_else(|| (vec![0.0; dims], vec![1.0; dims]));
+        let (lo, hi) = data.bounding_box().unwrap_or_else(|| (vec![0.0; dims], vec![1.0; dims]));
         let mut width = Vec::with_capacity(dims);
         for d in 0..dims {
             let extent = hi[d] - lo[d];
@@ -86,7 +81,7 @@ impl<'a, M: Metric> VaFile<'a, M> {
 
         let bits_per_object = bits as usize * dims;
         let bytes_total = (data.len() * bits_per_object).div_ceil(8);
-        let mut buf = BytesMut::with_capacity(bytes_total + 8);
+        let mut buf = Vec::with_capacity(bytes_total + 8);
         let mut acc: u64 = 0;
         let mut acc_bits: u32 = 0;
         for (_, p) in data.iter() {
@@ -95,16 +90,16 @@ impl<'a, M: Metric> VaFile<'a, M> {
                 acc |= (cell as u64) << acc_bits;
                 acc_bits += bits;
                 while acc_bits >= 8 {
-                    buf.put_u8((acc & 0xFF) as u8);
+                    buf.push((acc & 0xFF) as u8);
                     acc >>= 8;
                     acc_bits -= 8;
                 }
             }
         }
         if acc_bits > 0 {
-            buf.put_u8((acc & 0xFF) as u8);
+            buf.push((acc & 0xFF) as u8);
         }
-        VaFile { data, metric, bits, cells, lo, width, approximations: buf.freeze() }
+        VaFile { data, metric, bits, cells, lo, width, approximations: buf }
     }
 
     /// The configured bits per dimension.
@@ -136,13 +131,21 @@ impl<'a, M: Metric> VaFile<'a, M> {
     }
 
     /// `(lower, upper)` bounds on the distance from `q` to `object`, from
-    /// the approximation alone.
-    fn bounds(&self, q: &[f64], object: usize) -> (f64, f64) {
+    /// the approximation alone, using caller-provided per-dimension
+    /// buffers for the cell rectangle and its farthest corner.
+    fn bounds_into(
+        &self,
+        q: &[f64],
+        object: usize,
+        cell_lo: &mut Vec<f64>,
+        cell_hi: &mut Vec<f64>,
+        far: &mut Vec<f64>,
+    ) -> (f64, f64) {
         let dims = self.data.dims();
-        let mut cell_lo = Vec::with_capacity(dims);
-        let mut cell_hi = Vec::with_capacity(dims);
-        let mut far = Vec::with_capacity(dims);
-        #[allow(clippy::needless_range_loop)] // walks four parallel per-dim arrays
+        cell_lo.clear();
+        cell_hi.clear();
+        far.clear();
+        #[allow(clippy::needless_range_loop)] // indexes q/width/lo in lockstep
         for d in 0..dims {
             let c = self.cell(object, d) as f64;
             // Widen each cell by a hair so that floating-point rounding in
@@ -156,46 +159,68 @@ impl<'a, M: Metric> VaFile<'a, M> {
             // Farthest corner of the cell from q in this dimension.
             far.push(if (q[d] - lo).abs() >= (q[d] - hi).abs() { lo } else { hi });
         }
-        let lower = self.metric.min_dist_to_rect(q, &cell_lo, &cell_hi);
-        let upper = self.metric.distance(q, &far);
+        let lower = self.metric.min_dist_to_rect(q, cell_lo, cell_hi);
+        let upper = self.metric.distance(q, far);
         (lower, upper)
     }
 
-    fn search_k_distance(&self, q: &[f64], k: usize, exclude: Option<usize>) -> f64 {
-        // Phase 1: scan approximations.
+    /// `(lower, upper)` bounds with fresh buffers (tests and one-off use).
+    #[cfg(test)]
+    fn bounds(&self, q: &[f64], object: usize) -> (f64, f64) {
+        self.bounds_into(q, object, &mut Vec::new(), &mut Vec::new(), &mut Vec::new())
+    }
+
+    fn search_k_distance(
+        &self,
+        q: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+        scratch: &mut KnnScratch,
+    ) -> f64 {
+        let KnnScratch { heap: best, heap2: threshold, pairs: candidates, lo, hi, far, .. } =
+            scratch;
+        // Phase 1: scan approximations, tracking the k smallest upper
+        // bounds and staging every lower bound.
         let n = self.data.len();
-        let mut threshold = KBest::new(k); // k smallest upper bounds
-        let mut candidates: Vec<(f64, usize)> = Vec::new();
+        threshold.reset(k);
+        candidates.clear();
         for id in 0..n {
             if Some(id) == exclude {
                 continue;
             }
-            let (lower, upper) = self.bounds(q, id);
+            let (lower, upper) = self.bounds_into(q, id, lo, hi, far);
             threshold.offer(id, upper);
             candidates.push((lower, id));
         }
-        let cutoff = threshold.k_distance().expect("validated: k candidates exist");
+        let cutoff = threshold.kth_dist().expect("validated: k candidates exist");
         candidates.retain(|&(lower, _)| lower <= cutoff);
         candidates.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
         // Phase 2: refine in lower-bound order.
-        let mut best = KBest::new(k);
-        for &(lower, id) in &candidates {
+        best.reset(k);
+        for &(lower, id) in candidates.iter() {
             if lower > best.bound() {
                 break;
             }
             best.offer(id, self.metric.distance(q, self.data.point(id)));
         }
-        best.k_distance().expect("validated: at least k candidates exist")
+        best.kth_dist().expect("validated: at least k candidates exist")
     }
 
-    fn search_within(&self, q: &[f64], radius: f64, exclude: Option<usize>) -> Vec<Neighbor> {
-        let mut out = Vec::new();
+    fn search_within_into(
+        &self,
+        q: &[f64],
+        radius: f64,
+        exclude: Option<usize>,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        let KnnScratch { lo, hi, far, .. } = scratch;
         for id in 0..self.data.len() {
             if Some(id) == exclude {
                 continue;
             }
-            let (lower, _) = self.bounds(q, id);
+            let (lower, _) = self.bounds_into(q, id, lo, hi, far);
             if lower > radius {
                 continue; // filtered by the approximation alone
             }
@@ -204,8 +229,6 @@ impl<'a, M: Metric> VaFile<'a, M> {
                 out.push(Neighbor::new(id, d));
             }
         }
-        sort_neighbors(&mut out);
-        out
     }
 }
 

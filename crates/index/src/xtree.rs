@@ -16,9 +16,7 @@
 //! best-first (Hjaltason–Samet) over minimum rectangle distances.
 
 use crate::common::impl_knn_provider;
-use crate::kbest::KBest;
-use lof_core::neighbors::sort_neighbors;
-use lof_core::{Dataset, Metric, Neighbor};
+use lof_core::{Dataset, KnnScratch, Metric, Neighbor};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -169,7 +167,12 @@ impl<'a, M: Metric> XTree<'a, M> {
             data,
             metric,
             options,
-            nodes: vec![Node { rect: root_rect, parent: None, blocks: 1, kind: Kind::Leaf(Vec::new()) }],
+            nodes: vec![Node {
+                rect: root_rect,
+                parent: None,
+                blocks: 1,
+                kind: Kind::Leaf(Vec::new()),
+            }],
             root: 0,
         };
         for id in 0..data.len() {
@@ -187,13 +190,8 @@ impl<'a, M: Metric> XTree<'a, M> {
     /// Queries return exactly the same results as the insertion-built tree.
     pub fn bulk_load(data: &'a Dataset, metric: M) -> Self {
         let dims = data.dims().max(1);
-        let mut tree = XTree {
-            data,
-            metric,
-            options: XTreeOptions::default(),
-            nodes: Vec::new(),
-            root: 0,
-        };
+        let mut tree =
+            XTree { data, metric, options: XTreeOptions::default(), nodes: Vec::new(), root: 0 };
         if data.is_empty() {
             let root_rect =
                 Rect { lo: vec![f64::INFINITY; dims], hi: vec![f64::NEG_INFINITY; dims] };
@@ -247,12 +245,7 @@ impl<'a, M: Metric> XTree<'a, M> {
                 rect.enlarge(&Rect::point(self.data.point(id)));
             }
             let leaf = self.nodes.len();
-            self.nodes.push(Node {
-                rect,
-                parent: None,
-                blocks: 1,
-                kind: Kind::Leaf(ids.to_vec()),
-            });
+            self.nodes.push(Node { rect, parent: None, blocks: 1, kind: Kind::Leaf(ids.to_vec()) });
             leaves.push(leaf);
             return;
         }
@@ -355,8 +348,7 @@ impl<'a, M: Metric> XTree<'a, M> {
                 Some(new_sibling) => {
                     // Splitting the root grows the tree by one level.
                     if self.nodes[node].parent.is_none() {
-                        let rect =
-                            self.nodes[node].rect.union(&self.nodes[new_sibling].rect);
+                        let rect = self.nodes[node].rect.union(&self.nodes[new_sibling].rect);
                         let new_root = self.nodes.len();
                         self.nodes.push(Node {
                             rect,
@@ -391,9 +383,7 @@ impl<'a, M: Metric> XTree<'a, M> {
     fn try_split(&mut self, node: usize) -> Option<usize> {
         let entry_rects: Vec<Rect> = match &self.nodes[node].kind {
             Kind::Leaf(ids) => ids.iter().map(|&id| Rect::point(self.data.point(id))).collect(),
-            Kind::Inner(children) => {
-                children.iter().map(|&c| self.nodes[c].rect.clone()).collect()
-            }
+            Kind::Inner(children) => children.iter().map(|&c| self.nodes[c].rect.clone()).collect(),
         };
         let split = best_topological_split(&entry_rects)?;
         if split.overlap > self.options.max_overlap {
@@ -462,8 +452,15 @@ impl<'a, M: Metric> XTree<'a, M> {
 
     // ---- queries ----
 
-    fn search_k_distance(&self, q: &[f64], k: usize, exclude: Option<usize>) -> f64 {
-        let mut best = KBest::new(k);
+    fn search_k_distance(
+        &self,
+        q: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+        scratch: &mut KnnScratch,
+    ) -> f64 {
+        let best = &mut scratch.heap;
+        best.reset(k);
         let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
         heap.push(HeapItem { dist: self.node_min_dist(q, self.root), node: self.root });
         while let Some(item) = heap.pop() {
@@ -488,17 +485,21 @@ impl<'a, M: Metric> XTree<'a, M> {
                 }
             }
         }
-        best.k_distance().expect("validated: at least k candidates exist")
+        best.kth_dist().expect("validated: at least k candidates exist")
     }
 
-    fn search_within(&self, q: &[f64], radius: f64, exclude: Option<usize>) -> Vec<Neighbor> {
-        let mut out = Vec::new();
+    fn search_within_into(
+        &self,
+        q: &[f64],
+        radius: f64,
+        exclude: Option<usize>,
+        _scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
         if self.data.is_empty() {
-            return out;
+            return;
         }
-        self.range_rec(self.root, q, radius, exclude, &mut out);
-        sort_neighbors(&mut out);
-        out
+        self.range_rec(self.root, q, radius, exclude, out);
     }
 
     fn range_rec(
@@ -590,11 +591,15 @@ fn best_topological_split(rects: &[Rect]) -> Option<SplitPlan> {
     for d in 0..dims {
         let mut by_lo: Vec<usize> = (0..total).collect();
         by_lo.sort_unstable_by(|&a, &b| {
-            rects[a].lo[d].total_cmp(&rects[b].lo[d]).then(rects[a].hi[d].total_cmp(&rects[b].hi[d]))
+            rects[a].lo[d]
+                .total_cmp(&rects[b].lo[d])
+                .then(rects[a].hi[d].total_cmp(&rects[b].hi[d]))
         });
         let mut by_hi: Vec<usize> = (0..total).collect();
         by_hi.sort_unstable_by(|&a, &b| {
-            rects[a].hi[d].total_cmp(&rects[b].hi[d]).then(rects[a].lo[d].total_cmp(&rects[b].lo[d]))
+            rects[a].hi[d]
+                .total_cmp(&rects[b].hi[d])
+                .then(rects[a].lo[d].total_cmp(&rects[b].lo[d]))
         });
         let mut margin_sum = 0.0;
         for order in [&by_lo, &by_hi] {

@@ -1,0 +1,219 @@
+//! Property tests for the zero-allocation and batched query paths: for
+//! every provider, `k_nearest`, `k_nearest_into`, and `batch_k_nearest`
+//! must return **bit-identical** neighbor lists — same ids, same distance
+//! bits — and they must all agree with a naive reference that computes
+//! every pairwise distance and reduces it tie-inclusively (definition 4).
+//! Also proves the lock-free parallel materialization is byte-for-byte
+//! identical to the serial build after serialization.
+
+use lof_core::knn::KnnScratch;
+use lof_core::neighbors::select_k_tie_inclusive;
+use lof_core::{
+    build_table_parallel, Dataset, Euclidean, KnnProvider, LinearScan, Metric, Neighbor,
+    NeighborhoodTable,
+};
+use lof_index::{BallTree, GridIndex, KdTree, VaFile, XTree};
+use proptest::prelude::*;
+
+/// Random dataset biased toward exact duplicates and ties: coordinates come
+/// from a small set of fixed magnitudes plus two continuous ranges, so many
+/// points coincide and tie groups straddle the k-th rank.
+fn dataset_strategy(max_n: usize, max_dims: usize) -> impl Strategy<Value = Dataset> {
+    (2usize..=max_dims, 6usize..=max_n).prop_flat_map(|(dims, n)| {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![Just(0.0), Just(1.0), Just(2.0), Just(-3.5), -50.0..50.0f64,],
+                dims,
+            ),
+            n,
+        )
+        .prop_map(move |rows| Dataset::from_rows(&rows).expect("finite rows"))
+    })
+}
+
+/// Naive reference: all pairwise distances, reduced tie-inclusively with
+/// the same canonical selection the providers use.
+fn naive_k_nearest(data: &Dataset, id: usize, k: usize) -> Vec<Neighbor> {
+    let q = data.point(id);
+    let all: Vec<Neighbor> = (0..data.len())
+        .filter(|&other| other != id)
+        .map(|other| Neighbor::new(other, Euclidean.distance(q, data.point(other))))
+        .collect();
+    select_k_tie_inclusive(all, k)
+}
+
+/// Asserts two neighbor lists carry the same ids and the same distance
+/// *bits* (stricter than `==`, which would accept `-0.0 == 0.0`).
+fn assert_bit_identical(label: &str, got: &[Neighbor], want: &[Neighbor]) {
+    assert_eq!(got.len(), want.len(), "{label}: neighborhood sizes diverge");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.id, w.id, "{label}: neighbor ids diverge");
+        assert_eq!(
+            g.dist.to_bits(),
+            w.dist.to_bits(),
+            "{label}: distance bits diverge ({} vs {})",
+            g.dist,
+            w.dist
+        );
+    }
+}
+
+/// Runs one provider through all three query paths and checks each against
+/// the naive reference, bit for bit.
+fn assert_paths_agree<P: KnnProvider>(name: &str, provider: &P, data: &Dataset, k: usize) {
+    let k = k.min(data.len() - 1).max(1);
+    let mut scratch = KnnScratch::new();
+
+    // Batched path: one call covering every id.
+    let mut batch_out: Vec<Neighbor> = Vec::new();
+    let mut batch_lens: Vec<usize> = Vec::new();
+    provider
+        .batch_k_nearest(0..data.len(), k, &mut scratch, &mut batch_out, &mut batch_lens)
+        .unwrap();
+    assert_eq!(batch_lens.len(), data.len(), "{name}: one length per id");
+
+    let mut batch_offset = 0;
+    let mut into_out: Vec<Neighbor> = Vec::new();
+    for id in 0..data.len() {
+        let want = naive_k_nearest(data, id, k);
+
+        let allocating = provider.k_nearest(id, k).unwrap();
+        assert_bit_identical(&format!("{name}: k_nearest(id={id}, k={k})"), &allocating, &want);
+
+        into_out.clear();
+        let added = provider.k_nearest_into(id, k, &mut scratch, &mut into_out).unwrap();
+        assert_eq!(added, into_out.len(), "{name}: k_nearest_into reported length");
+        assert_bit_identical(&format!("{name}: k_nearest_into(id={id}, k={k})"), &into_out, &want);
+
+        let batch_slice = &batch_out[batch_offset..batch_offset + batch_lens[id]];
+        assert_bit_identical(
+            &format!("{name}: batch_k_nearest(id={id}, k={k})"),
+            batch_slice,
+            &want,
+        );
+        batch_offset += batch_lens[id];
+    }
+    assert_eq!(batch_offset, batch_out.len(), "{name}: lens must cover the flat output");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn scan_query_paths_are_bit_identical(
+        data in dataset_strategy(50, 6),
+        k in 1usize..10,
+    ) {
+        let scan = LinearScan::new(&data, Euclidean);
+        assert_paths_agree("scan", &scan, &data, k);
+    }
+
+    #[test]
+    fn kdtree_query_paths_are_bit_identical(
+        data in dataset_strategy(50, 4),
+        k in 1usize..10,
+    ) {
+        let index = KdTree::new(&data, Euclidean);
+        assert_paths_agree("kdtree", &index, &data, k);
+    }
+
+    #[test]
+    fn balltree_query_paths_are_bit_identical(
+        data in dataset_strategy(50, 4),
+        k in 1usize..10,
+    ) {
+        let index = BallTree::new(&data, Euclidean);
+        assert_paths_agree("balltree", &index, &data, k);
+    }
+
+    #[test]
+    fn grid_query_paths_are_bit_identical(
+        data in dataset_strategy(50, 3),
+        k in 1usize..10,
+    ) {
+        let index = GridIndex::new(&data, Euclidean);
+        assert_paths_agree("grid", &index, &data, k);
+    }
+
+    #[test]
+    fn vafile_query_paths_are_bit_identical(
+        data in dataset_strategy(40, 5),
+        k in 1usize..8,
+    ) {
+        let index = VaFile::new(&data, Euclidean);
+        assert_paths_agree("vafile", &index, &data, k);
+    }
+
+    #[test]
+    fn xtree_query_paths_are_bit_identical(
+        data in dataset_strategy(40, 4),
+        k in 1usize..8,
+    ) {
+        let index = XTree::new(&data, Euclidean);
+        assert_paths_agree("xtree", &index, &data, k);
+    }
+
+    #[test]
+    fn parallel_tables_serialize_byte_for_byte(
+        data in dataset_strategy(60, 4),
+        k in 1usize..8,
+        threads in 2usize..6,
+    ) {
+        let k = k.min(data.len() - 1).max(1);
+        let scan = LinearScan::new(&data, Euclidean);
+
+        let serial = NeighborhoodTable::build(&scan, k).unwrap();
+        let parallel = build_table_parallel(&scan, k, threads).unwrap();
+
+        let dir = std::env::temp_dir();
+        let unique = format!("{}_{}_{}", std::process::id(), data.len(), threads);
+        let serial_path = dir.join(format!("lof_bc_serial_{unique}.lofm"));
+        let parallel_path = dir.join(format!("lof_bc_parallel_{unique}.lofm"));
+        serial.save(&serial_path).unwrap();
+        parallel.save(&parallel_path).unwrap();
+        let serial_bytes = std::fs::read(&serial_path).unwrap();
+        let parallel_bytes = std::fs::read(&parallel_path).unwrap();
+        let _ = std::fs::remove_file(&serial_path);
+        let _ = std::fs::remove_file(&parallel_path);
+
+        prop_assert!(
+            serial_bytes == parallel_bytes,
+            "parallel table must serialize byte-for-byte like serial \
+             (n={}, k={k}, threads={threads})",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn index_tables_match_scan_tables(
+        data in dataset_strategy(40, 3),
+        k in 1usize..6,
+    ) {
+        // The materialization database is provider-independent: every index
+        // yields the same table the brute-force scan does.
+        let k = k.min(data.len() - 1).max(1);
+        let scan = LinearScan::new(&data, Euclidean);
+        let want = NeighborhoodTable::build(&scan, k).unwrap();
+        let kd = NeighborhoodTable::build(&KdTree::new(&data, Euclidean), k).unwrap();
+        let grid = NeighborhoodTable::build(&GridIndex::new(&data, Euclidean), k).unwrap();
+        for id in 0..data.len() {
+            prop_assert_eq!(want.neighborhood(id, k).unwrap(), kd.neighborhood(id, k).unwrap());
+            prop_assert_eq!(want.neighborhood(id, k).unwrap(), grid.neighborhood(id, k).unwrap());
+        }
+    }
+}
+
+/// Duplicates deserve a deterministic (non-random) regression case: with
+/// every point identical, the k-distance is 0 and definition 4 makes the
+/// whole dataset one tie group.
+#[test]
+fn all_duplicate_points_agree_across_paths() {
+    let data = Dataset::from_rows(&[[1.5, -2.0]; 12]).unwrap();
+    let scan = LinearScan::new(&data, Euclidean);
+    assert_paths_agree("scan/dups", &scan, &data, 3);
+    assert_paths_agree("kdtree/dups", &KdTree::new(&data, Euclidean), &data, 3);
+    assert_paths_agree("balltree/dups", &BallTree::new(&data, Euclidean), &data, 3);
+    assert_paths_agree("grid/dups", &GridIndex::new(&data, Euclidean), &data, 3);
+    assert_paths_agree("vafile/dups", &VaFile::new(&data, Euclidean), &data, 3);
+    assert_paths_agree("xtree/dups", &XTree::new(&data, Euclidean), &data, 3);
+}

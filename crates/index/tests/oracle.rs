@@ -12,13 +12,7 @@ fn dataset_strategy(max_n: usize, max_dims: usize) -> impl Strategy<Value = Data
     (2usize..=max_dims, 5usize..=max_n).prop_flat_map(|(dims, n)| {
         proptest::collection::vec(
             proptest::collection::vec(
-                prop_oneof![
-                    Just(0.0),
-                    Just(1.0),
-                    Just(-3.5),
-                    -100.0..100.0f64,
-                    -1.0..1.0f64,
-                ],
+                prop_oneof![Just(0.0), Just(1.0), Just(-3.5), -100.0..100.0f64, -1.0..1.0f64,],
                 dims,
             ),
             n,

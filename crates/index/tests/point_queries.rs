@@ -10,10 +10,8 @@ use lof_index::{BallTree, GridIndex, KdTree, VaFile, XTree};
 use proptest::prelude::*;
 
 fn oracle_knn(data: &Dataset, q: &[f64], k: usize) -> Vec<Neighbor> {
-    let all: Vec<Neighbor> = data
-        .iter()
-        .map(|(id, p)| Neighbor::new(id, Euclidean.distance(q, p)))
-        .collect();
+    let all: Vec<Neighbor> =
+        data.iter().map(|(id, p)| Neighbor::new(id, Euclidean.distance(q, p))).collect();
     select_k_tie_inclusive(all, k)
 }
 
@@ -30,10 +28,7 @@ fn oracle_within(data: &Dataset, q: &[f64], radius: f64) -> Vec<Neighbor> {
 fn dataset_strategy() -> impl Strategy<Value = Dataset> {
     (2usize..=3).prop_flat_map(|dims| {
         proptest::collection::vec(
-            proptest::collection::vec(
-                prop_oneof![Just(0.0), Just(7.5), -60.0..60.0f64],
-                dims,
-            ),
+            proptest::collection::vec(prop_oneof![Just(0.0), Just(7.5), -60.0..60.0f64], dims),
             6usize..40,
         )
         .prop_map(|rows| Dataset::from_rows(&rows).expect("finite rows"))

@@ -7,8 +7,8 @@
 //! ```
 
 use lof::baselines::{
-    db_outliers, dbscan, kth_distance_scores, mahalanobis_scores, max_abs_zscore,
-    peeling_depths, DbOutlierParams,
+    db_outliers, dbscan, kth_distance_scores, mahalanobis_scores, max_abs_zscore, peeling_depths,
+    DbOutlierParams,
 };
 use lof::data::paper::{ds1, DS1_O1, DS1_O2};
 use lof::{Euclidean, KdTree, LofDetector};
@@ -30,9 +30,7 @@ fn report(name: &str, finds_o1: bool, finds_o2: bool, note: &str) {
 fn main() {
     let labeled = ds1(42);
     let data = &labeled.data;
-    println!(
-        "DS1: sparse cluster C1 (400), dense cluster C2 (100), o1 (global), o2 (local)\n"
-    );
+    println!("DS1: sparse cluster C1 (400), dense cluster C2 (100), o1 (global), o2 (local)\n");
 
     // LOF — the paper's method.
     let index = KdTree::new(data, Euclidean);

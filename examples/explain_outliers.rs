@@ -25,8 +25,8 @@ fn main() {
             Component::Gaussian(250, vec![20.0, 20.0, 5.0, 5.0, 5.0, 5.0], 1.0),
         ],
         &[
-            vec![0.0, 0.0, 5.0, 5.0, 5.0, 17.0], // anomalous on x5 only
-            vec![6.0, 6.0, 5.0, 5.0, 5.0, 5.0], // anomalous on x0 and x1
+            vec![0.0, 0.0, 5.0, 5.0, 5.0, 17.0],    // anomalous on x5 only
+            vec![6.0, 6.0, 5.0, 5.0, 5.0, 5.0],     // anomalous on x0 and x1
             vec![20.0, 20.0, 5.0, 13.0, 13.0, 5.0], // anomalous on x3 and x4
         ],
     );

@@ -13,9 +13,9 @@
 //! ```
 
 use lof::baselines::max_abs_zscore;
-use lof::data::{seeded, standardize};
 use lof::data::generators::{mixture, Component, LabeledDataset};
-use lof::{Dataset, KdTree, Euclidean, LofDetector};
+use lof::data::{seeded, standardize};
+use lof::{Dataset, Euclidean, KdTree, LofDetector};
 
 fn build_transactions() -> (LabeledDataset, Vec<&'static str>) {
     let mut rng = seeded(2024);
@@ -55,10 +55,7 @@ fn main() {
     println!("=== LOF screen (MinPts 15..=30, max aggregate) ===");
     let ranking = result.ranking();
     for (rank, &(id, score)) in ranking.iter().take(6).enumerate() {
-        let tag = fraud_ids
-            .iter()
-            .position(|&f| f == id)
-            .map_or("", |i| fraud_names[i]);
+        let tag = fraud_ids.iter().position(|&f| f == id).map_or("", |i| fraud_names[i]);
         println!("  {}. txn {id:3}  LOF {score:5.2}  {tag}", rank + 1);
     }
     let lof_top10: Vec<usize> = ranking.iter().take(10).map(|&(i, _)| i).collect();
@@ -72,10 +69,7 @@ fn main() {
     let z_top10: Vec<usize> = z_ranked.iter().take(10).map(|&(i, _)| i).collect();
     let z_hits = fraud_ids.iter().filter(|id| z_top10.contains(id)).count();
     for (rank, &(id, score)) in z_ranked.iter().take(6).enumerate() {
-        let tag = fraud_ids
-            .iter()
-            .position(|&f| f == id)
-            .map_or("", |i| fraud_names[i]);
+        let tag = fraud_ids.iter().position(|&f| f == id).map_or("", |i| fraud_names[i]);
         println!("  {}. txn {id:3}  max|z| {score:5.2}  {tag}", rank + 1);
     }
     println!("fraud caught in z-score top 10: {z_hits} of {}", fraud_ids.len());

@@ -6,7 +6,9 @@
 //! ```
 
 use lof::data::paper::perf_mixture;
-use lof::{BallTree, Euclidean, GridIndex, KdTree, KnnProvider, LinearScan, LofDetector, VaFile, XTree};
+use lof::{
+    BallTree, Euclidean, GridIndex, KdTree, KnnProvider, LinearScan, LofDetector, VaFile, XTree,
+};
 use std::time::Instant;
 
 fn main() {
@@ -26,10 +28,7 @@ fn main() {
                 None => reference = Some(scores),
                 Some(reference) => {
                     for (a, b) in reference.iter().zip(&scores) {
-                        assert!(
-                            (a - b).abs() < 1e-9,
-                            "{name} disagrees with the scan — index bug"
-                        );
+                        assert!((a - b).abs() < 1e-9, "{name} disagrees with the scan — index bug");
                     }
                 }
             }

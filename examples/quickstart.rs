@@ -44,7 +44,12 @@ fn main() {
         } else {
             ""
         };
-        println!("  {}. object {id:3} at ({:5.1}, {:5.1})  LOF {score:5.2}{tag}", rank + 1, p[0], p[1]);
+        println!(
+            "  {}. object {id:3} at ({:5.1}, {:5.1})  LOF {score:5.2}{tag}",
+            rank + 1,
+            p[0],
+            p[1]
+        );
     }
 
     // Both anomalies top the ranking — including the local one, which sits

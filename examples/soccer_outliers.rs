@@ -14,13 +14,14 @@ fn main() {
     let league = bundesliga_analog(1899);
     let data = standardize(&soccer_dataset(&league));
 
-    let result = LofDetector::with_range(30, 50)
-        .expect("valid range")
-        .detect(&data)
-        .expect("valid data");
+    let result =
+        LofDetector::with_range(30, 50).expect("valid range").detect(&data).expect("valid data");
 
     println!("local outliers with LOF > 1.5 (cf. the paper's table 3):\n");
-    println!("{:>4} {:>6}  {:<32} {:>5} {:>5}  {:<8}", "rank", "LOF", "player", "games", "goals", "position");
+    println!(
+        "{:>4} {:>6}  {:<32} {:>5} {:>5}  {:<8}",
+        "rank", "LOF", "player", "games", "goals", "position"
+    );
     for (rank, (id, score)) in result.outliers_above(1.5).into_iter().enumerate() {
         let p = &league.players[id];
         println!(

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 build+test, formatting, and lints.
+#
+#   scripts/ci.sh          # run everything
+#
+# Tier-1 (the hard gate) is the root package's release build and test
+# suite; the workspace tests, rustfmt, and clippy guard the rest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: root package tests =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -44,8 +44,8 @@ pub use lof_data as data;
 pub use lof_index as index;
 
 pub use lof_core::{
-    Aggregate, Angular, Chebyshev, Dataset, Euclidean, KnnProvider, LinearScan, LofDetector, LofError,
-    LofRangeResult, Manhattan, Metric, MinPtsRange, Minkowski, Neighbor, NeighborhoodTable,
-    OutlierResult, Result,
+    Aggregate, Angular, Chebyshev, Dataset, Euclidean, KnnProvider, LinearScan, LofDetector,
+    LofError, LofRangeResult, Manhattan, Metric, MinPtsRange, Minkowski, Neighbor,
+    NeighborhoodTable, OutlierResult, Result,
 };
 pub use lof_index::{BallTree, GridIndex, KdTree, VaFile, XTree};

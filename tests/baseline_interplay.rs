@@ -42,10 +42,7 @@ fn optics_extraction_matches_dbscan() {
 
         // Noise agreement on every object that is core-or-noise in both.
         for &id in &core {
-            assert!(
-                !db.assignments[id].is_noise(),
-                "core point {id} cannot be DBSCAN noise"
-            );
+            assert!(!db.assignments[id].is_noise(), "core point {id} cannot be DBSCAN noise");
             assert!(
                 extracted[id].is_some(),
                 "core point {id} cannot be OPTICS-extraction noise (eps={eps})"
@@ -77,14 +74,11 @@ fn all_detectors_agree_on_global_outliers() {
     let index = KdTree::new(&data, Euclidean);
     let truth = vec![140usize, 141]; // the two planted detached points
 
-    let lof_scores =
-        LofDetector::with_range(10, 20).unwrap().detect_with(&index).unwrap().scores();
+    let lof_scores = LofDetector::with_range(10, 20).unwrap().detect_with(&index).unwrap().scores();
     let kth = kth_distance_scores(&index, 10).unwrap();
     let mean = mean_knn_distance_scores(&index, 10).unwrap();
 
-    for (name, scores) in
-        [("lof", &lof_scores), ("kth", &kth), ("mean", &mean)]
-    {
+    for (name, scores) in [("lof", &lof_scores), ("kth", &kth), ("mean", &mean)] {
         let auc = roc_auc(scores, &truth);
         assert!(auc > 0.99, "{name} must nail global outliers (AUC {auc})");
     }
@@ -104,12 +98,9 @@ fn dbscan_binary_verdict_vs_lof_degrees() {
     let scan = LinearScan::new(data, Euclidean);
     let s1 = labeled.ids_with_label(0);
 
-    let lof_scores =
-        LofDetector::with_min_pts(15).unwrap().detect_with(&scan).unwrap().scores();
-    let s1_min =
-        s1.iter().map(|&i| lof_scores[i]).fold(f64::INFINITY, f64::min);
-    let s1_max =
-        s1.iter().map(|&i| lof_scores[i]).fold(f64::NEG_INFINITY, f64::max);
+    let lof_scores = LofDetector::with_min_pts(15).unwrap().detect_with(&scan).unwrap().scores();
+    let s1_min = s1.iter().map(|&i| lof_scores[i]).fold(f64::INFINITY, f64::min);
+    let s1_max = s1.iter().map(|&i| lof_scores[i]).fold(f64::NEG_INFINITY, f64::max);
     assert!(s1_min > 1.5, "LOF grades every S1 member as outlying ({s1_min})");
     assert!(s1_max > s1_min, "and with *degrees*, not one value");
 
@@ -117,8 +108,7 @@ fn dbscan_binary_verdict_vs_lof_degrees() {
     // noise — never graded.
     for eps in [0.5, 2.0, 10.0] {
         let db = dbscan(&scan, eps, 5).unwrap();
-        let verdicts: Vec<bool> =
-            s1.iter().map(|&i| db.assignments[i].is_noise()).collect();
+        let verdicts: Vec<bool> = s1.iter().map(|&i| db.assignments[i].is_noise()).collect();
         let all_same = verdicts.iter().all(|&v| v == verdicts[0]);
         assert!(all_same, "eps={eps}: DBSCAN must treat the tight micro-cluster uniformly");
     }
@@ -133,7 +123,7 @@ fn distance_ranking_diverges_from_lof_across_densities() {
     let labeled = mixture(
         &mut rng,
         &[
-            Component::Gaussian(100, vec![0.0, 0.0], 0.3), // dense
+            Component::Gaussian(100, vec![0.0, 0.0], 0.3),  // dense
             Component::Gaussian(100, vec![50.0, 0.0], 6.0), // sparse
         ],
         &[vec![3.0, 0.0]], // local outlier by the dense cluster (id 200)
@@ -141,21 +131,16 @@ fn distance_ranking_diverges_from_lof_across_densities() {
     let data = &labeled.data;
     let index = KdTree::new(data, Euclidean);
 
-    let lof_scores =
-        LofDetector::with_range(10, 20).unwrap().detect_with(&index).unwrap().scores();
+    let lof_scores = LofDetector::with_range(10, 20).unwrap().detect_with(&index).unwrap().scores();
     let kth = kth_distance_scores(&index, 10).unwrap();
 
-    let sparse_max_kth =
-        labeled.ids_with_label(1).iter().map(|&i| kth[i]).fold(f64::MIN, f64::max);
+    let sparse_max_kth = labeled.ids_with_label(1).iter().map(|&i| kth[i]).fold(f64::MIN, f64::max);
     assert!(
         kth[200] < sparse_max_kth,
         "kNN-distance buries the local outlier below sparse members"
     );
-    let sparse_max_lof = labeled
-        .ids_with_label(1)
-        .iter()
-        .map(|&i| lof_scores[i])
-        .fold(f64::MIN, f64::max);
+    let sparse_max_lof =
+        labeled.ids_with_label(1).iter().map(|&i| lof_scores[i]).fold(f64::MIN, f64::max);
     assert!(
         lof_scores[200] > sparse_max_lof,
         "LOF ranks it above every sparse-cluster member ({} vs {sparse_max_lof})",

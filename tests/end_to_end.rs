@@ -5,17 +5,14 @@ use lof::baselines::{db_outliers, DbOutlierParams};
 use lof::data::paper::{ds1, fig8, fig9, histograms64, DS1_O1, DS1_O2};
 use lof::data::LabeledDataset;
 use lof::{
-    Aggregate, BallTree, Dataset, Euclidean, GridIndex, KdTree, LinearScan,
-    LofDetector, VaFile, XTree,
+    Aggregate, BallTree, Dataset, Euclidean, GridIndex, KdTree, LinearScan, LofDetector, VaFile,
+    XTree,
 };
 
 #[test]
 fn ds1_reproduces_the_section_3_story() {
     let labeled = ds1(42);
-    let result = LofDetector::with_range(10, 30)
-        .unwrap()
-        .detect(&labeled.data)
-        .unwrap();
+    let result = LofDetector::with_range(10, 30).unwrap().detect(&labeled.data).unwrap();
     let ranking = result.ranking();
     let top2: Vec<usize> = ranking.iter().take(2).map(|&(id, _)| id).collect();
     assert!(top2.contains(&DS1_O1), "o1 must top the ranking");
@@ -97,8 +94,7 @@ fn highdim_histograms_work_through_the_vafile() {
     let result = LofDetector::with_range(10, 20).unwrap().detect_with(&index).unwrap();
     let ranking = result.ranking();
     let top6: Vec<usize> = ranking.iter().take(6).map(|&(id, _)| id).collect();
-    let hits =
-        labeled.outlier_ids().iter().filter(|id| top6.contains(id)).count();
+    let hits = labeled.outlier_ids().iter().filter(|id| top6.contains(id)).count();
     assert!(hits >= 5, "only {hits} of 6 planted 64-d outliers in the top 6");
 }
 
@@ -130,11 +126,8 @@ fn aggregates_and_thresholds_compose() {
     let min_res = detector.clone().aggregate(Aggregate::Min).detect(&labeled.data).unwrap();
     let mean_res = detector.aggregate(Aggregate::Mean).detect(&labeled.data).unwrap();
     for id in 0..labeled.len() {
-        let (lo, mid, hi) = (
-            min_res.score(id).unwrap(),
-            mean_res.score(id).unwrap(),
-            max_res.score(id).unwrap(),
-        );
+        let (lo, mid, hi) =
+            (min_res.score(id).unwrap(), mean_res.score(id).unwrap(), max_res.score(id).unwrap());
         assert!(lo <= mid + 1e-12 && mid <= hi + 1e-12, "id {id}: {lo} {mid} {hi}");
     }
     // The paper's argument for Max: it never under-reports an outlier.
@@ -162,14 +155,8 @@ fn table_reuse_across_detectors() {
     let index = KdTree::new(&labeled.data, Euclidean);
     let table = lof::NeighborhoodTable::build(&index, 50).unwrap();
     for (lb, ub) in [(10, 50), (10, 20), (30, 45), (50, 50)] {
-        let via_table = LofDetector::with_range(lb, ub)
-            .unwrap()
-            .detect_from_table(&table)
-            .unwrap();
-        let direct = LofDetector::with_range(lb, ub)
-            .unwrap()
-            .detect_with(&index)
-            .unwrap();
+        let via_table = LofDetector::with_range(lb, ub).unwrap().detect_from_table(&table).unwrap();
+        let direct = LofDetector::with_range(lb, ub).unwrap().detect_with(&index).unwrap();
         assert_eq!(via_table.scores(), direct.scores(), "range {lb}..={ub}");
     }
 }

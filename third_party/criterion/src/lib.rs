@@ -1,0 +1,220 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses
+//! (see `third_party/README.md`).
+//!
+//! A micro-harness: calibrates each benchmark to pick an iteration
+//! count, runs a fixed number of sample batches, and prints
+//! `min / median / mean` wall-clock time per iteration. No HTML
+//! reports, no saved baselines, no statistical regression tests.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock per sample batch.
+const BATCH_TARGET: Duration = Duration::from_millis(25);
+/// Wall-clock spent calibrating the per-iteration estimate.
+const CALIBRATION_TARGET: Duration = Duration::from_millis(5);
+
+/// Top-level benchmark driver, handed to every registered bench fn.
+pub struct Criterion {
+    /// Number of sample batches per benchmark (a `BenchmarkGroup` can
+    /// override via [`BenchmarkGroup::sample_size`]).
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_samples: 20 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; there is no CLI to configure from.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group: {name}");
+        let samples = self.default_samples;
+        BenchmarkGroup { _criterion: self, name, samples }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let samples = self.default_samples;
+        run_benchmark(&id.into().id, samples, f);
+        self
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of sample batches for subsequent benchmarks.
+    /// (The real crate's minimum is 10; small values are fine here.)
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Measures `f` and prints one result line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&label, self.samples, f);
+        self
+    }
+
+    /// Ends the group (output is already printed; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, `function_name/parameter` style.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the measured closure; [`Bencher::iter`] times the payload.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the payload `iterations` times and records the elapsed time.
+    /// The payload's return value is passed through [`std::hint::black_box`]
+    /// so the optimizer cannot delete the computation.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One full measurement: calibrate, sample, report.
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    // Calibration: grow the iteration count until a batch is long enough
+    // to time reliably.
+    let mut iterations: u64 = 1;
+    loop {
+        let mut b = Bencher { iterations, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= CALIBRATION_TARGET || iterations >= 1 << 20 {
+            let per_iter = b.elapsed.as_nanos().max(1) as u64 / iterations;
+            iterations = (BATCH_TARGET.as_nanos() as u64 / per_iter.max(1)).clamp(1, 1 << 24);
+            break;
+        }
+        iterations *= 2;
+    }
+
+    let mut per_iter_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher { iterations, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iterations as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(f64::total_cmp);
+
+    let min = per_iter_ns[0];
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    eprintln!(
+        "{label:<52} time: [{} {} {}]  ({samples} samples x {iterations} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+    );
+}
+
+/// Human units, criterion-style.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Registers bench fns under a group fn, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running each group, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion { default_samples: 3 };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2).bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("n=3").id, "n=3");
+    }
+}

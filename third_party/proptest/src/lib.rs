@@ -1,0 +1,126 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses
+//! (see `third_party/README.md`).
+//!
+//! Random testing without shrinking: the [`proptest!`] macro samples
+//! each declared strategy per case and panics on the first failing case
+//! with the case number and a `Debug` dump of the sampled inputs.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     fn my_property(x in 0usize..10, v in proptest::collection::vec(-1.0..1.0f64, 3)) {
+///         prop_assert!(v.len() == 3);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __cases = $crate::test_runner::resolve_cases(__config.cases);
+            for __case in 0..__cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                    __case,
+                );
+                let __vals = ( $( $crate::strategy::Strategy::sample(&($strat), &mut __rng), )+ );
+                let __desc = ::std::format!("{:?}", __vals);
+                let ( $($pat,)+ ) = __vals;
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__e) = __result {
+                    ::std::panic!(
+                        "proptest case {}/{} of `{}` failed: {}\ninputs: {}",
+                        __case + 1, __cases, stringify!($name), __e, __desc
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} == {:?}: {}", l, r, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {:?} != {:?}: {}", l, r, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// A strategy choosing uniformly among the listed strategies (all of
+/// the same value type). The real crate's `weight => strategy` form is
+/// not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace
+//! uses (see `third_party/README.md`).
+//!
+//! Provides [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64), the
+//! [`SeedableRng`] / [`Rng`] / [`RngExt`] traits, uniform
+//! [`RngExt::random_range`] sampling over integer and float ranges, and
+//! [`RngExt::random`] for a few primitive types. Deterministic per seed;
+//! the stream differs from upstream `rand`, which no in-repo consumer
+//! depends on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction from a `u64` seed (the only seeding form used here).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A source of uniformly distributed `u64` words.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// A uniformly random value of a primitive type (`f64` in `[0, 1)`,
+    /// full-width integers, fair `bool`).
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// A uniform sample from `range`. Generic over the output type `T` so
+    /// the binding's type drives the range literals' inference, exactly as
+    /// in upstream `rand` (`let n: u32 = rng.random_range(1..=10);`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Types [`RngExt::random`] can produce.
+pub trait Random {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+#[inline]
+fn unit_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // 53 high bits -> uniform on [0, 1) with full double precision.
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Random for f64 {
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl Random for f32 {
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Random for bool {
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for u64 {
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for usize {
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Ranges [`RngExt::random_range`] can sample values of type `T` from.
+///
+/// Implemented generically over [`SampleUniform`] element types (as in
+/// upstream `rand`) so that `Range<E>: SampleRange<T>` immediately unifies
+/// `E == T`; a float literal range then correctly defaults to `f64`.
+pub trait SampleRange<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types with a uniform sampler over half-open and inclusive
+/// ranges.
+pub trait SampleUniform: PartialOrd + Copy + std::fmt::Display {
+    fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "random_range: empty range {}..{}", self.start, self.end);
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "random_range: empty range {}..={}", lo, hi);
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// Uniform integer in `[0, width)`. `width` fits any in-repo range; the
+/// modulo bias (`width / 2^64`) is far below anything observable.
+#[inline]
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, width: u64) -> u64 {
+    debug_assert!(width > 0);
+    rng.next_u64() % width
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: Rng + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let width = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + uniform_below(rng, width) as i128) as $t
+            }
+
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let width = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + uniform_below(rng, width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_half_open<R: Rng + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
+        let v = lo + (hi - lo) * unit_f64(rng);
+        // Rounding in the affine map can land exactly on `hi`; keep the
+        // half-open contract.
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+
+    #[inline]
+    fn sample_inclusive<R: Rng + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        lo + (hi - lo) * unit
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_half_open<R: Rng + ?Sized>(lo: f32, hi: f32, rng: &mut R) -> f32 {
+        let v = f64::sample_half_open(lo as f64, hi as f64, rng);
+        (v as f32).clamp(lo, f32_before(hi))
+    }
+
+    #[inline]
+    fn sample_inclusive<R: Rng + ?Sized>(lo: f32, hi: f32, rng: &mut R) -> f32 {
+        f64::sample_inclusive(lo as f64, hi as f64, rng) as f32
+    }
+}
+
+#[inline]
+fn f32_before(x: f32) -> f32 {
+    // Largest f32 strictly below `x` (x finite, not MIN).
+    f32::from_bits(if x > 0.0 { x.to_bits() - 1 } else { x.to_bits() + 1 })
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard seedable generator: xoshiro256++ with
+    /// SplitMix64 state expansion. Deterministic per seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let mut seen_inc = [false; 11];
+        for _ in 0..1_000 {
+            seen_inc[rng.random_range(0u32..=10) as usize] = true;
+        }
+        assert!(seen_inc.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_doubles_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+}
