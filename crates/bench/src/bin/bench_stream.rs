@@ -1,0 +1,86 @@
+//! Machine-readable streaming benchmark: a full sliding window (capacity
+//! 512, `MinPts` 20) over a drifting mixture stream, reporting sustained
+//! events/sec and per-event latency percentiles, plus the naive
+//! rescore-the-window-per-event baseline the incremental cascade replaces.
+//! Written as `BENCH_stream.json` (override the path with
+//! `BENCH_STREAM_OUT`).
+//!
+//! Run with `--release`; scale with `LOF_SCALE` as usual.
+
+use lof_bench::{banner, scale, time};
+use lof_core::incremental::IncrementalLof;
+use lof_core::Euclidean;
+use lof_data::paper::perf_mixture;
+use lof_stream::{SlidingWindowLof, StreamConfig};
+
+const MIN_PTS: usize = 20;
+const CAPACITY: usize = 512;
+
+fn main() {
+    banner("bench_stream", "sliding-window streaming LOF throughput (JSON output)");
+    let n = 5_000 * scale();
+    let dims = 8;
+    let data = perf_mixture(11, n + CAPACITY, dims, 8);
+
+    let config = StreamConfig::new(MIN_PTS, CAPACITY).warmup(CAPACITY).threshold(2.0);
+    let mut window = SlidingWindowLof::new(config, Euclidean).expect("valid config");
+
+    // Fill the warm-up outside the timed section: those events only buffer
+    // (plus one model build), which is not the steady state being measured.
+    for id in 0..CAPACITY {
+        window.push(data.point(id)).expect("finite warm-up event");
+    }
+    assert!(!window.is_warming_up());
+
+    let (_, streamed) = time(|| {
+        for id in CAPACITY..CAPACITY + n {
+            std::hint::black_box(window.push(data.point(id)).expect("finite event"));
+        }
+    });
+    let events_per_sec = n as f64 / streamed.as_secs_f64();
+    let incremental_ns = streamed.as_nanos() as f64 / n as f64;
+    // The histogram also holds the CAPACITY buffered warm-up pushes; with
+    // n >> CAPACITY the upper percentiles are all steady-state events.
+    let (p50, p95, p99) = window.stats().latency.percentiles_ns();
+    let alerts = window.stats().alerts;
+
+    // Naive baseline: the per-event cost if every arrival rescored the
+    // whole window from scratch instead of running the update cascade.
+    let sample = 200.min(n);
+    let snapshot = window.model().expect("live model").dataset().clone();
+    let (_, naive) = time(|| {
+        for _ in 0..sample {
+            let model = IncrementalLof::new(snapshot.clone(), Euclidean, MIN_PTS)
+                .expect("window contents are a valid model seed");
+            std::hint::black_box(model.lof_values().len());
+        }
+    });
+    let naive_ns = naive.as_nanos() as f64 / sample as f64;
+    let speedup = naive_ns / incremental_ns;
+
+    println!(
+        "n={n} d={dims} window={CAPACITY} MinPts={MIN_PTS}: {events_per_sec:9.0} events/sec, \
+         p50 {:.1}us p95 {:.1}us p99 {:.1}us ({alerts} alerts)",
+        p50 as f64 / 1e3,
+        p95 as f64 / 1e3,
+        p99 as f64 / 1e3
+    );
+    println!(
+        "incremental {incremental_ns:8.0} ns/event vs naive window rescore \
+         {naive_ns:10.0} ns/event ({speedup:.1}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"events\": {n},\n  \"dims\": {dims},\n  \"capacity\": {CAPACITY},\n  \
+         \"min_pts\": {MIN_PTS},\n  \"events_per_sec\": {events_per_sec:.1},\n  \
+         \"latency_p50_us\": {:.2},\n  \"latency_p95_us\": {:.2},\n  \
+         \"latency_p99_us\": {:.2},\n  \"incremental_ns_per_event\": {incremental_ns:.1},\n  \
+         \"naive_rescore_ns_per_event\": {naive_ns:.1},\n  \"speedup\": {speedup:.3}\n}}\n",
+        p50 as f64 / 1e3,
+        p95 as f64 / 1e3,
+        p99 as f64 / 1e3
+    );
+    let path = std::env::var("BENCH_STREAM_OUT").unwrap_or_else(|_| "BENCH_stream.json".to_owned());
+    std::fs::write(&path, &json).expect("cannot write benchmark JSON");
+    println!("wrote {path}:\n{json}");
+}

@@ -2,12 +2,16 @@
 //! end-to-end run, separated from `main` so both are unit-testable.
 //!
 //! ```text
-//! lof [OPTIONS] <INPUT.csv>
+//! lof [OPTIONS] <INPUT.csv>     batch: score a CSV, print a ranked report
+//! lof stream [OPTIONS] [INPUT]  stream: score NDJSON/CSV events line by line
+//! lof serve --listen ADDR       serve: score events over TCP (NDJSON)
 //!
-//! Scores every row of a numeric CSV with the Local Outlier Factor
-//! (Breunig et al., SIGMOD 2000) and prints a ranked report.
+//! Batch scores every row of a numeric CSV with the Local Outlier Factor
+//! (Breunig et al., SIGMOD 2000) and prints a ranked report; `--format
+//! json` switches to the NDJSON record schema shared with the streaming
+//! modes (see `lof_stream::wire`).
 //!
-//! OPTIONS:
+//! BATCH OPTIONS:
 //!   --minpts LB[..UB]    MinPts value or range          [default: 10..20]
 //!   --aggregate AGG      max | min | mean               [default: max]
 //!   --metric METRIC      euclidean | manhattan | chebyshev | angular
@@ -18,8 +22,20 @@
 //!   --top N              only report the N highest scores
 //!   --explain N          print full explanations for the top N objects
 //!   --threads N          worker threads                 [default: all cores]
+//!   --format FMT         text | json                    [default: text]
 //!   --output FILE        also write id,score CSV to FILE
 //!   --table FILE         cache the materialization database in FILE
+//!
+//! STREAM / SERVE OPTIONS:
+//!   --minpts K           MinPts of the window model     [default: 10]
+//!   --capacity N         sliding-window capacity        [default: 512]
+//!   --warmup N           events buffered before scoring [default: minpts+1]
+//!   --landmark           never evict (landmark window)
+//!   --threshold T        alert when LOF > T
+//!   --topk K             alert when the event ranks in the window's top K
+//!   --metric METRIC      euclidean | manhattan | chebyshev | angular
+//!   --listen ADDR        serve only: bind address       [default: 127.0.0.1:7878]
+//!   --queue N            serve only: job-queue bound    [default: 1024]
 //! ```
 
 #![warn(missing_docs)]
@@ -65,6 +81,19 @@ pub struct Config {
     /// Materialization cache: load the table from this file if it exists,
     /// otherwise build it and save it there.
     pub table: Option<String>,
+    /// Report format on stdout.
+    pub format: OutputFormat,
+}
+
+/// Batch report format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Aligned text table (the default).
+    #[default]
+    Text,
+    /// One NDJSON record per row — the same schema the streaming modes
+    /// emit (`lof_stream::wire::batch_record`).
+    Json,
 }
 
 /// Supported metrics.
@@ -108,6 +137,7 @@ impl Default for Config {
             threads: default_threads(),
             output: None,
             table: None,
+            format: OutputFormat::Text,
         }
     }
 }
@@ -144,15 +174,7 @@ pub fn parse_args(args: &[String]) -> Result<Config, String> {
                     other => return Err(format!("unknown aggregate '{other}'")),
                 };
             }
-            "--metric" => {
-                config.metric = match value("--metric", &mut iter)?.as_str() {
-                    "euclidean" => MetricChoice::Euclidean,
-                    "manhattan" => MetricChoice::Manhattan,
-                    "chebyshev" => MetricChoice::Chebyshev,
-                    "angular" => MetricChoice::Angular,
-                    other => return Err(format!("unknown metric '{other}'")),
-                };
-            }
+            "--metric" => config.metric = parse_metric(value("--metric", &mut iter)?)?,
             "--index" => {
                 config.index = match value("--index", &mut iter)?.as_str() {
                     "auto" => IndexChoice::Auto,
@@ -196,6 +218,13 @@ pub fn parse_args(args: &[String]) -> Result<Config, String> {
             }
             "--output" => config.output = Some(value("--output", &mut iter)?.clone()),
             "--table" => config.table = Some(value("--table", &mut iter)?.clone()),
+            "--format" => {
+                config.format = match value("--format", &mut iter)?.as_str() {
+                    "text" => OutputFormat::Text,
+                    "json" => OutputFormat::Json,
+                    other => return Err(format!("unknown format '{other}'")),
+                };
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             _ => positional.push(arg),
         }
@@ -230,6 +259,181 @@ fn parse_min_pts(text: &str) -> Result<(usize, usize), String> {
         }
         Ok((k, k))
     }
+}
+
+/// One parsed invocation: classic batch scoring or one of the streaming
+/// modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `lof [OPTIONS] <INPUT.csv>` — batch scoring.
+    Batch(Config),
+    /// `lof stream [OPTIONS] [INPUT]` — line-by-line scoring from a file
+    /// or stdin.
+    Stream(StreamArgs),
+    /// `lof serve [OPTIONS]` — NDJSON scoring over TCP.
+    Serve(StreamArgs),
+}
+
+/// Options shared by `lof stream` and `lof serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamArgs {
+    /// Event source for stream mode (`None` = stdin); always `None` in
+    /// serve mode.
+    pub input: Option<String>,
+    /// Bind address for serve mode.
+    pub listen: String,
+    /// `MinPts` of the window model.
+    pub min_pts: usize,
+    /// Sliding-window capacity.
+    pub capacity: usize,
+    /// Warm-up length (`None` = the [`StreamConfig`] default, MinPts + 1).
+    ///
+    /// [`StreamConfig`]: lof_stream::StreamConfig
+    pub warmup: Option<usize>,
+    /// Use a landmark (never-evict) window.
+    pub landmark: bool,
+    /// Absolute LOF alert threshold.
+    pub threshold: Option<f64>,
+    /// Rolling top-k alert rule.
+    pub top_k: Option<usize>,
+    /// Job-queue bound in serve mode (0 = `lof_stream::DEFAULT_QUEUE`).
+    pub queue: usize,
+    /// Distance metric.
+    pub metric: MetricChoice,
+}
+
+impl Default for StreamArgs {
+    fn default() -> Self {
+        StreamArgs {
+            input: None,
+            listen: "127.0.0.1:7878".to_owned(),
+            min_pts: 10,
+            capacity: 512,
+            warmup: None,
+            landmark: false,
+            threshold: None,
+            top_k: None,
+            queue: 0,
+            metric: MetricChoice::Euclidean,
+        }
+    }
+}
+
+/// Parses a full command line: a leading `stream` / `serve` word selects a
+/// streaming mode, anything else is the classic batch invocation.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing values, or
+/// unparsable numbers.
+pub fn parse_command(args: &[String]) -> Result<Command, String> {
+    match args.first().map(String::as_str) {
+        Some("stream") => Ok(Command::Stream(parse_stream_args(false, &args[1..])?)),
+        Some("serve") => Ok(Command::Serve(parse_stream_args(true, &args[1..])?)),
+        _ => Ok(Command::Batch(parse_args(args)?)),
+    }
+}
+
+fn parse_metric(name: &str) -> Result<MetricChoice, String> {
+    match name {
+        "euclidean" => Ok(MetricChoice::Euclidean),
+        "manhattan" => Ok(MetricChoice::Manhattan),
+        "chebyshev" => Ok(MetricChoice::Chebyshev),
+        "angular" => Ok(MetricChoice::Angular),
+        other => Err(format!("unknown metric '{other}'")),
+    }
+}
+
+/// Parses the flags of `lof stream` (`serve = false`) or `lof serve`
+/// (`serve = true`).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing values,
+/// unparsable numbers, or a positional input in serve mode.
+pub fn parse_stream_args(serve: bool, args: &[String]) -> Result<StreamArgs, String> {
+    let mut parsed = StreamArgs::default();
+    let mut iter = args.iter();
+    let mut positional: Vec<&String> = Vec::new();
+
+    fn value<'a>(
+        flag: &str,
+        iter: &mut std::slice::Iter<'a, String>,
+    ) -> Result<&'a String, String> {
+        iter.next().ok_or_else(|| format!("{flag} requires a value"))
+    }
+    fn number<T: std::str::FromStr<Err = std::num::ParseIntError>>(
+        flag: &str,
+        iter: &mut std::slice::Iter<'_, String>,
+    ) -> Result<T, String> {
+        value(flag, iter)?.parse().map_err(|e| format!("bad {flag}: {e}"))
+    }
+
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--minpts" => parsed.min_pts = number("--minpts", &mut iter)?,
+            "--capacity" => parsed.capacity = number("--capacity", &mut iter)?,
+            "--warmup" => parsed.warmup = Some(number("--warmup", &mut iter)?),
+            "--landmark" => parsed.landmark = true,
+            "--threshold" => {
+                parsed.threshold = Some(
+                    value("--threshold", &mut iter)?
+                        .parse()
+                        .map_err(|e| format!("bad --threshold: {e}"))?,
+                );
+            }
+            "--topk" => parsed.top_k = Some(number("--topk", &mut iter)?),
+            "--metric" => parsed.metric = parse_metric(value("--metric", &mut iter)?)?,
+            "--listen" if serve => parsed.listen = value("--listen", &mut iter)?.clone(),
+            "--queue" if serve => parsed.queue = number("--queue", &mut iter)?,
+            flag if flag.starts_with("--") => {
+                let mode = if serve { "serve" } else { "stream" };
+                return Err(format!("unknown {mode} flag '{flag}'"));
+            }
+            _ => positional.push(arg),
+        }
+    }
+
+    match (serve, positional.as_slice()) {
+        (_, []) => {}
+        (false, [input]) if *input != "-" => parsed.input = Some((*input).clone()),
+        (false, [_dash]) => {} // explicit stdin
+        (false, more) => {
+            return Err(format!("expected at most one input path, got {}", more.len()))
+        }
+        (true, _) => return Err("serve mode reads from TCP, not a file".to_owned()),
+    }
+    Ok(parsed)
+}
+
+/// Builds the window configuration a [`StreamArgs`] describes. Validation
+/// happens when the window is constructed.
+pub fn stream_window_config(args: &StreamArgs) -> lof_stream::StreamConfig {
+    let mut config = lof_stream::StreamConfig::new(args.min_pts, args.capacity);
+    if let Some(warmup) = args.warmup {
+        config = config.warmup(warmup);
+    }
+    if args.landmark {
+        config = config.policy(lof_stream::EvictionPolicy::Landmark);
+    }
+    if let Some(threshold) = args.threshold {
+        config = config.threshold(threshold);
+    }
+    if let Some(k) = args.top_k {
+        config = config.top_k(k);
+    }
+    config
+}
+
+/// Renders the full score vector as NDJSON, one record per row in id
+/// order, using the record schema shared with the streaming modes.
+pub fn render_json_report(scores: &[f64], threshold: Option<f64>) -> String {
+    let mut out = String::with_capacity(scores.len() * 64);
+    for (id, &score) in scores.iter().enumerate() {
+        let alert = threshold.is_some_and(|t| score > t);
+        let _ = writeln!(out, "{}", lof_stream::wire::batch_record(id, score, alert));
+    }
+    out
 }
 
 /// The scored output of a run, ready for rendering.
@@ -381,11 +585,17 @@ pub fn render_report(report: &[(usize, f64)]) -> String {
 /// Usage text.
 pub fn usage() -> &'static str {
     "usage: lof [OPTIONS] <INPUT.csv>
+       lof stream [OPTIONS] [INPUT]
+       lof serve [OPTIONS]
 
-Scores every row of a numeric CSV with the Local Outlier Factor
-(Breunig, Kriegel, Ng, Sander; SIGMOD 2000) and prints a ranked report.
+Batch mode scores every row of a numeric CSV with the Local Outlier
+Factor (Breunig, Kriegel, Ng, Sander; SIGMOD 2000) and prints a ranked
+report. Stream mode scores line-delimited events (CSV row, JSON array,
+or {\"point\": [...]}) from a file or stdin through a sliding window;
+serve mode does the same over TCP. Both emit one NDJSON record per
+event.
 
-options:
+batch options:
   --minpts LB[..UB]   MinPts value or range             [default: 10..20]
   --aggregate AGG     max | min | mean                  [default: max]
   --metric METRIC     euclidean | manhattan | chebyshev | angular
@@ -398,9 +608,22 @@ options:
   --threads N         worker threads (materialization and scoring both
                       parallelize; results are identical at any N)
                                                         [default: all cores]
+  --format FMT        text | json (NDJSON, one record per row)
+                                                        [default: text]
   --output FILE       also write an id,score CSV to FILE
   --table FILE        cache the materialization: load FILE if present,
                       else build and save it there
+
+stream / serve options:
+  --minpts K          MinPts of the window model        [default: 10]
+  --capacity N        sliding-window capacity (events)  [default: 512]
+  --warmup N          events buffered before scoring    [default: minpts+1]
+  --landmark          never evict (landmark window)
+  --threshold T       alert when LOF > T
+  --topk K            alert when an event ranks in the window's top K
+  --metric METRIC     euclidean | manhattan | chebyshev | angular
+  --listen ADDR       serve only: bind address          [default: 127.0.0.1:7878]
+  --queue N           serve only: in-flight event bound [default: 1024]
 "
 }
 
@@ -619,5 +842,100 @@ mod tests {
         assert!(text.contains("row"));
         assert!(text.contains("2.5000"));
         assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn parses_format_flag() {
+        let config = parse_args(&args(&["--format", "json", "a.csv"])).unwrap();
+        assert_eq!(config.format, OutputFormat::Json);
+        assert_eq!(parse_args(&args(&["a.csv"])).unwrap().format, OutputFormat::Text);
+        assert!(parse_args(&args(&["--format", "yaml", "a.csv"])).is_err());
+    }
+
+    #[test]
+    fn command_parser_routes_subcommands() {
+        assert!(matches!(parse_command(&args(&["a.csv"])).unwrap(), Command::Batch(_)));
+        let Command::Stream(stream) =
+            parse_command(&args(&["stream", "--minpts", "5", "events.ndjson"])).unwrap()
+        else {
+            panic!("expected stream mode");
+        };
+        assert_eq!(stream.min_pts, 5);
+        assert_eq!(stream.input.as_deref(), Some("events.ndjson"));
+        let Command::Serve(serve) =
+            parse_command(&args(&["serve", "--listen", "0.0.0.0:9000", "--queue", "64"])).unwrap()
+        else {
+            panic!("expected serve mode");
+        };
+        assert_eq!(serve.listen, "0.0.0.0:9000");
+        assert_eq!(serve.queue, 64);
+    }
+
+    #[test]
+    fn stream_args_parse_every_flag() {
+        let parsed = parse_stream_args(
+            false,
+            &args(&[
+                "--minpts",
+                "4",
+                "--capacity",
+                "128",
+                "--warmup",
+                "16",
+                "--landmark",
+                "--threshold",
+                "2.5",
+                "--topk",
+                "3",
+                "--metric",
+                "manhattan",
+                "-",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(parsed.min_pts, 4);
+        assert_eq!(parsed.capacity, 128);
+        assert_eq!(parsed.warmup, Some(16));
+        assert!(parsed.landmark);
+        assert_eq!(parsed.threshold, Some(2.5));
+        assert_eq!(parsed.top_k, Some(3));
+        assert_eq!(parsed.metric, MetricChoice::Manhattan);
+        assert_eq!(parsed.input, None, "'-' means stdin");
+
+        let config = stream_window_config(&parsed);
+        assert_eq!(config.min_pts, 4);
+        assert_eq!(config.capacity, 128);
+        assert_eq!(config.warmup, 16);
+        assert_eq!(config.policy, lof_stream::EvictionPolicy::Landmark);
+        assert_eq!(config.threshold, Some(2.5));
+        assert_eq!(config.top_k, Some(3));
+    }
+
+    #[test]
+    fn stream_args_reject_mode_mismatches() {
+        // Serve flags are invalid in stream mode and vice versa.
+        assert!(parse_stream_args(false, &args(&["--listen", "x"])).is_err());
+        assert!(parse_stream_args(false, &args(&["--queue", "9"])).is_err());
+        assert!(parse_stream_args(true, &args(&["events.ndjson"])).is_err());
+        assert!(parse_stream_args(false, &args(&["a", "b"])).is_err());
+        assert!(parse_stream_args(false, &args(&["--minpts"])).is_err());
+        assert!(parse_stream_args(false, &args(&["--minpts", "x"])).is_err());
+    }
+
+    #[test]
+    fn json_report_shares_the_stream_schema() {
+        let text = render_json_report(&[1.0, 3.5], Some(2.0));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"score\",\"seq\":0,\"lof\":1.0,\"alert\":false,\"alerts\":[]}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"score\",\"seq\":1,\"lof\":3.5,\"alert\":true,\"alerts\":[\"threshold\"]}"
+        );
+        // No threshold: nothing alerts.
+        assert!(render_json_report(&[9.0], None).contains("\"alert\":false"));
     }
 }

@@ -1,7 +1,20 @@
 //! The `lof` command-line tool. See [`lof_cli::usage`] or run `lof --help`.
 
-use lof_cli::{parse_args, render_report, run, usage};
+use lof_cli::{
+    parse_command, render_json_report, render_report, run, stream_window_config, usage, Command,
+    Config, MetricChoice, OutputFormat, StreamArgs,
+};
+use lof_core::{Angular, Chebyshev, Euclidean, Manhattan, Metric};
+use lof_stream::{serve, SlidingWindowLof, StreamStats};
+use std::io::{BufRead, BufReader};
 use std::process::ExitCode;
+
+/// Which streaming front end to run after the window is built.
+#[derive(Clone, Copy)]
+enum StreamMode {
+    Stdin,
+    Tcp,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -10,8 +23,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let config = match parse_args(&args) {
-        Ok(config) => config,
+    let command = match parse_command(&args) {
+        Ok(command) => command,
         Err(message) => {
             eprintln!("error: {message}\n");
             eprint!("{}", usage());
@@ -19,6 +32,14 @@ fn main() -> ExitCode {
         }
     };
 
+    match command {
+        Command::Batch(config) => run_batch(&config),
+        Command::Stream(stream) => dispatch_streaming(&stream, StreamMode::Stdin),
+        Command::Serve(stream) => dispatch_streaming(&stream, StreamMode::Tcp),
+    }
+}
+
+fn run_batch(config: &Config) -> ExitCode {
     let data = match lof_data::csv::load_dataset(&config.input) {
         Ok(data) => data,
         Err(e) => {
@@ -28,7 +49,7 @@ fn main() -> ExitCode {
     };
     eprintln!("loaded {} rows x {} columns from {}", data.len(), data.dims(), config.input);
 
-    let output = match run(&config, &data) {
+    let output = match run(config, &data) {
         Ok(output) => output,
         Err(message) => {
             eprintln!("error: {message}");
@@ -36,9 +57,16 @@ fn main() -> ExitCode {
         }
     };
 
-    print!("{}", render_report(&output.report));
-    for explanation in &output.explanations {
-        println!("\n{explanation}");
+    match config.format {
+        OutputFormat::Text => {
+            print!("{}", render_report(&output.report));
+            for explanation in &output.explanations {
+                println!("\n{explanation}");
+            }
+        }
+        OutputFormat::Json => {
+            print!("{}", render_json_report(&output.scores, config.threshold));
+        }
     }
 
     if let Some(path) = &config.output {
@@ -51,4 +79,97 @@ fn main() -> ExitCode {
         eprintln!("wrote {} scores to {path}", rows.len());
     }
     ExitCode::SUCCESS
+}
+
+/// Monomorphizes the streaming modes over the chosen metric (the window
+/// fixes its metric type at construction).
+fn dispatch_streaming(args: &StreamArgs, mode: StreamMode) -> ExitCode {
+    match args.metric {
+        MetricChoice::Euclidean => run_streaming(args, Euclidean, mode),
+        MetricChoice::Manhattan => run_streaming(args, Manhattan, mode),
+        MetricChoice::Chebyshev => run_streaming(args, Chebyshev, mode),
+        MetricChoice::Angular => run_streaming(args, Angular, mode),
+    }
+}
+
+fn run_streaming<M: Metric + 'static>(args: &StreamArgs, metric: M, mode: StreamMode) -> ExitCode {
+    let window = match SlidingWindowLof::new(stream_window_config(args), metric) {
+        Ok(window) => window,
+        Err(e) => {
+            eprintln!("error: invalid window configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match mode {
+        StreamMode::Stdin => run_stream_mode(args, window),
+        StreamMode::Tcp => run_serve_mode(args, window),
+    }
+}
+
+fn run_stream_mode<M: Metric>(args: &StreamArgs, window: SlidingWindowLof<M>) -> ExitCode {
+    let input: Box<dyn BufRead> = match &args.input {
+        Some(path) => match std::fs::File::open(path) {
+            Ok(file) => Box::new(BufReader::new(file)),
+            Err(e) => {
+                eprintln!("error: cannot read '{path}': {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Box::new(std::io::stdin().lock()),
+    };
+    let stdout = std::io::stdout();
+    let mut output = std::io::BufWriter::new(stdout.lock());
+    match serve::run_stream(window, input, &mut output) {
+        Ok((window, summary)) => {
+            drop(output);
+            report_stats(window.stats());
+            if summary.errors > 0 {
+                eprintln!("{} lines were rejected (see in-band error records)", summary.errors);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: stream I/O failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_serve_mode<M: Metric + 'static>(args: &StreamArgs, window: SlidingWindowLof<M>) -> ExitCode {
+    let listener = match std::net::TcpListener::bind(&args.listen) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("error: cannot bind '{}': {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    match serve::spawn(listener, window, args.queue) {
+        Ok(handle) => {
+            eprintln!("listening on {} (NDJSON in, NDJSON out; ctrl-c to stop)", handle.addr());
+            let stats = handle.wait();
+            report_stats(&stats);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot start serve loop: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// End-of-stream summary on stderr (stdout carries only NDJSON records).
+fn report_stats(stats: &StreamStats) {
+    let (p50, p95, p99) = stats.latency.percentiles_ns();
+    let us = |ns: u64| ns as f64 / 1_000.0;
+    eprintln!(
+        "{} events ({} scored, {} alerts, {} evictions, {} cascade LOF updates)",
+        stats.events, stats.scored, stats.alerts, stats.evictions, stats.cascade_lofs
+    );
+    eprintln!(
+        "latency: p50 {:.1}us  p95 {:.1}us  p99 {:.1}us  max {:.1}us",
+        us(p50),
+        us(p95),
+        us(p99),
+        us(stats.latency.max_ns())
+    );
 }

@@ -43,6 +43,32 @@ pub struct UpdateStats {
     pub lofs_recomputed: usize,
 }
 
+impl UpdateStats {
+    /// The empty cascade (identity of [`UpdateStats::merge`]).
+    pub const ZERO: UpdateStats =
+        UpdateStats { neighborhoods_updated: 0, lrds_recomputed: 0, lofs_recomputed: 0 };
+
+    /// Component-wise sum of two cascades (e.g. an insert followed by the
+    /// eviction it triggers).
+    #[must_use]
+    pub fn merge(self, other: UpdateStats) -> UpdateStats {
+        UpdateStats {
+            neighborhoods_updated: self.neighborhoods_updated + other.neighborhoods_updated,
+            lrds_recomputed: self.lrds_recomputed + other.lrds_recomputed,
+            lofs_recomputed: self.lofs_recomputed + other.lofs_recomputed,
+        }
+    }
+
+    /// Serializes the cascade as a JSON object — the `"cascade"` field of
+    /// the streaming NDJSON record schema (see `lof-stream`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"neighborhoods_updated\":{},\"lrds_recomputed\":{},\"lofs_recomputed\":{}}}",
+            self.neighborhoods_updated, self.lrds_recomputed, self.lofs_recomputed
+        )
+    }
+}
+
 /// A LOF model over a mutable dataset: maintains per-object neighborhoods,
 /// local reachability densities and LOF values for one fixed `MinPts` under
 /// point insertions and removals.
@@ -71,6 +97,12 @@ pub struct IncrementalLof<M: Metric> {
     neighborhoods: Vec<Vec<Neighbor>>,
     lrd: Vec<f64>,
     lof: Vec<f64>,
+    /// Arrival sequence number per object: seed objects get `0..n` in id
+    /// order, every insert gets the next number. Follows the swap-remove
+    /// relocation on deletes, so `arrival` stays attached to its point —
+    /// this is the eviction-order metadata sliding-window callers need.
+    arrival: Vec<u64>,
+    next_arrival: u64,
 }
 
 impl<M: Metric> IncrementalLof<M> {
@@ -88,6 +120,7 @@ impl<M: Metric> IncrementalLof<M> {
         if min_pts == 0 || min_pts >= data.len() {
             return Err(LofError::InvalidMinPts { min_pts, dataset_size: data.len() });
         }
+        let n = data.len();
         let mut model = IncrementalLof {
             metric,
             min_pts,
@@ -95,6 +128,8 @@ impl<M: Metric> IncrementalLof<M> {
             neighborhoods: Vec::new(),
             lrd: Vec::new(),
             lof: Vec::new(),
+            arrival: (0..n as u64).collect(),
+            next_arrival: n as u64,
         };
         model.rebuild_all();
         Ok(model)
@@ -140,6 +175,39 @@ impl<M: Metric> IncrementalLof<M> {
         &self.lrd
     }
 
+    /// Arrival sequence number of an object: seed objects carry `0..n` in
+    /// their original id order, each insert the next number. Stable under
+    /// [`remove`](Self::remove)'s swap-remove relocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::UnknownObject`] for out-of-range ids.
+    pub fn arrival(&self, id: usize) -> Result<u64> {
+        self.data.check_id(id)?;
+        Ok(self.arrival[id])
+    }
+
+    /// Id of the longest-resident object (minimum arrival number) — the
+    /// eviction candidate of a slide-oldest window. `O(n)` scan.
+    pub fn oldest(&self) -> usize {
+        self.extreme_by_arrival(|candidate, best| candidate < best)
+    }
+
+    /// Id of the most recently arrived object (maximum arrival number).
+    pub fn newest(&self) -> usize {
+        self.extreme_by_arrival(|candidate, best| candidate > best)
+    }
+
+    fn extreme_by_arrival(&self, better: impl Fn(u64, u64) -> bool) -> usize {
+        let mut id = 0;
+        for (other, &seq) in self.arrival.iter().enumerate().skip(1) {
+            if better(seq, self.arrival[id]) {
+                id = other;
+            }
+        }
+        id
+    }
+
     /// Inserts a point, updates the affected objects, and returns the new
     /// object's id, its LOF, and cascade statistics.
     ///
@@ -160,6 +228,8 @@ impl<M: Metric> IncrementalLof<M> {
         self.neighborhoods.push(q_neighborhood);
         self.lrd.push(0.0);
         self.lof.push(0.0);
+        self.arrival.push(self.next_arrival);
+        self.next_arrival += 1;
 
         // Set A: reverse neighbors — q falls within their k-distance (ties
         // included: equal distance joins the neighborhood).
@@ -258,12 +328,28 @@ impl<M: Metric> IncrementalLof<M> {
         self.neighborhoods.swap_remove(id);
         self.lrd.swap_remove(id);
         self.lof.swap_remove(id);
+        self.arrival.swap_remove(id);
 
-        // Remap stored neighbor ids (`last` -> `id`) everywhere.
+        // Remap stored neighbor ids (`last` -> `id`) everywhere. Canonical
+        // neighbor order breaks ties by id, so a list that held `last` may
+        // fall out of order among equal distances after the remap — re-sort
+        // those lists, and treat the reorder as a state change: lrd and LOF
+        // are sums *in list order*, so a reordered neighborhood perturbs
+        // them at the last-ulp level and its owner must join the update
+        // cascade to stay bit-identical to a fresh batch recompute.
         let remap = |i: usize| if i == last { id } else { i };
-        for list in &mut self.neighborhoods {
+        let mut reordered: Vec<usize> = Vec::new();
+        for (p, list) in self.neighborhoods.iter_mut().enumerate() {
+            let mut touched = false;
             for nb in list.iter_mut() {
-                nb.id = remap(nb.id);
+                if nb.id == last {
+                    nb.id = id;
+                    touched = true;
+                }
+            }
+            if touched && !list.windows(2).all(|w| cmp_neighbors(&w[0], &w[1]).is_lt()) {
+                list.sort_unstable_by(cmp_neighbors);
+                reordered.push(p);
             }
         }
         for p in &mut set_a {
@@ -277,11 +363,15 @@ impl<M: Metric> IncrementalLof<M> {
         }
 
         // Sets B and C exactly as for insertion. The moved object keeps its
-        // neighborhood (only its id changed), so only set A seeds the
-        // cascade.
+        // neighborhood (only its id changed), so set A seeds the cascade,
+        // plus any object whose list the remap re-ordered (its lrd/LOF sums
+        // ran in the old order and must be refreshed).
         let n = self.data.len();
         let mut affected = vec![false; n];
         for &p in &set_a {
+            affected[p] = true;
+        }
+        for &p in &reordered {
             affected[p] = true;
         }
         let mut set_b: Vec<usize> = Vec::new();
@@ -312,6 +402,17 @@ impl<M: Metric> IncrementalLof<M> {
             lrds_recomputed: set_b.len(),
             lofs_recomputed: set_c.len(),
         })
+    }
+
+    /// The maintained tie-inclusive neighborhood of an object, in canonical
+    /// `(dist, id)` order — exposed for diagnostics and equivalence tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::UnknownObject`] for out-of-range ids.
+    pub fn neighborhood(&self, id: usize) -> Result<&[Neighbor]> {
+        self.data.check_id(id)?;
+        Ok(&self.neighborhoods[id])
     }
 
     /// Brute-force neighborhood search for one object (deletion path).
@@ -548,6 +649,43 @@ mod tests {
             model.remove(0).unwrap();
         }
         assert!(matches!(model.remove(0), Err(LofError::InvalidMinPts { .. })));
+    }
+
+    #[test]
+    fn arrival_metadata_survives_swap_remove() {
+        let mut model = IncrementalLof::new(seed_dataset(), Euclidean, 4).unwrap();
+        assert_eq!(model.oldest(), 0);
+        assert_eq!(model.newest(), 29);
+        let (id, _, _) = model.insert(&[100.0, 100.0]).unwrap();
+        assert_eq!(model.arrival(id).unwrap(), 30);
+        assert_eq!(model.newest(), id);
+        // Evict the oldest three in arrival order; the swap-remove must
+        // keep arrival numbers attached to their (moved) points.
+        for expected in 0..3 {
+            let oldest = model.oldest();
+            assert_eq!(model.arrival(oldest).unwrap(), expected);
+            model.remove(oldest).unwrap();
+        }
+        assert_eq!(model.arrival(model.oldest()).unwrap(), 3);
+        // The inserted point was relocated by the evictions but keeps its
+        // arrival number.
+        let newest = model.newest();
+        assert_eq!(model.arrival(newest).unwrap(), 30);
+        assert_eq!(model.dataset().point(newest), &[100.0, 100.0]);
+        assert!(model.arrival(999).is_err());
+    }
+
+    #[test]
+    fn update_stats_merge_and_json() {
+        let a = UpdateStats { neighborhoods_updated: 1, lrds_recomputed: 2, lofs_recomputed: 3 };
+        let b = UpdateStats { neighborhoods_updated: 10, lrds_recomputed: 20, lofs_recomputed: 30 };
+        let merged = a.merge(b);
+        assert_eq!(merged.neighborhoods_updated, 11);
+        assert_eq!(UpdateStats::ZERO.merge(a), a);
+        assert_eq!(
+            a.to_json(),
+            "{\"neighborhoods_updated\":1,\"lrds_recomputed\":2,\"lofs_recomputed\":3}"
+        );
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! # lof-stream — sliding-window streaming LOF
+//!
+//! The paper's conclusions name incremental LOF maintenance as the key
+//! ongoing-work direction; `lof_core::incremental` implements the
+//! insert/remove cascade, and this crate turns that primitive into a
+//! deployable streaming subsystem:
+//!
+//! * [`SlidingWindowLof`] — a bounded count-based window with a warm-up
+//!   phase, slide-oldest or landmark eviction, per-event scoring, and two
+//!   alert rules (absolute LOF threshold, rolling window top-k);
+//! * [`LatencyHistogram`] + [`StreamStats`] — `std`-only observability:
+//!   events, evictions, cascade sizes, p50/p95/p99 scoring latency;
+//! * [`wire`] — the NDJSON record schema shared by `lof stream`,
+//!   `lof serve`, and the batch CLI's `--format json`;
+//! * [`serve`] — the long-running loop: stdin→stdout pumping
+//!   ([`run_stream`]) and a TCP server ([`serve::spawn`]) with
+//!   thread-per-connection readers/writers and a bounded job queue for
+//!   backpressure.
+//!
+//! Every emitted score is **bit-identical** to a fresh batch
+//! [`lof_core::incremental::IncrementalLof`] over the live window
+//! contents — the window only re-orders when work happens, never what is
+//! computed (property-tested in `tests/properties.rs`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lof_core::Euclidean;
+//! use lof_stream::{SlidingWindowLof, StreamConfig};
+//!
+//! let config = StreamConfig::new(5, 100).warmup(20).threshold(2.0);
+//! let mut window = SlidingWindowLof::new(config, Euclidean).unwrap();
+//! for i in 0..50 {
+//!     window.push(&[f64::from(i % 7), f64::from(i % 11)]).unwrap();
+//! }
+//! let spike = window.push(&[80.0, 80.0]).unwrap();
+//! assert!(spike.is_alert());
+//! let (p50, _, p99) = window.stats().latency.percentiles_ns();
+//! assert!(p50 <= p99);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod histogram;
+pub mod serve;
+pub mod window;
+pub mod wire;
+
+pub use histogram::LatencyHistogram;
+pub use serve::{run_stream, ServeHandle, StreamSummary, DEFAULT_QUEUE};
+pub use window::{EvictionPolicy, ScoredEvent, SlidingWindowLof, StreamConfig, StreamStats};

@@ -1,0 +1,252 @@
+//! The long-running serve loop: NDJSON scoring over stdin or TCP.
+//!
+//! Architecture (`std`-only, no async runtime):
+//!
+//! ```text
+//!  conn 1 ──reader──▶ ┐                                   ┌──▶ writer 1 ──▶ conn 1
+//!  conn 2 ──reader──▶ ┤  bounded job queue  ──▶ scorer ──▶┤
+//!  conn 3 ──reader──▶ ┘  (sync_channel)         thread    └──▶ writer 3 ──▶ conn 3
+//! ```
+//!
+//! One **scorer thread** owns the [`SlidingWindowLof`] — the window is
+//! inherently sequential (every event mutates the model), so a single
+//! consumer is both correct and the throughput ceiling. Each connection
+//! gets a **reader thread** (parses lines into jobs) and a **writer
+//! thread** (forwards reply records); the job queue is a bounded
+//! [`std::sync::mpsc::sync_channel`], so when the scorer falls behind,
+//! readers block on `send` and backpressure propagates into the kernel's
+//! TCP buffers instead of growing the heap. Per-connection reply order
+//! equals send order (the channel is FIFO per producer).
+
+use crate::window::{SlidingWindowLof, StreamStats};
+use crate::wire::{error_record, parse_event, stream_record, ParsedLine};
+use lof_core::Metric;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+/// Default bound of the job queue (events in flight between readers and
+/// the scorer).
+pub const DEFAULT_QUEUE: usize = 1024;
+
+/// One unit of work for the scorer thread. Parse rejects travel through
+/// the same queue as events so each connection's replies come back in
+/// exactly its send order.
+struct Job {
+    payload: Result<Vec<f64>, String>,
+    reply: Sender<String>,
+}
+
+/// Summary of one finished stream (stdin mode and in-process runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Events scored or buffered (valid lines).
+    pub events: u64,
+    /// Events on which an alert rule fired.
+    pub alerts: u64,
+    /// Lines rejected (parse or scoring errors).
+    pub errors: u64,
+}
+
+/// Pumps line-delimited events from `input` through the window, writing
+/// one NDJSON record per line to `output`. This is `lof stream` and the
+/// in-process half of the serve demo; it consumes the window and returns
+/// it with the summary so callers can inspect final stats.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `input`/`output`; malformed *events* are
+/// reported as in-band `{"type":"error",...}` records, not errors.
+pub fn run_stream<M: Metric>(
+    mut window: SlidingWindowLof<M>,
+    input: impl BufRead,
+    output: &mut impl Write,
+) -> std::io::Result<(SlidingWindowLof<M>, StreamSummary)> {
+    let mut summary = StreamSummary::default();
+    for line in input.lines() {
+        let line = line?;
+        let record = match parse_event(&line) {
+            Ok(ParsedLine::Empty) => continue,
+            Ok(ParsedLine::Point(point)) => match window.push(&point) {
+                Ok(event) => {
+                    summary.events += 1;
+                    if event.is_alert() {
+                        summary.alerts += 1;
+                    }
+                    stream_record(&event)
+                }
+                Err(e) => {
+                    summary.errors += 1;
+                    error_record(&e.to_string())
+                }
+            },
+            Err(e) => {
+                summary.errors += 1;
+                error_record(&e)
+            }
+        };
+        writeln!(output, "{record}")?;
+    }
+    output.flush()?;
+    Ok((window, summary))
+}
+
+/// A running NDJSON scoring server (see [`spawn`]).
+pub struct ServeHandle {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    scorer: Option<JoinHandle<StreamStats>>,
+}
+
+impl ServeHandle {
+    /// The address the server is listening on (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the accept loop exits. The loop normally runs for the
+    /// life of the process, so this is the CLI's "serve forever" call —
+    /// tests use [`ServeHandle::shutdown`] instead.
+    pub fn wait(mut self) -> StreamStats {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.scorer.take().expect("scorer joined once").join().expect("scorer thread never panics")
+    }
+
+    /// Stops accepting, waits for live connections to drain, and returns
+    /// the window's lifetime stats. Clients should disconnect first:
+    /// draining blocks until every open connection closes.
+    pub fn shutdown(mut self) -> StreamStats {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.scorer.take().expect("scorer joined once").join().expect("scorer thread never panics")
+    }
+}
+
+/// Spawns the serve loop on an already-bound listener: a scorer thread
+/// owning `window`, an accept thread, and reader/writer thread pairs per
+/// connection, with a `queue`-bounded job channel in between (0 means
+/// [`DEFAULT_QUEUE`]).
+///
+/// # Errors
+///
+/// Propagates the listener's local-address query failure.
+pub fn spawn<M: Metric + 'static>(
+    listener: TcpListener,
+    window: SlidingWindowLof<M>,
+    queue: usize,
+) -> std::io::Result<ServeHandle> {
+    let addr = listener.local_addr()?;
+    let queue = if queue == 0 { DEFAULT_QUEUE } else { queue };
+    let (jobs_tx, jobs_rx) = sync_channel::<Job>(queue);
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let scorer = thread::spawn(move || score_loop(window, jobs_rx));
+
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept = thread::spawn(move || {
+        let mut handlers = Vec::new();
+        for stream in listener.incoming() {
+            if accept_shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let jobs = jobs_tx.clone();
+            handlers.push(thread::spawn(move || handle_connection(stream, &jobs)));
+        }
+        drop(jobs_tx); // last sender: lets the scorer exit once handlers drain
+        for handler in handlers {
+            let _ = handler.join();
+        }
+    });
+
+    Ok(ServeHandle { addr, shutdown, accept: Some(accept), scorer: Some(scorer) })
+}
+
+/// The scorer thread: drains jobs in arrival order, replies with one
+/// NDJSON record each, and returns the window's stats at end of stream.
+fn score_loop<M: Metric>(mut window: SlidingWindowLof<M>, jobs: Receiver<Job>) -> StreamStats {
+    for job in jobs {
+        let record = match job.payload {
+            Ok(point) => match window.push(&point) {
+                Ok(event) => stream_record(&event),
+                Err(e) => error_record(&e.to_string()),
+            },
+            Err(message) => error_record(&message),
+        };
+        // A dropped receiver means the client hung up mid-reply; the event
+        // is already applied to the window, so just move on.
+        let _ = job.reply.send(record);
+    }
+    window.stats().clone()
+}
+
+/// One connection: reader half parses lines into jobs (blocking on the
+/// bounded queue when the scorer is behind), writer half forwards reply
+/// records back over the socket.
+fn handle_connection(stream: TcpStream, jobs: &SyncSender<Job>) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel::<String>();
+    let writer = thread::spawn(move || {
+        let mut out = BufWriter::new(write_half);
+        for record in reply_rx {
+            if writeln!(out, "{record}").is_err() || out.flush().is_err() {
+                break;
+            }
+        }
+    });
+
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let payload = match parse_event(&line) {
+            Ok(ParsedLine::Empty) => continue,
+            Ok(ParsedLine::Point(point)) => Ok(point),
+            Err(e) => Err(e),
+        };
+        if jobs.send(Job { payload, reply: reply_tx.clone() }).is_err() {
+            break; // server shutting down
+        }
+    }
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::StreamConfig;
+    use lof_core::Euclidean;
+
+    #[test]
+    fn run_stream_scores_counts_and_reports_errors_in_band() {
+        let config = StreamConfig::new(3, 20).warmup(5).threshold(3.0);
+        let window = SlidingWindowLof::new(config, Euclidean).unwrap();
+        let mut input = String::new();
+        for i in 0..12 {
+            input.push_str(&format!("{},{}\n", i % 4, i / 4));
+        }
+        input.push_str("# a comment\n");
+        input.push_str("not,a,number\n");
+        input.push_str("[40, 40]\n");
+        let mut output = Vec::new();
+        let (window, summary) = run_stream(window, input.as_bytes(), &mut output).unwrap();
+        assert_eq!(summary.events, 13);
+        assert_eq!(summary.errors, 1);
+        assert_eq!(summary.alerts, 1, "the [40,40] spike must alert");
+        assert_eq!(window.stats().events, 13);
+        let text = String::from_utf8(output).unwrap();
+        assert_eq!(text.lines().count(), 14, "one record per non-comment line");
+        assert!(text.lines().all(|l| l.starts_with("{\"type\":")));
+        assert!(text.contains("\"type\":\"error\""));
+    }
+}

@@ -1,0 +1,444 @@
+//! The sliding-window streaming detector: a bounded window over
+//! [`IncrementalLof`] with a warm-up phase, a configurable eviction policy,
+//! per-event alert rules, and built-in latency/cascade observability.
+//!
+//! Every event is scored *against the current window* (definitions 3–7
+//! applied to the window contents), so the emitted score is exactly what a
+//! batch LOF over the live window would produce — property tests assert
+//! bit-identity against a fresh [`IncrementalLof::new`] after every event.
+
+use crate::histogram::LatencyHistogram;
+use lof_core::incremental::{IncrementalLof, UpdateStats};
+use lof_core::{Dataset, LofError, Metric, Result};
+use std::time::Instant;
+
+/// What happens when the window outgrows its capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Count-based sliding window: evict the longest-resident event once
+    /// `len > capacity` (the streaming-LOF default).
+    SlideOldest,
+    /// Landmark window: never evict — the model accretes every event since
+    /// the landmark (capacity is ignored).
+    Landmark,
+}
+
+/// Configuration of a [`SlidingWindowLof`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// `MinPts` for the maintained LOF model.
+    pub min_pts: usize,
+    /// Window capacity (events) under [`EvictionPolicy::SlideOldest`].
+    pub capacity: usize,
+    /// Events buffered before the model is built; events arriving during
+    /// warm-up are recorded but not scored. Clamped to
+    /// `min_pts + 1 ..= capacity` by [`StreamConfig::validate`].
+    pub warmup: usize,
+    /// Eviction policy.
+    pub policy: EvictionPolicy,
+    /// Absolute alert rule: flag events with `LOF > threshold`.
+    pub threshold: Option<f64>,
+    /// Relative alert rule: flag events whose score ranks among the `k`
+    /// highest LOF values of the current window.
+    pub top_k: Option<usize>,
+}
+
+impl StreamConfig {
+    /// A slide-oldest window of `capacity` events at the given `MinPts`,
+    /// with warm-up `min_pts + 1` and no alert rules.
+    pub fn new(min_pts: usize, capacity: usize) -> Self {
+        StreamConfig {
+            min_pts,
+            capacity,
+            warmup: min_pts + 1,
+            policy: EvictionPolicy::SlideOldest,
+            threshold: None,
+            top_k: None,
+        }
+    }
+
+    /// Sets the warm-up length (events buffered before scoring starts).
+    #[must_use]
+    pub fn warmup(mut self, events: usize) -> Self {
+        self.warmup = events;
+        self
+    }
+
+    /// Sets the eviction policy.
+    #[must_use]
+    pub fn policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the absolute LOF alert threshold.
+    #[must_use]
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.threshold = Some(threshold);
+        self
+    }
+
+    /// Sets the rolling top-`k` alert rule.
+    #[must_use]
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Checks the invariants the window needs: `min_pts >= 1`,
+    /// `capacity > min_pts + 1` (room to evict while neighborhoods stay
+    /// defined), `warmup` within `min_pts + 1 ..= capacity`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::InvalidMinPts`] when the window could never hold
+    /// a defined neighborhood, [`LofError::InvalidRange`] when the warm-up
+    /// falls outside the valid band.
+    pub fn validate(&self) -> Result<()> {
+        if self.min_pts == 0 || self.capacity <= self.min_pts + 1 {
+            return Err(LofError::InvalidMinPts {
+                min_pts: self.min_pts,
+                dataset_size: self.capacity,
+            });
+        }
+        if self.warmup <= self.min_pts || self.warmup > self.capacity {
+            return Err(LofError::InvalidRange { lb: self.warmup, ub: self.capacity });
+        }
+        Ok(())
+    }
+}
+
+/// The record emitted for one processed event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredEvent {
+    /// Stream sequence number of this event (0-based; equals the model's
+    /// arrival number).
+    pub seq: u64,
+    /// LOF of the event against the post-eviction window; `None` during
+    /// warm-up.
+    pub score: Option<f64>,
+    /// True while the window is still warming up.
+    pub warmup: bool,
+    /// Window size after this event (including it, minus any eviction).
+    pub window_len: usize,
+    /// Sequence number of the event this one evicted, if any.
+    pub evicted: Option<u64>,
+    /// Merged insert + eviction update cascade; `None` during warm-up.
+    pub cascade: Option<UpdateStats>,
+    /// The absolute-threshold alert rule fired.
+    pub threshold_alert: bool,
+    /// The rolling top-k alert rule fired.
+    pub top_k_alert: bool,
+    /// Wall-clock scoring latency of this event, nanoseconds.
+    pub latency_ns: u64,
+}
+
+impl ScoredEvent {
+    /// True when any configured alert rule fired.
+    pub fn is_alert(&self) -> bool {
+        self.threshold_alert || self.top_k_alert
+    }
+}
+
+/// Aggregate counters of a window's lifetime (for dashboards and the
+/// end-of-stream summary record).
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    /// Events processed (warm-up included).
+    pub events: u64,
+    /// Events that received a score.
+    pub scored: u64,
+    /// Evictions performed.
+    pub evictions: u64,
+    /// Events on which at least one alert rule fired.
+    pub alerts: u64,
+    /// Total LOF recomputations across all cascades (insert + evict).
+    pub cascade_lofs: u64,
+    /// Per-event scoring latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+/// A bounded sliding-window streaming LOF detector.
+///
+/// ```
+/// use lof_core::Euclidean;
+/// use lof_stream::{SlidingWindowLof, StreamConfig};
+///
+/// let config = StreamConfig::new(3, 50).warmup(10).threshold(2.0);
+/// let mut window = SlidingWindowLof::new(config, Euclidean).unwrap();
+/// for i in 0u32..30 {
+///     let ev = window.push(&[f64::from(i % 5), f64::from(i / 5)]).unwrap();
+///     assert_eq!(ev.seq, u64::from(i));
+/// }
+/// let spike = window.push(&[100.0, 100.0]).unwrap();
+/// assert!(spike.score.unwrap() > 2.0);
+/// assert!(spike.threshold_alert);
+/// ```
+#[derive(Debug)]
+pub struct SlidingWindowLof<M: Metric> {
+    config: StreamConfig,
+    /// Holds the metric until the warm-up completes and the model takes it.
+    metric: Option<M>,
+    /// Warm-up buffer (created on the first event, fixing the stream's
+    /// dimensionality).
+    pending: Option<Dataset>,
+    model: Option<IncrementalLof<M>>,
+    next_seq: u64,
+    stats: StreamStats,
+}
+
+impl<M: Metric> SlidingWindowLof<M> {
+    /// Creates an empty window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StreamConfig::validate`].
+    pub fn new(config: StreamConfig, metric: M) -> Result<Self> {
+        config.validate()?;
+        Ok(SlidingWindowLof {
+            config,
+            metric: Some(metric),
+            pending: None,
+            model: None,
+            next_seq: 0,
+            stats: StreamStats::default(),
+        })
+    }
+
+    /// The window's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Events currently in the window (buffered or modeled).
+    pub fn len(&self) -> usize {
+        match (&self.model, &self.pending) {
+            (Some(model), _) => model.len(),
+            (None, Some(pending)) => pending.len(),
+            (None, None) => 0,
+        }
+    }
+
+    /// True before the first event arrives.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True until the warm-up completes and the model is live.
+    pub fn is_warming_up(&self) -> bool {
+        self.model.is_none()
+    }
+
+    /// The live LOF model (after warm-up).
+    pub fn model(&self) -> Option<&IncrementalLof<M>> {
+        self.model.as_ref()
+    }
+
+    /// Processes one event: inserts it, applies the eviction policy, scores
+    /// it against the resulting window, and evaluates the alert rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::DimensionMismatch`] /
+    /// [`LofError::NonFiniteCoordinate`] for invalid points; the window is
+    /// left unchanged and no sequence number is consumed.
+    pub fn push(&mut self, point: &[f64]) -> Result<ScoredEvent> {
+        let start = Instant::now();
+        let seq = self.next_seq;
+        let (score, evicted, cascade) = if self.model.is_some() {
+            self.push_live(point)?
+        } else {
+            self.push_warmup(point)?;
+            (None, None, None)
+        };
+        self.next_seq += 1;
+
+        let threshold_alert = match (score, self.config.threshold) {
+            (Some(s), Some(t)) => s > t,
+            _ => false,
+        };
+        let top_k_alert = match (score, self.config.top_k) {
+            (Some(s), Some(k)) => self.ranks_in_top_k(s, k),
+            _ => false,
+        };
+
+        let latency_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let event = ScoredEvent {
+            seq,
+            score,
+            warmup: score.is_none(),
+            window_len: self.len(),
+            evicted,
+            cascade,
+            threshold_alert,
+            top_k_alert,
+            latency_ns,
+        };
+
+        self.stats.events += 1;
+        if score.is_some() {
+            self.stats.scored += 1;
+        }
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        if event.is_alert() {
+            self.stats.alerts += 1;
+        }
+        if let Some(c) = cascade {
+            self.stats.cascade_lofs += c.lofs_recomputed as u64;
+        }
+        self.stats.latency.record(latency_ns);
+        Ok(event)
+    }
+
+    /// Warm-up path: buffer the point; build the model when the buffer
+    /// reaches the configured warm-up length.
+    fn push_warmup(&mut self, point: &[f64]) -> Result<()> {
+        let pending = self.pending.get_or_insert_with(|| Dataset::new(point.len().max(1)));
+        pending.push(point)?;
+        if pending.len() >= self.config.warmup {
+            let seed = self.pending.take().expect("warm-up buffer exists");
+            let metric = self.metric.take().expect("metric unclaimed before model build");
+            self.model = Some(IncrementalLof::new(seed, metric, self.config.min_pts)?);
+        }
+        Ok(())
+    }
+
+    /// Live path: insert, evict per policy, and re-read the event's score
+    /// from the post-eviction window.
+    fn push_live(
+        &mut self,
+        point: &[f64],
+    ) -> Result<(Option<f64>, Option<u64>, Option<UpdateStats>)> {
+        let model = self.model.as_mut().expect("live model");
+        let (id, score, insert_stats) = model.insert(point)?;
+
+        let over_capacity =
+            self.config.policy == EvictionPolicy::SlideOldest && model.len() > self.config.capacity;
+        if !over_capacity {
+            return Ok((Some(score), None, Some(insert_stats)));
+        }
+
+        // Evict the longest-resident event. The freshly inserted point sits
+        // in the last slot (maximum arrival), so the swap-remove relocates
+        // it into the evicted slot — re-read its score there: the emitted
+        // value must reflect the *post-eviction* window.
+        let oldest = model.oldest();
+        let evicted_seq = model.arrival(oldest)?;
+        debug_assert_ne!(oldest, id, "the newest event is never the eviction candidate");
+        let evict_stats = model.remove(oldest)?;
+        let new_id = model.newest();
+        let score = model.lof(new_id)?;
+        Ok((Some(score), Some(evicted_seq), Some(insert_stats.merge(evict_stats))))
+    }
+
+    /// True when at most `k - 1` window members score strictly higher than
+    /// `score` (i.e. the event ranks in the window's top-`k`).
+    fn ranks_in_top_k(&self, score: f64, k: usize) -> bool {
+        if k == 0 {
+            return false;
+        }
+        let model = self.model.as_ref().expect("scored events imply a live model");
+        let higher = model.lof_values().iter().filter(|&&v| v > score).count();
+        higher < k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lof_core::Euclidean;
+
+    fn grid_point(i: u64) -> [f64; 2] {
+        [(i % 6) as f64, ((i / 6) % 6) as f64]
+    }
+
+    #[test]
+    fn warmup_then_scoring_then_sliding() {
+        let config = StreamConfig::new(3, 20).warmup(10);
+        let mut w = SlidingWindowLof::new(config, Euclidean).unwrap();
+        for i in 0..10 {
+            let ev = w.push(&grid_point(i)).unwrap();
+            assert!(ev.warmup && ev.score.is_none(), "event {i} is warm-up");
+        }
+        assert!(!w.is_warming_up());
+        for i in 10..20 {
+            let ev = w.push(&grid_point(i)).unwrap();
+            assert!(ev.score.is_some() && ev.evicted.is_none());
+        }
+        // Capacity reached: the next push evicts seq 0, then 1, ...
+        for (step, i) in (20..25).enumerate() {
+            let ev = w.push(&grid_point(i)).unwrap();
+            assert_eq!(ev.evicted, Some(step as u64));
+            assert_eq!(ev.window_len, 20);
+        }
+        assert_eq!(w.stats().evictions, 5);
+        assert_eq!(w.stats().events, 25);
+        assert_eq!(w.stats().scored, 15);
+        assert_eq!(w.stats().latency.count(), 25);
+    }
+
+    #[test]
+    fn landmark_never_evicts() {
+        let config = StreamConfig::new(3, 10).warmup(5).policy(EvictionPolicy::Landmark);
+        let mut w = SlidingWindowLof::new(config, Euclidean).unwrap();
+        for i in 0..40 {
+            let ev = w.push(&grid_point(i)).unwrap();
+            assert_eq!(ev.evicted, None);
+        }
+        assert_eq!(w.len(), 40);
+        assert_eq!(w.stats().evictions, 0);
+    }
+
+    #[test]
+    fn threshold_and_top_k_alerts_fire_on_a_spike() {
+        let config = StreamConfig::new(4, 60).warmup(30).threshold(2.5).top_k(1);
+        let mut w = SlidingWindowLof::new(config, Euclidean).unwrap();
+        for i in 0..40 {
+            let ev = w.push(&grid_point(i)).unwrap();
+            assert!(!ev.threshold_alert, "grid points stay under threshold");
+        }
+        let spike = w.push(&[50.0, 50.0]).unwrap();
+        assert!(spike.threshold_alert && spike.top_k_alert && spike.is_alert());
+        assert!(w.stats().alerts >= 1);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(SlidingWindowLof::new(StreamConfig::new(0, 10), Euclidean).is_err());
+        assert!(SlidingWindowLof::new(StreamConfig::new(5, 6), Euclidean).is_err());
+        assert!(SlidingWindowLof::new(StreamConfig::new(3, 10).warmup(2), Euclidean).is_err());
+        assert!(SlidingWindowLof::new(StreamConfig::new(3, 10).warmup(11), Euclidean).is_err());
+    }
+
+    #[test]
+    fn bad_points_do_not_consume_sequence_numbers() {
+        let mut w = SlidingWindowLof::new(StreamConfig::new(3, 20), Euclidean).unwrap();
+        w.push(&[0.0, 0.0]).unwrap();
+        assert!(w.push(&[1.0]).is_err(), "dimension mismatch");
+        assert!(w.push(&[f64::NAN, 0.0]).is_err(), "non-finite");
+        let ev = w.push(&[1.0, 1.0]).unwrap();
+        assert_eq!(ev.seq, 1, "failed pushes must not burn seq 1");
+        assert_eq!(w.stats().events, 2);
+    }
+
+    #[test]
+    fn emitted_score_reflects_the_post_eviction_window() {
+        let config = StreamConfig::new(3, 12).warmup(12);
+        let mut w = SlidingWindowLof::new(config, Euclidean).unwrap();
+        for i in 0..12 {
+            w.push(&grid_point(i)).unwrap();
+        }
+        let ev = w.push(&grid_point(12)).unwrap();
+        assert_eq!(ev.evicted, Some(0));
+        let model = w.model().unwrap();
+        let newest = model.newest();
+        assert_eq!(ev.score.unwrap().to_bits(), model.lof(newest).unwrap().to_bits());
+    }
+}

@@ -1,0 +1,330 @@
+//! The wire format of the streaming subsystem.
+//!
+//! **Input** is line-delimited: each non-empty line is one event, either a
+//! JSON array of numbers (`[1.0, 2.0]`), a JSON object with a `"point"`
+//! field (`{"point": [1.0, 2.0]}` — other fields are ignored), or a bare
+//! CSV row (`1.0,2.0`). Lines starting with `#` are comments.
+//!
+//! **Output** is NDJSON, one record per event. The same schema backs the
+//! batch CLI's `--format json` mode, `lof stream` (stdin), and `lof serve`
+//! (TCP), so downstream consumers parse one shape:
+//!
+//! ```json
+//! {"type":"score","seq":7,"lof":1.04,"alert":false,"alerts":[],
+//!  "warmup":false,"window":400,"evicted":3,
+//!  "cascade":{"neighborhoods_updated":2,"lrds_recomputed":9,"lofs_recomputed":31},
+//!  "latency_us":12.5}
+//! {"type":"error","error":"line 12: unparsable event"}
+//! ```
+//!
+//! Batch records carry only `type`/`seq`/`lof`/`alert`/`alerts` (there is
+//! no window). Non-finite LOF values (duplicate-heavy windows produce
+//! `∞`) are encoded as the JSON strings `"inf"` / `"-inf"` / `"nan"`,
+//! since JSON has no number literal for them. Everything is hand-rolled
+//! `std`-only code: the workspace's dependency policy has no serde.
+
+use crate::window::ScoredEvent;
+use std::fmt::Write as _;
+
+/// One parsed input line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedLine {
+    /// A blank or `#`-comment line — nothing to score.
+    Empty,
+    /// One event: the point's coordinates.
+    Point(Vec<f64>),
+}
+
+/// Parses one input line (JSON array, JSON object with `"point"`, or CSV).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unparsable lines.
+pub fn parse_event(line: &str) -> Result<ParsedLine, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(ParsedLine::Empty);
+    }
+    let point = if trimmed.starts_with('[') {
+        parse_json_array(trimmed)?
+    } else if trimmed.starts_with('{') {
+        parse_json_object(trimmed)?
+    } else {
+        trimmed
+            .split(',')
+            .map(|f| {
+                f.trim().parse::<f64>().map_err(|e| format!("bad CSV field '{}': {e}", f.trim()))
+            })
+            .collect::<Result<Vec<f64>, String>>()?
+    };
+    if point.is_empty() {
+        return Err("event has no coordinates".to_owned());
+    }
+    Ok(ParsedLine::Point(point))
+}
+
+/// Parses a JSON array of numbers, e.g. `[1, 2.5, -3e-2]`.
+fn parse_json_array(text: &str) -> Result<Vec<f64>, String> {
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|rest| rest.trim_end().strip_suffix(']'))
+        .ok_or_else(|| "unterminated JSON array".to_owned())?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|f| {
+            f.trim().parse::<f64>().map_err(|e| format!("bad JSON number '{}': {e}", f.trim()))
+        })
+        .collect()
+}
+
+/// Extracts the `"point"` array from a single-line JSON object. This is a
+/// deliberately small scanner, not a full JSON parser: it finds the
+/// top-level `"point"` key and parses its array value; every other field
+/// is ignored. Nested objects/arrays in other fields are tolerated.
+fn parse_json_object(text: &str) -> Result<Vec<f64>, String> {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut escaped = false;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            i += 1;
+            continue;
+        }
+        match b {
+            b'"' => {
+                // At depth 1, check whether this string is the "point" key.
+                if depth == 1 {
+                    if let Some(rest) = text[i..].strip_prefix("\"point\"") {
+                        let after = rest.trim_start();
+                        if let Some(value) = after.strip_prefix(':') {
+                            let value = value.trim_start();
+                            let end = value.find(']').ok_or("unterminated \"point\" array")?;
+                            return parse_json_array(&value[..=end]);
+                        }
+                    }
+                }
+                in_string = true;
+            }
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    Err("JSON object has no \"point\" field".to_owned())
+}
+
+/// Encodes an `f64` as a JSON value (non-finite values become strings,
+/// see the module docs).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        // `{}` prints integral floats without a decimal point; keep the
+        // value unambiguously a float for strict consumers.
+        if !s.contains(['.', 'e', 'E']) {
+            s.push_str(".0");
+        }
+        s
+    } else if v.is_nan() {
+        "\"nan\"".to_owned()
+    } else if v > 0.0 {
+        "\"inf\"".to_owned()
+    } else {
+        "\"-inf\"".to_owned()
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the names of the alert rules that fired as a JSON array.
+fn alerts_json(threshold: bool, top_k: bool) -> String {
+    match (threshold, top_k) {
+        (true, true) => "[\"threshold\",\"top_k\"]".to_owned(),
+        (true, false) => "[\"threshold\"]".to_owned(),
+        (false, true) => "[\"top_k\"]".to_owned(),
+        (false, false) => "[]".to_owned(),
+    }
+}
+
+/// The NDJSON record for one streamed event (serve and stream modes).
+pub fn stream_record(event: &ScoredEvent) -> String {
+    let mut out = String::with_capacity(160);
+    let _ = write!(out, "{{\"type\":\"score\",\"seq\":{}", event.seq);
+    match event.score {
+        Some(score) => {
+            let _ = write!(out, ",\"lof\":{}", json_f64(score));
+        }
+        None => out.push_str(",\"lof\":null"),
+    }
+    let _ = write!(
+        out,
+        ",\"alert\":{},\"alerts\":{},\"warmup\":{},\"window\":{}",
+        event.is_alert(),
+        alerts_json(event.threshold_alert, event.top_k_alert),
+        event.warmup,
+        event.window_len
+    );
+    match event.evicted {
+        Some(seq) => {
+            let _ = write!(out, ",\"evicted\":{seq}");
+        }
+        None => out.push_str(",\"evicted\":null"),
+    }
+    match event.cascade {
+        Some(stats) => {
+            let _ = write!(out, ",\"cascade\":{}", stats.to_json());
+        }
+        None => out.push_str(",\"cascade\":null"),
+    }
+    let _ = write!(out, ",\"latency_us\":{:.1}}}", event.latency_ns as f64 / 1_000.0);
+    out
+}
+
+/// The NDJSON record for one batch-scored row (`lof --format json`): the
+/// same `type`/`seq`/`lof`/`alert`/`alerts` prefix as [`stream_record`],
+/// without the window-only fields.
+pub fn batch_record(row: usize, lof: f64, threshold_alert: bool) -> String {
+    format!(
+        "{{\"type\":\"score\",\"seq\":{row},\"lof\":{},\"alert\":{threshold_alert},\"alerts\":{}}}",
+        json_f64(lof),
+        alerts_json(threshold_alert, false),
+    )
+}
+
+/// The NDJSON record for a rejected line (parse or scoring failure).
+pub fn error_record(message: &str) -> String {
+    format!("{{\"type\":\"error\",\"error\":\"{}\"}}", json_escape(message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lof_core::incremental::UpdateStats;
+
+    #[test]
+    fn parses_csv_json_array_and_object() {
+        assert_eq!(parse_event("1.5, -2").unwrap(), ParsedLine::Point(vec![1.5, -2.0]));
+        assert_eq!(parse_event("[1.5, -2e1]").unwrap(), ParsedLine::Point(vec![1.5, -20.0]));
+        assert_eq!(
+            parse_event("{\"id\": \"x[3]\", \"point\": [0.5, 1], \"tag\": {\"a\": 1}}").unwrap(),
+            ParsedLine::Point(vec![0.5, 1.0])
+        );
+        assert_eq!(parse_event("   ").unwrap(), ParsedLine::Empty);
+        assert_eq!(parse_event("# comment [1,2]").unwrap(), ParsedLine::Empty);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_event("[1, oops]").is_err());
+        assert!(parse_event("[1, 2").is_err());
+        assert!(parse_event("{\"nope\": 1}").is_err());
+        assert!(parse_event("a,b").is_err());
+        assert!(parse_event("[]").is_err(), "zero-dimensional events are invalid");
+    }
+
+    #[test]
+    fn point_key_inside_other_strings_is_not_confused() {
+        assert_eq!(
+            parse_event("{\"label\": \"point\", \"point\": [2]}").unwrap(),
+            ParsedLine::Point(vec![2.0])
+        );
+    }
+
+    #[test]
+    fn json_f64_handles_every_class() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(f64::INFINITY), "\"inf\"");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "\"-inf\"");
+        assert_eq!(json_f64(f64::NAN), "\"nan\"");
+        // Round-trips exactly (Rust's shortest-roundtrip formatting).
+        assert_eq!(json_f64(1e300).trim_end_matches(".0").parse::<f64>().unwrap(), 1e300);
+    }
+
+    #[test]
+    fn records_are_single_line_json() {
+        let event = crate::ScoredEvent {
+            seq: 7,
+            score: Some(1.25),
+            warmup: false,
+            window_len: 400,
+            evicted: Some(3),
+            cascade: Some(UpdateStats {
+                neighborhoods_updated: 2,
+                lrds_recomputed: 9,
+                lofs_recomputed: 31,
+            }),
+            threshold_alert: true,
+            top_k_alert: false,
+            latency_ns: 12_500,
+        };
+        let rec = stream_record(&event);
+        assert!(!rec.contains('\n'));
+        assert!(rec.starts_with("{\"type\":\"score\",\"seq\":7,\"lof\":1.25"));
+        assert!(rec.contains("\"alert\":true"));
+        assert!(rec.contains("\"alerts\":[\"threshold\"]"));
+        assert!(rec.contains("\"evicted\":3"));
+        assert!(rec.contains("\"lofs_recomputed\":31"));
+        assert!(rec.contains("\"latency_us\":12.5"));
+
+        let batch = batch_record(3, f64::INFINITY, false);
+        assert_eq!(
+            batch,
+            "{\"type\":\"score\",\"seq\":3,\"lof\":\"inf\",\"alert\":false,\"alerts\":[]}"
+        );
+
+        let err = error_record("bad \"line\"\n");
+        assert_eq!(err, "{\"type\":\"error\",\"error\":\"bad \\\"line\\\"\\n\"}");
+    }
+
+    #[test]
+    fn warmup_records_carry_null_score() {
+        let event = crate::ScoredEvent {
+            seq: 0,
+            score: None,
+            warmup: true,
+            window_len: 1,
+            evicted: None,
+            cascade: None,
+            threshold_alert: false,
+            top_k_alert: false,
+            latency_ns: 800,
+        };
+        let rec = stream_record(&event);
+        assert!(rec.contains("\"lof\":null"));
+        assert!(rec.contains("\"warmup\":true"));
+        assert!(rec.contains("\"evicted\":null"));
+        assert!(rec.contains("\"cascade\":null"));
+    }
+}

@@ -1,0 +1,138 @@
+//! TCP round-trip tests for the serve loop: concurrent clients, in-band
+//! errors, ordered replies, and a clean shutdown that reports lifetime
+//! stats covering every connection's events.
+
+use lof_core::Euclidean;
+use lof_stream::{serve, SlidingWindowLof, StreamConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread;
+
+/// Extracts an integer field (`"name":123`) from a flat NDJSON record.
+fn json_u64(record: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\":");
+    let start = record.find(&key)? + key.len();
+    let digits: String = record[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn spawn_server(config: StreamConfig) -> serve::ServeHandle {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let window = SlidingWindowLof::new(config, Euclidean).expect("valid config");
+    serve::spawn(listener, window, 0).expect("spawn serve loop")
+}
+
+#[test]
+fn concurrent_clients_round_trip_and_stats_add_up() {
+    const CLIENTS: usize = 3;
+    const EVENTS_PER_CLIENT: usize = 40;
+
+    let handle = spawn_server(StreamConfig::new(3, 32).warmup(8));
+    let addr = handle.addr();
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut writer = stream.try_clone().expect("clone socket");
+                let mut reader = BufReader::new(stream);
+                let mut replies = Vec::with_capacity(EVENTS_PER_CLIENT);
+                for i in 0..EVENTS_PER_CLIENT {
+                    // Interleave send/receive so the bounded queue and the
+                    // per-connection reply channel both stay exercised.
+                    let x = (c * EVENTS_PER_CLIENT + i) % 7;
+                    writeln!(writer, "[{x}.0, {}.0]", i % 5).expect("send event");
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("read reply");
+                    replies.push(line.trim().to_owned());
+                }
+                replies
+            })
+        })
+        .collect();
+
+    let mut all_seqs = Vec::new();
+    for worker in workers {
+        let replies = worker.join().expect("client thread");
+        assert_eq!(replies.len(), EVENTS_PER_CLIENT);
+        let seqs: Vec<u64> = replies
+            .iter()
+            .map(|r| {
+                assert!(r.starts_with("{\"type\":\"score\""), "unexpected record: {r}");
+                json_u64(r, "seq").expect("score records carry a seq")
+            })
+            .collect();
+        // Per-connection replies arrive in that connection's send order,
+        // so its slice of the global seq space is strictly increasing.
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "out-of-order replies: {seqs:?}");
+        all_seqs.extend(seqs);
+    }
+
+    // The three clients together observed every seq exactly once.
+    all_seqs.sort_unstable();
+    let expected: Vec<u64> = (0..(CLIENTS * EVENTS_PER_CLIENT) as u64).collect();
+    assert_eq!(all_seqs, expected);
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.events, (CLIENTS * EVENTS_PER_CLIENT) as u64);
+    assert_eq!(stats.evictions, (CLIENTS * EVENTS_PER_CLIENT - 32) as u64);
+}
+
+#[test]
+fn malformed_lines_get_in_band_error_records() {
+    let handle = spawn_server(StreamConfig::new(2, 16).warmup(4));
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone socket");
+    let mut reader = BufReader::new(stream);
+
+    writeln!(writer, "1.0, 2.0").expect("send");
+    writeln!(writer, "definitely not an event").expect("send");
+    writeln!(writer, "# comments are silently skipped").expect("send");
+    writeln!(writer, "{{\"point\": [3, 4]}}").expect("send");
+
+    let mut lines = Vec::new();
+    for _ in 0..3 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read reply");
+        lines.push(line);
+    }
+    assert!(lines[0].starts_with("{\"type\":\"score\",\"seq\":0"));
+    assert!(lines[1].starts_with("{\"type\":\"error\""));
+    assert!(lines[2].starts_with("{\"type\":\"score\",\"seq\":1"), "comment consumed no seq");
+
+    drop(writer);
+    drop(reader);
+    let stats = handle.shutdown();
+    assert_eq!(stats.events, 2);
+}
+
+#[test]
+fn warmup_then_alerts_flow_over_tcp() {
+    let handle = spawn_server(StreamConfig::new(3, 64).warmup(10).threshold(2.5));
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone socket");
+    let mut reader = BufReader::new(stream);
+
+    let mut saw_alert = false;
+    for i in 0..30 {
+        // A tight cluster, then one far-away spike that must alert.
+        let (x, y) = if i == 29 { (90.0, 90.0) } else { (f64::from(i % 3), f64::from(i % 4)) };
+        writeln!(writer, "{x},{y}").expect("send");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read reply");
+        if i < 10 {
+            assert!(line.contains("\"warmup\":true"), "event {i} should be warm-up: {line}");
+            assert!(line.contains("\"lof\":null"));
+        }
+        if line.contains("\"alerts\":[\"threshold\"]") {
+            saw_alert = true;
+        }
+    }
+    assert!(saw_alert, "the (90,90) spike must trip the threshold rule");
+
+    drop(writer);
+    drop(reader);
+    let stats = handle.shutdown();
+    assert_eq!(stats.events, 30);
+    assert!(stats.alerts >= 1);
+}

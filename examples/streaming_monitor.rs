@@ -1,43 +1,46 @@
-//! Streaming anomaly monitoring with [`IncrementalLof`] — the paper's
+//! Streaming anomaly monitoring with [`SlidingWindowLof`] — the paper's
 //! "further improve the performance of LOF computation" direction in a
 //! realistic setting: a sensor feed whose normal operating region drifts
 //! over time, with occasional faults.
 //!
-//! Each arriving reading is scored on insert; a sliding window is kept by
-//! removing the oldest reading once the model reaches capacity. Because the
-//! model updates only the definition-3–7 dependency cascade, per-event cost
-//! stays flat regardless of how long the stream runs.
+//! The window subsystem handles everything the hand-rolled version of this
+//! example used to do manually: warm-up buffering, arrival-order eviction
+//! once the window is full, per-event alert rules, and cascade/latency
+//! accounting. Because each event updates only the definition-3–7
+//! dependency cascade, per-event cost stays flat regardless of how long
+//! the stream runs.
 //!
 //! ```sh
 //! cargo run --release --example streaming_monitor
 //! ```
 
-use lof::core::incremental::IncrementalLof;
 use lof::data::rng::{normal, seeded};
-use lof::{Dataset, Euclidean};
+use lof::{Euclidean, SlidingWindowLof, StreamConfig};
 
 const WINDOW: usize = 400;
 const MIN_PTS: usize = 12;
+const THRESHOLD: f64 = 3.0;
 
 fn main() {
     let mut rng = seeded(2026);
+    let config = StreamConfig::new(MIN_PTS, WINDOW).warmup(WINDOW).threshold(THRESHOLD);
+    let mut monitor = SlidingWindowLof::new(config, Euclidean).expect("valid window config");
 
     // Warm-up: 400 readings of (temperature, vibration) around the initial
-    // operating point.
-    let mut seed_rows: Vec<[f64; 2]> = Vec::new();
+    // operating point. The window buffers them and builds its model when
+    // the warm-up target is reached — none of these are scored.
     for _ in 0..WINDOW {
-        seed_rows.push([normal(&mut rng, 60.0, 1.5), normal(&mut rng, 3.0, 0.3)]);
+        let reading = [normal(&mut rng, 60.0, 1.5), normal(&mut rng, 3.0, 0.3)];
+        let event = monitor.push(&reading).expect("finite readings");
+        assert!(event.warmup);
     }
-    let seed = Dataset::from_rows(&seed_rows).expect("finite readings");
-    let mut model = IncrementalLof::new(seed, Euclidean, MIN_PTS).expect("valid seed window");
+    assert!(!monitor.is_warming_up());
 
     // A drifting stream with three injected faults. The drift moves the
     // operating point far from the warm-up region — a static model would
     // flag *everything* after a while; the sliding window tracks it.
-    let mut alerts: Vec<(usize, f64, [f64; 2])> = Vec::new();
-    let mut oldest = 0usize; // ring position of the oldest reading's slot
     let faults = [900usize, 1400, 1900];
-    let mut cascade_sizes = Vec::new();
+    let mut alerts: Vec<(usize, f64, [f64; 2])> = Vec::new();
 
     for t in 0..2000 {
         let drift = t as f64 * 0.01; // slow temperature creep
@@ -48,30 +51,28 @@ fn main() {
             [normal(&mut rng, 60.0 + drift, 1.5), normal(&mut rng, 3.0, 0.3)]
         };
 
-        let (id, score, stats) = model.insert(&reading).expect("finite reading");
-        cascade_sizes.push(stats.lofs_recomputed);
-        if score > 3.0 {
-            alerts.push((t, score, reading));
-        }
-
-        // Slide the window: evict the oldest reading. Swap-remove moves the
-        // just-inserted point into the evicted slot, so the ring cursor
-        // only advances when the evicted slot wasn't the newest.
-        if model.len() > WINDOW {
-            let evict = oldest % model.len();
-            if evict != id {
-                model.remove(evict).expect("valid eviction");
-                oldest += 1;
-            }
+        let event = monitor.push(&reading).expect("finite reading");
+        assert_eq!(event.window_len, WINDOW, "the window stays at capacity");
+        if event.threshold_alert {
+            alerts.push((t, event.score.expect("scored after warm-up"), reading));
         }
     }
 
+    let stats = monitor.stats();
     println!("stream of 2000 readings, window {WINDOW}, MinPts {MIN_PTS}");
     println!(
         "mean cascade: {:.1} LOF updates/event (window recompute would be {WINDOW})",
-        cascade_sizes.iter().sum::<usize>() as f64 / cascade_sizes.len() as f64
+        stats.cascade_lofs as f64 / stats.scored as f64
     );
-    println!("\nalerts (score > 3.0):");
+    let (p50, p95, p99) = stats.latency.percentiles_ns();
+    println!(
+        "latency: p50 {:.0}us  p95 {:.0}us  p99 {:.0}us",
+        p50 as f64 / 1e3,
+        p95 as f64 / 1e3,
+        p99 as f64 / 1e3
+    );
+
+    println!("\nalerts (score > {THRESHOLD}):");
     for (t, score, reading) in &alerts {
         let injected = if faults.contains(t) { "  <- injected fault" } else { "" };
         println!(
@@ -84,6 +85,7 @@ fn main() {
     let false_alarms = alerts.iter().filter(|(t, _, _)| !faults.contains(t)).count();
     println!("\ninjected faults caught: {caught} of {}", faults.len());
     println!("false alarms: {false_alarms} of 1997 normal readings");
+    assert_eq!(monitor.stats().evictions, 2000, "every post-warm-up event evicts one");
     assert_eq!(caught, 3, "every injected fault must alert");
     assert!(false_alarms < 15, "drift must not flood the monitor with alerts");
     println!("drift-following window keeps the detector calibrated — done.");

@@ -17,6 +17,11 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== streaming subsystem: build + tests + serve integration =="
+cargo build -p lof-stream
+cargo test -p lof-stream -q
+cargo test -p lof-stream --test serve -q
+
 echo "== rustfmt =="
 cargo fmt --check
 

@@ -15,7 +15,9 @@
 //! * [`data`] (`lof-data`) — workload generators, including the paper's
 //!   synthetic datasets and the hockey/soccer stand-ins;
 //! * [`baselines`] (`lof-baselines`) — every comparison algorithm the paper
-//!   positions LOF against.
+//!   positions LOF against;
+//! * [`stream`] (`lof-stream`) — the sliding-window streaming detector and
+//!   the NDJSON scoring server behind `lof stream` / `lof serve`.
 //!
 //! ## Quick start
 //!
@@ -42,6 +44,7 @@ pub use lof_baselines as baselines;
 pub use lof_core as core;
 pub use lof_data as data;
 pub use lof_index as index;
+pub use lof_stream as stream;
 
 pub use lof_core::{
     Aggregate, Angular, Chebyshev, Dataset, Euclidean, KnnProvider, LinearScan, LofDetector,
@@ -49,3 +52,4 @@ pub use lof_core::{
     NeighborhoodTable, OutlierResult, Result,
 };
 pub use lof_index::{BallTree, GridIndex, KdTree, VaFile, XTree};
+pub use lof_stream::{EvictionPolicy, SlidingWindowLof, StreamConfig};
