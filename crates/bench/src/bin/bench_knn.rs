@@ -1,8 +1,9 @@
 //! Machine-readable kernel benchmark: full `MinPtsUB = 50` materialization
 //! over n = 10000, d = 10 points through the seed's per-query allocating
-//! scan vs. the cache-blocked batch kernel, written as `BENCH_knn.json`
-//! (override the path with `BENCH_KNN_OUT`). Verifies both paths return
-//! bit-identical neighborhoods before timing.
+//! scan vs. the cache-blocked batch kernel, plus the tree indexes each
+//! timed per-query and through the leaf-blocked batch self-join. Written
+//! as `BENCH_knn.json` (override the path with `BENCH_KNN_OUT`). Verifies
+//! every path returns bit-identical neighborhoods before timing.
 //!
 //! Run with `--release`; scale with `LOF_SCALE` as usual.
 
@@ -11,6 +12,7 @@ use lof_core::knn::KnnScratch;
 use lof_core::neighbors::select_k_tie_inclusive;
 use lof_core::{Dataset, Euclidean, KnnProvider, LinearScan, Metric, Neighbor};
 use lof_data::paper::perf_mixture;
+use lof_index::{BallTree, KdTree};
 
 const K: usize = 50;
 
@@ -25,15 +27,47 @@ fn seed_style_query(data: &Dataset, id: usize, k: usize) -> Vec<Neighbor> {
     select_k_tie_inclusive(all, k)
 }
 
+/// One `k_nearest_into` call per object through a reused scratch.
+fn per_query_materialize<P: KnnProvider>(provider: &P, n: usize) -> (Vec<Neighbor>, Vec<usize>) {
+    let mut scratch = KnnScratch::new();
+    let (mut flat, mut lens) = (Vec::new(), Vec::new());
+    for id in 0..n {
+        let len = provider.k_nearest_into(id, K, &mut scratch, &mut flat).expect("valid query");
+        lens.push(len);
+    }
+    (flat, lens)
+}
+
+/// One `batch_k_nearest` call over every object.
+fn batched_materialize<P: KnnProvider>(provider: &P, n: usize) -> (Vec<Neighbor>, Vec<usize>) {
+    let mut scratch = KnnScratch::new();
+    let (mut flat, mut lens) = (Vec::new(), Vec::new());
+    provider.batch_k_nearest(0..n, K, &mut scratch, &mut flat, &mut lens).expect("valid batch");
+    (flat, lens)
+}
+
+/// Aborts on the first bit divergence between two flat materializations.
+fn assert_identical(
+    label: &str,
+    got: &(Vec<Neighbor>, Vec<usize>),
+    want: &(Vec<Neighbor>, Vec<usize>),
+) {
+    assert_eq!(got.1, want.1, "{label}: neighborhood lengths diverge");
+    for (i, (g, w)) in got.0.iter().zip(&want.0).enumerate() {
+        assert_eq!(g.id, w.id, "{label}: neighbor ids diverge at flat index {i}");
+        assert_eq!(g.dist.to_bits(), w.dist.to_bits(), "{label}: bits diverge at flat index {i}");
+    }
+}
+
 fn main() {
-    banner("bench_knn", "blocked k-NN kernel vs seed scan (JSON output)");
+    banner("bench_knn", "blocked k-NN kernel and tree joins vs seed scan (JSON output)");
     let n = 10_000 * scale();
     let dims = 10;
     let data = perf_mixture(7, n, dims, 8);
     let scan = LinearScan::new(&data, Euclidean);
 
-    // Correctness gate first: the two paths must agree bit-for-bit on a
-    // sample, otherwise the timing comparison is meaningless.
+    // Correctness gate first: the blocked path must agree bit-for-bit with
+    // the seed path on a sample, otherwise the timing is meaningless.
     let mut scratch = KnnScratch::new();
     let (mut flat, mut lens) = (Vec::new(), Vec::new());
     scan.batch_k_nearest(0..128, K, &mut scratch, &mut flat, &mut lens).expect("valid batch");
@@ -58,26 +92,54 @@ fn main() {
     });
 
     // Blocked path: one batched materialization pass over every object.
-    let (_, blocked_time) = time(|| {
-        let mut scratch = KnnScratch::new();
-        let (mut flat, mut lens) = (Vec::new(), Vec::new());
-        scan.batch_k_nearest(0..n, K, &mut scratch, &mut flat, &mut lens).expect("valid batch");
-        std::hint::black_box(flat.len())
-    });
+    let (scan_mat, blocked_time) = time(|| batched_materialize(&scan, n));
 
-    let seed_ns = seed_time.as_nanos() as f64 / n as f64;
-    let blocked_ns = blocked_time.as_nanos() as f64 / n as f64;
+    // Tree indexes: the two-phase per-query search vs the leaf-blocked
+    // batch self-join, each verified bit-identical against the scan.
+    let kd = KdTree::new(&data, Euclidean);
+    let ball = BallTree::new(&data, Euclidean);
+    let (kd_per_query_mat, kd_per_query_time) = time(|| per_query_materialize(&kd, n));
+    let (kd_batched_mat, kd_batched_time) = time(|| batched_materialize(&kd, n));
+    let (ball_per_query_mat, ball_per_query_time) = time(|| per_query_materialize(&ball, n));
+    let (ball_batched_mat, ball_batched_time) = time(|| batched_materialize(&ball, n));
+    assert_identical("kd per-query vs scan", &kd_per_query_mat, &scan_mat);
+    assert_identical("kd batched vs scan", &kd_batched_mat, &scan_mat);
+    assert_identical("ball per-query vs scan", &ball_per_query_mat, &scan_mat);
+    assert_identical("ball batched vs scan", &ball_batched_mat, &scan_mat);
+    println!("correctness gate: tree per-query and batched joins == blocked scan on all {n}");
+
+    let per_query = |d: std::time::Duration| d.as_nanos() as f64 / n as f64;
+    let seed_ns = per_query(seed_time);
+    let blocked_ns = per_query(blocked_time);
+    let kd_per_query_ns = per_query(kd_per_query_time);
+    let kd_batched_ns = per_query(kd_batched_time);
+    let ball_per_query_ns = per_query(ball_per_query_time);
+    let ball_batched_ns = per_query(ball_batched_time);
     let speedup = seed_ns / blocked_ns;
     println!(
         "n={n} d={dims} k={K}: seed scan {seed_ns:10.0} ns/query, \
          blocked kernel {blocked_ns:10.0} ns/query ({speedup:.2}x)"
+    );
+    println!(
+        "kd   per-query {kd_per_query_ns:10.0} ns/query, batched {kd_batched_ns:10.0} ns/query \
+         ({:.2}x)",
+        kd_per_query_ns / kd_batched_ns
+    );
+    println!(
+        "ball per-query {ball_per_query_ns:10.0} ns/query, batched {ball_batched_ns:10.0} ns/query \
+         ({:.2}x)",
+        ball_per_query_ns / ball_batched_ns
     );
 
     let json = format!(
         "{{\n  \"dataset_size\": {n},\n  \"dims\": {dims},\n  \"k\": {K},\n  \
          \"seed_scan_ns_per_query\": {seed_ns:.1},\n  \
          \"blocked_kernel_ns_per_query\": {blocked_ns:.1},\n  \
-         \"speedup\": {speedup:.3}\n}}\n"
+         \"speedup\": {speedup:.3},\n  \
+         \"kd_per_query_ns_per_query\": {kd_per_query_ns:.1},\n  \
+         \"kd_batched_ns_per_query\": {kd_batched_ns:.1},\n  \
+         \"ball_per_query_ns_per_query\": {ball_per_query_ns:.1},\n  \
+         \"ball_batched_ns_per_query\": {ball_batched_ns:.1}\n}}\n"
     );
     let path = std::env::var("BENCH_KNN_OUT").unwrap_or_else(|_| "BENCH_knn.json".to_owned());
     std::fs::write(&path, &json).expect("cannot write benchmark JSON");

@@ -1,0 +1,187 @@
+//! Machine-readable materialization benchmark for the leaf-blocked batch
+//! k-NN self-join and the single-pass MinPts-range sweep.
+//!
+//! Times a full `MinPtsUB = 50` neighborhood materialization over
+//! n = 20000, d = 10 points four ways — brute-force blocked scan,
+//! per-query kd-tree, leaf-blocked batched kd-tree, leaf-blocked batched
+//! ball tree — then the `[10, 50]` LOF range computation through the
+//! retained per-MinPts reference vs. the single-pass sweep. Every path is
+//! verified bit-identical before timing; divergence aborts the process,
+//! which is what the CI smoke gate (`scripts/ci.sh`, `LOF_MATERIALIZE_N=2000`)
+//! relies on.
+//!
+//! Writes `BENCH_materialize.json` (override with `BENCH_MATERIALIZE_OUT`).
+//! Run with `--release`; scale with `LOF_SCALE`, or pin the exact point
+//! count with `LOF_MATERIALIZE_N`.
+
+use lof_bench::{banner, scale, time};
+use lof_core::knn::KnnScratch;
+use lof_core::{
+    lof_range, lof_range_reference, Dataset, Euclidean, KnnProvider, LinearScan, MinPtsRange,
+    Neighbor, NeighborhoodTable,
+};
+use lof_data::paper::perf_mixture;
+use lof_index::{BallTree, KdTree};
+
+const MAX_K: usize = 50;
+const MIN_PTS_LB: usize = 10;
+/// Timing rounds per measured path; the fastest round is reported.
+const ROUNDS: usize = 2;
+/// Extra rounds for the (cheaper) sweep timings.
+const SWEEP_ROUNDS: usize = 3;
+
+/// Runs `f` `rounds` times and reports the fastest wall-clock duration
+/// alongside `f`'s (deterministic) result. On small machines first-touch
+/// page faults and scheduler noise routinely inflate a single cold run by
+/// 2-10x; min-of-N is the standard estimator for the true cost of a
+/// deterministic computation.
+fn best_of<T>(rounds: usize, mut f: impl FnMut() -> T) -> (T, std::time::Duration) {
+    let mut best = std::time::Duration::MAX;
+    let mut result = None;
+    for _ in 0..rounds {
+        let (r, d) = time(&mut f);
+        best = best.min(d);
+        result = Some(r);
+    }
+    (result.expect("rounds >= 1"), best)
+}
+
+/// Per-query materialization: the pre-batch tree path, one two-phase
+/// search per object through a reused scratch.
+fn per_query_materialize<P: KnnProvider>(provider: &P, n: usize) -> (Vec<Neighbor>, Vec<usize>) {
+    let mut scratch = KnnScratch::new();
+    let (mut flat, mut lens) = (Vec::new(), Vec::new());
+    for id in 0..n {
+        let len = provider.k_nearest_into(id, MAX_K, &mut scratch, &mut flat).expect("valid query");
+        lens.push(len);
+    }
+    (flat, lens)
+}
+
+/// Batched materialization: one `batch_k_nearest` call over every object
+/// (the leaf-grouped self-join for the trees, the blocked kernel for the
+/// scan).
+fn batched_materialize<P: KnnProvider>(provider: &P, n: usize) -> (Vec<Neighbor>, Vec<usize>) {
+    let mut scratch = KnnScratch::new();
+    let (mut flat, mut lens) = (Vec::new(), Vec::new());
+    provider.batch_k_nearest(0..n, MAX_K, &mut scratch, &mut flat, &mut lens).expect("valid batch");
+    (flat, lens)
+}
+
+/// Aborts on the first bit divergence between two flat materializations.
+fn assert_flat_identical(
+    label: &str,
+    got: &(Vec<Neighbor>, Vec<usize>),
+    want: &(Vec<Neighbor>, Vec<usize>),
+) {
+    assert_eq!(got.1, want.1, "{label}: neighborhood lengths diverge");
+    assert_eq!(got.0.len(), want.0.len(), "{label}: flat sizes diverge");
+    for (i, (g, w)) in got.0.iter().zip(&want.0).enumerate() {
+        assert_eq!(g.id, w.id, "{label}: neighbor ids diverge at flat index {i}");
+        assert_eq!(
+            g.dist.to_bits(),
+            w.dist.to_bits(),
+            "{label}: distance bits diverge at flat index {i} ({} vs {})",
+            g.dist,
+            w.dist
+        );
+    }
+}
+
+fn main() {
+    banner(
+        "bench_materialize",
+        "leaf-blocked batch self-join + single-pass MinPts sweep (JSON output)",
+    );
+    let n = std::env::var("LOF_MATERIALIZE_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000 * scale());
+    let dims = 10;
+    let data: Dataset = perf_mixture(7, n, dims, 8);
+    let scan = LinearScan::new(&data, Euclidean);
+    let (kd, kd_build) = time(|| KdTree::new(&data, Euclidean));
+    let (ball, ball_build) = time(|| BallTree::new(&data, Euclidean));
+    println!(
+        "built indexes over n={n} d={dims}: kd {:.3}s, ball {:.3}s",
+        kd_build.as_secs_f64(),
+        ball_build.as_secs_f64()
+    );
+
+    // Correctness gate: all four materializations must agree bit for bit.
+    // CI runs this binary at n=2000 precisely for these assertions.
+    let (scan_mat, scan_time) = best_of(ROUNDS, || batched_materialize(&scan, n));
+    let (kd_per_query_mat, kd_per_query_time) = best_of(ROUNDS, || per_query_materialize(&kd, n));
+    let (kd_batched_mat, kd_batched_time) = best_of(ROUNDS, || batched_materialize(&kd, n));
+    let (ball_batched_mat, ball_batched_time) = best_of(ROUNDS, || batched_materialize(&ball, n));
+    assert_flat_identical("kd per-query vs scan", &kd_per_query_mat, &scan_mat);
+    assert_flat_identical("kd batched vs scan", &kd_batched_mat, &scan_mat);
+    assert_flat_identical("ball batched vs scan", &ball_batched_mat, &scan_mat);
+    println!("correctness gate: all materialization paths bit-identical over {n} objects");
+
+    let per_object = |d: std::time::Duration| d.as_nanos() as f64 / n as f64;
+    let scan_ns = per_object(scan_time);
+    let kd_per_query_ns = per_object(kd_per_query_time);
+    let kd_batched_ns = per_object(kd_batched_time);
+    let ball_batched_ns = per_object(ball_batched_time);
+    let kd_speedup = kd_per_query_ns / kd_batched_ns;
+    println!("brute blocked scan  {scan_ns:10.0} ns/object");
+    println!("kd per-query        {kd_per_query_ns:10.0} ns/object");
+    println!("kd batched join     {kd_batched_ns:10.0} ns/object ({kd_speedup:.2}x vs per-query)");
+    println!("ball batched join   {ball_batched_ns:10.0} ns/object");
+
+    // CSR arena accounting (satellite: fig10 reports the same numbers).
+    let table = NeighborhoodTable::build(&kd, MAX_K).expect("valid table");
+    let arena_bytes = table.memory_bytes();
+    let pointer_bytes = table.pointer_layout_bytes();
+    println!(
+        "table memory: CSR arena {arena_bytes} bytes vs pointer layout {pointer_bytes} bytes \
+         ({:.1}% saved)",
+        100.0 * (1.0 - arena_bytes as f64 / pointer_bytes as f64)
+    );
+
+    // Sweep gate + timing: per-MinPts reference vs the single-pass sweep
+    // over the full [MIN_PTS_LB, MAX_K] range.
+    let range = MinPtsRange::new(MIN_PTS_LB, MAX_K).expect("valid range");
+    let (reference, reference_time) =
+        best_of(SWEEP_ROUNDS, || lof_range_reference(&table, range).expect("valid range"));
+    let (sweep, sweep_time) =
+        best_of(SWEEP_ROUNDS, || lof_range(&table, range).expect("valid range"));
+    for min_pts in range.iter() {
+        let w = reference.at_min_pts(min_pts).expect("row exists");
+        let s = sweep.at_min_pts(min_pts).expect("row exists");
+        for id in 0..n {
+            assert_eq!(
+                s[id].to_bits(),
+                w[id].to_bits(),
+                "sweep diverges from reference at min_pts={min_pts}, id={id}"
+            );
+        }
+    }
+    let reference_ns = per_object(reference_time);
+    let sweep_ns = per_object(sweep_time);
+    let sweep_speedup = reference_ns / sweep_ns;
+    println!(
+        "lof_range [{MIN_PTS_LB},{MAX_K}]: reference {reference_ns:10.0} ns/object, \
+         sweep {sweep_ns:10.0} ns/object ({sweep_speedup:.2}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"dataset_size\": {n},\n  \"dims\": {dims},\n  \"max_k\": {MAX_K},\n  \
+         \"min_pts_lb\": {MIN_PTS_LB},\n  \
+         \"scan_blocked_ns_per_object\": {scan_ns:.1},\n  \
+         \"kd_per_query_ns_per_object\": {kd_per_query_ns:.1},\n  \
+         \"kd_batched_ns_per_object\": {kd_batched_ns:.1},\n  \
+         \"kd_batched_speedup\": {kd_speedup:.3},\n  \
+         \"ball_batched_ns_per_object\": {ball_batched_ns:.1},\n  \
+         \"arena_bytes\": {arena_bytes},\n  \
+         \"pointer_layout_bytes\": {pointer_bytes},\n  \
+         \"sweep_reference_ns_per_object\": {reference_ns:.1},\n  \
+         \"sweep_ns_per_object\": {sweep_ns:.1},\n  \
+         \"sweep_speedup\": {sweep_speedup:.3}\n}}\n"
+    );
+    let path = std::env::var("BENCH_MATERIALIZE_OUT")
+        .unwrap_or_else(|_| "BENCH_materialize.json".to_owned());
+    std::fs::write(&path, &json).expect("cannot write benchmark JSON");
+    println!("wrote {path}:\n{json}");
+}

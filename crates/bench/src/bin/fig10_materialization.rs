@@ -27,7 +27,16 @@ fn main() {
     let sizes: Vec<usize> = [1000, 2000, 4000, 8000].iter().map(|&n| n * scale).collect();
     let mut out = Table::new(
         "fig10",
-        &["dims", "n", "kdtree_s", "xtree_s", "scan_s", "kdtree_vs_scan_speedup"],
+        &[
+            "dims",
+            "n",
+            "kdtree_s",
+            "xtree_s",
+            "scan_s",
+            "kdtree_vs_scan_speedup",
+            "arena_bytes",
+            "pointer_layout_bytes",
+        ],
     );
 
     for dims in [2usize, 5, 10, 20] {
@@ -58,10 +67,24 @@ fn main() {
             let kd_s = kd_time.as_secs_f64();
             let x_s = x_time.as_secs_f64();
             let speedup = if scan_time.is_nan() { f64::NAN } else { scan_time / kd_s };
+            // CSR arena accounting: actual table footprint vs what the
+            // equivalent per-object `Vec<Vec<Neighbor>>` layout would cost.
+            let arena_bytes = kd_table.memory_bytes();
+            let pointer_bytes = kd_table.pointer_layout_bytes();
             println!(
-                "d={dims:2} n={n:6}: kdtree {kd_s:8.3}s  xtree {x_s:8.3}s  scan {scan_time:8.3}s"
+                "d={dims:2} n={n:6}: kdtree {kd_s:8.3}s  xtree {x_s:8.3}s  scan {scan_time:8.3}s  \
+                 arena {arena_bytes:9} B (pointer layout {pointer_bytes:9} B)"
             );
-            out.push(vec![dims as f64, n as f64, kd_s, x_s, scan_time, speedup]);
+            out.push(vec![
+                dims as f64,
+                n as f64,
+                kd_s,
+                x_s,
+                scan_time,
+                speedup,
+                arena_bytes as f64,
+                pointer_bytes as f64,
+            ]);
         }
     }
     out.print_and_save();

@@ -103,6 +103,41 @@ impl BlockKernel {
         self.slack
     }
 
+    /// Norm-form surrogate squared distances from object `qid` to each of
+    /// `cands` (a tree leaf's id block), replacing the contents of `out`.
+    ///
+    /// Same guarantees as the streaming path: each value differs from the
+    /// exact scalar squared distance by at most [`BlockKernel::slack`], so
+    /// callers may discard candidates whose surrogate exceeds their bound
+    /// plus `2·slack` and refine the survivors exactly without losing a
+    /// single true neighbor.
+    pub fn surrogates_into(&self, data: &Dataset, qid: usize, cands: &[usize], out: &mut Vec<f64>) {
+        let d = data.dims();
+        let coords = data.as_flat();
+        let q = &coords[qid * d..][..d];
+        let qn = self.norms[qid];
+        out.clear();
+        out.reserve(cands.len());
+        for &j in cands {
+            let x = &coords[j * d..][..d];
+            let mut acc = [0.0f64; 4];
+            let mut t = 0;
+            while t + 4 <= d {
+                acc[0] += q[t] * x[t];
+                acc[1] += q[t + 1] * x[t + 1];
+                acc[2] += q[t + 2] * x[t + 2];
+                acc[3] += q[t + 3] * x[t + 3];
+                t += 4;
+            }
+            let mut dot = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+            while t < d {
+                dot += q[t] * x[t];
+                t += 1;
+            }
+            out.push(qn + self.norms[j] - 2.0 * dot);
+        }
+    }
+
     /// How many queries one block processes for a dataset of `n` points.
     fn query_block(n: usize) -> usize {
         (ROWS_BUDGET_BYTES / (8 * n.max(1))).clamp(1, MAX_QUERY_BLOCK)

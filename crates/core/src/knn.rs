@@ -62,6 +62,30 @@ impl BoundedMaxHeap {
         }
     }
 
+    /// Offers a candidate while recording, in `lost_min`, the smallest
+    /// distance among the candidates this heap has rejected or evicted.
+    ///
+    /// Any lost candidate is `(distance, id)`-greater than the final k-th
+    /// entry, so after a complete search `lost_min` is at least the
+    /// k-distance — and reaches it exactly when the id tie-break dropped a
+    /// candidate *at* the k-distance. That is the only situation in which
+    /// the batch join's shell pass has anything to recover, so the joins
+    /// use this to skip the shell traversal entirely for tie-free queries.
+    #[inline]
+    pub fn offer_tracking(&mut self, id: usize, dist: f64, lost_min: &mut f64) {
+        let e = (dist, id);
+        if self.entries.len() < self.k {
+            self.entries.push(e);
+            self.sift_up(self.entries.len() - 1);
+        } else if Self::gt(self.entries[0], e) {
+            *lost_min = lost_min.min(self.entries[0].0);
+            self.entries[0] = e;
+            self.sift_down();
+        } else {
+            *lost_min = lost_min.min(dist);
+        }
+    }
+
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;
@@ -110,6 +134,16 @@ impl BoundedMaxHeap {
     /// once the search has offered every candidate — or `None` if empty.
     pub fn kth_dist(&self) -> Option<f64> {
         self.entries.first().map(|e| e.0)
+    }
+
+    /// The held `(distance, id)` candidates in arbitrary (heap) order,
+    /// without draining them. Once a search has offered every candidate,
+    /// this is exactly the set of `k` smallest in canonical `(distance,
+    /// id)` order — in particular it contains **every** point strictly
+    /// closer than the k-distance, which is what lets batch joins emit
+    /// neighborhoods straight from the heap and search only for ties.
+    pub fn entries(&self) -> &[(f64, usize)] {
+        &self.entries
     }
 
     /// Number of candidates currently held.
@@ -165,6 +199,29 @@ pub struct KnnScratch {
     /// Blocked-kernel tile staging: surrogate squared distances of one
     /// data tile (L1-sized, see `TILE_BUDGET_BYTES` in the kernel).
     pub tile_sq: Vec<f64>,
+    /// Leaf-grouped batch self-join: one bounded heap per query sharing a
+    /// leaf (tree providers traverse once per leaf group).
+    pub heaps: Vec<BoundedMaxHeap>,
+    /// Self-join grouping buffer: `(leaf, id)` pairs sorted so queries of
+    /// the same leaf become contiguous.
+    pub join_order: Vec<(usize, usize)>,
+    /// Self-join staging: neighborhoods in group traversal order, re-emitted
+    /// in ascending id order at the end of the batch.
+    pub join_staged: Vec<Neighbor>,
+    /// Per-query neighborhood lengths in group traversal order.
+    pub join_lens: Vec<usize>,
+    /// Per-query `(start, len)` spans into [`KnnScratch::join_staged`],
+    /// indexed by `id - batch_start`.
+    pub join_spans: Vec<(usize, usize)>,
+    /// Per-query `(range radius, heap-space radius)` pairs of the active
+    /// join group (identical for true-space metrics; `(√sq, sq)` for the
+    /// squared-kernel paths).
+    pub join_radii: Vec<(f64, f64)>,
+    /// Per-query minimum lost (rejected or evicted) heap distance of the
+    /// active join group, fed by [`BoundedMaxHeap::offer_tracking`]. A
+    /// value equal to the query's k-distance flags the rare queries whose
+    /// shell pass can actually recover an id-tie-break casualty.
+    pub join_lost: Vec<f64>,
 }
 
 impl KnnScratch {

@@ -69,6 +69,7 @@ pub mod persist;
 pub mod point;
 pub mod range;
 pub mod scan;
+mod sweep;
 
 pub use bounds::{LofBounds, NeighborhoodStats};
 pub use detector::{LofDetector, OutlierResult};
@@ -83,5 +84,5 @@ pub use materialize::NeighborhoodTable;
 pub use neighbors::{KnnProvider, Neighbor};
 pub use parallel::build_table_parallel;
 pub use point::Dataset;
-pub use range::{lof_range, Aggregate, LofRangeResult, MinPtsRange};
+pub use range::{lof_range, lof_range_reference, Aggregate, LofRangeResult, MinPtsRange};
 pub use scan::LinearScan;

@@ -160,6 +160,45 @@ impl NeighborhoodTable {
         self.neighbors.len()
     }
 
+    /// Heap bytes of the CSR arena: the flat neighbor payload plus the
+    /// offset array. Two allocations total, independent of `n`.
+    pub fn memory_bytes(&self) -> usize {
+        self.neighbors.len() * std::mem::size_of::<Neighbor>()
+            + self.offsets.len() * std::mem::size_of::<usize>()
+    }
+
+    /// Heap bytes the same table would occupy in a pointer-chasing
+    /// `Vec<Vec<Neighbor>>` layout (one allocation per object plus the
+    /// outer vector of `Vec` headers). Reported alongside
+    /// [`NeighborhoodTable::memory_bytes`] so figure-10 style experiments
+    /// can show the arena's footprint advantage.
+    pub fn pointer_layout_bytes(&self) -> usize {
+        self.neighbors.len() * std::mem::size_of::<Neighbor>()
+            + self.len() * std::mem::size_of::<Vec<Neighbor>>()
+    }
+
+    /// The raw CSR parts — `(offsets, arena)` — for hot loops that walk
+    /// every list without per-call validation (the range-sweep engine).
+    /// `offsets[i]..offsets[i+1]` indexes object `i`'s sorted list.
+    pub(crate) fn raw_parts(&self) -> (&[usize], &[Neighbor]) {
+        (&self.offsets, &self.neighbors)
+    }
+
+    /// Shared depth validation for prefix queries: the exact error
+    /// behavior of [`NeighborhoodTable::neighborhood`] minus the id check.
+    #[inline]
+    fn validate_depth(&self, k: usize) -> Result<()> {
+        if k == 0 {
+            return Err(LofError::InvalidMinPts { min_pts: k, dataset_size: self.len() });
+        }
+        if k > self.max_k || (self.distinct && k != self.max_k) {
+            // Distinct tables cannot serve prefixes: the k-distinct boundary
+            // depends on coordinates the table no longer has.
+            return Err(LofError::TableTooShallow { materialized: self.max_k, requested: k });
+        }
+        Ok(())
+    }
+
     /// The full materialized (tie-inclusive `max_k`) list of an object.
     ///
     /// # Errors
@@ -181,14 +220,7 @@ impl NeighborhoodTable {
     /// [`LofError::InvalidMinPts`] when `k == 0`, and
     /// [`LofError::UnknownObject`] for out-of-range ids.
     pub fn neighborhood(&self, id: usize, k: usize) -> Result<&[Neighbor]> {
-        if k == 0 {
-            return Err(LofError::InvalidMinPts { min_pts: k, dataset_size: self.len() });
-        }
-        if k > self.max_k || (self.distinct && k != self.max_k) {
-            // Distinct tables cannot serve prefixes: the k-distinct boundary
-            // depends on coordinates the table no longer has.
-            return Err(LofError::TableTooShallow { materialized: self.max_k, requested: k });
-        }
+        self.validate_depth(k)?;
         let full = self.full_neighborhood(id)?;
         if self.distinct {
             return Ok(full);
@@ -207,15 +239,19 @@ impl NeighborhoodTable {
     }
 
     /// `k-distance(id)` for every object at once — one of the two `O(n)`
-    /// scans of step 2.
+    /// scans of step 2. Validates the depth once, then reads each list's
+    /// tie-inclusive prefix end straight out of the CSR arena.
     ///
     /// # Errors
     ///
     /// Same as [`NeighborhoodTable::neighborhood`].
     pub fn k_distances(&self, k: usize) -> Result<Vec<f64>> {
+        self.validate_depth(k)?;
         let mut out = Vec::with_capacity(self.len());
         for id in 0..self.len() {
-            out.push(self.k_distance(id, k)?);
+            let full = &self.neighbors[self.offsets[id]..self.offsets[id + 1]];
+            let end = if self.distinct { full.len() } else { tie_inclusive_len(full, k) };
+            out.push(full[end - 1].dist);
         }
         Ok(out)
     }

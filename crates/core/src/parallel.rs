@@ -2,9 +2,8 @@
 //!
 //! The paper's ongoing-work section asks "to further improve the performance
 //! of LOF computation"; both steps are embarrassingly parallel across
-//! objects (step 1) and across `MinPts` values (step 2), so we provide
-//! scoped-thread versions. Results are bit-identical to the serial code —
-//! property tests assert this.
+//! objects, so we provide scoped-thread versions. Results are bit-identical
+//! to the serial code — property tests assert this.
 //!
 //! Coordination is lock-free on the hot path: workers march through their
 //! chunk in sub-batches (step 1 uses the provider's
@@ -15,7 +14,6 @@
 
 use crate::error::{LofError, Result};
 use crate::knn::KnnScratch;
-use crate::lof::lof_values_with;
 use crate::materialize::NeighborhoodTable;
 use crate::neighbors::{KnnProvider, Neighbor};
 use crate::range::{LofRangeResult, MinPtsRange};
@@ -122,8 +120,13 @@ where
     Ok(NeighborhoodTable::from_flat(max_k, neighbors, &lens))
 }
 
-/// Computes the LOF range with `threads` workers, one `MinPts` value per
-/// task (step 2 in parallel).
+/// Computes the LOF range with `threads` workers (step 2 in parallel).
+///
+/// Since PR 3 this drives the [`crate::sweep`] engine with object-chunk
+/// parallelism: every worker sweeps the full `MinPts` range over a
+/// contiguous slice of objects, so the table is streamed once per stage
+/// regardless of the range width. Bit-identical to the serial
+/// [`crate::range::lof_range`] (itself the single-threaded sweep).
 ///
 /// # Errors
 ///
@@ -133,50 +136,7 @@ pub fn lof_range_parallel(
     range: MinPtsRange,
     threads: usize,
 ) -> Result<LofRangeResult> {
-    if range.ub() > table.max_k() {
-        return Err(LofError::TableTooShallow {
-            materialized: table.max_k(),
-            requested: range.ub(),
-        });
-    }
-    let rows_n = range.len();
-    let threads = effective_threads(threads, rows_n);
-    if threads == 1 {
-        return crate::range::lof_range(table, range);
-    }
-
-    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); rows_n];
-    let chunk = rows_n.div_ceil(threads);
-    let stop = AtomicBool::new(false);
-    let first_error: Mutex<Option<LofError>> = Mutex::new(None);
-    std::thread::scope(|s| {
-        for (t, slots) in rows.chunks_mut(chunk).enumerate() {
-            let start_row = t * chunk;
-            let (stop, first_error) = (&stop, &first_error);
-            s.spawn(move || {
-                for (offset, slot) in slots.iter_mut().enumerate() {
-                    if stop.load(Ordering::Relaxed) {
-                        return; // another worker already failed
-                    }
-                    let min_pts = range.lb() + start_row + offset;
-                    let computed = table
-                        .k_distances(min_pts)
-                        .and_then(|kd| lof_values_with(table, min_pts, &kd));
-                    match computed {
-                        Ok(values) => *slot = values,
-                        Err(e) => {
-                            record_error(stop, first_error, e);
-                            return;
-                        }
-                    }
-                }
-            });
-        }
-    });
-    if let Some(e) = first_error.into_inner().expect("error mutex poisoned") {
-        return Err(e);
-    }
-    Ok(LofRangeResult::from_rows(range, table.len(), rows))
+    crate::sweep::sweep_lof_range(table, range, effective_threads(threads, table.len()))
 }
 
 #[cfg(test)]

@@ -114,15 +114,10 @@ pub struct LofRangeResult {
 }
 
 impl LofRangeResult {
-    /// Assembles a result from per-`MinPts` rows (used by the parallel
-    /// driver). Rows must be ordered by `MinPts` and each hold `n` values.
-    pub(crate) fn from_rows(range: MinPtsRange, n: usize, rows: Vec<Vec<f64>>) -> Self {
-        debug_assert_eq!(rows.len(), range.len());
-        let mut values = Vec::with_capacity(range.len() * n);
-        for row in rows {
-            debug_assert_eq!(row.len(), n);
-            values.extend(row);
-        }
+    /// Assembles a result from the sweep engine's flat row-major values
+    /// (`values[(mp - lb) * n + id]`).
+    pub(crate) fn from_values(range: MinPtsRange, n: usize, values: Vec<f64>) -> Self {
+        debug_assert_eq!(values.len(), range.len() * n);
         LofRangeResult { range, n, values }
     }
 
@@ -208,8 +203,11 @@ impl LofRangeResult {
 /// Computes LOF for every `MinPts` of `range` from a materialization table
 /// (which must have been built with `max_k >= range.ub()`).
 ///
-/// This is the paper's step 2 run once per `MinPts`: "The database M is
-/// scanned twice for every value of MinPts between MinPtsLB and MinPtsUB."
+/// This is the paper's step 2 — "The database M is scanned twice for every
+/// value of MinPts between MinPtsLB and MinPtsUB" — implemented as a
+/// single-pass sweep: each object's sorted list is walked once per stage
+/// and yields the values for the whole range while it is cache-hot
+/// (see [`crate::sweep`]). Bit-identical to [`lof_range_reference`].
 ///
 /// ```
 /// use lof_core::{lof_range, Dataset, Euclidean, LinearScan, MinPtsRange};
@@ -231,6 +229,22 @@ impl LofRangeResult {
 /// Returns [`LofError::TableTooShallow`] when the table's `max_k` is below
 /// `range.ub()`, plus the usual validation errors.
 pub fn lof_range(table: &NeighborhoodTable, range: MinPtsRange) -> Result<LofRangeResult> {
+    crate::sweep::sweep_lof_range(table, range, 1)
+}
+
+/// The pre-sweep implementation of [`lof_range`]: step 2 re-run from
+/// scratch for every `MinPts` value, walking the table `UB - LB + 1`
+/// times. Retained as the bit-exactness oracle for the sweep engine (the
+/// `sweep_regression` test compares the two word for word) and as the
+/// "before" side of the range-sweep benchmark.
+///
+/// # Errors
+///
+/// Same as [`lof_range`].
+pub fn lof_range_reference(
+    table: &NeighborhoodTable,
+    range: MinPtsRange,
+) -> Result<LofRangeResult> {
     if range.ub() > table.max_k() {
         return Err(LofError::TableTooShallow {
             materialized: table.max_k(),

@@ -1,0 +1,322 @@
+//! Single-pass `MinPts`-range sweep engine behind [`crate::range::lof_range`].
+//!
+//! The per-`MinPts` reference ([`crate::range::lof_range_reference`]) walks
+//! the materialization table `M` from scratch for every `MinPts` value:
+//! `UB - LB + 1` iterations, each streaming the whole CSR arena three times
+//! (k-distances, lrds, LOF ratios). The sweep engine streams the arena
+//! **once per stage** instead: each object's tie-inclusive `N_k` is a
+//! prefix of its materialized list and that prefix only grows with `k`, so
+//! one walk of a neighbor list feeds the accumulators of *every* `MinPts`
+//! in the range at the same time.
+//!
+//! The intermediate k-distance and lrd matrices are stored column-major
+//! (`[n × rl]`, object outer): walking object `p`'s list touches, per
+//! neighbor `o`, the `rl` contiguous per-`MinPts` values of `o` — one or
+//! two cache lines instead of `rl` scattered row gathers, and an inner
+//! loop the compiler can vectorize. Accumulation order per `(MinPts,
+//! object)` cell is unchanged (neighbor rank ascending), so every value is
+//! produced by the exact same floating-point operations in the exact same
+//! order as the reference and results are **bit-identical** — the
+//! `sweep_regression` integration test and the property suite compare the
+//! two word for word.
+//!
+//! Each stage is parallelized over contiguous object chunks with
+//! `std::thread::scope` (the same machinery [`crate::parallel`] uses for
+//! step 1); `threads == 1` runs the identical code inline. Workers only
+//! read the table and write disjoint output columns, so no coordination is
+//! needed beyond the final joins.
+
+use crate::error::{LofError, Result};
+use crate::lof::lrd_ratio;
+use crate::lrd::reach_dist;
+use crate::materialize::NeighborhoodTable;
+use crate::neighbors::tie_inclusive_len;
+use crate::range::{LofRangeResult, MinPtsRange};
+
+/// Computes LOF for every `MinPts` of `range` in one pass over the table's
+/// CSR arena per stage, chunk-parallel over objects when `threads > 1`.
+/// Bit-identical to the per-`MinPts` reference.
+pub(crate) fn sweep_lof_range(
+    table: &NeighborhoodTable,
+    range: MinPtsRange,
+    threads: usize,
+) -> Result<LofRangeResult> {
+    if range.ub() > table.max_k() {
+        return Err(LofError::TableTooShallow {
+            materialized: table.max_k(),
+            requested: range.ub(),
+        });
+    }
+    if table.is_distinct() && range.lb() != table.max_k() {
+        // Distinct tables answer only k == max_k; mirror the error the
+        // reference hits on its first k_distances(lb) call.
+        return Err(LofError::TableTooShallow {
+            materialized: table.max_k(),
+            requested: range.lb(),
+        });
+    }
+    let n = table.len();
+    let rl = range.len();
+    let threads = threads.max(1).min(n.max(1));
+
+    // Stage 1: tie-inclusive prefix lengths and k-distances for all (p, k)
+    // in one list walk per object. Column-major `[n x rl]`: chunk outputs
+    // are contiguous spans of the global arrays.
+    let mut kd = vec![0.0f64; n * rl];
+    let mut lens = vec![0u32; n * rl];
+    for (start, (kd_c, len_c)) in map_chunks(n, threads, |s, e| stage1_chunk(table, range, s, e)) {
+        kd[start * rl..start * rl + kd_c.len()].copy_from_slice(&kd_c);
+        lens[start * rl..start * rl + len_c.len()].copy_from_slice(&len_c);
+    }
+
+    // Stage 2: local reachability densities for all (p, k), one list walk
+    // per object gathering each neighbor's contiguous k-distance column.
+    let mut lrd = vec![0.0f64; n * rl];
+    for (start, lrd_c) in map_chunks(n, threads, |s, e| stage2_chunk(table, &kd, &lens, s, e, rl)) {
+        lrd[start * rl..start * rl + lrd_c.len()].copy_from_slice(&lrd_c);
+    }
+
+    // Stage 3: LOF ratios for all (p, k). The result rows are per-MinPts
+    // score vectors, so the column-major chunks transpose on join.
+    let mut values = vec![0.0f64; rl * n];
+    for (start, lof_c) in map_chunks(n, threads, |s, e| stage3_chunk(table, &lrd, &lens, s, e, rl))
+    {
+        let cl = lof_c.len() / rl;
+        for local in 0..cl {
+            for ri in 0..rl {
+                values[ri * n + start + local] = lof_c[local * rl + ri];
+            }
+        }
+    }
+
+    Ok(LofRangeResult::from_values(range, n, values))
+}
+
+/// Splits `0..n` into up to `threads` contiguous chunks and maps `work`
+/// over them, spawning scoped threads only when more than one chunk exists.
+/// Returns `(chunk_start, output)` pairs in chunk order.
+fn map_chunks<T, F>(n: usize, threads: usize, work: F) -> Vec<(usize, T)>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let chunk = n.div_ceil(threads.max(1)).max(1);
+    if threads <= 1 || chunk >= n {
+        return (0..n).step_by(chunk).map(|s| (s, work(s, (s + chunk).min(n)))).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|s| {
+                let work = &work;
+                scope.spawn(move || (s, work(s, (s + chunk).min(n))))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    })
+}
+
+/// Stage 1 for objects `s..e`: walk each materialized list once and read
+/// off, for every `k` in the range, the tie-inclusive prefix length and the
+/// k-distance (the prefix's last entry). `tie_inclusive_len` starts its
+/// scan at rank `k`, so the whole per-object loop is `O(range + ties)` on
+/// a list that stays in cache. Output is column-major `[chunk x rl]`.
+fn stage1_chunk(
+    table: &NeighborhoodTable,
+    range: MinPtsRange,
+    s: usize,
+    e: usize,
+) -> (Vec<f64>, Vec<u32>) {
+    let (offsets, arena) = table.raw_parts();
+    let rl = range.len();
+    let mut kd_c = vec![0.0f64; (e - s) * rl];
+    let mut len_c = vec![0u32; (e - s) * rl];
+    for p in s..e {
+        let full = &arena[offsets[p]..offsets[p + 1]];
+        let base = (p - s) * rl;
+        if table.is_distinct() {
+            // Validated: a distinct table only ever sweeps [max_k, max_k],
+            // and its full stored list is the neighborhood.
+            kd_c[base] = full[full.len() - 1].dist;
+            len_c[base] = full.len() as u32;
+            continue;
+        }
+        for (ri, k) in range.iter().enumerate() {
+            let end = tie_inclusive_len(full, k);
+            kd_c[base + ri] = full[end - 1].dist;
+            len_c[base + ri] = end as u32;
+        }
+    }
+    (kd_c, len_c)
+}
+
+/// Stage 2 for objects `s..e`: reachability-distance sums and lrds for
+/// every `k` in **one** walk of each object's list. Neighbor `j` of object
+/// `p` belongs to `N_k(p)` exactly for the tail of `MinPts` rows whose
+/// prefix length exceeds `j` (prefix lengths are non-decreasing in `k`),
+/// so a monotone cursor picks the contributing rows and the inner loop
+/// adds `reach-dist` into each row's accumulator — neighbor rank stays the
+/// outer loop, so each accumulator sees its terms in exactly the reference
+/// order. Identical operation order to
+/// [`crate::lrd::local_reachability_densities_with`].
+fn stage2_chunk(
+    table: &NeighborhoodTable,
+    kd: &[f64],
+    lens: &[u32],
+    s: usize,
+    e: usize,
+    rl: usize,
+) -> Vec<f64> {
+    let (offsets, arena) = table.raw_parts();
+    let mut lrd_c = vec![0.0f64; (e - s) * rl];
+    let mut sums = vec![0.0f64; rl];
+    for p in s..e {
+        let base = (p - s) * rl;
+        let len_col = &lens[p * rl..(p + 1) * rl];
+        let widest = len_col[rl - 1] as usize;
+        let prefix = &arena[offsets[p]..offsets[p] + widest];
+        sums.iter_mut().for_each(|v| *v = 0.0);
+        let mut first = 0usize; // first row whose prefix includes rank j
+        for (j, nb) in prefix.iter().enumerate() {
+            while first < rl && (len_col[first] as usize) <= j {
+                first += 1;
+            }
+            let kd_col = &kd[nb.id * rl..(nb.id + 1) * rl];
+            for (sum, &kd_o) in sums[first..].iter_mut().zip(&kd_col[first..]) {
+                *sum += reach_dist(kd_o, nb.dist);
+            }
+        }
+        for ri in 0..rl {
+            let mean = sums[ri] / len_col[ri] as f64;
+            lrd_c[base + ri] = if mean > 0.0 { 1.0 / mean } else { f64::INFINITY };
+        }
+    }
+    lrd_c
+}
+
+/// Stage 3 for objects `s..e`: mean lrd ratios (definition 7) for every
+/// `k`, again in one list walk per object with the stage 2 row-tail
+/// cursor. Identical operation order to [`crate::lof::lof_values_with`].
+fn stage3_chunk(
+    table: &NeighborhoodTable,
+    lrd: &[f64],
+    lens: &[u32],
+    s: usize,
+    e: usize,
+    rl: usize,
+) -> Vec<f64> {
+    let (offsets, arena) = table.raw_parts();
+    let mut lof_c = vec![0.0f64; (e - s) * rl];
+    let mut sums = vec![0.0f64; rl];
+    for p in s..e {
+        let base = (p - s) * rl;
+        let len_col = &lens[p * rl..(p + 1) * rl];
+        let widest = len_col[rl - 1] as usize;
+        let prefix = &arena[offsets[p]..offsets[p] + widest];
+        let lrd_p = &lrd[p * rl..(p + 1) * rl];
+        sums.iter_mut().for_each(|v| *v = 0.0);
+        let mut first = 0usize;
+        for (j, nb) in prefix.iter().enumerate() {
+            while first < rl && (len_col[first] as usize) <= j {
+                first += 1;
+            }
+            let lrd_o = &lrd[nb.id * rl..(nb.id + 1) * rl];
+            for ((sum, &o), &q) in
+                sums[first..].iter_mut().zip(&lrd_o[first..]).zip(&lrd_p[first..])
+            {
+                *sum += lrd_ratio(o, q);
+            }
+        }
+        for ri in 0..rl {
+            lof_c[base + ri] = sums[ri] / len_col[ri] as f64;
+        }
+    }
+    lof_c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Euclidean;
+    use crate::point::Dataset;
+    use crate::range::lof_range_reference;
+    use crate::scan::LinearScan;
+
+    fn mixed_dataset() -> Dataset {
+        // Clusters of different density, duplicate piles (infinite lrds),
+        // and isolates — every code path of the sweep.
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        for i in 0..40 {
+            rows.push([(i % 8) as f64, (i / 8) as f64]);
+        }
+        for _ in 0..6 {
+            rows.push([20.0, 20.0]);
+        }
+        for i in 0..20 {
+            rows.push([(i as f64) * 0.01 + 50.0, 0.0]);
+        }
+        rows.push([-30.0, -30.0]);
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    fn assert_bit_identical(a: &LofRangeResult, b: &LofRangeResult, label: &str) {
+        assert_eq!(a.len(), b.len(), "{label}: object counts");
+        for k in a.range().iter() {
+            for (id, (x, y)) in
+                a.at_min_pts(k).unwrap().iter().zip(b.at_min_pts(k).unwrap()).enumerate()
+            {
+                assert_eq!(x.to_bits(), y.to_bits(), "{label}: k={k} id={id} ({x} vs {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_to_reference() {
+        let ds = mixed_dataset();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let table = NeighborhoodTable::build(&scan, 12).unwrap();
+        let range = MinPtsRange::new(2, 12).unwrap();
+        let want = lof_range_reference(&table, range).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let got = sweep_lof_range(&table, range, threads).unwrap();
+            assert_bit_identical(&got, &want, &format!("threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn sweep_handles_single_value_ranges() {
+        let ds = mixed_dataset();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let table = NeighborhoodTable::build(&scan, 7).unwrap();
+        let range = MinPtsRange::single(7).unwrap();
+        let want = lof_range_reference(&table, range).unwrap();
+        let got = sweep_lof_range(&table, range, 4).unwrap();
+        assert_bit_identical(&got, &want, "single");
+    }
+
+    #[test]
+    fn sweep_matches_reference_on_distinct_tables() {
+        let ds = mixed_dataset();
+        let table = NeighborhoodTable::build_distinct(&ds, &Euclidean, 5).unwrap();
+        // Only [max_k, max_k] is answerable from a distinct table.
+        let ok = MinPtsRange::single(5).unwrap();
+        let want = lof_range_reference(&table, ok).unwrap();
+        let got = sweep_lof_range(&table, ok, 3).unwrap();
+        assert_bit_identical(&got, &want, "distinct");
+        // Any other range fails identically to the reference.
+        for bad in [MinPtsRange::new(4, 5).unwrap(), MinPtsRange::new(3, 4).unwrap()] {
+            let want_err = lof_range_reference(&table, bad).unwrap_err();
+            let got_err = sweep_lof_range(&table, bad, 3).unwrap_err();
+            assert_eq!(format!("{got_err:?}"), format!("{want_err:?}"), "range {bad:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_too_shallow_tables() {
+        let ds = mixed_dataset();
+        let scan = LinearScan::new(&ds, Euclidean);
+        let table = NeighborhoodTable::build(&scan, 5).unwrap();
+        let err = sweep_lof_range(&table, MinPtsRange::new(3, 9).unwrap(), 2).unwrap_err();
+        assert!(matches!(err, LofError::TableTooShallow { materialized: 5, requested: 9 }));
+    }
+}

@@ -1,0 +1,89 @@
+//! Regression gate for the single-pass MinPts-range sweep: `lof_range`
+//! and `lof_range_parallel` over `[10, 50]` must be **byte-identical**
+//! (per-value `f64::to_bits`) to the retained per-MinPts reference
+//! implementation on a realistically sized mixed dataset.
+//!
+//! Release runs use 10k points (the scale the ISSUE's acceptance
+//! criterion names); debug runs shrink to 2k so `cargo test` stays fast.
+
+use lof_core::parallel::lof_range_parallel;
+use lof_core::{
+    lof_range, lof_range_reference, Dataset, Euclidean, LinearScan, MinPtsRange, NeighborhoodTable,
+};
+
+/// Mixed-density dataset from a deterministic LCG: a dense cluster, a
+/// sparse cluster, a duplicate block (tie groups), and scattered noise.
+fn mixed_dataset(n: usize, dims: usize) -> Dataset {
+    let mut state = 0x853C49E6748FEA9Bu64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut ds = Dataset::new(dims);
+    let mut row = vec![0.0; dims];
+    for i in 0..n {
+        match i % 10 {
+            // Dense cluster around the origin.
+            0..=4 => {
+                for v in &mut row {
+                    *v = next() * 2.0;
+                }
+            }
+            // Sparse cluster far away.
+            5..=7 => {
+                for v in &mut row {
+                    *v = 60.0 + next() * 25.0;
+                }
+            }
+            // Duplicate block: exact ties straddling every rank.
+            8 => {
+                for v in &mut row {
+                    *v = -30.0;
+                }
+            }
+            // Uniform noise.
+            _ => {
+                for v in &mut row {
+                    *v = next() * 100.0 - 50.0;
+                }
+            }
+        }
+        ds.push(&row).unwrap();
+    }
+    ds
+}
+
+#[test]
+fn sweep_matches_reference_over_10_to_50() {
+    let n = if cfg!(debug_assertions) { 2_000 } else { 10_000 };
+    let data = mixed_dataset(n, 5);
+    let scan = LinearScan::new(&data, Euclidean);
+    let range = MinPtsRange::new(10, 50).unwrap();
+    let table = NeighborhoodTable::build(&scan, range.ub()).unwrap();
+
+    let want = lof_range_reference(&table, range).unwrap();
+    let sweep = lof_range(&table, range).unwrap();
+    let parallel = lof_range_parallel(&table, range, 4).unwrap();
+
+    for min_pts in range.iter() {
+        let w = want.at_min_pts(min_pts).unwrap();
+        let s = sweep.at_min_pts(min_pts).unwrap();
+        let p = parallel.at_min_pts(min_pts).unwrap();
+        for id in 0..n {
+            assert_eq!(
+                s[id].to_bits(),
+                w[id].to_bits(),
+                "serial sweep diverges at min_pts={min_pts}, id={id}: {} vs {}",
+                s[id],
+                w[id]
+            );
+            assert_eq!(
+                p[id].to_bits(),
+                w[id].to_bits(),
+                "parallel sweep diverges at min_pts={min_pts}, id={id}: {} vs {}",
+                p[id],
+                w[id]
+            );
+        }
+    }
+}

@@ -11,7 +11,7 @@
 //! `d(q, center) - radius` exceeds the current bound.
 
 use crate::common::impl_knn_provider;
-use lof_core::{BoundedMaxHeap, Dataset, KnnScratch, Metric, Neighbor};
+use lof_core::{BlockKernel, BoundedMaxHeap, Dataset, KnnScratch, Metric, Neighbor};
 
 const LEAF_SIZE: usize = 16;
 
@@ -42,6 +42,13 @@ pub struct BallTree<'a, M: Metric> {
     ids: Vec<usize>,
     nodes: Vec<Node>,
     root: usize,
+    /// Index of the leaf node containing each object, for the leaf-grouped
+    /// batch self-join (leaf ranges partition `ids`, so this is total).
+    leaf_of: Vec<usize>,
+    /// Norm-form surrogate kernel; `None` for generic metrics. Since the
+    /// constructor rejects non-metrics, `Some` here implies plain
+    /// Euclidean.
+    kernel: Option<BlockKernel>,
 }
 
 impl<'a, M: Metric> BallTree<'a, M> {
@@ -65,7 +72,16 @@ impl<'a, M: Metric> BallTree<'a, M> {
             let n = data.len();
             build(data, &metric, &mut ids, 0, n, &mut nodes)
         };
-        BallTree { data, metric, ids, nodes, root }
+        let mut leaf_of = vec![usize::MAX; data.len()];
+        for (idx, node) in nodes.iter().enumerate() {
+            if node.children.is_none() {
+                for &id in &ids[node.start..node.end] {
+                    leaf_of[id] = idx;
+                }
+            }
+        }
+        let kernel = BlockKernel::for_metric(data, &metric);
+        BallTree { data, metric, ids, nodes, root, leaf_of, kernel }
     }
 
     /// Number of indexed objects.
@@ -199,6 +215,329 @@ impl<'a, M: Metric> BallTree<'a, M> {
             }
         }
     }
+
+    /// True-space lower bound between a query ball (the group's leaf) and
+    /// a tree node: center distance minus both radii, clamped at zero. By
+    /// the triangle inequality no point of the node can be closer than
+    /// this to any point of the leaf.
+    fn ball_ball_min_dist(&self, leaf: &Node, node: usize) -> f64 {
+        let n = &self.nodes[node];
+        (self.metric.distance(&leaf.center, &n.center) - leaf.radius - n.radius).max(0.0)
+    }
+
+    /// Leaf-blocked batch self-join (see [`crate::common::leaf_grouped_batch`]):
+    /// queries are grouped by containing leaf, each group traverses the
+    /// tree once with shared ball-to-ball pruning, and — for the plain
+    /// Euclidean metric — candidate leaves are evaluated through the
+    /// norm-form surrogate kernel in squared space. Produces bit-identical
+    /// neighborhoods to the per-id `k_nearest_into` loop.
+    fn batch_self_join(
+        &self,
+        ids: std::ops::Range<usize>,
+        k: usize,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+        lens: &mut Vec<usize>,
+    ) -> lof_core::Result<()> {
+        crate::common::leaf_grouped_batch(
+            self.size(),
+            ids,
+            k,
+            &self.leaf_of,
+            scratch,
+            out,
+            lens,
+            |group, scratch, staged, glens| self.join_group(group, k, scratch, staged, glens),
+        )
+    }
+
+    /// Answers one leaf group: a shared k-distance descent whose heaps are
+    /// emitted directly, then a shared shell pass recovering id-tie-break
+    /// casualties at each query's exact k-distance (generic metrics fall
+    /// back to a full range collection).
+    fn join_group(
+        &self,
+        group: &[(usize, usize)],
+        k: usize,
+        scratch: &mut KnnScratch,
+        staged: &mut Vec<Neighbor>,
+        glens: &mut Vec<usize>,
+    ) {
+        let gn = group.len();
+        let leaf = &self.nodes[group[0].0];
+        if scratch.heaps.len() < gn {
+            scratch.heaps.resize_with(gn, BoundedMaxHeap::new);
+        }
+        if scratch.block_pairs.len() < gn {
+            scratch.block_pairs.resize_with(gn, Vec::new);
+        }
+        let KnnScratch { heaps, tile_sq, block_pairs, join_radii, join_lost, .. } = scratch;
+        let heaps = &mut heaps[..gn];
+        for h in heaps.iter_mut() {
+            h.reset(k);
+        }
+        let pairs = &mut block_pairs[..gn];
+        for p in pairs.iter_mut() {
+            p.clear();
+        }
+        join_radii.clear();
+        join_lost.clear();
+        join_lost.resize(gn, f64::INFINITY);
+
+        if let Some(kernel) = &self.kernel {
+            // Constructor rejects non-metrics, so a present kernel means
+            // plain Euclidean: the descent runs in squared space (the
+            // k-th order statistic commutes with the monotone `sqrt`,
+            // even across ties, so the k-distance below is bit-identical
+            // to the true-space descent's).
+            self.group_knn_sq(self.root, leaf, group, heaps, join_lost);
+            for (gi, heap) in heaps.iter().enumerate() {
+                let kth_sq = heap.kth_dist().expect("validated: at least k candidates exist");
+                join_radii.push((kth_sq.sqrt(), kth_sq));
+                // Emit the neighborhood straight from the heap: every
+                // point strictly inside the k-distance ball is held (it
+                // beats the k-th candidate in `(distance, id)` order);
+                // only id-tie-break casualties are missing, recovered by
+                // the gated shell pass below.
+                for &(sq, id) in heap.entries() {
+                    pairs[gi].push((sq.sqrt(), id));
+                }
+            }
+            // Shell gate (same argument as on [`crate::KdTree`]): the
+            // tolerance-widened descent prunes guarantee every candidate
+            // whose emitted distance could tie a radius was offered, so a
+            // tie casualty exists only if some query's minimum lost heap
+            // distance maps onto its radius. Otherwise the second
+            // traversal — nearly as expensive as the descent itself — is
+            // skipped wholesale, which is the common case on continuous
+            // data where exact distance ties essentially never occur.
+            let needs_shell = join_radii
+                .iter()
+                .zip(join_lost.iter())
+                .any(|(&(radius, _), &lost)| lost.sqrt() == radius);
+            if needs_shell {
+                self.group_shell_sq(
+                    self.root, leaf, group, join_radii, heaps, kernel, tile_sq, pairs,
+                );
+            }
+        } else {
+            self.group_knn_generic(self.root, group, heaps);
+            for heap in heaps.iter() {
+                let kd = heap.kth_dist().expect("validated: at least k candidates exist");
+                join_radii.push((kd, kd));
+            }
+            self.group_range_generic(self.root, group, join_radii, pairs);
+        }
+
+        for list in pairs.iter_mut() {
+            list.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            staged.extend(list.iter().map(|&(d, id)| Neighbor::new(id, d)));
+            glens.push(list.len());
+        }
+    }
+
+    /// Group k-distance descent for the Euclidean kernel path. Heaps hold
+    /// squared distances; node pruning happens in true space (ball bounds
+    /// don't square cleanly), taking one `sqrt` of the relevant heap
+    /// bound per node. Candidates are offered at the exact scalar
+    /// `squared_euclidean` — no surrogate filter here, for the reason
+    /// given on [`crate::KdTree`]'s descent: loose bounds would let nearly
+    /// everything through the widened cutoff and double the evaluations.
+    /// The tolerance in [`Self::prune`] means every point whose emitted
+    /// distance could tie a final k-distance is offered, so the per-heap
+    /// lost-candidate minimum doubles as the shell-pass necessity test.
+    fn group_knn_sq(
+        &self,
+        node_id: usize,
+        leaf: &Node,
+        group: &[(usize, usize)],
+        heaps: &mut [BoundedMaxHeap],
+        lost: &mut [f64],
+    ) {
+        let group_bound_sq = heaps.iter().fold(0.0f64, |m, h| m.max(h.bound()));
+        if Self::prune(self.ball_ball_min_dist(leaf, node_id), group_bound_sq.sqrt()) {
+            return;
+        }
+        let node = &self.nodes[node_id];
+        match node.children {
+            None => {
+                for (gi, &(_, qid)) in group.iter().enumerate() {
+                    let q = self.data.point(qid);
+                    let bound_sq = heaps[gi].bound();
+                    if Self::prune(self.node_min_dist(q, node_id), bound_sq.sqrt()) {
+                        continue;
+                    }
+                    for &id in &self.ids[node.start..node.end] {
+                        if id != qid {
+                            heaps[gi].offer_tracking(
+                                id,
+                                lof_core::distance::squared_euclidean(q, self.data.point(id)),
+                                &mut lost[gi],
+                            );
+                        }
+                    }
+                }
+            }
+            Some((left, right)) => {
+                let dl = self.ball_ball_min_dist(leaf, left);
+                let dr = self.ball_ball_min_dist(leaf, right);
+                let (first, second) = if dl <= dr { (left, right) } else { (right, left) };
+                self.group_knn_sq(first, leaf, group, heaps, lost);
+                self.group_knn_sq(second, leaf, group, heaps, lost);
+            }
+        }
+    }
+
+    /// Shell pass for the Euclidean kernel path: the k-distance heaps were
+    /// emitted directly, so this only recovers neighbors dropped by the
+    /// heap's id tie-break — points at **exactly** each query's k-distance.
+    /// Nodes strictly farther than every radius *or* strictly inside every
+    /// ball are skipped (interior points are provably in the heap: their
+    /// computed distance is below the k-distance). Both skips widen the
+    /// derived-centroid bounds by the same tolerance as [`Self::prune`], so
+    /// they only cost node visits, never a tie. Inclusion is decided on the
+    /// exact reference distance (`squared_euclidean(..).sqrt()`, the
+    /// literal `Euclidean::distance`) equalling the radius, with a dedup
+    /// against the heap for ties that were kept.
+    #[allow(clippy::too_many_arguments)]
+    fn group_shell_sq(
+        &self,
+        node_id: usize,
+        leaf: &Node,
+        group: &[(usize, usize)],
+        radii: &[(f64, f64)],
+        heaps: &[BoundedMaxHeap],
+        kernel: &BlockKernel,
+        tile_sq: &mut Vec<f64>,
+        pairs: &mut [Vec<(f64, usize)>],
+    ) {
+        let max_r = radii.iter().fold(0.0f64, |m, r| m.max(r.0));
+        let min_r = radii.iter().fold(f64::INFINITY, |m, r| m.min(r.0));
+        if Self::prune(self.ball_ball_min_dist(leaf, node_id), max_r) {
+            return;
+        }
+        let node = &self.nodes[node_id];
+        let center_gap = self.metric.distance(&leaf.center, &node.center);
+        let max_dist = center_gap + leaf.radius + node.radius;
+        if max_dist * (1.0 + 1e-9) + f64::MIN_POSITIVE < min_r {
+            return; // strictly inside every ball: all already in the heaps
+        }
+        match node.children {
+            None => {
+                let cands = &self.ids[node.start..node.end];
+                let two_slack = 2.0 * kernel.slack();
+                for (gi, &(_, qid)) in group.iter().enumerate() {
+                    let (radius, r_sq) = radii[gi];
+                    let q = self.data.point(qid);
+                    if Self::prune(self.node_min_dist(q, node_id), radius) {
+                        continue;
+                    }
+                    let q_max = self.metric.distance(q, &node.center) + node.radius;
+                    if q_max * (1.0 + 1e-9) + f64::MIN_POSITIVE < radius {
+                        continue;
+                    }
+                    kernel.surrogates_into(self.data, qid, cands, tile_sq);
+                    let lo = r_sq * (1.0 - 1e-9) - two_slack;
+                    let hi = crate::common::widen_sq(r_sq) + two_slack;
+                    for (ci, &sur) in tile_sq.iter().enumerate() {
+                        if lo <= sur && sur <= hi {
+                            let id = cands[ci];
+                            if id == qid {
+                                continue;
+                            }
+                            let d = lof_core::distance::squared_euclidean(q, self.data.point(id))
+                                .sqrt();
+                            if d == radius && !heaps[gi].entries().iter().any(|e| e.1 == id) {
+                                pairs[gi].push((d, id));
+                            }
+                        }
+                    }
+                }
+            }
+            Some((left, right)) => {
+                self.group_shell_sq(left, leaf, group, radii, heaps, kernel, tile_sq, pairs);
+                self.group_shell_sq(right, leaf, group, radii, heaps, kernel, tile_sq, pairs);
+            }
+        }
+    }
+
+    /// Group k-distance descent for generic metrics: a node is visited
+    /// when *any* group member still needs it; each member applies exactly
+    /// the single-query prune before touching a leaf.
+    fn group_knn_generic(
+        &self,
+        node_id: usize,
+        group: &[(usize, usize)],
+        heaps: &mut [BoundedMaxHeap],
+    ) {
+        let needed = group.iter().enumerate().any(|(gi, &(_, qid))| {
+            !Self::prune(self.node_min_dist(self.data.point(qid), node_id), heaps[gi].bound())
+        });
+        if !needed {
+            return;
+        }
+        let node = &self.nodes[node_id];
+        match node.children {
+            None => {
+                for (gi, &(_, qid)) in group.iter().enumerate() {
+                    let q = self.data.point(qid);
+                    if Self::prune(self.node_min_dist(q, node_id), heaps[gi].bound()) {
+                        continue;
+                    }
+                    for &id in &self.ids[node.start..node.end] {
+                        if id != qid {
+                            heaps[gi].offer(id, self.metric.distance(q, self.data.point(id)));
+                        }
+                    }
+                }
+            }
+            Some((left, right)) => {
+                self.group_knn_generic(left, group, heaps);
+                self.group_knn_generic(right, group, heaps);
+            }
+        }
+    }
+
+    /// Group range collection for generic metrics, mirroring the
+    /// single-query `range_rec` per member with one traversal per group.
+    fn group_range_generic(
+        &self,
+        node_id: usize,
+        group: &[(usize, usize)],
+        radii: &[(f64, f64)],
+        pairs: &mut [Vec<(f64, usize)>],
+    ) {
+        let needed = group.iter().zip(radii).any(|(&(_, qid), &(radius, _))| {
+            !Self::prune(self.node_min_dist(self.data.point(qid), node_id), radius)
+        });
+        if !needed {
+            return;
+        }
+        let node = &self.nodes[node_id];
+        match node.children {
+            None => {
+                for (gi, (&(_, qid), &(radius, _))) in group.iter().zip(radii).enumerate() {
+                    let q = self.data.point(qid);
+                    if Self::prune(self.node_min_dist(q, node_id), radius) {
+                        continue;
+                    }
+                    for &id in &self.ids[node.start..node.end] {
+                        if id == qid {
+                            continue;
+                        }
+                        let d = self.metric.distance(q, self.data.point(id));
+                        if d <= radius {
+                            pairs[gi].push((d, id));
+                        }
+                    }
+                }
+            }
+            Some((left, right)) => {
+                self.group_range_generic(left, group, radii, pairs);
+                self.group_range_generic(right, group, radii, pairs);
+            }
+        }
+    }
 }
 
 fn build<M: Metric>(
@@ -276,7 +615,7 @@ fn build<M: Metric>(
     nodes.len() - 1
 }
 
-impl_knn_provider!(BallTree);
+impl_knn_provider!(BallTree, self_join);
 
 #[cfg(test)]
 mod tests {

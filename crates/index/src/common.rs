@@ -21,6 +21,106 @@ pub(crate) fn validate_within(n: usize, id: usize) -> Result<()> {
     Ok(())
 }
 
+/// Widens a squared-space radius for node pruning in a batch range phase.
+/// Candidate inclusion runs on exact reference distances, so the only
+/// requirement here is that no node containing a true neighbor is pruned;
+/// a relative `1e-9` (far above any `sqrt` rounding) plus `MIN_POSITIVE`
+/// (covering zero radii) over-covers that, at the cost of a few extra
+/// node visits.
+#[inline]
+pub(crate) fn widen_sq(r_sq: f64) -> f64 {
+    r_sq * (1.0 + 1e-9) + f64::MIN_POSITIVE
+}
+
+/// Drives a leaf-grouped batch self-join for a tree index.
+///
+/// Queries are sorted by `(containing leaf, id)` so ids sharing a leaf
+/// become one contiguous group, and each group is handed to
+/// `process_group` exactly once — that is where the tree traverses once
+/// per group instead of once per query. For every `(leaf, id)` pair of
+/// its group, **in the given order**, `process_group` must append the
+/// id's canonically sorted neighborhood to the staging buffer (3rd
+/// argument) and push the neighborhood's length (4th argument). The
+/// driver re-emits the staged neighborhoods in ascending id order, which
+/// is the `batch_k_nearest` contract.
+///
+/// All staging lives in the caller's [`lof_core::KnnScratch`], so a
+/// warmed-up scratch makes the whole batch allocation-free.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn leaf_grouped_batch<F>(
+    n: usize,
+    ids: std::ops::Range<usize>,
+    k: usize,
+    leaf_of: &[usize],
+    scratch: &mut lof_core::KnnScratch,
+    out: &mut Vec<lof_core::Neighbor>,
+    lens: &mut Vec<usize>,
+    mut process_group: F,
+) -> Result<()>
+where
+    F: FnMut(
+        &[(usize, usize)],
+        &mut lof_core::KnnScratch,
+        &mut Vec<lof_core::Neighbor>,
+        &mut Vec<usize>,
+    ),
+{
+    if ids.start >= ids.end {
+        return Ok(());
+    }
+    validate_knn(n, ids.start, k)?;
+    if ids.end > n {
+        return Err(LofError::UnknownObject { id: n, dataset_size: n });
+    }
+    let base = ids.start;
+    let count = ids.len();
+    // Take the staging buffers out of the scratch so `process_group` can
+    // borrow the rest of it (heaps, tile buffers) without conflicts.
+    let mut order = std::mem::take(&mut scratch.join_order);
+    let mut staged = std::mem::take(&mut scratch.join_staged);
+    let mut glens = std::mem::take(&mut scratch.join_lens);
+    let mut spans = std::mem::take(&mut scratch.join_spans);
+    order.clear();
+    staged.clear();
+    glens.clear();
+    order.extend(ids.clone().map(|id| (leaf_of[id], id)));
+    order.sort_unstable();
+
+    let mut g = 0;
+    while g < order.len() {
+        let leaf = order[g].0;
+        let mut h = g + 1;
+        while h < order.len() && order[h].0 == leaf {
+            h += 1;
+        }
+        process_group(&order[g..h], scratch, &mut staged, &mut glens);
+        g = h;
+    }
+    debug_assert_eq!(glens.len(), count, "one neighborhood length per query");
+
+    // Map the traversal-order spans back to ascending id order.
+    spans.clear();
+    spans.resize(count, (0, 0));
+    let mut cursor = 0;
+    for (i, &(_, qid)) in order.iter().enumerate() {
+        spans[qid - base] = (cursor, glens[i]);
+        cursor += glens[i];
+    }
+    debug_assert_eq!(cursor, staged.len(), "lengths must cover the staging buffer");
+    out.reserve(staged.len());
+    for id in ids {
+        let (start, len) = spans[id - base];
+        out.extend_from_slice(&staged[start..start + len]);
+        lens.push(len);
+    }
+
+    scratch.join_order = order;
+    scratch.join_staged = staged;
+    scratch.join_lens = glens;
+    scratch.join_spans = spans;
+    Ok(())
+}
+
 /// Implements [`lof_core::KnnProvider`] for an index type exposing the
 /// internal two-phase search API:
 ///
@@ -37,9 +137,38 @@ pub(crate) fn validate_within(n: usize, id: usize) -> Result<()> {
 /// caller's [`lof_core::KnnScratch`], the generated `k_nearest_into` is
 /// allocation-free once the scratch is warm; `k_nearest`/`within` borrow
 /// the calling thread's shared scratch.
+///
+/// The `($ty, self_join)` form additionally overrides the trait's default
+/// `batch_k_nearest` with a call to the index's inherent
+/// `batch_self_join`, the leaf-grouped batch join driven by
+/// [`leaf_grouped_batch`].
 macro_rules! impl_knn_provider {
     ($ty:ident) => {
+        crate::common::impl_knn_provider!(@impl $ty,);
+    };
+    ($ty:ident, self_join) => {
+        crate::common::impl_knn_provider!(
+            @impl $ty,
+            /// Leaf-grouped batch self-join: queries sharing a leaf are
+            /// answered by a single traversal with shared node pruning and
+            /// blocked candidate evaluation. Bit-identical to the default
+            /// per-id loop (property-tested in `tests/batch_consistency.rs`).
+            fn batch_k_nearest(
+                &self,
+                ids: std::ops::Range<usize>,
+                k: usize,
+                scratch: &mut lof_core::KnnScratch,
+                out: &mut Vec<lof_core::Neighbor>,
+                lens: &mut Vec<usize>,
+            ) -> lof_core::Result<()> {
+                self.batch_self_join(ids, k, scratch, out, lens)
+            }
+        );
+    };
+    (@impl $ty:ident, $($batch:item)?) => {
         impl<M: lof_core::Metric> lof_core::KnnProvider for $ty<'_, M> {
+            $($batch)?
+
             fn len(&self) -> usize {
                 self.size()
             }

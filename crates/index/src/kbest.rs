@@ -1,14 +1,16 @@
-//! A bounded max-heap tracking the `k` nearest candidates seen so far.
+//! A bounded max-heap tracking the `k` nearest candidates seen so far —
+//! the public, owning convenience wrapper around
+//! [`lof_core::BoundedMaxHeap`].
 //!
-//! Every index in this crate answers a tie-inclusive k-NN query the same
-//! way: an exact best-first / pruned search using this heap determines the
-//! `k`-distance, then a range query at that radius collects the full
-//! tie-inclusive neighborhood. The heap's [`KBest::bound`] is the pruning
-//! radius during the first phase.
-//!
-//! Since the zero-allocation refactor this is a thin owning wrapper around
-//! [`lof_core::BoundedMaxHeap`]; the internal search paths borrow the heap
-//! out of a [`lof_core::KnnScratch`] directly and skip this type.
+//! None of this crate's hot paths route through this type anymore. The
+//! single-query searches borrow their heap out of a
+//! [`lof_core::KnnScratch`] (zero-allocation steady state), and the
+//! leaf-blocked batch self-joins go further: they emit tie-inclusive
+//! neighborhoods straight from one scratch heap per grouped query and run
+//! a shell recovery pass only when a heap provably dropped a candidate at
+//! its k-distance. `KBest` remains for external callers that want the
+//! canonical `(distance, id)` selection semantics — identical tie
+//! handling, same pruning-bound contract — without managing a scratch.
 
 use lof_core::{BoundedMaxHeap, Neighbor};
 

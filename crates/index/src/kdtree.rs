@@ -12,9 +12,9 @@
 //! exact, because `sqrt` is monotone, so the k-th smallest squared
 //! distance maps to the k-th smallest distance.
 
-use crate::common::impl_knn_provider;
+use crate::common::{impl_knn_provider, widen_sq};
 use lof_core::distance::BlockedForm;
-use lof_core::{BoundedMaxHeap, Dataset, KnnScratch, Metric, Neighbor};
+use lof_core::{BlockKernel, BoundedMaxHeap, Dataset, KnnScratch, Metric, Neighbor};
 
 const LEAF_SIZE: usize = 16;
 
@@ -51,6 +51,11 @@ pub struct KdTree<'a, M: Metric> {
     ids: Vec<usize>,
     nodes: Vec<Node>,
     root: usize,
+    /// Index of the leaf node containing each object, for the leaf-grouped
+    /// batch self-join (leaf ranges partition `ids`, so this is total).
+    leaf_of: Vec<usize>,
+    /// Norm-form surrogate kernel; `None` for generic metrics.
+    kernel: Option<BlockKernel>,
 }
 
 impl<'a, M: Metric> KdTree<'a, M> {
@@ -64,7 +69,16 @@ impl<'a, M: Metric> KdTree<'a, M> {
             let n = data.len();
             build(data, &mut ids, 0, n, &mut nodes)
         };
-        KdTree { data, metric, ids, nodes, root }
+        let mut leaf_of = vec![usize::MAX; data.len()];
+        for (idx, node) in nodes.iter().enumerate() {
+            if node.children.is_none() {
+                for &id in &ids[node.start..node.end] {
+                    leaf_of[id] = idx;
+                }
+            }
+        }
+        let kernel = BlockKernel::for_metric(data, &metric);
+        KdTree { data, metric, ids, nodes, root, leaf_of, kernel }
     }
 
     /// Number of indexed objects.
@@ -220,6 +234,390 @@ impl<'a, M: Metric> KdTree<'a, M> {
             }
         }
     }
+
+    /// Leaf-blocked batch self-join (see [`crate::common::leaf_grouped_batch`]):
+    /// queries are grouped by containing leaf, each group traverses the
+    /// tree once with shared node pruning, and candidate leaves are
+    /// evaluated through the norm-form surrogate kernel where the metric
+    /// has a squared-Euclidean form. Produces bit-identical neighborhoods
+    /// to the per-id `k_nearest_into` loop.
+    fn batch_self_join(
+        &self,
+        ids: std::ops::Range<usize>,
+        k: usize,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+        lens: &mut Vec<usize>,
+    ) -> lof_core::Result<()> {
+        crate::common::leaf_grouped_batch(
+            self.size(),
+            ids,
+            k,
+            &self.leaf_of,
+            scratch,
+            out,
+            lens,
+            |group, scratch, staged, glens| self.join_group(group, k, scratch, staged, glens),
+        )
+    }
+
+    /// Answers one leaf group: a shared k-distance descent, then a shared
+    /// range collection at each query's exact k-distance (the same two
+    /// phases as the single-query path, fused across the group).
+    fn join_group(
+        &self,
+        group: &[(usize, usize)],
+        k: usize,
+        scratch: &mut KnnScratch,
+        staged: &mut Vec<Neighbor>,
+        glens: &mut Vec<usize>,
+    ) {
+        let gn = group.len();
+        let leaf = &self.nodes[group[0].0];
+        if scratch.heaps.len() < gn {
+            scratch.heaps.resize_with(gn, BoundedMaxHeap::new);
+        }
+        if scratch.block_pairs.len() < gn {
+            scratch.block_pairs.resize_with(gn, Vec::new);
+        }
+        let KnnScratch { heaps, tile_sq, block_pairs, join_radii, join_lost, .. } = scratch;
+        let heaps = &mut heaps[..gn];
+        for h in heaps.iter_mut() {
+            h.reset(k);
+        }
+        let pairs = &mut block_pairs[..gn];
+        for p in pairs.iter_mut() {
+            p.clear();
+        }
+        join_radii.clear();
+        join_lost.clear();
+        join_lost.resize(gn, f64::INFINITY);
+
+        if let Some(kernel) = &self.kernel {
+            let sqrt_form = self.metric.blocked_form() == BlockedForm::Euclidean;
+            self.group_knn_sq(self.root, leaf, group, heaps, join_lost);
+            for (gi, heap) in heaps.iter().enumerate() {
+                let kth_sq = heap.kth_dist().expect("validated: at least k candidates exist");
+                let radius = if sqrt_form { kth_sq.sqrt() } else { kth_sq };
+                join_radii.push((radius, kth_sq));
+                // Emit the neighborhood straight from the heap: every point
+                // strictly inside the k-distance ball beats the k-th
+                // candidate in `(distance, id)` order, so it is guaranteed
+                // to be held — only ties dropped by the id tie-break are
+                // missing, and the gated shell pass below recovers those.
+                for &(sq, id) in heap.entries() {
+                    let d = if sqrt_form { sq.sqrt() } else { sq };
+                    pairs[gi].push((d, id));
+                }
+            }
+            // The shell pass has work to do only when some query actually
+            // lost a candidate at its k-distance. The widened descent prune
+            // guarantees every point whose *emitted* distance ties the
+            // radius was offered to the heap, so it is either held or
+            // recorded in `join_lost` — if no lost distance maps onto a
+            // radius, every neighborhood is already complete and the whole
+            // second traversal (as expensive as the descent) is skipped.
+            // Continuous data virtually never ties, so this is the common
+            // path; the gate fires on duplicate/grid-structured inputs.
+            let needs_shell =
+                join_radii.iter().zip(join_lost.iter()).any(|(&(radius, _), &lost)| {
+                    let lost_d = if sqrt_form { lost.sqrt() } else { lost };
+                    lost_d == radius
+                });
+            if needs_shell {
+                self.group_shell_sq(
+                    self.root, leaf, group, join_radii, heaps, kernel, tile_sq, pairs,
+                );
+            }
+        } else {
+            self.group_knn_generic(self.root, group, heaps);
+            for heap in heaps.iter() {
+                let kd = heap.kth_dist().expect("validated: at least k candidates exist");
+                join_radii.push((kd, kd));
+            }
+            self.group_range_generic(self.root, group, join_radii, pairs);
+        }
+
+        for list in pairs.iter_mut() {
+            list.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            staged.extend(list.iter().map(|&(d, id)| Neighbor::new(id, d)));
+            glens.push(list.len());
+        }
+    }
+
+    /// Group k-distance descent in squared space. Internal nodes are
+    /// pruned once per group against the loosest per-query bound using the
+    /// rect-to-rect lower bound (valid for every query inside the group's
+    /// leaf rect); per-query `min_dist_to_rect_sq` tests run only at the
+    /// leaves. Candidates are offered at the exact scalar
+    /// `squared_euclidean` — the same values the single-query descent
+    /// offers, so the resulting k-distances are bit-identical. (No
+    /// surrogate filter here: while heap bounds are loose nearly every
+    /// candidate would survive the widened cutoff and be evaluated twice;
+    /// the filter earns its keep only in the thin-window shell pass.)
+    ///
+    /// Both prunes are widened by [`widen_sq`] so that every point whose
+    /// emitted distance could tie a final k-distance is *offered* (extra
+    /// offers of worse candidates cannot change the k smallest, so heap
+    /// contents stay bit-identical). Together with the per-heap lost-
+    /// candidate minimum this makes "no lost distance ties a radius" a
+    /// proof that the shell pass is unnecessary.
+    fn group_knn_sq(
+        &self,
+        node_id: usize,
+        leaf: &Node,
+        group: &[(usize, usize)],
+        heaps: &mut [BoundedMaxHeap],
+        lost: &mut [f64],
+    ) {
+        let node = &self.nodes[node_id];
+        let group_bound = heaps.iter().fold(0.0f64, |m, h| m.max(h.bound()));
+        if rect_rect_min_sq(&leaf.lo, &leaf.hi, &node.lo, &node.hi) > widen_sq(group_bound) {
+            return;
+        }
+        match node.children {
+            None => {
+                for (gi, &(_, qid)) in group.iter().enumerate() {
+                    let q = self.data.point(qid);
+                    let bound = heaps[gi].bound();
+                    if self.metric.min_dist_to_rect_sq(q, &node.lo, &node.hi) > widen_sq(bound) {
+                        continue;
+                    }
+                    for &id in &self.ids[node.start..node.end] {
+                        if id != qid {
+                            heaps[gi].offer_tracking(
+                                id,
+                                lof_core::distance::squared_euclidean(q, self.data.point(id)),
+                                &mut lost[gi],
+                            );
+                        }
+                    }
+                }
+            }
+            Some((left, right)) => {
+                let dl = rect_rect_min_sq(
+                    &leaf.lo,
+                    &leaf.hi,
+                    &self.nodes[left].lo,
+                    &self.nodes[left].hi,
+                );
+                let dr = rect_rect_min_sq(
+                    &leaf.lo,
+                    &leaf.hi,
+                    &self.nodes[right].lo,
+                    &self.nodes[right].hi,
+                );
+                let (first, second) = if dl <= dr { (left, right) } else { (right, left) };
+                self.group_knn_sq(first, leaf, group, heaps, lost);
+                self.group_knn_sq(second, leaf, group, heaps, lost);
+            }
+        }
+    }
+
+    /// Shell pass of the batch join: the heap emission above already
+    /// covers every point with distance `< k-distance` (and the kept
+    /// ties), so this traversal only hunts for ties dropped by the heap's
+    /// id tie-break — points at distance *exactly* the query's k-distance.
+    /// That lets it prune, in addition to everything beyond the widened
+    /// radius, every node lying **strictly inside** the k-distance ball
+    /// (its points are all in the heap). Inclusion of each surviving
+    /// candidate is decided on the exact reference computation — scalar
+    /// squared distance, plus the same single `sqrt` for
+    /// [`BlockedForm::Euclidean`] — so combined neighborhoods match the
+    /// single-query range phase bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    fn group_shell_sq(
+        &self,
+        node_id: usize,
+        leaf: &Node,
+        group: &[(usize, usize)],
+        radii: &[(f64, f64)],
+        heaps: &[BoundedMaxHeap],
+        kernel: &BlockKernel,
+        tile_sq: &mut Vec<f64>,
+        pairs: &mut [Vec<(f64, usize)>],
+    ) {
+        let node = &self.nodes[node_id];
+        let max_r_sq = radii.iter().fold(0.0f64, |m, r| m.max(r.1));
+        let min_r_sq = radii.iter().fold(f64::INFINITY, |m, r| m.min(r.1));
+        if rect_rect_min_sq(&leaf.lo, &leaf.hi, &node.lo, &node.hi) > widen_sq(max_r_sq)
+            || rect_rect_max_sq(&leaf.lo, &leaf.hi, &node.lo, &node.hi) < min_r_sq
+        {
+            return;
+        }
+        match node.children {
+            None => {
+                let cands = &self.ids[node.start..node.end];
+                let two_slack = 2.0 * kernel.slack();
+                let sqrt_form = self.metric.blocked_form() == BlockedForm::Euclidean;
+                for (gi, &(_, qid)) in group.iter().enumerate() {
+                    let (radius, r_sq) = radii[gi];
+                    let q = self.data.point(qid);
+                    if self.metric.min_dist_to_rect_sq(q, &node.lo, &node.hi) > widen_sq(r_sq)
+                        || point_rect_max_sq(q, &node.lo, &node.hi) < r_sq
+                    {
+                        continue;
+                    }
+                    kernel.surrogates_into(self.data, qid, cands, tile_sq);
+                    // Two-sided surrogate window around the k-distance: a
+                    // tie's squared distance sits within a relative ~5e-16
+                    // of `r_sq` (`sqrt` rounding), far inside the 1e-9
+                    // margins.
+                    let hi = widen_sq(r_sq) + two_slack;
+                    let lo = r_sq * (1.0 - 1e-9) - two_slack;
+                    for (ci, &sur) in tile_sq.iter().enumerate() {
+                        if sur < lo || sur > hi {
+                            continue;
+                        }
+                        let id = cands[ci];
+                        if id == qid {
+                            continue;
+                        }
+                        let sq = lof_core::distance::squared_euclidean(q, self.data.point(id));
+                        let d = if sqrt_form { sq.sqrt() } else { sq };
+                        if d == radius && !heaps[gi].entries().iter().any(|e| e.1 == id) {
+                            pairs[gi].push((d, id));
+                        }
+                    }
+                }
+            }
+            Some((left, right)) => {
+                self.group_shell_sq(left, leaf, group, radii, heaps, kernel, tile_sq, pairs);
+                self.group_shell_sq(right, leaf, group, radii, heaps, kernel, tile_sq, pairs);
+            }
+        }
+    }
+
+    /// Group k-distance descent for generic metrics: a node is visited
+    /// when *any* group member still needs it; each member applies exactly
+    /// the single-query `min_dist_to_rect > bound` prune before touching a
+    /// leaf. Offers go through the scalar metric, so heap contents (and
+    /// hence k-distances) are bit-identical to the per-query search.
+    fn group_knn_generic(
+        &self,
+        node_id: usize,
+        group: &[(usize, usize)],
+        heaps: &mut [BoundedMaxHeap],
+    ) {
+        let node = &self.nodes[node_id];
+        let needed = group.iter().enumerate().any(|(gi, &(_, qid))| {
+            self.metric.min_dist_to_rect(self.data.point(qid), &node.lo, &node.hi)
+                <= heaps[gi].bound()
+        });
+        if !needed {
+            return;
+        }
+        match node.children {
+            None => {
+                for (gi, &(_, qid)) in group.iter().enumerate() {
+                    let q = self.data.point(qid);
+                    if self.metric.min_dist_to_rect(q, &node.lo, &node.hi) > heaps[gi].bound() {
+                        continue;
+                    }
+                    for &id in &self.ids[node.start..node.end] {
+                        if id != qid {
+                            heaps[gi].offer(id, self.metric.distance(q, self.data.point(id)));
+                        }
+                    }
+                }
+            }
+            Some((left, right)) => {
+                self.group_knn_generic(left, group, heaps);
+                self.group_knn_generic(right, group, heaps);
+            }
+        }
+    }
+
+    /// Group range collection for generic metrics, mirroring the
+    /// single-query `range_rec` per member (same prune, same inclusion
+    /// test) with one traversal per group.
+    fn group_range_generic(
+        &self,
+        node_id: usize,
+        group: &[(usize, usize)],
+        radii: &[(f64, f64)],
+        pairs: &mut [Vec<(f64, usize)>],
+    ) {
+        let node = &self.nodes[node_id];
+        let needed = group.iter().zip(radii).any(|(&(_, qid), &(radius, _))| {
+            self.metric.min_dist_to_rect(self.data.point(qid), &node.lo, &node.hi) <= radius
+        });
+        if !needed {
+            return;
+        }
+        match node.children {
+            None => {
+                for (gi, (&(_, qid), &(radius, _))) in group.iter().zip(radii).enumerate() {
+                    let q = self.data.point(qid);
+                    if self.metric.min_dist_to_rect(q, &node.lo, &node.hi) > radius {
+                        continue;
+                    }
+                    for &id in &self.ids[node.start..node.end] {
+                        if id == qid {
+                            continue;
+                        }
+                        let d = self.metric.distance(q, self.data.point(id));
+                        if d <= radius {
+                            pairs[gi].push((d, id));
+                        }
+                    }
+                }
+            }
+            Some((left, right)) => {
+                self.group_range_generic(left, group, radii, pairs);
+                self.group_range_generic(right, group, radii, pairs);
+            }
+        }
+    }
+}
+
+/// Lower bound on the squared Euclidean distance between any point of rect
+/// `a` and any point of rect `b`: per-dimension gaps, squared and
+/// forward-summed. Safe for exact `>` pruning against computed squared
+/// distances: rounding is monotone, so each computed gap is `<=` the
+/// computed `|q_d - x_d|` for any `q ∈ a`, `x ∈ b`, and squaring plus
+/// forward summation preserve the termwise order — the bound never
+/// exceeds the computed `squared_euclidean(q, x)`.
+fn rect_rect_min_sq(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for d in 0..alo.len() {
+        let gap = if bhi[d] < alo[d] {
+            alo[d] - bhi[d]
+        } else if blo[d] > ahi[d] {
+            blo[d] - ahi[d]
+        } else {
+            0.0
+        };
+        acc += gap * gap;
+    }
+    acc
+}
+
+/// Upper bound on the squared Euclidean distance between any point of rect
+/// `a` and any point of rect `b`. Safe for strict `<` interior pruning:
+/// `fl(q_d - x_d) <= max(fl(ahi - blo), fl(bhi - alo))` in magnitude by
+/// rounding monotonicity, and squares plus forward sums preserve the
+/// termwise order, so the bound never undercuts a computed
+/// `squared_euclidean(q, x)`.
+fn rect_rect_max_sq(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for d in 0..alo.len() {
+        let gap = (ahi[d] - blo[d]).max(bhi[d] - alo[d]);
+        acc += gap * gap;
+    }
+    acc
+}
+
+/// Upper bound on the squared Euclidean distance from point `q` to any
+/// point of the rect; same floating-point-safety argument as
+/// [`rect_rect_max_sq`].
+fn point_rect_max_sq(q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for d in 0..q.len() {
+        let gap = (q[d] - lo[d]).max(hi[d] - q[d]);
+        acc += gap * gap;
+    }
+    acc
 }
 
 /// Recursively builds the subtree over `ids[start..end]`, returning its node
@@ -281,7 +679,7 @@ fn build(
     nodes.len() - 1
 }
 
-impl_knn_provider!(KdTree);
+impl_knn_provider!(KdTree, self_join);
 
 #[cfg(test)]
 mod tests {

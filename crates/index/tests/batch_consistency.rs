@@ -203,9 +203,51 @@ proptest! {
     }
 }
 
-/// Duplicates deserve a deterministic (non-random) regression case: with
-/// every point identical, the k-distance is 0 and definition 4 makes the
-/// whole dataset one tie group.
+/// Checks a batch over an id subrange (not necessarily starting at 0)
+/// against per-id queries: the leaf-grouped join must re-emit
+/// neighborhoods in ascending id order relative to the batch start, bit
+/// for bit. An empty subrange must succeed and produce nothing.
+fn check_subrange<P: KnnProvider>(name: &str, provider: &P, ids: std::ops::Range<usize>, k: usize) {
+    let mut scratch = KnnScratch::new();
+    let mut batch_out: Vec<Neighbor> = Vec::new();
+    let mut batch_lens: Vec<usize> = Vec::new();
+    provider
+        .batch_k_nearest(ids.clone(), k, &mut scratch, &mut batch_out, &mut batch_lens)
+        .unwrap();
+    assert_eq!(batch_lens.len(), ids.len(), "{name}: one length per id in the subrange");
+
+    let mut offset = 0;
+    let mut want: Vec<Neighbor> = Vec::new();
+    for (pos, id) in ids.enumerate() {
+        want.clear();
+        provider.k_nearest_into(id, k, &mut scratch, &mut want).unwrap();
+        let got = &batch_out[offset..offset + batch_lens[pos]];
+        assert_bit_identical(&format!("{name}: subrange batch (id={id}, k={k})"), got, &want);
+        offset += batch_lens[pos];
+    }
+    assert_eq!(offset, batch_out.len(), "{name}: lens must cover the flat output");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tree_subrange_batches_are_bit_identical(
+        data in dataset_strategy(60, 4),
+        k in 1usize..8,
+        lo_frac in 0.0f64..1.0,
+        hi_frac in 0.0f64..1.0,
+    ) {
+        let n = data.len();
+        let k = k.min(n - 1).max(1);
+        let (a, b) = ((lo_frac * n as f64) as usize, (hi_frac * n as f64) as usize);
+        let ids = a.min(b).min(n)..a.max(b).min(n);
+        let kd = KdTree::new(&data, Euclidean);
+        let ball = BallTree::new(&data, Euclidean);
+        check_subrange("kdtree", &kd, ids.clone(), k);
+        check_subrange("balltree", &ball, ids, k);
+    }
+}
 #[test]
 fn all_duplicate_points_agree_across_paths() {
     let data = Dataset::from_rows(&[[1.5, -2.0]; 12]).unwrap();
@@ -216,4 +258,74 @@ fn all_duplicate_points_agree_across_paths() {
     assert_paths_agree("grid/dups", &GridIndex::new(&data, Euclidean), &data, 3);
     assert_paths_agree("vafile/dups", &VaFile::new(&data, Euclidean), &data, 3);
     assert_paths_agree("xtree/dups", &XTree::new(&data, Euclidean), &data, 3);
+}
+
+/// Regression: tie blocks straddling the k-th rank, spread across many
+/// tree leaves. Each of the 8 grid "spokes" holds several points at the
+/// exact same distance from every grid point, so definition 4 forces
+/// oversized neighborhoods and the batched join must reproduce them —
+/// and their distance bits — exactly.
+#[test]
+fn tie_blocks_survive_the_batched_join() {
+    let mut rows: Vec<[f64; 2]> = Vec::new();
+    // A 6x6 unit grid: axis-aligned neighbors all tie at distance 1,
+    // diagonal neighbors at sqrt(2).
+    for i in 0..36 {
+        rows.push([(i % 6) as f64, (i / 6) as f64]);
+    }
+    // Four duplicate outliers: a 4-way tie block at distance 0.
+    for _ in 0..4 {
+        rows.push([40.0, 40.0]);
+    }
+    let data = Dataset::from_rows(&rows).unwrap();
+    for k in [1, 2, 3, 4, 7] {
+        assert_paths_agree("scan/ties", &LinearScan::new(&data, Euclidean), &data, k);
+        assert_paths_agree("kdtree/ties", &KdTree::new(&data, Euclidean), &data, k);
+        assert_paths_agree("balltree/ties", &BallTree::new(&data, Euclidean), &data, k);
+        assert_paths_agree("xtree/ties", &XTree::new(&data, Euclidean), &data, k);
+    }
+}
+
+/// The generic (kernel-less) group paths get their own deterministic
+/// coverage: Manhattan routes the kd-tree and ball tree through the
+/// per-query rect/ball prunes instead of the surrogate kernel.
+#[test]
+fn generic_metric_batches_are_bit_identical() {
+    use lof_core::Manhattan;
+    let mut rows: Vec<[f64; 3]> = Vec::new();
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for i in 0..120 {
+        let offset = if i % 3 == 0 { 8.0 } else { 0.0 };
+        rows.push([offset + next() * 2.0, next() * 2.0, (i % 4) as f64]);
+    }
+    let data = Dataset::from_rows(&rows).unwrap();
+    let scan = LinearScan::new(&data, Manhattan);
+    let kd = KdTree::new(&data, Manhattan);
+    let ball = BallTree::new(&data, Manhattan);
+    for k in [1, 5, 11] {
+        // Batch vs per-id of the same provider (the generic group paths)...
+        check_subrange("kdtree/manhattan", &kd, 0..data.len(), k);
+        check_subrange("balltree/manhattan", &ball, 0..data.len(), k);
+        // ...and per-id vs the brute-force scan under the same metric.
+        for id in (0..data.len()).step_by(7) {
+            let want = scan.k_nearest(id, k).unwrap();
+            assert_bit_identical(
+                &format!("kdtree/manhattan vs scan (id={id})"),
+                &kd.k_nearest(id, k).unwrap(),
+                &want,
+            );
+            assert_bit_identical(
+                &format!("balltree/manhattan vs scan (id={id})"),
+                &ball.k_nearest(id, k).unwrap(),
+                &want,
+            );
+        }
+    }
+    check_subrange("kdtree/manhattan-sub", &kd, 17..83, 6);
+    check_subrange("balltree/manhattan-sub", &ball, 17..83, 6);
+    check_subrange("kdtree/manhattan-empty", &kd, 5..5, 6);
 }

@@ -22,6 +22,16 @@ cargo build -p lof-stream
 cargo test -p lof-stream -q
 cargo test -p lof-stream --test serve -q
 
+echo "== release smoke: batch join + sweep bit-identity at n=2000 =="
+# bench_materialize aborts on any bit divergence between the brute scan,
+# the per-query tree searches, the leaf-blocked batch joins, and the
+# single-pass MinPts sweep — a cheap end-to-end gate over the real
+# release-optimized binaries.
+LOF_MATERIALIZE_N=2000 \
+  BENCH_MATERIALIZE_OUT=/tmp/lof_ci_bench_materialize.json \
+  LOF_RESULTS=/tmp \
+  cargo run --release -q -p lof-bench --bin bench_materialize
+
 echo "== rustfmt =="
 cargo fmt --check
 
