@@ -34,6 +34,7 @@
 //!   --threshold T        alert when LOF > T
 //!   --topk K             alert when the event ranks in the window's top K
 //!   --metric METRIC      euclidean | manhattan | chebyshev | angular
+//!   --metrics            print a final registry snapshot to stderr
 //!   --listen ADDR        serve only: bind address       [default: 127.0.0.1:7878]
 //!   --queue N            serve only: job-queue bound    [default: 1024]
 //! ```
@@ -300,6 +301,9 @@ pub struct StreamArgs {
     pub queue: usize,
     /// Distance metric.
     pub metric: MetricChoice,
+    /// Print a final metrics-registry snapshot (Prometheus text) to
+    /// stderr when the run ends.
+    pub metrics: bool,
 }
 
 impl Default for StreamArgs {
@@ -315,6 +319,7 @@ impl Default for StreamArgs {
             top_k: None,
             queue: 0,
             metric: MetricChoice::Euclidean,
+            metrics: false,
         }
     }
 }
@@ -384,6 +389,7 @@ pub fn parse_stream_args(serve: bool, args: &[String]) -> Result<StreamArgs, Str
             }
             "--topk" => parsed.top_k = Some(number("--topk", &mut iter)?),
             "--metric" => parsed.metric = parse_metric(value("--metric", &mut iter)?)?,
+            "--metrics" => parsed.metrics = true,
             "--listen" if serve => parsed.listen = value("--listen", &mut iter)?.clone(),
             "--queue" if serve => parsed.queue = number("--queue", &mut iter)?,
             flag if flag.starts_with("--") => {
@@ -622,6 +628,9 @@ stream / serve options:
   --threshold T       alert when LOF > T
   --topk K            alert when an event ranks in the window's top K
   --metric METRIC     euclidean | manhattan | chebyshev | angular
+  --metrics           print a final metrics snapshot (Prometheus text)
+                      to stderr; serve mode also answers in-band
+                      `GET /metrics[.json]` requests on any connection
   --listen ADDR       serve only: bind address          [default: 127.0.0.1:7878]
   --queue N           serve only: in-flight event bound [default: 1024]
 "
@@ -901,6 +910,7 @@ mod tests {
         assert_eq!(parsed.top_k, Some(3));
         assert_eq!(parsed.metric, MetricChoice::Manhattan);
         assert_eq!(parsed.input, None, "'-' means stdin");
+        assert!(!parsed.metrics, "--metrics is opt-in");
 
         let config = stream_window_config(&parsed);
         assert_eq!(config.min_pts, 4);
@@ -909,6 +919,14 @@ mod tests {
         assert_eq!(config.policy, lof_stream::EvictionPolicy::Landmark);
         assert_eq!(config.threshold, Some(2.5));
         assert_eq!(config.top_k, Some(3));
+    }
+
+    #[test]
+    fn metrics_flag_parses_in_both_streaming_modes() {
+        assert!(parse_stream_args(false, &args(&["--metrics"])).unwrap().metrics);
+        assert!(parse_stream_args(true, &args(&["--metrics"])).unwrap().metrics);
+        // The batch parser does not take it.
+        assert!(parse_args(&args(&["--metrics", "a.csv"])).is_err());
     }
 
     #[test]

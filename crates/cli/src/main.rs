@@ -126,6 +126,9 @@ fn run_stream_mode<M: Metric>(args: &StreamArgs, window: SlidingWindowLof<M>) ->
             if summary.errors > 0 {
                 eprintln!("{} lines were rejected (see in-band error records)", summary.errors);
             }
+            if args.metrics {
+                report_registry(window.registry());
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -146,8 +149,12 @@ fn run_serve_mode<M: Metric + 'static>(args: &StreamArgs, window: SlidingWindowL
     match serve::spawn(listener, window, args.queue) {
         Ok(handle) => {
             eprintln!("listening on {} (NDJSON in, NDJSON out; ctrl-c to stop)", handle.addr());
+            let registry = std::sync::Arc::clone(handle.registry());
             let stats = handle.wait();
             report_stats(&stats);
+            if args.metrics {
+                report_registry(&registry);
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -155,6 +162,12 @@ fn run_serve_mode<M: Metric + 'static>(args: &StreamArgs, window: SlidingWindowL
             ExitCode::FAILURE
         }
     }
+}
+
+/// Final registry snapshot on stderr (`--metrics`), in the same
+/// Prometheus text format the serve loop answers to `GET /metrics`.
+fn report_registry(registry: &lof_obs::MetricsRegistry) {
+    eprintln!("{}", registry.render_prometheus());
 }
 
 /// End-of-stream summary on stderr (stdout carries only NDJSON records).

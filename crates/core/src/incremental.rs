@@ -281,6 +281,8 @@ impl<M: Metric> IncrementalLof<M> {
             lrds_recomputed: set_b.len(),
             lofs_recomputed: set_c.len(),
         };
+        crate::obs::publish_event(crate::obs::CoreEvent::IncrementalInsert);
+        crate::obs::publish_event(crate::obs::CoreEvent::CascadeLofs(stats.lofs_recomputed as u64));
         Ok((q, self.lof[q], stats))
     }
 
@@ -397,11 +399,14 @@ impl<M: Metric> IncrementalLof<M> {
             self.lof[o] = self.compute_lof(o);
         }
 
-        Ok(UpdateStats {
+        let stats = UpdateStats {
             neighborhoods_updated: set_a.len(),
             lrds_recomputed: set_b.len(),
             lofs_recomputed: set_c.len(),
-        })
+        };
+        crate::obs::publish_event(crate::obs::CoreEvent::IncrementalRemove);
+        crate::obs::publish_event(crate::obs::CoreEvent::CascadeLofs(stats.lofs_recomputed as u64));
+        Ok(stats)
     }
 
     /// The maintained tie-inclusive neighborhood of an object, in canonical

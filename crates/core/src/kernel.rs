@@ -148,6 +148,15 @@ impl BlockKernel {
         (TILE_BUDGET_BYTES / (8 * d.max(1))).max(8)
     }
 
+    /// The kernel's blocking geometry for a dataset of `n` points in `d`
+    /// dimensions: `(queries per block, points per data tile)`. Exposed
+    /// so the kernel-counter ground-truth tests can derive expected tile
+    /// and pair counts from first principles instead of copying the
+    /// budget constants.
+    pub fn geometry(n: usize, d: usize) -> (usize, usize) {
+        (Self::query_block(n), Self::tile_points(d))
+    }
+
     /// Streams every data tile past the query block once, computing the
     /// norm-form surrogate `‖x_q‖² + ‖x_j‖² − 2·q·x_j` per pair and
     /// capturing candidates directly — the full distance row is never
@@ -219,14 +228,16 @@ impl BlockKernel {
         let mut limits = [(4 * k).max(64); MAX_QUERY_BLOCK];
         // Disjoint field borrows: the tile staging buffer is written by
         // the compute loop and read by the capture scan.
-        let KnnScratch { block_pairs, tile_sq, .. } = scratch;
+        let KnnScratch { block_pairs, tile_sq, stats, .. } = scratch;
         let tile = Self::tile_points(d);
         let mut tile_start = 0;
         while tile_start < n {
             let tile_end = (tile_start + tile).min(n);
             let tile_len = tile_end - tile_start;
             tile_sq.resize(tile_len, 0.0);
+            stats.bump_tiles(1);
             for (qi, qid) in ids.clone().enumerate() {
+                stats.bump_tile_pairs(tile_len as u64);
                 let q = &coords[qid * d..][..d];
                 let qn = self.norms[qid];
 
@@ -264,7 +275,9 @@ impl BlockKernel {
                         let j = tile_start + ti;
                         if j != qid {
                             pairs.push((sq, j));
+                            stats.bump_captures(1);
                             if pairs.len() >= limit {
+                                stats.bump_compactions(1);
                                 pairs.select_nth_unstable_by(k - 1, by_key);
                                 accept = pairs[k - 1].0 + two_slack;
                                 pairs.retain(|&(sq, _)| sq <= accept);
@@ -298,7 +311,7 @@ impl BlockKernel {
         let coords = data.as_flat();
         // Disjoint field borrows: candidates are read while the
         // exact-refine staging buffer is written.
-        let KnnScratch { neighbors, block_pairs, .. } = scratch;
+        let KnnScratch { neighbors, block_pairs, stats, .. } = scratch;
         let pairs = &mut block_pairs[qi];
         debug_assert!(pairs.len() >= k, "caller guarantees k < n");
 
@@ -326,6 +339,8 @@ impl BlockKernel {
                 neighbors.push(Neighbor::new(j, dist));
             }
         }
+
+        stats.bump_refined(neighbors.len() as u64);
 
         // Exact tie-inclusive selection on exact distances — the same
         // reduction the plain scan applies to its full candidate list,

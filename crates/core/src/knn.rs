@@ -24,6 +24,10 @@ pub struct BoundedMaxHeap {
     /// Binary max-heap ordered by `(dist, id)`; the canonical-order-largest
     /// candidate sits at index 0 and is evicted first.
     entries: Vec<(f64, usize)>,
+    /// Offers since the last reset (instrumentation; absent with `obs`
+    /// off so the hot offer paths stay untouched).
+    #[cfg(feature = "obs")]
+    offers: u64,
 }
 
 impl BoundedMaxHeap {
@@ -42,6 +46,25 @@ impl BoundedMaxHeap {
         self.k = k;
         self.entries.clear();
         self.entries.reserve(k + 1);
+        #[cfg(feature = "obs")]
+        {
+            self.offers = 0;
+        }
+    }
+
+    /// Offers seen since the last [`reset`](Self::reset); always 0 with
+    /// `obs` off. The batch joins sum this per heap after a group descent
+    /// to attribute offer counts without touching the offer fast path.
+    #[inline]
+    pub fn offers(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.offers
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0
+        }
     }
 
     #[inline]
@@ -52,6 +75,10 @@ impl BoundedMaxHeap {
     /// Offers a candidate; keeps it only if it beats the current worst.
     #[inline]
     pub fn offer(&mut self, id: usize, dist: f64) {
+        #[cfg(feature = "obs")]
+        {
+            self.offers += 1;
+        }
         let e = (dist, id);
         if self.entries.len() < self.k {
             self.entries.push(e);
@@ -73,6 +100,10 @@ impl BoundedMaxHeap {
     /// use this to skip the shell traversal entirely for tie-free queries.
     #[inline]
     pub fn offer_tracking(&mut self, id: usize, dist: f64, lost_min: &mut f64) {
+        #[cfg(feature = "obs")]
+        {
+            self.offers += 1;
+        }
         let e = (dist, id);
         if self.entries.len() < self.k {
             self.entries.push(e);
@@ -222,6 +253,9 @@ pub struct KnnScratch {
     /// value equal to the query's k-distance flags the rare queries whose
     /// shell pass can actually recover an id-tie-break casualty.
     pub join_lost: Vec<f64>,
+    /// Deterministic per-call kernel counters (see [`crate::obs`]); hot
+    /// paths bump these as plain additions, chokepoints publish them.
+    pub stats: crate::obs::KernelStats,
 }
 
 impl KnnScratch {

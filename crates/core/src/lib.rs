@@ -64,6 +64,7 @@ pub mod lof;
 pub mod lrd;
 pub mod materialize;
 pub mod neighbors;
+pub mod obs;
 pub mod parallel;
 pub mod persist;
 pub mod point;
@@ -82,6 +83,7 @@ pub use knn::{with_thread_scratch, BoundedMaxHeap, KnnScratch};
 pub use lof::{lof, lof_of_point, lof_of_point_with};
 pub use materialize::NeighborhoodTable;
 pub use neighbors::{KnnProvider, Neighbor};
+pub use obs::KernelStats;
 pub use parallel::build_table_parallel;
 pub use point::Dataset;
 pub use range::{lof_range, lof_range_reference, Aggregate, LofRangeResult, MinPtsRange};

@@ -57,10 +57,12 @@ impl NeighborhoodTable {
         if n == 0 {
             return Err(LofError::EmptyDataset);
         }
+        let _span = lof_obs::span!("core.materialize.build");
         let mut scratch = crate::knn::KnnScratch::new();
         let mut neighbors = Vec::with_capacity(n * max_k);
         let mut lens = Vec::with_capacity(n);
         provider.batch_k_nearest(0..n, max_k, &mut scratch, &mut neighbors, &mut lens)?;
+        scratch.stats.publish_and_reset();
         Ok(Self::from_flat(max_k, neighbors, &lens))
     }
 

@@ -1,0 +1,250 @@
+//! Core-engine instrumentation: deterministic per-call kernel counters
+//! plus the publication bridge into the process-wide metrics registry.
+//!
+//! Two layers, deliberately separate:
+//!
+//! 1. [`KernelStats`] — plain `u64` fields living inside each
+//!    [`KnnScratch`](crate::KnnScratch). The hot loops bump these with
+//!    ordinary additions (no atomics), so a single-threaded call's
+//!    counts are exactly reproducible — which is what the ground-truth
+//!    tests in `crates/core/tests/obs_kernel.rs` compare against naive
+//!    arithmetic. With the `obs` feature off the bump methods compile to
+//!    nothing and the kernels are uninstrumented.
+//! 2. [`publish_kernel_stats`] / [`core_counter`] — chokepoints (table
+//!    materialization, incremental updates, the sweep) flush those local
+//!    counts into `lof_obs::global()`'s sharded counters, where the CLI
+//!    and exposition formats read them. Publication happens once per
+//!    batch, not per offer, so the sharded atomics stay off the hot path
+//!    entirely.
+
+use lof_obs::Counter;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// Deterministic counters for one engine call (a batch build, a single
+/// query, an incremental update). Lives in
+/// [`KnnScratch::stats`](crate::KnnScratch); reset it before a call and
+/// read it after for exact per-call counts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Blocked-kernel data tiles streamed (one per (tile, query-block)).
+    pub tiles: u64,
+    /// Candidate distances evaluated by the blocked kernel (tile length
+    /// summed per query).
+    pub tile_pairs: u64,
+    /// Candidates captured under the running threshold.
+    pub captures: u64,
+    /// `select_nth`-based capture-list compactions.
+    pub compactions: u64,
+    /// Candidates exact-refined after the surrogate scan.
+    pub refined: u64,
+    /// Heap offers observed by the leaf-grouped batch self-joins.
+    pub heap_offers: u64,
+    /// Leaf groups traversed by the batch self-joins.
+    pub join_groups: u64,
+    /// Tie-shell recovery passes actually taken (lost-candidate gate
+    /// fired).
+    pub shell_passes: u64,
+}
+
+macro_rules! bump {
+    ($($(#[$doc:meta])* $fn_name:ident => $field:ident),* $(,)?) => {
+        impl KernelStats {
+            $(
+                $(#[$doc])*
+                #[inline(always)]
+                pub fn $fn_name(&mut self, n: u64) {
+                    #[cfg(feature = "obs")]
+                    {
+                        self.$field += n;
+                    }
+                    #[cfg(not(feature = "obs"))]
+                    let _ = n;
+                }
+            )*
+        }
+    };
+}
+
+bump! {
+    /// Adds `n` streamed tiles.
+    bump_tiles => tiles,
+    /// Adds `n` evaluated candidate distances.
+    bump_tile_pairs => tile_pairs,
+    /// Adds `n` threshold captures.
+    bump_captures => captures,
+    /// Adds `n` capture-list compactions.
+    bump_compactions => compactions,
+    /// Adds `n` exact-refined candidates.
+    bump_refined => refined,
+    /// Adds `n` self-join heap offers.
+    bump_heap_offers => heap_offers,
+    /// Adds `n` traversed leaf groups.
+    bump_join_groups => join_groups,
+    /// Adds `n` tie-shell recovery passes.
+    bump_shell_passes => shell_passes,
+}
+
+impl KernelStats {
+    /// Zeroes every counter (start of an instrumented call).
+    pub fn reset(&mut self) {
+        *self = KernelStats::default();
+    }
+
+    /// Flushes the counts into the global registry's `core.*` counters
+    /// and zeroes this instance. Call at batch chokepoints, never inside
+    /// per-candidate loops.
+    pub fn publish_and_reset(&mut self) {
+        #[cfg(feature = "obs")]
+        {
+            let m = core_metrics();
+            for (counter, value) in [
+                (&m.tiles, self.tiles),
+                (&m.tile_pairs, self.tile_pairs),
+                (&m.captures, self.captures),
+                (&m.compactions, self.compactions),
+                (&m.refined, self.refined),
+                (&m.heap_offers, self.heap_offers),
+                (&m.join_groups, self.join_groups),
+                (&m.shell_passes, self.shell_passes),
+            ] {
+                if value > 0 {
+                    counter.add(value);
+                }
+            }
+        }
+        self.reset();
+    }
+}
+
+/// The global `core.*` counters, resolved once and cached: the
+/// publication chokepoints must not take the registry lock per batch.
+#[cfg(feature = "obs")]
+pub(crate) struct CoreMetrics {
+    pub tiles: Arc<Counter>,
+    pub tile_pairs: Arc<Counter>,
+    pub captures: Arc<Counter>,
+    pub compactions: Arc<Counter>,
+    pub refined: Arc<Counter>,
+    pub heap_offers: Arc<Counter>,
+    pub join_groups: Arc<Counter>,
+    pub shell_passes: Arc<Counter>,
+    pub sweep_ranges: Arc<Counter>,
+    pub sweep_column_passes: Arc<Counter>,
+    pub sweep_cells: Arc<Counter>,
+    pub inserts: Arc<Counter>,
+    pub removes: Arc<Counter>,
+    pub cascade_lofs: Arc<Counter>,
+}
+
+#[cfg(feature = "obs")]
+pub(crate) fn core_metrics() -> &'static CoreMetrics {
+    static METRICS: OnceLock<CoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = lof_obs::global();
+        CoreMetrics {
+            tiles: r.counter("core.kernel.tiles"),
+            tile_pairs: r.counter("core.kernel.tile_pairs"),
+            captures: r.counter("core.kernel.captures"),
+            compactions: r.counter("core.kernel.compactions"),
+            refined: r.counter("core.kernel.refined"),
+            heap_offers: r.counter("core.join.heap_offers"),
+            join_groups: r.counter("core.join.groups"),
+            shell_passes: r.counter("core.join.shell_passes"),
+            sweep_ranges: r.counter("core.sweep.ranges"),
+            sweep_column_passes: r.counter("core.sweep.column_passes"),
+            sweep_cells: r.counter("core.sweep.cells"),
+            inserts: r.counter("core.incremental.inserts"),
+            removes: r.counter("core.incremental.removes"),
+            cascade_lofs: r.counter("core.incremental.cascade_lofs"),
+        }
+    })
+}
+
+/// Kinds of whole-call events the engine publishes directly to the
+/// global registry (no per-call accumulation needed).
+#[derive(Debug, Clone, Copy)]
+pub enum CoreEvent {
+    /// One `sweep_lof_range` invocation.
+    SweepRange,
+    /// Column passes over the CSR arena during a sweep.
+    SweepColumnPasses(u64),
+    /// `(point, MinPts)` cells evaluated during a sweep.
+    SweepCells(u64),
+    /// One successful incremental insert.
+    IncrementalInsert,
+    /// One successful incremental remove.
+    IncrementalRemove,
+    /// LOF values recomputed by an update cascade.
+    CascadeLofs(u64),
+}
+
+/// Publishes one whole-call event to the global registry. No-op with
+/// `obs` off.
+pub fn publish_event(event: CoreEvent) {
+    #[cfg(feature = "obs")]
+    {
+        let m = core_metrics();
+        match event {
+            CoreEvent::SweepRange => m.sweep_ranges.inc(),
+            CoreEvent::SweepColumnPasses(n) => m.sweep_column_passes.add(n),
+            CoreEvent::SweepCells(n) => m.sweep_cells.add(n),
+            CoreEvent::IncrementalInsert => m.inserts.inc(),
+            CoreEvent::IncrementalRemove => m.removes.inc(),
+            CoreEvent::CascadeLofs(n) => m.cascade_lofs.add(n),
+        }
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = event;
+}
+
+// Quiet the unused-import lints in the obs-off build: Counter/Arc/OnceLock
+// only appear in gated items there.
+#[cfg(not(feature = "obs"))]
+#[allow(dead_code)]
+fn _unused_imports(_: Option<(Arc<Counter>, &OnceLock<u8>)>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bumps_respect_the_feature_gate() {
+        let mut s = KernelStats::default();
+        s.bump_tiles(3);
+        s.bump_heap_offers(10);
+        if lof_obs::enabled() {
+            assert_eq!(s.tiles, 3);
+            assert_eq!(s.heap_offers, 10);
+        } else {
+            assert_eq!(s, KernelStats::default());
+        }
+    }
+
+    #[test]
+    fn publish_flushes_into_the_global_registry() {
+        let mut s = KernelStats::default();
+        s.bump_captures(7);
+        let before = lof_obs::global().counter("core.kernel.captures").value();
+        s.publish_and_reset();
+        assert_eq!(s, KernelStats::default());
+        let after = lof_obs::global().counter("core.kernel.captures").value();
+        if lof_obs::enabled() {
+            assert_eq!(after - before, 7);
+        } else {
+            assert_eq!(after, 0);
+        }
+    }
+
+    #[test]
+    fn events_land_on_their_counters() {
+        let before = lof_obs::global().counter("core.incremental.cascade_lofs").value();
+        publish_event(CoreEvent::CascadeLofs(5));
+        let after = lof_obs::global().counter("core.incremental.cascade_lofs").value();
+        if lof_obs::enabled() {
+            assert_eq!(after - before, 5);
+        } else {
+            assert_eq!(after, 0);
+        }
+    }
+}

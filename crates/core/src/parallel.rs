@@ -97,6 +97,9 @@ where
                         }
                         sub = sub_end;
                     }
+                    // Flush this worker's kernel counters before the
+                    // scratch dies with the thread.
+                    scratch.stats.publish_and_reset();
                     Some((out, lens))
                 })
             })

@@ -59,6 +59,13 @@ pub(crate) fn sweep_lof_range(
     let rl = range.len();
     let threads = threads.max(1).min(n.max(1));
 
+    // One registry event per sweep: three column passes over the CSR
+    // arena (one per stage) covering `n x rl` (object, MinPts) cells each.
+    let _span = lof_obs::span!("core.sweep");
+    crate::obs::publish_event(crate::obs::CoreEvent::SweepRange);
+    crate::obs::publish_event(crate::obs::CoreEvent::SweepColumnPasses(3 * n as u64));
+    crate::obs::publish_event(crate::obs::CoreEvent::SweepCells(3 * (n * rl) as u64));
+
     // Stage 1: tie-inclusive prefix lengths and k-distances for all (p, k)
     // in one list walk per object. Column-major `[n x rl]`: chunk outputs
     // are contiguous spans of the global arrays.

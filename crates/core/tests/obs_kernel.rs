@@ -1,0 +1,90 @@
+//! Kernel-counter ground-truth suite (PR 4, obs builds only): the
+//! per-scratch [`KernelStats`] counters must match values derived from
+//! first principles — the kernel's published blocking geometry and an
+//! instrumented naive scan — not merely be "plausible". These tests pin
+//! the counters' *semantics* so dashboards built on them stay honest.
+#![cfg(feature = "obs")]
+
+use lof_core::knn::KnnScratch;
+use lof_core::{BlockKernel, Dataset, Euclidean, KernelStats, Neighbor};
+
+fn grid_dataset(n: usize, dims: usize) -> Dataset {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..dims).map(|d| ((i * (d + 3) + d) % 17) as f64 * 0.75).collect())
+        .collect();
+    Dataset::from_rows(&rows).unwrap()
+}
+
+/// Runs the blocked batch path over every id and returns the scratch
+/// stats plus the flat neighbor output.
+fn run_batch(data: &Dataset, k: usize) -> (KernelStats, Vec<Neighbor>, Vec<usize>) {
+    let kernel = BlockKernel::for_metric(data, &Euclidean).expect("Euclidean has a blocked form");
+    let mut scratch = KnnScratch::new();
+    let mut out = Vec::new();
+    let mut lens = Vec::new();
+    kernel.batch_k_nearest(data, 0..data.len(), k, &mut scratch, &mut out, &mut lens);
+    (scratch.stats, out, lens)
+}
+
+#[test]
+fn tile_and_pair_counters_match_the_blocking_geometry() {
+    for (n, dims, k) in [(23, 2, 3), (100, 3, 5), (257, 4, 4), (64, 7, 6)] {
+        let data = grid_dataset(n, dims);
+        let (stats, _, lens) = run_batch(&data, k);
+
+        let (qb, tile_points) = BlockKernel::geometry(n, dims);
+        let blocks = n.div_ceil(qb) as u64;
+        let tiles_per_block = n.div_ceil(tile_points) as u64;
+        assert_eq!(
+            stats.tiles,
+            blocks * tiles_per_block,
+            "tiles must equal blocks x tiles-per-block (n={n}, d={dims})"
+        );
+        // Every block streams all n points past each of its queries, so
+        // the pair counter is exactly n per query — n^2 over the batch.
+        assert_eq!(stats.tile_pairs, (n * n) as u64, "pairs must be n^2 (n={n}, d={dims})");
+        // Each query's final neighborhood comes from captured pairs, and
+        // each captured pair is refined at most once.
+        let total_neighbors: u64 = lens.iter().map(|&l| l as u64).sum();
+        assert!(total_neighbors >= (n * k) as u64, "definition-4 neighborhoods hold >= k each");
+        assert!(stats.refined >= total_neighbors, "every emitted neighbor was refined");
+        assert!(stats.captures >= stats.refined, "refinement only sees captured pairs");
+    }
+}
+
+#[test]
+fn capture_counter_matches_an_instrumented_naive_scan_on_duplicates() {
+    // All points identical: every pair survives every cutoff, so the
+    // kernel must capture *exactly* the n*(n-1) cross pairs the naive
+    // scan would (self-pairs are skipped in both).
+    let n = 12;
+    let data = Dataset::from_rows(&[[1.5, -2.0]; 12]).unwrap();
+    let (stats, _, lens) = run_batch(&data, 3);
+    assert_eq!(stats.captures, (n * (n - 1)) as u64);
+    assert_eq!(stats.refined, (n * (n - 1)) as u64);
+    // Definition 4 on an all-tie dataset: every neighborhood holds all
+    // n-1 others.
+    assert!(lens.iter().all(|&l| l == n - 1));
+}
+
+#[test]
+fn counters_reset_with_the_scratch_and_accumulate_across_calls() {
+    let data = grid_dataset(40, 2);
+    let kernel = BlockKernel::for_metric(&data, &Euclidean).unwrap();
+    let mut scratch = KnnScratch::new();
+    let (mut out, mut lens) = (Vec::new(), Vec::new());
+
+    kernel.batch_k_nearest(&data, 0..data.len(), 3, &mut scratch, &mut out, &mut lens);
+    let first = scratch.stats;
+    assert!(first.tiles > 0 && first.tile_pairs > 0 && first.captures > 0);
+
+    // A second identical batch doubles every deterministic counter.
+    kernel.batch_k_nearest(&data, 0..data.len(), 3, &mut scratch, &mut out, &mut lens);
+    assert_eq!(scratch.stats.tiles, 2 * first.tiles);
+    assert_eq!(scratch.stats.tile_pairs, 2 * first.tile_pairs);
+    assert_eq!(scratch.stats.captures, 2 * first.captures);
+    assert_eq!(scratch.stats.refined, 2 * first.refined);
+
+    scratch.stats.reset();
+    assert_eq!(scratch.stats, KernelStats::default());
+}

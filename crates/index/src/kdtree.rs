@@ -280,7 +280,8 @@ impl<'a, M: Metric> KdTree<'a, M> {
         if scratch.block_pairs.len() < gn {
             scratch.block_pairs.resize_with(gn, Vec::new);
         }
-        let KnnScratch { heaps, tile_sq, block_pairs, join_radii, join_lost, .. } = scratch;
+        let KnnScratch { heaps, tile_sq, block_pairs, join_radii, join_lost, stats, .. } = scratch;
+        stats.bump_join_groups(1);
         let heaps = &mut heaps[..gn];
         for h in heaps.iter_mut() {
             h.reset(k);
@@ -325,6 +326,7 @@ impl<'a, M: Metric> KdTree<'a, M> {
                     lost_d == radius
                 });
             if needs_shell {
+                stats.bump_shell_passes(1);
                 self.group_shell_sq(
                     self.root, leaf, group, join_radii, heaps, kernel, tile_sq, pairs,
                 );
@@ -338,6 +340,7 @@ impl<'a, M: Metric> KdTree<'a, M> {
             self.group_range_generic(self.root, group, join_radii, pairs);
         }
 
+        stats.bump_heap_offers(heaps.iter().map(|h| h.offers()).sum());
         for list in pairs.iter_mut() {
             list.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             staged.extend(list.iter().map(|&(d, id)| Neighbor::new(id, d)));

@@ -1,0 +1,86 @@
+//! Ground-truth tests for the batched join's observability counters
+//! (PR 4, obs builds only). The tie-shell recovery counter must fire
+//! *exactly* on the duplicate-distance fixtures from
+//! `batch_consistency.rs` — nonzero there, zero on tie-free data — and
+//! heap offers on a single-leaf tree must equal the instrumented naive
+//! scan's n·(n−1) candidate evaluations.
+#![cfg(feature = "obs")]
+
+use lof_core::knn::KnnScratch;
+use lof_core::{Dataset, Euclidean, KernelStats, KnnProvider};
+use lof_index::{BallTree, KdTree};
+
+/// Runs the leaf-grouped batch join over every id, returning the
+/// accumulated scratch counters.
+fn join_stats<P: KnnProvider>(provider: &P, n: usize, k: usize) -> KernelStats {
+    let mut scratch = KnnScratch::new();
+    let mut out = Vec::new();
+    let mut lens = Vec::new();
+    provider.batch_k_nearest(0..n, k, &mut scratch, &mut out, &mut lens).unwrap();
+    assert_eq!(lens.len(), n);
+    scratch.stats
+}
+
+/// Tie-free points: consecutive pairwise distances are all distinct, so
+/// no candidate lost at a k-distance can tie it.
+fn spread_dataset(n: usize) -> Dataset {
+    let rows: Vec<[f64; 2]> = (0..n).map(|i| [i as f64 * 1.37, (i * i) as f64 * 0.093]).collect();
+    Dataset::from_rows(&rows).unwrap()
+}
+
+#[test]
+fn single_leaf_offers_match_the_naive_scan() {
+    // n = 12 <= LEAF_SIZE: the whole tree is one leaf, so the group
+    // descent offers every other point to every query's heap — exactly
+    // the n*(n-1) distance evaluations of a naive scan, no more (the
+    // shell pass never offers; it collects by range).
+    let n = 12;
+    let data = spread_dataset(n);
+    for (name, stats) in [
+        ("kdtree", join_stats(&KdTree::new(&data, Euclidean), n, 3)),
+        ("balltree", join_stats(&BallTree::new(&data, Euclidean), n, 3)),
+    ] {
+        assert_eq!(stats.heap_offers, (n * (n - 1)) as u64, "{name}: offers == naive scan");
+        assert_eq!(stats.join_groups, 1, "{name}: one leaf, one group");
+        assert_eq!(stats.shell_passes, 0, "{name}: tie-free data needs no shell recovery");
+    }
+}
+
+#[test]
+fn shell_recoveries_fire_exactly_on_duplicate_distance_fixtures() {
+    // Fixture 1 (from batch_consistency): all points identical — every
+    // candidate lost from a heap ties the k-distance (zero), so the
+    // shell gate must fire.
+    let dups = Dataset::from_rows(&[[1.5, -2.0]; 12]).unwrap();
+    // Fixture 2: the 6x6 unit grid plus a 4-way duplicate block — tie
+    // groups straddle the k-th rank across many leaves.
+    let mut rows: Vec<[f64; 2]> = Vec::new();
+    for i in 0..36 {
+        rows.push([(i % 6) as f64, (i / 6) as f64]);
+    }
+    for _ in 0..4 {
+        rows.push([40.0, 40.0]);
+    }
+    let grid = Dataset::from_rows(&rows).unwrap();
+
+    for (name, data, k) in [("dups", &dups, 3), ("grid", &grid, 3)] {
+        let kd = join_stats(&KdTree::new(data, Euclidean), data.len(), k);
+        let ball = join_stats(&BallTree::new(data, Euclidean), data.len(), k);
+        assert!(kd.shell_passes > 0, "kdtree/{name}: ties must trigger shell recovery");
+        assert!(ball.shell_passes > 0, "balltree/{name}: ties must trigger shell recovery");
+        assert!(kd.join_groups >= kd.shell_passes, "kdtree/{name}: at most one shell per group");
+        assert!(
+            ball.join_groups >= ball.shell_passes,
+            "balltree/{name}: at most one shell per group"
+        );
+    }
+
+    // ...and the negative control: the same assertion machinery on
+    // tie-free data reports zero recoveries for every group.
+    let spread = spread_dataset(40);
+    let kd = join_stats(&KdTree::new(&spread, Euclidean), 40, 3);
+    let ball = join_stats(&BallTree::new(&spread, Euclidean), 40, 3);
+    assert!(kd.join_groups > 1, "n=40 spans multiple leaves");
+    assert_eq!(kd.shell_passes, 0, "kdtree/spread: no ties, no shells");
+    assert_eq!(ball.shell_passes, 0, "balltree/spread: no ties, no shells");
+}

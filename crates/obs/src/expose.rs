@@ -1,0 +1,220 @@
+//! Exposition: rendering a [`MetricsRegistry`] as Prometheus text or as
+//! one NDJSON line.
+//!
+//! Both formats iterate the registry's sorted snapshot, so output order
+//! is deterministic — the golden-file test under `tests/golden/` pins it.
+//! Non-finite gauge values follow each format's own convention:
+//! Prometheus text uses `+Inf` / `-Inf` / `NaN`; NDJSON uses the JSON
+//! strings `"inf"` / `"-inf"` / `"nan"`, byte-identical to
+//! `lof_stream::wire::json_f64` (the serve loop emits both from the same
+//! connection, so the encodings must agree).
+
+use crate::registry::{Metric, MetricsRegistry};
+use std::fmt::Write as _;
+
+/// Encodes an `f64` as a JSON value. Identical rules to
+/// `lof_stream::wire::json_f64` (a cross-crate test pins the match):
+/// finite values print shortest-roundtrip with a forced `.0` on integral
+/// floats; non-finite values become the strings `"inf"` / `"-inf"` /
+/// `"nan"`.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        if !s.contains(['.', 'e', 'E']) {
+            s.push_str(".0");
+        }
+        s
+    } else if v.is_nan() {
+        "\"nan\"".to_owned()
+    } else if v > 0.0 {
+        "\"inf\"".to_owned()
+    } else {
+        "\"-inf\"".to_owned()
+    }
+}
+
+/// Encodes an `f64` as a Prometheus text-format sample value
+/// (`+Inf` / `-Inf` / `NaN` for the non-finite classes).
+pub fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Rewrites a dotted metric name (`stream.events`) as a Prometheus
+/// metric name (`lof_stream_events`): dots become underscores and every
+/// name gets the `lof_` namespace prefix.
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("lof_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+impl MetricsRegistry {
+    /// Renders the registry in the Prometheus text exposition format.
+    ///
+    /// Counters and gauges render as one `# TYPE` line plus one sample;
+    /// histograms render as a `summary` (quantile samples at 0.5 / 0.95 /
+    /// 0.99, then `_sum`, `_count`, `_max`, and `_overflow`). The final
+    /// line is the `# EOF` terminator with no trailing newline, so a
+    /// client reading line-by-line over a shared NDJSON connection knows
+    /// exactly where the block ends.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in self.snapshot() {
+            let pname = prom_name(&name);
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {pname} counter");
+                    let _ = writeln!(out, "{pname} {}", c.value());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {pname} gauge");
+                    let _ = writeln!(out, "{pname} {}", prom_f64(g.value()));
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let _ = writeln!(out, "# TYPE {pname} summary");
+                    let _ = writeln!(out, "{pname}{{quantile=\"0.5\"}} {}", snap.p50_ns);
+                    let _ = writeln!(out, "{pname}{{quantile=\"0.95\"}} {}", snap.p95_ns);
+                    let _ = writeln!(out, "{pname}{{quantile=\"0.99\"}} {}", snap.p99_ns);
+                    let _ = writeln!(out, "{pname}_sum {}", snap.sum_ns);
+                    let _ = writeln!(out, "{pname}_count {}", snap.count);
+                    let _ = writeln!(out, "{pname}_max {}", snap.max_ns);
+                    let _ = writeln!(out, "{pname}_overflow {}", snap.overflow);
+                }
+            }
+        }
+        out.push_str("# EOF");
+        out
+    }
+
+    /// Renders the registry as one JSON object on a single line, keys in
+    /// sorted metric-name order. Counters are bare integers, gauges are
+    /// `json_f64`-encoded numbers, histograms are nested objects:
+    ///
+    /// ```json
+    /// {"stream.events":120,"stream.last_lof":1.5,
+    ///  "stream.latency_ns":{"count":8,"sum_ns":108000,"max_ns":100000,
+    ///                       "overflow":0,"p50_ns":511,"p95_ns":100000,
+    ///                       "p99_ns":100000}}
+    /// ```
+    pub fn render_ndjson(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, metric)) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":");
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = write!(out, "{}", c.value());
+                }
+                Metric::Gauge(g) => {
+                    let _ = write!(out, "{}", json_f64(g.value()));
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let _ = write!(
+                        out,
+                        "{{\"count\":{},\"sum_ns\":{},\"max_ns\":{},\"overflow\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+                        snap.count,
+                        snap.sum_ns,
+                        snap.max_ns,
+                        snap.overflow,
+                        snap.p50_ns,
+                        snap.p95_ns,
+                        snap.p99_ns
+                    );
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_f64_matches_the_wire_rules() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(-0.25), "-0.25");
+        assert_eq!(json_f64(f64::INFINITY), "\"inf\"");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "\"-inf\"");
+        assert_eq!(json_f64(f64::NAN), "\"nan\"");
+        assert_eq!(json_f64(1e300).trim_end_matches(".0").parse::<f64>().unwrap(), 1e300);
+    }
+
+    #[test]
+    fn prom_f64_uses_prometheus_spellings() {
+        assert_eq!(prom_f64(1.5), "1.5");
+        assert_eq!(prom_f64(2.0), "2");
+        assert_eq!(prom_f64(f64::INFINITY), "+Inf");
+        assert_eq!(prom_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(prom_f64(f64::NAN), "NaN");
+    }
+
+    #[test]
+    fn prom_name_sanitizes_and_prefixes() {
+        assert_eq!(prom_name("stream.events"), "lof_stream_events");
+        assert_eq!(prom_name("core.kernel.tiles"), "lof_core_kernel_tiles");
+        assert_eq!(prom_name("weird-name"), "lof_weird_name");
+    }
+
+    #[test]
+    fn prometheus_render_is_sorted_and_terminated() {
+        let r = MetricsRegistry::new();
+        r.counter("b.count").add(2);
+        r.gauge("a.level").set(f64::INFINITY);
+        let text = r.render_prometheus();
+        assert!(text.ends_with("# EOF"));
+        assert!(!text.ends_with('\n'));
+        let a = text.find("lof_a_level").unwrap();
+        let b = text.find("lof_b_count").unwrap();
+        assert!(a < b, "names must render in sorted order");
+        if crate::enabled() {
+            assert!(text.contains("lof_a_level +Inf"));
+            assert!(text.contains("lof_b_count 2"));
+        } else {
+            assert!(text.contains("lof_b_count 0"));
+        }
+    }
+
+    #[test]
+    fn ndjson_render_is_one_sorted_object() {
+        let r = MetricsRegistry::new();
+        r.counter("b.count").add(7);
+        r.gauge("a.level").set(-0.5);
+        let h = r.histogram("c.lat");
+        h.record(100);
+        let line = r.render_ndjson();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        let a = line.find("\"a.level\"").unwrap();
+        let b = line.find("\"b.count\"").unwrap();
+        let c = line.find("\"c.lat\"").unwrap();
+        assert!(a < b && b < c);
+        assert!(line.contains("\"count\":1"));
+        if crate::enabled() {
+            assert!(line.contains("\"a.level\":-0.5"));
+            assert!(line.contains("\"b.count\":7"));
+        }
+    }
+}

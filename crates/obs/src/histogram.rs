@@ -1,0 +1,329 @@
+//! Power-of-two latency histogram, promoted out of
+//! `crates/stream/src/histogram.rs` and made shareable: recording goes
+//! through `&self` (atomics), so the serve loop's scorer thread can
+//! record while exposition snapshots from another thread.
+//!
+//! Bucket `b` holds samples whose nanosecond value has its highest set
+//! bit at position `b` — i.e. the range `[2^b, 2^(b+1))`, with both 0 and
+//! 1 landing in bucket 0. Power-of-two edges keep `record` at a handful
+//! of instructions (a `leading_zeros` and an increment) while giving
+//! quantiles a guaranteed relative error ≤ 2x, which is plenty for
+//! latency telemetry.
+//!
+//! ## The overflow bucket
+//!
+//! The original stream histogram hard-coded 64 buckets, which covers all
+//! of `u64` — but a registry full of histograms at 64 x 8 bytes each is
+//! wasteful when real event latencies fit comfortably below 2^40 ns
+//! (~18 minutes). The promoted histogram defaults to
+//! [`DEFAULT_BUCKETS`] = 40 buckets and routes anything at or above
+//! `2^buckets` into one explicit *overflow* bucket instead of silently
+//! dropping it: `count()` still includes the sample, `max_ns()` still
+//! reports it, and quantiles that land in the overflow bucket saturate to
+//! the observed maximum. `overflow_count()` exposes how many samples
+//! overflowed so dashboards can tell "p99 is 900ms" from "the histogram
+//! range is too small".
+//!
+//! Unlike [`Counter`](crate::Counter) and [`Gauge`](crate::Gauge), the
+//! histogram stays **functional with the `obs` feature off**: it predates
+//! the registry, and its owners (the sliding window's `StreamStats`) read
+//! it back as data, not telemetry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default number of power-of-two buckets: covers up to `2^40` ns
+/// (~18 minutes) before the overflow bucket takes over.
+pub const DEFAULT_BUCKETS: usize = 40;
+
+/// Upper limit on configurable buckets — 64 covers all of `u64`, at
+/// which point the overflow bucket is unreachable.
+pub const MAX_BUCKETS: usize = 64;
+
+/// A lock-free power-of-two histogram of `u64` samples (nanoseconds by
+/// convention), with a saturating overflow bucket past the top edge.
+#[derive(Debug)]
+pub struct Histogram {
+    /// `buckets + 1` slots; the final slot is the overflow bucket.
+    counts: Box<[AtomicU64]>,
+    buckets: usize,
+    total: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+/// A plain-data copy of a histogram's aggregates at one instant, for
+/// embedding in reports without holding the live histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded (overflowed samples included).
+    pub count: u64,
+    /// Saturating sum of all samples.
+    pub sum_ns: u64,
+    /// Largest sample seen.
+    pub max_ns: u64,
+    /// Samples routed to the overflow bucket.
+    pub overflow: u64,
+    /// Median estimate.
+    pub p50_ns: u64,
+    /// 95th percentile estimate.
+    pub p95_ns: u64,
+    /// 99th percentile estimate.
+    pub p99_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for Histogram {
+    fn clone(&self) -> Self {
+        let out = Self::with_buckets(self.buckets);
+        for (dst, src) in out.counts.iter().zip(self.counts.iter()) {
+            dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        out.total.store(self.total.load(Ordering::Relaxed), Ordering::Relaxed);
+        out.sum_ns.store(self.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        out.max_ns.store(self.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        out
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram with [`DEFAULT_BUCKETS`] power-of-two buckets
+    /// plus the overflow bucket.
+    pub fn new() -> Self {
+        Self::with_buckets(DEFAULT_BUCKETS)
+    }
+
+    /// Creates a histogram with `buckets` power-of-two buckets (clamped
+    /// to `1..=`[`MAX_BUCKETS`]) plus one overflow bucket.
+    pub fn with_buckets(buckets: usize) -> Self {
+        let buckets = buckets.clamp(1, MAX_BUCKETS);
+        let counts = (0..=buckets).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        Self {
+            counts: counts.into_boxed_slice(),
+            buckets,
+            total: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of power-of-two buckets (excluding the overflow bucket).
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Records one sample. Samples at or above `2^buckets` land in the
+    /// overflow bucket — counted, summed, and reflected in `max_ns`, never
+    /// dropped.
+    pub fn record(&self, ns: u64) {
+        let bucket =
+            ((u64::BITS - ns.leading_zeros()).saturating_sub(1) as usize).min(self.buckets);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        // Saturating sum: a wrapped total would silently corrupt the mean.
+        let mut cur = self.sum_ns.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(ns);
+            match self.sum_ns.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total number of samples recorded, including overflowed ones.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Alias for [`count`](Self::count), matching exposition naming.
+    pub fn total_count(&self) -> u64 {
+        self.count()
+    }
+
+    /// Samples that landed in the overflow bucket (at or above
+    /// `2^buckets`).
+    pub fn overflow_count(&self) -> u64 {
+        self.counts[self.buckets].load(Ordering::Relaxed)
+    }
+
+    /// Saturating sum of all recorded samples.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Largest sample seen, or 0 when empty.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Upper-edge quantile estimate: the returned value is ≥ the true
+    /// q-quantile and within 2x of it (bucket upper edge, clamped to the
+    /// observed maximum). Returns 0 when empty; `q` is clamped to
+    /// `[0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (b, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                let edge = if b >= self.buckets || b >= 63 {
+                    // Overflow bucket (or the full-u64 top bucket): the
+                    // only honest upper bound is the observed maximum.
+                    u64::MAX
+                } else {
+                    (2u64 << b) - 1
+                };
+                return edge.min(self.max_ns());
+            }
+        }
+        self.max_ns()
+    }
+
+    /// `(p50, p95, p99)` in nanoseconds.
+    pub fn percentiles_ns(&self) -> (u64, u64, u64) {
+        (self.quantile_ns(0.50), self.quantile_ns(0.95), self.quantile_ns(0.99))
+    }
+
+    /// Captures the aggregates at one instant.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let (p50_ns, p95_ns, p99_ns) = self.percentiles_ns();
+        HistogramSnapshot {
+            count: self.count(),
+            sum_ns: self.sum_ns(),
+            max_ns: self.max_ns(),
+            overflow: self.overflow_count(),
+            p50_ns,
+            p95_ns,
+            p99_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.overflow_count(), 0);
+        assert_eq!(h.quantile_ns(0.5), 0);
+        assert_eq!(h.percentiles_ns(), (0, 0, 0));
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data_within_a_bucket() {
+        let h = Histogram::new();
+        for ns in [100, 200, 300, 400, 500, 600, 700, 100_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 8);
+        // p50 -> 4th sample (400) -> bucket [256, 512) -> edge 511.
+        let p50 = h.quantile_ns(0.5);
+        assert!((400..=511).contains(&p50), "p50 = {p50}");
+        // p99 -> 8th sample -> clamped to the observed max.
+        assert_eq!(h.quantile_ns(0.99), 100_000);
+    }
+
+    #[test]
+    fn zero_and_huge_latencies_are_representable() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_ns(), u64::MAX);
+        assert!(h.quantile_ns(1.0) >= 1);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let h = Histogram::new();
+        for i in 0..1000u64 {
+            h.record(i * 37 % 5000);
+        }
+        let mut last = 0;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = h.quantile_ns(q);
+            assert!(v >= last, "quantile regressed at q={q}: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn out_of_range_samples_saturate_into_the_overflow_bucket() {
+        // Regression for the silent-drop bug: a 4-bucket histogram tops
+        // out at 2^4 = 16; samples at or beyond must still be counted.
+        let h = Histogram::with_buckets(4);
+        h.record(3); // bucket 1
+        h.record(16); // exactly the top edge -> overflow
+        h.record(1_000_000); // far past -> overflow
+        assert_eq!(h.count(), 3, "overflowed samples must not vanish from the count");
+        assert_eq!(h.overflow_count(), 2);
+        assert_eq!(h.max_ns(), 1_000_000);
+        assert_eq!(h.sum_ns(), 1_000_019);
+        // A quantile landing in the overflow bucket saturates to max.
+        assert_eq!(h.quantile_ns(1.0), 1_000_000);
+        // In-range quantiles are unaffected by the overflow tail.
+        assert!(h.quantile_ns(0.1) <= 3);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum_ns(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn bucket_count_is_clamped_and_reported() {
+        assert_eq!(Histogram::with_buckets(0).buckets(), 1);
+        assert_eq!(Histogram::with_buckets(400).buckets(), MAX_BUCKETS);
+        assert_eq!(Histogram::new().buckets(), DEFAULT_BUCKETS);
+    }
+
+    #[test]
+    fn clone_snapshots_the_counts() {
+        let h = Histogram::new();
+        h.record(100);
+        let c = h.clone();
+        h.record(200);
+        assert_eq!(c.count(), 1);
+        assert_eq!(h.count(), 2);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.max_ns, 200);
+    }
+
+    #[test]
+    fn histogram_works_with_obs_off_too() {
+        // Unlike Counter/Gauge, the histogram is a value type and must
+        // function identically in both feature modes.
+        let h = Histogram::new();
+        h.record(7);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean_ns(), 7);
+    }
+}

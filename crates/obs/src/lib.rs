@@ -1,0 +1,130 @@
+//! # lof-obs — zero-dependency observability for the LOF workspace
+//!
+//! Streaming outlier detectors live or die on runtime visibility: the
+//! paper's two-step pipeline and its serving layer process millions of
+//! distance computations per second, and without counters there is no way
+//! to tell *where* that time goes — or whether the fast paths (blocked
+//! kernel tiles, gated tie-shell recoveries, incremental cascades) are
+//! actually taken. This crate is the telemetry plane the rest of the
+//! workspace threads through:
+//!
+//! * [`Counter`] — a monotonic counter sharded across cache lines, so
+//!   concurrent increments from reader/scorer/worker threads never
+//!   contend on one hot cache line and totals are still exact;
+//! * [`Gauge`] — a last-write-wins `f64` level (window occupancy, last
+//!   emitted LOF — which is legitimately `∞` on duplicate-heavy windows);
+//! * [`Histogram`] — the power-of-two latency histogram promoted out of
+//!   `lof-stream`, now recordable through `&self` from any thread and
+//!   carrying an explicit saturating overflow bucket;
+//! * [`SpanGuard`] / [`span!`] — RAII wall-clock timers feeding a
+//!   registry histogram;
+//! * [`MetricsRegistry`] — a name → metric map with stable (sorted)
+//!   iteration order and two exposition formats: Prometheus text and a
+//!   single-line NDJSON object sharing `lof_stream::wire`'s `inf` / `nan`
+//!   encoding rules.
+//!
+//! ## The `obs` feature
+//!
+//! Instrumentation must not tax the kernels it observes. With the crate's
+//! default `obs` feature **disabled** (`--no-default-features`), counters
+//! and gauges are zero-sized, their methods compile to nothing, and
+//! [`span!`] neither reads the clock nor touches the registry — the
+//! instrumented hot paths are byte-for-byte the uninstrumented ones.
+//! [`Histogram`] is the deliberate exception (see its docs): it is a
+//! value type whose owners read it back, so it stays functional in both
+//! modes. [`enabled`] reports the compiled mode at runtime.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lof_obs::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! let events = registry.counter("stream.events");
+//! events.add(3);
+//! registry.gauge("stream.window_occupancy").set(512.0);
+//! {
+//!     let _span = lof_obs::span!(registry, "demo.tick");
+//! } // dropping the guard records the elapsed nanoseconds
+//! let text = registry.render_prometheus();
+//! assert!(text.ends_with("# EOF"));
+//! if lof_obs::enabled() {
+//!     assert_eq!(events.value(), 3);
+//!     assert!(text.contains("lof_stream_events 3"));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod expose;
+pub mod histogram;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot, DEFAULT_BUCKETS, MAX_BUCKETS};
+pub use metrics::{Counter, Gauge};
+pub use registry::{Metric, MetricsRegistry};
+pub use span::SpanGuard;
+
+use std::sync::OnceLock;
+
+/// True when the crate was compiled with the `obs` feature (the default):
+/// counters, gauges, and spans are live. False under
+/// `--no-default-features`, where they compile to no-ops.
+pub const fn enabled() -> bool {
+    cfg!(feature = "obs")
+}
+
+/// The process-wide registry: instrumentation that has no natural owner
+/// (the core kernels, the sweep) publishes here. Subsystems with an owner
+/// (a [`SlidingWindowLof`]-style component) should carry their own
+/// [`MetricsRegistry`] instead, so tests and servers see isolated counts.
+///
+/// [`SlidingWindowLof`]: https://docs.rs/lof-stream
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Starts an RAII span timer recording into a registry histogram when
+/// dropped. One-argument form uses the [`global`] registry; two-argument
+/// form takes an explicit registry expression first.
+///
+/// With `obs` off this expands to a guard that does nothing — the
+/// registry lookup closure is never called and the clock is never read.
+///
+/// ```
+/// let _span = lof_obs::span!("knn.batch");
+/// // ... timed work ...
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::start(|| $crate::global().histogram($name))
+    };
+    ($registry:expr, $name:expr) => {
+        $crate::SpanGuard::start(|| $registry.histogram($name))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn enabled_reflects_the_feature() {
+        assert_eq!(super::enabled(), cfg!(feature = "obs"));
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = super::global().counter("lib.test.global");
+        a.inc();
+        let b = super::global().counter("lib.test.global");
+        if super::enabled() {
+            assert_eq!(b.value(), 1);
+        } else {
+            assert_eq!(b.value(), 0);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Monotonic counters and `f64` gauges.
+//!
+//! Counters are sharded across cache lines: the serve loop increments
+//! from one reader thread per connection plus the scorer thread, and the
+//! parallel materializer from every worker. A single `AtomicU64` would
+//! make each of those increments a cross-core cache-line bounce; instead
+//! each thread hashes to one of [`SHARDS`] padded slots and
+//! [`Counter::value`] sums them. Increments are never lost — relaxed
+//! `fetch_add` is atomic per shard and the sum over shards is exact.
+//!
+//! With the `obs` feature off, both types are zero-sized and every method
+//! compiles to nothing.
+
+#[cfg(feature = "obs")]
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of padded slots a [`Counter`] spreads increments over.
+pub const SHARDS: usize = 8;
+
+/// One cache line worth of counter so neighboring shards never falsely
+/// share. 64 bytes covers x86-64 and most aarch64 parts.
+#[cfg(feature = "obs")]
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+#[cfg(feature = "obs")]
+fn shard_index() -> usize {
+    // A process-wide round-robin assignment at first use per thread: the
+    // workspace's thread counts are small (workers + per-connection
+    // readers), so round-robin spreads them evenly without hashing.
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// A monotonic counter. Cheap to increment from many threads at once;
+/// [`value`](Counter::value) is exact (no sampling, no loss).
+#[derive(Debug, Default)]
+pub struct Counter {
+    #[cfg(feature = "obs")]
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "obs")]
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "obs"))]
+        let _ = n;
+    }
+
+    /// Current total across all shards. Always 0 with `obs` off.
+    pub fn value(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0
+        }
+    }
+}
+
+/// A last-write-wins `f64` level. LOF scores are legitimately `+∞` on
+/// duplicate-heavy windows, so the gauge carries the full `f64` range
+/// including infinities and NaN; exposition encodes them per `wire.rs`.
+#[derive(Debug)]
+pub struct Gauge {
+    #[cfg(feature = "obs")]
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// Creates a gauge at 0.0.
+    pub fn new() -> Self {
+        Self {
+            #[cfg(feature = "obs")]
+            bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// Stores `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        #[cfg(feature = "obs")]
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        #[cfg(not(feature = "obs"))]
+        let _ = v;
+    }
+
+    /// Last stored value. Always 0.0 with `obs` off.
+    pub fn value(&self) -> f64 {
+        #[cfg(feature = "obs")]
+        {
+            f64::from_bits(self.bits.load(Ordering::Relaxed))
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        if crate::enabled() {
+            assert_eq!(c.value(), 42);
+        } else {
+            assert_eq!(c.value(), 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        // The sharded design must never lose an increment: 8 threads x
+        // 100_000 increments each land on exactly 800_000.
+        let c = Arc::new(Counter::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..100_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        if crate::enabled() {
+            assert_eq!(c.value(), 800_000);
+        } else {
+            assert_eq!(c.value(), 0);
+        }
+    }
+
+    #[test]
+    fn gauge_holds_the_full_f64_range() {
+        let g = Gauge::new();
+        assert_eq!(g.value(), 0.0);
+        for v in [1.5, -3.25, f64::INFINITY, f64::NEG_INFINITY] {
+            g.set(v);
+            if crate::enabled() {
+                assert_eq!(g.value(), v);
+            } else {
+                assert_eq!(g.value(), 0.0);
+            }
+        }
+        g.set(f64::NAN);
+        if crate::enabled() {
+            assert!(g.value().is_nan());
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The name → metric map behind exposition.
+//!
+//! Registration is the slow path (a mutex around a `BTreeMap`, hit once
+//! per metric name per subsystem — instrumented code caches the returned
+//! `Arc`s); incrementing is the fast path and never touches the registry.
+//! The `BTreeMap` gives exposition its stable sorted order for free,
+//! which the golden-file test relies on.
+
+use crate::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// One registered metric. Values are `Arc`s: the registry and the
+/// instrumented code share the same live instance.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A monotonic [`Counter`].
+    Counter(Arc<Counter>),
+    /// An `f64` [`Gauge`].
+    Gauge(Arc<Gauge>),
+    /// A power-of-two [`Histogram`].
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A registry of named counters, gauges, and histograms with sorted,
+/// deterministic iteration order.
+///
+/// Names are dotted paths (`"stream.events"`, `"core.kernel.tiles"`);
+/// exposition rewrites them per format (dots become underscores in
+/// Prometheus text). Looking up a name that exists with a different
+/// metric kind panics — that is always an instrumentation bug, never a
+/// runtime condition.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, registering a fresh
+    /// one on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.metrics.lock().unwrap();
+        let entry =
+            map.entry(name.to_owned()).or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
+        match entry {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, registering a fresh one
+    /// on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.metrics.lock().unwrap();
+        let entry =
+            map.entry(name.to_owned()).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
+        match entry {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, registering a fresh
+    /// default-sized one on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.metrics.lock().unwrap();
+        let entry = map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())));
+        match entry {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Registers an existing histogram under `name`, replacing any prior
+    /// registration. Used to expose a histogram that another component
+    /// already owns (the sliding window's latency histogram) without
+    /// double-recording.
+    pub fn insert_histogram(&self, name: &str, hist: Arc<Histogram>) {
+        self.metrics.lock().unwrap().insert(name.to_owned(), Metric::Histogram(hist));
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.lock().unwrap().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.lock().unwrap().is_empty()
+    }
+
+    /// All metrics in sorted name order, cloned out of the lock. The
+    /// `Arc`s still point at the live instances.
+    pub fn snapshot(&self) -> Vec<(String, Metric)> {
+        self.metrics.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_instance() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.inc();
+        if crate::enabled() {
+            assert_eq!(a.value(), 3);
+        }
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let r = MetricsRegistry::new();
+        r.counter("zeta");
+        r.gauge("alpha");
+        r.histogram("mid");
+        let names: Vec<_> = r.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn insert_histogram_shares_the_instance() {
+        let r = MetricsRegistry::new();
+        let owned = Arc::new(Histogram::new());
+        owned.record(5);
+        r.insert_histogram("lat", Arc::clone(&owned));
+        let seen = r.histogram("lat");
+        assert!(Arc::ptr_eq(&owned, &seen));
+        assert_eq!(seen.count(), 1);
+    }
+}

@@ -1,89 +1,17 @@
-//! Fixed-bucket latency histogram — `std`-only observability for the
-//! streaming detector.
+//! Latency histogram — promoted to [`lof_obs`] in PR 4.
 //!
-//! Buckets are powers of two over nanoseconds (bucket `i` covers
-//! `[2^i, 2^{i+1})` ns), which keeps recording a handful of integer ops and
-//! bounds the relative quantile error by 2× — plenty for p50/p95/p99
-//! monitoring of a scoring loop whose latencies span microseconds to
-//! milliseconds.
+//! The power-of-two histogram that used to live here is now
+//! [`lof_obs::Histogram`]: same bucketing (bucket `b` covers
+//! `[2^b, 2^(b+1))`), but recording goes through `&self` atomics so the
+//! serve loop can snapshot concurrently, and values past the top bucket
+//! land in an explicit saturating overflow bucket instead of being
+//! clamped into the last one. This alias keeps the streaming crate's
+//! public name stable; the tests below are the original seed tests,
+//! pinning the promoted type to the old behavioral contract.
 
-/// Number of power-of-two buckets: covers `[1 ns, 2^63 ns)`, i.e. every
-/// representable latency.
-const BUCKETS: usize = 64;
-
-/// A fixed-memory histogram of nanosecond latencies with quantile queries.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    counts: [u64; BUCKETS],
-    total: u64,
-    sum_ns: u128,
-    max_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram { counts: [0; BUCKETS], total: 0, sum_ns: 0, max_ns: 0 }
-    }
-
-    /// Records one latency observation.
-    pub fn record(&mut self, ns: u64) {
-        let bucket = (u64::BITS - ns.leading_zeros()).saturating_sub(1) as usize;
-        self.counts[bucket.min(BUCKETS - 1)] += 1;
-        self.total += 1;
-        self.sum_ns += u128::from(ns);
-        self.max_ns = self.max_ns.max(ns);
-    }
-
-    /// Number of recorded observations.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Mean latency in nanoseconds (0 when empty).
-    pub fn mean_ns(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum_ns as f64 / self.total as f64
-        }
-    }
-
-    /// Largest recorded latency in nanoseconds.
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// The `q`-quantile (`0 < q <= 1`) in nanoseconds: the upper edge of
-    /// the first bucket whose cumulative count reaches `ceil(q · total)`,
-    /// clamped to the observed maximum. Returns 0 when empty.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
-        let mut seen = 0;
-        for (bucket, &count) in self.counts.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                let upper = if bucket >= 63 { u64::MAX } else { (2u64 << bucket) - 1 };
-                return upper.min(self.max_ns);
-            }
-        }
-        self.max_ns
-    }
-
-    /// Convenience trio: (p50, p95, p99) in nanoseconds.
-    pub fn percentiles_ns(&self) -> (u64, u64, u64) {
-        (self.quantile_ns(0.50), self.quantile_ns(0.95), self.quantile_ns(0.99))
-    }
-}
+/// Per-event scoring latency distribution (see module docs; this is
+/// [`lof_obs::Histogram`] under its streaming name).
+pub type LatencyHistogram = lof_obs::Histogram;
 
 #[cfg(test)]
 mod tests {
@@ -91,45 +19,53 @@ mod tests {
 
     #[test]
     fn empty_histogram_reports_zeros() {
-        let h = LatencyHistogram::new();
+        let h = LatencyHistogram::default();
         assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
         assert_eq!(h.quantile_ns(0.5), 0);
-        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.percentiles_ns(), (0, 0, 0));
     }
 
     #[test]
     fn quantiles_bracket_the_data_within_a_bucket() {
-        let mut h = LatencyHistogram::new();
-        for ns in [100u64, 200, 300, 400, 1000, 2000, 4000, 100_000] {
+        let h = LatencyHistogram::default();
+        for ns in [100, 200, 300, 400, 500, 600, 700, 100_000] {
             h.record(ns);
         }
         assert_eq!(h.count(), 8);
+        // p50 -> 4th sample (400) -> bucket [256, 512) -> edge 511.
         let p50 = h.quantile_ns(0.5);
-        // The 4th value (400 ns) lives in bucket [256, 512): upper edge 511.
         assert!((400..=511).contains(&p50), "p50 = {p50}");
-        // p99 falls in the last populated bucket, clamped to the max.
+        // p99 -> 8th sample -> clamped to the observed max.
         assert_eq!(h.quantile_ns(0.99), 100_000);
-        assert_eq!(h.max_ns(), 100_000);
-        assert!(h.mean_ns() > 0.0);
     }
 
     #[test]
     fn zero_and_huge_latencies_are_representable() {
-        let mut h = LatencyHistogram::new();
+        let h = LatencyHistogram::default();
         h.record(0);
         h.record(u64::MAX);
         assert_eq!(h.count(), 2);
+        assert_eq!(h.max_ns(), u64::MAX);
         assert!(h.quantile_ns(1.0) >= 1);
+        // Promoted-histogram refinement: the huge sample is visible as
+        // overflow rather than silently folded into the top bucket.
+        assert_eq!(h.overflow_count(), 1);
     }
 
     #[test]
     fn quantiles_are_monotone_in_q() {
-        let mut h = LatencyHistogram::new();
-        for i in 1..=1000u64 {
-            h.record(i * 17);
+        let h = LatencyHistogram::default();
+        for i in 0..1000u64 {
+            h.record(i * 37 % 5000);
         }
-        let (p50, p95, p99) = h.percentiles_ns();
-        assert!(p50 <= p95 && p95 <= p99);
-        assert!(p99 <= h.max_ns());
+        let mut last = 0;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = h.quantile_ns(q);
+            assert!(v >= last, "quantile regressed at q={q}: {v} < {last}");
+            last = v;
+        }
     }
 }

@@ -50,3 +50,4 @@ pub mod wire;
 pub use histogram::LatencyHistogram;
 pub use serve::{run_stream, ServeHandle, StreamSummary, DEFAULT_QUEUE};
 pub use window::{EvictionPolicy, ScoredEvent, SlidingWindowLof, StreamConfig, StreamStats};
+pub use wire::{metrics_record, parse_metrics_request, MetricsFormat};

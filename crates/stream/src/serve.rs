@@ -19,8 +19,12 @@
 //! equals send order (the channel is FIFO per producer).
 
 use crate::window::{SlidingWindowLof, StreamStats};
-use crate::wire::{error_record, parse_event, stream_record, ParsedLine};
+use crate::wire::{
+    error_record, metrics_record, parse_event, parse_metrics_request, stream_record, MetricsFormat,
+    ParsedLine,
+};
 use lof_core::Metric;
+use lof_obs::{Counter, MetricsRegistry};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -32,12 +36,62 @@ use std::thread::{self, JoinHandle};
 /// the scorer).
 pub const DEFAULT_QUEUE: usize = 1024;
 
-/// One unit of work for the scorer thread. Parse rejects travel through
-/// the same queue as events so each connection's replies come back in
-/// exactly its send order.
+/// What one input line asks the scorer to do. Parse rejects and metrics
+/// requests travel through the same queue as events so each connection's
+/// replies come back in exactly its send order — a metrics snapshot taken
+/// between two events reflects exactly the events before it.
+enum Payload {
+    /// A valid event: score it.
+    Event(Vec<f64>),
+    /// A rejected line: echo the in-band error record.
+    Malformed(String),
+    /// An in-band metrics request: answer with a registry snapshot.
+    Metrics(MetricsFormat),
+}
+
+/// One unit of work for the scorer thread.
 struct Job {
-    payload: Result<Vec<f64>, String>,
+    payload: Payload,
     reply: Sender<String>,
+}
+
+/// The serve loop's registry handles (`serve.*` names), resolved once so
+/// per-line accounting is a sharded-atomic bump. The reconciliation
+/// invariants the differential tests pin:
+/// `events_in == score_records + push_errors` and
+/// `error_records == parse_errors + push_errors`.
+struct ServeMetrics {
+    events_in: Arc<Counter>,
+    parse_errors: Arc<Counter>,
+    push_errors: Arc<Counter>,
+    score_records: Arc<Counter>,
+    error_records: Arc<Counter>,
+    metrics_requests: Arc<Counter>,
+}
+
+impl ServeMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        ServeMetrics {
+            events_in: registry.counter("serve.events_in"),
+            parse_errors: registry.counter("serve.parse_errors"),
+            push_errors: registry.counter("serve.push_errors"),
+            score_records: registry.counter("serve.score_records"),
+            error_records: registry.counter("serve.error_records"),
+            metrics_requests: registry.counter("serve.metrics_requests"),
+        }
+    }
+
+    /// Renders the reply to one metrics request. The Prometheus block is
+    /// multi-line and `# EOF`-terminated (that terminator is the client's
+    /// end-of-block marker on a shared NDJSON connection); the JSON form
+    /// is a single typed record.
+    fn answer(&self, registry: &MetricsRegistry, format: MetricsFormat) -> String {
+        self.metrics_requests.inc();
+        match format {
+            MetricsFormat::Text => registry.render_prometheus(),
+            MetricsFormat::Json => metrics_record(registry),
+        }
+    }
 }
 
 /// Summary of one finished stream (stdin mode and in-process runs).
@@ -66,25 +120,39 @@ pub fn run_stream<M: Metric>(
     output: &mut impl Write,
 ) -> std::io::Result<(SlidingWindowLof<M>, StreamSummary)> {
     let mut summary = StreamSummary::default();
+    let metrics = ServeMetrics::new(window.registry());
     for line in input.lines() {
         let line = line?;
+        if let Some(format) = parse_metrics_request(&line) {
+            let registry = Arc::clone(window.registry());
+            writeln!(output, "{}", metrics.answer(&registry, format))?;
+            continue;
+        }
         let record = match parse_event(&line) {
             Ok(ParsedLine::Empty) => continue,
-            Ok(ParsedLine::Point(point)) => match window.push(&point) {
-                Ok(event) => {
-                    summary.events += 1;
-                    if event.is_alert() {
-                        summary.alerts += 1;
+            Ok(ParsedLine::Point(point)) => {
+                metrics.events_in.inc();
+                match window.push(&point) {
+                    Ok(event) => {
+                        summary.events += 1;
+                        if event.is_alert() {
+                            summary.alerts += 1;
+                        }
+                        metrics.score_records.inc();
+                        stream_record(&event)
                     }
-                    stream_record(&event)
+                    Err(e) => {
+                        summary.errors += 1;
+                        metrics.push_errors.inc();
+                        metrics.error_records.inc();
+                        error_record(&e.to_string())
+                    }
                 }
-                Err(e) => {
-                    summary.errors += 1;
-                    error_record(&e.to_string())
-                }
-            },
+            }
             Err(e) => {
                 summary.errors += 1;
+                metrics.parse_errors.inc();
+                metrics.error_records.inc();
                 error_record(&e)
             }
         };
@@ -100,12 +168,20 @@ pub struct ServeHandle {
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     scorer: Option<JoinHandle<StreamStats>>,
+    registry: Arc<MetricsRegistry>,
 }
 
 impl ServeHandle {
     /// The address the server is listening on (useful with port 0).
     pub fn addr(&self) -> std::net::SocketAddr {
         self.addr
+    }
+
+    /// The window's metrics registry — live while the server runs, and
+    /// still readable after [`ServeHandle::shutdown`] for final
+    /// snapshots (`lof serve --metrics`).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Blocks until the accept loop exits. The loop normally runs for the
@@ -150,6 +226,11 @@ pub fn spawn<M: Metric + 'static>(
     let (jobs_tx, jobs_rx) = sync_channel::<Job>(queue);
     let shutdown = Arc::new(AtomicBool::new(false));
 
+    // Keep a registry handle before the window moves into the scorer: the
+    // accept loop counts connections and callers snapshot through it.
+    let registry = Arc::clone(window.registry());
+    let connections = registry.counter("serve.connections");
+
     let scorer = thread::spawn(move || score_loop(window, jobs_rx));
 
     let accept_shutdown = Arc::clone(&shutdown);
@@ -160,6 +241,7 @@ pub fn spawn<M: Metric + 'static>(
                 break;
             }
             let Ok(stream) = stream else { continue };
+            connections.inc();
             let jobs = jobs_tx.clone();
             handlers.push(thread::spawn(move || handle_connection(stream, &jobs)));
         }
@@ -169,19 +251,36 @@ pub fn spawn<M: Metric + 'static>(
         }
     });
 
-    Ok(ServeHandle { addr, shutdown, accept: Some(accept), scorer: Some(scorer) })
+    Ok(ServeHandle { addr, shutdown, accept: Some(accept), scorer: Some(scorer), registry })
 }
 
 /// The scorer thread: drains jobs in arrival order, replies with one
 /// NDJSON record each, and returns the window's stats at end of stream.
 fn score_loop<M: Metric>(mut window: SlidingWindowLof<M>, jobs: Receiver<Job>) -> StreamStats {
+    let registry = Arc::clone(window.registry());
+    let metrics = ServeMetrics::new(&registry);
     for job in jobs {
         let record = match job.payload {
-            Ok(point) => match window.push(&point) {
-                Ok(event) => stream_record(&event),
-                Err(e) => error_record(&e.to_string()),
-            },
-            Err(message) => error_record(&message),
+            Payload::Event(point) => {
+                metrics.events_in.inc();
+                match window.push(&point) {
+                    Ok(event) => {
+                        metrics.score_records.inc();
+                        stream_record(&event)
+                    }
+                    Err(e) => {
+                        metrics.push_errors.inc();
+                        metrics.error_records.inc();
+                        error_record(&e.to_string())
+                    }
+                }
+            }
+            Payload::Malformed(message) => {
+                metrics.parse_errors.inc();
+                metrics.error_records.inc();
+                error_record(&message)
+            }
+            Payload::Metrics(format) => metrics.answer(&registry, format),
         };
         // A dropped receiver means the client hung up mid-reply; the event
         // is already applied to the window, so just move on.
@@ -208,10 +307,16 @@ fn handle_connection(stream: TcpStream, jobs: &SyncSender<Job>) {
     let reader = BufReader::new(stream);
     for line in reader.lines() {
         let Ok(line) = line else { break };
-        let payload = match parse_event(&line) {
-            Ok(ParsedLine::Empty) => continue,
-            Ok(ParsedLine::Point(point)) => Ok(point),
-            Err(e) => Err(e),
+        // Metrics requests are recognized before event parsing so they
+        // can never be misread as malformed events.
+        let payload = if let Some(format) = parse_metrics_request(&line) {
+            Payload::Metrics(format)
+        } else {
+            match parse_event(&line) {
+                Ok(ParsedLine::Empty) => continue,
+                Ok(ParsedLine::Point(point)) => Payload::Event(point),
+                Err(e) => Payload::Malformed(e),
+            }
         };
         if jobs.send(Job { payload, reply: reply_tx.clone() }).is_err() {
             break; // server shutting down

@@ -10,6 +10,8 @@
 use crate::histogram::LatencyHistogram;
 use lof_core::incremental::{IncrementalLof, UpdateStats};
 use lof_core::{Dataset, LofError, Metric, Result};
+use lof_obs::{Counter, Gauge, MetricsRegistry};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What happens when the window outgrows its capacity.
@@ -142,6 +144,13 @@ impl ScoredEvent {
 
 /// Aggregate counters of a window's lifetime (for dashboards and the
 /// end-of-stream summary record).
+///
+/// The latency histogram is `Arc`-shared: the same instance is registered
+/// in the window's [`MetricsRegistry`] under `stream.latency_ns`, so a
+/// metrics snapshot and these stats can never disagree. Since PR 4 it
+/// records **scored events only** — warm-up buffering is not a scoring
+/// latency, and the reconciliation invariant is
+/// `latency.count() == scored`.
 #[derive(Debug, Clone, Default)]
 pub struct StreamStats {
     /// Events processed (warm-up included).
@@ -154,8 +163,35 @@ pub struct StreamStats {
     pub alerts: u64,
     /// Total LOF recomputations across all cascades (insert + evict).
     pub cascade_lofs: u64,
-    /// Per-event scoring latency distribution.
-    pub latency: LatencyHistogram,
+    /// Scoring latency distribution over scored events.
+    pub latency: Arc<LatencyHistogram>,
+}
+
+/// The window's registry handles, resolved once at construction so the
+/// per-event mirror writes are plain sharded-atomic bumps.
+#[derive(Debug)]
+struct WindowMetrics {
+    events: Arc<Counter>,
+    scored: Arc<Counter>,
+    evictions: Arc<Counter>,
+    alerts: Arc<Counter>,
+    cascade_lofs: Arc<Counter>,
+    occupancy: Arc<Gauge>,
+    last_lof: Arc<Gauge>,
+}
+
+impl WindowMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        WindowMetrics {
+            events: registry.counter("stream.events"),
+            scored: registry.counter("stream.scored"),
+            evictions: registry.counter("stream.evictions"),
+            alerts: registry.counter("stream.alerts"),
+            cascade_lofs: registry.counter("stream.cascade_lofs"),
+            occupancy: registry.gauge("stream.window_occupancy"),
+            last_lof: registry.gauge("stream.last_lof"),
+        }
+    }
 }
 
 /// A bounded sliding-window streaming LOF detector.
@@ -185,29 +221,56 @@ pub struct SlidingWindowLof<M: Metric> {
     model: Option<IncrementalLof<M>>,
     next_seq: u64,
     stats: StreamStats,
+    registry: Arc<MetricsRegistry>,
+    metrics: WindowMetrics,
 }
 
 impl<M: Metric> SlidingWindowLof<M> {
-    /// Creates an empty window.
+    /// Creates an empty window with its own private [`MetricsRegistry`].
     ///
     /// # Errors
     ///
     /// Propagates [`StreamConfig::validate`].
     pub fn new(config: StreamConfig, metric: M) -> Result<Self> {
+        Self::with_registry(config, metric, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Creates an empty window mirroring its counters into `registry`
+    /// (`stream.*` names). The stats' latency histogram is registered
+    /// there as `stream.latency_ns` — shared, not copied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StreamConfig::validate`].
+    pub fn with_registry(
+        config: StreamConfig,
+        metric: M,
+        registry: Arc<MetricsRegistry>,
+    ) -> Result<Self> {
         config.validate()?;
+        let stats = StreamStats::default();
+        registry.insert_histogram("stream.latency_ns", Arc::clone(&stats.latency));
+        let metrics = WindowMetrics::new(&registry);
         Ok(SlidingWindowLof {
             config,
             metric: Some(metric),
             pending: None,
             model: None,
             next_seq: 0,
-            stats: StreamStats::default(),
+            stats,
+            registry,
+            metrics,
         })
     }
 
     /// The window's configuration.
     pub fn config(&self) -> &StreamConfig {
         &self.config
+    }
+
+    /// The registry this window mirrors its counters into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Lifetime counters.
@@ -281,19 +344,29 @@ impl<M: Metric> SlidingWindowLof<M> {
         };
 
         self.stats.events += 1;
-        if score.is_some() {
+        self.metrics.events.inc();
+        if let Some(s) = score {
             self.stats.scored += 1;
+            self.metrics.scored.inc();
+            self.metrics.last_lof.set(s);
+            // Scored events only: warm-up buffering is not a scoring
+            // latency, and reconciliation tests pin
+            // `latency.count() == scored`.
+            self.stats.latency.record(latency_ns);
         }
         if evicted.is_some() {
             self.stats.evictions += 1;
+            self.metrics.evictions.inc();
         }
         if event.is_alert() {
             self.stats.alerts += 1;
+            self.metrics.alerts.inc();
         }
         if let Some(c) = cascade {
             self.stats.cascade_lofs += c.lofs_recomputed as u64;
+            self.metrics.cascade_lofs.add(c.lofs_recomputed as u64);
         }
-        self.stats.latency.record(latency_ns);
+        self.metrics.occupancy.set(event.window_len as f64);
         Ok(event)
     }
 
@@ -381,7 +454,34 @@ mod tests {
         assert_eq!(w.stats().evictions, 5);
         assert_eq!(w.stats().events, 25);
         assert_eq!(w.stats().scored, 15);
-        assert_eq!(w.stats().latency.count(), 25);
+        assert_eq!(w.stats().latency.count(), 15, "latency records scored events only");
+    }
+
+    #[test]
+    fn registry_mirror_matches_the_stats() {
+        let config = StreamConfig::new(3, 20).warmup(10).threshold(2.0);
+        let mut w = SlidingWindowLof::new(config, Euclidean).unwrap();
+        for i in 0..25 {
+            w.push(&grid_point(i)).unwrap();
+        }
+        w.push(&[100.0, 100.0]).unwrap();
+        let r = Arc::clone(w.registry());
+        let stats = w.stats().clone();
+        // The registered histogram IS the stats histogram, in both modes.
+        assert_eq!(r.histogram("stream.latency_ns").count(), stats.latency.count());
+        if lof_obs::enabled() {
+            assert_eq!(r.counter("stream.events").value(), stats.events);
+            assert_eq!(r.counter("stream.scored").value(), stats.scored);
+            assert_eq!(r.counter("stream.evictions").value(), stats.evictions);
+            assert_eq!(r.counter("stream.alerts").value(), stats.alerts);
+            assert_eq!(r.counter("stream.cascade_lofs").value(), stats.cascade_lofs);
+            assert_eq!(r.gauge("stream.window_occupancy").value(), w.len() as f64);
+            assert_eq!(
+                r.counter("stream.events").value() - r.counter("stream.evictions").value(),
+                w.len() as u64,
+                "occupancy == inserts - evictions"
+            );
+        }
     }
 
     #[test]

@@ -227,6 +227,41 @@ pub fn error_record(message: &str) -> String {
     format!("{{\"type\":\"error\",\"error\":\"{}\"}}", json_escape(message))
 }
 
+/// Which exposition format a metrics request asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition: a multi-line block terminated by
+    /// `# EOF` (the terminator is what delimits it on a shared NDJSON
+    /// connection).
+    Text,
+    /// A single `{"type":"metrics",...}` NDJSON record.
+    Json,
+}
+
+/// Recognizes an in-band metrics request. The serve loop answers these
+/// on the event connection itself — no second port, no HTTP stack:
+/// `GET /metrics` (or bare `/metrics`) asks for Prometheus text,
+/// `GET /metrics.json` (or bare `/metrics.json`) for the NDJSON record.
+/// Returns `None` for anything else, which then flows to
+/// [`parse_event`] as usual. Checked before event parsing, so a metrics
+/// request is never misread as a malformed event.
+pub fn parse_metrics_request(line: &str) -> Option<MetricsFormat> {
+    let trimmed = line.trim();
+    let path = trimmed.strip_prefix("GET ").map(str::trim).unwrap_or(trimmed);
+    match path {
+        "/metrics" => Some(MetricsFormat::Text),
+        "/metrics.json" => Some(MetricsFormat::Json),
+        _ => None,
+    }
+}
+
+/// The NDJSON record answering a [`MetricsFormat::Json`] request: the
+/// registry's single-line snapshot wrapped in a typed envelope so stream
+/// consumers can route it like any other record.
+pub fn metrics_record(registry: &lof_obs::MetricsRegistry) -> String {
+    format!("{{\"type\":\"metrics\",\"metrics\":{}}}", registry.render_ndjson())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,5 +361,50 @@ mod tests {
         assert!(rec.contains("\"warmup\":true"));
         assert!(rec.contains("\"evicted\":null"));
         assert!(rec.contains("\"cascade\":null"));
+    }
+
+    #[test]
+    fn metrics_requests_are_recognized_before_event_parsing() {
+        assert_eq!(parse_metrics_request("GET /metrics"), Some(MetricsFormat::Text));
+        assert_eq!(parse_metrics_request("/metrics"), Some(MetricsFormat::Text));
+        assert_eq!(parse_metrics_request("  GET /metrics.json  "), Some(MetricsFormat::Json));
+        assert_eq!(parse_metrics_request("/metrics.json"), Some(MetricsFormat::Json));
+        assert_eq!(parse_metrics_request("[1.0, 2.0]"), None);
+        assert_eq!(parse_metrics_request("1.0,2.0"), None);
+        assert_eq!(parse_metrics_request("GET /other"), None);
+    }
+
+    #[test]
+    fn metrics_record_is_a_typed_single_line_envelope() {
+        let registry = lof_obs::MetricsRegistry::new();
+        registry.counter("serve.events_in").add(4);
+        let rec = metrics_record(&registry);
+        assert!(!rec.contains('\n'));
+        assert!(rec.starts_with("{\"type\":\"metrics\",\"metrics\":{"));
+        assert!(rec.ends_with("}}"));
+        assert!(rec.contains("\"serve.events_in\""));
+    }
+
+    #[test]
+    fn exposition_f64_encoding_matches_the_wire_encoding() {
+        // The serve loop emits wire records and registry snapshots over
+        // the same connection; their non-finite encodings must agree.
+        let battery = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            0.1,
+            1e-300,
+            1e300,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ];
+        for v in battery {
+            assert_eq!(json_f64(v), lof_obs::expose::json_f64(v), "diverged at {v}");
+        }
     }
 }

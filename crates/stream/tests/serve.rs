@@ -136,3 +136,120 @@ fn warmup_then_alerts_flow_over_tcp() {
     assert_eq!(stats.events, 30);
     assert!(stats.alerts >= 1);
 }
+
+#[test]
+fn metrics_requests_are_answered_in_band_over_tcp() {
+    let handle = spawn_server(StreamConfig::new(2, 16).warmup(3));
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone socket");
+    let mut reader = BufReader::new(stream);
+
+    for i in 0..5 {
+        writeln!(writer, "{i}.0,1.0").expect("send event");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read reply");
+        assert!(line.starts_with("{\"type\":\"score\""));
+    }
+
+    // Prometheus text form: multi-line, terminated by `# EOF`. The reply
+    // is causally consistent — it travels through the same job queue as
+    // the five events, so it must already see them.
+    writeln!(writer, "GET /metrics").expect("send metrics request");
+    let mut block = String::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read metrics line");
+        let done = line.trim_end() == "# EOF";
+        block.push_str(&line);
+        if done {
+            break;
+        }
+    }
+    assert!(block.contains("# TYPE lof_serve_events_in counter"), "missing type line:\n{block}");
+    assert!(block.contains("# TYPE lof_stream_latency_ns summary"), "missing summary:\n{block}");
+    if lof_obs::enabled() {
+        assert!(block.contains("lof_serve_events_in 5"), "events not counted:\n{block}");
+        assert!(block.contains("lof_stream_window_occupancy 5"), "occupancy gauge:\n{block}");
+    }
+
+    // JSON form: one typed single-line record.
+    writeln!(writer, "/metrics.json").expect("send metrics request");
+    let mut json = String::new();
+    reader.read_line(&mut json).expect("read json metrics");
+    assert!(json.starts_with("{\"type\":\"metrics\",\"metrics\":{"), "unexpected: {json}");
+    assert_eq!(json.trim_end().lines().count(), 1);
+    if lof_obs::enabled() {
+        assert!(json.contains("\"serve.metrics_requests\":2"), "both requests counted: {json}");
+    }
+
+    drop(writer);
+    drop(reader);
+    let stats = handle.shutdown();
+    assert_eq!(stats.events, 5, "metrics requests consume no event seq");
+}
+
+/// Satellite 5: N writer threads hammer the server concurrently; after
+/// they all join, the registry must show *exact* totals — the sharded
+/// counters lose nothing under contention, and the serve ledgers
+/// reconcile: `events_in == score_records + push_errors`,
+/// `error_records == parse_errors + push_errors`.
+#[test]
+fn concurrent_writers_produce_exact_counter_totals() {
+    const WRITERS: usize = 4;
+    const EVENTS: usize = 30;
+    const MALFORMED: usize = 3;
+
+    let handle = spawn_server(StreamConfig::new(3, 64).warmup(8));
+    let addr = handle.addr();
+    let registry = std::sync::Arc::clone(handle.registry());
+
+    let workers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut writer = stream.try_clone().expect("clone socket");
+                let mut reader = BufReader::new(stream);
+                for i in 0..EVENTS + MALFORMED {
+                    if i % 11 == 10 {
+                        writeln!(writer, "w{w} garbage line {i}").expect("send junk");
+                    } else {
+                        writeln!(writer, "[{}.0, {}.0]", (w * 7 + i) % 9, i % 5).expect("send");
+                    }
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("read reply");
+                    if i % 11 == 10 {
+                        assert!(line.starts_with("{\"type\":\"error\""), "junk reply: {line}");
+                    } else {
+                        assert!(line.starts_with("{\"type\":\"score\""), "event reply: {line}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("writer thread");
+    }
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.events, (WRITERS * EVENTS) as u64);
+
+    let events_in = registry.counter("serve.events_in").value();
+    let score_records = registry.counter("serve.score_records").value();
+    let push_errors = registry.counter("serve.push_errors").value();
+    let parse_errors = registry.counter("serve.parse_errors").value();
+    let error_records = registry.counter("serve.error_records").value();
+    // Structural reconciliation holds in both feature modes (all-zero
+    // ledgers reconcile trivially with obs off).
+    assert_eq!(events_in, score_records + push_errors);
+    assert_eq!(error_records, parse_errors + push_errors);
+    if lof_obs::enabled() {
+        assert_eq!(events_in, (WRITERS * EVENTS) as u64);
+        assert_eq!(score_records, (WRITERS * EVENTS) as u64);
+        assert_eq!(parse_errors, (WRITERS * MALFORMED) as u64);
+        assert_eq!(push_errors, 0);
+        assert_eq!(registry.counter("serve.connections").value(), WRITERS as u64);
+        assert_eq!(registry.counter("stream.events").value(), stats.events);
+        assert_eq!(registry.counter("stream.scored").value(), stats.scored);
+        assert_eq!(registry.histogram("stream.latency_ns").count(), stats.scored);
+    }
+}

@@ -48,6 +48,19 @@ fn main() {
             print!("  alert on row {row}: {reply}");
         }
     }
+    // Before hanging up, ask the server for its metrics — an in-band
+    // `GET /metrics` on the same NDJSON connection, answered with the
+    // Prometheus text block `lof serve` exposes (terminated by `# EOF`).
+    writeln!(writer, "GET /metrics").expect("send metrics request");
+    println!("\nserver metrics snapshot:");
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read metrics line");
+        print!("{line}");
+        if line.trim_end() == "# EOF" {
+            break;
+        }
+    }
     drop(writer);
     drop(reader);
 

@@ -22,6 +22,41 @@ cargo build -p lof-stream
 cargo test -p lof-stream -q
 cargo test -p lof-stream --test serve -q
 
+echo "== observability: instrumented crates with obs compiled OFF =="
+# The whole stack must stay green when instrumentation compiles to
+# no-ops (`--no-default-features`): counters read zero, spans vanish,
+# and the differential suites' gated assertions sit out.
+cargo test -q -p lof-obs -p lof-core -p lof-index -p lof-stream --no-default-features
+
+echo "== observability: serve metrics smoke =="
+# End to end through the real release binary: start `lof serve`, pump a
+# few events, and check the in-band GET /metrics answer carries the
+# serve counters in Prometheus text form.
+cargo build --release -q -p lof-cli
+./target/release/lof serve --listen 127.0.0.1:0 --minpts 2 --capacity 16 --metrics \
+  2>/tmp/lof_ci_serve.err &
+SERVE_PID=$!
+trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' /tmp/lof_ci_serve.err)
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve did not come up"; exit 1; }
+timeout 15 bash -c '
+  exec 3<>"/dev/tcp/${1%:*}/${1##*:}"
+  printf "1,2\n2,3\n3,4\nGET /metrics\n" >&3
+  while IFS= read -r line <&3; do
+    echo "$line"
+    [ "$line" = "# EOF" ] && break
+  done
+' _ "$ADDR" > /tmp/lof_ci_serve.out
+kill $SERVE_PID 2>/dev/null || true
+trap - EXIT
+grep -q 'lof_serve_events_in 3' /tmp/lof_ci_serve.out
+grep -q '# EOF' /tmp/lof_ci_serve.out
+echo "serve metrics smoke OK"
+
 echo "== release smoke: batch join + sweep bit-identity at n=2000 =="
 # bench_materialize aborts on any bit divergence between the brute scan,
 # the per-query tree searches, the leaf-blocked batch joins, and the

@@ -17,7 +17,11 @@
 //! * [`baselines`] (`lof-baselines`) — every comparison algorithm the paper
 //!   positions LOF against;
 //! * [`stream`] (`lof-stream`) — the sliding-window streaming detector and
-//!   the NDJSON scoring server behind `lof stream` / `lof serve`.
+//!   the NDJSON scoring server behind `lof stream` / `lof serve`;
+//! * [`obs`] (`lof-obs`) — the zero-dependency observability layer:
+//!   sharded counters, gauges, latency histograms, span timers, and the
+//!   Prometheus/NDJSON exposition answered by `lof serve` (compiled to
+//!   no-ops with `--no-default-features`).
 //!
 //! ## Quick start
 //!
@@ -44,6 +48,7 @@ pub use lof_baselines as baselines;
 pub use lof_core as core;
 pub use lof_data as data;
 pub use lof_index as index;
+pub use lof_obs as obs;
 pub use lof_stream as stream;
 
 pub use lof_core::{
