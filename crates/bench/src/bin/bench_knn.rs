@@ -10,7 +10,9 @@
 use lof_bench::{banner, scale, time};
 use lof_core::knn::KnnScratch;
 use lof_core::neighbors::select_k_tie_inclusive;
-use lof_core::{Dataset, Euclidean, KnnProvider, LinearScan, Metric, Neighbor};
+use lof_core::{
+    simd, Dataset, Euclidean, Isa, KnnProvider, LinearScan, Manhattan, Metric, Neighbor,
+};
 use lof_data::paper::perf_mixture;
 use lof_index::{BallTree, KdTree};
 
@@ -91,8 +93,68 @@ fn main() {
         }
     });
 
-    // Blocked path: one batched materialization pass over every object.
+    // Blocked path: one batched materialization pass over every object,
+    // through the runtime-detected SIMD target.
     let (scan_mat, blocked_time) = time(|| batched_materialize(&scan, n));
+
+    // Dispatch differential: the same blocked materialization with the
+    // kernel pinned to the portable scalar backend. Must be bit-identical;
+    // the ns/query gap is the microkernel's contribution alone.
+    let simd_isa = simd::active();
+    let scalar_scan = LinearScan::with_isa(&data, Euclidean, Isa::Scalar);
+    let (scalar_mat, scalar_time) = time(|| batched_materialize(&scalar_scan, n));
+    assert_identical("scalar-pinned vs dispatched", &scalar_mat, &scan_mat);
+
+    // Kernel-only microbenchmark: the surrogate-panel sweep in isolation,
+    // at the exact block × tile geometry the kernel uses, scalar vs
+    // dispatched. This is the distance microkernel's own speedup, with
+    // the ISA-independent capture/refine/selection machinery excluded.
+    let (qb, tile) = lof_core::BlockKernel::geometry(n, dims);
+    let norms: Vec<f64> = (0..n).map(|i| data.point(i).iter().map(|&v| v * v).sum()).collect();
+    let mut panel = vec![0.0; qb * tile];
+    let mut time_kernel = |isa: Isa| {
+        let coords = data.as_flat();
+        let (sink, t) = time(|| {
+            let mut sink = 0.0f64;
+            let mut b = 0;
+            while b < n {
+                let be = (b + qb).min(n);
+                let mut t0 = 0;
+                while t0 < n {
+                    let te = (t0 + tile).min(n);
+                    let len = (be - b) * (te - t0);
+                    simd::surrogate_panel(
+                        isa,
+                        &coords[b * dims..be * dims],
+                        &norms[b..be],
+                        &coords[t0 * dims..te * dims],
+                        &norms[t0..te],
+                        dims,
+                        &mut panel[..len],
+                    );
+                    sink += panel[len - 1];
+                    t0 = te;
+                }
+                b = be;
+            }
+            sink
+        });
+        std::hint::black_box(sink);
+        t
+    };
+    let scalar_kernel_time = time_kernel(Isa::Scalar);
+    let simd_kernel_time = time_kernel(simd_isa);
+
+    // Generic-metric regression entry: Manhattan has no blocked form, so
+    // its batch path takes the panel-ordered staging loop. Timed against
+    // the per-query scalar path it replaced (both tie-canonicalized, so
+    // bit-identical by construction — asserted anyway).
+    let generic_scan = LinearScan::new(&data, Manhattan);
+    let (generic_per_query_mat, generic_per_query_time) =
+        time(|| per_query_materialize(&generic_scan, n));
+    let (generic_batched_mat, generic_batched_time) =
+        time(|| batched_materialize(&generic_scan, n));
+    assert_identical("generic batched vs per-query", &generic_batched_mat, &generic_per_query_mat);
 
     // Tree indexes: the two-phase per-query search vs the leaf-blocked
     // batch self-join, each verified bit-identical against the scan.
@@ -111,14 +173,36 @@ fn main() {
     let per_query = |d: std::time::Duration| d.as_nanos() as f64 / n as f64;
     let seed_ns = per_query(seed_time);
     let blocked_ns = per_query(blocked_time);
+    let scalar_ns = per_query(scalar_time);
+    let scalar_kernel_ns = per_query(scalar_kernel_time);
+    let simd_kernel_ns = per_query(simd_kernel_time);
+    let generic_per_query_ns = per_query(generic_per_query_time);
+    let generic_batched_ns = per_query(generic_batched_time);
     let kd_per_query_ns = per_query(kd_per_query_time);
     let kd_batched_ns = per_query(kd_batched_time);
     let ball_per_query_ns = per_query(ball_per_query_time);
     let ball_batched_ns = per_query(ball_batched_time);
     let speedup = seed_ns / blocked_ns;
+    let simd_speedup = scalar_kernel_ns / simd_kernel_ns;
+    let materialize_simd_speedup = scalar_ns / blocked_ns;
     println!(
         "n={n} d={dims} k={K}: seed scan {seed_ns:10.0} ns/query, \
          blocked kernel {blocked_ns:10.0} ns/query ({speedup:.2}x)"
+    );
+    println!(
+        "dispatch [{}] kernel-only: scalar {scalar_kernel_ns:10.0} ns/query, \
+         simd {simd_kernel_ns:10.0} ns/query ({simd_speedup:.2}x)",
+        simd_isa.key()
+    );
+    println!(
+        "dispatch [{}] end-to-end: scalar-pinned {scalar_ns:10.0} ns/query, \
+         simd {blocked_ns:10.0} ns/query ({materialize_simd_speedup:.2}x)",
+        simd_isa.key()
+    );
+    println!(
+        "generic (manhattan): per-query {generic_per_query_ns:10.0} ns/query, \
+         batched {generic_batched_ns:10.0} ns/query ({:.2}x)",
+        generic_per_query_ns / generic_batched_ns
     );
     println!(
         "kd   per-query {kd_per_query_ns:10.0} ns/query, batched {kd_batched_ns:10.0} ns/query \
@@ -136,10 +220,20 @@ fn main() {
          \"seed_scan_ns_per_query\": {seed_ns:.1},\n  \
          \"blocked_kernel_ns_per_query\": {blocked_ns:.1},\n  \
          \"speedup\": {speedup:.3},\n  \
+         \"simd_isa\": \"{}\",\n  \
+         \"scalar_ns_per_query\": {scalar_kernel_ns:.1},\n  \
+         \"simd_ns_per_query\": {simd_kernel_ns:.1},\n  \
+         \"simd_speedup\": {simd_speedup:.3},\n  \
+         \"scalar_materialize_ns_per_query\": {scalar_ns:.1},\n  \
+         \"simd_materialize_ns_per_query\": {blocked_ns:.1},\n  \
+         \"materialize_simd_speedup\": {materialize_simd_speedup:.3},\n  \
+         \"generic_per_query_ns_per_query\": {generic_per_query_ns:.1},\n  \
+         \"generic_batched_ns_per_query\": {generic_batched_ns:.1},\n  \
          \"kd_per_query_ns_per_query\": {kd_per_query_ns:.1},\n  \
          \"kd_batched_ns_per_query\": {kd_batched_ns:.1},\n  \
          \"ball_per_query_ns_per_query\": {ball_per_query_ns:.1},\n  \
-         \"ball_batched_ns_per_query\": {ball_batched_ns:.1}\n}}\n"
+         \"ball_batched_ns_per_query\": {ball_batched_ns:.1}\n}}\n",
+        simd_isa.key()
     );
     let path = std::env::var("BENCH_KNN_OUT").unwrap_or_else(|_| "BENCH_knn.json".to_owned());
     std::fs::write(&path, &json).expect("cannot write benchmark JSON");

@@ -111,6 +111,14 @@ fn main() {
     // Correctness gate: all four materializations must agree bit for bit.
     // CI runs this binary at n=2000 precisely for these assertions.
     let (scan_mat, scan_time) = best_of(ROUNDS, || batched_materialize(&scan, n));
+    // Dispatch differential: the same blocked scan pinned to the scalar
+    // microkernel — must agree bit for bit, and the gap isolates the
+    // SIMD contribution to full materialization.
+    let simd_isa = lof_core::simd::active();
+    let scalar_scan = LinearScan::with_isa(&data, Euclidean, lof_core::Isa::Scalar);
+    let (scalar_scan_mat, scalar_scan_time) =
+        best_of(ROUNDS, || batched_materialize(&scalar_scan, n));
+    assert_flat_identical("scalar-pinned vs dispatched scan", &scalar_scan_mat, &scan_mat);
     let (kd_per_query_mat, kd_per_query_time) = best_of(ROUNDS, || per_query_materialize(&kd, n));
     let (kd_batched_mat, kd_batched_time) = best_of(ROUNDS, || batched_materialize(&kd, n));
     let (ball_batched_mat, ball_batched_time) = best_of(ROUNDS, || batched_materialize(&ball, n));
@@ -121,11 +129,16 @@ fn main() {
 
     let per_object = |d: std::time::Duration| d.as_nanos() as f64 / n as f64;
     let scan_ns = per_object(scan_time);
+    let scalar_scan_ns = per_object(scalar_scan_time);
+    let simd_materialize_speedup = scalar_scan_ns / scan_ns;
     let kd_per_query_ns = per_object(kd_per_query_time);
     let kd_batched_ns = per_object(kd_batched_time);
     let ball_batched_ns = per_object(ball_batched_time);
     let kd_speedup = kd_per_query_ns / kd_batched_ns;
-    println!("brute blocked scan  {scan_ns:10.0} ns/object");
+    println!("brute blocked scan  {scan_ns:10.0} ns/object [{}]", simd_isa.key());
+    println!(
+        "scalar-pinned scan  {scalar_scan_ns:10.0} ns/object ({simd_materialize_speedup:.2}x)"
+    );
     println!("kd per-query        {kd_per_query_ns:10.0} ns/object");
     println!("kd batched join     {kd_batched_ns:10.0} ns/object ({kd_speedup:.2}x vs per-query)");
     println!("ball batched join   {ball_batched_ns:10.0} ns/object");
@@ -170,6 +183,9 @@ fn main() {
         "{{\n  \"dataset_size\": {n},\n  \"dims\": {dims},\n  \"max_k\": {MAX_K},\n  \
          \"min_pts_lb\": {MIN_PTS_LB},\n  \
          \"scan_blocked_ns_per_object\": {scan_ns:.1},\n  \
+         \"simd_isa\": \"{}\",\n  \
+         \"scan_blocked_scalar_ns_per_object\": {scalar_scan_ns:.1},\n  \
+         \"simd_materialize_speedup\": {simd_materialize_speedup:.3},\n  \
          \"kd_per_query_ns_per_object\": {kd_per_query_ns:.1},\n  \
          \"kd_batched_ns_per_object\": {kd_batched_ns:.1},\n  \
          \"kd_batched_speedup\": {kd_speedup:.3},\n  \
@@ -178,7 +194,8 @@ fn main() {
          \"pointer_layout_bytes\": {pointer_bytes},\n  \
          \"sweep_reference_ns_per_object\": {reference_ns:.1},\n  \
          \"sweep_ns_per_object\": {sweep_ns:.1},\n  \
-         \"sweep_speedup\": {sweep_speedup:.3}\n}}\n"
+         \"sweep_speedup\": {sweep_speedup:.3}\n}}\n",
+        simd_isa.key()
     );
     let path = std::env::var("BENCH_MATERIALIZE_OUT")
         .unwrap_or_else(|_| "BENCH_materialize.json".to_owned());

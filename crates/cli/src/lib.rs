@@ -21,7 +21,7 @@
 //!   --threshold T        only report objects with score > T
 //!   --top N              only report the N highest scores
 //!   --explain N          print full explanations for the top N objects
-//!   --threads N          worker threads                 [default: all cores]
+//!   --threads N          worker threads; 0 = auto       [default: all cores]
 //!   --format FMT         text | json                    [default: text]
 //!   --output FILE        also write id,score CSV to FILE
 //!   --table FILE         cache the materialization database in FILE
@@ -76,6 +76,8 @@ pub struct Config {
     pub explain: usize,
     /// Worker threads for materialization and scoring (defaults to every
     /// available core; results are identical at any thread count).
+    /// `--threads 0` on the command line is normalized to
+    /// [`default_threads`] at parse time, so this field is always >= 1.
     pub threads: usize,
     /// Optional output CSV path.
     pub output: Option<String>,
@@ -213,9 +215,13 @@ pub fn parse_args(args: &[String]) -> Result<Config, String> {
                     .map_err(|e| format!("bad --explain: {e}"))?;
             }
             "--threads" => {
-                config.threads = value("--threads", &mut iter)?
+                let parsed: usize = value("--threads", &mut iter)?
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?;
+                // `0` means auto-detect. Normalize it here: the core's
+                // `effective_threads` clamps 0 to 1 (serial), which is not
+                // what "use every core" callers intend.
+                config.threads = if parsed == 0 { default_threads() } else { parsed };
             }
             "--output" => config.output = Some(value("--output", &mut iter)?.clone()),
             "--table" => config.table = Some(value("--table", &mut iter)?.clone()),
@@ -612,7 +618,8 @@ batch options:
   --top N             only report the N highest scores
   --explain N         print full explanations for the top N objects
   --threads N         worker threads (materialization and scoring both
-                      parallelize; results are identical at any N)
+                      parallelize; results are identical at any N);
+                      0 = auto-detect every available core
                                                         [default: all cores]
   --format FMT        text | json (NDJSON, one record per row)
                                                         [default: text]
@@ -739,6 +746,18 @@ mod tests {
         let config = parse_args(&args(&["data.csv"])).unwrap();
         assert_eq!(config.threads, default_threads());
         assert!(config.threads >= 1);
+    }
+
+    #[test]
+    fn explicit_zero_threads_means_auto_detect() {
+        // `--threads 0` must normalize to the detected core count, not
+        // fall through to `effective_threads`'s serial clamp.
+        let config = parse_args(&args(&["--threads", "0", "data.csv"])).unwrap();
+        assert_eq!(config.threads, default_threads());
+        assert!(config.threads >= 1);
+        // An explicit positive count is taken verbatim.
+        let config = parse_args(&args(&["--threads", "3", "data.csv"])).unwrap();
+        assert_eq!(config.threads, 3);
     }
 
     #[test]

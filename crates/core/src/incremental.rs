@@ -25,12 +25,14 @@
 //! in a dynamic spatial index would make the scan logarithmic without
 //! changing the cascade.
 
-use crate::distance::Metric;
+use crate::distance::{BlockedForm, Metric};
 use crate::error::{LofError, Result};
 use crate::lof::lrd_ratio;
 use crate::lrd::reach_dist;
 use crate::neighbors::{cmp_neighbors, select_k_tie_inclusive, tie_inclusive_len, Neighbor};
+use crate::obs::{publish_event, CoreEvent};
 use crate::point::Dataset;
+use crate::simd::{self, Isa};
 
 /// Summary of one insertion's update cascade (for diagnostics and tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +71,87 @@ impl UpdateStats {
     }
 }
 
+/// Maintained per-point squared norms for the SIMD surrogate prefilter
+/// of the insert/remove scans (built only for metrics with a
+/// squared-Euclidean [`BlockedForm`]).
+///
+/// The prefilter mirrors the blocked kernel's exactness contract: the
+/// dispatched microkernel computes the norm-form surrogate row, a
+/// conservative cutoff (widened by [`simd::surrogate_slack`]) discards
+/// points that provably cannot participate, and every survivor is
+/// re-evaluated with the exact scalar `metric.distance` — so the cascade
+/// makes bit-identical decisions to the unfiltered scan.
+#[derive(Debug)]
+struct SurrogateFilter {
+    isa: Isa,
+    /// `norms[i] = ‖x_i‖²`, forward-summed — same recurrence as
+    /// [`crate::BlockKernel`], maintained under push/swap-remove.
+    norms: Vec<f64>,
+    /// Running maximum over every norm ever present. Never decreased on
+    /// removal: a stale larger value only widens the slack, which stays
+    /// conservative.
+    max_norm: f64,
+}
+
+impl SurrogateFilter {
+    fn for_dataset(data: &Dataset) -> Self {
+        let mut filter = SurrogateFilter {
+            isa: simd::active(),
+            norms: Vec::with_capacity(data.len()),
+            max_norm: 0.0,
+        };
+        for id in 0..data.len() {
+            filter.push(data, id);
+        }
+        filter
+    }
+
+    /// Appends the norm of `data`'s row `id` (called right after a push).
+    fn push(&mut self, data: &Dataset, id: usize) {
+        let mut acc = 0.0;
+        for &v in data.point(id) {
+            acc += v * v;
+        }
+        self.max_norm = self.max_norm.max(acc);
+        self.norms.push(acc);
+    }
+
+    /// Mirrors the model's swap-remove relocation.
+    fn swap_remove(&mut self, id: usize) {
+        self.norms.swap_remove(id);
+    }
+
+    /// Surrogate row of `point` (whose squared norm is `qn`) against rows
+    /// `0..limit`, through the dispatched microkernel. Returns the slack
+    /// bounding each entry's error; publishes the panel counters.
+    fn row(&self, data: &Dataset, point: &[f64], qn: f64, limit: usize, out: &mut Vec<f64>) -> f64 {
+        let d = data.dims();
+        out.clear();
+        out.resize(limit, 0.0);
+        simd::surrogate_panel(
+            self.isa,
+            point,
+            &[qn],
+            &data.as_flat()[..limit * d],
+            &self.norms[..limit],
+            d,
+            out,
+        );
+        let (panels, rem_lanes) = simd::panel_counts(self.isa, 1, limit, d);
+        publish_event(CoreEvent::SimdPanels(panels));
+        publish_event(CoreEvent::SimdRemainderLanes(rem_lanes));
+        simd::surrogate_slack(d, self.max_norm.max(qn))
+    }
+}
+
+/// Two-sided widening of a squared threshold, mirroring the tree
+/// providers' shell-pass margin: relative headroom for the `sqrt`
+/// round-trip of stored Euclidean distances, additive floor for exact
+/// zeros.
+fn widen_sq(sq: f64) -> f64 {
+    sq * (1.0 + 1e-9) + f64::MIN_POSITIVE
+}
+
 /// A LOF model over a mutable dataset: maintains per-object neighborhoods,
 /// local reachability densities and LOF values for one fixed `MinPts` under
 /// point insertions and removals.
@@ -103,6 +186,8 @@ pub struct IncrementalLof<M: Metric> {
     /// this is the eviction-order metadata sliding-window callers need.
     arrival: Vec<u64>,
     next_arrival: u64,
+    /// SIMD surrogate prefilter state (`None` for generic metrics).
+    filter: Option<SurrogateFilter>,
 }
 
 impl<M: Metric> IncrementalLof<M> {
@@ -121,6 +206,8 @@ impl<M: Metric> IncrementalLof<M> {
             return Err(LofError::InvalidMinPts { min_pts, dataset_size: data.len() });
         }
         let n = data.len();
+        let filter = (metric.blocked_form() != BlockedForm::Generic)
+            .then(|| SurrogateFilter::for_dataset(&data));
         let mut model = IncrementalLof {
             metric,
             min_pts,
@@ -130,6 +217,7 @@ impl<M: Metric> IncrementalLof<M> {
             lof: Vec::new(),
             arrival: (0..n as u64).collect(),
             next_arrival: n as u64,
+            filter,
         };
         model.rebuild_all();
         Ok(model)
@@ -218,12 +306,45 @@ impl<M: Metric> IncrementalLof<M> {
     pub fn insert(&mut self, point: &[f64]) -> Result<(usize, f64, UpdateStats)> {
         let q = self.data.len();
         self.data.push(point)?;
+        if let Some(filter) = &mut self.filter {
+            filter.push(&self.data, q);
+        }
+
+        // Surrogate prefilter (blocked-form metrics): one microkernel row
+        // `q → 0..q` serves both the kNN selection and the reverse-neighbor
+        // scan below; every surviving candidate is refined with the exact
+        // scalar `metric.distance`, so decisions are bit-identical to the
+        // unfiltered scans.
+        let sur = self.filter.as_ref().map(|filter| {
+            let mut row = Vec::new();
+            let slack = filter.row(&self.data, self.data.point(q), filter.norms[q], q, &mut row);
+            (row, slack)
+        });
 
         // q's own neighborhood among the pre-existing objects.
-        let mut candidates = Vec::with_capacity(q);
-        for id in 0..q {
-            candidates.push(Neighbor::new(id, self.metric.distance(point, self.data.point(id))));
-        }
+        let candidates = if let Some((row, slack)) = &sur {
+            let k = self.min_pts;
+            let mut pairs: Vec<(f64, usize)> = (0..q).map(|j| (row[j], j)).collect();
+            // `q > min_pts` held before the push, so rank `k - 1` exists.
+            // The k-th surrogate plus twice the slack over-covers every
+            // true neighbor, sqrt-rounded ties included — the same
+            // argument as the blocked kernel's widened cutoff.
+            pairs.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+            let cutoff = pairs[k - 1].0 + 2.0 * slack;
+            pairs.retain(|&(s, _)| s <= cutoff);
+            let mut candidates = Vec::with_capacity(pairs.len());
+            for &(_, j) in &pairs {
+                candidates.push(Neighbor::new(j, self.metric.distance(point, self.data.point(j))));
+            }
+            candidates
+        } else {
+            let mut candidates = Vec::with_capacity(q);
+            for id in 0..q {
+                candidates
+                    .push(Neighbor::new(id, self.metric.distance(point, self.data.point(id))));
+            }
+            candidates
+        };
         let q_neighborhood = select_k_tie_inclusive(candidates, self.min_pts);
         self.neighborhoods.push(q_neighborhood);
         self.lrd.push(0.0);
@@ -233,9 +354,22 @@ impl<M: Metric> IncrementalLof<M> {
 
         // Set A: reverse neighbors — q falls within their k-distance (ties
         // included: equal distance joins the neighborhood).
+        let stored_to_sq = match self.metric.blocked_form() {
+            BlockedForm::SquaredEuclidean => |kdist: f64| kdist,
+            _ => |kdist: f64| kdist * kdist,
+        };
         let mut set_a = Vec::new();
         for p in 0..q {
             let kdist = self.k_distance(p);
+            if let Some((row, slack)) = &sur {
+                // The surrogate undershoots `d(p, q)²` by at most the
+                // slack, and squaring the stored (sqrt-rounded) k-distance
+                // costs a few ulps more — the widened threshold covers
+                // both, so no true reverse neighbor is skipped.
+                if row[p] > widen_sq(stored_to_sq(kdist)) + 2.0 * slack {
+                    continue;
+                }
+            }
             let d = self.metric.distance(self.data.point(p), point);
             if d <= kdist {
                 self.absorb(p, Neighbor::new(q, d));
@@ -331,6 +465,9 @@ impl<M: Metric> IncrementalLof<M> {
         self.lrd.swap_remove(id);
         self.lof.swap_remove(id);
         self.arrival.swap_remove(id);
+        if let Some(filter) = &mut self.filter {
+            filter.swap_remove(id);
+        }
 
         // Remap stored neighbor ids (`last` -> `id`) everywhere. Canonical
         // neighbor order breaks ties by id, so a list that held `last` may
@@ -420,16 +557,39 @@ impl<M: Metric> IncrementalLof<M> {
         Ok(&self.neighborhoods[id])
     }
 
-    /// Brute-force neighborhood search for one object (deletion path).
+    /// Neighborhood search for one resident object (deletion path and the
+    /// construction rebuild): a SIMD surrogate prefilter for blocked-form
+    /// metrics, the plain scan otherwise. Bit-identical results either
+    /// way — survivors are refined with the exact scalar distance.
     fn search_neighborhood(&self, p: usize) -> Vec<Neighbor> {
+        let n = self.data.len();
         let point = self.data.point(p);
-        let mut candidates = Vec::with_capacity(self.data.len() - 1);
-        for (other, x) in self.data.iter() {
-            if other != p {
-                candidates.push(Neighbor::new(other, self.metric.distance(point, x)));
+        let k = self.min_pts;
+        let candidates = if let Some(filter) = &self.filter {
+            let mut row = Vec::new();
+            let slack = filter.row(&self.data, point, filter.norms[p], n, &mut row);
+            let mut pairs: Vec<(f64, usize)> =
+                (0..n).filter(|&j| j != p).map(|j| (row[j], j)).collect();
+            // The model invariant `len() > min_pts` keeps rank `k - 1`
+            // valid after excluding `p` itself.
+            pairs.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+            let cutoff = pairs[k - 1].0 + 2.0 * slack;
+            pairs.retain(|&(s, _)| s <= cutoff);
+            let mut candidates = Vec::with_capacity(pairs.len());
+            for &(_, j) in &pairs {
+                candidates.push(Neighbor::new(j, self.metric.distance(point, self.data.point(j))));
             }
-        }
-        select_k_tie_inclusive(candidates, self.min_pts)
+            candidates
+        } else {
+            let mut candidates = Vec::with_capacity(n - 1);
+            for (other, x) in self.data.iter() {
+                if other != p {
+                    candidates.push(Neighbor::new(other, self.metric.distance(point, x)));
+                }
+            }
+            candidates
+        };
+        select_k_tie_inclusive(candidates, k)
     }
 
     /// `k-distance` of an object from its maintained neighborhood.
@@ -476,17 +636,7 @@ impl<M: Metric> IncrementalLof<M> {
     /// it as the oracle).
     fn rebuild_all(&mut self) {
         let n = self.data.len();
-        self.neighborhoods.clear();
-        for id in 0..n {
-            let mut candidates = Vec::with_capacity(n - 1);
-            let p = self.data.point(id);
-            for (other, x) in self.data.iter() {
-                if other != id {
-                    candidates.push(Neighbor::new(other, self.metric.distance(p, x)));
-                }
-            }
-            self.neighborhoods.push(select_k_tie_inclusive(candidates, self.min_pts));
-        }
+        self.neighborhoods = (0..n).map(|id| self.search_neighborhood(id)).collect();
         self.lrd = (0..n).map(|id| self.compute_lrd(id)).collect();
         self.lof = (0..n).map(|id| self.compute_lof(id)).collect();
     }

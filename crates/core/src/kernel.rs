@@ -42,6 +42,7 @@ use crate::distance::{squared_euclidean, BlockedForm, Metric};
 use crate::knn::KnnScratch;
 use crate::neighbors::{select_k_tie_inclusive_in_place, Neighbor};
 use crate::point::Dataset;
+use crate::simd::{self, Isa};
 use std::ops::Range;
 
 /// Upper bound on the bytes of surrogate-distance rows a query block may
@@ -66,12 +67,26 @@ pub struct BlockKernel {
     /// Conservative bound on `|surrogate − exact|` for any pair; see
     /// [`BlockKernel::slack`].
     slack: f64,
+    /// The dispatched microkernel every surrogate goes through.
+    isa: Isa,
 }
 
 impl BlockKernel {
     /// Builds kernel state for `data` under `metric`, or `None` when the
-    /// metric declares no squared-Euclidean form.
+    /// metric declares no squared-Euclidean form. Surrogates run on the
+    /// process-wide dispatched microkernel ([`simd::active`]).
     pub fn for_metric<M: Metric + ?Sized>(data: &Dataset, metric: &M) -> Option<Self> {
+        Self::for_metric_with_isa(data, metric, simd::active())
+    }
+
+    /// [`BlockKernel::for_metric`] pinned to a specific dispatch target —
+    /// the differential-testing and benchmarking entry point. An `isa`
+    /// this machine cannot run falls back to the scalar kernel.
+    pub fn for_metric_with_isa<M: Metric + ?Sized>(
+        data: &Dataset,
+        metric: &M,
+        isa: Isa,
+    ) -> Option<Self> {
         let form = metric.blocked_form();
         if form == BlockedForm::Generic {
             return None;
@@ -89,18 +104,21 @@ impl BlockKernel {
             max_norm = max_norm.max(acc);
             norms.push(acc);
         }
-        // Error budget for `qn + bn − 2·dot` vs the exact scalar sum:
-        // each norm and the dot carry ≈ d·eps·max‖x‖² of absolute error,
-        // the final combination a few ulps of magnitude ≤ 4·max‖x‖², and
-        // the exact scalar path contributes a term of the same order.
-        // 16·(d + 4)·eps·max‖x‖² over-covers the sum by ~4x.
-        let slack = 16.0 * (d as f64 + 4.0) * f64::EPSILON * max_norm;
-        Some(BlockKernel { form, norms, slack })
+        // `|surrogate − exact|` bound valid for every dispatch target,
+        // including the reassociated SIMD lane sums — derivation on
+        // [`simd::surrogate_slack`].
+        let slack = simd::surrogate_slack(d, max_norm);
+        Some(BlockKernel { form, norms, slack, isa })
     }
 
     /// The surrogate-error bound used to widen selection cutoffs.
     pub fn slack(&self) -> f64 {
         self.slack
+    }
+
+    /// The microkernel this kernel dispatches surrogates to.
+    pub fn isa(&self) -> Isa {
+        self.isa
     }
 
     /// Norm-form surrogate squared distances from object `qid` to each of
@@ -115,27 +133,9 @@ impl BlockKernel {
         let d = data.dims();
         let coords = data.as_flat();
         let q = &coords[qid * d..][..d];
-        let qn = self.norms[qid];
         out.clear();
-        out.reserve(cands.len());
-        for &j in cands {
-            let x = &coords[j * d..][..d];
-            let mut acc = [0.0f64; 4];
-            let mut t = 0;
-            while t + 4 <= d {
-                acc[0] += q[t] * x[t];
-                acc[1] += q[t + 1] * x[t + 1];
-                acc[2] += q[t + 2] * x[t + 2];
-                acc[3] += q[t + 3] * x[t + 3];
-                t += 4;
-            }
-            let mut dot = (acc[0] + acc[1]) + (acc[2] + acc[3]);
-            while t < d {
-                dot += q[t] * x[t];
-                t += 1;
-            }
-            out.push(qn + self.norms[j] - 2.0 * dot);
-        }
+        out.resize(cands.len(), 0.0);
+        simd::surrogate_gather(self.isa, q, self.norms[qid], coords, &self.norms, d, cands, out);
     }
 
     /// How many queries one block processes for a dataset of `n` points.
@@ -160,36 +160,15 @@ impl BlockKernel {
     /// Streams every data tile past the query block once, computing the
     /// norm-form surrogate `‖x_q‖² + ‖x_j‖² − 2·q·x_j` per pair and
     /// capturing candidates directly — the full distance row is never
-    /// materialized. Dispatches to a monomorphized loop for common
-    /// dimensionalities so the dot product fully unrolls and vectorizes;
-    /// the runtime-`d` fallback covers the rest.
+    /// materialized. The surrogate panel (all block queries × one tile)
+    /// is computed by the dispatched SIMD microkernel
+    /// ([`simd::surrogate_panel`]): register-tiled FMA on AVX2/NEON, the
+    /// monomorphized four-accumulator loop on the scalar fallback.
     ///
-    /// The dot accumulates in four independent partial sums —
-    /// reassociation changes the surrogate's rounding, but
-    /// [`BlockKernel::slack`] bounds the error of *any* summation order,
+    /// Any dispatch target reassociates the dot product relative to the
+    /// exact scalar sum, but [`BlockKernel::slack`] bounds the error of
+    /// *any* summation order up to [`simd::MAX_LANES`] partial chains,
     /// and the exact-refine phase makes final results independent of it.
-    fn stream_block(&self, data: &Dataset, ids: Range<usize>, k: usize, scratch: &mut KnnScratch) {
-        match data.dims() {
-            2 => self.stream_block_impl::<2>(data, ids, k, scratch),
-            3 => self.stream_block_impl::<3>(data, ids, k, scratch),
-            4 => self.stream_block_impl::<4>(data, ids, k, scratch),
-            5 => self.stream_block_impl::<5>(data, ids, k, scratch),
-            6 => self.stream_block_impl::<6>(data, ids, k, scratch),
-            7 => self.stream_block_impl::<7>(data, ids, k, scratch),
-            8 => self.stream_block_impl::<8>(data, ids, k, scratch),
-            9 => self.stream_block_impl::<9>(data, ids, k, scratch),
-            10 => self.stream_block_impl::<10>(data, ids, k, scratch),
-            12 => self.stream_block_impl::<12>(data, ids, k, scratch),
-            16 => self.stream_block_impl::<16>(data, ids, k, scratch),
-            20 => self.stream_block_impl::<20>(data, ids, k, scratch),
-            32 => self.stream_block_impl::<32>(data, ids, k, scratch),
-            64 => self.stream_block_impl::<64>(data, ids, k, scratch),
-            _ => self.stream_block_impl::<0>(data, ids, k, scratch),
-        }
-    }
-
-    /// `stream_block` body; `D > 0` pins the dimensionality at compile
-    /// time (`D == 0` reads it from the dataset).
     ///
     /// Candidate selection per query is a pure threshold scan: the hot
     /// loop pays one predictable register compare per pair, and accepted
@@ -203,15 +182,9 @@ impl BlockKernel {
     /// massive tie groups all inside the slack window — double its limit
     /// instead, keeping the amortized cost O(1) per scanned pair. No heap,
     /// no per-query allocation once the lists are warm.
-    fn stream_block_impl<const D: usize>(
-        &self,
-        data: &Dataset,
-        ids: Range<usize>,
-        k: usize,
-        scratch: &mut KnnScratch,
-    ) {
+    fn stream_block(&self, data: &Dataset, ids: Range<usize>, k: usize, scratch: &mut KnnScratch) {
         let n = data.len();
-        let d = if D == 0 { data.dims() } else { D };
+        let d = data.dims();
         let coords = data.as_flat();
         let qb = ids.len();
         debug_assert!(qb <= MAX_QUERY_BLOCK, "caller blocks queries");
@@ -226,65 +199,79 @@ impl BlockKernel {
         let by_key = |a: &(f64, usize), b: &(f64, usize)| a.0.total_cmp(&b.0);
         let mut accepts = [f64::INFINITY; MAX_QUERY_BLOCK];
         let mut limits = [(4 * k).max(64); MAX_QUERY_BLOCK];
-        // Disjoint field borrows: the tile staging buffer is written by
-        // the compute loop and read by the capture scan.
+        // Disjoint field borrows: the panel staging buffer is written by
+        // the microkernel and read by the capture scan.
         let KnnScratch { block_pairs, tile_sq, stats, .. } = scratch;
+        // The block's query rows are contiguous, so the microkernel can
+        // register-tile across queries as well as points.
+        let q_rows = &coords[ids.start * d..ids.end * d];
+        let q_norms = &norms[ids.start..ids.end];
         let tile = Self::tile_points(d);
         let mut tile_start = 0;
         while tile_start < n {
             let tile_end = (tile_start + tile).min(n);
             let tile_len = tile_end - tile_start;
-            tile_sq.resize(tile_len, 0.0);
+            if tile_sq.len() < qb * tile_len {
+                tile_sq.resize(qb * tile_len, 0.0);
+            }
             stats.bump_tiles(1);
+
+            // Pure compute: one surrogate panel — every query in the
+            // block × one L1-resident data tile — through the dispatched
+            // microkernel. No branches, no writeback beyond qb tile rows.
+            let panel = &mut tile_sq[..qb * tile_len];
+            simd::surrogate_panel(
+                self.isa,
+                q_rows,
+                q_norms,
+                &coords[tile_start * d..tile_end * d],
+                &norms[tile_start..tile_end],
+                d,
+                panel,
+            );
+            let (panels, rem_lanes) = simd::panel_counts(self.isa, qb, tile_len, d);
+            stats.bump_simd_panels(panels);
+            stats.bump_simd_remainder_lanes(rem_lanes);
+
             for (qi, qid) in ids.clone().enumerate() {
                 stats.bump_tile_pairs(tile_len as u64);
-                let q = &coords[qid * d..][..d];
-                let qn = self.norms[qid];
+                let buf = &panel[qi * tile_len..][..tile_len];
 
-                // Pure compute: surrogate squared distances of one tile
-                // into the L1-resident staging buffer — no branches, so
-                // the loop pipelines and vectorizes freely.
-                let buf = &mut tile_sq[..tile_len];
-                for (ti, slot) in buf.iter_mut().enumerate() {
-                    let j = tile_start + ti;
-                    let x = &coords[j * d..][..d];
-                    let mut acc = [0.0f64; 4];
-                    let mut t = 0;
-                    while t + 4 <= d {
-                        acc[0] += q[t] * x[t];
-                        acc[1] += q[t + 1] * x[t + 1];
-                        acc[2] += q[t + 2] * x[t + 2];
-                        acc[3] += q[t + 3] * x[t + 3];
-                        t += 4;
-                    }
-                    let mut dot = (acc[0] + acc[1]) + (acc[2] + acc[3]);
-                    while t < d {
-                        dot += q[t] * x[t];
-                        t += 1;
-                    }
-                    *slot = qn + norms[j] - 2.0 * dot;
-                }
-
-                // Capture scan: one predictable register compare per
-                // pair; the accept branch is cold.
+                // Capture scan. The dispatched skip primitive rejects
+                // whole [`simd::SKIP_BLOCK`] windows with one vector
+                // compare — exact, so a skipped window provably holds no
+                // candidate — and windows that may hit run the original
+                // scalar body against the *live* threshold, keeping
+                // captures (and the obs counters) identical on every
+                // target. The scalar target degenerates to the plain
+                // per-element loop.
                 let pairs = &mut block_pairs[qi];
                 let mut accept = accepts[qi];
                 let mut limit = limits[qi];
-                for (ti, &sq) in buf.iter().enumerate() {
-                    if sq <= accept {
-                        let j = tile_start + ti;
-                        if j != qid {
-                            pairs.push((sq, j));
-                            stats.bump_captures(1);
-                            if pairs.len() >= limit {
-                                stats.bump_compactions(1);
-                                pairs.select_nth_unstable_by(k - 1, by_key);
-                                accept = pairs[k - 1].0 + two_slack;
-                                pairs.retain(|&(sq, _)| sq <= accept);
-                                limit = (2 * pairs.len()).max(limit);
+                let mut ti = 0;
+                while ti < tile_len {
+                    ti = simd::next_hit_block(self.isa, buf, ti, accept);
+                    if ti >= tile_len {
+                        break;
+                    }
+                    let end = (ti + simd::SKIP_BLOCK).min(tile_len);
+                    for (off, &sq) in buf[ti..end].iter().enumerate() {
+                        if sq <= accept {
+                            let j = tile_start + ti + off;
+                            if j != qid {
+                                pairs.push((sq, j));
+                                stats.bump_captures(1);
+                                if pairs.len() >= limit {
+                                    stats.bump_compactions(1);
+                                    pairs.select_nth_unstable_by(k - 1, by_key);
+                                    accept = pairs[k - 1].0 + two_slack;
+                                    pairs.retain(|&(sq, _)| sq <= accept);
+                                    limit = (2 * pairs.len()).max(limit);
+                                }
                             }
                         }
                     }
+                    ti = end;
                 }
                 accepts[qi] = accept;
                 limits[qi] = limit;

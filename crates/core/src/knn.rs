@@ -227,8 +227,9 @@ pub struct KnnScratch {
     /// Blocked-kernel candidate capture: one `(surrogate, id)` list per
     /// query in the active block.
     pub block_pairs: Vec<Vec<(f64, usize)>>,
-    /// Blocked-kernel tile staging: surrogate squared distances of one
-    /// data tile (L1-sized, see `TILE_BUDGET_BYTES` in the kernel).
+    /// Blocked-kernel panel staging: surrogate squared distances of one
+    /// query block × one data tile (the tile itself is L1-sized, see
+    /// `TILE_BUDGET_BYTES` in the kernel; the panel is `qb` rows of it).
     pub tile_sq: Vec<f64>,
     /// Leaf-grouped batch self-join: one bounded heap per query sharing a
     /// leaf (tree providers traverse once per leaf group).

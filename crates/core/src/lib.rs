@@ -70,6 +70,7 @@ pub mod persist;
 pub mod point;
 pub mod range;
 pub mod scan;
+pub mod simd;
 mod sweep;
 
 pub use bounds::{LofBounds, NeighborhoodStats};
@@ -88,3 +89,4 @@ pub use parallel::build_table_parallel;
 pub use point::Dataset;
 pub use range::{lof_range, lof_range_reference, Aggregate, LofRangeResult, MinPtsRange};
 pub use scan::LinearScan;
+pub use simd::Isa;

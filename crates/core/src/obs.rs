@@ -45,6 +45,12 @@ pub struct KernelStats {
     /// Tie-shell recovery passes actually taken (lost-candidate gate
     /// fired).
     pub shell_passes: u64,
+    /// Full register-tiled SIMD micropanels executed by the dispatched
+    /// surrogate kernel (see [`crate::simd::panel_counts`]).
+    pub simd_panels: u64,
+    /// Remainder dimension lanes (`d mod lanes` per dot product) that
+    /// took the masked/peeled path.
+    pub simd_remainder_lanes: u64,
 }
 
 macro_rules! bump {
@@ -83,6 +89,10 @@ bump! {
     bump_join_groups => join_groups,
     /// Adds `n` tie-shell recovery passes.
     bump_shell_passes => shell_passes,
+    /// Adds `n` executed SIMD micropanels.
+    bump_simd_panels => simd_panels,
+    /// Adds `n` masked/peeled remainder lanes.
+    bump_simd_remainder_lanes => simd_remainder_lanes,
 }
 
 impl KernelStats {
@@ -107,6 +117,8 @@ impl KernelStats {
                 (&m.heap_offers, self.heap_offers),
                 (&m.join_groups, self.join_groups),
                 (&m.shell_passes, self.shell_passes),
+                (&m.simd_panels, self.simd_panels),
+                (&m.simd_remainder_lanes, self.simd_remainder_lanes),
             ] {
                 if value > 0 {
                     counter.add(value);
@@ -135,6 +147,8 @@ pub(crate) struct CoreMetrics {
     pub inserts: Arc<Counter>,
     pub removes: Arc<Counter>,
     pub cascade_lofs: Arc<Counter>,
+    pub simd_panels: Arc<Counter>,
+    pub simd_remainder_lanes: Arc<Counter>,
 }
 
 #[cfg(feature = "obs")]
@@ -157,6 +171,8 @@ pub(crate) fn core_metrics() -> &'static CoreMetrics {
             inserts: r.counter("core.incremental.inserts"),
             removes: r.counter("core.incremental.removes"),
             cascade_lofs: r.counter("core.incremental.cascade_lofs"),
+            simd_panels: r.counter("core.simd.panels"),
+            simd_remainder_lanes: r.counter("core.simd.remainder_lanes"),
         }
     })
 }
@@ -177,6 +193,24 @@ pub enum CoreEvent {
     IncrementalRemove,
     /// LOF values recomputed by an update cascade.
     CascadeLofs(u64),
+    /// SIMD micropanels executed outside a scratch-carrying path (the
+    /// incremental insert/remove prefilter).
+    SimdPanels(u64),
+    /// Masked/peeled remainder lanes, same paths as [`CoreEvent::SimdPanels`].
+    SimdRemainderLanes(u64),
+}
+
+/// Records the process-wide SIMD dispatch decision: bumps the
+/// `core.simd.dispatch_<isa>` counter once, so `/metrics` shows which
+/// kernel this process selected. Called exactly once, from
+/// [`crate::simd::active`]. No-op with `obs` off.
+pub(crate) fn publish_simd_dispatch(isa: crate::simd::Isa) {
+    #[cfg(feature = "obs")]
+    {
+        lof_obs::global().counter(&format!("core.simd.dispatch_{}", isa.key())).inc();
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = isa;
 }
 
 /// Publishes one whole-call event to the global registry. No-op with
@@ -192,6 +226,8 @@ pub fn publish_event(event: CoreEvent) {
             CoreEvent::IncrementalInsert => m.inserts.inc(),
             CoreEvent::IncrementalRemove => m.removes.inc(),
             CoreEvent::CascadeLofs(n) => m.cascade_lofs.add(n),
+            CoreEvent::SimdPanels(n) => m.simd_panels.add(n),
+            CoreEvent::SimdRemainderLanes(n) => m.simd_remainder_lanes.add(n),
         }
     }
     #[cfg(not(feature = "obs"))]

@@ -25,7 +25,11 @@ use std::sync::Mutex;
 /// a failing run stops promptly.
 const STEP1_SUB_BATCH: usize = 64;
 
-/// Clamps a requested thread count to something sensible for `work_items`.
+/// Clamps a requested thread count to something sensible for
+/// `work_items`. A request of `0` is clamped to 1 (serial), *not*
+/// auto-detected: callers that mean "use every core" must resolve the
+/// count themselves (the CLI normalizes `--threads 0` to
+/// `default_threads()` at parse time).
 fn effective_threads(threads: usize, work_items: usize) -> usize {
     threads.max(1).min(work_items.max(1))
 }

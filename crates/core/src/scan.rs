@@ -35,6 +35,14 @@ impl<'a, M: Metric> LinearScan<'a, M> {
         LinearScan { data, metric, kernel }
     }
 
+    /// [`LinearScan::new`] with the blocked kernel pinned to a specific
+    /// dispatch target (differential testing and benchmarks; see
+    /// [`BlockKernel::for_metric_with_isa`]).
+    pub fn with_isa(data: &'a Dataset, metric: M, isa: crate::simd::Isa) -> Self {
+        let kernel = BlockKernel::for_metric_with_isa(data, &metric, isa);
+        LinearScan { data, metric, kernel }
+    }
+
     /// The underlying dataset.
     pub fn dataset(&self) -> &Dataset {
         self.data
@@ -73,6 +81,63 @@ impl<'a, M: Metric> LinearScan<'a, M> {
         select_k_tie_inclusive_in_place(&mut scratch.neighbors, k);
         out.extend_from_slice(&scratch.neighbors);
         scratch.neighbors.len()
+    }
+
+    /// Blocked batch path for metrics without a squared-Euclidean form:
+    /// the same query-block × data-tile iteration order as
+    /// [`BlockKernel`] (one geometry, one tuning surface), with the
+    /// metric evaluated directly instead of through surrogates. Each data
+    /// tile is pulled through the cache once per query *block* rather
+    /// than once per query, so the per-query cost tracks the blocked
+    /// form's as `MAX_QUERY_BLOCK` is tuned. Results are bit-identical to
+    /// [`LinearScan::k_nearest_scalar`]: the same distances feed the same
+    /// order-canonicalizing tie-inclusive reduction.
+    fn batch_k_nearest_generic(
+        &self,
+        ids: std::ops::Range<usize>,
+        k: usize,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+        lens: &mut Vec<usize>,
+    ) {
+        let n = self.data.len();
+        let (qb, tile) = BlockKernel::geometry(n, self.data.dims());
+        let mut block_start = ids.start;
+        while block_start < ids.end {
+            let block_end = (block_start + qb).min(ids.end);
+            let bq = block_end - block_start;
+            if scratch.block_pairs.len() < bq {
+                scratch.block_pairs.resize_with(bq, Vec::new);
+            }
+            for pairs in &mut scratch.block_pairs[..bq] {
+                pairs.clear();
+            }
+            let mut tile_start = 0;
+            while tile_start < n {
+                let tile_end = (tile_start + tile).min(n);
+                for (qi, qid) in (block_start..block_end).enumerate() {
+                    let q = self.data.point(qid);
+                    let pairs = &mut scratch.block_pairs[qi];
+                    for j in tile_start..tile_end {
+                        if j != qid {
+                            pairs.push((self.metric.distance(q, self.data.point(j)), j));
+                        }
+                    }
+                }
+                tile_start = tile_end;
+            }
+            for (qi, _) in (block_start..block_end).enumerate() {
+                // Disjoint field borrows: reduce the staged pairs into the
+                // neighbor scratch.
+                let KnnScratch { neighbors, block_pairs, .. } = scratch;
+                neighbors.clear();
+                neighbors.extend(block_pairs[qi].iter().map(|&(dist, j)| Neighbor::new(j, dist)));
+                select_k_tie_inclusive_in_place(neighbors, k);
+                out.extend_from_slice(neighbors);
+                lens.push(neighbors.len());
+            }
+            block_start = block_end;
+        }
     }
 }
 
@@ -116,12 +181,7 @@ impl<M: Metric> KnnProvider for LinearScan<'_, M> {
         }
         match &self.kernel {
             Some(kernel) => kernel.batch_k_nearest(self.data, ids, k, scratch, out, lens),
-            None => {
-                for id in ids {
-                    let added = self.k_nearest_scalar(id, k, scratch, out);
-                    lens.push(added);
-                }
-            }
+            None => self.batch_k_nearest_generic(ids, k, scratch, out, lens),
         }
         Ok(())
     }

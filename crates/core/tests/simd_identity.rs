@@ -1,0 +1,250 @@
+//! Differential suite for the runtime-dispatched SIMD microkernels: on
+//! every target this machine can run (`lof_core::simd::available()` —
+//! scalar always, SSE2 and AVX2+FMA on x86-64, NEON on aarch64), the
+//! full k-NN + LOF pipeline must be **bit-identical** to the scalar
+//! reference path. SIMD reassociation may perturb surrogate keys in
+//! their last ulps, but the widened slack plus exact refinement must
+//! absorb every such perturbation — neighborhoods, tie membership, and
+//! LOF values included.
+//!
+//! Fixtures target the kernel's known failure surfaces: duplicate
+//! points (maximal tie groups), huge-norm offsets (catastrophic
+//! cancellation of the norm form), `d ∈ {1..=2·lanes+1}` (every
+//! masked/peeled remainder class of the widest kernel), and tie-shell
+//! lattices (candidates exactly at the k-distance). The end-to-end
+//! `LOF_FORCE_SCALAR=1` rerun of the whole test suite lives in
+//! `scripts/ci.sh`.
+
+use lof_core::incremental::IncrementalLof;
+use lof_core::lof::lof_values;
+use lof_core::neighbors::select_k_tie_inclusive;
+use lof_core::simd::{self, Isa};
+use lof_core::{
+    Dataset, Euclidean, KnnProvider, LinearScan, Metric, Neighbor, NeighborhoodTable,
+    SquaredEuclidean,
+};
+use proptest::prelude::*;
+
+/// Widest lane count among the implemented kernels (AVX2: 4 × f64).
+const MAX_IMPL_LANES: usize = 4;
+
+fn assert_bit_identical(a: &[Neighbor], b: &[Neighbor], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: neighborhood sizes differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id, "{context}: neighbor ids differ");
+        assert_eq!(
+            x.dist.to_bits(),
+            y.dist.to_bits(),
+            "{context}: neighbor distances differ ({} vs {})",
+            x.dist,
+            y.dist
+        );
+    }
+}
+
+/// Runs the whole pipeline (neighborhoods for several k, then LOF) under
+/// every available dispatch target and compares bit-for-bit against the
+/// pinned-scalar run.
+fn assert_all_isas_agree(data: &Dataset, ks: &[usize]) {
+    let scalar = LinearScan::with_isa(data, Euclidean, Isa::Scalar);
+    for &isa in simd::available() {
+        let scan = LinearScan::with_isa(data, Euclidean, isa);
+        for &k in ks {
+            if k == 0 || k >= data.len() {
+                continue;
+            }
+            for id in 0..data.len() {
+                let got = scan.k_nearest(id, k).expect("valid query");
+                let want = scalar.k_nearest(id, k).expect("valid query");
+                assert_bit_identical(&got, &want, &format!("{} id={id} k={k}", isa.key()));
+            }
+            let table = NeighborhoodTable::build(&scan, k).expect("valid k");
+            let reference = NeighborhoodTable::build(&scalar, k).expect("valid k");
+            let got = lof_values(&table, k).expect("valid k");
+            let want = lof_values(&reference, k).expect("valid k");
+            for (id, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} k={k}: LOF of id {id} differs ({a} vs {b})",
+                    isa.key()
+                );
+            }
+        }
+    }
+}
+
+/// Duplicate-heavy fixture: every point repeated, so every neighborhood
+/// is one maximal tie group.
+fn duplicates_fixture(d: usize) -> Dataset {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for i in 0..6 {
+        let row: Vec<f64> = (0..d).map(|c| ((i * (c + 2)) % 5) as f64 - 2.0).collect();
+        for _ in 0..4 {
+            rows.push(row.clone());
+        }
+    }
+    Dataset::from_rows(&rows).unwrap()
+}
+
+/// Far-origin fixture: tiny inter-point distances on a 1e8 offset, the
+/// catastrophic-cancellation stress for the norm-form surrogate.
+fn cancellation_fixture(d: usize) -> Dataset {
+    let base = 1.0e8;
+    let mut rows: Vec<Vec<f64>> =
+        (0..24).map(|i| (0..d).map(|c| base + (i * (c + 1)) as f64 * 1.0e-3).collect()).collect();
+    rows.push((0..d).map(|_| base + 500.0).collect()); // outlier
+    rows.push((0..d).map(|_| base).collect());
+    rows.push((0..d).map(|_| base).collect()); // duplicate pair at the base
+    Dataset::from_rows(&rows).unwrap()
+}
+
+/// Tie-shell lattice: small-integer coordinates produce many candidates
+/// at exactly the k-distance, so tie inclusion decides neighborhood
+/// membership (the PR 3 shell fixtures, reused against SIMD dispatch).
+fn tie_lattice_fixture(d: usize) -> Dataset {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for i in 0..27 {
+        rows.push((0..d).map(|c| ((i / 3usize.pow(c as u32 % 3)) % 3) as f64).collect());
+    }
+    Dataset::from_rows(&rows).unwrap()
+}
+
+#[test]
+fn remainder_coverage_every_dimension_class() {
+    // d sweeps 1..=2·lanes+1 for the widest kernel: hits every `d mod
+    // lanes` class of AVX2 (and SSE2/NEON) plus both unroll parities.
+    for d in 1..=(2 * MAX_IMPL_LANES + 1) {
+        assert_all_isas_agree(&duplicates_fixture(d), &[1, 3, 8]);
+        assert_all_isas_agree(&cancellation_fixture(d), &[2, 5]);
+    }
+}
+
+#[test]
+fn tie_shell_lattices_are_bit_identical() {
+    for d in [1, 2, 3, 5, 7] {
+        assert_all_isas_agree(&tie_lattice_fixture(d), &[1, 2, 4, 9]);
+    }
+}
+
+#[test]
+fn squared_metric_agrees_across_targets() {
+    let data = tie_lattice_fixture(3);
+    let scalar = LinearScan::with_isa(&data, SquaredEuclidean, Isa::Scalar);
+    for &isa in simd::available() {
+        let scan = LinearScan::with_isa(&data, SquaredEuclidean, isa);
+        for id in 0..data.len() {
+            let got = scan.k_nearest(id, 4).unwrap();
+            let want = scalar.k_nearest(id, 4).unwrap();
+            assert_bit_identical(&got, &want, &format!("squared {} id={id}", isa.key()));
+        }
+    }
+}
+
+/// The incremental prefilter (active dispatch target) must make exactly
+/// the decisions of an unfiltered scalar scan — checked after a stream
+/// of adversarial inserts and removals.
+#[test]
+fn incremental_prefilter_matches_unfiltered_scan() {
+    let seed = cancellation_fixture(3);
+    let mut model = IncrementalLof::new(seed, Euclidean, 4).unwrap();
+    let inserts: Vec<[f64; 3]> = vec![
+        [1.0e8, 1.0e8, 1.0e8],                  // duplicate of the base pair
+        [1.0e8 + 250.0, 1.0e8, 1.0e8],          // between cluster and outlier
+        [0.0, 0.0, 0.0],                        // origin: far from everything
+        [1.0e8 + 0.0005, 1.0e8 + 0.001, 1.0e8], // inside the dense cluster
+    ];
+    for p in &inserts {
+        model.insert(p).unwrap();
+        check_against_scan(&model);
+    }
+    model.remove(model.len() - 1).unwrap();
+    model.remove(0).unwrap();
+    check_against_scan(&model);
+
+    fn check_against_scan(model: &IncrementalLof<Euclidean>) {
+        let data = model.dataset();
+        for id in 0..data.len() {
+            let mut candidates = Vec::with_capacity(data.len() - 1);
+            for (other, x) in data.iter() {
+                if other != id {
+                    candidates.push(Neighbor::new(other, Euclidean.distance(data.point(id), x)));
+                }
+            }
+            let want = select_k_tie_inclusive(candidates, model.min_pts());
+            assert_bit_identical(
+                model.neighborhood(id).unwrap(),
+                &want,
+                &format!("incremental id={id}"),
+            );
+        }
+    }
+}
+
+/// Random rows drawn from a pool that mixes exact-tie lattice values,
+/// huge-norm offsets, and smooth noise — dimensionalities cover every
+/// remainder class.
+fn adversarial_strategy() -> impl Strategy<Value = Dataset> {
+    (1usize..=2 * MAX_IMPL_LANES + 1, 8usize..=28).prop_flat_map(|(dims, n)| {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![Just(0.0), Just(1.0), Just(1.0e8), -50.0..50.0f64, -0.5..0.5f64,],
+                dims,
+            ),
+            n,
+        )
+        .prop_map(move |rows| Dataset::from_rows(&rows).expect("finite rows"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pipeline_is_bit_identical_on_random_adversarial_data(
+        data in adversarial_strategy(),
+        k in 1usize..6,
+    ) {
+        let k = k.min(data.len() - 1).max(1);
+        assert_all_isas_agree(&data, &[k]);
+    }
+
+    #[test]
+    fn surrogates_stay_within_slack_on_random_data(
+        data in adversarial_strategy(),
+    ) {
+        let d = data.dims();
+        let coords = data.as_flat();
+        let norms: Vec<f64> = (0..data.len())
+            .map(|i| {
+                let mut acc = 0.0;
+                for &v in data.point(i) {
+                    acc += v * v;
+                }
+                acc
+            })
+            .collect();
+        let max_norm = norms.iter().cloned().fold(0.0f64, f64::max);
+        let slack = simd::surrogate_slack(d, max_norm);
+        let n = data.len();
+        let mut panel = vec![0.0; n * n];
+        for &isa in simd::available() {
+            simd::surrogate_panel(isa, coords, &norms, coords, &norms, d, &mut panel);
+            for qi in 0..n {
+                for ti in 0..n {
+                    let exact = lof_core::distance::squared_euclidean(
+                        data.point(qi),
+                        data.point(ti),
+                    );
+                    let got = panel[qi * n + ti];
+                    prop_assert!(
+                        (got - exact).abs() <= slack,
+                        "{}: pair ({qi},{ti}) error {} exceeds slack {slack}",
+                        isa.key(),
+                        (got - exact).abs()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -17,6 +17,14 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== simd dispatch: full suite under forced-scalar =="
+# The workspace run above used the best native target (AVX2+FMA here);
+# this rerun pins every kernel to the portable scalar backend. Both runs
+# must pass the same bit-identity suites — together with the in-process
+# cross-target tests in crates/core/tests/simd_identity.rs this checks
+# the dispatch override end to end.
+LOF_FORCE_SCALAR=1 cargo test --workspace -q
+
 echo "== streaming subsystem: build + tests + serve integration =="
 cargo build -p lof-stream
 cargo test -p lof-stream -q
