@@ -1,0 +1,160 @@
+//! Machine-readable benchmark for the bound-driven top-n engine: "the
+//! 100 most outlying of a million clustered points" via partition
+//! envelopes and θ-pruning, against the full materialize-sort sweep it
+//! replaces.
+//!
+//! The workload is the regime the engine is built for — unit-spacing
+//! lattice clusters scattered far apart (every member scores LOF ≈ 1 and
+//! whole partitions prune below θ) plus planted uniform outliers (the
+//! actual answer). Lattice rather than Gaussian clusters is deliberate:
+//! rectangle lower bounds live on the gaps *between* partition boxes,
+//! and a continuum cluster tiled by tree leaves leaves only the
+//! inter-point gap along each split (≈0), collapsing `kd_lb` and with it
+//! all pruning — see DESIGN.md §13's degeneration table. On lattice data
+//! the inter-box gap equals the true neighbor spacing and the envelopes
+//! are tight. Before any timing, the engine's ranking is verified
+//! **bit-identical** to the sorted full sweep; divergence aborts the
+//! process, which is what the CI smoke gate (`scripts/ci.sh`,
+//! `LOF_TOPN_POINTS=20000`) relies on.
+//!
+//! Writes `BENCH_topn.json` (override with `BENCH_TOPN_OUT`). Run with
+//! `--release`; pin the point count with `LOF_TOPN_POINTS` and the
+//! result size with `LOF_TOPN_RESULT`.
+
+use lof_bench::{banner, time};
+use lof_core::{topn_reference, Dataset, Euclidean, PartitionSource, TopNEngine, TopNResult};
+use lof_data::rng::seeded;
+use lof_index::KdTree;
+use rand::RngExt;
+
+const MIN_PTS: usize = 20;
+const CLUSTERS: usize = 64;
+const OUTLIERS: usize = 200;
+const DIMS: usize = 4;
+
+/// Unit-spacing lattice clusters scattered far apart, plus uniform
+/// planted outliers: the density contrast LOF exists to detect, at a
+/// cluster geometry where partition envelopes actually bite — adjacent
+/// leaf boxes inside a lattice are separated by the full unit spacing,
+/// so the geometric k-distance lower bounds stay proportional to the
+/// true k-distances instead of collapsing toward zero.
+fn clustered_dataset(seed: u64, n: usize) -> Dataset {
+    let mut rng = seeded(seed);
+    let mut data = Dataset::new(DIMS);
+    let body = n.saturating_sub(OUTLIERS).max(CLUSTERS);
+    let mut remaining = body;
+    for c in 0..CLUSTERS {
+        let share = (body / CLUSTERS + usize::from(c < body % CLUSTERS)).min(remaining);
+        remaining -= share;
+        let center: Vec<f64> = (0..DIMS).map(|_| rng.random_range(0.0..1000.0)).collect();
+        // Fill a hypercubic lattice around the center in row-major
+        // order; a trailing partial slab is fine — it is still lattice.
+        let side = (share as f64).powf(1.0 / DIMS as f64).ceil().max(1.0) as usize;
+        let half = side as f64 / 2.0;
+        for i in 0..share {
+            let mut rest = i;
+            let mut p = [0.0; DIMS];
+            for coord in &mut p {
+                *coord = (rest % side) as f64 - half;
+                rest /= side;
+            }
+            let row: Vec<f64> = p.iter().zip(&center).map(|(o, c)| c + o).collect();
+            data.push(&row).expect("lattice point has the mixture's dimensionality");
+        }
+    }
+    for _ in 0..n.saturating_sub(data.len()) {
+        let p: Vec<f64> = (0..DIMS).map(|_| rng.random_range(0.0..1000.0)).collect();
+        data.push(&p).expect("outlier has the mixture's dimensionality");
+    }
+    data
+}
+
+/// Aborts on the first divergence between the engine ranking and the
+/// full-sweep reference: same ids, same order, same score bits.
+fn assert_ranking_identical(label: &str, got: &[(usize, f64)], want: &[(usize, f64)]) {
+    assert_eq!(got.len(), want.len(), "{label}: ranking lengths diverge");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.0, w.0, "{label}: ids diverge at rank {i}");
+        assert_eq!(
+            g.1.to_bits(),
+            w.1.to_bits(),
+            "{label}: score bits diverge at rank {i} ({} vs {})",
+            g.1,
+            w.1
+        );
+    }
+}
+
+fn main() {
+    banner("bench_topn", "bound-driven top-n pruning vs the full materialize-sort sweep");
+    let n: usize =
+        std::env::var("LOF_TOPN_POINTS").ok().and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+    let top_n: usize =
+        std::env::var("LOF_TOPN_RESULT").ok().and_then(|s| s.parse().ok()).unwrap_or(100);
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let data = clustered_dataset(11, n);
+    let (tree, build_time) = time(|| KdTree::new(&data, Euclidean));
+    let (partitions, partition_time) = time(|| tree.partitions());
+    println!(
+        "n={n} d={DIMS}: kd build {:.3}s, {} leaf partitions {:.3}s",
+        build_time.as_secs_f64(),
+        partitions.len(),
+        partition_time.as_secs_f64()
+    );
+
+    // Correctness gate before any timing: the pruned ranking must be the
+    // sorted full sweep's head, bit for bit, serial and parallel.
+    let (reference, reference_time) =
+        time(|| topn_reference(&tree, MIN_PTS, top_n).expect("reference sweep"));
+    let serial_engine = TopNEngine::new(MIN_PTS, top_n);
+    let (serial, serial_time): (TopNResult, _) =
+        time(|| serial_engine.run(&tree, &partitions).expect("engine run"));
+    assert_ranking_identical("engine(1 thread) vs full sweep", &serial.ranking, &reference);
+    let parallel_engine = TopNEngine::new(MIN_PTS, top_n).with_threads(threads);
+    let (parallel, parallel_time): (TopNResult, _) =
+        time(|| parallel_engine.run(&tree, &partitions).expect("engine run"));
+    assert_ranking_identical(
+        &format!("engine({threads} threads) vs full sweep"),
+        &parallel.ranking,
+        &reference,
+    );
+    println!("correctness gate: top-{top_n} bit-identical to the sorted full sweep");
+
+    let stats = &serial.stats;
+    let pruned_pct = 100.0 * stats.objects_pruned as f64 / n as f64;
+    let reference_s = reference_time.as_secs_f64();
+    let serial_s = serial_time.as_secs_f64();
+    let parallel_s = parallel_time.as_secs_f64();
+    let pruning_speedup = reference_s / serial_s;
+    let parallel_speedup = reference_s / parallel_s;
+    println!("full sweep          {reference_s:8.3}s");
+    println!("engine, 1 thread    {serial_s:8.3}s ({pruning_speedup:.1}x)");
+    println!("engine, {threads:2} threads  {parallel_s:8.3}s ({parallel_speedup:.1}x)");
+    println!(
+        "pruned {} of {} partitions; {} of {n} objects never scored ({pruned_pct:.1}%); \
+         final threshold {:.4}",
+        stats.partitions_pruned, stats.partitions, stats.objects_pruned, serial.threshold
+    );
+
+    let json = format!(
+        "{{\n  \"dataset_size\": {n},\n  \"dims\": {DIMS},\n  \"clusters\": {CLUSTERS},\n  \
+         \"planted_outliers\": {OUTLIERS},\n  \"min_pts\": {MIN_PTS},\n  \"top_n\": {top_n},\n  \
+         \"partitions\": {},\n  \"partitions_pruned\": {},\n  \
+         \"partitions_refined\": {},\n  \"objects_pruned\": {},\n  \
+         \"objects_refined\": {},\n  \"threshold\": {:.6},\n  \
+         \"full_sweep_s\": {reference_s:.3},\n  \"engine_serial_s\": {serial_s:.3},\n  \
+         \"pruning_speedup\": {pruning_speedup:.3},\n  \"threads\": {threads},\n  \
+         \"engine_parallel_s\": {parallel_s:.3},\n  \
+         \"parallel_speedup\": {parallel_speedup:.3}\n}}\n",
+        stats.partitions,
+        stats.partitions_pruned,
+        stats.partitions_refined,
+        stats.objects_pruned,
+        stats.objects_refined,
+        serial.threshold,
+    );
+    let path = std::env::var("BENCH_TOPN_OUT").unwrap_or_else(|_| "BENCH_topn.json".to_owned());
+    std::fs::write(&path, &json).expect("cannot write benchmark JSON");
+    println!("wrote {path}:\n{json}");
+}

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! lof [OPTIONS] <INPUT.csv>     batch: score a CSV, print a ranked report
+//! lof topn --n N <INPUT.csv>    top-n: the N most outlying rows, no full sweep
 //! lof stream [OPTIONS] [INPUT]  stream: score NDJSON/CSV events line by line
 //! lof serve --listen ADDR       serve: score events over TCP (NDJSON)
 //!
@@ -26,6 +27,16 @@
 //!   --output FILE        also write id,score CSV to FILE
 //!   --table FILE         cache the materialization database in FILE
 //!
+//! TOPN OPTIONS:
+//!   --n N                result size                    [default: 10]
+//!   --minpts K           the MinPts the scores are exact for [default: 10]
+//!   --metric METRIC      euclidean | manhattan | chebyshev | angular
+//!   --index INDEX        auto | scan | kdtree | balltree
+//!   --columns C1,C2,..   project onto these columns first
+//!   --standardize        z-score the columns first
+//!   --threads N          refinement workers; 0 = auto   [default: all cores]
+//!   --metrics            print a final registry snapshot to stderr
+//!
 //! STREAM / SERVE OPTIONS:
 //!   --minpts K           MinPts of the window model     [default: 10]
 //!   --capacity N         sliding-window capacity        [default: 512]
@@ -44,8 +55,9 @@
 
 use lof_core::explain::explain;
 use lof_core::{
-    build_table_parallel, Aggregate, Angular, Chebyshev, Dataset, Euclidean, KnnProvider,
-    LinearScan, LofDetector, Manhattan, Metric, NeighborhoodTable, OutlierResult,
+    build_table_parallel, topn_reference, Aggregate, Angular, Chebyshev, Dataset, Euclidean,
+    KnnProvider, LinearScan, LofDetector, Manhattan, Metric, NeighborhoodTable, OutlierResult,
+    PartitionMetric, PartitionSource, TopNEngine, TopNStats,
 };
 use lof_data::normalize::standardize;
 use lof_index::{BallTree, GridIndex, KdTree, VaFile, XTree};
@@ -268,17 +280,133 @@ fn parse_min_pts(text: &str) -> Result<(usize, usize), String> {
     }
 }
 
-/// One parsed invocation: classic batch scoring or one of the streaming
-/// modes.
+/// One parsed invocation: classic batch scoring, the bound-driven top-n
+/// engine, or one of the streaming modes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `lof [OPTIONS] <INPUT.csv>` — batch scoring.
     Batch(Config),
+    /// `lof topn [OPTIONS] <INPUT.csv>` — the n most outlying objects via
+    /// partition-bound pruning (exact, no full sweep).
+    TopN(TopNArgs),
     /// `lof stream [OPTIONS] [INPUT]` — line-by-line scoring from a file
     /// or stdin.
     Stream(StreamArgs),
     /// `lof serve [OPTIONS]` — NDJSON scoring over TCP.
     Serve(StreamArgs),
+}
+
+/// Options of `lof topn`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopNArgs {
+    /// Input CSV path.
+    pub input: String,
+    /// Result size: how many top outliers to report.
+    pub n: usize,
+    /// The `MinPts` the scores are exact for (a single value — the top-n
+    /// bounds are per-`MinPts`, not per-range).
+    pub min_pts: usize,
+    /// Distance metric.
+    pub metric: MetricChoice,
+    /// Index substrate; `topn` supports `auto | scan | kdtree | balltree`
+    /// (the tree leaves are the engine's partitions; `scan` falls back to
+    /// the full-sweep reference).
+    pub index: IndexChoice,
+    /// Project onto these columns (in order) before scoring.
+    pub columns: Option<Vec<usize>>,
+    /// Standardize columns before scoring.
+    pub standardize: bool,
+    /// Refinement worker threads (>= 1 after parsing; `--threads 0` means
+    /// auto-detect, as in batch mode).
+    pub threads: usize,
+    /// Print a final metrics-registry snapshot to stderr.
+    pub metrics: bool,
+}
+
+impl Default for TopNArgs {
+    fn default() -> Self {
+        TopNArgs {
+            input: String::new(),
+            n: 10,
+            min_pts: 10,
+            metric: MetricChoice::Euclidean,
+            index: IndexChoice::Auto,
+            columns: None,
+            standardize: false,
+            threads: default_threads(),
+            metrics: false,
+        }
+    }
+}
+
+/// Parses the flags of `lof topn`.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing values,
+/// unparsable numbers, or an index substrate without partition support.
+pub fn parse_topn_args(args: &[String]) -> Result<TopNArgs, String> {
+    let mut parsed = TopNArgs::default();
+    let mut iter = args.iter();
+    let mut positional: Vec<&String> = Vec::new();
+
+    fn value<'a>(
+        flag: &str,
+        iter: &mut std::slice::Iter<'a, String>,
+    ) -> Result<&'a String, String> {
+        iter.next().ok_or_else(|| format!("{flag} requires a value"))
+    }
+    fn number(flag: &str, iter: &mut std::slice::Iter<'_, String>) -> Result<usize, String> {
+        value(flag, iter)?.parse().map_err(|e| format!("bad {flag}: {e}"))
+    }
+
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--n" => parsed.n = number("--n", &mut iter)?,
+            "--minpts" => {
+                parsed.min_pts = number("--minpts", &mut iter)?;
+                if parsed.min_pts == 0 {
+                    return Err("MinPts must be >= 1".to_owned());
+                }
+            }
+            "--metric" => parsed.metric = parse_metric(value("--metric", &mut iter)?)?,
+            "--index" => {
+                parsed.index = match value("--index", &mut iter)?.as_str() {
+                    "auto" => IndexChoice::Auto,
+                    "scan" => IndexChoice::Scan,
+                    "kdtree" => IndexChoice::KdTree,
+                    "balltree" => IndexChoice::BallTree,
+                    other => {
+                        return Err(format!(
+                            "topn needs a partition-capable index \
+                             (auto | scan | kdtree | balltree), not '{other}'"
+                        ))
+                    }
+                };
+            }
+            "--columns" => {
+                let list = value("--columns", &mut iter)?;
+                let cols: Result<Vec<usize>, _> =
+                    list.split(',').map(str::trim).map(str::parse).collect();
+                parsed.columns = Some(cols.map_err(|e| format!("bad --columns '{list}': {e}"))?);
+            }
+            "--standardize" => parsed.standardize = true,
+            "--threads" => {
+                let count = number("--threads", &mut iter)?;
+                parsed.threads = if count == 0 { default_threads() } else { count };
+            }
+            "--metrics" => parsed.metrics = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown topn flag '{flag}'")),
+            _ => positional.push(arg),
+        }
+    }
+
+    match positional.as_slice() {
+        [input] => parsed.input = (*input).clone(),
+        [] => return Err("missing input CSV path".to_owned()),
+        more => return Err(format!("expected one input path, got {}", more.len())),
+    }
+    Ok(parsed)
 }
 
 /// Options shared by `lof stream` and `lof serve`.
@@ -339,6 +467,7 @@ impl Default for StreamArgs {
 /// unparsable numbers.
 pub fn parse_command(args: &[String]) -> Result<Command, String> {
     match args.first().map(String::as_str) {
+        Some("topn") => Ok(Command::TopN(parse_topn_args(&args[1..])?)),
         Some("stream") => Ok(Command::Stream(parse_stream_args(false, &args[1..])?)),
         Some("serve") => Ok(Command::Serve(parse_stream_args(true, &args[1..])?)),
         _ => Ok(Command::Batch(parse_args(args)?)),
@@ -584,6 +713,90 @@ fn score<M: Metric + Clone>(
     }
 }
 
+/// The output of a `lof topn` run.
+#[derive(Debug)]
+pub struct TopNOutput {
+    /// `(id, score)` ranked most-outlying first — bit-identical to the
+    /// head of a sorted full sweep at the same `MinPts`.
+    pub report: Vec<(usize, f64)>,
+    /// The engine's final pruning threshold (the exact n-th best score
+    /// when the result is full); `None` on the `scan` reference path.
+    pub threshold: Option<f64>,
+    /// The engine's pruning counters; `None` on the `scan` reference
+    /// path.
+    pub stats: Option<TopNStats>,
+}
+
+/// Runs the bound-driven top-n pipeline per `args` over an
+/// already-loaded dataset: tree leaves become micro-partitions, partition
+/// envelopes bound every member's LOF, and only partitions whose upper
+/// bound survives the running n-th-best threshold are refined.
+///
+/// # Errors
+///
+/// Returns a human-readable message on invalid parameters or degenerate
+/// data.
+pub fn run_topn(args: &TopNArgs, raw: &Dataset) -> Result<TopNOutput, String> {
+    if raw.len() <= args.min_pts {
+        return Err(format!(
+            "dataset has {} rows but MinPts is {}; need more rows than MinPts",
+            raw.len(),
+            args.min_pts
+        ));
+    }
+    let projected = match &args.columns {
+        Some(columns) => raw.project(columns).map_err(|e| e.to_string())?,
+        None => raw.clone(),
+    };
+    let data = if args.standardize { standardize(&projected) } else { projected };
+
+    let engine = TopNEngine::new(args.min_pts, args.n).with_threads(args.threads);
+    let index = match args.index {
+        // Angular has no rectangle bound, so its envelopes are vacuous on
+        // a kd-tree; the ball tree at least prunes the k-NN refinement.
+        IndexChoice::Auto if args.metric == MetricChoice::Angular => IndexChoice::BallTree,
+        IndexChoice::Auto => IndexChoice::KdTree,
+        concrete => concrete,
+    };
+    match args.metric {
+        MetricChoice::Euclidean => topn_on_index(&engine, index, &data, Euclidean),
+        MetricChoice::Manhattan => topn_on_index(&engine, index, &data, Manhattan),
+        MetricChoice::Chebyshev => topn_on_index(&engine, index, &data, Chebyshev),
+        MetricChoice::Angular => topn_on_index(&engine, index, &data, Angular),
+    }
+}
+
+fn topn_on_index<M: Metric + Clone>(
+    engine: &TopNEngine,
+    index: IndexChoice,
+    data: &Dataset,
+    metric: M,
+) -> Result<TopNOutput, String> {
+    fn go<P>(engine: &TopNEngine, provider: &P) -> Result<TopNOutput, String>
+    where
+        P: KnnProvider + PartitionSource + PartitionMetric + Sync,
+    {
+        let partitions = provider.partitions();
+        let result = engine.run(provider, &partitions).map_err(|e| e.to_string())?;
+        Ok(TopNOutput {
+            report: result.ranking,
+            threshold: Some(result.threshold),
+            stats: Some(result.stats),
+        })
+    }
+    match index {
+        IndexChoice::Scan => {
+            let scan = LinearScan::new(data, metric);
+            let report =
+                topn_reference(&scan, engine.min_pts(), engine.n()).map_err(|e| e.to_string())?;
+            Ok(TopNOutput { report, threshold: None, stats: None })
+        }
+        IndexChoice::KdTree => go(engine, &KdTree::new(data, metric)),
+        IndexChoice::BallTree => go(engine, &BallTree::new(data, metric)),
+        other => Err(format!("index '{other:?}' has no partition support for topn")),
+    }
+}
+
 /// Renders the ranked report as an aligned text table.
 pub fn render_report(report: &[(usize, f64)]) -> String {
     let mut out = String::new();
@@ -597,15 +810,19 @@ pub fn render_report(report: &[(usize, f64)]) -> String {
 /// Usage text.
 pub fn usage() -> &'static str {
     "usage: lof [OPTIONS] <INPUT.csv>
+       lof topn [OPTIONS] <INPUT.csv>
        lof stream [OPTIONS] [INPUT]
        lof serve [OPTIONS]
 
 Batch mode scores every row of a numeric CSV with the Local Outlier
 Factor (Breunig, Kriegel, Ng, Sander; SIGMOD 2000) and prints a ranked
-report. Stream mode scores line-delimited events (CSV row, JSON array,
-or {\"point\": [...]}) from a file or stdin through a sliding window;
-serve mode does the same over TCP. Both emit one NDJSON record per
-event.
+report. Topn mode answers only \"the N most outlying rows\" — exactly
+the batch ranking's head, but computed by pruning whole index partitions
+whose LOF upper bound cannot reach the running N-th best score instead
+of sweeping every row. Stream mode scores line-delimited events (CSV
+row, JSON array, or {\"point\": [...]}) from a file or stdin through a
+sliding window; serve mode does the same over TCP. Both emit one NDJSON
+record per event.
 
 batch options:
   --minpts LB[..UB]   MinPts value or range             [default: 10..20]
@@ -627,6 +844,21 @@ batch options:
   --table FILE        cache the materialization: load FILE if present,
                       else build and save it there
 
+topn options:
+  --n N               result size                       [default: 10]
+  --minpts K          the MinPts the scores are exact for
+                                                        [default: 10]
+  --metric METRIC     euclidean | manhattan | chebyshev | angular
+  --index INDEX       auto | scan | kdtree | balltree (tree leaves are
+                      the pruning partitions; scan = full-sweep
+                      reference)                        [default: auto]
+  --columns C1,C2,..  project onto these columns (subspace analysis)
+  --standardize       z-score the columns before computing distances
+  --threads N         refinement workers; 0 = auto      [default: all cores]
+  --metrics           print a final metrics snapshot (Prometheus text,
+                      including the core.topn.* pruning counters) to
+                      stderr
+
 stream / serve options:
   --minpts K          MinPts of the window model        [default: 10]
   --capacity N        sliding-window capacity (events)  [default: 512]
@@ -640,6 +872,10 @@ stream / serve options:
                       `GET /metrics[.json]` requests on any connection
   --listen ADDR       serve only: bind address          [default: 127.0.0.1:7878]
   --queue N           serve only: in-flight event bound [default: 1024]
+
+Stream and serve connections also answer in-band `GET /topn N` (or bare
+`/topn N`) requests with a `{\"type\":\"topn\",...}` record ranking the
+window's current members by LOF, most outlying first.
 "
 }
 
@@ -957,6 +1193,106 @@ mod tests {
         assert!(parse_stream_args(false, &args(&["a", "b"])).is_err());
         assert!(parse_stream_args(false, &args(&["--minpts"])).is_err());
         assert!(parse_stream_args(false, &args(&["--minpts", "x"])).is_err());
+    }
+
+    #[test]
+    fn topn_args_parse_every_flag() {
+        let Command::TopN(parsed) = parse_command(&args(&[
+            "topn",
+            "--n",
+            "7",
+            "--minpts",
+            "5",
+            "--metric",
+            "manhattan",
+            "--index",
+            "balltree",
+            "--columns",
+            "0,1",
+            "--standardize",
+            "--threads",
+            "2",
+            "--metrics",
+            "in.csv",
+        ]))
+        .unwrap() else {
+            panic!("expected topn mode");
+        };
+        assert_eq!(parsed.n, 7);
+        assert_eq!(parsed.min_pts, 5);
+        assert_eq!(parsed.metric, MetricChoice::Manhattan);
+        assert_eq!(parsed.index, IndexChoice::BallTree);
+        assert_eq!(parsed.columns, Some(vec![0, 1]));
+        assert!(parsed.standardize);
+        assert_eq!(parsed.threads, 2);
+        assert!(parsed.metrics);
+        assert_eq!(parsed.input, "in.csv");
+        // Defaults.
+        let defaults = parse_topn_args(&args(&["in.csv"])).unwrap();
+        assert_eq!(defaults.n, 10);
+        assert_eq!(defaults.min_pts, 10);
+        assert_eq!(defaults.index, IndexChoice::Auto);
+        assert_eq!(defaults.threads, default_threads());
+    }
+
+    #[test]
+    fn topn_args_reject_invalid_input() {
+        assert!(parse_topn_args(&args(&[])).is_err(), "input path is required");
+        assert!(parse_topn_args(&args(&["--minpts", "0", "a.csv"])).is_err());
+        assert!(parse_topn_args(&args(&["--index", "grid", "a.csv"])).is_err());
+        assert!(parse_topn_args(&args(&["--index", "vafile", "a.csv"])).is_err());
+        assert!(parse_topn_args(&args(&["--bogus", "a.csv"])).is_err());
+        assert!(parse_topn_args(&args(&["--n"])).is_err());
+        assert!(parse_topn_args(&args(&["a.csv", "b.csv"])).is_err());
+    }
+
+    #[test]
+    fn run_topn_matches_the_full_sweep_on_every_supported_index() {
+        let data = toy_dataset();
+        let reference = run_topn(
+            &TopNArgs {
+                input: "unused".into(),
+                n: 5,
+                min_pts: 5,
+                index: IndexChoice::Scan,
+                threads: 1,
+                ..TopNArgs::default()
+            },
+            &data,
+        )
+        .unwrap();
+        assert_eq!(reference.report[0].0, 36, "the planted outlier leads");
+        assert!(reference.stats.is_none(), "scan is the reference fallback");
+        for index in [IndexChoice::Auto, IndexChoice::KdTree, IndexChoice::BallTree] {
+            for threads in [1, 4] {
+                let engine = run_topn(
+                    &TopNArgs {
+                        input: "unused".into(),
+                        n: 5,
+                        min_pts: 5,
+                        index,
+                        threads,
+                        ..TopNArgs::default()
+                    },
+                    &data,
+                )
+                .unwrap();
+                assert_eq!(engine.report, reference.report, "{index:?} x {threads} threads");
+                let stats = engine.stats.expect("engine path reports stats");
+                assert_eq!(
+                    stats.objects_pruned + stats.objects_refined,
+                    data.len() as u64,
+                    "every object is either pruned or refined"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_topn_validates_dataset_size() {
+        let tiny = Dataset::from_rows(&[[0.0], [1.0]]).unwrap();
+        let args = TopNArgs { input: "unused".into(), min_pts: 10, ..TopNArgs::default() };
+        assert!(run_topn(&args, &tiny).is_err());
     }
 
     #[test]

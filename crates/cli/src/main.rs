@@ -1,8 +1,8 @@
 //! The `lof` command-line tool. See [`lof_cli::usage`] or run `lof --help`.
 
 use lof_cli::{
-    parse_command, render_json_report, render_report, run, stream_window_config, usage, Command,
-    Config, MetricChoice, OutputFormat, StreamArgs,
+    parse_command, render_json_report, render_report, run, run_topn, stream_window_config, usage,
+    Command, Config, MetricChoice, OutputFormat, StreamArgs, TopNArgs,
 };
 use lof_core::{Angular, Chebyshev, Euclidean, Manhattan, Metric};
 use lof_stream::{serve, SlidingWindowLof, StreamStats};
@@ -34,9 +34,45 @@ fn main() -> ExitCode {
 
     match command {
         Command::Batch(config) => run_batch(&config),
+        Command::TopN(topn) => run_topn_mode(&topn),
         Command::Stream(stream) => dispatch_streaming(&stream, StreamMode::Stdin),
         Command::Serve(stream) => dispatch_streaming(&stream, StreamMode::Tcp),
     }
+}
+
+fn run_topn_mode(args: &TopNArgs) -> ExitCode {
+    let data = match lof_data::csv::load_dataset(&args.input) {
+        Ok(data) => data,
+        Err(e) => {
+            eprintln!("error: cannot read '{}': {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("loaded {} rows x {} columns from {}", data.len(), data.dims(), args.input);
+
+    let output = match run_topn(args, &data) {
+        Ok(output) => output,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{}", render_report(&output.report));
+    if let Some(stats) = &output.stats {
+        eprintln!(
+            "pruned {} of {} partitions ({} of {} objects) below threshold {:.4}",
+            stats.partitions_pruned,
+            stats.partitions,
+            stats.objects_pruned,
+            data.len(),
+            output.threshold.unwrap_or(f64::NAN),
+        );
+    }
+    if args.metrics {
+        eprintln!("{}", lof_obs::global().render_prometheus());
+    }
+    ExitCode::SUCCESS
 }
 
 fn run_batch(config: &Config) -> ExitCode {

@@ -55,8 +55,17 @@ pub struct LofBounds {
 impl LofBounds {
     /// Whether `value` lies within the bounds, up to a relative tolerance
     /// that absorbs floating-point rounding.
+    ///
+    /// The tolerance scales with both `value` and the bound magnitude: on
+    /// duplicate-heavy data a degenerate reachability distance can drive
+    /// `value` to (nearly) zero while the bound arithmetic still carries the
+    /// rounding noise of its much larger inputs, so a tolerance keyed to
+    /// `value` alone spuriously rejects. An infinite `upper` contributes
+    /// nothing — the comparison against `+∞` already accepts.
     pub fn contains(&self, value: f64) -> bool {
-        let tol = 1e-9 * (1.0 + value.abs());
+        let magnitude =
+            if self.upper.is_finite() { value.abs().max(self.upper.abs()) } else { value.abs() };
+        let tol = 1e-9 * (1.0 + magnitude);
         value >= self.lower - tol && value <= self.upper + tol
     }
 
@@ -289,6 +298,90 @@ pub fn theorem2_bounds(
     Ok(LofBounds { lower: lower_direct * lower_indirect, upper: upper_direct * upper_indirect })
 }
 
+/// Envelope statistics for one part of a neighborhood partition, as known
+/// to the top-n pruning engine *before* the part's objects are
+/// materialized: each field brackets the corresponding exact per-part
+/// extreme of [`theorem2_bounds`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartEnvelope {
+    /// `|C_i|` — how many of `p`'s neighbors fall in this part.
+    pub count: usize,
+    /// Lower bound on `min { reach-dist(p, q) | q ∈ C_i }`.
+    pub direct_min: f64,
+    /// Upper bound on `max { reach-dist(p, q) | q ∈ C_i }`.
+    pub direct_max: f64,
+    /// Lower bound on `min { reach-dist(q, o) | q ∈ C_i, o ∈ N(q) }`.
+    pub indirect_min: f64,
+    /// Upper bound on `max { reach-dist(q, o) | q ∈ C_i, o ∈ N(q) }`.
+    pub indirect_max: f64,
+}
+
+/// Clamps an envelope-derived LOF *lower* bound: NaN, infinities and
+/// negative artifacts of degenerate reachability envelopes (`0/0`, `x/0`)
+/// collapse to `0.0`, the vacuous lower bound.
+pub(crate) fn clamp_envelope_lower(lower: f64) -> f64 {
+    if lower.is_finite() && lower > 0.0 {
+        lower
+    } else {
+        0.0
+    }
+}
+
+/// Clamps an envelope-derived LOF *upper* bound: NaN (`0 · ∞` from an
+/// all-duplicates direct envelope against a zero indirect minimum) and
+/// non-positive values collapse to `+∞`. Pruning on a degenerate upper
+/// bound would be unsound; an infinite one merely costs refinement work.
+pub(crate) fn clamp_envelope_upper(upper: f64) -> f64 {
+    if upper.is_nan() || upper <= 0.0 {
+        f64::INFINITY
+    } else {
+        upper
+    }
+}
+
+/// Theorem 2 evaluated on *envelopes*: the same ξ-weighted sums as
+/// [`theorem2_bounds`], but each part contributes interval end-points
+/// instead of exact reachability extremes. Every envelope brackets its
+/// exact counterpart and the Theorem 2 expression is monotone in each
+/// per-part statistic, so the result brackets the exact Theorem 2 bounds
+/// — and hence `LOF(p)`. Degenerate inputs (zero indirect minima on
+/// duplicate piles, infinite k-distance envelopes under metrics without
+/// rectangle bounds) collapse to the vacuous `[0, +∞)` side instead of a
+/// wrong finite bound.
+///
+/// # Errors
+///
+/// Returns [`LofError::InvalidPartition`] when `parts` is empty or any
+/// part has `count == 0`.
+pub fn theorem2_envelope_bounds(parts: &[PartEnvelope]) -> Result<LofBounds> {
+    if parts.is_empty() {
+        return Err(LofError::InvalidPartition("partition has no parts".to_owned()));
+    }
+    let mut card = 0usize;
+    for (i, part) in parts.iter().enumerate() {
+        if part.count == 0 {
+            return Err(LofError::InvalidPartition(format!("part {i} is empty")));
+        }
+        card += part.count;
+    }
+    let card = card as f64;
+    let mut lower_direct = 0.0; // Σ ξ_i · direct^i_min
+    let mut lower_indirect = 0.0; // Σ ξ_i / indirect^i_max
+    let mut upper_direct = 0.0; // Σ ξ_i · direct^i_max
+    let mut upper_indirect = 0.0; // Σ ξ_i / indirect^i_min
+    for part in parts {
+        let xi = part.count as f64 / card;
+        lower_direct += xi * part.direct_min;
+        lower_indirect += xi / part.indirect_max;
+        upper_direct += xi * part.direct_max;
+        upper_indirect += xi / part.indirect_min;
+    }
+    Ok(LofBounds {
+        lower: clamp_envelope_lower(lower_direct * lower_indirect),
+        upper: clamp_envelope_upper(upper_direct * upper_indirect),
+    })
+}
+
 /// Section 5.3 model: given mean `direct`, mean `indirect` and a fluctuation
 /// percentage `pct` (so `direct_max = direct·(1+pct/100)` etc.), the implied
 /// Theorem 1 bounds. This is the generator behind figure 4.
@@ -440,6 +533,132 @@ mod tests {
         assert!(theorem2_bounds(&table, 4, 0, &dup).is_err());
         // Incomplete cover.
         assert!(theorem2_bounds(&table, 4, 0, &[vec![neighbors[0]]]).is_err());
+    }
+
+    #[test]
+    fn contains_tolerance_scales_with_bound_magnitude() {
+        // Rounding noise proportional to a large upper bound must not
+        // reject a value sitting near the (much smaller) lower bound.
+        let wide = LofBounds { lower: 2.0, upper: 1e6 };
+        assert!(wide.contains(2.0 - 1e-4));
+        assert!(wide.contains(1e6 + 1e-4));
+        // The scaling must not make the check vacuous: clear misses still
+        // fail, and an infinite upper bound contributes no tolerance.
+        assert!(!wide.contains(1.0));
+        assert!(!wide.contains(1.01e6));
+        let open = LofBounds { lower: 2.0, upper: f64::INFINITY };
+        assert!(open.contains(3.0e12));
+        assert!(!open.contains(1.0));
+        // Degenerate zero-width bounds accept their own value.
+        let point = LofBounds { lower: 0.0, upper: 0.0 };
+        assert!(point.contains(0.0));
+        assert!(!point.contains(0.5));
+    }
+
+    /// Exact per-part statistics for `theorem2_envelope_bounds`, computed
+    /// the same way `theorem2_bounds` computes them internally.
+    fn exact_part_envelopes(
+        table: &NeighborhoodTable,
+        min_pts: usize,
+        id: usize,
+        partition: &[Vec<usize>],
+    ) -> Vec<PartEnvelope> {
+        let k_distances = table.k_distances(min_pts).unwrap();
+        let neighborhood = table.neighborhood(id, min_pts).unwrap();
+        partition
+            .iter()
+            .map(|part| {
+                let mut env = PartEnvelope {
+                    count: part.len(),
+                    direct_min: f64::INFINITY,
+                    direct_max: f64::NEG_INFINITY,
+                    indirect_min: f64::INFINITY,
+                    indirect_max: f64::NEG_INFINITY,
+                };
+                for &m in part {
+                    let q = neighborhood.iter().find(|n| n.id == m).unwrap();
+                    let rd = reach_dist(k_distances[q.id], q.dist);
+                    env.direct_min = env.direct_min.min(rd);
+                    env.direct_max = env.direct_max.max(rd);
+                    for o in table.neighborhood(q.id, min_pts).unwrap() {
+                        let rd = reach_dist(k_distances[o.id], o.dist);
+                        env.indirect_min = env.indirect_min.min(rd);
+                        env.indirect_max = env.indirect_max.max(rd);
+                    }
+                }
+                env
+            })
+            .collect()
+    }
+
+    #[test]
+    fn envelope_bounds_with_exact_stats_equal_theorem2() {
+        let (_, table) = fixture();
+        let min_pts = 4;
+        for id in [0usize, 14, 35, 36] {
+            let neighbors: Vec<usize> =
+                table.neighborhood(id, min_pts).unwrap().iter().map(|n| n.id).collect();
+            let mid = neighbors.len() / 2;
+            let parts = vec![neighbors[..mid].to_vec(), neighbors[mid..].to_vec()];
+            let exact = theorem2_bounds(&table, min_pts, id, &parts).unwrap();
+            let envs = exact_part_envelopes(&table, min_pts, id, &parts);
+            let got = theorem2_envelope_bounds(&envs).unwrap();
+            assert!((got.lower - exact.lower).abs() < 1e-12, "id={id}");
+            assert!((got.upper - exact.upper).abs() < 1e-12, "id={id}");
+        }
+    }
+
+    #[test]
+    fn envelope_bounds_widen_monotonically_and_still_contain_lof() {
+        let (_, table) = fixture();
+        let min_pts = 4;
+        let lof = lof_values(&table, min_pts).unwrap();
+        for (id, &value) in lof.iter().enumerate() {
+            let neighbors: Vec<usize> =
+                table.neighborhood(id, min_pts).unwrap().iter().map(|n| n.id).collect();
+            let parts = vec![neighbors];
+            let mut envs = exact_part_envelopes(&table, min_pts, id, &parts);
+            // Slacken each envelope the way the pruning engine's geometric
+            // estimates would: the bounds must only get wider.
+            for env in &mut envs {
+                env.direct_min *= 0.75;
+                env.direct_max *= 1.25;
+                env.indirect_min *= 0.75;
+                env.indirect_max *= 1.25;
+            }
+            let b = theorem2_envelope_bounds(&envs).unwrap();
+            assert!(b.contains(value), "id={id}: lof={value} not in [{}, {}]", b.lower, b.upper);
+        }
+    }
+
+    #[test]
+    fn envelope_bounds_degenerate_inputs_collapse_to_vacuous_sides() {
+        // Zero indirect minimum (a duplicate pile): the upper bound must be
+        // +∞, never a misleading finite value.
+        let dup = PartEnvelope {
+            count: 3,
+            direct_min: 0.0,
+            direct_max: 0.0,
+            indirect_min: 0.0,
+            indirect_max: 0.0,
+        };
+        let b = theorem2_envelope_bounds(&[dup]).unwrap();
+        assert_eq!(b.lower, 0.0);
+        assert_eq!(b.upper, f64::INFINITY);
+        // Infinite envelopes (no usable rectangle bounds): same collapse.
+        let blind = PartEnvelope {
+            count: 2,
+            direct_min: 0.0,
+            direct_max: f64::INFINITY,
+            indirect_min: 0.0,
+            indirect_max: f64::INFINITY,
+        };
+        let b = theorem2_envelope_bounds(&[blind]).unwrap();
+        assert_eq!(b.lower, 0.0);
+        assert_eq!(b.upper, f64::INFINITY);
+        // Validation mirrors theorem2_bounds.
+        assert!(theorem2_envelope_bounds(&[]).is_err());
+        assert!(theorem2_envelope_bounds(&[PartEnvelope { count: 0, ..dup }]).is_err());
     }
 
     #[test]

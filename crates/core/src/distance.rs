@@ -73,6 +73,31 @@ pub trait Metric: Send + Sync + Debug {
         d * d
     }
 
+    /// Lower bound on `distance(x, y)` over all `x ∈ [alo, ahi]` and
+    /// `y ∈ [blo, bhi]` (component-wise). The top-n pruning engine uses
+    /// rectangle-to-rectangle bounds to derive per-partition k-distance
+    /// envelopes without touching any point.
+    ///
+    /// The default returns `0.0`, which is always a valid lower bound
+    /// (distances are non-negative): metrics without a cheap rectangle
+    /// geometry — [`Angular`] — keep exactness and merely disable
+    /// partition pruning. The Minkowski family overrides it with the
+    /// per-dimension gap accumulation, which is exact.
+    fn min_dist_between_rects(&self, alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        let _ = (alo, ahi, blo, bhi);
+        0.0
+    }
+
+    /// Upper bound on `distance(x, y)` over all `x ∈ [alo, ahi]` and
+    /// `y ∈ [blo, bhi]` (component-wise). Same contract shape as
+    /// [`Metric::min_dist_between_rects`]: the default `+∞` is always
+    /// valid and merely disables pruning; the Minkowski family overrides
+    /// it with the exact farthest-corner accumulation.
+    fn max_dist_between_rects(&self, alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        let _ = (alo, ahi, blo, bhi);
+        f64::INFINITY
+    }
+
     /// Whether this metric can be served by the blocked squared-distance
     /// kernel and squared-space selection. Defaults to
     /// [`BlockedForm::Generic`] (no shortcut).
@@ -111,6 +136,24 @@ impl Metric for Euclidean {
         acc
     }
 
+    fn min_dist_between_rects(&self, alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for d in 0..alo.len() {
+            let gap = rect_rect_gap(alo[d], ahi[d], blo[d], bhi[d]);
+            acc += gap * gap;
+        }
+        acc.sqrt()
+    }
+
+    fn max_dist_between_rects(&self, alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for d in 0..alo.len() {
+            let span = rect_rect_span(alo[d], ahi[d], blo[d], bhi[d]);
+            acc += span * span;
+        }
+        acc.sqrt()
+    }
+
     fn blocked_form(&self) -> BlockedForm {
         BlockedForm::Euclidean
     }
@@ -142,6 +185,24 @@ impl Metric for SquaredEuclidean {
         acc
     }
 
+    fn min_dist_between_rects(&self, alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for d in 0..alo.len() {
+            let gap = rect_rect_gap(alo[d], ahi[d], blo[d], bhi[d]);
+            acc += gap * gap;
+        }
+        acc
+    }
+
+    fn max_dist_between_rects(&self, alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for d in 0..alo.len() {
+            let span = rect_rect_span(alo[d], ahi[d], blo[d], bhi[d]);
+            acc += span * span;
+        }
+        acc
+    }
+
     fn blocked_form(&self) -> BlockedForm {
         BlockedForm::SquaredEuclidean
     }
@@ -165,6 +226,14 @@ impl Metric for Manhattan {
     fn min_dist_to_rect(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
         (0..q.len()).map(|d| rect_gap(q[d], lo[d], hi[d])).sum()
     }
+
+    fn min_dist_between_rects(&self, alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        (0..alo.len()).map(|d| rect_rect_gap(alo[d], ahi[d], blo[d], bhi[d])).sum()
+    }
+
+    fn max_dist_between_rects(&self, alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        (0..alo.len()).map(|d| rect_rect_span(alo[d], ahi[d], blo[d], bhi[d])).sum()
+    }
 }
 
 /// Chebyshev (L∞) distance.
@@ -180,6 +249,14 @@ impl Metric for Chebyshev {
 
     fn min_dist_to_rect(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
         (0..q.len()).map(|d| rect_gap(q[d], lo[d], hi[d])).fold(0.0, f64::max)
+    }
+
+    fn min_dist_between_rects(&self, alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        (0..alo.len()).map(|d| rect_rect_gap(alo[d], ahi[d], blo[d], bhi[d])).fold(0.0, f64::max)
+    }
+
+    fn max_dist_between_rects(&self, alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        (0..alo.len()).map(|d| rect_rect_span(alo[d], ahi[d], blo[d], bhi[d])).fold(0.0, f64::max)
     }
 }
 
@@ -215,6 +292,20 @@ impl Metric for Minkowski {
 
     fn min_dist_to_rect(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
         let sum: f64 = (0..q.len()).map(|d| rect_gap(q[d], lo[d], hi[d]).powf(self.p)).sum();
+        sum.powf(1.0 / self.p)
+    }
+
+    fn min_dist_between_rects(&self, alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        let sum: f64 = (0..alo.len())
+            .map(|d| rect_rect_gap(alo[d], ahi[d], blo[d], bhi[d]).powf(self.p))
+            .sum();
+        sum.powf(1.0 / self.p)
+    }
+
+    fn max_dist_between_rects(&self, alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        let sum: f64 = (0..alo.len())
+            .map(|d| rect_rect_span(alo[d], ahi[d], blo[d], bhi[d]).powf(self.p))
+            .sum();
         sum.powf(1.0 / self.p)
     }
 }
@@ -284,6 +375,27 @@ fn rect_gap(q: f64, lo: f64, hi: f64) -> f64 {
     } else {
         0.0
     }
+}
+
+/// Per-dimension *closest* separation of the intervals `[alo, ahi]` and
+/// `[blo, bhi]`: zero when they overlap.
+#[inline]
+fn rect_rect_gap(alo: f64, ahi: f64, blo: f64, bhi: f64) -> f64 {
+    if ahi < blo {
+        blo - ahi
+    } else if bhi < alo {
+        alo - bhi
+    } else {
+        0.0
+    }
+}
+
+/// Per-dimension *farthest* separation of the intervals `[alo, ahi]` and
+/// `[blo, bhi]`: the larger of the two end-to-end distances. Non-negative
+/// for any pair of non-empty intervals.
+#[inline]
+fn rect_rect_span(alo: f64, ahi: f64, blo: f64, bhi: f64) -> f64 {
+    (ahi - blo).max(bhi - alo)
 }
 
 #[cfg(test)]
@@ -404,6 +516,59 @@ mod tests {
         // Default (squaring) impl on a metric without an override.
         let cheb = Chebyshev.min_dist_to_rect(&q, &lo, &hi);
         assert_eq!(Chebyshev.min_dist_to_rect_sq(&q, &lo, &hi), cheb * cheb);
+    }
+
+    #[test]
+    fn rect_rect_bounds_bracket_sampled_pairs() {
+        let alo = [0.0, -1.0];
+        let ahi = [1.0, 1.0];
+        let blo = [2.5, 0.0];
+        let bhi = [4.0, 3.0];
+        let grid = |lo: &[f64; 2], hi: &[f64; 2]| {
+            let mut pts = Vec::new();
+            for i in 0..=4 {
+                for j in 0..=4 {
+                    pts.push([
+                        lo[0] + (hi[0] - lo[0]) * i as f64 / 4.0,
+                        lo[1] + (hi[1] - lo[1]) * j as f64 / 4.0,
+                    ]);
+                }
+            }
+            pts
+        };
+        let metrics: Vec<Box<dyn Metric>> = vec![
+            Box::new(Euclidean),
+            Box::new(SquaredEuclidean),
+            Box::new(Manhattan),
+            Box::new(Chebyshev),
+            Box::new(Minkowski::new(3.0)),
+        ];
+        for m in &metrics {
+            let lo_bound = m.min_dist_between_rects(&alo, &ahi, &blo, &bhi);
+            let hi_bound = m.max_dist_between_rects(&alo, &ahi, &blo, &bhi);
+            assert!(lo_bound <= hi_bound);
+            for a in grid(&alo, &ahi) {
+                for b in grid(&blo, &bhi) {
+                    let d = m.distance(&a, &b);
+                    assert!(
+                        d >= lo_bound - 1e-12 && d <= hi_bound + 1e-12,
+                        "{m:?}: d={d} outside [{lo_bound}, {hi_bound}]"
+                    );
+                }
+            }
+        }
+        // The Euclidean bounds are exact at the closest/farthest corners.
+        assert!((Euclidean.min_dist_between_rects(&alo, &ahi, &blo, &bhi) - 1.5).abs() < 1e-12);
+        let farthest = (16.0f64 + 16.0).sqrt(); // (0,-1) to (4,3)
+        assert!(
+            (Euclidean.max_dist_between_rects(&alo, &ahi, &blo, &bhi) - farthest).abs() < 1e-12
+        );
+        // Overlapping rectangles: zero minimum, diameter-like maximum.
+        assert_eq!(Manhattan.min_dist_between_rects(&alo, &ahi, &alo, &ahi), 0.0);
+        assert_eq!(Manhattan.max_dist_between_rects(&alo, &ahi, &alo, &ahi), 3.0);
+        // The conservative defaults never prune and never corrupt.
+        assert_eq!(Angular.min_dist_between_rects(&alo, &ahi, &blo, &bhi), 0.0);
+        assert_eq!(Angular.max_dist_between_rects(&alo, &ahi, &blo, &bhi), f64::INFINITY);
     }
 
     #[test]

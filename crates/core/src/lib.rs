@@ -27,6 +27,9 @@
 //!   ranking heuristic of section 6.2;
 //! * [`bounds`] — the executable section 5 theory: Theorem 1/2 bounds,
 //!   Lemma 1, and the spread analysis behind figures 4 and 5;
+//! * [`topn`] — the bound-driven top-n engine: answers "the n most
+//!   outlying objects" exactly while scoring only what the Theorem 1/2
+//!   envelopes cannot prune;
 //! * [`parallel`] — multithreaded versions of both steps;
 //! * [`detector`] — the high-level [`LofDetector`] front door.
 //!
@@ -72,8 +75,9 @@ pub mod range;
 pub mod scan;
 pub mod simd;
 mod sweep;
+pub mod topn;
 
-pub use bounds::{LofBounds, NeighborhoodStats};
+pub use bounds::{theorem2_envelope_bounds, LofBounds, NeighborhoodStats, PartEnvelope};
 pub use detector::{LofDetector, OutlierResult};
 pub use distance::{Angular, Chebyshev, Euclidean, Manhattan, Metric, Minkowski, SquaredEuclidean};
 pub use error::{LofError, Result};
@@ -90,3 +94,6 @@ pub use point::Dataset;
 pub use range::{lof_range, lof_range_reference, Aggregate, LofRangeResult, MinPtsRange};
 pub use scan::LinearScan;
 pub use simd::Isa;
+pub use topn::{
+    topn_reference, Partition, PartitionMetric, PartitionSource, TopNEngine, TopNResult, TopNStats,
+};

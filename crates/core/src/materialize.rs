@@ -12,12 +12,15 @@
 //! entirely off this table — the original dataset is no longer needed, which
 //! is exactly the property the paper exploits.
 
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
 use crate::error::{LofError, Result};
 use crate::neighbors::{tie_inclusive_len, KnnProvider, Neighbor};
 
 /// The materialization database `M`: per-object sorted, tie-inclusive
 /// `MinPtsUB`-nearest neighbor lists.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct NeighborhoodTable {
     max_k: usize,
     /// True for k-distinct-distance tables: their stored lists extend to
@@ -29,6 +32,25 @@ pub struct NeighborhoodTable {
     offsets: Vec<usize>,
     /// Concatenated neighbor lists, each sorted by (distance, id).
     neighbors: Vec<Neighbor>,
+    /// Per-`k` cache of the bulk `k-distance` vector. The table is
+    /// immutable after construction, so entries never go stale; the lock
+    /// keeps [`NeighborhoodTable::k_distances`] callable through `&self`
+    /// from concurrent scans (bounding every object calls it per object —
+    /// quadratic when recomputed each time).
+    k_distance_cache: RwLock<BTreeMap<usize, Arc<[f64]>>>,
+}
+
+impl Clone for NeighborhoodTable {
+    fn clone(&self) -> Self {
+        let cache = self.k_distance_cache.read().expect("k-distance cache poisoned").clone();
+        NeighborhoodTable {
+            max_k: self.max_k,
+            distinct: self.distinct,
+            offsets: self.offsets.clone(),
+            neighbors: self.neighbors.clone(),
+            k_distance_cache: RwLock::new(cache),
+        }
+    }
 }
 
 impl NeighborhoodTable {
@@ -124,7 +146,13 @@ impl NeighborhoodTable {
             offsets.push(acc);
         }
         debug_assert_eq!(acc, neighbors.len());
-        NeighborhoodTable { max_k, distinct: false, offsets, neighbors }
+        NeighborhoodTable {
+            max_k,
+            distinct: false,
+            offsets,
+            neighbors,
+            k_distance_cache: RwLock::new(BTreeMap::new()),
+        }
     }
 
     /// Assembles a table from per-object lists (used by the parallel builder
@@ -138,7 +166,13 @@ impl NeighborhoodTable {
             neighbors.extend_from_slice(&list);
             offsets.push(neighbors.len());
         }
-        NeighborhoodTable { max_k, distinct: false, offsets, neighbors }
+        NeighborhoodTable {
+            max_k,
+            distinct: false,
+            offsets,
+            neighbors,
+            k_distance_cache: RwLock::new(BTreeMap::new()),
+        }
     }
 
     /// Number of objects.
@@ -244,18 +278,34 @@ impl NeighborhoodTable {
     /// scans of step 2. Validates the depth once, then reads each list's
     /// tie-inclusive prefix end straight out of the CSR arena.
     ///
+    /// The vector is computed once per `k` and cached (the table is
+    /// immutable), so bound computations that need it per object — the
+    /// section 5 machinery calls this inside `neighborhood_stats` — stay
+    /// linear instead of quadratic. The shared slice is handed out as an
+    /// `Arc`, which deref-coerces wherever a `&[f64]` is expected.
+    ///
     /// # Errors
     ///
     /// Same as [`NeighborhoodTable::neighborhood`].
-    pub fn k_distances(&self, k: usize) -> Result<Vec<f64>> {
+    pub fn k_distances(&self, k: usize) -> Result<Arc<[f64]>> {
         self.validate_depth(k)?;
+        if let Some(cached) =
+            self.k_distance_cache.read().expect("k-distance cache poisoned").get(&k)
+        {
+            return Ok(Arc::clone(cached));
+        }
         let mut out = Vec::with_capacity(self.len());
         for id in 0..self.len() {
             let full = &self.neighbors[self.offsets[id]..self.offsets[id + 1]];
             let end = if self.distinct { full.len() } else { tie_inclusive_len(full, k) };
             out.push(full[end - 1].dist);
         }
-        Ok(out)
+        let out: Arc<[f64]> = out.into();
+        let mut cache = self.k_distance_cache.write().expect("k-distance cache poisoned");
+        // A racing scan may have filled the slot between the read and the
+        // write lock; keep the first entry so every caller shares one
+        // allocation.
+        Ok(Arc::clone(cache.entry(k).or_insert(out)))
     }
 }
 
@@ -324,6 +374,21 @@ mod tests {
         for (id, &kd) in bulk.iter().enumerate() {
             assert_eq!(kd, t.k_distance(id, 3).unwrap());
         }
+    }
+
+    #[test]
+    fn k_distances_are_cached_per_depth() {
+        let t = table();
+        let first = t.k_distances(3).unwrap();
+        let second = t.k_distances(3).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "same depth must share one allocation");
+        let other = t.k_distances(2).unwrap();
+        assert!(!Arc::ptr_eq(&first, &other), "distinct depths are distinct entries");
+        assert_eq!(other.len(), t.len());
+        // A clone starts from the same cached values but owns its cache.
+        let cloned = t.clone();
+        let from_clone = cloned.k_distances(3).unwrap();
+        assert_eq!(from_clone[..], first[..]);
     }
 
     #[test]

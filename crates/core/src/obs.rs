@@ -149,6 +149,14 @@ pub(crate) struct CoreMetrics {
     pub cascade_lofs: Arc<Counter>,
     pub simd_panels: Arc<Counter>,
     pub simd_remainder_lanes: Arc<Counter>,
+    pub topn_runs: Arc<Counter>,
+    pub topn_partitions: Arc<Counter>,
+    pub topn_partitions_pruned: Arc<Counter>,
+    pub topn_partitions_refined: Arc<Counter>,
+    pub topn_objects_pruned: Arc<Counter>,
+    pub topn_objects_refined: Arc<Counter>,
+    pub topn_tightenings: Arc<Counter>,
+    pub topn_heap_churn: Arc<Counter>,
 }
 
 #[cfg(feature = "obs")]
@@ -173,8 +181,41 @@ pub(crate) fn core_metrics() -> &'static CoreMetrics {
             cascade_lofs: r.counter("core.incremental.cascade_lofs"),
             simd_panels: r.counter("core.simd.panels"),
             simd_remainder_lanes: r.counter("core.simd.remainder_lanes"),
+            topn_runs: r.counter("core.topn.runs"),
+            topn_partitions: r.counter("core.topn.partitions"),
+            topn_partitions_pruned: r.counter("core.topn.partitions_pruned"),
+            topn_partitions_refined: r.counter("core.topn.partitions_refined"),
+            topn_objects_pruned: r.counter("core.topn.objects_pruned"),
+            topn_objects_refined: r.counter("core.topn.objects_refined"),
+            topn_tightenings: r.counter("core.topn.threshold_tightenings"),
+            topn_heap_churn: r.counter("core.topn.heap_churn"),
         }
     })
+}
+
+/// Mirrors one top-n engine run's accounting onto the `core.topn.*`
+/// counters. No-op with `obs` off.
+pub(crate) fn publish_topn(stats: &crate::topn::TopNStats) {
+    #[cfg(feature = "obs")]
+    {
+        let m = core_metrics();
+        m.topn_runs.inc();
+        for (counter, value) in [
+            (&m.topn_partitions, stats.partitions),
+            (&m.topn_partitions_pruned, stats.partitions_pruned),
+            (&m.topn_partitions_refined, stats.partitions_refined),
+            (&m.topn_objects_pruned, stats.objects_pruned),
+            (&m.topn_objects_refined, stats.objects_refined),
+            (&m.topn_tightenings, stats.threshold_tightenings),
+            (&m.topn_heap_churn, stats.heap_churn),
+        ] {
+            if value > 0 {
+                counter.add(value);
+            }
+        }
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = stats;
 }
 
 /// Kinds of whole-call events the engine publishes directly to the
@@ -269,6 +310,29 @@ mod tests {
             assert_eq!(after - before, 7);
         } else {
             assert_eq!(after, 0);
+        }
+    }
+
+    #[test]
+    fn topn_stats_land_on_their_counters() {
+        let stats = crate::topn::TopNStats {
+            partitions: 8,
+            partitions_pruned: 5,
+            partitions_refined: 3,
+            objects_pruned: 90,
+            objects_refined: 10,
+            threshold_tightenings: 4,
+            heap_churn: 2,
+        };
+        let registry = lof_obs::global();
+        let runs_before = registry.counter("core.topn.runs").value();
+        let pruned_before = registry.counter("core.topn.objects_pruned").value();
+        publish_topn(&stats);
+        if lof_obs::enabled() {
+            assert_eq!(registry.counter("core.topn.runs").value() - runs_before, 1);
+            assert_eq!(registry.counter("core.topn.objects_pruned").value() - pruned_before, 90);
+        } else {
+            assert_eq!(registry.counter("core.topn.runs").value(), 0);
         }
     }
 

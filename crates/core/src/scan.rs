@@ -141,6 +141,12 @@ impl<'a, M: Metric> LinearScan<'a, M> {
     }
 }
 
+impl<M: Metric> crate::topn::PartitionMetric for LinearScan<'_, M> {
+    fn partition_metric(&self) -> &dyn Metric {
+        &self.metric
+    }
+}
+
 impl<M: Metric> KnnProvider for LinearScan<'_, M> {
     fn len(&self) -> usize {
         self.data.len()

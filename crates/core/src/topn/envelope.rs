@@ -1,0 +1,693 @@
+//! Geometric per-partition envelopes: everything the pruning engine knows
+//! about a partition *before* materializing a single neighborhood.
+//!
+//! The envelopes are computed from pure rectangle geometry over an
+//! auxiliary box tree built on the partition bounding boxes (so the cost
+//! is `O(L log L)`-ish over `L` partitions, never the `O(L²)` pairwise
+//! comparison):
+//!
+//! 1. **k-distance envelope** `[kd_lb, kd_ub]`: best-first traversals
+//!    accumulate partition counts by rectangle-to-rectangle distance
+//!    until `MinPts` objects are covered. The upper traversal orders by
+//!    farthest distance (any member of the source partition can reach
+//!    `MinPts` others within it); the lower traversal orders by closest
+//!    distance (fewer than `MinPts` objects can lie strictly closer).
+//! 2. **Direct envelope** `[direct_min, direct_max]`: over the
+//!    *reachable set* — partitions within `kd_ub` of the source — fold
+//!    `max(kd envelope, rect distance)` per Definition 5's
+//!    `reach-dist(p, q) = max(k-distance(q), d(p, q))`.
+//! 3. **Indirect envelope**: the same reachable traversal folding the
+//!    *direct* envelopes of the reachable partitions, because an
+//!    indirect neighbor's reachability distance is a direct reachability
+//!    distance of some reachable partition's member.
+//!
+//! Feeding the envelopes into [`theorem1_bounds`] yields per-partition
+//! `[LOFmin, LOFmax]`. Validity rests only on
+//! [`Metric::min_dist_between_rects`] / [`Metric::max_dist_between_rects`]
+//! being true bounds — no triangle inequality is used, so the squared
+//! Euclidean pseudo-metric prunes exactly too. Metrics without rectangle
+//! bounds (the defaults `0`/`+∞`) produce vacuous envelopes: the engine
+//! stays exact and degenerates to a full sweep.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use super::Partition;
+use crate::bounds::{
+    clamp_envelope_lower, clamp_envelope_upper, theorem1_bounds, LofBounds, NeighborhoodStats,
+};
+use crate::distance::Metric;
+use crate::error::{LofError, Result};
+
+/// Everything the engine derives about one partition from geometry alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionEnvelope {
+    /// Lower bound on `k-distance(p)` for every member `p`.
+    pub k_distance_lower: f64,
+    /// Upper bound on `k-distance(p)` for every member `p`.
+    pub k_distance_upper: f64,
+    /// Lower bound on every member's direct reachability distances.
+    pub direct_min: f64,
+    /// Upper bound on every member's direct reachability distances.
+    pub direct_max: f64,
+    /// Lower bound on every member's indirect reachability distances.
+    pub indirect_min: f64,
+    /// Upper bound on every member's indirect reachability distances.
+    pub indirect_max: f64,
+    /// Theorem 1 LOF bounds implied by the four envelopes, with
+    /// degenerate values clamped to the vacuous sides.
+    pub lof: LofBounds,
+}
+
+impl PartitionEnvelope {
+    /// The no-information envelope: every bound vacuous. Used verbatim
+    /// when the metric has no rectangle geometry.
+    fn vacuous() -> Self {
+        PartitionEnvelope {
+            k_distance_lower: 0.0,
+            k_distance_upper: f64::INFINITY,
+            direct_min: 0.0,
+            direct_max: f64::INFINITY,
+            indirect_min: 0.0,
+            indirect_max: f64::INFINITY,
+            lof: LofBounds { lower: 0.0, upper: f64::INFINITY },
+        }
+    }
+}
+
+/// A node of the auxiliary box tree over partition bounding boxes.
+struct BoxNode {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    /// Total member count of the subtree.
+    count: usize,
+    children: Option<(usize, usize)>,
+    /// Partition index (leaves only; `usize::MAX` on internal nodes).
+    part: usize,
+    /// Subtree minimum of the per-partition statistic of the current
+    /// pass (k-distance lower bounds, then direct minima).
+    agg_lo: f64,
+    /// Subtree maximum of the current pass's statistic.
+    agg_hi: f64,
+}
+
+/// Arena box tree; children are pushed before their parent, so a single
+/// forward scan recomputes subtree aggregates bottom-up.
+struct BoxTree {
+    nodes: Vec<BoxNode>,
+    root: usize,
+}
+
+impl BoxTree {
+    fn build(parts: &[Partition]) -> BoxTree {
+        let dims = parts[0].lo.len();
+        let centers: Vec<Vec<f64>> = parts
+            .iter()
+            .map(|p| p.lo.iter().zip(&p.hi).map(|(l, h)| 0.5 * (l + h)).collect())
+            .collect();
+        let mut idx: Vec<usize> = (0..parts.len()).collect();
+        let mut nodes = Vec::with_capacity(2 * parts.len());
+        let root = Self::build_rec(parts, &centers, dims, &mut idx, &mut nodes);
+        BoxTree { nodes, root }
+    }
+
+    fn build_rec(
+        parts: &[Partition],
+        centers: &[Vec<f64>],
+        dims: usize,
+        idx: &mut [usize],
+        nodes: &mut Vec<BoxNode>,
+    ) -> usize {
+        if idx.len() == 1 {
+            let p = idx[0];
+            nodes.push(BoxNode {
+                lo: parts[p].lo.clone(),
+                hi: parts[p].hi.clone(),
+                count: parts[p].members.len(),
+                children: None,
+                part: p,
+                agg_lo: 0.0,
+                agg_hi: 0.0,
+            });
+            return nodes.len() - 1;
+        }
+        // Median split on the dimension with the widest center spread —
+        // the same heuristic the kd-tree uses, applied to boxes.
+        let mut best_dim = 0;
+        let mut best_spread = f64::NEG_INFINITY;
+        #[allow(clippy::needless_range_loop)] // indexes each center's d-th coordinate
+        for d in 0..dims {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for &i in idx.iter() {
+                min = min.min(centers[i][d]);
+                max = max.max(centers[i][d]);
+            }
+            if max - min > best_spread {
+                best_spread = max - min;
+                best_dim = d;
+            }
+        }
+        let mid = idx.len() / 2;
+        idx.select_nth_unstable_by(mid, |&a, &b| {
+            centers[a][best_dim].total_cmp(&centers[b][best_dim]).then(a.cmp(&b))
+        });
+        let (left_ids, right_ids) = idx.split_at_mut(mid);
+        let left = Self::build_rec(parts, centers, dims, left_ids, nodes);
+        let right = Self::build_rec(parts, centers, dims, right_ids, nodes);
+        let mut lo = nodes[left].lo.clone();
+        let mut hi = nodes[left].hi.clone();
+        for d in 0..dims {
+            lo[d] = lo[d].min(nodes[right].lo[d]);
+            hi[d] = hi[d].max(nodes[right].hi[d]);
+        }
+        nodes.push(BoxNode {
+            lo,
+            hi,
+            count: nodes[left].count + nodes[right].count,
+            children: Some((left, right)),
+            part: usize::MAX,
+            agg_lo: 0.0,
+            agg_hi: 0.0,
+        });
+        nodes.len() - 1
+    }
+
+    /// Loads per-partition statistics into the leaf aggregates and folds
+    /// them bottom-up (children precede parents in the arena).
+    fn set_aggregates(&mut self, stat_lo: &[f64], stat_hi: &[f64]) {
+        for i in 0..self.nodes.len() {
+            match self.nodes[i].children {
+                None => {
+                    let p = self.nodes[i].part;
+                    self.nodes[i].agg_lo = stat_lo[p];
+                    self.nodes[i].agg_hi = stat_hi[p];
+                }
+                Some((l, r)) => {
+                    self.nodes[i].agg_lo = self.nodes[l].agg_lo.min(self.nodes[r].agg_lo);
+                    self.nodes[i].agg_hi = self.nodes[l].agg_hi.max(self.nodes[r].agg_hi);
+                }
+            }
+        }
+    }
+}
+
+/// Totally ordered f64 priority for the best-first heaps.
+#[derive(PartialEq)]
+struct Key(f64);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// One k-distance envelope end for partition `i`, by merging two
+/// ascending candidate streams until `MinPts` candidates accumulate:
+///
+/// * **Intra stream** — the partition's own exact rank profile
+///   (`min_rank_dists` for the lower end, `max_rank_dists` for the
+///   upper), one candidate per rank. Ranks beyond the provided profile
+///   are padded conservatively: the last known value for the lower end
+///   (ranks only grow), the hull diameter for the upper end (no intra
+///   distance exceeds it). An *empty* profile pads with `0` /
+///   hull-diameter, which reproduces the pure-box behavior.
+/// * **External stream** — a best-first traversal of the box tree,
+///   skipping the partition's own leaf (its members are the intra
+///   stream). Internal nodes are keyed by closest rectangle distance —
+///   a lower bound on every descendant's key — so leaf pops are
+///   globally non-decreasing; leaves are keyed by closest (lower end)
+///   or farthest (upper end) rectangle distance and contribute their
+///   whole member count at that key.
+///
+/// The merged consumption is ascending, so the value at which the
+/// cumulative count first reaches `MinPts` bounds every member's
+/// k-distance: from below, because strictly fewer than `MinPts`
+/// candidates can lie closer than it; from above, because every member
+/// provably has `MinPts` objects within it.
+///
+/// On the lower end, every external candidate is additionally clamped to
+/// the source partition's [`Partition::isolation`] radius: no point of
+/// another partition can be closer than it to any member, even when the
+/// rectangle distance between abutting boxes reads 0. Clamping is
+/// monotone, so the merged consumption order survives it.
+fn kd_bound<M: Metric + ?Sized>(
+    metric: &M,
+    tree: &BoxTree,
+    src: &Partition,
+    src_idx: usize,
+    min_pts: usize,
+    upper: bool,
+) -> f64 {
+    let intra_total = src.members.len() - 1;
+    let ranks = if upper { &src.max_rank_dists } else { &src.min_rank_dists };
+    let pad = if upper {
+        metric.max_dist_between_rects(&src.lo, &src.hi, &src.lo, &src.hi)
+    } else {
+        ranks.last().copied().unwrap_or(0.0)
+    };
+    let intra_val = |j: usize| -> f64 { ranks.get(j).copied().unwrap_or(pad) };
+
+    let key_of = |ni: usize| -> f64 {
+        let node = &tree.nodes[ni];
+        if upper && node.children.is_none() {
+            metric.max_dist_between_rects(&src.lo, &src.hi, &node.lo, &node.hi)
+        } else {
+            metric.min_dist_between_rects(&src.lo, &src.hi, &node.lo, &node.hi)
+        }
+    };
+    let isolation = if upper { 0.0 } else { src.isolation };
+    let mut heap: BinaryHeap<Reverse<(Key, usize)>> = BinaryHeap::new();
+    heap.push(Reverse((Key(key_of(tree.root)), tree.root)));
+    let mut acc = 0usize;
+    let mut intra_next = 0usize;
+    while let Some(Reverse((Key(key), ni))) = heap.pop() {
+        // Everything still in the heap has a raw key >= the popped one,
+        // and the isolation clamp is monotone, so after clamping intra
+        // candidates at or below `key` are still globally next in line.
+        let key = key.max(isolation);
+        while intra_next < intra_total && intra_val(intra_next) <= key {
+            acc += 1;
+            if acc >= min_pts {
+                return intra_val(intra_next);
+            }
+            intra_next += 1;
+        }
+        let node = &tree.nodes[ni];
+        match node.children {
+            Some((l, r)) => {
+                heap.push(Reverse((Key(key_of(l)), l)));
+                heap.push(Reverse((Key(key_of(r)), r)));
+            }
+            None if node.part == src_idx => {}
+            None => {
+                acc += node.count;
+                if acc >= min_pts {
+                    return key;
+                }
+            }
+        }
+    }
+    // Tree exhausted: drain what's left of the intra stream.
+    while intra_next < intra_total {
+        acc += 1;
+        if acc >= min_pts {
+            return intra_val(intra_next);
+        }
+        intra_next += 1;
+    }
+    // Unreachable when min_pts < total objects (validated by the engine);
+    // fall back to the conservative end regardless.
+    if upper {
+        f64::INFINITY
+    } else {
+        0.0
+    }
+}
+
+/// Folds the current aggregates over partition `src`'s reachable set —
+/// every partition whose closest rectangle distance is within `radius`.
+///
+/// With `with_distance` set (the direct pass) each reachable leaf
+/// contributes `[max(agg_lo, closest), max(agg_hi, min(radius, farthest))]`,
+/// the rectangle form of `reach-dist = max(k-distance, d)`; without it
+/// (the indirect pass) leaves contribute their aggregates as-is.
+///
+/// Internal nodes are folded only when doing so provably equals folding
+/// every leaf below them: the node-level `closest`/`farthest`/aggregates
+/// bound each descendant's contribution, so once they cannot move either
+/// running end the subtree is skipped whole. Descending otherwise matters
+/// for tightness, not just speed — a subtree that contains `src` itself
+/// has `closest = 0`, and folding it blindly would pull `lo` down to its
+/// subtree-min aggregate even when every individual leaf sits far away.
+///
+/// In the direct pass, leaves other than `src`'s own are clamped to
+/// `src`'s isolation radius, exactly as in [`kd_bound`]: their members
+/// provably sit at least that far from every member of `src`. Internal
+/// nodes keep the raw rectangle distance — their subtree may contain
+/// `src` itself, which the clamp must never apply to.
+fn reachable_envelope<M: Metric + ?Sized>(
+    metric: &M,
+    tree: &BoxTree,
+    src: &Partition,
+    src_idx: usize,
+    radius: f64,
+    with_distance: bool,
+    stack: &mut Vec<usize>,
+) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    stack.clear();
+    stack.push(tree.root);
+    while let Some(ni) = stack.pop() {
+        let node = &tree.nodes[ni];
+        let mut closest = metric.min_dist_between_rects(&src.lo, &src.hi, &node.lo, &node.hi);
+        if node.children.is_none() && node.part != src_idx {
+            closest = closest.max(src.isolation);
+        }
+        if closest > radius {
+            continue;
+        }
+        let farthest = metric.max_dist_between_rects(&src.lo, &src.hi, &node.lo, &node.hi);
+        let (cand_lo, cand_hi) = if with_distance {
+            (node.agg_lo.max(closest), node.agg_hi.max(farthest.min(radius)))
+        } else {
+            (node.agg_lo, node.agg_hi)
+        };
+        if let Some((l, r)) = node.children {
+            // A subtree straddling the radius may hold unreachable
+            // partitions; one whose node-level contribution could still
+            // move an end must be resolved leaf-by-leaf (for the direct
+            // pass `closest` is only exact per leaf). Both cases descend.
+            if farthest > radius || cand_lo < lo || cand_hi > hi {
+                stack.push(l);
+                stack.push(r);
+                continue;
+            }
+        }
+        lo = lo.min(cand_lo);
+        hi = hi.max(cand_hi);
+    }
+    (lo, hi)
+}
+
+/// Computes the full set of [`PartitionEnvelope`]s for a partitioning.
+///
+/// Pure geometry: needs the metric and the partition boxes, never the
+/// points. Every envelope is conservative, so downstream pruning against
+/// them is exact.
+///
+/// # Errors
+///
+/// Returns [`LofError::InvalidPartition`] for an empty partition list,
+/// inconsistent dimensionalities, inverted or non-finite boxes, or empty
+/// member lists.
+pub fn partition_envelopes<M: Metric + ?Sized>(
+    metric: &M,
+    partitions: &[Partition],
+    min_pts: usize,
+) -> Result<Vec<PartitionEnvelope>> {
+    if partitions.is_empty() {
+        return Err(LofError::InvalidPartition("no partitions".to_owned()));
+    }
+    let dims = partitions[0].lo.len();
+    for (i, p) in partitions.iter().enumerate() {
+        if p.lo.len() != dims || p.hi.len() != dims {
+            return Err(LofError::InvalidPartition(format!(
+                "partition {i} has a {}x{} box in a {dims}-d partitioning",
+                p.lo.len(),
+                p.hi.len()
+            )));
+        }
+        if p.members.is_empty() {
+            return Err(LofError::InvalidPartition(format!("partition {i} has no members")));
+        }
+        for d in 0..dims {
+            if p.lo[d] > p.hi[d] || !p.lo[d].is_finite() || !p.hi[d].is_finite() {
+                return Err(LofError::InvalidPartition(format!(
+                    "partition {i} has an invalid box on dimension {d}"
+                )));
+            }
+        }
+        if p.isolation.is_nan() || p.isolation < 0.0 {
+            return Err(LofError::InvalidPartition(format!(
+                "partition {i} has a negative or NaN isolation radius"
+            )));
+        }
+        for (name, ranks) in [("min", &p.min_rank_dists), ("max", &p.max_rank_dists)] {
+            if ranks.len() > p.members.len().saturating_sub(1) {
+                return Err(LofError::InvalidPartition(format!(
+                    "partition {i} has {} {name}-rank distances for {} members",
+                    ranks.len(),
+                    p.members.len()
+                )));
+            }
+            let mut prev = 0.0f64;
+            for &dist in ranks {
+                if !dist.is_finite() || dist < prev {
+                    return Err(LofError::InvalidPartition(format!(
+                        "partition {i} {name}-rank distances must be finite, non-negative \
+                         and ascending"
+                    )));
+                }
+                prev = dist;
+            }
+        }
+    }
+
+    let mut tree = BoxTree::build(partitions);
+    let root = &tree.nodes[tree.root];
+    // Metrics without rectangle geometry (max bound +∞) would force the
+    // upper best-first traversal to expand the entire tree per partition;
+    // short-circuit to vacuous envelopes — exact, just unprunable.
+    if !metric.max_dist_between_rects(&root.lo, &root.hi, &root.lo, &root.hi).is_finite() {
+        return Ok(partitions.iter().map(|_| PartitionEnvelope::vacuous()).collect());
+    }
+
+    let n_parts = partitions.len();
+    let mut kd_lb = vec![0.0; n_parts];
+    let mut kd_ub = vec![0.0; n_parts];
+    for (i, p) in partitions.iter().enumerate() {
+        kd_lb[i] = kd_bound(metric, &tree, p, i, min_pts, false);
+        kd_ub[i] = kd_bound(metric, &tree, p, i, min_pts, true);
+    }
+
+    tree.set_aggregates(&kd_lb, &kd_ub);
+    let mut dir_min = vec![0.0; n_parts];
+    let mut dir_max = vec![0.0; n_parts];
+    let mut stack = Vec::new();
+    for (i, p) in partitions.iter().enumerate() {
+        let (lo, hi) = reachable_envelope(metric, &tree, p, i, kd_ub[i], true, &mut stack);
+        dir_min[i] = lo;
+        dir_max[i] = hi;
+    }
+
+    tree.set_aggregates(&dir_min, &dir_max);
+    let mut out = Vec::with_capacity(n_parts);
+    for (i, p) in partitions.iter().enumerate() {
+        let (ind_min, ind_max) =
+            reachable_envelope(metric, &tree, p, i, kd_ub[i], false, &mut stack);
+        let t1 = theorem1_bounds(&NeighborhoodStats {
+            direct_min: dir_min[i],
+            direct_max: dir_max[i],
+            indirect_min: ind_min,
+            indirect_max: ind_max,
+        });
+        out.push(PartitionEnvelope {
+            k_distance_lower: kd_lb[i],
+            k_distance_upper: kd_ub[i],
+            direct_min: dir_min[i],
+            direct_max: dir_max[i],
+            indirect_min: ind_min,
+            indirect_max: ind_max,
+            lof: LofBounds {
+                lower: clamp_envelope_lower(t1.lower),
+                upper: clamp_envelope_upper(t1.upper),
+            },
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::neighborhood_stats;
+    use crate::distance::{Angular, Euclidean, Manhattan};
+    use crate::lof::lof_values;
+    use crate::materialize::NeighborhoodTable;
+    use crate::point::Dataset;
+    use crate::scan::LinearScan;
+
+    /// Chunks ids into partitions of `size` via
+    /// [`Partition::from_member_points`]: tight member boxes plus exact
+    /// rank profiles. Boxes may overlap arbitrarily — envelope validity
+    /// must not depend on disjointness.
+    fn chunked_partitions<M: Metric>(data: &Dataset, metric: &M, size: usize) -> Vec<Partition> {
+        (0..data.len())
+            .collect::<Vec<_>>()
+            .chunks(size)
+            .map(|members| {
+                Partition::from_member_points(metric, members.to_vec(), |id| data.point(id))
+            })
+            .collect()
+    }
+
+    fn fixture() -> Dataset {
+        // Two clusters of very different density plus stragglers, in a
+        // deliberately irregular layout.
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                rows.push([i as f64 * 0.3, j as f64 * 0.3]);
+            }
+        }
+        for i in 0..4 {
+            for j in 0..4 {
+                rows.push([10.0 + i as f64 * 2.0, 8.0 + j as f64 * 2.0]);
+            }
+        }
+        rows.push([5.0, 20.0]);
+        rows.push([-4.0, -6.0]);
+        rows.push([22.0, 1.0]);
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn envelopes_bracket_ground_truth_per_member() {
+        let data = fixture();
+        let min_pts = 3;
+        for chunk in [1usize, 3, 7] {
+            let parts = chunked_partitions(&data, &Euclidean, chunk);
+            let envs = partition_envelopes(&Euclidean, &parts, min_pts).unwrap();
+            let scan = LinearScan::new(&data, Euclidean);
+            let table = NeighborhoodTable::build(&scan, min_pts).unwrap();
+            let lof = lof_values(&table, min_pts).unwrap();
+            for (pi, part) in parts.iter().enumerate() {
+                let env = &envs[pi];
+                assert!(env.k_distance_lower <= env.k_distance_upper, "partition {pi}");
+                for &id in &part.members {
+                    let kd = table.k_distance(id, min_pts).unwrap();
+                    assert!(
+                        kd >= env.k_distance_lower - 1e-12 && kd <= env.k_distance_upper + 1e-12,
+                        "chunk={chunk} id={id}: k-distance {kd} outside [{}, {}]",
+                        env.k_distance_lower,
+                        env.k_distance_upper
+                    );
+                    let stats = neighborhood_stats(&table, min_pts, id).unwrap();
+                    assert!(stats.direct_min >= env.direct_min - 1e-12, "id={id}");
+                    assert!(stats.direct_max <= env.direct_max + 1e-12, "id={id}");
+                    assert!(stats.indirect_min >= env.indirect_min - 1e-12, "id={id}");
+                    assert!(stats.indirect_max <= env.indirect_max + 1e-12, "id={id}");
+                    assert!(
+                        env.lof.contains(lof[id]),
+                        "chunk={chunk} id={id}: lof={} outside [{}, {}]",
+                        lof[id],
+                        env.lof.lower,
+                        env.lof.upper
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn envelopes_hold_under_non_euclidean_rect_metrics() {
+        let data = fixture();
+        let min_pts = 4;
+        let parts = chunked_partitions(&data, &Manhattan, 4);
+        let envs = partition_envelopes(&Manhattan, &parts, min_pts).unwrap();
+        let scan = LinearScan::new(&data, Manhattan);
+        let table = NeighborhoodTable::build(&scan, min_pts).unwrap();
+        for (pi, part) in parts.iter().enumerate() {
+            for &id in &part.members {
+                let kd = table.k_distance(id, min_pts).unwrap();
+                assert!(kd >= envs[pi].k_distance_lower - 1e-12, "id={id}");
+                assert!(kd <= envs[pi].k_distance_upper + 1e-12, "id={id}");
+            }
+        }
+    }
+
+    #[test]
+    fn blind_metrics_get_vacuous_envelopes() {
+        let data = fixture();
+        let parts = chunked_partitions(&data, &Angular, 5);
+        let envs = partition_envelopes(&Angular, &parts, 3).unwrap();
+        for env in &envs {
+            assert_eq!(env.k_distance_lower, 0.0);
+            assert_eq!(env.k_distance_upper, f64::INFINITY);
+            assert_eq!(env.lof.lower, 0.0);
+            assert_eq!(env.lof.upper, f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn duplicate_piles_never_get_prunable_upper_bounds() {
+        // Six copies at each of three locations: k-distances are zero, so
+        // every envelope-derived upper bound must collapse to +∞ rather
+        // than a spuriously finite (prunable) value.
+        let mut rows: Vec<[f64; 1]> = Vec::new();
+        for x in 0..3 {
+            for _ in 0..6 {
+                rows.push([x as f64]);
+            }
+        }
+        let data = Dataset::from_rows(&rows).unwrap();
+        let parts = chunked_partitions(&data, &Euclidean, 6);
+        let envs = partition_envelopes(&Euclidean, &parts, 3).unwrap();
+        for (pi, env) in envs.iter().enumerate() {
+            assert_eq!(env.k_distance_lower, 0.0, "partition {pi}");
+            assert_eq!(env.k_distance_upper, 0.0, "partition {pi}");
+            assert_eq!(env.lof.upper, f64::INFINITY, "partition {pi}");
+            assert_eq!(env.lof.lower, 0.0, "partition {pi}");
+        }
+    }
+
+    #[test]
+    fn envelope_validation_rejects_malformed_partitions() {
+        let bare = |lo: Vec<f64>, hi: Vec<f64>, members: Vec<usize>| Partition {
+            lo,
+            hi,
+            members,
+            min_rank_dists: vec![],
+            max_rank_dists: vec![],
+            isolation: 0.0,
+        };
+        let ok = bare(vec![0.0], vec![1.0], vec![0]);
+        assert!(partition_envelopes(&Euclidean, &[], 2).is_err());
+        let empty = bare(vec![0.0], vec![1.0], vec![]);
+        assert!(partition_envelopes(&Euclidean, &[ok.clone(), empty], 2).is_err());
+        let bad_dims = bare(vec![0.0, 1.0], vec![1.0, 2.0], vec![1]);
+        assert!(partition_envelopes(&Euclidean, &[ok.clone(), bad_dims], 2).is_err());
+        let inverted = bare(vec![2.0], vec![1.0], vec![1]);
+        assert!(partition_envelopes(&Euclidean, &[ok.clone(), inverted], 2).is_err());
+        // Rank profiles: longer than members - 1, descending, or
+        // non-finite are all rejected.
+        let mut overlong = bare(vec![2.0], vec![3.0], vec![1]);
+        overlong.min_rank_dists = vec![0.5];
+        assert!(partition_envelopes(&Euclidean, &[ok.clone(), overlong], 2).is_err());
+        let mut descending = bare(vec![2.0], vec![3.0], vec![1, 2]);
+        descending.max_rank_dists = vec![f64::NAN];
+        assert!(partition_envelopes(&Euclidean, &[ok, descending], 2).is_err());
+    }
+
+    #[test]
+    fn rank_profiles_make_interior_bounds_finite() {
+        // A dense grid cluster plus far-away stragglers. With exact rank
+        // profiles, interior partitions must get strictly positive
+        // k-distance lower bounds and *finite* LOF upper bounds — the
+        // property partition pruning lives on — while bare boxes (empty
+        // profiles) provably cannot.
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                rows.push([i as f64, j as f64]);
+            }
+        }
+        rows.push([100.0, 100.0]);
+        rows.push([-90.0, 40.0]);
+        let data = Dataset::from_rows(&rows).unwrap();
+        let parts = chunked_partitions(&data, &Euclidean, 8);
+        let envs = partition_envelopes(&Euclidean, &parts, 3).unwrap();
+        let interior = &envs[3]; // a grid-only chunk
+        assert!(interior.k_distance_lower > 0.0, "{interior:?}");
+        assert!(interior.lof.upper.is_finite(), "{interior:?}");
+
+        let mut bare = parts.clone();
+        for p in &mut bare {
+            p.min_rank_dists.clear();
+            p.max_rank_dists.clear();
+        }
+        let bare_envs = partition_envelopes(&Euclidean, &bare, 3).unwrap();
+        assert_eq!(bare_envs[3].k_distance_lower, 0.0);
+        assert_eq!(bare_envs[3].lof.upper, f64::INFINITY);
+    }
+}

@@ -1,0 +1,552 @@
+//! Refinement: turning envelope-level candidates into exact LOF values.
+//!
+//! Workers pull partitions off a shared cursor (ordered by envelope
+//! `LOFmax` descending, so the likeliest outliers are scored first and
+//! the threshold θ rises quickly), re-check each partition against θ at
+//! claim time, and score the survivors exactly through the provider's
+//! id-batched k-NN path. Before paying for an exact score, each object
+//! gets one more chance to be pruned: its *materialized* neighborhood is
+//! grouped by partition and pushed through the Theorem 2 machinery
+//! ([`theorem2_envelope_bounds`]) with the now-exact direct distances —
+//! a per-object upper bound that is usually far tighter than the
+//! partition envelope.
+//!
+//! Exactness invariant: θ only ever holds *exact* scores (the n-th best
+//! seen so far, or the envelope seed θ₀ which at least `n` objects
+//! provably meet), and pruning is strict (`upper < θ`). A pruned object
+//! therefore cannot belong to the final top n even on ties, so the final
+//! ranking — exact scores sorted by `(score desc, id asc)` — is
+//! bit-identical to sorting a full sweep, independent of thread
+//! interleaving.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use super::envelope::PartitionEnvelope;
+use super::Partition;
+use crate::bounds::{theorem2_envelope_bounds, PartEnvelope};
+use crate::error::{LofError, Result};
+use crate::knn::KnnScratch;
+use crate::lof::lrd_ratio;
+use crate::lrd::reach_dist;
+use crate::neighbors::{KnnProvider, Neighbor};
+
+/// One exactly-scored candidate. The ordering ranks by score, ties broken
+/// toward the *smaller* id (a smaller id outranks a larger one at equal
+/// score, matching the final ranking's `(score desc, id asc)` order).
+#[derive(Debug, Clone, Copy)]
+struct Cand {
+    id: usize,
+    score: f64,
+}
+
+impl PartialEq for Cand {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Cand {}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score.total_cmp(&other.score).then(other.id.cmp(&self.id))
+    }
+}
+
+/// Bounded worst-out heap of the best `cap` candidates seen so far.
+struct TopHeap {
+    cap: usize,
+    /// Min-heap: the root is the currently worst kept candidate.
+    heap: BinaryHeap<Reverse<Cand>>,
+    /// Evictions — a proxy for how unstable the candidate set was.
+    churn: u64,
+}
+
+impl TopHeap {
+    fn new(cap: usize) -> Self {
+        TopHeap { cap, heap: BinaryHeap::with_capacity(cap + 1), churn: 0 }
+    }
+
+    fn offer(&mut self, cand: Cand) {
+        if self.heap.len() < self.cap {
+            self.heap.push(Reverse(cand));
+        } else if self.heap.peek().is_some_and(|worst| worst.0 < cand) {
+            self.heap.pop();
+            self.heap.push(Reverse(cand));
+            self.churn += 1;
+        }
+    }
+
+    /// The n-th best exact score once the heap is full; `-∞` before that.
+    fn threshold(&self) -> f64 {
+        if self.heap.len() >= self.cap {
+            self.heap.peek().map_or(f64::NEG_INFINITY, |worst| worst.0.score)
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+}
+
+/// Per-worker cache of materialized neighborhoods: a flat arena plus
+/// `id -> (start, len)` spans, filled through the provider's id-batched
+/// query so scattered-but-clustered id lists share traversals.
+#[derive(Default)]
+struct HoodCache {
+    arena: Vec<Neighbor>,
+    spans: HashMap<usize, (usize, usize)>,
+}
+
+impl HoodCache {
+    /// Materializes every id in `ids` (strictly ascending) that is not
+    /// cached yet. `missing`, `flat` and `lens` are caller-owned staging
+    /// buffers so the hot loop allocates nothing.
+    #[allow(clippy::too_many_arguments)]
+    fn ensure<P: KnnProvider + Sync + ?Sized>(
+        &mut self,
+        provider: &P,
+        ids: &[usize],
+        k: usize,
+        scratch: &mut KnnScratch,
+        missing: &mut Vec<usize>,
+        flat: &mut Vec<Neighbor>,
+        lens: &mut Vec<usize>,
+    ) -> Result<()> {
+        missing.clear();
+        missing.extend(ids.iter().copied().filter(|id| !self.spans.contains_key(id)));
+        if missing.is_empty() {
+            return Ok(());
+        }
+        flat.clear();
+        lens.clear();
+        provider.batch_k_nearest_ids(missing, k, scratch, flat, lens)?;
+        let mut offset = 0;
+        for (j, &id) in missing.iter().enumerate() {
+            let len = lens[j];
+            let start = self.arena.len();
+            self.arena.extend_from_slice(&flat[offset..offset + len]);
+            self.spans.insert(id, (start, len));
+            offset += len;
+        }
+        debug_assert_eq!(offset, flat.len());
+        Ok(())
+    }
+
+    fn get(&self, id: usize) -> &[Neighbor] {
+        let &(start, len) = self.spans.get(&id).expect("neighborhood not materialized");
+        &self.arena[start..start + len]
+    }
+
+    /// `k-distance(id)`: the last entry of the canonically sorted list.
+    fn k_distance(&self, id: usize) -> f64 {
+        let hood = self.get(id);
+        hood[hood.len() - 1].dist
+    }
+}
+
+/// Reusable per-worker staging buffers.
+#[derive(Default)]
+struct WorkBufs {
+    /// Copy of the object's own neighborhood (the arena may reallocate
+    /// while deeper hoods are materialized, so spans can't be held live).
+    hood: Vec<Neighbor>,
+    ids1: Vec<usize>,
+    ids2: Vec<usize>,
+    missing: Vec<usize>,
+    flat: Vec<Neighbor>,
+    lens: Vec<usize>,
+    groups: Vec<(usize, PartEnvelope)>,
+    envs: Vec<PartEnvelope>,
+}
+
+/// Worker-shared refinement state.
+struct Shared<'a> {
+    partitions: &'a [Partition],
+    envelopes: &'a [PartitionEnvelope],
+    /// Partition indexes ordered by envelope `LOFmax` descending.
+    order: &'a [usize],
+    /// `part_of[id]` = index of the partition holding `id`.
+    part_of: &'a [usize],
+    min_pts: usize,
+    /// Next `order` slot to claim.
+    cursor: AtomicUsize,
+    /// Monotone pruning threshold θ as f64 bits, read lock-free on the
+    /// hot path and only ever raised under the state mutex.
+    theta_bits: AtomicU64,
+    state: Mutex<TopState>,
+    stop: AtomicBool,
+    first_error: Mutex<Option<LofError>>,
+}
+
+struct TopState {
+    heap: TopHeap,
+    scored: Vec<(usize, f64)>,
+    tightenings: u64,
+}
+
+impl Shared<'_> {
+    fn theta(&self) -> f64 {
+        f64::from_bits(self.theta_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Per-worker prune/refine tallies, merged after the scope joins.
+#[derive(Default, Clone, Copy)]
+struct WorkerTally {
+    partitions_pruned: u64,
+    partitions_refined: u64,
+    objects_pruned: u64,
+    objects_refined: u64,
+}
+
+/// What the engine gets back from a refinement run.
+pub(super) struct RefineOutcome {
+    /// Every exactly-scored `(id, score)` pair, unordered.
+    pub scored: Vec<(usize, f64)>,
+    /// Final θ.
+    pub threshold: f64,
+    pub partitions_pruned: u64,
+    pub partitions_refined: u64,
+    pub objects_pruned: u64,
+    pub objects_refined: u64,
+    pub tightenings: u64,
+    pub heap_churn: u64,
+}
+
+/// Runs the refinement stage with `threads` workers.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn refine<P>(
+    provider: &P,
+    partitions: &[Partition],
+    envelopes: &[PartitionEnvelope],
+    order: &[usize],
+    part_of: &[usize],
+    min_pts: usize,
+    n: usize,
+    theta0: f64,
+    threads: usize,
+) -> Result<RefineOutcome>
+where
+    P: KnnProvider + Sync + ?Sized,
+{
+    let shared = Shared {
+        partitions,
+        envelopes,
+        order,
+        part_of,
+        min_pts,
+        cursor: AtomicUsize::new(0),
+        theta_bits: AtomicU64::new(theta0.to_bits()),
+        state: Mutex::new(TopState { heap: TopHeap::new(n), scored: Vec::new(), tightenings: 0 }),
+        stop: AtomicBool::new(false),
+        first_error: Mutex::new(None),
+    };
+
+    let threads = threads.max(1).min(order.len().max(1));
+    let mut tally = WorkerTally::default();
+    if threads == 1 {
+        tally = worker(provider, &shared);
+    } else {
+        let tallies = std::thread::scope(|s| {
+            let handles: Vec<_> =
+                (0..threads).map(|_| s.spawn(|| worker(provider, &shared))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("top-n refinement worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for t in tallies {
+            tally.partitions_pruned += t.partitions_pruned;
+            tally.partitions_refined += t.partitions_refined;
+            tally.objects_pruned += t.objects_pruned;
+            tally.objects_refined += t.objects_refined;
+        }
+    }
+
+    if let Some(e) = shared.first_error.into_inner().expect("error mutex poisoned") {
+        return Err(e);
+    }
+    let state = shared.state.into_inner().expect("top-n state mutex poisoned");
+    Ok(RefineOutcome {
+        scored: state.scored,
+        threshold: f64::from_bits(shared.theta_bits.into_inner()),
+        partitions_pruned: tally.partitions_pruned,
+        partitions_refined: tally.partitions_refined,
+        objects_pruned: tally.objects_pruned,
+        objects_refined: tally.objects_refined,
+        tightenings: state.tightenings,
+        heap_churn: state.heap.churn,
+    })
+}
+
+/// One worker: claim partitions off the cursor until it runs out.
+fn worker<P: KnnProvider + Sync + ?Sized>(provider: &P, shared: &Shared<'_>) -> WorkerTally {
+    let mut tally = WorkerTally::default();
+    let mut scratch = KnnScratch::new();
+    let mut cache = HoodCache::default();
+    let mut lrd_memo: HashMap<usize, f64> = HashMap::new();
+    let mut bufs = WorkBufs::default();
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let slot = shared.cursor.fetch_add(1, Ordering::Relaxed);
+        if slot >= shared.order.len() {
+            break;
+        }
+        let pi = shared.order[slot];
+        // Claim-time check: θ may have risen past this partition's
+        // envelope since the order was fixed. Strict `<` keeps ties.
+        if shared.envelopes[pi].lof.upper < shared.theta() {
+            tally.partitions_pruned += 1;
+            tally.objects_pruned += shared.partitions[pi].members.len() as u64;
+            continue;
+        }
+        tally.partitions_refined += 1;
+        match refine_partition(
+            provider,
+            shared,
+            pi,
+            &mut scratch,
+            &mut cache,
+            &mut lrd_memo,
+            &mut bufs,
+        ) {
+            Ok((pruned, refined)) => {
+                tally.objects_pruned += pruned;
+                tally.objects_refined += refined;
+            }
+            Err(e) => {
+                let mut guard = shared.first_error.lock().expect("error mutex poisoned");
+                if guard.is_none() {
+                    *guard = Some(e);
+                }
+                shared.stop.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+    // Flush this worker's kernel counters before the scratch dies.
+    scratch.stats.publish_and_reset();
+    tally
+}
+
+/// Scores one surviving partition; returns `(objects_pruned,
+/// objects_refined)`.
+fn refine_partition<P: KnnProvider + Sync + ?Sized>(
+    provider: &P,
+    shared: &Shared<'_>,
+    pi: usize,
+    scratch: &mut KnnScratch,
+    cache: &mut HoodCache,
+    lrd_memo: &mut HashMap<usize, f64>,
+    bufs: &mut WorkBufs,
+) -> Result<(u64, u64)> {
+    let part = &shared.partitions[pi];
+    // Materialize the whole partition in one id-batched call: members are
+    // spatially clustered, so tree providers answer them leaf-by-leaf.
+    cache.ensure(
+        provider,
+        &part.members,
+        shared.min_pts,
+        scratch,
+        &mut bufs.missing,
+        &mut bufs.flat,
+        &mut bufs.lens,
+    )?;
+
+    let mut local: Vec<(usize, f64)> = Vec::with_capacity(part.members.len());
+    let mut objects_pruned = 0u64;
+    for &id in &part.members {
+        let theta = shared.theta();
+        if theta > f64::NEG_INFINITY && object_upper_bound(shared, id, cache, bufs) < theta {
+            objects_pruned += 1;
+            continue;
+        }
+        let score = exact_lof(provider, shared, id, scratch, cache, lrd_memo, bufs)?;
+        local.push((id, score));
+    }
+
+    let objects_refined = local.len() as u64;
+    if !local.is_empty() {
+        let mut state = shared.state.lock().expect("top-n state mutex poisoned");
+        for &(id, score) in &local {
+            state.heap.offer(Cand { id, score });
+        }
+        let new_theta = state.heap.threshold();
+        if new_theta > shared.theta() {
+            // Monotone by construction: every writer holds this mutex.
+            shared.theta_bits.store(new_theta.to_bits(), Ordering::Relaxed);
+            state.tightenings += 1;
+        }
+        state.scored.append(&mut local);
+    }
+    Ok((objects_pruned, objects_refined))
+}
+
+/// Theorem 2 upper bound for a single object from its *exact* direct
+/// distances and the partition envelopes of its neighbors: the
+/// neighborhood is grouped by partition, each group's direct envelope is
+/// `max(neighbor partition's k-distance envelope, exact distance)` folded
+/// over the group, and each group's indirect envelope is its partition's
+/// direct envelope.
+fn object_upper_bound(
+    shared: &Shared<'_>,
+    id: usize,
+    cache: &HoodCache,
+    bufs: &mut WorkBufs,
+) -> f64 {
+    bufs.groups.clear();
+    for nb in cache.get(id) {
+        let qp = shared.part_of[nb.id];
+        let env = &shared.envelopes[qp];
+        let lo = env.k_distance_lower.max(nb.dist);
+        let hi = env.k_distance_upper.max(nb.dist);
+        match bufs.groups.iter_mut().find(|(part, _)| *part == qp) {
+            Some((_, group)) => {
+                group.count += 1;
+                group.direct_min = group.direct_min.min(lo);
+                group.direct_max = group.direct_max.max(hi);
+            }
+            None => bufs.groups.push((
+                qp,
+                PartEnvelope {
+                    count: 1,
+                    direct_min: lo,
+                    direct_max: hi,
+                    indirect_min: env.direct_min,
+                    indirect_max: env.direct_max,
+                },
+            )),
+        }
+    }
+    bufs.envs.clear();
+    bufs.envs.extend(bufs.groups.iter().map(|(_, group)| *group));
+    theorem2_envelope_bounds(&bufs.envs).map_or(f64::INFINITY, |b| b.upper)
+}
+
+/// Exact `LOF_MinPts(id)` through the 2-hop neighborhood, arithmetic
+/// bit-identical to the full-sweep path ([`crate::lof::lof_values`]):
+/// same reach-dist / lrd conventions, same summation order (canonical
+/// neighborhood order), same final division.
+fn exact_lof<P: KnnProvider + Sync + ?Sized>(
+    provider: &P,
+    shared: &Shared<'_>,
+    id: usize,
+    scratch: &mut KnnScratch,
+    cache: &mut HoodCache,
+    lrd_memo: &mut HashMap<usize, f64>,
+    bufs: &mut WorkBufs,
+) -> Result<f64> {
+    // Own the hood: the arena may reallocate while 2-hop lists load.
+    bufs.hood.clear();
+    bufs.hood.extend_from_slice(cache.get(id));
+
+    // 1-hop: the direct neighbors' own neighborhoods (for lrd(q)).
+    bufs.ids1.clear();
+    bufs.ids1.extend(bufs.hood.iter().map(|nb| nb.id));
+    bufs.ids1.sort_unstable();
+    cache.ensure(
+        provider,
+        &bufs.ids1,
+        shared.min_pts,
+        scratch,
+        &mut bufs.missing,
+        &mut bufs.flat,
+        &mut bufs.lens,
+    )?;
+
+    // 2-hop: the k-distances of the neighbors' neighbors (for reach-dist
+    // inside lrd(q)).
+    bufs.ids2.clear();
+    for &q in &bufs.ids1 {
+        bufs.ids2.extend(cache.get(q).iter().map(|nb| nb.id));
+    }
+    bufs.ids2.sort_unstable();
+    bufs.ids2.dedup();
+    cache.ensure(
+        provider,
+        &bufs.ids2,
+        shared.min_pts,
+        scratch,
+        &mut bufs.missing,
+        &mut bufs.flat,
+        &mut bufs.lens,
+    )?;
+
+    let lrd_id = lrd_from_cache(cache, &bufs.hood);
+    let mut sum = 0.0;
+    for nb in &bufs.hood {
+        let lrd_q = match lrd_memo.get(&nb.id) {
+            Some(&v) => v,
+            None => {
+                let v = lrd_from_cache(cache, cache.get(nb.id));
+                lrd_memo.insert(nb.id, v);
+                v
+            }
+        };
+        sum += lrd_ratio(lrd_q, lrd_id);
+    }
+    Ok(sum / bufs.hood.len() as f64)
+}
+
+/// `lrd` from a materialized neighborhood, with every referenced
+/// k-distance already cached. Same arithmetic as
+/// [`crate::lrd::local_reachability_densities`]: mean of reach-dists in
+/// canonical neighborhood order, inverted, `+∞` on a zero mean.
+fn lrd_from_cache(cache: &HoodCache, hood: &[Neighbor]) -> f64 {
+    let mut sum = 0.0;
+    for nb in hood {
+        sum += reach_dist(cache.k_distance(nb.id), nb.dist);
+    }
+    let mean = sum / hood.len() as f64;
+    if mean > 0.0 {
+        1.0 / mean
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cand_order_ranks_smaller_id_higher_on_ties() {
+        let a = Cand { id: 3, score: 1.5 };
+        let b = Cand { id: 7, score: 1.5 };
+        let c = Cand { id: 0, score: 2.0 };
+        // a outranks b (same score, smaller id); c outranks both.
+        assert!(a > b);
+        assert!(c > a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn top_heap_keeps_best_n_and_reports_threshold() {
+        let mut heap = TopHeap::new(2);
+        assert_eq!(heap.threshold(), f64::NEG_INFINITY);
+        heap.offer(Cand { id: 0, score: 1.0 });
+        assert_eq!(heap.threshold(), f64::NEG_INFINITY); // not full yet
+        heap.offer(Cand { id: 1, score: 3.0 });
+        assert_eq!(heap.threshold(), 1.0);
+        heap.offer(Cand { id: 2, score: 2.0 });
+        assert_eq!(heap.threshold(), 2.0);
+        heap.offer(Cand { id: 3, score: 0.5 }); // worse than everything kept
+        assert_eq!(heap.threshold(), 2.0);
+        assert_eq!(heap.churn, 1);
+        // A tie with the worst kept candidate but a *smaller* id evicts it.
+        let worst_before = heap.heap.peek().unwrap().0.id;
+        heap.offer(Cand { id: 1_000_000.min(worst_before.wrapping_sub(1)), score: 2.0 });
+        assert_eq!(heap.threshold(), 2.0);
+        assert_eq!(heap.churn, 2);
+    }
+}

@@ -620,6 +620,26 @@ fn build<M: Metric>(
 
 impl_knn_provider!(BallTree, self_join);
 
+impl<M: Metric> lof_core::PartitionSource for BallTree<'_, M> {
+    /// One partition per tree leaf. Ball nodes carry centers and radii,
+    /// not rectangles, so the partition boxes are recomputed tight from
+    /// the member coordinates.
+    fn partitions(&self) -> Vec<lof_core::Partition> {
+        crate::common::leaf_partitions(
+            self.data,
+            &self.metric,
+            &self.ids,
+            self.nodes.iter().filter(|n| n.children.is_none()).map(|n| (n.start, n.end)),
+        )
+    }
+}
+
+impl<M: Metric> lof_core::PartitionMetric for BallTree<'_, M> {
+    fn partition_metric(&self) -> &dyn Metric {
+        &self.metric
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

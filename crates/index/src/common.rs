@@ -121,6 +121,241 @@ where
     Ok(())
 }
 
+/// How many times larger than the typical (90th-percentile) leaf hull a
+/// leaf may be before [`leaf_partitions`] splits it into singletons.
+const SPRAWL_FACTOR: f64 = 4.0;
+
+/// Builds top-n [`lof_core::Partition`]s from a tree's leaf id ranges:
+/// members sorted ascending (the engine's cover contract), tight
+/// bounding boxes and exact intra-partition rank profiles recomputed
+/// from coordinates. Leaves are `LEAF_SIZE`-bounded, so the per-leaf
+/// all-pairs profile pass stays cheap.
+///
+/// Most candidate partitions one isolation query may verify exactly;
+/// past the cap the rectangle distance of the next candidate floors the
+/// radius instead (sound, just looser).
+const ISOLATION_CANDIDATE_CAP: usize = 64;
+
+/// Largest member-count product for which one candidate pair is verified
+/// point-by-point; bigger pairs (oversized duplicate leaves) fall back to
+/// the rectangle distance.
+const ISOLATION_PAIR_CAP: usize = 4096;
+
+/// **Sprawl hygiene:** a leaf that captures an isolated outlier together
+/// with its nearest cluster spans a hull orders of magnitude larger than
+/// its siblings'. Such a box passes near everything along its extent, so
+/// every partition it is "reachable" from inherits its huge reachability
+/// envelope — one sprawling leaf can poison the bounds of the whole
+/// cover and disable pruning outright. The engine is exact for *any*
+/// cover, so we split every leaf whose hull diameter exceeds
+/// [`SPRAWL_FACTOR`]× the 90th-percentile diameter into singleton
+/// partitions: point-sized boxes bound nothing about their own LOF
+/// (they get refined), but they cannot pollute anyone else's envelope.
+///
+/// **Isolation radii:** tree splits land on coordinate values shared by
+/// points on both sides, so sibling leaf boxes routinely abut (rectangle
+/// distance 0) even when the closest cross-leaf point pair sits a full
+/// neighbor-spacing apart. The envelope pass can only see geometry, so
+/// after the cover is final each partition gets the exact minimum
+/// member-to-non-member distance ([`lof_core::Partition::isolation`]),
+/// found by a best-first traversal over the partition boxes that
+/// verifies near candidates point-by-point and stops as soon as the next
+/// rectangle distance can no longer improve on the best verified pair.
+pub(crate) fn leaf_partitions<M: lof_core::Metric>(
+    data: &lof_core::Dataset,
+    metric: &M,
+    ids: &[usize],
+    leaves: impl Iterator<Item = (usize, usize)>,
+) -> Vec<lof_core::Partition> {
+    let make = |members: Vec<usize>| {
+        lof_core::Partition::from_member_points(metric, members, |id| data.point(id))
+    };
+    let parts: Vec<lof_core::Partition> = leaves
+        .map(|(start, end)| {
+            let mut members = ids[start..end].to_vec();
+            members.sort_unstable();
+            make(members)
+        })
+        .collect();
+
+    let diameter =
+        |p: &lof_core::Partition| metric.max_dist_between_rects(&p.lo, &p.hi, &p.lo, &p.hi);
+    let mut finite: Vec<f64> = parts.iter().map(diameter).filter(|d| d.is_finite()).collect();
+    finite.sort_unstable_by(f64::total_cmp);
+    let p90 = finite.get(finite.len().saturating_sub(1) * 9 / 10).copied().unwrap_or(0.0);
+    let sprawl = SPRAWL_FACTOR * p90;
+    let mut parts = if sprawl > 0.0 {
+        parts
+            .into_iter()
+            .flat_map(|p| {
+                let d = diameter(&p);
+                if p.members.len() > 1 && d.is_finite() && d > sprawl {
+                    p.members.iter().map(|&id| make(vec![id])).collect()
+                } else {
+                    vec![p]
+                }
+            })
+            .collect()
+    } else {
+        // Blind metric (all diameters infinite) or degenerate point-pile
+        // leaves: no meaningful scale to judge sprawl against.
+        parts
+    };
+    let radii = isolation_radii(data, metric, &parts);
+    for (p, r) in parts.iter_mut().zip(radii) {
+        p.isolation = r;
+    }
+    parts
+}
+
+/// A node of the throwaway box tree behind [`isolation_radii`]; children
+/// precede their parent in the arena.
+struct IsoNode {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    children: Option<(usize, usize)>,
+    /// Partition index (leaves only; `usize::MAX` on internal nodes).
+    part: usize,
+}
+
+fn iso_tree_rec(
+    parts: &[lof_core::Partition],
+    centers: &[Vec<f64>],
+    idx: &mut [usize],
+    nodes: &mut Vec<IsoNode>,
+) -> usize {
+    if idx.len() == 1 {
+        let p = idx[0];
+        nodes.push(IsoNode {
+            lo: parts[p].lo.clone(),
+            hi: parts[p].hi.clone(),
+            children: None,
+            part: p,
+        });
+        return nodes.len() - 1;
+    }
+    let dims = centers[0].len();
+    let mut best_dim = 0;
+    let mut best_spread = f64::NEG_INFINITY;
+    #[allow(clippy::needless_range_loop)] // indexes each center's d-th coordinate
+    for d in 0..dims {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &i in idx.iter() {
+            min = min.min(centers[i][d]);
+            max = max.max(centers[i][d]);
+        }
+        if max - min > best_spread {
+            best_spread = max - min;
+            best_dim = d;
+        }
+    }
+    let mid = idx.len() / 2;
+    idx.select_nth_unstable_by(mid, |&a, &b| {
+        centers[a][best_dim].total_cmp(&centers[b][best_dim]).then(a.cmp(&b))
+    });
+    let (left_ids, right_ids) = idx.split_at_mut(mid);
+    let left = iso_tree_rec(parts, centers, left_ids, nodes);
+    let right = iso_tree_rec(parts, centers, right_ids, nodes);
+    let mut lo = nodes[left].lo.clone();
+    let mut hi = nodes[left].hi.clone();
+    for d in 0..lo.len() {
+        lo[d] = lo[d].min(nodes[right].lo[d]);
+        hi[d] = hi[d].max(nodes[right].hi[d]);
+    }
+    nodes.push(IsoNode { lo, hi, children: Some((left, right)), part: usize::MAX });
+    nodes.len() - 1
+}
+
+/// Exact (capped) isolation radius per partition: the minimum distance
+/// from any member to any point outside the partition, which is also the
+/// minimum over other partitions of the bipartite closest-pair distance
+/// (the cover property). Each query walks the box tree best-first by
+/// rectangle distance, verifies candidate partitions point-by-point, and
+/// stops once the next rectangle distance cannot beat the best verified
+/// pair. A single-partition cover has no non-members and gets `+inf`.
+fn isolation_radii<M: lof_core::Metric>(
+    data: &lof_core::Dataset,
+    metric: &M,
+    parts: &[lof_core::Partition],
+) -> Vec<f64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    if parts.len() < 2 {
+        return vec![f64::INFINITY; parts.len()];
+    }
+    let centers: Vec<Vec<f64>> = parts
+        .iter()
+        .map(|p| p.lo.iter().zip(&p.hi).map(|(l, h)| 0.5 * (l + h)).collect())
+        .collect();
+    let mut idx: Vec<usize> = (0..parts.len()).collect();
+    let mut nodes = Vec::with_capacity(2 * parts.len());
+    let root = iso_tree_rec(parts, &centers, &mut idx, &mut nodes);
+
+    /// Totally ordered non-NaN f64 heap key.
+    #[derive(PartialEq)]
+    struct Key(f64);
+    impl Eq for Key {}
+    impl PartialOrd for Key {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Key {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+
+    let mut heap: BinaryHeap<Reverse<(Key, usize)>> = BinaryHeap::new();
+    parts
+        .iter()
+        .enumerate()
+        .map(|(i, src)| {
+            heap.clear();
+            heap.push(Reverse((Key(0.0), root)));
+            let mut best = f64::INFINITY;
+            let mut verified = 0usize;
+            while let Some(Reverse((Key(key), ni))) = heap.pop() {
+                if key >= best {
+                    break;
+                }
+                let node = &nodes[ni];
+                match node.children {
+                    Some((l, r)) => {
+                        for child in [l, r] {
+                            let c = &nodes[child];
+                            let d = metric.min_dist_between_rects(&src.lo, &src.hi, &c.lo, &c.hi);
+                            if d < best {
+                                heap.push(Reverse((Key(d), child)));
+                            }
+                        }
+                    }
+                    None if node.part == i => {}
+                    None => {
+                        let other = &parts[node.part];
+                        let pairs = src.members.len() * other.members.len();
+                        if verified >= ISOLATION_CANDIDATE_CAP || pairs > ISOLATION_PAIR_CAP {
+                            // Fall back to the rectangle distance: looser
+                            // but sound, and it terminates the traversal.
+                            best = best.min(key);
+                            continue;
+                        }
+                        verified += 1;
+                        for &a in &src.members {
+                            for &b in &other.members {
+                                best = best.min(metric.distance(data.point(a), data.point(b)));
+                            }
+                        }
+                    }
+                }
+            }
+            best
+        })
+        .collect()
+}
+
 /// Implements [`lof_core::KnnProvider`] for an index type exposing the
 /// internal two-phase search API:
 ///

@@ -684,6 +684,26 @@ fn build(
 
 impl_knn_provider!(KdTree, self_join);
 
+impl<M: Metric> lof_core::PartitionSource for KdTree<'_, M> {
+    /// One partition per tree leaf — the same spatially tight,
+    /// `LEAF_SIZE`-bounded groups the batch self-join exploits, which is
+    /// exactly the locality the top-n engine's envelopes need.
+    fn partitions(&self) -> Vec<lof_core::Partition> {
+        crate::common::leaf_partitions(
+            self.data,
+            &self.metric,
+            &self.ids,
+            self.nodes.iter().filter(|n| n.children.is_none()).map(|n| (n.start, n.end)),
+        )
+    }
+}
+
+impl<M: Metric> lof_core::PartitionMetric for KdTree<'_, M> {
+    fn partition_metric(&self) -> &dyn Metric {
+        &self.metric
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

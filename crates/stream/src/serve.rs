@@ -20,8 +20,8 @@
 
 use crate::window::{SlidingWindowLof, StreamStats};
 use crate::wire::{
-    error_record, metrics_record, parse_event, parse_metrics_request, stream_record, MetricsFormat,
-    ParsedLine,
+    error_record, metrics_record, parse_event, parse_metrics_request, parse_topn_request,
+    stream_record, topn_record, MetricsFormat, ParsedLine,
 };
 use lof_core::Metric;
 use lof_obs::{Counter, MetricsRegistry};
@@ -47,6 +47,9 @@ enum Payload {
     Malformed(String),
     /// An in-band metrics request: answer with a registry snapshot.
     Metrics(MetricsFormat),
+    /// An in-band top-n request: answer with the window's current
+    /// ranking of its most outlying members.
+    TopN(usize),
 }
 
 /// One unit of work for the scorer thread.
@@ -67,6 +70,7 @@ struct ServeMetrics {
     score_records: Arc<Counter>,
     error_records: Arc<Counter>,
     metrics_requests: Arc<Counter>,
+    topn_requests: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -78,6 +82,7 @@ impl ServeMetrics {
             score_records: registry.counter("serve.score_records"),
             error_records: registry.counter("serve.error_records"),
             metrics_requests: registry.counter("serve.metrics_requests"),
+            topn_requests: registry.counter("serve.topn_requests"),
         }
     }
 
@@ -91,6 +96,13 @@ impl ServeMetrics {
             MetricsFormat::Text => registry.render_prometheus(),
             MetricsFormat::Json => metrics_record(registry),
         }
+    }
+
+    /// Renders the reply to one top-n request: the window's current
+    /// ranking as a single typed record (empty during warm-up).
+    fn answer_topn<M: Metric>(&self, window: &SlidingWindowLof<M>, n: usize) -> String {
+        self.topn_requests.inc();
+        topn_record(n, &window.top_n(n), window.is_warming_up())
     }
 }
 
@@ -127,6 +139,20 @@ pub fn run_stream<M: Metric>(
             let registry = Arc::clone(window.registry());
             writeln!(output, "{}", metrics.answer(&registry, format))?;
             continue;
+        }
+        match parse_topn_request(&line) {
+            Some(Some(n)) => {
+                writeln!(output, "{}", metrics.answer_topn(&window, n))?;
+                continue;
+            }
+            Some(None) => {
+                summary.errors += 1;
+                metrics.parse_errors.inc();
+                metrics.error_records.inc();
+                writeln!(output, "{}", error_record("topn request needs a count: /topn N"))?;
+                continue;
+            }
+            None => {}
         }
         let record = match parse_event(&line) {
             Ok(ParsedLine::Empty) => continue,
@@ -281,6 +307,7 @@ fn score_loop<M: Metric>(mut window: SlidingWindowLof<M>, jobs: Receiver<Job>) -
                 error_record(&message)
             }
             Payload::Metrics(format) => metrics.answer(&registry, format),
+            Payload::TopN(n) => metrics.answer_topn(&window, n),
         };
         // A dropped receiver means the client hung up mid-reply; the event
         // is already applied to the window, so just move on.
@@ -307,10 +334,15 @@ fn handle_connection(stream: TcpStream, jobs: &SyncSender<Job>) {
     let reader = BufReader::new(stream);
     for line in reader.lines() {
         let Ok(line) = line else { break };
-        // Metrics requests are recognized before event parsing so they
-        // can never be misread as malformed events.
+        // Metrics and top-n requests are recognized before event parsing
+        // so they can never be misread as malformed events.
         let payload = if let Some(format) = parse_metrics_request(&line) {
             Payload::Metrics(format)
+        } else if let Some(count) = parse_topn_request(&line) {
+            match count {
+                Some(n) => Payload::TopN(n),
+                None => Payload::Malformed("topn request needs a count: /topn N".to_owned()),
+            }
         } else {
             match parse_event(&line) {
                 Ok(ParsedLine::Empty) => continue,
@@ -353,5 +385,34 @@ mod tests {
         assert_eq!(text.lines().count(), 14, "one record per non-comment line");
         assert!(text.lines().all(|l| l.starts_with("{\"type\":")));
         assert!(text.contains("\"type\":\"error\""));
+    }
+
+    #[test]
+    fn run_stream_answers_topn_requests_in_band() {
+        let config = StreamConfig::new(3, 20).warmup(5);
+        let window = SlidingWindowLof::new(config, Euclidean).unwrap();
+        let mut input = String::from("GET /topn 2\n");
+        for i in 0..12 {
+            input.push_str(&format!("{},{}\n", i % 4, i / 4));
+        }
+        input.push_str("[40, 40]\n");
+        input.push_str("/topn 2\n");
+        input.push_str("/topn\n");
+        let mut output = Vec::new();
+        let (window, summary) = run_stream(window, input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let topn_lines: Vec<&str> =
+            text.lines().filter(|l| l.starts_with("{\"type\":\"topn\"")).collect();
+        assert_eq!(topn_lines.len(), 2);
+        assert_eq!(topn_lines[0], "{\"type\":\"topn\",\"n\":2,\"warmup\":true,\"top\":[]}");
+        // The post-spike ranking leads with the outlier's sequence number
+        // and matches the window's own answer.
+        let expected = crate::wire::topn_record(2, &window.top_n(2), false);
+        assert_eq!(topn_lines[1], expected);
+        assert!(topn_lines[1].contains("\"seq\":12"));
+        assert_eq!(summary.errors, 1, "a countless /topn is an in-band error");
+        if lof_obs::enabled() {
+            assert_eq!(window.registry().counter("serve.topn_requests").value(), 2);
+        }
     }
 }

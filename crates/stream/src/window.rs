@@ -411,6 +411,28 @@ impl<M: Metric> SlidingWindowLof<M> {
         Ok((Some(score), Some(evicted_seq), Some(insert_stats.merge(evict_stats))))
     }
 
+    /// The window's `n` most outlying members as `(event seq, LOF)`
+    /// pairs, ordered by score descending with ties broken by earlier
+    /// arrival. Empty during warm-up (no model, no scores yet).
+    ///
+    /// This is a snapshot of the maintained incremental scores — the
+    /// sliding window keeps every member's LOF current after each
+    /// insert/evict cascade, so answering is a sort, not a sweep.
+    pub fn top_n(&self, n: usize) -> Vec<(u64, f64)> {
+        let Some(model) = self.model.as_ref() else {
+            return Vec::new();
+        };
+        let mut ranked: Vec<(u64, f64)> = (0..model.len())
+            .map(|id| {
+                let seq = model.arrival(id).expect("window members have arrivals");
+                (seq, model.lof_values()[id])
+            })
+            .collect();
+        ranked.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(n);
+        ranked
+    }
+
     /// True when at most `k - 1` window members score strictly higher than
     /// `score` (i.e. the event ranks in the window's top-`k`).
     fn ranks_in_top_k(&self, score: f64, k: usize) -> bool {
@@ -455,6 +477,34 @@ mod tests {
         assert_eq!(w.stats().events, 25);
         assert_eq!(w.stats().scored, 15);
         assert_eq!(w.stats().latency.count(), 15, "latency records scored events only");
+    }
+
+    #[test]
+    fn top_n_ranks_window_members_by_score_then_arrival() {
+        let config = StreamConfig::new(3, 64).warmup(5);
+        let mut w = SlidingWindowLof::new(config, Euclidean).unwrap();
+        assert!(w.top_n(3).is_empty(), "no ranking during warm-up");
+        for i in 0..4 {
+            w.push(&grid_point(i)).unwrap();
+            assert!(w.top_n(3).is_empty(), "still warming up");
+        }
+        for i in 4..16 {
+            w.push(&grid_point(i)).unwrap();
+        }
+        // A far-away outlier must rank first.
+        let ev = w.push(&[40.0, 40.0]).unwrap();
+        let top = w.top_n(3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, ev.seq, "the planted outlier leads the ranking");
+        assert!(top[0].1 > top[1].1);
+        // Ordered by score desc, ties by earlier arrival; full ranking is
+        // capped at the window size.
+        let all = w.top_n(usize::MAX);
+        assert_eq!(all.len(), w.len());
+        for pair in all.windows(2) {
+            let ((s0, l0), (s1, l1)) = (pair[0], pair[1]);
+            assert!(l0 > l1 || (l0 == l1 && s0 < s1), "ranking order violated");
+        }
     }
 
     #[test]

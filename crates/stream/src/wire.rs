@@ -262,6 +262,40 @@ pub fn metrics_record(registry: &lof_obs::MetricsRegistry) -> String {
     format!("{{\"type\":\"metrics\",\"metrics\":{}}}", registry.render_ndjson())
 }
 
+/// Recognizes an in-band top-n request: `GET /topn N` (or bare
+/// `/topn N`) asks for the window's `N` most outlying members. Same
+/// in-band convention as [`parse_metrics_request`]: checked before event
+/// parsing, anything else flows on. A missing or unparsable count is
+/// still recognized as a top-n request (`None` inner value) so the
+/// serve loop can answer with an in-band error instead of misreading
+/// the line as an event.
+pub fn parse_topn_request(line: &str) -> Option<Option<usize>> {
+    let trimmed = line.trim();
+    let path = trimmed.strip_prefix("GET ").map(str::trim).unwrap_or(trimmed);
+    let rest = path.strip_prefix("/topn")?;
+    if !rest.is_empty() && !rest.starts_with([' ', '\t']) {
+        return None; // e.g. "/topnews" is not ours
+    }
+    Some(rest.trim().parse().ok())
+}
+
+/// The NDJSON record answering a top-n request: the requested size and
+/// the ranked `(event seq, LOF)` pairs, most outlying first (ties by
+/// earlier arrival). During warm-up the window has no scores and the
+/// list is empty.
+pub fn topn_record(n: usize, ranking: &[(u64, f64)], warmup: bool) -> String {
+    let mut out = String::with_capacity(32 + ranking.len() * 32);
+    let _ = write!(out, "{{\"type\":\"topn\",\"n\":{n},\"warmup\":{warmup},\"top\":[");
+    for (i, &(seq, lof)) in ranking.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"seq\":{seq},\"lof\":{}}}", json_f64(lof));
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +406,33 @@ mod tests {
         assert_eq!(parse_metrics_request("[1.0, 2.0]"), None);
         assert_eq!(parse_metrics_request("1.0,2.0"), None);
         assert_eq!(parse_metrics_request("GET /other"), None);
+    }
+
+    #[test]
+    fn topn_requests_are_recognized_before_event_parsing() {
+        assert_eq!(parse_topn_request("GET /topn 5"), Some(Some(5)));
+        assert_eq!(parse_topn_request("/topn 10"), Some(Some(10)));
+        assert_eq!(parse_topn_request("  GET /topn\t3  "), Some(Some(3)));
+        // Recognized as a top-n request, but with no usable count.
+        assert_eq!(parse_topn_request("/topn"), Some(None));
+        assert_eq!(parse_topn_request("GET /topn many"), Some(None));
+        // Not ours: events and other paths flow on.
+        assert_eq!(parse_topn_request("/topnews 3"), None);
+        assert_eq!(parse_topn_request("[1.0, 2.0]"), None);
+        assert_eq!(parse_topn_request("GET /metrics"), None);
+    }
+
+    #[test]
+    fn topn_record_is_a_typed_single_line_envelope() {
+        let rec = topn_record(3, &[(7, 2.5), (2, f64::INFINITY)], false);
+        assert_eq!(
+            rec,
+            "{\"type\":\"topn\",\"n\":3,\"warmup\":false,\"top\":[{\"seq\":7,\"lof\":2.5},{\"seq\":2,\"lof\":\"inf\"}]}"
+        );
+        assert_eq!(
+            topn_record(2, &[], true),
+            "{\"type\":\"topn\",\"n\":2,\"warmup\":true,\"top\":[]}"
+        );
     }
 
     #[test]

@@ -65,6 +65,24 @@ grep -q 'lof_serve_events_in 3' /tmp/lof_ci_serve.out
 grep -q '# EOF' /tmp/lof_ci_serve.out
 echo "serve metrics smoke OK"
 
+echo "== topn: fixed-seed differential + forced-scalar rerun =="
+# The bound-driven engine must stay bit-identical to the sorted full
+# sweep on every index, cover, metric, and thread count — and again with
+# the SIMD kernels pinned to scalar, since refinement rides the batch
+# k-NN path. The CLI suite covers the `lof topn` surface on top.
+cargo test -q --test topn_differential
+cargo test -q --test theorem2_leaf_straddle
+cargo test -q -p lof-cli topn
+LOF_FORCE_SCALAR=1 cargo test -q --test topn_differential
+
+echo "== release smoke: topn pruning vs full sweep at n=20000 =="
+# bench_topn aborts unless the pruned top-100 ranking is bit-identical
+# to the full sweep's, serial and parallel — a release-optimized
+# end-to-end gate over partition envelopes, θ-pruning, and refinement.
+LOF_TOPN_POINTS=20000 \
+  BENCH_TOPN_OUT=/tmp/lof_ci_bench_topn.json \
+  cargo run --release -q -p lof-bench --bin bench_topn
+
 echo "== release smoke: batch join + sweep bit-identity at n=2000 =="
 # bench_materialize aborts on any bit divergence between the brute scan,
 # the per-query tree searches, the leaf-blocked batch joins, and the

@@ -52,9 +52,10 @@ pub use lof_obs as obs;
 pub use lof_stream as stream;
 
 pub use lof_core::{
-    Aggregate, Angular, Chebyshev, Dataset, Euclidean, KnnProvider, LinearScan, LofDetector,
-    LofError, LofRangeResult, Manhattan, Metric, MinPtsRange, Minkowski, Neighbor,
-    NeighborhoodTable, OutlierResult, Result,
+    topn_reference, Aggregate, Angular, Chebyshev, Dataset, Euclidean, KnnProvider, LinearScan,
+    LofDetector, LofError, LofRangeResult, Manhattan, Metric, MinPtsRange, Minkowski, Neighbor,
+    NeighborhoodTable, OutlierResult, Partition, PartitionMetric, PartitionSource, Result,
+    TopNEngine, TopNResult, TopNStats,
 };
 pub use lof_index::{BallTree, GridIndex, KdTree, VaFile, XTree};
 pub use lof_stream::{EvictionPolicy, SlidingWindowLof, StreamConfig};

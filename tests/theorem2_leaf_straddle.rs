@@ -1,0 +1,129 @@
+//! Theorem 2 on *tree-induced* partitions: the top-n engine partitions a
+//! dataset by kd-tree leaves, but an object's `MinPts`-neighborhood does
+//! not respect leaf boundaries — near a split plane the neighbors
+//! straddle two or more leaves, so the Theorem 2 parts are fragments of
+//! different leaves. The theorem must hold for *any* partition of the
+//! neighborhood, so the bounds computed from these straddling covers
+//! must still contain the exact LOF — that containment is precisely what
+//! lets the engine trust leaf-level envelopes.
+
+use lof::core::bounds::theorem2_bounds;
+use lof::core::lof::lof_values;
+use lof::{Dataset, Euclidean, KdTree, NeighborhoodTable, PartitionSource};
+
+/// Clustered data sized so neighborhoods routinely cross leaf
+/// boundaries: three tight 5x5 grids (25 points each, leaf capacity is
+/// 16, so every cluster spans at least two leaves) plus two isolated
+/// outliers whose neighborhoods reach across clusters.
+fn straddling_dataset() -> Dataset {
+    let mut rows: Vec<[f64; 2]> = Vec::new();
+    for (cx, cy) in [(0.0, 0.0), (10.0, 0.0), (5.0, 8.0)] {
+        for i in 0..5 {
+            for j in 0..5 {
+                rows.push([cx + f64::from(i) * 0.3, cy + f64::from(j) * 0.3]);
+            }
+        }
+    }
+    rows.push([5.0, 3.5]);
+    rows.push([-20.0, -20.0]);
+    Dataset::from_rows(&rows).unwrap()
+}
+
+/// Groups the ids of `p`'s neighborhood by containing kd-tree leaf,
+/// returning Theorem 2 parts plus how many distinct leaves contribute.
+fn leaf_grouped_parts(
+    leaf_of: &[usize],
+    neighborhood: &[lof::Neighbor],
+) -> (Vec<Vec<usize>>, usize) {
+    let mut parts: Vec<(usize, Vec<usize>)> = Vec::new();
+    for n in neighborhood {
+        let leaf = leaf_of[n.id];
+        match parts.iter_mut().find(|(l, _)| *l == leaf) {
+            Some((_, members)) => members.push(n.id),
+            None => parts.push((leaf, vec![n.id])),
+        }
+    }
+    let leaves = parts.len();
+    (parts.into_iter().map(|(_, members)| members).collect(), leaves)
+}
+
+#[test]
+fn theorem2_holds_on_partitions_straddling_leaf_boundaries() {
+    let data = straddling_dataset();
+    let tree = KdTree::new(&data, Euclidean);
+
+    // Recover each id's leaf from the same partition cover the top-n
+    // engine uses (one partition per leaf).
+    let partitions = tree.partitions();
+    let mut leaf_of = vec![usize::MAX; data.len()];
+    for (pi, part) in partitions.iter().enumerate() {
+        for &id in &part.members {
+            leaf_of[id] = pi;
+        }
+    }
+    assert!(leaf_of.iter().all(|&l| l != usize::MAX), "partitions cover every id");
+    assert!(partitions.len() >= 4, "clusters must split across leaves");
+
+    for min_pts in [3usize, 7, 12] {
+        let table = NeighborhoodTable::build(&tree, min_pts).unwrap();
+        let exact = lof_values(&table, min_pts).unwrap();
+
+        let mut straddlers = 0usize;
+        for (id, &score) in exact.iter().enumerate() {
+            let neighborhood = table.neighborhood(id, min_pts).unwrap();
+            let (parts, leaves) = leaf_grouped_parts(&leaf_of, neighborhood);
+            if leaves > 1 {
+                straddlers += 1;
+            }
+            let bounds = theorem2_bounds(&table, min_pts, id, &parts).unwrap();
+            assert!(
+                bounds.contains(score),
+                "min_pts={min_pts} id={id}: LOF {score} outside [{}, {}] \
+                 (neighborhood spans {leaves} leaves)",
+                bounds.lower,
+                bounds.upper
+            );
+        }
+        // The fixture exists to exercise straddling covers — if nothing
+        // straddles, the test silently degenerates to single-part
+        // Theorem 1 and proves nothing new.
+        assert!(
+            straddlers > data.len() / 4,
+            "min_pts={min_pts}: only {straddlers} neighborhoods straddle a leaf boundary"
+        );
+    }
+}
+
+/// The same containment when the parts come from *another* tree than the
+/// one that answered the k-NN queries: Theorem 2 makes no assumption
+/// about where the partition comes from, and the engine relies on that
+/// when an index's leaf structure differs from the query provider's.
+#[test]
+fn theorem2_holds_for_foreign_tree_partitions() {
+    let data = straddling_dataset();
+    let scan = lof::LinearScan::new(&data, Euclidean);
+    let min_pts = 5;
+    let table = NeighborhoodTable::build(&scan, min_pts).unwrap();
+    let exact = lof_values(&table, min_pts).unwrap();
+
+    let tree = KdTree::new(&data, Euclidean);
+    let partitions = tree.partitions();
+    let mut leaf_of = vec![usize::MAX; data.len()];
+    for (pi, part) in partitions.iter().enumerate() {
+        for &id in &part.members {
+            leaf_of[id] = pi;
+        }
+    }
+
+    for (id, &score) in exact.iter().enumerate() {
+        let neighborhood = table.neighborhood(id, min_pts).unwrap();
+        let (parts, _) = leaf_grouped_parts(&leaf_of, neighborhood);
+        let bounds = theorem2_bounds(&table, min_pts, id, &parts).unwrap();
+        assert!(
+            bounds.contains(score),
+            "id={id}: LOF {score} outside [{}, {}]",
+            bounds.lower,
+            bounds.upper
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Differential property suite for the bound-driven top-n engine: on
+//! random data — duplicate-heavy, tie-heavy, every supported metric —
+//! the engine's ranking must be **bit-identical** (ids, score bits, tie
+//! order) to sorting a full materialize-and-score sweep, regardless of
+//! which partition cover it prunes with or how many refinement workers
+//! it runs. Pruning is an optimization; any observable difference is a
+//! soundness bug in the envelope bounds.
+
+use lof::{
+    topn_reference, BallTree, Dataset, Euclidean, KdTree, LinearScan, Manhattan, Metric, Partition,
+    PartitionSource, TopNEngine,
+};
+use proptest::prelude::*;
+
+/// Random dataset biased toward exact duplicates and ties: coordinates
+/// come from a small set of fixed magnitudes plus a continuous range, so
+/// duplicate piles form (zero rank profiles, vacuous envelopes) and tie
+/// groups straddle the n-th rank.
+fn dataset_strategy(max_n: usize, max_dims: usize) -> impl Strategy<Value = Dataset> {
+    (1usize..=max_dims, 8usize..=max_n).prop_flat_map(|(dims, n)| {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![Just(0.0), Just(1.0), Just(-2.5), -20.0..20.0f64],
+                dims,
+            ),
+            n,
+        )
+        .prop_map(move |rows| Dataset::from_rows(&rows).expect("finite rows"))
+    })
+}
+
+/// A hand-rolled cover ignoring all spatial structure: consecutive id
+/// chunks. Envelopes over such sprawling boxes are weak (often vacuous),
+/// which stresses the "prune nothing, still exact" path.
+fn chunked_cover<M: Metric>(data: &Dataset, metric: &M, chunk: usize) -> Vec<Partition> {
+    let ids: Vec<usize> = (0..data.len()).collect();
+    ids.chunks(chunk)
+        .map(|members| Partition::from_member_points(metric, members.to_vec(), |id| data.point(id)))
+        .collect()
+}
+
+/// Asserts two rankings agree exactly: same ids in the same order, same
+/// score *bits* (stricter than `==`, which would accept `-0.0 == 0.0`).
+fn assert_ranking_identical(label: &str, got: &[(usize, f64)], want: &[(usize, f64)]) {
+    assert_eq!(got.len(), want.len(), "{label}: ranking lengths diverge");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.0, w.0, "{label}: ids diverge at rank {i}");
+        assert_eq!(
+            g.1.to_bits(),
+            w.1.to_bits(),
+            "{label}: score bits diverge at rank {i} ({} vs {})",
+            g.1,
+            w.1
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The core differential: tree-leaf covers on both tree indexes,
+    /// plus chunked covers of several granularities on a linear scan,
+    /// at 1 and 3 refinement threads, versus the full-sweep reference.
+    fn engine_matches_full_sweep_on_random_data(
+        data in dataset_strategy(48, 3),
+        min_pts in 1usize..6,
+        n in 0usize..12,
+    ) {
+        let min_pts = min_pts.min(data.len() - 1).max(1);
+        let reference = topn_reference(
+            &LinearScan::new(&data, Euclidean), min_pts, n,
+        ).expect("reference sweep");
+
+        for threads in [1usize, 3] {
+            let engine = TopNEngine::new(min_pts, n).with_threads(threads);
+
+            let kd = KdTree::new(&data, Euclidean);
+            let result = engine.run(&kd, &kd.partitions()).expect("kd run");
+            assert_ranking_identical(
+                &format!("kdtree x {threads} threads"), &result.ranking, &reference,
+            );
+
+            let ball = BallTree::new(&data, Euclidean);
+            let result = engine.run(&ball, &ball.partitions()).expect("ball run");
+            assert_ranking_identical(
+                &format!("balltree x {threads} threads"), &result.ranking, &reference,
+            );
+
+            let scan = LinearScan::new(&data, Euclidean);
+            for chunk in [1usize, 5, data.len()] {
+                let cover = chunked_cover(&data, &Euclidean, chunk);
+                let result = engine
+                    .run_with_metric(&scan, &Euclidean, &cover)
+                    .expect("chunked run");
+                assert_ranking_identical(
+                    &format!("chunk={chunk} x {threads} threads"),
+                    &result.ranking,
+                    &reference,
+                );
+            }
+        }
+    }
+
+    /// Same differential under a non-Euclidean rectangle metric: the
+    /// envelope geometry (box distances, rank profiles) must stay sound
+    /// for any metric with rectangle bounds, not just L2.
+    fn engine_matches_full_sweep_under_manhattan(
+        data in dataset_strategy(32, 3),
+        min_pts in 1usize..5,
+        n in 1usize..8,
+    ) {
+        let min_pts = min_pts.min(data.len() - 1).max(1);
+        let reference = topn_reference(
+            &LinearScan::new(&data, Manhattan), min_pts, n,
+        ).expect("reference sweep");
+        let kd = KdTree::new(&data, Manhattan);
+        let result = TopNEngine::new(min_pts, n)
+            .with_threads(2)
+            .run(&kd, &kd.partitions())
+            .expect("kd run");
+        assert_ranking_identical("manhattan kdtree", &result.ranking, &reference);
+    }
+}
+
+/// Duplicate piles drive k-distances (and so reachability envelopes) to
+/// zero; the engine must fall back to refinement there, never to a wrong
+/// finite bound. With `n` near and beyond the dataset size the threshold
+/// never tightens and the "prune nothing" path must still be exact.
+#[test]
+fn duplicates_and_oversized_n_stay_exact() {
+    let mut rows: Vec<[f64; 2]> = Vec::new();
+    for _ in 0..10 {
+        rows.push([0.0, 0.0]); // a duplicate pile
+    }
+    for i in 0..10 {
+        rows.push([f64::from(i), 3.0]);
+    }
+    rows.push([90.0, -40.0]);
+    let data = Dataset::from_rows(&rows).unwrap();
+
+    for min_pts in [1usize, 3, 11] {
+        for n in [1usize, 5, rows.len(), rows.len() + 7] {
+            let reference = topn_reference(&LinearScan::new(&data, Euclidean), min_pts, n).unwrap();
+            let kd = KdTree::new(&data, Euclidean);
+            let result =
+                TopNEngine::new(min_pts, n).with_threads(4).run(&kd, &kd.partitions()).unwrap();
+            assert_ranking_identical(
+                &format!("min_pts={min_pts} n={n}"),
+                &result.ranking,
+                &reference,
+            );
+        }
+    }
+}
