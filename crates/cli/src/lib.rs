@@ -48,6 +48,10 @@
 //!   --metrics            print a final registry snapshot to stderr
 //!   --listen ADDR        serve only: bind address       [default: 127.0.0.1:7878]
 //!   --queue N            serve only: job-queue bound    [default: 1024]
+//!   --workers N          serve only: scoring threads    [default: auto]
+//!   --tenants N          serve only: tenant ceiling     [default: 64]
+//!   --snapshot-dir DIR   serve only: restore tenants from DIR, persist on SNAPSHOT/DRAIN
+//!   --max-events-per-sec R  serve only: default tenant admission rate
 //! ```
 
 #![warn(missing_docs)]
@@ -119,6 +123,19 @@ pub enum MetricChoice {
     Manhattan,
     Chebyshev,
     Angular,
+}
+
+impl MetricChoice {
+    /// The canonical name, as accepted by `--metric` and recorded as the
+    /// `metric_tag` of window snapshots.
+    pub fn tag(self) -> &'static str {
+        match self {
+            MetricChoice::Euclidean => "euclidean",
+            MetricChoice::Manhattan => "manhattan",
+            MetricChoice::Chebyshev => "chebyshev",
+            MetricChoice::Angular => "angular",
+        }
+    }
 }
 
 /// Supported index substrates.
@@ -433,6 +450,15 @@ pub struct StreamArgs {
     pub top_k: Option<usize>,
     /// Job-queue bound in serve mode (0 = `lof_stream::DEFAULT_QUEUE`).
     pub queue: usize,
+    /// Scoring worker threads in serve mode (0 = auto).
+    pub workers: usize,
+    /// Tenant-count ceiling in serve mode (0 = `lof_serve::DEFAULT_MAX_TENANTS`).
+    pub tenants: usize,
+    /// Snapshot directory in serve mode: tenants are restored from it at
+    /// startup and persisted to it on `SNAPSHOT` / `DRAIN`.
+    pub snapshot_dir: Option<String>,
+    /// Default per-tenant event-admission rate (token bucket), serve mode.
+    pub max_events_per_sec: Option<u64>,
     /// Distance metric.
     pub metric: MetricChoice,
     /// Print a final metrics-registry snapshot (Prometheus text) to
@@ -452,6 +478,10 @@ impl Default for StreamArgs {
             threshold: None,
             top_k: None,
             queue: 0,
+            workers: 0,
+            tenants: 0,
+            snapshot_dir: None,
+            max_events_per_sec: None,
             metric: MetricChoice::Euclidean,
             metrics: false,
         }
@@ -527,6 +557,14 @@ pub fn parse_stream_args(serve: bool, args: &[String]) -> Result<StreamArgs, Str
             "--metrics" => parsed.metrics = true,
             "--listen" if serve => parsed.listen = value("--listen", &mut iter)?.clone(),
             "--queue" if serve => parsed.queue = number("--queue", &mut iter)?,
+            "--workers" if serve => parsed.workers = number("--workers", &mut iter)?,
+            "--tenants" if serve => parsed.tenants = number("--tenants", &mut iter)?,
+            "--snapshot-dir" if serve => {
+                parsed.snapshot_dir = Some(value("--snapshot-dir", &mut iter)?.clone());
+            }
+            "--max-events-per-sec" if serve => {
+                parsed.max_events_per_sec = Some(number("--max-events-per-sec", &mut iter)?);
+            }
             flag if flag.starts_with("--") => {
                 let mode = if serve { "serve" } else { "stream" };
                 return Err(format!("unknown {mode} flag '{flag}'"));
@@ -871,11 +909,31 @@ stream / serve options:
                       to stderr; serve mode also answers in-band
                       `GET /metrics[.json]` requests on any connection
   --listen ADDR       serve only: bind address          [default: 127.0.0.1:7878]
-  --queue N           serve only: in-flight event bound [default: 1024]
+  --queue N           serve only: in-flight event bound per worker
+                                                        [default: 1024]
+  --workers N         serve only: scoring worker threads; 0 = auto
+                                                        [default: auto]
+  --tenants N         serve only: maximum number of named windows
+                                                        [default: 64]
+  --snapshot-dir DIR  serve only: restore every *.lofw tenant snapshot
+                      in DIR at startup, and persist tenants there on
+                      `SNAPSHOT` / `DRAIN` (restart resumes scoring
+                      bit-identically)
+  --max-events-per-sec R
+                      serve only: default per-tenant admission rate
+                      (token bucket, burst = 1s of R); tenants may
+                      override with `TENANT CREATE ... max_eps=R`
 
 Stream and serve connections also answer in-band `GET /topn N` (or bare
 `/topn N`) requests with a `{\"type\":\"topn\",...}` record ranking the
 window's current members by LOF, most outlying first.
+
+Serve mode multiplexes every connection onto one event-loop thread and
+scores on a worker pool. Connections start attached to the `default`
+tenant; `TENANT CREATE/ATTACH/LIST/DROP`, `SNAPSHOT [name]`, and `DRAIN`
+manage named windows over the wire. `DRAIN` stops accepting, flushes
+in-flight work, snapshots every tenant (with --snapshot-dir), acks, and
+shuts the server down cleanly.
 "
 }
 
@@ -1126,13 +1184,30 @@ mod tests {
         };
         assert_eq!(stream.min_pts, 5);
         assert_eq!(stream.input.as_deref(), Some("events.ndjson"));
-        let Command::Serve(serve) =
-            parse_command(&args(&["serve", "--listen", "0.0.0.0:9000", "--queue", "64"])).unwrap()
-        else {
+        let Command::Serve(serve) = parse_command(&args(&[
+            "serve",
+            "--listen",
+            "0.0.0.0:9000",
+            "--queue",
+            "64",
+            "--workers",
+            "2",
+            "--tenants",
+            "8",
+            "--snapshot-dir",
+            "/tmp/lofw",
+            "--max-events-per-sec",
+            "500",
+        ]))
+        .unwrap() else {
             panic!("expected serve mode");
         };
         assert_eq!(serve.listen, "0.0.0.0:9000");
         assert_eq!(serve.queue, 64);
+        assert_eq!(serve.workers, 2);
+        assert_eq!(serve.tenants, 8);
+        assert_eq!(serve.snapshot_dir.as_deref(), Some("/tmp/lofw"));
+        assert_eq!(serve.max_events_per_sec, Some(500));
     }
 
     #[test]
@@ -1189,6 +1264,10 @@ mod tests {
         // Serve flags are invalid in stream mode and vice versa.
         assert!(parse_stream_args(false, &args(&["--listen", "x"])).is_err());
         assert!(parse_stream_args(false, &args(&["--queue", "9"])).is_err());
+        assert!(parse_stream_args(false, &args(&["--workers", "2"])).is_err());
+        assert!(parse_stream_args(false, &args(&["--tenants", "4"])).is_err());
+        assert!(parse_stream_args(false, &args(&["--snapshot-dir", "d"])).is_err());
+        assert!(parse_stream_args(false, &args(&["--max-events-per-sec", "5"])).is_err());
         assert!(parse_stream_args(true, &args(&["events.ndjson"])).is_err());
         assert!(parse_stream_args(false, &args(&["a", "b"])).is_err());
         assert!(parse_stream_args(false, &args(&["--minpts"])).is_err());

@@ -5,6 +5,7 @@ use lof_cli::{
     Command, Config, MetricChoice, OutputFormat, StreamArgs, TopNArgs,
 };
 use lof_core::{Angular, Chebyshev, Euclidean, Manhattan, Metric};
+use lof_serve::{Quotas, ServeConfig, TenantSpec};
 use lof_stream::{serve, SlidingWindowLof, StreamStats};
 use std::io::{BufRead, BufReader};
 use std::process::ExitCode;
@@ -128,7 +129,15 @@ fn dispatch_streaming(args: &StreamArgs, mode: StreamMode) -> ExitCode {
     }
 }
 
-fn run_streaming<M: Metric + 'static>(args: &StreamArgs, metric: M, mode: StreamMode) -> ExitCode {
+fn run_streaming<M: Metric + Clone + 'static>(
+    args: &StreamArgs,
+    metric: M,
+    mode: StreamMode,
+) -> ExitCode {
+    match mode {
+        StreamMode::Tcp => return run_serve_mode(args, metric),
+        StreamMode::Stdin => {}
+    }
     let window = match SlidingWindowLof::new(stream_window_config(args), metric) {
         Ok(window) => window,
         Err(e) => {
@@ -136,10 +145,7 @@ fn run_streaming<M: Metric + 'static>(args: &StreamArgs, metric: M, mode: Stream
             return ExitCode::FAILURE;
         }
     };
-    match mode {
-        StreamMode::Stdin => run_stream_mode(args, window),
-        StreamMode::Tcp => run_serve_mode(args, window),
-    }
+    run_stream_mode(args, window)
 }
 
 fn run_stream_mode<M: Metric>(args: &StreamArgs, window: SlidingWindowLof<M>) -> ExitCode {
@@ -174,7 +180,25 @@ fn run_stream_mode<M: Metric>(args: &StreamArgs, window: SlidingWindowLof<M>) ->
     }
 }
 
-fn run_serve_mode<M: Metric + 'static>(args: &StreamArgs, window: SlidingWindowLof<M>) -> ExitCode {
+/// Runs the multi-tenant event-loop server (`lof-serve`) until a wire
+/// `DRAIN`, then reports every tenant's final statistics.
+fn run_serve_mode<M: Metric + Clone + 'static>(args: &StreamArgs, metric: M) -> ExitCode {
+    let spec = TenantSpec {
+        config: stream_window_config(args),
+        quotas: Quotas { max_events_per_sec: args.max_events_per_sec, ..Quotas::default() },
+    };
+    let mut config = ServeConfig::new(spec, args.metric.tag());
+    if args.workers > 0 {
+        config.workers = args.workers;
+    }
+    if args.queue > 0 {
+        config.queue = args.queue;
+    }
+    if args.tenants > 0 {
+        config.max_tenants = args.tenants;
+    }
+    config.snapshot_dir = args.snapshot_dir.as_ref().map(std::path::PathBuf::from);
+
     let listener = match std::net::TcpListener::bind(&args.listen) {
         Ok(listener) => listener,
         Err(e) => {
@@ -182,12 +206,21 @@ fn run_serve_mode<M: Metric + 'static>(args: &StreamArgs, window: SlidingWindowL
             return ExitCode::FAILURE;
         }
     };
-    match serve::spawn(listener, window, args.queue) {
+    match lof_serve::spawn(listener, metric, config) {
         Ok(handle) => {
             eprintln!("listening on {} (NDJSON in, NDJSON out; ctrl-c to stop)", handle.addr());
             let registry = std::sync::Arc::clone(handle.registry());
-            let stats = handle.wait();
-            report_stats(&stats);
+            let report = match handle.wait() {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for (name, stats) in &report.tenants {
+                eprintln!("tenant '{name}':");
+                report_stats(stats);
+            }
             if args.metrics {
                 report_registry(&registry);
             }

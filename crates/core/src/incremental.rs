@@ -223,6 +223,52 @@ impl<M: Metric> IncrementalLof<M> {
         Ok(model)
     }
 
+    /// Creates a model seeded with `data` while injecting externally
+    /// persisted arrival metadata — the restore path for snapshots. The
+    /// maintained-state invariant (incremental state == fresh batch build
+    /// over the current id order) means a restored model only needs the
+    /// points in id order plus their arrival numbers to continue scoring
+    /// and evicting bit-identically; neighborhoods are rebuilt
+    /// deterministically by the same [`new`](Self::new) machinery.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`new`](Self::new) returns, plus
+    /// [`LofError::InvalidPartition`] when `arrivals.len() != data.len()`,
+    /// when arrival numbers are not distinct, or when any arrival number
+    /// is `>= next_arrival` (a later insert would collide with it).
+    pub fn with_arrivals(
+        data: Dataset,
+        metric: M,
+        min_pts: usize,
+        arrivals: Vec<u64>,
+        next_arrival: u64,
+    ) -> Result<Self> {
+        if arrivals.len() != data.len() {
+            return Err(LofError::InvalidPartition(format!(
+                "arrival metadata covers {} objects but dataset holds {}",
+                arrivals.len(),
+                data.len()
+            )));
+        }
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(LofError::InvalidPartition("arrival numbers must be distinct".to_owned()));
+        }
+        if let Some(&max) = sorted.last() {
+            if max >= next_arrival {
+                return Err(LofError::InvalidPartition(format!(
+                    "arrival number {max} is not below next_arrival {next_arrival}"
+                )));
+            }
+        }
+        let mut model = Self::new(data, metric, min_pts)?;
+        model.arrival = arrivals;
+        model.next_arrival = next_arrival;
+        Ok(model)
+    }
+
     /// Number of objects currently in the model.
     pub fn len(&self) -> usize {
         self.data.len()
@@ -273,6 +319,13 @@ impl<M: Metric> IncrementalLof<M> {
     pub fn arrival(&self, id: usize) -> Result<u64> {
         self.data.check_id(id)?;
         Ok(self.arrival[id])
+    }
+
+    /// The next arrival sequence number an [`insert`](Self::insert) would
+    /// assign. Together with [`arrival`](Self::arrival) per object this is
+    /// the complete eviction-order state a snapshot must persist.
+    pub fn next_arrival(&self) -> u64 {
+        self.next_arrival
     }
 
     /// Id of the longest-resident object (minimum arrival number) — the
@@ -828,6 +881,66 @@ mod tests {
         assert_eq!(model.arrival(newest).unwrap(), 30);
         assert_eq!(model.dataset().point(newest), &[100.0, 100.0]);
         assert!(model.arrival(999).is_err());
+    }
+
+    #[test]
+    fn with_arrivals_resumes_eviction_order_and_matches_new() {
+        // Drive a model through inserts and evictions, then clone its
+        // surviving state through the restore constructor: scores must be
+        // bit-identical and the eviction order must continue where the
+        // original left off.
+        let mut original = IncrementalLof::new(seed_dataset(), Euclidean, 4).unwrap();
+        for p in [[9.0, 9.0], [9.5, 9.5], [8.5, 9.0], [9.0, 8.5]] {
+            original.insert(&p).unwrap();
+            let oldest = original.oldest();
+            original.remove(oldest).unwrap();
+        }
+        let data = original.dataset().clone();
+        let arrivals: Vec<u64> =
+            (0..original.len()).map(|id| original.arrival(id).unwrap()).collect();
+        let restored = IncrementalLof::with_arrivals(
+            data,
+            Euclidean,
+            original.min_pts(),
+            arrivals,
+            original.next_arrival,
+        )
+        .unwrap();
+        for (a, b) in original.lof_values().iter().zip(restored.lof_values()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "restored LOF must be bit-identical");
+        }
+        assert_eq!(restored.oldest(), original.oldest());
+        assert_eq!(restored.newest(), original.newest());
+        // Continued operation stays in lockstep.
+        let mut restored = restored;
+        let (a_id, a_lof, _) = original.insert(&[7.5, 7.5]).unwrap();
+        let (b_id, b_lof, _) = restored.insert(&[7.5, 7.5]).unwrap();
+        assert_eq!(a_id, b_id);
+        assert_eq!(a_lof.to_bits(), b_lof.to_bits());
+        assert_eq!(original.oldest(), restored.oldest());
+    }
+
+    #[test]
+    fn with_arrivals_rejects_inconsistent_metadata() {
+        let data = seed_dataset();
+        let n = data.len();
+        // Length mismatch.
+        assert!(IncrementalLof::with_arrivals(data.clone(), Euclidean, 4, vec![0; 3], 10).is_err());
+        // Duplicate arrival numbers.
+        assert!(IncrementalLof::with_arrivals(data.clone(), Euclidean, 4, vec![0; n], n as u64)
+            .is_err());
+        // next_arrival not past the maximum.
+        let arrivals: Vec<u64> = (0..n as u64).collect();
+        assert!(IncrementalLof::with_arrivals(
+            data.clone(),
+            Euclidean,
+            4,
+            arrivals.clone(),
+            n as u64 - 1
+        )
+        .is_err());
+        // Consistent metadata is accepted.
+        assert!(IncrementalLof::with_arrivals(data, Euclidean, 4, arrivals, n as u64).is_ok());
     }
 
     #[test]

@@ -63,6 +63,74 @@ pub fn prom_name(name: &str) -> String {
     out
 }
 
+/// Builds a labeled registry key: `labeled("serve.events_in", "tenant",
+/// "alpha")` → `serve.events_in{tenant="alpha"}`. Labeled keys sort
+/// immediately after their unlabeled base (`{` > every ASCII
+/// alphanumeric), so the sorted snapshot keeps a base and all its label
+/// variants adjacent and [`MetricsRegistry::render_prometheus`] can emit
+/// one `# TYPE` line per family. The label value is escaped per the
+/// Prometheus text rules (`\\`, `\"`, `\n`).
+pub fn labeled(base: &str, key: &str, value: &str) -> String {
+    let mut out = String::with_capacity(base.len() + key.len() + value.len() + 6);
+    out.push_str(base);
+    out.push('{');
+    out.push_str(key);
+    out.push_str("=\"");
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push_str("\"}");
+    out
+}
+
+/// Splits a registry key into its base name and an optional `{...}`
+/// label block produced by [`labeled`]. The base is sanitized through
+/// [`prom_name`]; the label block is already Prometheus syntax and
+/// passes through verbatim.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    }
+}
+
+/// A quantile sample name: merges `quantile="q"` into an existing label
+/// block (`lof_x{tenant="a",quantile="0.5"}`) or opens a fresh one.
+fn quantile_sample(pbase: &str, labels: &str, q: &str) -> String {
+    if labels.is_empty() {
+        format!("{pbase}{{quantile=\"{q}\"}}")
+    } else {
+        let inner = &labels[1..labels.len() - 1];
+        format!("{pbase}{{{inner},quantile=\"{q}\"}}")
+    }
+}
+
+/// Escapes a registry key for use as a JSON object key. Labeled names
+/// carry `"` characters; emitting them raw would produce invalid JSON.
+/// Same rules as `lof_stream::wire::json_escape`.
+fn json_escape_key(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 2);
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl MetricsRegistry {
     /// Renders the registry in the Prometheus text exposition format.
     ///
@@ -74,27 +142,49 @@ impl MetricsRegistry {
     /// exactly where the block ends.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut last_family: Option<String> = None;
         for (name, metric) in self.snapshot() {
-            let pname = prom_name(&name);
+            let (base, labels) = split_labels(&name);
+            let pbase = prom_name(base);
+            let kind = match metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "summary",
+            };
+            // Labeled keys sort adjacent to their unlabeled base, so a
+            // family's `# TYPE` line is emitted exactly once even when
+            // many tenants publish under the same base name.
+            if last_family.as_deref() != Some(pbase.as_str()) {
+                let _ = writeln!(out, "# TYPE {pbase} {kind}");
+                last_family = Some(pbase.clone());
+            }
             match metric {
                 Metric::Counter(c) => {
-                    let _ = writeln!(out, "# TYPE {pname} counter");
-                    let _ = writeln!(out, "{pname} {}", c.value());
+                    let _ = writeln!(out, "{pbase}{labels} {}", c.value());
                 }
                 Metric::Gauge(g) => {
-                    let _ = writeln!(out, "# TYPE {pname} gauge");
-                    let _ = writeln!(out, "{pname} {}", prom_f64(g.value()));
+                    let _ = writeln!(out, "{pbase}{labels} {}", prom_f64(g.value()));
                 }
                 Metric::Histogram(h) => {
                     let snap = h.snapshot();
-                    let _ = writeln!(out, "# TYPE {pname} summary");
-                    let _ = writeln!(out, "{pname}{{quantile=\"0.5\"}} {}", snap.p50_ns);
-                    let _ = writeln!(out, "{pname}{{quantile=\"0.95\"}} {}", snap.p95_ns);
-                    let _ = writeln!(out, "{pname}{{quantile=\"0.99\"}} {}", snap.p99_ns);
-                    let _ = writeln!(out, "{pname}_sum {}", snap.sum_ns);
-                    let _ = writeln!(out, "{pname}_count {}", snap.count);
-                    let _ = writeln!(out, "{pname}_max {}", snap.max_ns);
-                    let _ = writeln!(out, "{pname}_overflow {}", snap.overflow);
+                    let _ =
+                        writeln!(out, "{} {}", quantile_sample(&pbase, labels, "0.5"), snap.p50_ns);
+                    let _ = writeln!(
+                        out,
+                        "{} {}",
+                        quantile_sample(&pbase, labels, "0.95"),
+                        snap.p95_ns
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{} {}",
+                        quantile_sample(&pbase, labels, "0.99"),
+                        snap.p99_ns
+                    );
+                    let _ = writeln!(out, "{pbase}_sum{labels} {}", snap.sum_ns);
+                    let _ = writeln!(out, "{pbase}_count{labels} {}", snap.count);
+                    let _ = writeln!(out, "{pbase}_max{labels} {}", snap.max_ns);
+                    let _ = writeln!(out, "{pbase}_overflow{labels} {}", snap.overflow);
                 }
             }
         }
@@ -118,7 +208,7 @@ impl MetricsRegistry {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "\"{name}\":");
+            let _ = write!(out, "\"{}\":", json_escape_key(name));
             match metric {
                 Metric::Counter(c) => {
                     let _ = write!(out, "{}", c.value());
@@ -195,6 +285,52 @@ mod tests {
         } else {
             assert!(text.contains("lof_b_count 0"));
         }
+    }
+
+    #[test]
+    fn labeled_builds_and_escapes_prometheus_label_syntax() {
+        assert_eq!(
+            labeled("serve.events_in", "tenant", "alpha"),
+            "serve.events_in{tenant=\"alpha\"}"
+        );
+        assert_eq!(labeled("x", "t", "a\"b\\c\nd"), "x{t=\"a\\\"b\\\\c\\nd\"}");
+        // Labeled keys sort after their unlabeled base.
+        assert!("serve.events_in" < labeled("serve.events_in", "tenant", "a").as_str());
+    }
+
+    #[test]
+    fn prometheus_render_groups_label_families_under_one_type_line() {
+        let r = MetricsRegistry::new();
+        r.counter("serve.events_in").add(1);
+        r.counter(&labeled("serve.events_in", "tenant", "alpha")).add(2);
+        r.counter(&labeled("serve.events_in", "tenant", "beta")).add(3);
+        r.histogram(&labeled("serve.latency_ns", "tenant", "alpha")).record(64);
+        let text = r.render_prometheus();
+        assert_eq!(text.matches("# TYPE lof_serve_events_in counter").count(), 1);
+        assert_eq!(text.matches("# TYPE lof_serve_latency_ns summary").count(), 1);
+        assert!(text.contains("lof_serve_latency_ns{tenant=\"alpha\",quantile=\"0.5\"} "));
+        assert!(text.contains("lof_serve_latency_ns_count{tenant=\"alpha\"} "));
+        if crate::enabled() {
+            assert!(text.contains("lof_serve_events_in 1\n"));
+            assert!(text.contains("lof_serve_events_in{tenant=\"alpha\"} 2\n"));
+            assert!(text.contains("lof_serve_events_in{tenant=\"beta\"} 3\n"));
+        }
+        // The unlabeled sample must precede its labeled variants.
+        let bare =
+            text.find("lof_serve_events_in 0").or_else(|| text.find("lof_serve_events_in 1"));
+        let alpha = text.find("lof_serve_events_in{tenant=\"alpha\"}").unwrap();
+        assert!(bare.unwrap() < alpha);
+    }
+
+    #[test]
+    fn ndjson_escapes_labeled_keys() {
+        let r = MetricsRegistry::new();
+        r.counter(&labeled("serve.events_in", "tenant", "alpha")).add(5);
+        let line = r.render_ndjson();
+        assert!(line.contains("\"serve.events_in{tenant=\\\"alpha\\\"}\":"));
+        // Balanced quoting: the line must still be a single JSON object.
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod metrics;
 pub mod registry;
 pub mod span;
 
+pub use expose::labeled;
 pub use histogram::{Histogram, HistogramSnapshot, DEFAULT_BUCKETS, MAX_BUCKETS};
 pub use metrics::{Counter, Gauge};
 pub use registry::{Metric, MetricsRegistry};

@@ -1,0 +1,112 @@
+//! Per-tenant admission quotas.
+//!
+//! Three independent limits, all optional:
+//!
+//! * `max_events_per_sec` — a token bucket checked at admission on the
+//!   I/O thread (before the event is queued), so an abusive tenant is
+//!   shed **before** it consumes scoring capacity;
+//! * `max_points` — a ceiling on window occupancy, which bounds the
+//!   memory and per-event cascade cost of landmark tenants;
+//! * `max_conns` — a ceiling on concurrently attached connections,
+//!   checked at `TENANT ATTACH`.
+
+use std::time::Instant;
+
+/// The optional per-tenant limits (absent = unlimited).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Quotas {
+    /// Sustained event admission rate; bursts up to one second's worth.
+    pub max_events_per_sec: Option<u64>,
+    /// Maximum events the tenant's window may hold.
+    pub max_points: Option<usize>,
+    /// Maximum concurrently attached connections.
+    pub max_conns: Option<usize>,
+}
+
+/// A token bucket: capacity `rate` tokens (one second of burst, at least
+/// one), refilled continuously at `rate` tokens/second. Fractional refill
+/// is tracked in nanoseconds so slow trickles (1 event/sec) admit
+/// precisely.
+#[derive(Debug)]
+pub struct TokenBucket {
+    rate: u64,
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket admitting `rate` events/second sustained (`rate` is
+    /// clamped to at least 1 — a zero-rate tenant would be unreachable).
+    pub fn new(rate: u64) -> Self {
+        let rate = rate.max(1);
+        TokenBucket { rate, tokens: rate as f64, last_refill: Instant::now() }
+    }
+
+    /// Takes one token if available. Returns `false` (denied) when the
+    /// bucket is empty — the caller sheds the event in-band.
+    pub fn admit(&mut self) -> bool {
+        self.refill(Instant::now());
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn refill(&mut self, now: Instant) {
+        let elapsed = now.duration_since(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + elapsed * self.rate as f64).min(self.rate as f64);
+    }
+
+    /// The configured sustained rate (for error messages).
+    pub fn rate(&self) -> u64 {
+        self.rate
+    }
+
+    #[cfg(test)]
+    fn admit_at(&mut self, now: Instant) -> bool {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bucket_admits_burst_then_refills_at_rate() {
+        let mut bucket = TokenBucket::new(10);
+        let start = Instant::now();
+        // Full burst: 10 tokens available immediately.
+        for _ in 0..10 {
+            assert!(bucket.admit_at(start));
+        }
+        assert!(!bucket.admit_at(start), "bucket exhausted");
+        // 100 ms later exactly one token has refilled.
+        let later = start + Duration::from_millis(100);
+        assert!(bucket.admit_at(later));
+        assert!(!bucket.admit_at(later));
+        // A long idle period refills to capacity, not beyond.
+        let much_later = start + Duration::from_secs(60);
+        for _ in 0..10 {
+            assert!(bucket.admit_at(much_later));
+        }
+        assert!(!bucket.admit_at(much_later));
+    }
+
+    #[test]
+    fn zero_rate_is_clamped_to_one() {
+        let mut bucket = TokenBucket::new(0);
+        assert_eq!(bucket.rate(), 1);
+        assert!(bucket.admit());
+    }
+}

@@ -1,0 +1,1432 @@
+//! The multi-tenant event-loop server.
+//!
+//! One I/O thread owns a [`Poller`], the listener, and every connection;
+//! `N` worker threads own the tenant windows (each tenant lives on
+//! exactly one worker, assigned round-robin at creation). The I/O thread
+//! frames lines, answers control commands from its tenant directory, and
+//! routes scoring work to the owning worker over a bounded queue; workers
+//! push replies into a shared outbox and wake the poller.
+//!
+//! **Reply ordering.** Every reply-producing line gets a per-connection
+//! sequence number (`rseq`) at classification time. Replies — whether
+//! produced inline on the I/O thread (control commands) or by a worker
+//! (scores, metrics, top-n) — are buffered per connection and written
+//! strictly in `rseq` order, so a client always reads answers in the
+//! order it asked, even though control and scoring answers are produced
+//! on different threads.
+//!
+//! **Backpressure.** Worker queues are bounded. When a queue is full the
+//! event is *parked* (at most one per connection), the connection's read
+//! interest is dropped, and TCP backpressure propagates to that client
+//! alone; other tenants' connections keep flowing. Nothing is silently
+//! dropped — only the rate-limit quota sheds events, and those get an
+//! in-band error record.
+//!
+//! **Drain.** `DRAIN` (wire) or [`ServeHandle::drain`] stops accepting,
+//! stops reading, cancels parked work with in-band errors, lets every
+//! queued job finish, snapshots every tenant (when a snapshot directory
+//! is configured), acknowledges the drainer, flushes every connection,
+//! and exits. A server restarted with the same `--snapshot-dir` restores
+//! every tenant and resumes scoring bit-identically.
+
+use crate::quota::{Quotas, TokenBucket};
+use crate::sys::{Interest, PollEvent, Poller, Waker};
+use crate::tenant::{TenantShared, TenantSpec};
+use lof_core::Metric;
+use lof_obs::{labeled, Counter, Gauge, Histogram, MetricsRegistry};
+use lof_stream::wire::{
+    error_record, metrics_record, ok_record, parse_control, parse_event, parse_metrics_request,
+    parse_topn_request, snapshot_record, stream_record, tenants_record, topn_record,
+    ControlCommand, MetricsFormat, ParsedLine, TenantInfo,
+};
+use lof_stream::{EvictionPolicy, Line, LineBuffer, SlidingWindowLof, StreamStats, WindowSnapshot};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default bound of each worker's job queue.
+pub const DEFAULT_QUEUE: usize = 1024;
+
+/// Default cap on live tenants.
+pub const DEFAULT_MAX_TENANTS: usize = 64;
+
+/// A connection whose unsent reply bytes exceed this is a slow consumer
+/// and is disconnected rather than allowed to balloon server memory.
+const MAX_OUTBUF: usize = 8 << 20;
+
+/// The poller token of the listening socket; connections count up from 1.
+const LISTENER_TOKEN: u64 = 0;
+
+/// Pseudo connection for replies with no destination (programmatic drain).
+const NO_CONN: u64 = u64::MAX;
+
+/// The name of the tenant connections are attached to at accept.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Configuration of [`spawn`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (tenants are sharded across them); at least 1.
+    pub workers: usize,
+    /// Per-worker job queue bound (backpressure depth).
+    pub queue: usize,
+    /// Maximum accepted line length in bytes (0 = the
+    /// [`LineBuffer`] default).
+    pub max_line: usize,
+    /// Cap on concurrently live tenants.
+    pub max_tenants: usize,
+    /// Where snapshots are written (and restored from at startup).
+    /// `None` disables `SNAPSHOT`/drain persistence.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Window configuration and quotas of the auto-created `default`
+    /// tenant, and the base every `TENANT CREATE` starts from.
+    pub default_spec: TenantSpec,
+    /// Metric identity tag stamped into snapshots (e.g. `"euclidean"`).
+    pub metric_tag: String,
+}
+
+impl ServeConfig {
+    /// A config with library defaults: workers scaled to the machine
+    /// (capped at 4), queue [`DEFAULT_QUEUE`], no snapshot directory.
+    pub fn new(default_spec: TenantSpec, metric_tag: impl Into<String>) -> Self {
+        let workers =
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(4);
+        ServeConfig {
+            workers,
+            queue: DEFAULT_QUEUE,
+            max_line: 0,
+            max_tenants: DEFAULT_MAX_TENANTS,
+            snapshot_dir: None,
+            default_spec,
+            metric_tag: metric_tag.into(),
+        }
+    }
+}
+
+/// Why the server stopped abnormally.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The I/O thread failed with a system error.
+    Io(io::Error),
+    /// The I/O thread panicked (a bug; the payload is preserved).
+    IoPanicked(String),
+    /// A worker thread panicked (a bug; the payload is preserved).
+    WorkerPanicked(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve I/O failed: {e}"),
+            ServeError::IoPanicked(m) => write!(f, "serve I/O thread panicked: {m}"),
+            ServeError::WorkerPanicked(m) => write!(f, "serve worker panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Per-tenant lifetime stats returned by [`ServeHandle::wait`] /
+/// [`ServeHandle::drain`], sorted by tenant name. Dropped tenants are
+/// included with the stats they retired with.
+#[derive(Debug, Default)]
+pub struct ServeReport {
+    /// `(tenant, stats)` pairs, sorted by name.
+    pub tenants: Vec<(String, StreamStats)>,
+}
+
+impl ServeReport {
+    /// Total events across all tenants.
+    pub fn events(&self) -> u64 {
+        self.tenants.iter().map(|(_, s)| s.events).sum()
+    }
+
+    /// Total scored events across all tenants.
+    pub fn scored(&self) -> u64 {
+        self.tenants.iter().map(|(_, s)| s.scored).sum()
+    }
+
+    /// Total alerts across all tenants.
+    pub fn alerts(&self) -> u64 {
+        self.tenants.iter().map(|(_, s)| s.alerts).sum()
+    }
+
+    /// Total evictions across all tenants.
+    pub fn evictions(&self) -> u64 {
+        self.tenants.iter().map(|(_, s)| s.evictions).sum()
+    }
+}
+
+/// Handle to a running server. Dropping it does **not** stop the server;
+/// call [`drain`](Self::drain) (or send `DRAIN` over the wire and
+/// [`wait`](Self::wait)).
+#[derive(Debug)]
+pub struct ServeHandle {
+    addr: std::net::SocketAddr,
+    registry: Arc<MetricsRegistry>,
+    io: Option<JoinHandle<io::Result<()>>>,
+    workers: Vec<JoinHandle<Vec<(String, StreamStats)>>>,
+    drain_flag: Arc<AtomicBool>,
+    waker: Waker,
+}
+
+impl ServeHandle {
+    /// The bound address (resolves `:0` for tests).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics registry (shared across all tenants).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Blocks until the server drains (via a wire `DRAIN` command) and
+    /// returns the per-tenant report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] if the I/O thread failed or any thread panicked.
+    pub fn wait(mut self) -> Result<ServeReport, ServeError> {
+        self.join()
+    }
+
+    /// Requests a graceful drain (stop accepting, finish queued jobs,
+    /// snapshot, flush, exit) and blocks until it completes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] if the I/O thread failed or any thread panicked.
+    pub fn drain(mut self) -> Result<ServeReport, ServeError> {
+        self.drain_flag.store(true, Ordering::Relaxed);
+        self.waker.wake();
+        self.join()
+    }
+
+    fn join(&mut self) -> Result<ServeReport, ServeError> {
+        let io = self.io.take().expect("ServeHandle joined twice");
+        let io_result = io.join().map_err(|p| ServeError::IoPanicked(panic_message(p)))?;
+        let mut tenants = Vec::new();
+        for worker in self.workers.drain(..) {
+            let stats = worker.join().map_err(|p| ServeError::WorkerPanicked(panic_message(p)))?;
+            tenants.extend(stats);
+        }
+        io_result.map_err(ServeError::Io)?;
+        tenants.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(ServeReport { tenants })
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_owned()
+    }
+}
+
+/// The server-level counters (the `stream.*` family stays per-window and
+/// private; these are the serving tier's own, shared registry).
+#[derive(Debug)]
+struct ServeMetrics {
+    events_in: Arc<Counter>,
+    score_records: Arc<Counter>,
+    parse_errors: Arc<Counter>,
+    push_errors: Arc<Counter>,
+    error_records: Arc<Counter>,
+    quota_drops: Arc<Counter>,
+    oversized_lines: Arc<Counter>,
+    connections: Arc<Counter>,
+    open_connections: Arc<Gauge>,
+    metrics_requests: Arc<Counter>,
+    topn_requests: Arc<Counter>,
+    control_commands: Arc<Counter>,
+    snapshots: Arc<Counter>,
+    tenants: Arc<Gauge>,
+}
+
+impl ServeMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        ServeMetrics {
+            events_in: registry.counter("serve.events_in"),
+            score_records: registry.counter("serve.score_records"),
+            parse_errors: registry.counter("serve.parse_errors"),
+            push_errors: registry.counter("serve.push_errors"),
+            error_records: registry.counter("serve.error_records"),
+            quota_drops: registry.counter("serve.quota_drops"),
+            oversized_lines: registry.counter("serve.oversized_lines"),
+            connections: registry.counter("serve.connections"),
+            open_connections: registry.gauge("serve.open_connections"),
+            metrics_requests: registry.counter("serve.metrics_requests"),
+            topn_requests: registry.counter("serve.topn_requests"),
+            control_commands: registry.counter("serve.control_commands"),
+            snapshots: registry.counter("serve.snapshots"),
+            tenants: registry.gauge("serve.tenants"),
+        }
+    }
+}
+
+/// Work shipped from the I/O thread to a worker. Tenant windows travel
+/// boxed: the enum is queue currency and should stay small.
+enum Job<M: Metric> {
+    AddTenant {
+        name: String,
+        window: Box<SlidingWindowLof<M>>,
+        shared: Arc<TenantShared>,
+        quotas: Quotas,
+    },
+    RemoveTenant {
+        name: String,
+    },
+    Event {
+        tenant: String,
+        point: Vec<f64>,
+        conn: u64,
+        rseq: u64,
+    },
+    Metrics {
+        format: MetricsFormat,
+        conn: u64,
+        rseq: u64,
+    },
+    TopN {
+        tenant: String,
+        n: usize,
+        conn: u64,
+        rseq: u64,
+    },
+    SnapshotOne {
+        tenant: String,
+        conn: u64,
+        rseq: u64,
+    },
+    SnapshotMany {
+        tenants: Vec<String>,
+        agg: Arc<SnapshotAgg>,
+    },
+    Drain,
+}
+
+impl<M: Metric> Job<M> {
+    /// The `(conn, rseq)` a cancelled job owes a reply to, if any.
+    fn reply_target(&self) -> Option<(u64, u64)> {
+        match self {
+            Job::Event { conn, rseq, .. }
+            | Job::Metrics { conn, rseq, .. }
+            | Job::TopN { conn, rseq, .. }
+            | Job::SnapshotOne { conn, rseq, .. } => Some((*conn, *rseq)),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregation cell for a fanned-out `SNAPSHOT` (all tenants): the last
+/// worker to finish composes the single reply.
+struct SnapshotAgg {
+    remaining: AtomicUsize,
+    names: Mutex<Vec<String>>,
+    errors: Mutex<Vec<String>>,
+    conn: u64,
+    rseq: u64,
+}
+
+/// Worker → I/O thread notifications.
+enum Note {
+    Reply { conn: u64, rseq: u64, text: String },
+    WorkerDone,
+}
+
+/// The shared outbox: workers push, the I/O thread drains on wake.
+struct Outbox {
+    notes: Mutex<VecDeque<Note>>,
+    waker: Waker,
+}
+
+impl Outbox {
+    fn reply(&self, conn: u64, rseq: u64, text: String) {
+        if conn == NO_CONN {
+            return;
+        }
+        self.notes.lock().unwrap().push_back(Note::Reply { conn, rseq, text });
+        self.waker.wake();
+    }
+
+    fn worker_done(&self) {
+        self.notes.lock().unwrap().push_back(Note::WorkerDone);
+        self.waker.wake();
+    }
+}
+
+/// One connection's I/O-thread state.
+struct Conn<M: Metric> {
+    stream: TcpStream,
+    lines: LineBuffer,
+    /// The attached tenant (None after an attach failure at accept).
+    tenant: Option<String>,
+    /// Next reply sequence number to assign.
+    next_rseq: u64,
+    /// Next reply sequence number to write out.
+    next_flush: u64,
+    /// Out-of-order replies waiting for their turn.
+    pending: BTreeMap<u64, String>,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// An admitted event whose worker queue was full; read interest is
+    /// dropped until it submits (per-connection backpressure).
+    parked: Option<(usize, Job<M>)>,
+    interest: Interest,
+    peer_closed: bool,
+    kill: bool,
+}
+
+impl<M: Metric> Conn<M> {
+    fn new(stream: TcpStream, tenant: Option<String>, max_line: usize) -> Self {
+        Conn {
+            stream,
+            lines: LineBuffer::new(max_line),
+            tenant,
+            next_rseq: 0,
+            next_flush: 0,
+            pending: BTreeMap::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            parked: None,
+            interest: Interest::NONE,
+            peer_closed: false,
+            kill: false,
+        }
+    }
+
+    fn take_rseq(&mut self) -> u64 {
+        let rseq = self.next_rseq;
+        self.next_rseq += 1;
+        rseq
+    }
+
+    /// All assigned replies flushed, nothing parked, nothing buffered.
+    fn quiescent(&self) -> bool {
+        self.next_flush == self.next_rseq
+            && self.outpos >= self.outbuf.len()
+            && self.parked.is_none()
+    }
+}
+
+/// Queues a reply and promotes every in-order reply into the write
+/// buffer. A free function (not a method on the server) so call sites
+/// that hold the connection outside the map can also use it.
+fn queue_reply<M: Metric>(conn: &mut Conn<M>, rseq: u64, text: String) {
+    conn.pending.insert(rseq, text);
+    while let Some(ready) = conn.pending.remove(&conn.next_flush) {
+        conn.outbuf.extend_from_slice(ready.as_bytes());
+        conn.outbuf.push(b'\n');
+        conn.next_flush += 1;
+    }
+}
+
+/// Writes as much of the buffer as the socket takes without blocking.
+fn flush_conn<M: Metric>(conn: &mut Conn<M>) {
+    while conn.outpos < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+            Ok(0) => {
+                conn.kill = true;
+                return;
+            }
+            Ok(n) => conn.outpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.kill = true;
+                return;
+            }
+        }
+    }
+    conn.outbuf.clear();
+    conn.outpos = 0;
+}
+
+/// One tenant's directory entry (I/O thread private — no locks).
+struct Tenant {
+    worker: usize,
+    shared: Arc<TenantShared>,
+    quotas: Quotas,
+    bucket: Option<TokenBucket>,
+    connections: usize,
+    events_in: Arc<Counter>,
+    quota_drops: Arc<Counter>,
+}
+
+/// The I/O thread's whole world.
+struct Io<M: Metric + Clone> {
+    poller: Poller,
+    listener: TcpListener,
+    conns: HashMap<u64, Conn<M>>,
+    dir: HashMap<String, Tenant>,
+    workers: Vec<SyncSender<Job<M>>>,
+    next_worker: usize,
+    next_token: u64,
+    metrics: Arc<ServeMetrics>,
+    registry: Arc<MetricsRegistry>,
+    metric: M,
+    config: ServeConfig,
+    draining: bool,
+    drain_reply: Option<(u64, u64)>,
+    workers_done: usize,
+    outbox: Arc<Outbox>,
+    drain_flag: Arc<AtomicBool>,
+}
+
+impl<M: Metric + Clone> Io<M> {
+    fn run(mut self) -> io::Result<()> {
+        let mut events: Vec<PollEvent> = Vec::new();
+        loop {
+            let timeout = if self.conns.values().any(|c| c.parked.is_some()) { 2 } else { -1 };
+            self.poller.wait(&mut events, timeout)?;
+            if self.drain_flag.load(Ordering::Relaxed) && !self.draining {
+                self.start_drain(NO_CONN, 0);
+            }
+            self.drain_outbox();
+            for &ev in &events {
+                if ev.token == LISTENER_TOKEN {
+                    if !self.draining {
+                        self.accept_ready();
+                    }
+                    continue;
+                }
+                if ev.readable {
+                    self.handle_readable(ev.token);
+                }
+                if ev.hangup {
+                    if let Some(conn) = self.conns.get_mut(&ev.token) {
+                        conn.peer_closed = true;
+                    }
+                }
+            }
+            self.retry_parked();
+            self.sweep();
+            if self.draining && self.workers_done == self.workers.len() {
+                return self.finish_drain();
+            }
+        }
+    }
+
+    // ---- tenant lifecycle -------------------------------------------
+
+    /// Restores tenants from the snapshot directory and guarantees the
+    /// `default` tenant exists. Runs before the I/O thread starts;
+    /// workers are already consuming, so blocking sends are safe.
+    fn bootstrap_tenants(&mut self) -> io::Result<()> {
+        let mut restored: Vec<(String, WindowSnapshot)> = Vec::new();
+        if let Some(dir) = self.config.snapshot_dir.clone() {
+            if dir.is_dir() {
+                restored = read_snapshot_dir(&dir)?;
+            } else {
+                std::fs::create_dir_all(&dir)?;
+            }
+        }
+        for (name, snap) in restored {
+            let window =
+                SlidingWindowLof::restore(&snap, self.metric.clone(), &self.config.metric_tag)
+                    .map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("cannot restore tenant '{name}': {e}"),
+                        )
+                    })?;
+            let quotas = TenantSpec::quotas_from_snapshot(&snap);
+            self.add_tenant(name, window, quotas);
+        }
+        if !self.dir.contains_key(DEFAULT_TENANT) {
+            let spec = self.config.default_spec.clone();
+            let window = SlidingWindowLof::new(spec.config, self.metric.clone()).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("invalid default window configuration: {e}"),
+                )
+            })?;
+            self.add_tenant(DEFAULT_TENANT.to_owned(), window, spec.quotas);
+        }
+        Ok(())
+    }
+
+    /// Registers a tenant in the directory and ships its window to the
+    /// next worker (round-robin).
+    fn add_tenant(&mut self, name: String, window: SlidingWindowLof<M>, quotas: Quotas) {
+        let worker = self.next_worker % self.workers.len();
+        self.next_worker += 1;
+        let shared = Arc::new(TenantShared::default());
+        shared.publish(window.len(), window.stats().events, window.is_warming_up());
+        let entry = Tenant {
+            worker,
+            shared: Arc::clone(&shared),
+            quotas,
+            bucket: quotas.max_events_per_sec.map(TokenBucket::new),
+            connections: 0,
+            events_in: self.registry.counter(&labeled("serve.events_in", "tenant", &name)),
+            quota_drops: self.registry.counter(&labeled("serve.quota_drops", "tenant", &name)),
+        };
+        self.dir.insert(name.clone(), entry);
+        self.metrics.tenants.set(self.dir.len() as f64);
+        let _ = self.workers[worker].send(Job::AddTenant {
+            name,
+            window: Box::new(window),
+            shared,
+            quotas,
+        });
+    }
+
+    // ---- connection lifecycle ---------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.admit_conn(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn admit_conn(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let token = self.next_token;
+        self.next_token += 1;
+        // Auto-attach to the default tenant (old single-window protocol:
+        // clients that only ever send events just work).
+        let tenant = match self.dir.get_mut(DEFAULT_TENANT) {
+            Some(t) if t.quotas.max_conns.is_none_or(|m| t.connections < m) => {
+                t.connections += 1;
+                Some(DEFAULT_TENANT.to_owned())
+            }
+            _ => None,
+        };
+        let mut conn = Conn::new(stream, tenant.clone(), self.config.max_line);
+        if tenant.is_none() {
+            let rseq = conn.take_rseq();
+            self.metrics.error_records.inc();
+            queue_reply(
+                &mut conn,
+                rseq,
+                error_record(
+                    "tenant 'default' connection limit reached; TENANT ATTACH another tenant",
+                ),
+            );
+        }
+        if self.poller.add(&conn.stream, token, Interest::READ).is_err() {
+            self.detach(&conn);
+            return;
+        }
+        conn.interest = Interest::READ;
+        self.metrics.connections.inc();
+        self.conns.insert(token, conn);
+        self.metrics.open_connections.set(self.conns.len() as f64);
+    }
+
+    /// Releases a connection's tenant attachment count.
+    fn detach(&mut self, conn: &Conn<M>) {
+        if let Some(name) = &conn.tenant {
+            if let Some(t) = self.dir.get_mut(name) {
+                t.connections = t.connections.saturating_sub(1);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.remove(&conn.stream);
+            self.detach(&conn);
+        }
+        self.metrics.open_connections.set(self.conns.len() as f64);
+    }
+
+    // ---- the read path ----------------------------------------------
+
+    fn handle_readable(&mut self, token: u64) {
+        let Some(mut conn) = self.conns.remove(&token) else { return };
+        if !self.draining {
+            let mut chunk = [0u8; 8192];
+            // Bound the work per wakeup so one firehose connection cannot
+            // starve the rest; level-triggered polling re-reports the rest.
+            let mut budget = 32;
+            while budget > 0 && conn.parked.is_none() && !conn.kill && !conn.peer_closed {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => conn.peer_closed = true,
+                    Ok(n) => {
+                        conn.lines.push(&chunk[..n]);
+                        self.process_lines(token, &mut conn);
+                        budget -= 1;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => conn.kill = true,
+                }
+            }
+        }
+        self.conns.insert(token, conn);
+    }
+
+    fn process_lines(&mut self, token: u64, conn: &mut Conn<M>) {
+        while conn.parked.is_none() && !conn.kill {
+            match conn.lines.next_line() {
+                None => break,
+                Some(Line::Oversized { limit }) => {
+                    self.metrics.oversized_lines.inc();
+                    self.metrics.parse_errors.inc();
+                    self.metrics.error_records.inc();
+                    let rseq = conn.take_rseq();
+                    queue_reply(
+                        conn,
+                        rseq,
+                        error_record(&format!("line exceeds the {limit}-byte limit")),
+                    );
+                }
+                Some(Line::Complete(line)) => self.handle_line(token, conn, &line),
+            }
+        }
+    }
+
+    fn handle_line(&mut self, token: u64, conn: &mut Conn<M>, line: &str) {
+        if let Some(format) = parse_metrics_request(line) {
+            let rseq = conn.take_rseq();
+            self.route_metrics(token, conn, rseq, format);
+            return;
+        }
+        if let Some(count) = parse_topn_request(line) {
+            let rseq = conn.take_rseq();
+            match count {
+                Some(n) => self.route_topn(token, conn, rseq, n),
+                None => {
+                    self.metrics.parse_errors.inc();
+                    self.metrics.error_records.inc();
+                    queue_reply(conn, rseq, error_record("topn request needs a count: /topn N"));
+                }
+            }
+            return;
+        }
+        if let Some(result) = parse_control(line) {
+            self.metrics.control_commands.inc();
+            let rseq = conn.take_rseq();
+            match result {
+                Ok(command) => self.execute_control(token, conn, rseq, command),
+                Err(message) => {
+                    self.metrics.parse_errors.inc();
+                    self.metrics.error_records.inc();
+                    queue_reply(conn, rseq, error_record(&message));
+                }
+            }
+            return;
+        }
+        match parse_event(line) {
+            Ok(ParsedLine::Empty) => {}
+            Ok(ParsedLine::Point(point)) => self.admit_event(token, conn, point),
+            Err(message) => {
+                self.metrics.parse_errors.inc();
+                self.metrics.error_records.inc();
+                let rseq = conn.take_rseq();
+                queue_reply(conn, rseq, error_record(&message));
+            }
+        }
+    }
+
+    /// Admission control for one event: tenant attached → rate quota →
+    /// queue to the owning worker (or park on a full queue).
+    fn admit_event(&mut self, token: u64, conn: &mut Conn<M>, point: Vec<f64>) {
+        let rseq = conn.take_rseq();
+        if self.draining {
+            self.metrics.error_records.inc();
+            queue_reply(conn, rseq, error_record("server is draining"));
+            return;
+        }
+        let Some(name) = conn.tenant.clone() else {
+            self.metrics.error_records.inc();
+            queue_reply(conn, rseq, error_record("no tenant attached (use TENANT ATTACH <name>)"));
+            return;
+        };
+        let Some(tenant) = self.dir.get_mut(&name) else {
+            self.metrics.error_records.inc();
+            queue_reply(conn, rseq, error_record(&format!("tenant '{name}' no longer exists")));
+            return;
+        };
+        if let Some(bucket) = &mut tenant.bucket {
+            if !bucket.admit() {
+                self.metrics.quota_drops.inc();
+                self.metrics.error_records.inc();
+                tenant.quota_drops.inc();
+                queue_reply(
+                    conn,
+                    rseq,
+                    error_record(&format!(
+                        "tenant '{name}' rate limit exceeded ({} events/sec)",
+                        bucket.rate()
+                    )),
+                );
+                return;
+            }
+        }
+        self.metrics.events_in.inc();
+        tenant.events_in.inc();
+        let worker = tenant.worker;
+        let job = Job::Event { tenant: name, point, conn: token, rseq };
+        self.submit(conn, worker, job);
+    }
+
+    /// Queues a job to a worker; a full queue parks it on the connection.
+    fn submit(&mut self, conn: &mut Conn<M>, worker: usize, job: Job<M>) {
+        match self.workers[worker].try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(job)) => conn.parked = Some((worker, job)),
+            Err(TrySendError::Disconnected(job)) => {
+                // A dead worker without a drain is a bug upstream; fail
+                // the request loudly instead of hanging the client.
+                if let Some((_, rseq)) = job.reply_target() {
+                    self.metrics.error_records.inc();
+                    queue_reply(conn, rseq, error_record("worker unavailable"));
+                }
+            }
+        }
+    }
+
+    fn retry_parked(&mut self) {
+        let parked: Vec<u64> =
+            self.conns.iter().filter(|(_, c)| c.parked.is_some()).map(|(&t, _)| t).collect();
+        for token in parked {
+            let Some(mut conn) = self.conns.remove(&token) else { continue };
+            if let Some((worker, job)) = conn.parked.take() {
+                match self.workers[worker].try_send(job) {
+                    Ok(()) => self.process_lines(token, &mut conn),
+                    Err(TrySendError::Full(job)) => conn.parked = Some((worker, job)),
+                    Err(TrySendError::Disconnected(job)) => {
+                        if let Some((_, rseq)) = job.reply_target() {
+                            self.metrics.error_records.inc();
+                            queue_reply(&mut conn, rseq, error_record("worker unavailable"));
+                        }
+                    }
+                }
+            }
+            self.conns.insert(token, conn);
+        }
+    }
+
+    // ---- in-band requests -------------------------------------------
+
+    fn route_metrics(&mut self, token: u64, conn: &mut Conn<M>, rseq: u64, format: MetricsFormat) {
+        // Route through the tenant's worker for per-connection causality
+        // (a metrics request after N events sees all N applied). During a
+        // drain (or with no tenant) answer inline from the registry.
+        match conn.tenant.as_ref().and_then(|n| self.dir.get(n)) {
+            Some(tenant) if !self.draining => {
+                let worker = tenant.worker;
+                self.submit(conn, worker, Job::Metrics { format, conn: token, rseq });
+            }
+            _ => {
+                self.metrics.metrics_requests.inc();
+                queue_reply(conn, rseq, render_metrics(&self.registry, format));
+            }
+        }
+    }
+
+    fn route_topn(&mut self, token: u64, conn: &mut Conn<M>, rseq: u64, n: usize) {
+        if self.draining {
+            self.metrics.error_records.inc();
+            queue_reply(conn, rseq, error_record("server is draining"));
+            return;
+        }
+        let Some(name) = conn.tenant.clone() else {
+            self.metrics.error_records.inc();
+            queue_reply(conn, rseq, error_record("no tenant attached (use TENANT ATTACH <name>)"));
+            return;
+        };
+        let Some(tenant) = self.dir.get(&name) else {
+            self.metrics.error_records.inc();
+            queue_reply(conn, rseq, error_record(&format!("tenant '{name}' no longer exists")));
+            return;
+        };
+        let worker = tenant.worker;
+        self.submit(conn, worker, Job::TopN { tenant: name, n, conn: token, rseq });
+    }
+
+    // ---- control commands -------------------------------------------
+
+    fn execute_control(&mut self, token: u64, conn: &mut Conn<M>, rseq: u64, cmd: ControlCommand) {
+        if self.draining && !matches!(cmd, ControlCommand::TenantList) {
+            self.metrics.error_records.inc();
+            queue_reply(conn, rseq, error_record("server is draining"));
+            return;
+        }
+        match cmd {
+            ControlCommand::TenantCreate { name, params } => {
+                self.tenant_create(conn, rseq, name, &params);
+            }
+            ControlCommand::TenantAttach { name } => self.tenant_attach(conn, rseq, name),
+            ControlCommand::TenantList => self.tenant_list(conn, rseq),
+            ControlCommand::TenantDrop { name } => self.tenant_drop(conn, rseq, &name),
+            ControlCommand::Snapshot { name } => self.snapshot(token, conn, rseq, name),
+            ControlCommand::Drain => self.start_drain(token, rseq),
+        }
+    }
+
+    fn reply_error(&self, conn: &mut Conn<M>, rseq: u64, message: &str) {
+        self.metrics.error_records.inc();
+        queue_reply(conn, rseq, error_record(message));
+    }
+
+    fn tenant_create(
+        &mut self,
+        conn: &mut Conn<M>,
+        rseq: u64,
+        name: String,
+        params: &[(String, String)],
+    ) {
+        if self.dir.contains_key(&name) {
+            return self.reply_error(conn, rseq, &format!("tenant '{name}' already exists"));
+        }
+        if self.dir.len() >= self.config.max_tenants {
+            return self.reply_error(
+                conn,
+                rseq,
+                &format!("tenant limit reached ({} live tenants)", self.dir.len()),
+            );
+        }
+        let spec = match TenantSpec::from_params(
+            &self.config.default_spec.config,
+            self.config.default_spec.quotas,
+            params,
+        ) {
+            Ok(spec) => spec,
+            Err(message) => return self.reply_error(conn, rseq, &message),
+        };
+        let window = match SlidingWindowLof::new(spec.config, self.metric.clone()) {
+            Ok(window) => window,
+            Err(e) => return self.reply_error(conn, rseq, &e.to_string()),
+        };
+        self.add_tenant(name.clone(), window, spec.quotas);
+        queue_reply(conn, rseq, ok_record("tenant.create", Some(&name)));
+    }
+
+    fn tenant_attach(&mut self, conn: &mut Conn<M>, rseq: u64, name: String) {
+        let Some(tenant) = self.dir.get_mut(&name) else {
+            return self.reply_error(conn, rseq, &format!("unknown tenant '{name}'"));
+        };
+        if conn.tenant.as_deref() != Some(name.as_str()) {
+            if tenant.quotas.max_conns.is_some_and(|m| tenant.connections >= m) {
+                let max = tenant.quotas.max_conns.unwrap_or(0);
+                return self.reply_error(
+                    conn,
+                    rseq,
+                    &format!("tenant '{name}' connection limit ({max}) reached"),
+                );
+            }
+            tenant.connections += 1;
+            if let Some(old) = conn.tenant.replace(name.clone()) {
+                if let Some(t) = self.dir.get_mut(&old) {
+                    t.connections = t.connections.saturating_sub(1);
+                }
+            }
+        }
+        queue_reply(conn, rseq, ok_record("tenant.attach", Some(&name)));
+    }
+
+    fn tenant_list(&mut self, conn: &mut Conn<M>, rseq: u64) {
+        let mut rows: Vec<TenantInfo> = self
+            .dir
+            .iter()
+            .map(|(name, t)| TenantInfo {
+                name: name.clone(),
+                window_len: t.shared.window_len.load(Ordering::Relaxed) as usize,
+                connections: t.connections,
+                events: t.shared.events.load(Ordering::Relaxed),
+                warming: t.shared.warming.load(Ordering::Relaxed),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        queue_reply(conn, rseq, tenants_record(&rows));
+    }
+
+    fn tenant_drop(&mut self, conn: &mut Conn<M>, rseq: u64, name: &str) {
+        if name == DEFAULT_TENANT {
+            return self.reply_error(conn, rseq, "the default tenant cannot be dropped");
+        }
+        let Some(tenant) = self.dir.get(name) else {
+            return self.reply_error(conn, rseq, &format!("unknown tenant '{name}'"));
+        };
+        if tenant.connections > 0 {
+            let n = tenant.connections;
+            return self.reply_error(
+                conn,
+                rseq,
+                &format!("tenant '{name}' has {n} attached connection(s)"),
+            );
+        }
+        let worker = tenant.worker;
+        self.dir.remove(name);
+        self.metrics.tenants.set(self.dir.len() as f64);
+        let _ = self.workers[worker].send(Job::RemoveTenant { name: name.to_owned() });
+        queue_reply(conn, rseq, ok_record("tenant.drop", Some(name)));
+    }
+
+    fn snapshot(&mut self, token: u64, conn: &mut Conn<M>, rseq: u64, name: Option<String>) {
+        if self.config.snapshot_dir.is_none() {
+            return self.reply_error(
+                conn,
+                rseq,
+                "no snapshot directory configured (--snapshot-dir)",
+            );
+        }
+        match name {
+            Some(name) => {
+                let Some(tenant) = self.dir.get(&name) else {
+                    return self.reply_error(conn, rseq, &format!("unknown tenant '{name}'"));
+                };
+                let worker = tenant.worker;
+                self.submit(conn, worker, Job::SnapshotOne { tenant: name, conn: token, rseq });
+            }
+            None => {
+                let mut by_worker: HashMap<usize, Vec<String>> = HashMap::new();
+                for (name, t) in &self.dir {
+                    by_worker.entry(t.worker).or_default().push(name.clone());
+                }
+                if by_worker.is_empty() {
+                    queue_reply(conn, rseq, snapshot_record(&[]));
+                    return;
+                }
+                let agg = Arc::new(SnapshotAgg {
+                    remaining: AtomicUsize::new(by_worker.len()),
+                    names: Mutex::new(Vec::new()),
+                    errors: Mutex::new(Vec::new()),
+                    conn: token,
+                    rseq,
+                });
+                for (worker, tenants) in by_worker {
+                    let _ = self.workers[worker]
+                        .send(Job::SnapshotMany { tenants, agg: Arc::clone(&agg) });
+                }
+            }
+        }
+    }
+
+    // ---- drain ------------------------------------------------------
+
+    /// Begins a drain. The ack (`{"type":"ok","op":"drain"}`) is emitted
+    /// to `(conn, rseq)` only after every worker has flushed its queue,
+    /// snapshotted, and exited — it is the client's "safe to restart"
+    /// signal. `NO_CONN` (programmatic drain) suppresses the ack.
+    fn start_drain(&mut self, conn: u64, rseq: u64) {
+        if self.draining {
+            return;
+        }
+        self.drain_reply = Some((conn, rseq)).filter(|(c, _)| *c != NO_CONN);
+        self.begin_drain();
+    }
+
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        let _ = self.poller.remove(&self.listener);
+        // Cancel parked (never-admitted) work with in-band errors so no
+        // connection is left waiting on a reply that cannot come.
+        for conn in self.conns.values_mut() {
+            if let Some((_, job)) = conn.parked.take() {
+                if let Some((_, rseq)) = job.reply_target() {
+                    self.metrics.error_records.inc();
+                    queue_reply(conn, rseq, error_record("server is draining"));
+                }
+            }
+        }
+        // Everything already queued ahead of Drain is processed first
+        // (FIFO per worker): queued jobs flush, then snapshot, then ack.
+        for tx in &self.workers {
+            let _ = tx.send(Job::Drain);
+        }
+    }
+
+    fn finish_drain(&mut self) -> io::Result<()> {
+        if let Some((token, rseq)) = self.drain_reply.take() {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                queue_reply(conn, rseq, ok_record("drain", None));
+            }
+        }
+        // Bounded graceful flush of every connection's remaining bytes.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut events = Vec::new();
+        loop {
+            self.sweep();
+            let unflushed = self.conns.values().any(|c| c.outpos < c.outbuf.len() && !c.kill);
+            if !unflushed || Instant::now() >= deadline {
+                return Ok(());
+            }
+            self.poller.wait(&mut events, 50)?;
+        }
+    }
+
+    // ---- outbox and write-side sweep --------------------------------
+
+    fn drain_outbox(&mut self) {
+        loop {
+            let note = self.outbox.notes.lock().unwrap().pop_front();
+            let Some(note) = note else { return };
+            match note {
+                Note::Reply { conn, rseq, text } => {
+                    if let Some(c) = self.conns.get_mut(&conn) {
+                        queue_reply(c, rseq, text);
+                    }
+                }
+                Note::WorkerDone => self.workers_done += 1,
+            }
+        }
+    }
+
+    /// Flushes write buffers, updates poll interest, closes finished or
+    /// killed connections. Runs once per loop iteration.
+    fn sweep(&mut self) {
+        let mut dead: Vec<u64> = Vec::new();
+        for (&token, conn) in &mut self.conns {
+            flush_conn(conn);
+            if conn.outbuf.len() - conn.outpos > MAX_OUTBUF {
+                conn.kill = true; // slow consumer
+            }
+            if conn.kill || (conn.peer_closed && conn.quiescent()) {
+                dead.push(token);
+                continue;
+            }
+            let desired = Interest {
+                readable: !self.draining && conn.parked.is_none() && !conn.peer_closed,
+                writable: conn.outpos < conn.outbuf.len(),
+            };
+            if desired != conn.interest {
+                if self.poller.modify(&conn.stream, token, desired).is_ok() {
+                    conn.interest = desired;
+                } else {
+                    dead.push(token);
+                }
+            }
+        }
+        for token in dead {
+            self.close_conn(token);
+        }
+    }
+}
+
+fn render_metrics(registry: &MetricsRegistry, format: MetricsFormat) -> String {
+    match format {
+        MetricsFormat::Text => registry.render_prometheus(),
+        MetricsFormat::Json => metrics_record(registry),
+    }
+}
+
+/// Reads every `*.lofw` file in `dir`, returning `(tenant name, snapshot)`
+/// pairs. The tenant name comes from the snapshot's `tenant` extra (file
+/// stem as fallback).
+fn read_snapshot_dir(dir: &Path) -> io::Result<Vec<(String, WindowSnapshot)>> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("lofw") {
+            continue;
+        }
+        let snap = WindowSnapshot::read_from_file(&path)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        let name = snap
+            .extra("tenant")
+            .map(str::to_owned)
+            .or_else(|| path.file_stem().and_then(|s| s.to_str()).map(str::to_owned))
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: snapshot has no tenant name", path.display()),
+                )
+            })?;
+        found.push((name, snap));
+    }
+    // Deterministic startup order (and deterministic worker assignment).
+    found.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(found)
+}
+
+// ---- workers --------------------------------------------------------
+
+/// One tenant's worker-side state: the window itself plus resolved
+/// per-tenant metric handles (labels rendered once at creation).
+struct WorkerTenant<M: Metric> {
+    window: SlidingWindowLof<M>,
+    shared: Arc<TenantShared>,
+    quotas: Quotas,
+    score_records: Arc<Counter>,
+    occupancy: Arc<Gauge>,
+    latency: Arc<Histogram>,
+}
+
+struct WorkerCtx {
+    outbox: Arc<Outbox>,
+    registry: Arc<MetricsRegistry>,
+    metrics: Arc<ServeMetrics>,
+    snapshot_dir: Option<PathBuf>,
+    metric_tag: String,
+}
+
+fn worker_loop<M: Metric>(rx: &Receiver<Job<M>>, ctx: &WorkerCtx) -> Vec<(String, StreamStats)> {
+    let mut tenants: HashMap<String, WorkerTenant<M>> = HashMap::new();
+    let mut retired: Vec<(String, StreamStats)> = Vec::new();
+    for job in rx.iter() {
+        match job {
+            Job::AddTenant { name, window, shared, quotas } => {
+                let tenant = WorkerTenant {
+                    window: *window,
+                    shared,
+                    quotas,
+                    score_records: ctx.registry.counter(&labeled(
+                        "serve.score_records",
+                        "tenant",
+                        &name,
+                    )),
+                    occupancy: ctx.registry.gauge(&labeled(
+                        "serve.window_occupancy",
+                        "tenant",
+                        &name,
+                    )),
+                    latency: ctx.registry.histogram(&labeled("serve.latency_ns", "tenant", &name)),
+                };
+                tenant.occupancy.set(tenant.window.len() as f64);
+                tenants.insert(name, tenant);
+            }
+            Job::RemoveTenant { name } => {
+                if let Some(t) = tenants.remove(&name) {
+                    retired.push((name, t.window.stats().clone()));
+                }
+            }
+            Job::Event { tenant, point, conn, rseq } => {
+                let text = score_event(&mut tenants, &tenant, &point, ctx);
+                ctx.outbox.reply(conn, rseq, text);
+            }
+            Job::Metrics { format, conn, rseq } => {
+                ctx.metrics.metrics_requests.inc();
+                ctx.outbox.reply(conn, rseq, render_metrics(&ctx.registry, format));
+            }
+            Job::TopN { tenant, n, conn, rseq } => {
+                ctx.metrics.topn_requests.inc();
+                let text = match tenants.get(&tenant) {
+                    Some(t) => topn_record(n, &t.window.top_n(n), t.window.is_warming_up()),
+                    None => {
+                        ctx.metrics.error_records.inc();
+                        error_record(&format!("tenant '{tenant}' no longer exists"))
+                    }
+                };
+                ctx.outbox.reply(conn, rseq, text);
+            }
+            Job::SnapshotOne { tenant, conn, rseq } => {
+                let text = match tenants.get(&tenant) {
+                    Some(t) => match snapshot_tenant(&tenant, t, ctx) {
+                        Ok(()) => {
+                            ctx.metrics.snapshots.inc();
+                            snapshot_record(std::slice::from_ref(&tenant))
+                        }
+                        Err(e) => {
+                            ctx.metrics.error_records.inc();
+                            error_record(&format!("snapshot of '{tenant}' failed: {e}"))
+                        }
+                    },
+                    None => {
+                        ctx.metrics.error_records.inc();
+                        error_record(&format!("tenant '{tenant}' no longer exists"))
+                    }
+                };
+                ctx.outbox.reply(conn, rseq, text);
+            }
+            Job::SnapshotMany { tenants: names, agg } => {
+                for name in names {
+                    if let Some(t) = tenants.get(&name) {
+                        match snapshot_tenant(&name, t, ctx) {
+                            Ok(()) => {
+                                ctx.metrics.snapshots.inc();
+                                agg.names.lock().unwrap().push(name);
+                            }
+                            Err(e) => agg
+                                .errors
+                                .lock()
+                                .unwrap()
+                                .push(format!("snapshot of '{name}' failed: {e}")),
+                        }
+                    }
+                }
+                if agg.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let errors = agg.errors.lock().unwrap();
+                    let text = if errors.is_empty() {
+                        let mut names = agg.names.lock().unwrap();
+                        names.sort();
+                        snapshot_record(&names)
+                    } else {
+                        ctx.metrics.error_records.inc();
+                        error_record(&errors.join("; "))
+                    };
+                    ctx.outbox.reply(agg.conn, agg.rseq, text);
+                }
+            }
+            Job::Drain => {
+                for (name, t) in &tenants {
+                    if let Err(e) = snapshot_tenant(name, t, ctx) {
+                        if ctx.snapshot_dir.is_some() {
+                            eprintln!("drain: snapshot of '{name}' failed: {e}");
+                        }
+                    } else {
+                        ctx.metrics.snapshots.inc();
+                    }
+                }
+                ctx.outbox.worker_done();
+                break;
+            }
+        }
+    }
+    for (name, t) in tenants {
+        retired.push((name, t.window.stats().clone()));
+    }
+    retired
+}
+
+/// Scores one event against its tenant's window, enforcing the
+/// `max_points` quota for landmark tenants (sliding tenants enforce it
+/// structurally: capacity ≤ max_points is validated at creation).
+fn score_event<M: Metric>(
+    tenants: &mut HashMap<String, WorkerTenant<M>>,
+    name: &str,
+    point: &[f64],
+    ctx: &WorkerCtx,
+) -> String {
+    let Some(t) = tenants.get_mut(name) else {
+        ctx.metrics.error_records.inc();
+        return error_record(&format!("tenant '{name}' no longer exists"));
+    };
+    if t.window.config().policy == EvictionPolicy::Landmark {
+        if let Some(max_points) = t.quotas.max_points {
+            if t.window.len() >= max_points {
+                ctx.metrics.push_errors.inc();
+                ctx.metrics.error_records.inc();
+                return error_record(&format!(
+                    "tenant '{name}' max_points quota ({max_points}) reached"
+                ));
+            }
+        }
+    }
+    let text = match t.window.push(point) {
+        Ok(event) => {
+            ctx.metrics.score_records.inc();
+            t.score_records.inc();
+            t.latency.record(event.latency_ns);
+            t.occupancy.set(event.window_len as f64);
+            stream_record(&event)
+        }
+        Err(e) => {
+            ctx.metrics.push_errors.inc();
+            ctx.metrics.error_records.inc();
+            error_record(&e.to_string())
+        }
+    };
+    let stats = t.window.stats();
+    t.shared.publish(t.window.len(), stats.events, t.window.is_warming_up());
+    text
+}
+
+fn snapshot_tenant<M: Metric>(
+    name: &str,
+    tenant: &WorkerTenant<M>,
+    ctx: &WorkerCtx,
+) -> io::Result<()> {
+    let Some(dir) = &ctx.snapshot_dir else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "no snapshot directory configured",
+        ));
+    };
+    let mut snap = tenant.window.snapshot(&ctx.metric_tag);
+    snap.extras =
+        TenantSpec { config: tenant.window.config().clone(), quotas: tenant.quotas }.extras(name);
+    snap.write_to_file(&dir.join(format!("{name}.lofw")))
+}
+
+// ---- entry point ----------------------------------------------------
+
+/// Starts the multi-tenant event-loop server on `listener`.
+///
+/// Restores every tenant found in `config.snapshot_dir` (if set), then
+/// guarantees a `default` tenant built from `config.default_spec`, so
+/// single-window clients that only send events keep working unchanged.
+///
+/// # Errors
+///
+/// Fails on poller/listener setup errors, an unreadable or
+/// metric-incompatible snapshot, or an invalid default window
+/// configuration.
+pub fn spawn<M: Metric + Clone + 'static>(
+    listener: TcpListener,
+    metric: M,
+    config: ServeConfig,
+) -> io::Result<ServeHandle> {
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let poller = Poller::new()?;
+    poller.add(&listener, LISTENER_TOKEN, Interest::READ)?;
+    let registry = Arc::new(MetricsRegistry::new());
+    let metrics = Arc::new(ServeMetrics::new(&registry));
+    let outbox = Arc::new(Outbox { notes: Mutex::new(VecDeque::new()), waker: poller.waker() });
+
+    let worker_count = config.workers.max(1);
+    let queue = config.queue.max(1);
+    let mut senders = Vec::with_capacity(worker_count);
+    let mut worker_handles = Vec::with_capacity(worker_count);
+    for i in 0..worker_count {
+        let (tx, rx) = sync_channel::<Job<M>>(queue);
+        senders.push(tx);
+        let ctx = WorkerCtx {
+            outbox: Arc::clone(&outbox),
+            registry: Arc::clone(&registry),
+            metrics: Arc::clone(&metrics),
+            snapshot_dir: config.snapshot_dir.clone(),
+            metric_tag: config.metric_tag.clone(),
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("lof-serve-worker-{i}"))
+            .spawn(move || worker_loop(&rx, &ctx))?;
+        worker_handles.push(handle);
+    }
+
+    let drain_flag = Arc::new(AtomicBool::new(false));
+    let waker = poller.waker();
+    let mut io = Io {
+        poller,
+        listener,
+        conns: HashMap::new(),
+        dir: HashMap::new(),
+        workers: senders,
+        next_worker: 0,
+        next_token: 1,
+        metrics,
+        registry: Arc::clone(&registry),
+        metric,
+        config,
+        draining: false,
+        drain_reply: None,
+        workers_done: 0,
+        outbox,
+        drain_flag: Arc::clone(&drain_flag),
+    };
+    io.bootstrap_tenants()?;
+    let io_handle =
+        std::thread::Builder::new().name("lof-serve-io".to_owned()).spawn(move || io.run())?;
+
+    Ok(ServeHandle {
+        addr,
+        registry,
+        io: Some(io_handle),
+        workers: worker_handles,
+        drain_flag,
+        waker,
+    })
+}

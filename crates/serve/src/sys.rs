@@ -1,0 +1,597 @@
+//! Readiness polling over raw OS syscalls.
+//!
+//! The workspace has no `libc`/`mio`/`tokio` (offline dependency policy),
+//! so this module declares the handful of syscalls the event loop needs as
+//! `extern "C"` items against the platform libc that every Rust binary
+//! already links: `epoll` + `eventfd` on Linux, `kqueue` + a self-pipe on
+//! macOS / the BSDs. Everything is wrapped behind [`Poller`] / [`Waker`]
+//! so the server itself is platform-free.
+//!
+//! The poller is **level-triggered**: a socket that still has unread bytes
+//! (or writable buffer space) keeps showing up, which composes naturally
+//! with short per-wakeup read/write budgets — no starvation bookkeeping.
+
+use std::io;
+use std::os::fd::AsRawFd;
+
+/// One readiness event, translated to platform-free flags.
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token the file descriptor was registered with.
+    pub token: u64,
+    /// Reading would not block (includes a peer close: read returns 0).
+    pub readable: bool,
+    /// Writing would not block.
+    pub writable: bool,
+    /// Error or hangup; the owner should read until EOF and close.
+    pub hangup: bool,
+}
+
+/// What a registration wants to be woken for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when readable.
+    pub readable: bool,
+    /// Wake when writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest { readable: true, writable: false };
+    /// Write-only interest.
+    pub const WRITE: Interest = Interest { readable: false, writable: true };
+    /// Read and write interest.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+    /// Registered but dormant (kept in the set, no wakeups).
+    pub const NONE: Interest = Interest { readable: false, writable: false };
+}
+
+/// The token the poller's own wake channel is registered under; user
+/// registrations must stay below it.
+pub const WAKE_TOKEN: u64 = u64::MAX;
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{Interest, PollEvent, WAKE_TOKEN};
+    use std::ffi::{c_int, c_uint, c_void};
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0x80000;
+    const EFD_CLOEXEC: c_int = 0x80000;
+    const EFD_NONBLOCK: c_int = 0x800;
+
+    /// The kernel's `struct epoll_event`. Packed on x86, naturally
+    /// aligned elsewhere — this matches the kernel ABI, which packs the
+    /// struct only on x86 (`__EPOLL_PACKED`).
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+
+    fn check(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    /// epoll-backed poller with an `eventfd` wake channel.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: OwnedFd,
+        wake: Arc<OwnedFd>,
+    }
+
+    use std::sync::Arc;
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: plain syscalls; ownership of the returned fds is
+            // taken immediately (CLOEXEC set atomically at creation).
+            let epfd = unsafe {
+                let fd = check(epoll_create1(EPOLL_CLOEXEC))?;
+                OwnedFd::from_raw_fd(fd)
+            };
+            let wake = unsafe {
+                let fd = check(eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK))?;
+                Arc::new(OwnedFd::from_raw_fd(fd))
+            };
+            let poller = Poller { epfd, wake };
+            poller.ctl(EPOLL_CTL_ADD, poller.wake.as_raw_fd(), EPOLLIN, WAKE_TOKEN)?;
+            Ok(poller)
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent { events, data: token };
+            // SAFETY: `ev` outlives the call; DEL ignores the pointer.
+            check(unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest_bits(interest), token)
+        }
+
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest_bits(interest), token)
+        }
+
+        pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub fn wait(&self, out: &mut Vec<PollEvent>, timeout_ms: i32) -> io::Result<()> {
+            out.clear();
+            let mut events = [EpollEvent { events: 0, data: 0 }; 64];
+            // SAFETY: the buffer is valid for `len` entries for the call.
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd.as_raw_fd(),
+                    events.as_mut_ptr(),
+                    events.len() as c_int,
+                    timeout_ms as c_int,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for ev in events.iter().take(n as usize) {
+                let bits = ev.events;
+                let token = ev.data;
+                if token == WAKE_TOKEN {
+                    self.drain_wake();
+                    continue;
+                }
+                out.push(PollEvent {
+                    token,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+
+        /// Consumes the eventfd counter so level-triggered polling stops
+        /// reporting the wake channel.
+        fn drain_wake(&self) {
+            let mut buf = [0u8; 8];
+            // SAFETY: valid 8-byte buffer; the fd is nonblocking, so a
+            // spurious call returns EAGAIN and is ignored.
+            unsafe {
+                let _ = read(self.wake.as_raw_fd(), buf.as_mut_ptr().cast::<c_void>(), 8);
+            }
+        }
+
+        pub fn waker(&self) -> Waker {
+            Waker { wake: Arc::clone(&self.wake) }
+        }
+    }
+
+    /// Wakes a sleeping [`Poller::wait`] from any thread.
+    #[derive(Debug, Clone)]
+    pub struct Waker {
+        wake: Arc<OwnedFd>,
+    }
+
+    impl Waker {
+        pub fn wake(&self) {
+            let one = 1u64.to_ne_bytes();
+            // SAFETY: valid 8-byte buffer. An EAGAIN (counter saturated)
+            // still leaves the fd readable, which is all a wake needs.
+            unsafe {
+                let _ = write(self.wake.as_raw_fd(), one.as_ptr().cast::<c_void>(), 8);
+            }
+        }
+    }
+}
+
+#[cfg(any(
+    target_os = "macos",
+    target_os = "freebsd",
+    target_os = "netbsd",
+    target_os = "openbsd"
+))]
+mod imp {
+    use super::{Interest, PollEvent, WAKE_TOKEN};
+    use std::ffi::{c_int, c_void};
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::ptr;
+    use std::sync::Arc;
+
+    const EVFILT_READ: i16 = -1;
+    const EVFILT_WRITE: i16 = -2;
+    const EV_ADD: u16 = 0x0001;
+    const EV_DELETE: u16 = 0x0002;
+    const EV_EOF: u16 = 0x8000;
+    const EV_ERROR: u16 = 0x4000;
+
+    /// The platform's `struct kevent` (identical layout on macOS and the
+    /// BSDs for the fields we use).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct KEvent {
+        ident: usize,
+        filter: i16,
+        flags: u16,
+        fflags: u32,
+        data: isize,
+        udata: *mut c_void,
+    }
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: isize,
+        tv_nsec: isize,
+    }
+
+    extern "C" {
+        fn kqueue() -> c_int;
+        fn kevent(
+            kq: c_int,
+            changelist: *const KEvent,
+            nchanges: c_int,
+            eventlist: *mut KEvent,
+            nevents: c_int,
+            timeout: *const Timespec,
+        ) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+
+    const F_SETFL: c_int = 4;
+    const O_NONBLOCK: c_int = 0x0004;
+
+    /// kqueue-backed poller; the wake channel is a nonblocking pipe.
+    #[derive(Debug)]
+    pub struct Poller {
+        kq: OwnedFd,
+        wake_rx: OwnedFd,
+        wake_tx: Arc<OwnedFd>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: plain syscalls; fds are owned immediately.
+            let kq = unsafe {
+                let fd = kqueue();
+                if fd < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                OwnedFd::from_raw_fd(fd)
+            };
+            let (wake_rx, wake_tx) = unsafe {
+                let mut fds = [0 as c_int; 2];
+                if pipe(fds.as_mut_ptr()) < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                let _ = fcntl(fds[0], F_SETFL, O_NONBLOCK);
+                let _ = fcntl(fds[1], F_SETFL, O_NONBLOCK);
+                (OwnedFd::from_raw_fd(fds[0]), Arc::new(OwnedFd::from_raw_fd(fds[1])))
+            };
+            let poller = Poller { kq, wake_rx, wake_tx };
+            poller.change(poller.wake_rx.as_raw_fd(), EVFILT_READ, EV_ADD, WAKE_TOKEN)?;
+            Ok(poller)
+        }
+
+        fn change(&self, fd: RawFd, filter: i16, flags: u16, token: u64) -> io::Result<()> {
+            let change = KEvent {
+                ident: fd as usize,
+                filter,
+                flags,
+                fflags: 0,
+                data: 0,
+                udata: token as *mut c_void,
+            };
+            // SAFETY: the change list is valid for the call.
+            let rc =
+                unsafe { kevent(self.kq.as_raw_fd(), &change, 1, ptr::null_mut(), 0, ptr::null()) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        fn apply(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            // kqueue keys registrations by (fd, filter): add or delete
+            // each filter to match the requested interest. Deleting an
+            // absent filter returns ENOENT, which is fine.
+            if interest.readable {
+                self.change(fd, EVFILT_READ, EV_ADD, token)?;
+            } else {
+                let _ = self.change(fd, EVFILT_READ, EV_DELETE, token);
+            }
+            if interest.writable {
+                self.change(fd, EVFILT_WRITE, EV_ADD, token)?;
+            } else {
+                let _ = self.change(fd, EVFILT_WRITE, EV_DELETE, token);
+            }
+            Ok(())
+        }
+
+        pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.apply(fd, token, interest)
+        }
+
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.apply(fd, token, interest)
+        }
+
+        pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+            let _ = self.change(fd, EVFILT_READ, EV_DELETE, 0);
+            let _ = self.change(fd, EVFILT_WRITE, EV_DELETE, 0);
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<PollEvent>, timeout_ms: i32) -> io::Result<()> {
+            out.clear();
+            let mut events = [KEvent {
+                ident: 0,
+                filter: 0,
+                flags: 0,
+                fflags: 0,
+                data: 0,
+                udata: ptr::null_mut(),
+            }; 64];
+            let ts;
+            let ts_ptr = if timeout_ms < 0 {
+                ptr::null()
+            } else {
+                ts = Timespec {
+                    tv_sec: (timeout_ms / 1000) as isize,
+                    tv_nsec: (timeout_ms % 1000) as isize * 1_000_000,
+                };
+                &ts as *const Timespec
+            };
+            // SAFETY: the event buffer is valid for `len` entries.
+            let n = unsafe {
+                kevent(
+                    self.kq.as_raw_fd(),
+                    ptr::null(),
+                    0,
+                    events.as_mut_ptr(),
+                    events.len() as c_int,
+                    ts_ptr,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for ev in events.iter().take(n as usize) {
+                let token = ev.udata as u64;
+                if token == WAKE_TOKEN {
+                    let mut buf = [0u8; 64];
+                    // SAFETY: valid buffer, nonblocking fd.
+                    unsafe {
+                        let _ =
+                            read(self.wake_rx.as_raw_fd(), buf.as_mut_ptr().cast::<c_void>(), 64);
+                    }
+                    continue;
+                }
+                out.push(PollEvent {
+                    token,
+                    readable: ev.filter == EVFILT_READ,
+                    writable: ev.filter == EVFILT_WRITE,
+                    hangup: ev.flags & (EV_EOF | EV_ERROR) != 0,
+                });
+            }
+            Ok(())
+        }
+
+        pub fn waker(&self) -> Waker {
+            Waker { wake: Arc::clone(&self.wake_tx) }
+        }
+    }
+
+    /// Wakes a sleeping [`Poller::wait`] from any thread.
+    #[derive(Debug, Clone)]
+    pub struct Waker {
+        wake: Arc<OwnedFd>,
+    }
+
+    impl Waker {
+        pub fn wake(&self) {
+            // SAFETY: valid 1-byte buffer; a full pipe still wakes.
+            unsafe {
+                let _ = write(self.wake.as_raw_fd(), [1u8].as_ptr().cast::<c_void>(), 1);
+            }
+        }
+    }
+}
+
+#[cfg(not(any(
+    target_os = "linux",
+    target_os = "macos",
+    target_os = "freebsd",
+    target_os = "netbsd",
+    target_os = "openbsd"
+)))]
+compile_error!("lof-serve needs epoll (Linux) or kqueue (macOS/BSD)");
+
+/// Readiness poller over the platform's native facility (`epoll` on
+/// Linux, `kqueue` on macOS/BSD). Register file descriptors under a
+/// `u64` token (below [`WAKE_TOKEN`]), then [`wait`](Poller::wait) for
+/// [`PollEvent`]s.
+#[derive(Debug)]
+pub struct Poller {
+    inner: imp::Poller,
+}
+
+impl Poller {
+    /// Creates a poller with its internal wake channel registered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates syscall failures (fd exhaustion, ...).
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { inner: imp::Poller::new()? })
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates syscall failures (e.g. the fd is already registered).
+    pub fn add(&self, fd: &impl AsRawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.add(fd.as_raw_fd(), token, interest)
+    }
+
+    /// Re-arms an existing registration with a new interest set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates syscall failures (e.g. the fd was never registered).
+    pub fn modify(&self, fd: &impl AsRawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.modify(fd.as_raw_fd(), token, interest)
+    }
+
+    /// Removes a registration. Safe to call right before closing the fd.
+    ///
+    /// # Errors
+    ///
+    /// Propagates syscall failures.
+    pub fn remove(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        self.inner.remove(fd.as_raw_fd())
+    }
+
+    /// Blocks until readiness, a wake, or the timeout (`-1` = forever;
+    /// milliseconds otherwise), filling `out` with ready registrations.
+    /// Wake-channel events are consumed internally and never surface.
+    ///
+    /// # Errors
+    ///
+    /// Propagates syscall failures; `EINTR` is swallowed (returns with
+    /// `out` empty).
+    pub fn wait(&self, out: &mut Vec<PollEvent>, timeout_ms: i32) -> io::Result<()> {
+        self.inner.wait(out, timeout_ms)
+    }
+
+    /// A clonable, thread-safe handle that interrupts [`wait`](Poller::wait).
+    pub fn waker(&self) -> Waker {
+        Waker { inner: self.inner.waker() }
+    }
+}
+
+/// Wakes the poller from any thread (worker → I/O thread notifications).
+#[derive(Debug, Clone)]
+pub struct Waker {
+    inner: imp::Waker,
+}
+
+impl Waker {
+    /// Interrupts a sleeping [`Poller::wait`]; a no-op if none is sleeping
+    /// (the next `wait` returns immediately instead).
+    pub fn wake(&self) {
+        self.inner.wake();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn poller_reports_readability_and_wake() {
+        let poller = Poller::new().expect("poller");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        poller.add(&listener, 7, Interest::READ).expect("add listener");
+
+        let mut events = Vec::new();
+        // Nothing pending: a zero timeout returns empty.
+        poller.wait(&mut events, 0).expect("wait");
+        assert!(events.is_empty());
+
+        // A connection makes the listener readable.
+        let mut client = TcpStream::connect(addr).expect("connect");
+        poller.wait(&mut events, 2_000).expect("wait");
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        let (mut server_side, _) = listener.accept().expect("accept");
+        poller.add(&server_side, 8, Interest::READ).expect("add conn");
+        client.write_all(b"ping\n").expect("write");
+        poller.wait(&mut events, 2_000).expect("wait");
+        assert!(events.iter().any(|e| e.token == 8 && e.readable));
+        let mut buf = [0u8; 16];
+        let n = server_side.read(&mut buf).expect("read");
+        assert_eq!(&buf[..n], b"ping\n");
+
+        // Interest can be narrowed to dormant and re-armed.
+        poller.modify(&server_side, 8, Interest::NONE).expect("disarm");
+        client.write_all(b"x\n").expect("write");
+        poller.wait(&mut events, 50).expect("wait");
+        assert!(!events.iter().any(|e| e.token == 8));
+        poller.modify(&server_side, 8, Interest::READ).expect("rearm");
+        poller.wait(&mut events, 2_000).expect("wait");
+        assert!(events.iter().any(|e| e.token == 8 && e.readable));
+    }
+
+    #[test]
+    fn waker_interrupts_a_sleeping_wait() {
+        let poller = Poller::new().expect("poller");
+        let waker = poller.waker();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            waker.wake();
+        });
+        let mut events = Vec::new();
+        let start = std::time::Instant::now();
+        // Without the wake this would sleep the full 10 seconds.
+        poller.wait(&mut events, 10_000).expect("wait");
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
+        assert!(events.is_empty(), "wake events are internal");
+        handle.join().expect("join");
+    }
+}

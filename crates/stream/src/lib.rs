@@ -43,11 +43,15 @@
 #![warn(clippy::all)]
 
 pub mod histogram;
+pub mod linebuf;
 pub mod serve;
+pub mod snapshot;
 pub mod window;
 pub mod wire;
 
 pub use histogram::LatencyHistogram;
-pub use serve::{run_stream, ServeHandle, StreamSummary, DEFAULT_QUEUE};
+pub use linebuf::{Line, LineBuffer};
+pub use serve::{run_stream, ServeError, ServeHandle, StreamSummary, DEFAULT_QUEUE};
+pub use snapshot::{SnapshotStats, WindowSnapshot};
 pub use window::{EvictionPolicy, ScoredEvent, SlidingWindowLof, StreamConfig, StreamStats};
-pub use wire::{metrics_record, parse_metrics_request, MetricsFormat};
+pub use wire::{metrics_record, parse_metrics_request, ControlCommand, MetricsFormat};

@@ -18,14 +18,15 @@
 //! TCP buffers instead of growing the heap. Per-connection reply order
 //! equals send order (the channel is FIFO per producer).
 
+use crate::linebuf::{Line, LineBuffer};
 use crate::window::{SlidingWindowLof, StreamStats};
 use crate::wire::{
-    error_record, metrics_record, parse_event, parse_metrics_request, parse_topn_request,
-    stream_record, topn_record, MetricsFormat, ParsedLine,
+    error_record, metrics_record, parse_control, parse_event, parse_metrics_request,
+    parse_topn_request, stream_record, topn_record, MetricsFormat, ParsedLine,
 };
 use lof_core::Metric;
 use lof_obs::{Counter, MetricsRegistry};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
@@ -35,6 +36,40 @@ use std::thread::{self, JoinHandle};
 /// Default bound of the job queue (events in flight between readers and
 /// the scorer).
 pub const DEFAULT_QUEUE: usize = 1024;
+
+/// What went wrong while joining a serve loop.
+///
+/// Historically [`ServeHandle::wait`] / [`ServeHandle::shutdown`]
+/// `expect`ed the scorer join, so a panic inside the scoring thread
+/// aborted the *caller* (the CLI, a test harness) with an opaque double
+/// panic. The join result is now propagated as a typed error instead.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The scorer thread panicked; carries the panic payload's message
+    /// when it was a string.
+    ScorerPanicked(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ScorerPanicked(msg) => write!(f, "scorer thread panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Renders a `JoinHandle::join` panic payload as a readable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// What one input line asks the scorer to do. Parse rejects and metrics
 /// requests travel through the same queue as events so each connection's
@@ -154,6 +189,17 @@ pub fn run_stream<M: Metric>(
             }
             None => {}
         }
+        if let Some(command) = parse_control(&line) {
+            let message = match command {
+                Ok(_) => "control commands need the multi-tenant server (lof serve)".to_owned(),
+                Err(e) => e,
+            };
+            summary.errors += 1;
+            metrics.parse_errors.inc();
+            metrics.error_records.inc();
+            writeln!(output, "{}", error_record(&message))?;
+            continue;
+        }
         let record = match parse_event(&line) {
             Ok(ParsedLine::Empty) => continue,
             Ok(ParsedLine::Point(point)) => {
@@ -213,24 +259,42 @@ impl ServeHandle {
     /// Blocks until the accept loop exits. The loop normally runs for the
     /// life of the process, so this is the CLI's "serve forever" call —
     /// tests use [`ServeHandle::shutdown`] instead.
-    pub fn wait(mut self) -> StreamStats {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ScorerPanicked`] if the scoring thread died
+    /// on a panic instead of draining cleanly.
+    pub fn wait(mut self) -> Result<StreamStats, ServeError> {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        self.scorer.take().expect("scorer joined once").join().expect("scorer thread never panics")
+        self.join_scorer()
     }
 
     /// Stops accepting, waits for live connections to drain, and returns
     /// the window's lifetime stats. Clients should disconnect first:
     /// draining blocks until every open connection closes.
-    pub fn shutdown(mut self) -> StreamStats {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ScorerPanicked`] if the scoring thread died
+    /// on a panic instead of draining cleanly.
+    pub fn shutdown(mut self) -> Result<StreamStats, ServeError> {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a no-op connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        self.scorer.take().expect("scorer joined once").join().expect("scorer thread never panics")
+        self.join_scorer()
+    }
+
+    fn join_scorer(&mut self) -> Result<StreamStats, ServeError> {
+        self.scorer
+            .take()
+            .expect("scorer joined once")
+            .join()
+            .map_err(|payload| ServeError::ScorerPanicked(panic_message(payload)))
     }
 }
 
@@ -316,10 +380,41 @@ fn score_loop<M: Metric>(mut window: SlidingWindowLof<M>, jobs: Receiver<Job>) -
     window.stats().clone()
 }
 
-/// One connection: reader half parses lines into jobs (blocking on the
-/// bounded queue when the scorer is behind), writer half forwards reply
-/// records back over the socket.
-fn handle_connection(stream: TcpStream, jobs: &SyncSender<Job>) {
+/// Classifies one complete input line into a scorer payload (`None`
+/// means nothing to do — a blank or comment line). Metrics, top-n, and
+/// control lines are recognized before event parsing so they can never
+/// be misread as malformed events; this single-window loop answers
+/// control commands with an explanatory in-band error (the multi-tenant
+/// tier in `lof-serve` executes them for real).
+fn classify_line(line: &str) -> Option<Payload> {
+    if let Some(format) = parse_metrics_request(line) {
+        return Some(Payload::Metrics(format));
+    }
+    if let Some(count) = parse_topn_request(line) {
+        return Some(match count {
+            Some(n) => Payload::TopN(n),
+            None => Payload::Malformed("topn request needs a count: /topn N".to_owned()),
+        });
+    }
+    if let Some(command) = parse_control(line) {
+        return Some(Payload::Malformed(match command {
+            Ok(_) => "control commands need the multi-tenant server (lof serve)".to_owned(),
+            Err(e) => e,
+        }));
+    }
+    match parse_event(line) {
+        Ok(ParsedLine::Empty) => None,
+        Ok(ParsedLine::Point(point)) => Some(Payload::Event(point)),
+        Err(e) => Some(Payload::Malformed(e)),
+    }
+}
+
+/// One connection: reader half frames lines through a [`LineBuffer`]
+/// (partial lines survive across reads; oversized lines are rejected
+/// with an in-band error record, never truncated into a bogus event) and
+/// parses them into jobs, blocking on the bounded queue when the scorer
+/// is behind. Writer half forwards reply records back over the socket.
+fn handle_connection(mut stream: TcpStream, jobs: &SyncSender<Job>) {
     let Ok(write_half) = stream.try_clone() else { return };
     let (reply_tx, reply_rx) = std::sync::mpsc::channel::<String>();
     let writer = thread::spawn(move || {
@@ -331,27 +426,27 @@ fn handle_connection(stream: TcpStream, jobs: &SyncSender<Job>) {
         }
     });
 
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        // Metrics and top-n requests are recognized before event parsing
-        // so they can never be misread as malformed events.
-        let payload = if let Some(format) = parse_metrics_request(&line) {
-            Payload::Metrics(format)
-        } else if let Some(count) = parse_topn_request(&line) {
-            match count {
-                Some(n) => Payload::TopN(n),
-                None => Payload::Malformed("topn request needs a count: /topn N".to_owned()),
-            }
-        } else {
-            match parse_event(&line) {
-                Ok(ParsedLine::Empty) => continue,
-                Ok(ParsedLine::Point(point)) => Payload::Event(point),
-                Err(e) => Payload::Malformed(e),
-            }
+    let mut lines = LineBuffer::new(0);
+    let mut chunk = [0u8; 8192];
+    'conn: loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
         };
-        if jobs.send(Job { payload, reply: reply_tx.clone() }).is_err() {
-            break; // server shutting down
+        lines.push(&chunk[..n]);
+        while let Some(framed) = lines.next_line() {
+            let payload = match framed {
+                Line::Complete(line) => match classify_line(&line) {
+                    Some(payload) => payload,
+                    None => continue,
+                },
+                Line::Oversized { limit } => {
+                    Payload::Malformed(format!("line exceeds the {limit}-byte limit"))
+                }
+            };
+            if jobs.send(Job { payload, reply: reply_tx.clone() }).is_err() {
+                break 'conn; // server shutting down
+            }
         }
     }
     drop(reply_tx);
@@ -363,6 +458,44 @@ mod tests {
     use super::*;
     use crate::window::StreamConfig;
     use lof_core::Euclidean;
+
+    #[test]
+    fn scorer_panics_surface_as_serve_error_not_an_abort() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // A handle whose scorer dies on a panic: joining must yield a
+        // typed error carrying the message, not re-panic in the caller.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+        let scorer = thread::spawn(|| -> StreamStats { panic!("injected scorer failure") });
+        while !scorer.is_finished() {
+            thread::yield_now();
+        }
+        std::panic::set_hook(prev_hook);
+        let handle = ServeHandle {
+            addr,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            accept: Some(thread::spawn(|| {})),
+            scorer: Some(scorer),
+            registry: Arc::new(MetricsRegistry::new()),
+        };
+        match handle.wait() {
+            Err(ServeError::ScorerPanicked(msg)) => {
+                assert!(msg.contains("injected scorer failure"), "got '{msg}'");
+            }
+            Ok(_) => panic!("a panicked scorer must not join cleanly"),
+        }
+        assert!(ServeError::ScorerPanicked("x".into()).to_string().contains("panicked"));
+    }
+
+    #[test]
+    fn control_lines_are_answered_not_misparsed() {
+        assert!(matches!(classify_line("TENANT LIST"), Some(Payload::Malformed(_))));
+        assert!(matches!(classify_line("TENANT CREATE bad/name"), Some(Payload::Malformed(_))));
+        assert!(matches!(classify_line("DRAIN"), Some(Payload::Malformed(_))));
+        assert!(matches!(classify_line("1.0,2.0"), Some(Payload::Event(_))));
+        assert!(classify_line("# comment").is_none());
+    }
 
     #[test]
     fn run_stream_scores_counts_and_reports_errors_in_band() {

@@ -8,6 +8,7 @@
 //! bit-identity against a fresh [`IncrementalLof::new`] after every event.
 
 use crate::histogram::LatencyHistogram;
+use crate::snapshot::{SnapshotStats, WindowSnapshot};
 use lof_core::incremental::{IncrementalLof, UpdateStats};
 use lof_core::{Dataset, LofError, Metric, Result};
 use lof_obs::{Counter, Gauge, MetricsRegistry};
@@ -431,6 +432,130 @@ impl<M: Metric> SlidingWindowLof<M> {
         ranked.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(n);
         ranked
+    }
+
+    /// Captures the window's complete scoring state as a serializable
+    /// [`WindowSnapshot`] tagged with the caller's metric identity.
+    ///
+    /// The snapshot holds the points in id order plus the arrival /
+    /// sequence counters — by the maintained-state invariant (incremental
+    /// state == fresh batch build over the current id order) that is
+    /// sufficient for [`restore`](Self::restore) to resume scoring and
+    /// evicting bit-identically. The latency histogram is deliberately
+    /// not captured.
+    pub fn snapshot(&self, metric_tag: &str) -> WindowSnapshot {
+        let (dims, warming, points, arrivals, next_arrival) = match (&self.model, &self.pending) {
+            (Some(model), _) => {
+                let data = model.dataset();
+                let arrivals =
+                    (0..model.len()).map(|id| model.arrival(id).expect("id in range")).collect();
+                (data.dims(), false, data.as_flat().to_vec(), arrivals, model.next_arrival())
+            }
+            (None, Some(pending)) => {
+                (pending.dims(), true, pending.as_flat().to_vec(), Vec::new(), self.next_seq)
+            }
+            (None, None) => (0, true, Vec::new(), Vec::new(), self.next_seq),
+        };
+        WindowSnapshot {
+            metric_tag: metric_tag.to_owned(),
+            config: self.config.clone(),
+            dims,
+            warming,
+            points,
+            arrivals,
+            next_seq: self.next_seq,
+            next_arrival,
+            stats: SnapshotStats {
+                events: self.stats.events,
+                scored: self.stats.scored,
+                evictions: self.stats.evictions,
+                alerts: self.stats.alerts,
+                cascade_lofs: self.stats.cascade_lofs,
+            },
+            extras: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a window from a snapshot with its own private registry.
+    ///
+    /// # Errors
+    ///
+    /// See [`restore_with_registry`](Self::restore_with_registry).
+    pub fn restore(snap: &WindowSnapshot, metric: M, metric_tag: &str) -> Result<Self> {
+        Self::restore_with_registry(snap, metric, metric_tag, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Rebuilds a window from a snapshot, mirroring counters into
+    /// `registry` exactly as [`with_registry`](Self::with_registry) does.
+    ///
+    /// The restored window scores, alerts, and evicts **bit-identically**
+    /// to the uninterrupted original from the next event on (property
+    /// tests in `tests/snapshot.rs` pin this). Lifetime counters resume;
+    /// the latency histogram restarts empty — wall-clock timings of the
+    /// dead process are not comparable, so after a restore
+    /// `latency.count()` lags `stats().scored` by the pre-snapshot count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::InvalidPartition`] when `metric_tag` does not
+    /// match the tag the snapshot was taken under, or when the snapshot's
+    /// fields are mutually inconsistent (warming buffer at or past the
+    /// warm-up length, sequence counters that cannot have produced the
+    /// contents); propagates model-construction errors otherwise.
+    pub fn restore_with_registry(
+        snap: &WindowSnapshot,
+        metric: M,
+        metric_tag: &str,
+        registry: Arc<MetricsRegistry>,
+    ) -> Result<Self> {
+        if snap.metric_tag != metric_tag {
+            return Err(LofError::InvalidPartition(format!(
+                "snapshot was taken under metric '{}' but restore was handed '{metric_tag}'",
+                snap.metric_tag
+            )));
+        }
+        let mut window = Self::with_registry(snap.config.clone(), metric, registry)?;
+        let n = snap.points.len().checked_div(snap.dims).unwrap_or(0);
+        if snap.warming {
+            if n >= snap.config.warmup {
+                return Err(LofError::InvalidPartition(format!(
+                    "warming snapshot buffers {n} events at warm-up length {}",
+                    snap.config.warmup
+                )));
+            }
+            if snap.next_seq != n as u64 {
+                return Err(LofError::InvalidPartition(format!(
+                    "warming snapshot buffers {n} events but next_seq is {}",
+                    snap.next_seq
+                )));
+            }
+            if n > 0 {
+                window.pending = Some(Dataset::from_flat(snap.dims, snap.points.clone())?);
+            }
+        } else {
+            let data = Dataset::from_flat(snap.dims, snap.points.clone())?;
+            let metric = window.metric.take().expect("metric unclaimed before restore build");
+            window.model = Some(IncrementalLof::with_arrivals(
+                data,
+                metric,
+                snap.config.min_pts,
+                snap.arrivals.clone(),
+                snap.next_arrival,
+            )?);
+        }
+        window.next_seq = snap.next_seq;
+        window.stats.events = snap.stats.events;
+        window.stats.scored = snap.stats.scored;
+        window.stats.evictions = snap.stats.evictions;
+        window.stats.alerts = snap.stats.alerts;
+        window.stats.cascade_lofs = snap.stats.cascade_lofs;
+        window.metrics.events.add(snap.stats.events);
+        window.metrics.scored.add(snap.stats.scored);
+        window.metrics.evictions.add(snap.stats.evictions);
+        window.metrics.alerts.add(snap.stats.alerts);
+        window.metrics.cascade_lofs.add(snap.stats.cascade_lofs);
+        window.metrics.occupancy.set(window.len() as f64);
+        Ok(window)
     }
 
     /// True when at most `k - 1` window members score strictly higher than

@@ -296,6 +296,205 @@ pub fn topn_record(n: usize, ranking: &[(u64, f64)], warmup: bool) -> String {
     out
 }
 
+/// A parsed serving-layer control command (`TENANT` / `SNAPSHOT` /
+/// `DRAIN` lines). The multi-tenant tier in `lof-serve` executes these;
+/// the single-window loop answers them with an explanatory error so old
+/// servers fail loudly rather than misparse them as events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlCommand {
+    /// `TENANT CREATE <name> [key=value ...]` — create a named window.
+    /// Recognized keys are validated by the server, not the parser.
+    TenantCreate {
+        /// The tenant name.
+        name: String,
+        /// Raw `key=value` configuration pairs, in line order.
+        params: Vec<(String, String)>,
+    },
+    /// `TENANT ATTACH <name>` — route this connection's events to the
+    /// named window.
+    TenantAttach {
+        /// The tenant name.
+        name: String,
+    },
+    /// `TENANT LIST` — enumerate live tenants.
+    TenantList,
+    /// `TENANT DROP <name>` — destroy a tenant and its window.
+    TenantDrop {
+        /// The tenant name.
+        name: String,
+    },
+    /// `SNAPSHOT [name]` — persist one tenant (or every tenant) to the
+    /// server's snapshot directory.
+    Snapshot {
+        /// The tenant to snapshot; `None` means all.
+        name: Option<String>,
+    },
+    /// `DRAIN` — stop accepting, flush in-flight jobs, snapshot every
+    /// tenant, and exit.
+    Drain,
+}
+
+/// Validates a tenant name: 1–64 characters from `[A-Za-z0-9_-]`. Names
+/// become snapshot file names and metric label values, so the alphabet
+/// is deliberately restrictive (no path separators, no quotes).
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Recognizes a control command line. Returns `None` for anything that
+/// is not a control line (events, metrics requests, ...); returns
+/// `Some(Err(...))` for a line that *is* a control command but malformed
+/// (unknown subcommand, invalid tenant name), so the serve loop answers
+/// in-band instead of misreading the line as an event. Checked before
+/// event parsing, like [`parse_metrics_request`].
+pub fn parse_control(line: &str) -> Option<Result<ControlCommand, String>> {
+    let trimmed = line.trim();
+    let mut words = trimmed.split_ascii_whitespace();
+    let keyword = words.next()?;
+    match keyword {
+        "TENANT" => Some(parse_tenant_command(&mut words)),
+        "SNAPSHOT" => {
+            let name = words.next().map(str::to_owned);
+            if words.next().is_some() {
+                return Some(Err("usage: SNAPSHOT [name]".to_owned()));
+            }
+            if let Some(n) = &name {
+                if !valid_tenant_name(n) {
+                    return Some(Err(format!("invalid tenant name '{n}'")));
+                }
+            }
+            Some(Ok(ControlCommand::Snapshot { name }))
+        }
+        "DRAIN" => {
+            if words.next().is_some() {
+                return Some(Err("usage: DRAIN".to_owned()));
+            }
+            Some(Ok(ControlCommand::Drain))
+        }
+        _ => None,
+    }
+}
+
+fn parse_tenant_command(
+    words: &mut std::str::SplitAsciiWhitespace<'_>,
+) -> Result<ControlCommand, String> {
+    const USAGE: &str = "usage: TENANT CREATE <name> [key=value ...] | \
+                         TENANT ATTACH <name> | TENANT LIST | TENANT DROP <name>";
+    let sub = words.next().ok_or_else(|| USAGE.to_owned())?;
+    let mut named = |op: &str| -> Result<String, String> {
+        let name = words.next().ok_or_else(|| format!("TENANT {op} needs a name"))?.to_owned();
+        if !valid_tenant_name(&name) {
+            return Err(format!("invalid tenant name '{name}' (1-64 chars from [A-Za-z0-9_-])"));
+        }
+        Ok(name)
+    };
+    match sub {
+        "CREATE" => {
+            let name = named("CREATE")?;
+            let mut params = Vec::new();
+            for word in words.by_ref() {
+                let (key, value) = word
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad parameter '{word}' (expected key=value)"))?;
+                if key.is_empty() || value.is_empty() {
+                    return Err(format!("bad parameter '{word}' (expected key=value)"));
+                }
+                params.push((key.to_owned(), value.to_owned()));
+            }
+            Ok(ControlCommand::TenantCreate { name, params })
+        }
+        "ATTACH" => {
+            let name = named("ATTACH")?;
+            if words.next().is_some() {
+                return Err("TENANT ATTACH takes exactly one name".to_owned());
+            }
+            Ok(ControlCommand::TenantAttach { name })
+        }
+        "LIST" => {
+            if words.next().is_some() {
+                return Err("TENANT LIST takes no arguments".to_owned());
+            }
+            Ok(ControlCommand::TenantList)
+        }
+        "DROP" => {
+            let name = named("DROP")?;
+            if words.next().is_some() {
+                return Err("TENANT DROP takes exactly one name".to_owned());
+            }
+            Ok(ControlCommand::TenantDrop { name })
+        }
+        other => Err(format!("unknown TENANT subcommand '{other}'; {USAGE}")),
+    }
+}
+
+/// The acknowledgement record for a successful control command:
+/// `{"type":"ok","op":"tenant.create","tenant":"alpha"}`. `tenant` is
+/// omitted for tenant-less operations (`DRAIN`).
+pub fn ok_record(op: &str, tenant: Option<&str>) -> String {
+    match tenant {
+        Some(t) => format!(
+            "{{\"type\":\"ok\",\"op\":\"{}\",\"tenant\":\"{}\"}}",
+            json_escape(op),
+            json_escape(t)
+        ),
+        None => format!("{{\"type\":\"ok\",\"op\":\"{}\"}}", json_escape(op)),
+    }
+}
+
+/// One row of a `TENANT LIST` answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantInfo {
+    /// The tenant name.
+    pub name: String,
+    /// Events currently held in the tenant's window.
+    pub window_len: usize,
+    /// Connections currently attached.
+    pub connections: usize,
+    /// Lifetime events pushed into the window.
+    pub events: u64,
+    /// True while the window is still warming up.
+    pub warming: bool,
+}
+
+/// The NDJSON record answering `TENANT LIST`.
+pub fn tenants_record(rows: &[TenantInfo]) -> String {
+    let mut out = String::with_capacity(32 + rows.len() * 64);
+    out.push_str("{\"type\":\"tenants\",\"tenants\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"window\":{},\"connections\":{},\"events\":{},\"warmup\":{}}}",
+            json_escape(&row.name),
+            row.window_len,
+            row.connections,
+            row.events,
+            row.warming
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The NDJSON record acknowledging a `SNAPSHOT` command: which tenants
+/// were persisted (sorted by name by the caller).
+pub fn snapshot_record(tenants: &[String]) -> String {
+    let mut out = String::with_capacity(32 + tenants.len() * 16);
+    out.push_str("{\"type\":\"snapshot\",\"tenants\":[");
+    for (i, name) in tenants.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", json_escape(name));
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +631,99 @@ mod tests {
         assert_eq!(
             topn_record(2, &[], true),
             "{\"type\":\"topn\",\"n\":2,\"warmup\":true,\"top\":[]}"
+        );
+    }
+
+    #[test]
+    fn control_commands_parse_and_validate() {
+        assert_eq!(
+            parse_control("TENANT CREATE alpha minpts=5 capacity=256"),
+            Some(Ok(ControlCommand::TenantCreate {
+                name: "alpha".to_owned(),
+                params: vec![
+                    ("minpts".to_owned(), "5".to_owned()),
+                    ("capacity".to_owned(), "256".to_owned()),
+                ],
+            }))
+        );
+        assert_eq!(
+            parse_control("  TENANT ATTACH beta-2  "),
+            Some(Ok(ControlCommand::TenantAttach { name: "beta-2".to_owned() }))
+        );
+        assert_eq!(parse_control("TENANT LIST"), Some(Ok(ControlCommand::TenantList)));
+        assert_eq!(
+            parse_control("TENANT DROP old_one"),
+            Some(Ok(ControlCommand::TenantDrop { name: "old_one".to_owned() }))
+        );
+        assert_eq!(
+            parse_control("SNAPSHOT alpha"),
+            Some(Ok(ControlCommand::Snapshot { name: Some("alpha".to_owned()) }))
+        );
+        assert_eq!(parse_control("SNAPSHOT"), Some(Ok(ControlCommand::Snapshot { name: None })));
+        assert_eq!(parse_control("DRAIN"), Some(Ok(ControlCommand::Drain)));
+
+        // Malformed control lines are recognized but rejected in-band.
+        assert!(parse_control("TENANT").unwrap().is_err());
+        assert!(parse_control("TENANT CREATE").unwrap().is_err());
+        assert!(parse_control("TENANT CREATE bad/name").unwrap().is_err());
+        assert!(parse_control("TENANT CREATE a minpts").unwrap().is_err());
+        assert!(parse_control("TENANT FROB x").unwrap().is_err());
+        assert!(parse_control("TENANT ATTACH a b").unwrap().is_err());
+        assert!(parse_control("SNAPSHOT a b").unwrap().is_err());
+        assert!(parse_control("DRAIN now").unwrap().is_err());
+
+        // Events and other requests are not control lines.
+        assert_eq!(parse_control("1.0,2.0"), None);
+        assert_eq!(parse_control("[1.0, 2.0]"), None);
+        assert_eq!(parse_control("GET /metrics"), None);
+        assert_eq!(parse_control(""), None);
+    }
+
+    #[test]
+    fn tenant_names_are_strictly_validated() {
+        assert!(valid_tenant_name("alpha"));
+        assert!(valid_tenant_name("A-1_b"));
+        assert!(valid_tenant_name(&"x".repeat(64)));
+        assert!(!valid_tenant_name(""));
+        assert!(!valid_tenant_name(&"x".repeat(65)));
+        assert!(!valid_tenant_name("a b"));
+        assert!(!valid_tenant_name("../etc"));
+        assert!(!valid_tenant_name("a\"b"));
+    }
+
+    #[test]
+    fn control_reply_records_are_typed_single_lines() {
+        assert_eq!(
+            ok_record("tenant.create", Some("alpha")),
+            "{\"type\":\"ok\",\"op\":\"tenant.create\",\"tenant\":\"alpha\"}"
+        );
+        assert_eq!(ok_record("drain", None), "{\"type\":\"ok\",\"op\":\"drain\"}");
+        let rows = vec![
+            TenantInfo {
+                name: "a".to_owned(),
+                window_len: 5,
+                connections: 2,
+                events: 7,
+                warming: false,
+            },
+            TenantInfo {
+                name: "b".to_owned(),
+                window_len: 0,
+                connections: 0,
+                events: 0,
+                warming: true,
+            },
+        ];
+        assert_eq!(
+            tenants_record(&rows),
+            "{\"type\":\"tenants\",\"tenants\":[\
+             {\"name\":\"a\",\"window\":5,\"connections\":2,\"events\":7,\"warmup\":false},\
+             {\"name\":\"b\",\"window\":0,\"connections\":0,\"events\":0,\"warmup\":true}]}"
+        );
+        assert_eq!(tenants_record(&[]), "{\"type\":\"tenants\",\"tenants\":[]}");
+        assert_eq!(
+            snapshot_record(&["a".to_owned(), "b".to_owned()]),
+            "{\"type\":\"snapshot\",\"tenants\":[\"a\",\"b\"]}"
         );
     }
 

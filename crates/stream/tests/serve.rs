@@ -73,7 +73,7 @@ fn concurrent_clients_round_trip_and_stats_add_up() {
     let expected: Vec<u64> = (0..(CLIENTS * EVENTS_PER_CLIENT) as u64).collect();
     assert_eq!(all_seqs, expected);
 
-    let stats = handle.shutdown();
+    let stats = handle.shutdown().expect("clean scorer shutdown");
     assert_eq!(stats.events, (CLIENTS * EVENTS_PER_CLIENT) as u64);
     assert_eq!(stats.evictions, (CLIENTS * EVENTS_PER_CLIENT - 32) as u64);
 }
@@ -102,8 +102,48 @@ fn malformed_lines_get_in_band_error_records() {
 
     drop(writer);
     drop(reader);
-    let stats = handle.shutdown();
+    let stats = handle.shutdown().expect("clean scorer shutdown");
     assert_eq!(stats.events, 2);
+}
+
+#[test]
+fn oversized_and_split_lines_are_framed_correctly() {
+    let handle = spawn_server(StreamConfig::new(2, 16).warmup(4));
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone socket");
+    let mut reader = BufReader::new(stream);
+
+    // An event split across two writes with a flush in between: the
+    // per-connection buffer must reassemble it, not score a fragment.
+    writer.write_all(b"1.0,").expect("send prefix");
+    writer.flush().expect("flush");
+    thread::sleep(std::time::Duration::from_millis(30));
+    writer.write_all(b"2.0\n").expect("send suffix");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply");
+    assert!(line.starts_with("{\"type\":\"score\",\"seq\":0"), "split line misread: {line}");
+
+    // A line far beyond the cap: rejected with one in-band error record
+    // (never truncated into a bogus event), and the connection survives.
+    let oversized = "9.0,".repeat(100_000); // ~400 KiB, no newline yet
+    writer.write_all(oversized.as_bytes()).expect("send oversized");
+    writer.write_all(b"9.0\n").expect("terminate oversized");
+    writer.write_all(b"3.0,4.0\n").expect("send follow-up event");
+    writer.flush().expect("flush");
+
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply");
+    assert!(line.starts_with("{\"type\":\"error\""), "expected overflow error, got: {line}");
+    assert!(line.contains("exceeds"), "error names the limit: {line}");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply");
+    assert!(line.starts_with("{\"type\":\"score\",\"seq\":1"), "connection must survive: {line}");
+
+    drop(writer);
+    drop(reader);
+    let stats = handle.shutdown().expect("clean scorer shutdown");
+    assert_eq!(stats.events, 2, "the oversized line must not count as an event");
 }
 
 #[test]
@@ -132,7 +172,7 @@ fn warmup_then_alerts_flow_over_tcp() {
 
     drop(writer);
     drop(reader);
-    let stats = handle.shutdown();
+    let stats = handle.shutdown().expect("clean scorer shutdown");
     assert_eq!(stats.events, 30);
     assert!(stats.alerts >= 1);
 }
@@ -184,7 +224,7 @@ fn metrics_requests_are_answered_in_band_over_tcp() {
 
     drop(writer);
     drop(reader);
-    let stats = handle.shutdown();
+    let stats = handle.shutdown().expect("clean scorer shutdown");
     assert_eq!(stats.events, 5, "metrics requests consume no event seq");
 }
 
@@ -230,7 +270,7 @@ fn concurrent_writers_produce_exact_counter_totals() {
         worker.join().expect("writer thread");
     }
 
-    let stats = handle.shutdown();
+    let stats = handle.shutdown().expect("clean scorer shutdown");
     assert_eq!(stats.events, (WRITERS * EVENTS) as u64);
 
     let events_in = registry.counter("serve.events_in").value();

@@ -64,7 +64,7 @@ fn main() {
     drop(writer);
     drop(reader);
 
-    let stats = handle.shutdown();
+    let stats = handle.shutdown().expect("clean scorer shutdown");
     let (p50, p95, p99) = stats.latency.percentiles_ns();
     println!("\n{} events, {} scored, {} alerts", stats.events, stats.scored, stats.alerts);
     println!(

@@ -65,6 +65,16 @@ grep -q 'lof_serve_events_in 3' /tmp/lof_ci_serve.out
 grep -q '# EOF' /tmp/lof_ci_serve.out
 echo "serve metrics smoke OK"
 
+echo "== release smoke: serve saturation (event loop, 64 clients) =="
+# bench_serve aborts on any dropped or rejected event, on an unclean
+# drain, and if the kill -> restore-from-snapshot path diverges from an
+# uninterrupted in-process window. 64 pipelined clients here; the full
+# matrix (256/1024 conns vs the thread-per-connection baseline) runs in
+# the benchmark proper.
+BENCH_SERVE_CONNS=64 \
+  BENCH_SERVE_OUT=/tmp/lof_ci_bench_serve.json \
+  cargo run --release -q -p lof-bench --bin bench_serve
+
 echo "== topn: fixed-seed differential + forced-scalar rerun =="
 # The bound-driven engine must stay bit-identical to the sorted full
 # sweep on every index, cover, metric, and thread count — and again with
