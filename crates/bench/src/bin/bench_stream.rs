@@ -1,118 +1,196 @@
-//! Machine-readable streaming benchmark: a full sliding window (capacity
-//! 512, `MinPts` 20) over a drifting mixture stream, reporting sustained
-//! events/sec and per-event latency percentiles, plus the naive
-//! rescore-the-window-per-event baseline the incremental cascade replaces.
-//! Written as `BENCH_stream.json` (override the path with
-//! `BENCH_STREAM_OUT`).
+//! Machine-readable streaming benchmark matrix: sliding windows of
+//! {512, 4096, 32768} events × {4, 8, 16} dimensions × {1, 2, 4, 8}
+//! shards over a drifting mixture stream, all in deferred scoring mode
+//! (the headline engine), plus the eager single-shard reference and the
+//! naive rescore-the-window-per-event baseline. Reports sustained
+//! events/sec and per-event latency percentiles per cell; the headline
+//! is the best cell. Written as `BENCH_stream.json` (override the path
+//! with `BENCH_STREAM_OUT`).
 //!
-//! Run with `--release`; scale with `LOF_SCALE` as usual.
+//! Run with `--release`; scale with `LOF_SCALE` as usual. The 32768
+//! windows cost an O(n²) warm-up build each, so those cells run only at
+//! `LOF_SCALE >= 2` — skipped cells are reported, not silently dropped.
 
 use lof_bench::{banner, scale, time};
 use lof_core::incremental::IncrementalLof;
-use lof_core::Euclidean;
+use lof_core::{Dataset, Euclidean};
 use lof_data::paper::perf_mixture;
 use lof_stream::{SlidingWindowLof, StreamConfig};
+use std::fmt::Write as _;
 
 const MIN_PTS: usize = 20;
-const CAPACITY: usize = 512;
+const WINDOWS: [usize; 3] = [512, 4096, 32768];
+const DIMS: [usize; 3] = [4, 8, 16];
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
 
-fn main() {
-    banner("bench_stream", "sliding-window streaming LOF throughput (JSON output)");
-    let n = 5_000 * scale();
-    let dims = 8;
-    let data = perf_mixture(11, n + CAPACITY, dims, 8);
+struct Cell {
+    window: usize,
+    dims: usize,
+    shards: usize,
+    deferred: bool,
+    events: usize,
+    events_per_sec: f64,
+    ns_per_event: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
 
-    let config = StreamConfig::new(MIN_PTS, CAPACITY).warmup(CAPACITY).threshold(2.0);
+/// Streams `n_events` steady-state events through a fresh window and
+/// measures sustained throughput (warm-up build excluded).
+fn run_cell(data: &Dataset, capacity: usize, shards: usize, deferred: bool, n: usize) -> Cell {
+    let config = StreamConfig::new(MIN_PTS, capacity)
+        .warmup(capacity)
+        .threshold(2.0)
+        .shards(shards)
+        .deferred(deferred);
     let mut window = SlidingWindowLof::new(config, Euclidean).expect("valid config");
-
-    // Fill the warm-up outside the timed section: those events only buffer
-    // (plus one model build), which is not the steady state being measured.
-    for id in 0..CAPACITY {
+    for id in 0..capacity {
         window.push(data.point(id)).expect("finite warm-up event");
     }
     assert!(!window.is_warming_up());
 
     let (_, streamed) = time(|| {
-        for id in CAPACITY..CAPACITY + n {
+        for id in capacity..capacity + n {
             std::hint::black_box(window.push(data.point(id)).expect("finite event"));
         }
     });
-    let events_per_sec = n as f64 / streamed.as_secs_f64();
-    let incremental_ns = streamed.as_nanos() as f64 / n as f64;
-    // The histogram records scored events only (warm-up pushes buffer
-    // without scoring), so every sample below is a steady-state event.
     let (p50, p95, p99) = window.stats().latency.percentiles_ns();
-    let alerts = window.stats().alerts;
+    Cell {
+        window: capacity,
+        dims: data.dims(),
+        shards,
+        deferred,
+        events: n,
+        events_per_sec: n as f64 / streamed.as_secs_f64(),
+        ns_per_event: streamed.as_nanos() as f64 / n as f64,
+        p50_us: p50 as f64 / 1e3,
+        p95_us: p95 as f64 / 1e3,
+        p99_us: p99 as f64 / 1e3,
+    }
+}
 
-    // Measured observability overhead: time the exact per-event registry
-    // mirror the window performs (five counter bumps, two gauge stores)
-    // in isolation, then express it against the per-event scoring cost.
-    // With `--no-default-features` these calls compile to no-ops and the
-    // overhead reads ~0.
-    let obs_iters = 1_000_000u64;
-    let registry = window.registry();
-    let (c1, c2, c3) = (
-        registry.counter("bench.obs_probe_a"),
-        registry.counter("bench.obs_probe_b"),
-        registry.counter("bench.obs_probe_c"),
-    );
-    let (g1, g2) = (registry.gauge("bench.obs_probe_g"), registry.gauge("bench.obs_probe_h"));
-    let (_, obs_elapsed) = time(|| {
-        for i in 0..obs_iters {
-            c1.inc();
-            c2.inc();
-            c3.add(2);
-            g1.set(i as f64);
-            g2.set(i as f64 * 0.5);
-            std::hint::black_box(&c1);
+fn main() {
+    banner("bench_stream", "sliding-window streaming LOF throughput matrix (JSON output)");
+    let scale = scale();
+    let run_32k = scale >= 2;
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut skipped = 0usize;
+    for &dims in &DIMS {
+        // One stream per dimensionality, long enough for the largest
+        // window this run visits plus its steady-state segment.
+        let max_window = if run_32k { WINDOWS[2] } else { WINDOWS[1] };
+        let n_events = 2_000 * scale;
+        let data = perf_mixture(11, max_window + n_events, dims, 8);
+        for &capacity in &WINDOWS {
+            if capacity > max_window {
+                skipped += SHARDS.len();
+                continue;
+            }
+            // Larger windows pay a quadratic warm-up build; keep the
+            // timed segment proportionate so a full matrix run stays
+            // tractable on one core.
+            let n = if capacity >= 32768 { 500 * scale } else { n_events };
+            for &shards in &SHARDS {
+                let cell = run_cell(&data, capacity, shards, true, n);
+                println!(
+                    "window={:5} d={:2} shards={}: {:9.0} events/sec  \
+                     p50 {:7.1}us p95 {:7.1}us p99 {:7.1}us",
+                    cell.window,
+                    cell.dims,
+                    cell.shards,
+                    cell.events_per_sec,
+                    cell.p50_us,
+                    cell.p95_us,
+                    cell.p99_us
+                );
+                cells.push(cell);
+            }
         }
-    });
-    let obs_ns = obs_elapsed.as_nanos() as f64 / obs_iters as f64;
-    let obs_overhead_pct = 100.0 * obs_ns / incremental_ns;
+    }
+    if skipped > 0 {
+        println!("skipped {skipped} cells at window=32768 (set LOF_SCALE>=2 to run them)");
+    }
+
+    // Eager single-shard reference at the seed configuration (window 512,
+    // d=8): what the deferred engine is being compared against.
+    let ref_data = perf_mixture(11, 512 + 2_000 * scale, 8, 8);
+    let eager = run_cell(&ref_data, 512, 1, false, 2_000 * scale);
+    println!("eager reference (window=512 d=8 shards=1): {:9.0} events/sec", eager.events_per_sec);
 
     // Naive baseline: the per-event cost if every arrival rescored the
-    // whole window from scratch instead of running the update cascade.
-    let sample = 200.min(n);
-    let snapshot = window.model().expect("live model").dataset().clone();
+    // whole 512-event window from scratch instead of cascading.
+    let seed = {
+        let mut d = Dataset::new(8);
+        for id in 0..512 {
+            d.push(ref_data.point(id)).expect("finite point");
+        }
+        d
+    };
+    let sample = 100.min(2_000 * scale);
     let (_, naive) = time(|| {
         for _ in 0..sample {
-            let model = IncrementalLof::new(snapshot.clone(), Euclidean, MIN_PTS)
+            let model = IncrementalLof::new(seed.clone(), Euclidean, MIN_PTS)
                 .expect("window contents are a valid model seed");
             std::hint::black_box(model.lof_values().len());
         }
     });
     let naive_ns = naive.as_nanos() as f64 / sample as f64;
-    let speedup = naive_ns / incremental_ns;
 
+    let best = cells
+        .iter()
+        .max_by(|a, b| a.events_per_sec.total_cmp(&b.events_per_sec))
+        .expect("matrix is non-empty");
+    let speedup_vs_eager = best.events_per_sec / eager.events_per_sec;
+    let speedup_vs_naive = naive_ns / best.ns_per_event;
     println!(
-        "n={n} d={dims} window={CAPACITY} MinPts={MIN_PTS}: {events_per_sec:9.0} events/sec, \
-         p50 {:.1}us p95 {:.1}us p99 {:.1}us ({alerts} alerts)",
-        p50 as f64 / 1e3,
-        p95 as f64 / 1e3,
-        p99 as f64 / 1e3
+        "best cell: window={} d={} shards={} deferred: {:9.0} events/sec \
+         ({speedup_vs_eager:.1}x eager, {speedup_vs_naive:.0}x naive rescore), p99 {:.1}us",
+        best.window, best.dims, best.shards, best.events_per_sec, best.p99_us
     );
     println!(
-        "incremental {incremental_ns:8.0} ns/event vs naive window rescore \
-         {naive_ns:10.0} ns/event ({speedup:.1}x)"
-    );
-    println!(
-        "observability (obs={}): {obs_ns:.1} ns/event of registry writes \
-         = {obs_overhead_pct:.3}% of scoring",
-        lof_obs::enabled()
+        "target: >= 50000 events/sec with p99 < 1ms -> {}",
+        if best.events_per_sec >= 50_000.0 && best.p99_us < 1_000.0 { "MET" } else { "MISSED" }
     );
 
-    let json = format!(
-        "{{\n  \"events\": {n},\n  \"dims\": {dims},\n  \"capacity\": {CAPACITY},\n  \
-         \"min_pts\": {MIN_PTS},\n  \"events_per_sec\": {events_per_sec:.1},\n  \
-         \"latency_p50_us\": {:.2},\n  \"latency_p95_us\": {:.2},\n  \
-         \"latency_p99_us\": {:.2},\n  \"incremental_ns_per_event\": {incremental_ns:.1},\n  \
-         \"naive_rescore_ns_per_event\": {naive_ns:.1},\n  \"speedup\": {speedup:.3},\n  \
-         \"obs_enabled\": {},\n  \"obs_ns_per_event\": {obs_ns:.2},\n  \
-         \"obs_overhead_pct\": {obs_overhead_pct:.3}\n}}\n",
-        p50 as f64 / 1e3,
-        p95 as f64 / 1e3,
-        p99 as f64 / 1e3,
-        lof_obs::enabled()
+    let mut json = String::from("{\n  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"window\": {}, \"dims\": {}, \"shards\": {}, \"deferred\": {}, \
+             \"events\": {}, \"events_per_sec\": {:.1}, \"ns_per_event\": {:.1}, \
+             \"latency_p50_us\": {:.2}, \"latency_p95_us\": {:.2}, \"latency_p99_us\": {:.2}}}{}",
+            c.window,
+            c.dims,
+            c.shards,
+            c.deferred,
+            c.events,
+            c.events_per_sec,
+            c.ns_per_event,
+            c.p50_us,
+            c.p95_us,
+            c.p99_us,
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"skipped_cells\": {skipped},\n  \
+         \"eager_reference_events_per_sec\": {:.1},\n  \
+         \"naive_rescore_ns_per_event\": {naive_ns:.1},\n  \
+         \"best\": {{\"window\": {}, \"dims\": {}, \"shards\": {}, \
+         \"events_per_sec\": {:.1}, \"latency_p99_us\": {:.2}, \
+         \"speedup_vs_eager\": {speedup_vs_eager:.2}, \
+         \"speedup_vs_naive_rescore\": {speedup_vs_naive:.1}}},\n  \
+         \"target_events_per_sec\": 50000,\n  \"target_met\": {}\n}}\n",
+        eager.events_per_sec,
+        best.window,
+        best.dims,
+        best.shards,
+        best.events_per_sec,
+        best.p99_us,
+        best.events_per_sec >= 50_000.0 && best.p99_us < 1_000.0
     );
     let path = std::env::var("BENCH_STREAM_OUT").unwrap_or_else(|_| "BENCH_stream.json".to_owned());
     std::fs::write(&path, &json).expect("cannot write benchmark JSON");

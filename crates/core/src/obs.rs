@@ -147,6 +147,7 @@ pub(crate) struct CoreMetrics {
     pub inserts: Arc<Counter>,
     pub removes: Arc<Counter>,
     pub cascade_lofs: Arc<Counter>,
+    pub cascade_depth: Arc<Counter>,
     pub simd_panels: Arc<Counter>,
     pub simd_remainder_lanes: Arc<Counter>,
     pub topn_runs: Arc<Counter>,
@@ -179,6 +180,7 @@ pub(crate) fn core_metrics() -> &'static CoreMetrics {
             inserts: r.counter("core.incremental.inserts"),
             removes: r.counter("core.incremental.removes"),
             cascade_lofs: r.counter("core.incremental.cascade_lofs"),
+            cascade_depth: r.counter("core.incremental.cascade_depth"),
             simd_panels: r.counter("core.simd.panels"),
             simd_remainder_lanes: r.counter("core.simd.remainder_lanes"),
             topn_runs: r.counter("core.topn.runs"),
@@ -234,6 +236,11 @@ pub enum CoreEvent {
     IncrementalRemove,
     /// LOF values recomputed by an update cascade.
     CascadeLofs(u64),
+    /// Dependency depth one update cascade reached (0 = untouched
+    /// beyond the event's own object, 3 = the LOF layer spread past the
+    /// lrd layer). Summed on the counter; divide by
+    /// `core.incremental.inserts + removes` for the mean depth.
+    CascadeDepth(u64),
     /// SIMD micropanels executed outside a scratch-carrying path (the
     /// incremental insert/remove prefilter).
     SimdPanels(u64),
@@ -267,6 +274,7 @@ pub fn publish_event(event: CoreEvent) {
             CoreEvent::IncrementalInsert => m.inserts.inc(),
             CoreEvent::IncrementalRemove => m.removes.inc(),
             CoreEvent::CascadeLofs(n) => m.cascade_lofs.add(n),
+            CoreEvent::CascadeDepth(n) => m.cascade_depth.add(n),
             CoreEvent::SimdPanels(n) => m.simd_panels.add(n),
             CoreEvent::SimdRemainderLanes(n) => m.simd_remainder_lanes.add(n),
         }

@@ -198,6 +198,25 @@ impl Dataset {
         Some((lo, hi))
     }
 
+    /// Removes the point `id` in `O(dims)` by moving the last point into
+    /// its slot: every other id is stable, and the previous id
+    /// `len() - 1` becomes `id`. This is the coordinate-store half of the
+    /// incremental model's swap-remove semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= self.len()`.
+    pub fn swap_remove(&mut self, id: usize) {
+        let n = self.len();
+        assert!(id < n, "swap_remove out of range: {id} >= {n}");
+        let last = n - 1;
+        if id != last {
+            let (head, tail) = self.coords.split_at_mut(last * self.dims);
+            head[id * self.dims..(id + 1) * self.dims].copy_from_slice(&tail[..self.dims]);
+        }
+        self.coords.truncate(last * self.dims);
+    }
+
     /// Validates that `id` addresses a point.
     ///
     /// # Errors
@@ -295,6 +314,26 @@ mod tests {
         assert_eq!(dup.point(0), &[1.0, 1.0, 3.0]);
         assert!(ds.project(&[]).is_err());
         assert!(ds.project(&[3]).is_err());
+    }
+
+    #[test]
+    fn swap_remove_relocates_the_last_point() {
+        let mut ds = Dataset::from_rows(&[[0.0, 1.0], [2.0, 3.0], [4.0, 5.0]]).unwrap();
+        ds.swap_remove(0);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.point(0), &[4.0, 5.0]);
+        assert_eq!(ds.point(1), &[2.0, 3.0]);
+        // Removing the last point is a plain truncation.
+        ds.swap_remove(1);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.point(0), &[4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "swap_remove out of range")]
+    fn swap_remove_panics_out_of_range() {
+        let mut ds = Dataset::from_rows(&[[0.0]]).unwrap();
+        ds.swap_remove(1);
     }
 
     #[test]

@@ -1,28 +1,31 @@
-//! Power-of-two latency histogram, promoted out of
+//! Log-linear latency histogram, promoted out of
 //! `crates/stream/src/histogram.rs` and made shareable: recording goes
 //! through `&self` (atomics), so the serve loop's scorer thread can
 //! record while exposition snapshots from another thread.
 //!
-//! Bucket `b` holds samples whose nanosecond value has its highest set
-//! bit at position `b` — i.e. the range `[2^b, 2^(b+1))`, with both 0 and
-//! 1 landing in bucket 0. Power-of-two edges keep `record` at a handful
-//! of instructions (a `leading_zeros` and an increment) while giving
-//! quantiles a guaranteed relative error ≤ 2x, which is plenty for
-//! latency telemetry.
+//! Each power-of-two octave `[2^b, 2^(b+1))` is split into **four
+//! linearly spaced sub-buckets** (values below 4 get one exact slot
+//! each), so quantile estimates carry a guaranteed relative error of
+//! ≤ 25% instead of the ≤ 2x a pure power-of-two layout gives. That
+//! matters at streaming latencies: a window scoring events in 150–500µs
+//! used to collapse p50/p95/p99 onto the same two bucket edges
+//! (262.14µs / 524.29µs in `BENCH_stream.json`), which is octave
+//! granularity, not measurement. Recording stays a handful of
+//! instructions — a `leading_zeros`, a shift-and-mask for the
+//! sub-bucket, and an increment.
 //!
 //! ## The overflow bucket
 //!
-//! The original stream histogram hard-coded 64 buckets, which covers all
-//! of `u64` — but a registry full of histograms at 64 x 8 bytes each is
-//! wasteful when real event latencies fit comfortably below 2^40 ns
-//! (~18 minutes). The promoted histogram defaults to
-//! [`DEFAULT_BUCKETS`] = 40 buckets and routes anything at or above
-//! `2^buckets` into one explicit *overflow* bucket instead of silently
-//! dropping it: `count()` still includes the sample, `max_ns()` still
-//! reports it, and quantiles that land in the overflow bucket saturate to
-//! the observed maximum. `overflow_count()` exposes how many samples
-//! overflowed so dashboards can tell "p99 is 900ms" from "the histogram
-//! range is too small".
+//! The original stream histogram hard-coded 64 octaves, which covers all
+//! of `u64` — but a registry full of histograms that size is wasteful
+//! when real event latencies fit comfortably below 2^40 ns
+//! (~18 minutes). The histogram defaults to [`DEFAULT_BUCKETS`] = 40
+//! octaves and routes anything at or above `2^buckets` into one explicit
+//! *overflow* bucket instead of silently dropping it: `count()` still
+//! includes the sample, `max_ns()` still reports it, and quantiles that
+//! land in the overflow bucket saturate to the observed maximum.
+//! `overflow_count()` exposes how many samples overflowed so dashboards
+//! can tell "p99 is 900ms" from "the histogram range is too small".
 //!
 //! Unlike [`Counter`](crate::Counter) and [`Gauge`](crate::Gauge), the
 //! histogram stays **functional with the `obs` feature off**: it predates
@@ -31,20 +34,38 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Default number of power-of-two buckets: covers up to `2^40` ns
-/// (~18 minutes) before the overflow bucket takes over.
+/// Default number of octaves: covers up to `2^40` ns (~18 minutes)
+/// before the overflow bucket takes over.
 pub const DEFAULT_BUCKETS: usize = 40;
 
-/// Upper limit on configurable buckets — 64 covers all of `u64`, at
+/// Upper limit on configurable octaves — 64 covers all of `u64`, at
 /// which point the overflow bucket is unreachable.
 pub const MAX_BUCKETS: usize = 64;
 
-/// A lock-free power-of-two histogram of `u64` samples (nanoseconds by
+/// Number of linear sub-buckets per octave.
+const SUBS: usize = 4;
+
+/// Slots needed to cover octaves `0..buckets` with [`SUBS`] sub-buckets
+/// each: values `0..4` get one exact slot apiece, every later octave
+/// `[2^b, 2^(b+1))` gets [`SUBS`] slots. Tiny ranges (`buckets <= 2`)
+/// stay fully linear.
+fn slot_count(buckets: usize) -> usize {
+    if buckets <= 2 {
+        1 << buckets
+    } else {
+        SUBS * buckets - SUBS
+    }
+}
+
+/// A lock-free log-linear histogram of `u64` samples (nanoseconds by
 /// convention), with a saturating overflow bucket past the top edge.
 #[derive(Debug)]
 pub struct Histogram {
-    /// `buckets + 1` slots; the final slot is the overflow bucket.
+    /// `slot_count(buckets) + 1` slots; the final slot is the overflow
+    /// bucket.
     counts: Box<[AtomicU64]>,
+    /// Octaves covered before overflow (`2^buckets` is the first
+    /// overflowing value).
     buckets: usize,
     total: AtomicU64,
     sum_ns: AtomicU64,
@@ -91,17 +112,18 @@ impl Clone for Histogram {
 }
 
 impl Histogram {
-    /// Creates a histogram with [`DEFAULT_BUCKETS`] power-of-two buckets
-    /// plus the overflow bucket.
+    /// Creates a histogram covering [`DEFAULT_BUCKETS`] octaves plus the
+    /// overflow bucket.
     pub fn new() -> Self {
         Self::with_buckets(DEFAULT_BUCKETS)
     }
 
-    /// Creates a histogram with `buckets` power-of-two buckets (clamped
-    /// to `1..=`[`MAX_BUCKETS`]) plus one overflow bucket.
+    /// Creates a histogram covering `buckets` octaves (clamped to
+    /// `1..=`[`MAX_BUCKETS`]) plus one overflow bucket; samples at or
+    /// above `2^buckets` overflow.
     pub fn with_buckets(buckets: usize) -> Self {
         let buckets = buckets.clamp(1, MAX_BUCKETS);
-        let counts = (0..=buckets).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        let counts = (0..=slot_count(buckets)).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
         Self {
             counts: counts.into_boxed_slice(),
             buckets,
@@ -111,17 +133,44 @@ impl Histogram {
         }
     }
 
-    /// Number of power-of-two buckets (excluding the overflow bucket).
+    /// Number of octaves covered (excluding the overflow bucket).
     pub fn buckets(&self) -> usize {
         self.buckets
+    }
+
+    /// The slot a sample lands in: exact slots below 4 (or below
+    /// `2^buckets` when the whole range is linear), then [`SUBS`] linear
+    /// sub-buckets per octave; `slot_count(buckets)` is the overflow
+    /// slot.
+    fn slot_of(&self, ns: u64) -> usize {
+        if self.buckets < MAX_BUCKETS && ns >= 1u64 << self.buckets {
+            return slot_count(self.buckets);
+        }
+        if ns < 4 || self.buckets <= 2 {
+            return ns as usize;
+        }
+        let b = (63 - ns.leading_zeros()) as usize;
+        let sub = ((ns >> (b - 2)) & 3) as usize;
+        SUBS * (b - 1) + sub
+    }
+
+    /// Inclusive upper edge of an in-range slot.
+    fn slot_edge(&self, slot: usize) -> u64 {
+        if slot < 4 || self.buckets <= 2 {
+            return slot as u64;
+        }
+        let b = slot / SUBS + 1;
+        let sub = (slot % SUBS) as u64;
+        // `(2^b - 1) + (sub + 1) * 2^(b-2)` stays in `u64` even for the
+        // top octave (`b = 63`, `sub = 3` lands exactly on `u64::MAX`).
+        ((1u64 << b) - 1) + (sub + 1) * (1u64 << (b - 2))
     }
 
     /// Records one sample. Samples at or above `2^buckets` land in the
     /// overflow bucket — counted, summed, and reflected in `max_ns`, never
     /// dropped.
     pub fn record(&self, ns: u64) {
-        let bucket =
-            ((u64::BITS - ns.leading_zeros()).saturating_sub(1) as usize).min(self.buckets);
+        let bucket = self.slot_of(ns);
         self.counts[bucket].fetch_add(1, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
@@ -150,7 +199,7 @@ impl Histogram {
     /// Samples that landed in the overflow bucket (at or above
     /// `2^buckets`).
     pub fn overflow_count(&self) -> u64 {
-        self.counts[self.buckets].load(Ordering::Relaxed)
+        self.counts[slot_count(self.buckets)].load(Ordering::Relaxed)
     }
 
     /// Saturating sum of all recorded samples.
@@ -169,8 +218,8 @@ impl Histogram {
     }
 
     /// Upper-edge quantile estimate: the returned value is ≥ the true
-    /// q-quantile and within 2x of it (bucket upper edge, clamped to the
-    /// observed maximum). Returns 0 when empty; `q` is clamped to
+    /// q-quantile and within 25% of it (sub-bucket upper edge, clamped
+    /// to the observed maximum). Returns 0 when empty; `q` is clamped to
     /// `[0, 1]`.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         let total = self.count();
@@ -179,16 +228,17 @@ impl Histogram {
         }
         let q = q.clamp(0.0, 1.0);
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let slots = slot_count(self.buckets);
         let mut seen = 0u64;
         for (b, c) in self.counts.iter().enumerate() {
             seen += c.load(Ordering::Relaxed);
             if seen >= rank {
-                let edge = if b >= self.buckets || b >= 63 {
-                    // Overflow bucket (or the full-u64 top bucket): the
-                    // only honest upper bound is the observed maximum.
+                let edge = if b >= slots {
+                    // Overflow bucket: the only honest upper bound is
+                    // the observed maximum.
                     u64::MAX
                 } else {
-                    (2u64 << b) - 1
+                    self.slot_edge(b)
                 };
                 return edge.min(self.max_ns());
             }
@@ -238,11 +288,28 @@ mod tests {
             h.record(ns);
         }
         assert_eq!(h.count(), 8);
-        // p50 -> 4th sample (400) -> bucket [256, 512) -> edge 511.
+        // p50 -> 4th sample (400) -> sub-bucket [384, 448) -> edge 447.
         let p50 = h.quantile_ns(0.5);
         assert!((400..=511).contains(&p50), "p50 = {p50}");
+        assert_eq!(p50, 447, "four sub-buckets per octave pin the edge");
         // p99 -> 8th sample -> clamped to the observed max.
         assert_eq!(h.quantile_ns(0.99), 100_000);
+    }
+
+    #[test]
+    fn sub_buckets_bound_quantile_error_to_a_quarter_octave() {
+        // Two samples an octave apart: the p50 edge must sit within 25%
+        // of the smaller sample, where power-of-two buckets put it at
+        // the octave edge (75% off for a sample near the lower edge).
+        let h = Histogram::new();
+        h.record(150_000);
+        h.record(400_000);
+        let p50 = h.quantile_ns(0.5);
+        assert_eq!(p50, 163_839, "150000 lands in sub-bucket [131072, 163840)");
+        assert!(
+            (p50 as f64) < 150_000.0 * 1.25,
+            "sub-bucket edge must stay within 25% of the sample"
+        );
     }
 
     #[test]
@@ -275,7 +342,7 @@ mod tests {
         // Regression for the silent-drop bug: a 4-bucket histogram tops
         // out at 2^4 = 16; samples at or beyond must still be counted.
         let h = Histogram::with_buckets(4);
-        h.record(3); // bucket 1
+        h.record(3); // exact linear slot
         h.record(16); // exactly the top edge -> overflow
         h.record(1_000_000); // far past -> overflow
         assert_eq!(h.count(), 3, "overflowed samples must not vanish from the count");

@@ -1213,8 +1213,13 @@ fn worker_loop<M: Metric>(rx: &Receiver<Job<M>>, ctx: &WorkerCtx) -> Vec<(String
             }
             Job::TopN { tenant, n, conn, rseq } => {
                 ctx.metrics.topn_requests.inc();
-                let text = match tenants.get(&tenant) {
-                    Some(t) => topn_record(n, &t.window.top_n(n), t.window.is_warming_up()),
+                let text = match tenants.get_mut(&tenant) {
+                    // `top_n` is `&mut` since the deferred engine flushes
+                    // its score caches before ranking.
+                    Some(t) => {
+                        let ranked = t.window.top_n(n);
+                        topn_record(n, &ranked, t.window.is_warming_up())
+                    }
                     None => {
                         ctx.metrics.error_records.inc();
                         error_record(&format!("tenant '{tenant}' no longer exists"))

@@ -135,9 +135,10 @@ impl ServeMetrics {
 
     /// Renders the reply to one top-n request: the window's current
     /// ranking as a single typed record (empty during warm-up).
-    fn answer_topn<M: Metric>(&self, window: &SlidingWindowLof<M>, n: usize) -> String {
+    fn answer_topn<M: Metric>(&self, window: &mut SlidingWindowLof<M>, n: usize) -> String {
         self.topn_requests.inc();
-        topn_record(n, &window.top_n(n), window.is_warming_up())
+        let ranked = window.top_n(n);
+        topn_record(n, &ranked, window.is_warming_up())
     }
 }
 
@@ -177,7 +178,7 @@ pub fn run_stream<M: Metric>(
         }
         match parse_topn_request(&line) {
             Some(Some(n)) => {
-                writeln!(output, "{}", metrics.answer_topn(&window, n))?;
+                writeln!(output, "{}", metrics.answer_topn(&mut window, n))?;
                 continue;
             }
             Some(None) => {
@@ -371,7 +372,7 @@ fn score_loop<M: Metric>(mut window: SlidingWindowLof<M>, jobs: Receiver<Job>) -
                 error_record(&message)
             }
             Payload::Metrics(format) => metrics.answer(&registry, format),
-            Payload::TopN(n) => metrics.answer_topn(&window, n),
+            Payload::TopN(n) => metrics.answer_topn(&mut window, n),
         };
         // A dropped receiver means the client hung up mid-reply; the event
         // is already applied to the window, so just move on.
@@ -532,7 +533,7 @@ mod tests {
         input.push_str("/topn 2\n");
         input.push_str("/topn\n");
         let mut output = Vec::new();
-        let (window, summary) = run_stream(window, input.as_bytes(), &mut output).unwrap();
+        let (mut window, summary) = run_stream(window, input.as_bytes(), &mut output).unwrap();
         let text = String::from_utf8(output).unwrap();
         let topn_lines: Vec<&str> =
             text.lines().filter(|l| l.starts_with("{\"type\":\"topn\"")).collect();

@@ -10,7 +10,7 @@
 //! are enough for [`SlidingWindowLof::restore`] to rebuild a model that
 //! scores and evicts **bit-identically** to the uninterrupted run.
 //!
-//! Format (`LOFW` magic, version 1, all integers little-endian):
+//! Format (`LOFW` magic, version 2, all integers little-endian):
 //!
 //! ```text
 //! [magic u32 = 0x4C4F4657] [version u32] [payload_len u64]
@@ -22,12 +22,19 @@
 //!
 //! ```text
 //! metric_tag:str  min_pts:u64 capacity:u64 warmup:u64 policy:u8
-//! threshold:opt<f64> top_k:opt<u64>  dims:u64 warming:u8
+//! threshold:opt<f64> top_k:opt<u64>  shards:u64 deferred:u8
+//! dims:u64 warming:u8
 //! n:u64 points:n*dims*f64  arrivals:(count:u64, count*u64)
 //! next_seq:u64 next_arrival:u64
 //! events:u64 scored:u64 evictions:u64 alerts:u64 cascade_lofs:u64
+//! border_repairs:u64
 //! extras:(count:u64, count*(key:str, value:str))
 //! ```
+//!
+//! Version 1 (readable, never written) lacks the `shards` / `deferred` /
+//! `border_repairs` fields; they default to `1` / off / `0`, so a v1
+//! snapshot restores into an unsharded eager window exactly as it always
+//! did.
 //!
 //! `extras` carries serving-layer annotations (tenant name, quota
 //! settings) opaquely: the window itself neither reads nor validates
@@ -50,7 +57,9 @@ use std::path::Path;
 /// `"LOFW"` interpreted as a little-endian u32.
 pub const MAGIC: u32 = 0x4C4F_4657;
 /// Current format version.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
+/// Oldest version [`WindowSnapshot::from_bytes`] still reads.
+pub const MIN_VERSION: u32 = 1;
 
 /// Hard cap on the declared payload length (1 GiB): a corrupt header
 /// must not drive a multi-gigabyte allocation before the CRC check.
@@ -84,6 +93,9 @@ pub struct SnapshotStats {
     pub alerts: u64,
     /// Total LOF recomputations across all cascades.
     pub cascade_lofs: u64,
+    /// Cross-shard cascade repairs (0 in v1 snapshots and unsharded
+    /// windows).
+    pub border_repairs: u64,
 }
 
 /// A serializable image of a [`SlidingWindowLof`]'s scoring state.
@@ -207,6 +219,8 @@ impl WindowSnapshot {
             }
             None => payload.push(0),
         }
+        put_u64(&mut payload, self.config.shards as u64);
+        payload.push(u8::from(self.config.deferred));
         put_u64(&mut payload, self.dims as u64);
         payload.push(u8::from(self.warming));
         let n = self.points.len().checked_div(self.dims).unwrap_or(0);
@@ -225,6 +239,7 @@ impl WindowSnapshot {
         put_u64(&mut payload, self.stats.evictions);
         put_u64(&mut payload, self.stats.alerts);
         put_u64(&mut payload, self.stats.cascade_lofs);
+        put_u64(&mut payload, self.stats.border_repairs);
         put_u64(&mut payload, self.extras.len() as u64);
         for (k, v) in &self.extras {
             put_str(&mut payload, k);
@@ -255,7 +270,7 @@ impl WindowSnapshot {
             return Err(bad("not a LOF window snapshot (bad magic)"));
         }
         let version = u32::from_le_bytes(cur.take(4)?.try_into().expect("4 bytes"));
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(bad("unsupported LOF window snapshot version"));
         }
         let payload_len = cur.u64()?;
@@ -291,7 +306,20 @@ impl WindowSnapshot {
             1 => Some(cur.usize()?),
             _ => return Err(bad("bad top_k presence byte")),
         };
-        let config = StreamConfig { min_pts, capacity, warmup, policy, threshold, top_k };
+        // v1 predates engine modes: flat eager windows only.
+        let (shards, deferred) = if version >= 2 {
+            let shards = cur.usize()?;
+            let deferred = match cur.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(bad("bad deferred byte")),
+            };
+            (shards, deferred)
+        } else {
+            (1, false)
+        };
+        let config =
+            StreamConfig { min_pts, capacity, warmup, policy, threshold, top_k, shards, deferred };
         config.validate().map_err(|e| bad(&format!("snapshot config invalid: {e}")))?;
 
         let dims = cur.usize()?;
@@ -326,6 +354,7 @@ impl WindowSnapshot {
             evictions: cur.u64()?,
             alerts: cur.u64()?,
             cascade_lofs: cur.u64()?,
+            border_repairs: if version >= 2 { cur.u64()? } else { 0 },
         };
         let extra_count = cur.usize()?;
         let mut extras = Vec::with_capacity(extra_count.min(1024));
@@ -392,16 +421,100 @@ mod tests {
     fn sample() -> WindowSnapshot {
         WindowSnapshot {
             metric_tag: "euclidean".to_owned(),
-            config: StreamConfig::new(3, 16).warmup(8).threshold(2.0).top_k(4),
+            config: StreamConfig::new(3, 16)
+                .warmup(8)
+                .threshold(2.0)
+                .top_k(4)
+                .shards(4)
+                .deferred(true),
             dims: 2,
             warming: false,
             points: vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
             arrivals: vec![7, 3, 4, 5, 6],
             next_seq: 8,
             next_arrival: 8,
-            stats: SnapshotStats { events: 8, scored: 3, evictions: 3, alerts: 1, cascade_lofs: 9 },
+            stats: SnapshotStats {
+                events: 8,
+                scored: 3,
+                evictions: 3,
+                alerts: 1,
+                cascade_lofs: 9,
+                border_repairs: 2,
+            },
             extras: vec![("tenant".to_owned(), "alpha".to_owned())],
         }
+    }
+
+    /// Serializes `snap` in the retired v1 layout (no shards / deferred /
+    /// border_repairs fields) so the compat read path stays covered.
+    fn v1_bytes(snap: &WindowSnapshot) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_str(&mut payload, &snap.metric_tag);
+        put_u64(&mut payload, snap.config.min_pts as u64);
+        put_u64(&mut payload, snap.config.capacity as u64);
+        put_u64(&mut payload, snap.config.warmup as u64);
+        payload.push(match snap.config.policy {
+            EvictionPolicy::SlideOldest => 0,
+            EvictionPolicy::Landmark => 1,
+        });
+        match snap.config.threshold {
+            Some(t) => {
+                payload.push(1);
+                payload.extend_from_slice(&t.to_le_bytes());
+            }
+            None => payload.push(0),
+        }
+        match snap.config.top_k {
+            Some(k) => {
+                payload.push(1);
+                put_u64(&mut payload, k as u64);
+            }
+            None => payload.push(0),
+        }
+        put_u64(&mut payload, snap.dims as u64);
+        payload.push(u8::from(snap.warming));
+        put_u64(&mut payload, (snap.points.len() / snap.dims.max(1)) as u64);
+        for &c in &snap.points {
+            payload.extend_from_slice(&c.to_le_bytes());
+        }
+        put_u64(&mut payload, snap.arrivals.len() as u64);
+        for &a in &snap.arrivals {
+            put_u64(&mut payload, a);
+        }
+        put_u64(&mut payload, snap.next_seq);
+        put_u64(&mut payload, snap.next_arrival);
+        put_u64(&mut payload, snap.stats.events);
+        put_u64(&mut payload, snap.stats.scored);
+        put_u64(&mut payload, snap.stats.evictions);
+        put_u64(&mut payload, snap.stats.alerts);
+        put_u64(&mut payload, snap.stats.cascade_lofs);
+        put_u64(&mut payload, snap.extras.len() as u64);
+        for (k, v) in &snap.extras {
+            put_str(&mut payload, k);
+            put_str(&mut payload, v);
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let crc = crc32(&payload);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn v1_snapshots_restore_as_flat_eager_windows() {
+        let mut snap = sample();
+        // A v1 writer could not have produced engine-mode settings.
+        snap.config.shards = 1;
+        snap.config.deferred = false;
+        snap.stats.border_repairs = 0;
+        let back = WindowSnapshot::from_bytes(&v1_bytes(&snap)).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.config.shards, 1);
+        assert!(!back.config.deferred);
+        assert_eq!(back.stats.border_repairs, 0);
     }
 
     #[test]

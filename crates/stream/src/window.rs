@@ -44,6 +44,16 @@ pub struct StreamConfig {
     /// Relative alert rule: flag events whose score ranks among the `k`
     /// highest LOF values of the current window.
     pub top_k: Option<usize>,
+    /// Spatial shards the model is partitioned into (1 = flat engine).
+    /// Scores are bit-identical at any shard count — sharding changes
+    /// which distances are computed, never which values are produced.
+    pub shards: usize,
+    /// Defer lrd/LOF maintenance to the read side (the arriving event's
+    /// score, [`top_n`](SlidingWindowLof::top_n), and the top-k alert
+    /// rule flush exactly what they need). Scores stay bit-identical to
+    /// eager maintenance; per-event cost drops sharply for streams that
+    /// read only the arriving score.
+    pub deferred: bool,
 }
 
 impl StreamConfig {
@@ -57,6 +67,8 @@ impl StreamConfig {
             policy: EvictionPolicy::SlideOldest,
             threshold: None,
             top_k: None,
+            shards: 1,
+            deferred: false,
         }
     }
 
@@ -88,15 +100,31 @@ impl StreamConfig {
         self
     }
 
+    /// Sets the shard count (1 disables sharding).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Switches score maintenance between eager and deferred.
+    #[must_use]
+    pub fn deferred(mut self, deferred: bool) -> Self {
+        self.deferred = deferred;
+        self
+    }
+
     /// Checks the invariants the window needs: `min_pts >= 1`,
     /// `capacity > min_pts + 1` (room to evict while neighborhoods stay
-    /// defined), `warmup` within `min_pts + 1 ..= capacity`.
+    /// defined), `warmup` within `min_pts + 1 ..= capacity`,
+    /// `shards >= 1`.
     ///
     /// # Errors
     ///
     /// Returns [`LofError::InvalidMinPts`] when the window could never hold
     /// a defined neighborhood, [`LofError::InvalidRange`] when the warm-up
-    /// falls outside the valid band.
+    /// falls outside the valid band, [`LofError::InvalidPartition`] for a
+    /// zero shard count.
     pub fn validate(&self) -> Result<()> {
         if self.min_pts == 0 || self.capacity <= self.min_pts + 1 {
             return Err(LofError::InvalidMinPts {
@@ -106,6 +134,11 @@ impl StreamConfig {
         }
         if self.warmup <= self.min_pts || self.warmup > self.capacity {
             return Err(LofError::InvalidRange { lb: self.warmup, ub: self.capacity });
+        }
+        if self.shards == 0 {
+            return Err(LofError::InvalidPartition(
+                "shard count must be at least 1 (1 = unsharded)".to_owned(),
+            ));
         }
         Ok(())
     }
@@ -164,6 +197,9 @@ pub struct StreamStats {
     pub alerts: u64,
     /// Total LOF recomputations across all cascades (insert + evict).
     pub cascade_lofs: u64,
+    /// Cross-shard cascade repairs: cascade members living outside the
+    /// triggering event's home shard. Always 0 while unsharded.
+    pub border_repairs: u64,
     /// Scoring latency distribution over scored events.
     pub latency: Arc<LatencyHistogram>,
 }
@@ -177,6 +213,7 @@ struct WindowMetrics {
     evictions: Arc<Counter>,
     alerts: Arc<Counter>,
     cascade_lofs: Arc<Counter>,
+    border_repairs: Arc<Counter>,
     occupancy: Arc<Gauge>,
     last_lof: Arc<Gauge>,
 }
@@ -189,6 +226,7 @@ impl WindowMetrics {
             evictions: registry.counter("stream.evictions"),
             alerts: registry.counter("stream.alerts"),
             cascade_lofs: registry.counter("stream.cascade_lofs"),
+            border_repairs: registry.counter("stream.shard.border_repairs"),
             occupancy: registry.gauge("stream.window_occupancy"),
             last_lof: registry.gauge("stream.last_lof"),
         }
@@ -221,6 +259,10 @@ pub struct SlidingWindowLof<M: Metric> {
     pending: Option<Dataset>,
     model: Option<IncrementalLof<M>>,
     next_seq: u64,
+    /// The model's lifetime border-repair count already folded into
+    /// `stats.border_repairs` (the model counter restarts at 0 on
+    /// restore while the stream counter resumes).
+    border_seen: u64,
     stats: StreamStats,
     registry: Arc<MetricsRegistry>,
     metrics: WindowMetrics,
@@ -258,6 +300,7 @@ impl<M: Metric> SlidingWindowLof<M> {
             pending: None,
             model: None,
             next_seq: 0,
+            border_seen: 0,
             stats,
             registry,
             metrics,
@@ -367,6 +410,15 @@ impl<M: Metric> SlidingWindowLof<M> {
             self.stats.cascade_lofs += c.lofs_recomputed as u64;
             self.metrics.cascade_lofs.add(c.lofs_recomputed as u64);
         }
+        if let Some(model) = self.model.as_ref() {
+            let repairs = model.border_repairs();
+            let delta = repairs - self.border_seen;
+            if delta > 0 {
+                self.border_seen = repairs;
+                self.stats.border_repairs += delta;
+                self.metrics.border_repairs.add(delta);
+            }
+        }
         self.metrics.occupancy.set(event.window_len as f64);
         Ok(event)
     }
@@ -379,9 +431,22 @@ impl<M: Metric> SlidingWindowLof<M> {
         if pending.len() >= self.config.warmup {
             let seed = self.pending.take().expect("warm-up buffer exists");
             let metric = self.metric.take().expect("metric unclaimed before model build");
-            self.model = Some(IncrementalLof::new(seed, metric, self.config.min_pts)?);
+            let mut model = IncrementalLof::new(seed, metric, self.config.min_pts)?;
+            Self::apply_engine_modes(&mut model, &self.config);
+            self.model = Some(model);
         }
         Ok(())
+    }
+
+    /// Applies the configured engine modes to a freshly built model
+    /// (warm-up completion and snapshot restore share this).
+    fn apply_engine_modes(model: &mut IncrementalLof<M>, config: &StreamConfig) {
+        if config.shards > 1 {
+            model.enable_sharding(config.shards, 1);
+        }
+        if config.deferred {
+            model.enable_deferred(true);
+        }
     }
 
     /// Live path: insert, evict per policy, and re-read the event's score
@@ -391,11 +456,15 @@ impl<M: Metric> SlidingWindowLof<M> {
         point: &[f64],
     ) -> Result<(Option<f64>, Option<u64>, Option<UpdateStats>)> {
         let model = self.model.as_mut().expect("live model");
-        let (id, score, insert_stats) = model.insert(point)?;
+        // Lazy insert + a single `lof_now` read after the eviction
+        // decision: in deferred mode the emitted (post-eviction) score is
+        // then computed exactly once per event.
+        let (id, insert_stats) = model.insert_lazy(point)?;
 
         let over_capacity =
             self.config.policy == EvictionPolicy::SlideOldest && model.len() > self.config.capacity;
         if !over_capacity {
+            let score = model.lof_now(id)?;
             return Ok((Some(score), None, Some(insert_stats)));
         }
 
@@ -408,7 +477,9 @@ impl<M: Metric> SlidingWindowLof<M> {
         debug_assert_ne!(oldest, id, "the newest event is never the eviction candidate");
         let evict_stats = model.remove(oldest)?;
         let new_id = model.newest();
-        let score = model.lof(new_id)?;
+        // `lof_now` (not `lof`): in deferred mode it refreshes exactly the
+        // lrds this one score averages; in eager mode it is a plain read.
+        let score = model.lof_now(new_id)?;
         Ok((Some(score), Some(evicted_seq), Some(insert_stats.merge(evict_stats))))
     }
 
@@ -418,11 +489,15 @@ impl<M: Metric> SlidingWindowLof<M> {
     ///
     /// This is a snapshot of the maintained incremental scores — the
     /// sliding window keeps every member's LOF current after each
-    /// insert/evict cascade, so answering is a sort, not a sweep.
-    pub fn top_n(&self, n: usize) -> Vec<(u64, f64)> {
-        let Some(model) = self.model.as_ref() else {
+    /// insert/evict cascade, so answering is a sort, not a sweep. In
+    /// deferred mode the model is flushed first (hence `&mut self`), so
+    /// the ranking is exactly the eager one.
+    pub fn top_n(&mut self, n: usize) -> Vec<(u64, f64)> {
+        let Some(model) = self.model.as_mut() else {
             return Vec::new();
         };
+        model.flush();
+        let model = &*model;
         let mut ranked: Vec<(u64, f64)> = (0..model.len())
             .map(|id| {
                 let seq = model.arrival(id).expect("window members have arrivals");
@@ -471,6 +546,7 @@ impl<M: Metric> SlidingWindowLof<M> {
                 evictions: self.stats.evictions,
                 alerts: self.stats.alerts,
                 cascade_lofs: self.stats.cascade_lofs,
+                border_repairs: self.stats.border_repairs,
             },
             extras: Vec::new(),
         }
@@ -535,13 +611,15 @@ impl<M: Metric> SlidingWindowLof<M> {
         } else {
             let data = Dataset::from_flat(snap.dims, snap.points.clone())?;
             let metric = window.metric.take().expect("metric unclaimed before restore build");
-            window.model = Some(IncrementalLof::with_arrivals(
+            let mut model = IncrementalLof::with_arrivals(
                 data,
                 metric,
                 snap.config.min_pts,
                 snap.arrivals.clone(),
                 snap.next_arrival,
-            )?);
+            )?;
+            Self::apply_engine_modes(&mut model, &window.config);
+            window.model = Some(model);
         }
         window.next_seq = snap.next_seq;
         window.stats.events = snap.stats.events;
@@ -549,22 +627,29 @@ impl<M: Metric> SlidingWindowLof<M> {
         window.stats.evictions = snap.stats.evictions;
         window.stats.alerts = snap.stats.alerts;
         window.stats.cascade_lofs = snap.stats.cascade_lofs;
+        // The rebuilt model's border counter restarts at 0; the stream
+        // counter resumes from the snapshot (border_seen stays 0).
+        window.stats.border_repairs = snap.stats.border_repairs;
         window.metrics.events.add(snap.stats.events);
         window.metrics.scored.add(snap.stats.scored);
         window.metrics.evictions.add(snap.stats.evictions);
         window.metrics.alerts.add(snap.stats.alerts);
         window.metrics.cascade_lofs.add(snap.stats.cascade_lofs);
+        window.metrics.border_repairs.add(snap.stats.border_repairs);
         window.metrics.occupancy.set(window.len() as f64);
         Ok(window)
     }
 
     /// True when at most `k - 1` window members score strictly higher than
-    /// `score` (i.e. the event ranks in the window's top-`k`).
-    fn ranks_in_top_k(&self, score: f64, k: usize) -> bool {
+    /// `score` (i.e. the event ranks in the window's top-`k`). Flushes a
+    /// deferred model first — the rule compares against every member's
+    /// current score.
+    fn ranks_in_top_k(&mut self, score: f64, k: usize) -> bool {
         if k == 0 {
             return false;
         }
-        let model = self.model.as_ref().expect("scored events imply a live model");
+        let model = self.model.as_mut().expect("scored events imply a live model");
+        model.flush();
         let higher = model.lof_values().iter().filter(|&&v| v > score).count();
         higher < k
     }

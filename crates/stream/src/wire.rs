@@ -12,7 +12,7 @@
 //! ```json
 //! {"type":"score","seq":7,"lof":1.04,"alert":false,"alerts":[],
 //!  "warmup":false,"window":400,"evicted":3,
-//!  "cascade":{"neighborhoods_updated":2,"lrds_recomputed":9,"lofs_recomputed":31},
+//!  "cascade":{"neighborhoods_updated":2,"lrds_recomputed":9,"lofs_recomputed":31,"cascade_depth":3},
 //!  "latency_us":12.5}
 //! {"type":"error","error":"line 12: unparsable event"}
 //! ```
@@ -552,6 +552,7 @@ mod tests {
                 neighborhoods_updated: 2,
                 lrds_recomputed: 9,
                 lofs_recomputed: 31,
+                cascade_depth: 3,
             }),
             threshold_alert: true,
             top_k_alert: false,

@@ -1,0 +1,210 @@
+//! Shard-border reconciliation and deferred-mode equivalence at the
+//! window level: a sharded and/or deferred [`SlidingWindowLof`] must
+//! emit — and hold — **bit-identical** scores to the flat eager window
+//! and to a fresh batch build after *every* event, through duplicates,
+//! tie shells, and eviction storms. Sharding and deferral change which
+//! work happens when, never what is computed.
+
+use lof_core::incremental::IncrementalLof;
+use lof_core::Euclidean;
+use lof_stream::{SlidingWindowLof, StreamConfig, WindowSnapshot};
+use proptest::prelude::*;
+
+/// Pushes one point into every window and asserts the emitted events
+/// agree bit-for-bit (score, eviction, alerts — everything but latency).
+fn push_all(
+    windows: &mut [(&str, SlidingWindowLof<Euclidean>)],
+    point: &[f64],
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let reference = windows[0].1.push(point).unwrap();
+    let ref_name = windows[0].0;
+    for (name, window) in &mut windows[1..] {
+        let event = window.push(point).unwrap();
+        prop_assert_eq!(event.seq, reference.seq);
+        prop_assert_eq!(event.warmup, reference.warmup, "{}: warmup vs {}", name, context);
+        prop_assert_eq!(
+            event.score.map(f64::to_bits),
+            reference.score.map(f64::to_bits),
+            "{}: {} emits a different score than {}",
+            context,
+            name,
+            ref_name
+        );
+        prop_assert_eq!(event.evicted, reference.evicted, "{}: {}", name, context);
+        prop_assert_eq!(event.threshold_alert, reference.threshold_alert);
+        prop_assert_eq!(event.top_k_alert, reference.top_k_alert);
+        prop_assert_eq!(event.window_len, reference.window_len);
+    }
+    Ok(())
+}
+
+/// Asserts every window holds the same full ranking, and that it matches
+/// a fresh batch build over the window contents (the batch oracle).
+fn assert_rankings_agree(
+    windows: &mut [(&str, SlidingWindowLof<Euclidean>)],
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let reference: Vec<(u64, u64)> =
+        windows[0].1.top_n(usize::MAX).into_iter().map(|(seq, lof)| (seq, lof.to_bits())).collect();
+    for (name, window) in &mut windows[1..] {
+        let ranking: Vec<(u64, u64)> =
+            window.top_n(usize::MAX).into_iter().map(|(seq, lof)| (seq, lof.to_bits())).collect();
+        prop_assert_eq!(&ranking, &reference, "{}: ranking diverges ({})", name, context);
+    }
+    // Batch oracle over the reference window's current contents.
+    if let Some(model) = windows[0].1.model() {
+        let oracle = IncrementalLof::new(model.dataset().clone(), Euclidean, model.min_pts())
+            .expect("window contents are a valid seed");
+        for (id, (live, batch)) in model.lof_values().iter().zip(oracle.lof_values()).enumerate() {
+            prop_assert_eq!(
+                live.to_bits(),
+                batch.to_bits(),
+                "{}: id {} diverges from the batch oracle",
+                context,
+                id
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Tie-shell-heavy coordinates: a tiny integer grid (exact duplicate
+/// distances everywhere) mixed with jittered continuous values.
+fn coord_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), Just(1.0), Just(2.0), Just(3.0), -4.0..4.0f64]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// sharded(N) == sharded(1) == flat eager == batch, after every event.
+    fn sharded_and_deferred_windows_match_the_flat_eager_window(
+        points in proptest::collection::vec((coord_strategy(), coord_strategy()), 30..80),
+        min_pts in 2usize..5,
+        extra_capacity in 2usize..10,
+    ) {
+        let capacity = min_pts + extra_capacity;
+        let base = StreamConfig::new(min_pts, capacity).top_k(2);
+        let mut windows = vec![
+            ("flat-eager", SlidingWindowLof::new(base.clone(), Euclidean).unwrap()),
+            ("shards-1", SlidingWindowLof::new(base.clone().shards(1), Euclidean).unwrap()),
+            ("shards-2", SlidingWindowLof::new(base.clone().shards(2), Euclidean).unwrap()),
+            ("shards-4", SlidingWindowLof::new(base.clone().shards(4), Euclidean).unwrap()),
+            ("deferred", SlidingWindowLof::new(base.clone().deferred(true), Euclidean).unwrap()),
+            (
+                "shards-4-deferred",
+                SlidingWindowLof::new(base.shards(4).deferred(true), Euclidean).unwrap(),
+            ),
+        ];
+        for (i, (x, y)) in points.iter().enumerate() {
+            let context = format!("event {i}");
+            push_all(&mut windows, &[*x, *y], &context)?;
+        }
+        assert_rankings_agree(&mut windows, "end of stream")?;
+    }
+
+    /// An eviction storm — capacity pinned at the legal minimum so every
+    /// post-warm-up push evicts — with duplicate-saturated input.
+    fn eviction_storms_over_duplicates_stay_bit_identical(
+        points in proptest::collection::vec((0u8..3, 0u8..3), 40..90),
+        min_pts in 2usize..4,
+    ) {
+        let capacity = min_pts + 2; // smallest validate() accepts
+        let base = StreamConfig::new(min_pts, capacity);
+        let mut windows = vec![
+            ("flat-eager", SlidingWindowLof::new(base.clone(), Euclidean).unwrap()),
+            ("shards-3", SlidingWindowLof::new(base.clone().shards(3), Euclidean).unwrap()),
+            (
+                "shards-2-deferred",
+                SlidingWindowLof::new(base.deferred(true).shards(2), Euclidean).unwrap(),
+            ),
+        ];
+        for (i, (x, y)) in points.iter().enumerate() {
+            let context = format!("storm event {i}");
+            push_all(&mut windows, &[f64::from(*x), f64::from(*y)], &context)?;
+            if i % 7 == 0 {
+                assert_rankings_agree(&mut windows, &context)?;
+            }
+        }
+        assert_rankings_agree(&mut windows, "after the storm")?;
+    }
+
+    /// A sharded deferred window survives a snapshot round-trip: the
+    /// restored window scores bit-identically to the uninterrupted one
+    /// and keeps its engine configuration and border accounting.
+    fn sharded_snapshot_round_trip_resumes_bit_identically(
+        points in proptest::collection::vec((coord_strategy(), coord_strategy()), 40..80),
+        cut in 20usize..35,
+    ) {
+        let config = StreamConfig::new(3, 16).shards(4).deferred(true).threshold(1.8);
+        let mut original = SlidingWindowLof::new(config, Euclidean).unwrap();
+        for (x, y) in &points[..cut] {
+            original.push(&[*x, *y]).unwrap();
+        }
+        let snap = original.snapshot("euclidean");
+        prop_assert_eq!(snap.config.shards, 4, "shard count rides the snapshot");
+        prop_assert!(snap.config.deferred, "deferred flag rides the snapshot");
+        prop_assert_eq!(snap.stats.border_repairs, original.stats().border_repairs);
+
+        let bytes = snap.to_bytes();
+        let decoded = WindowSnapshot::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &snap, "wire round-trip is lossless");
+        let mut restored = SlidingWindowLof::restore(&decoded, Euclidean, "euclidean").unwrap();
+        prop_assert_eq!(restored.stats().border_repairs, snap.stats.border_repairs);
+
+        for (i, (x, y)) in points[cut..].iter().enumerate() {
+            let a = original.push(&[*x, *y]).unwrap();
+            let b = restored.push(&[*x, *y]).unwrap();
+            prop_assert_eq!(a.seq, b.seq);
+            prop_assert_eq!(
+                a.score.map(f64::to_bits),
+                b.score.map(f64::to_bits),
+                "post-restore event {} diverges",
+                i
+            );
+            prop_assert_eq!(a.evicted, b.evicted);
+            prop_assert_eq!(a.threshold_alert, b.threshold_alert);
+        }
+        let a: Vec<(u64, u64)> =
+            original.top_n(usize::MAX).into_iter().map(|(s, l)| (s, l.to_bits())).collect();
+        let b: Vec<(u64, u64)> =
+            restored.top_n(usize::MAX).into_iter().map(|(s, l)| (s, l.to_bits())).collect();
+        prop_assert_eq!(a, b, "restored ranking diverges");
+        // Note: border_repairs may legitimately drift between the two
+        // from here on — the restored window builds its shard layout
+        // from the *current* contents while the original's dates from
+        // warm-up, so which cascades cross borders differs even though
+        // every score is bit-identical.
+    }
+}
+
+/// Border-repair accounting: a sharded window under churn must cross
+/// shard borders (the counter moves); an unsharded window never does.
+#[test]
+fn border_repairs_flow_into_stats_and_the_registry() {
+    let sharded = StreamConfig::new(4, 48).warmup(32).shards(4);
+    let mut w = SlidingWindowLof::new(sharded, Euclidean).unwrap();
+    let mut flat = SlidingWindowLof::new(StreamConfig::new(4, 48).warmup(32), Euclidean).unwrap();
+    for i in 0..200u32 {
+        let p = [f64::from(i % 7), f64::from((i / 7) % 9)];
+        w.push(&p).unwrap();
+        flat.push(&p).unwrap();
+    }
+    assert!(w.stats().border_repairs > 0, "200 churn events across 4 shards must cross borders");
+    assert_eq!(flat.stats().border_repairs, 0, "flat windows never cross borders");
+    if lof_obs::enabled() {
+        assert_eq!(
+            w.registry().counter("stream.shard.border_repairs").value(),
+            w.stats().border_repairs,
+            "registry mirror tracks the stats"
+        );
+    }
+}
+
+/// The validate() gate: a zero shard count can never build a window.
+#[test]
+fn zero_shards_are_rejected() {
+    let config = StreamConfig::new(3, 16).shards(0);
+    assert!(SlidingWindowLof::new(config, Euclidean).is_err());
+}

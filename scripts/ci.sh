@@ -30,6 +30,14 @@ cargo build -p lof-stream
 cargo test -p lof-stream -q
 cargo test -p lof-stream --test serve -q
 
+echo "== streaming: shard differential + deferred equivalence =="
+# sharded(N) == sharded(1) == flat eager == batch oracle, bit for bit,
+# after every event — through duplicates, tie shells, and eviction
+# storms — plus the sharded snapshot round-trip; rerun forced-scalar
+# since the sharded gather path skips the SIMD surrogate prefilter.
+cargo test -p lof-stream --test shards -q
+LOF_FORCE_SCALAR=1 cargo test -p lof-stream --test shards -q
+
 echo "== observability: instrumented crates with obs compiled OFF =="
 # The whole stack must stay green when instrumentation compiles to
 # no-ops (`--no-default-features`): counters read zero, spans vanish,
@@ -64,6 +72,23 @@ trap - EXIT
 grep -q 'lof_serve_events_in 3' /tmp/lof_ci_serve.out
 grep -q '# EOF' /tmp/lof_ci_serve.out
 echo "serve metrics smoke OK"
+
+echo "== release smoke: sharded deferred stream == flat eager stream =="
+# End to end through the real release binary: the same event file must
+# produce identical scores and alerts under `--shards 4 --deferred` and
+# under the flat eager default — only timing and cascade accounting may
+# differ, so the comparison projects each record onto seq/lof/alert.
+awk 'BEGIN{srand(7);for(i=0;i<400;i++)printf "%.3f,%.3f\n",(i%19)*0.5+rand(),(i%23)*0.4+rand()}' \
+  > /tmp/lof_ci_stream_events.csv
+./target/release/lof stream --minpts 5 --capacity 64 --threshold 1.5 \
+  /tmp/lof_ci_stream_events.csv \
+  | grep -o '"seq":[0-9]*,"lof":[^,]*,"alert":[a-z]*' > /tmp/lof_ci_stream_flat.txt
+./target/release/lof stream --minpts 5 --capacity 64 --threshold 1.5 --shards 4 --deferred \
+  /tmp/lof_ci_stream_events.csv \
+  | grep -o '"seq":[0-9]*,"lof":[^,]*,"alert":[a-z]*' > /tmp/lof_ci_stream_sharded.txt
+[ -s /tmp/lof_ci_stream_flat.txt ]
+cmp /tmp/lof_ci_stream_flat.txt /tmp/lof_ci_stream_sharded.txt
+echo "sharded stream differential OK"
 
 echo "== release smoke: serve saturation (event loop, 64 clients) =="
 # bench_serve aborts on any dropped or rejected event, on an unclean
