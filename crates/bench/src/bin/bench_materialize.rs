@@ -12,19 +12,38 @@
 //!
 //! Writes `BENCH_materialize.json` (override with `BENCH_MATERIALIZE_OUT`).
 //! Run with `--release`; scale with `LOF_SCALE`, or pin the exact point
-//! count with `LOF_MATERIALIZE_N`.
+//! count with `LOF_MATERIALIZE_N`. `LOF_OOC_N=1000000,10000000` adds the
+//! out-of-core tiers: each listed point count runs the full `.lofd` →
+//! mmap → kd self-join → disk-spilled table → range-scores pipeline under
+//! a deliberately small resident budget, asserting bit-identity to the
+//! in-RAM pipeline at tiers that still fit in RAM.
 
 use lof_bench::{banner, scale, time};
 use lof_core::knn::KnnScratch;
 use lof_core::{
-    lof_range, lof_range_reference, Dataset, Euclidean, KnnProvider, LinearScan, MinPtsRange,
-    Neighbor, NeighborhoodTable,
+    lof_range, lof_range_reference, Aggregate, Dataset, Euclidean, KnnProvider, LinearScan, Lofd,
+    MinPtsRange, Neighbor, NeighborhoodTable, SpilledNeighborhoodTable,
 };
 use lof_data::paper::perf_mixture;
 use lof_index::{BallTree, KdTree};
 
 const MAX_K: usize = 50;
 const MIN_PTS_LB: usize = 10;
+/// Out-of-core tier parameters: low dimensionality and a shallow table so
+/// the 10M-point run is index-bound, not O(n^2)-bound.
+const OOC_DIMS: usize = 4;
+const OOC_MAX_K: usize = 10;
+const OOC_MIN_PTS_LB: usize = 5;
+/// Ceiling of the deliberately small resident budget for the spilled
+/// neighborhood table; the per-tier budget is 1/8 of the estimated
+/// serialized table, clamped to [1 MiB, this] — always far below both the
+/// coordinate file and the table, so the segment cache must spill, evict,
+/// and reload to finish.
+const OOC_BUDGET_MAX_BYTES: usize = 64 << 20;
+/// Largest tier that also runs the full in-RAM pipeline for the
+/// bit-identity gate (beyond this the in-RAM side is the thing the
+/// out-of-core path exists to avoid).
+const OOC_IDENTITY_MAX: usize = 1_000_000;
 /// Timing rounds per measured path; the fastest round is reported.
 const ROUNDS: usize = 2;
 /// Extra rounds for the (cheaper) sweep timings.
@@ -86,6 +105,97 @@ fn assert_flat_identical(
             w.dist
         );
     }
+}
+
+/// One out-of-core tier: streams `n` points through the full `.lofd` →
+/// mmap → kd batched self-join → disk-spilled CSR → incremental range
+/// scoring pipeline under a deliberately small resident budget, and (at or below
+/// [`OOC_IDENTITY_MAX`]) asserts the scores bit-identical to the in-RAM
+/// pipeline. Returns the tier's JSON object.
+fn ooc_tier(n: usize) -> String {
+    // 1/8 of the (tie-free) serialized table estimate, so every tier
+    // needs ~8+ segments regardless of scale.
+    let table_estimate = n * (16 * (OOC_MAX_K + 1) + 4);
+    let budget_bytes = (table_estimate / 8).clamp(1 << 20, OOC_BUDGET_MAX_BYTES);
+    println!("--- out-of-core tier: n={n} d={OOC_DIMS} budget={budget_bytes} bytes ---");
+    let data = perf_mixture(11, n, OOC_DIMS, 8);
+    let dataset_bytes = n * OOC_DIMS * 8;
+    let path = std::env::temp_dir().join(format!("lof-bench-ooc-{}-{n}.lofd", std::process::id()));
+    let (_, write_time) = time(|| Lofd::write_dataset(&path, &data).expect("write .lofd"));
+    let lofd = Lofd::open(&path).expect("reopen .lofd");
+    let mapped = lofd.dataset();
+    assert!(mapped.is_mapped(), "reopened dataset must be file-backed");
+    let (kd, kd_build_time) = time(|| KdTree::new(&mapped, Euclidean));
+    let (table, materialize_time) = time(|| {
+        SpilledNeighborhoodTable::build(&kd, OOC_MAX_K, budget_bytes, &std::env::temp_dir())
+            .expect("spilled build")
+    });
+    let range = MinPtsRange::new(OOC_MIN_PTS_LB, OOC_MAX_K).expect("valid range");
+    let (scores, score_time) =
+        time(|| table.lof_range(range, Aggregate::Max).expect("spilled range scores"));
+    let stats = table.stats();
+    assert!(
+        stats.segment_spills > 1 && stats.segment_evictions > 0,
+        "budget must force real spilling (got {stats:?})"
+    );
+    assert!(
+        stats.resident_bytes <= budget_bytes as u64,
+        "cache ends within budget (got {stats:?})"
+    );
+
+    // Bit-identity gate at the overlap with what RAM can comfortably
+    // hold: the spilled scores must equal the in-RAM reference exactly.
+    let bit_identical = if n <= OOC_IDENTITY_MAX {
+        let ram_kd = KdTree::new(&data, Euclidean);
+        let ram_table = NeighborhoodTable::build(&ram_kd, OOC_MAX_K).expect("in-RAM table");
+        let want =
+            lof_range_reference(&ram_table, range).expect("reference").scores(Aggregate::Max);
+        for (id, w) in want.iter().enumerate() {
+            assert_eq!(
+                scores.scores()[id].to_bits(),
+                w.to_bits(),
+                "spilled scores diverge from in-RAM at id={id}"
+            );
+        }
+        println!("  identity gate: spilled scores bit-identical to in-RAM over {n} objects");
+        "true"
+    } else {
+        "null"
+    };
+    std::fs::remove_file(&path).ok();
+
+    println!(
+        "  write {:.1}s, kd build {:.1}s, spilled materialize {:.1}s, range scores {:.1}s",
+        write_time.as_secs_f64(),
+        kd_build_time.as_secs_f64(),
+        materialize_time.as_secs_f64(),
+        score_time.as_secs_f64()
+    );
+    println!(
+        "  {} segments, {} spills, {} reloads, {} evictions, {} resident bytes at end",
+        table.segment_count(),
+        stats.segment_spills,
+        stats.segment_reloads,
+        stats.segment_evictions,
+        stats.resident_bytes
+    );
+    format!(
+        "{{\"n\": {n}, \"dims\": {OOC_DIMS}, \"max_k\": {OOC_MAX_K}, \
+         \"min_pts_lb\": {OOC_MIN_PTS_LB}, \"budget_bytes\": {budget_bytes}, \
+         \"dataset_bytes\": {dataset_bytes}, \"stored_entries\": {}, \"segments\": {}, \
+         \"segment_spills\": {}, \"segment_reloads\": {}, \"segment_evictions\": {}, \
+         \"write_s\": {:.2}, \"kd_build_s\": {:.2}, \"materialize_s\": {:.2}, \
+         \"score_s\": {:.2}, \"bit_identical_vs_in_ram\": {bit_identical}}}",
+        table.stored_entries(),
+        table.segment_count(),
+        stats.segment_spills,
+        stats.segment_reloads,
+        stats.segment_evictions,
+        write_time.as_secs_f64(),
+        kd_build_time.as_secs_f64(),
+        materialize_time.as_secs_f64(),
+        score_time.as_secs_f64(),
+    )
 }
 
 fn main() {
@@ -179,6 +289,15 @@ fn main() {
          sweep {sweep_ns:10.0} ns/object ({sweep_speedup:.2}x)"
     );
 
+    // Out-of-core tiers, opt-in via `LOF_OOC_N` (comma-separated point
+    // counts, e.g. `LOF_OOC_N=1000000,10000000`): these runs take minutes
+    // by design, so the CI smoke invocation leaves them off.
+    let ooc_sizes: Vec<usize> = std::env::var("LOF_OOC_N")
+        .ok()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_default();
+    let ooc_tiers: Vec<String> = ooc_sizes.iter().map(|&n| ooc_tier(n)).collect();
+
     let json = format!(
         "{{\n  \"dataset_size\": {n},\n  \"dims\": {dims},\n  \"max_k\": {MAX_K},\n  \
          \"min_pts_lb\": {MIN_PTS_LB},\n  \
@@ -194,8 +313,10 @@ fn main() {
          \"pointer_layout_bytes\": {pointer_bytes},\n  \
          \"sweep_reference_ns_per_object\": {reference_ns:.1},\n  \
          \"sweep_ns_per_object\": {sweep_ns:.1},\n  \
-         \"sweep_speedup\": {sweep_speedup:.3}\n}}\n",
-        simd_isa.key()
+         \"sweep_speedup\": {sweep_speedup:.3},\n  \
+         \"ooc_tiers\": [{}]\n}}\n",
+        simd_isa.key(),
+        ooc_tiers.join(",\n                "),
     );
     let path = std::env::var("BENCH_MATERIALIZE_OUT")
         .unwrap_or_else(|_| "BENCH_materialize.json".to_owned());

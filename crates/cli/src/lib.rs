@@ -2,8 +2,9 @@
 //! end-to-end run, separated from `main` so both are unit-testable.
 //!
 //! ```text
-//! lof [OPTIONS] <INPUT.csv>     batch: score a CSV, print a ranked report
-//! lof topn --n N <INPUT.csv>    top-n: the N most outlying rows, no full sweep
+//! lof [OPTIONS] <INPUT>         batch: score a CSV or .lofd, print a ranked report
+//! lof topn --n N <INPUT>        top-n: the N most outlying rows, no full sweep
+//! lof ingest <CSV> <LOFD>       ingest: stream a named-column CSV into .lofd
 //! lof stream [OPTIONS] [INPUT]  stream: score NDJSON/CSV events line by line
 //! lof serve --listen ADDR       serve: score events over TCP (NDJSON)
 //!
@@ -26,6 +27,13 @@
 //!   --format FMT         text | json                    [default: text]
 //!   --output FILE        also write id,score CSV to FILE
 //!   --table FILE         cache the materialization database in FILE
+//!   --memory-budget B    out-of-core: spill the neighborhood table to disk,
+//!                        keeping at most B bytes resident (suffixes k/m/g)
+//!   --metrics            print a final registry snapshot to stderr
+//!
+//! INGEST OPTIONS:
+//!   --columns N1,N2,..   select header columns by name, in this order
+//!   --resume             continue an interrupted load from its checkpoint
 //!
 //! TOPN OPTIONS:
 //!   --n N                result size                    [default: 10]
@@ -60,8 +68,9 @@
 use lof_core::explain::explain;
 use lof_core::{
     build_table_parallel, topn_reference, Aggregate, Angular, Chebyshev, Dataset, Euclidean,
-    KnnProvider, LinearScan, LofDetector, Manhattan, Metric, NeighborhoodTable, OutlierResult,
-    PartitionMetric, PartitionSource, TopNEngine, TopNStats,
+    KnnProvider, LinearScan, LofDetector, Lofd, Manhattan, Metric, MinPtsRange, NeighborhoodTable,
+    OutlierResult, PartitionMetric, PartitionSource, SpilledNeighborhoodTable, TopNEngine,
+    TopNStats,
 };
 use lof_data::normalize::standardize;
 use lof_index::{BallTree, GridIndex, KdTree, VaFile, XTree};
@@ -102,6 +111,13 @@ pub struct Config {
     pub table: Option<String>,
     /// Report format on stdout.
     pub format: OutputFormat,
+    /// Out-of-core mode: cap the resident neighborhood table at this many
+    /// bytes and spill CSR segments to disk ([`SpilledNeighborhoodTable`]).
+    /// Scores stay bit-identical to the in-RAM path.
+    pub memory_budget: Option<u64>,
+    /// Print a final metrics-registry snapshot to stderr (the
+    /// `core.ooc.*` spill counters live there).
+    pub metrics: bool,
 }
 
 /// Batch report format.
@@ -170,6 +186,8 @@ impl Default for Config {
             output: None,
             table: None,
             format: OutputFormat::Text,
+            memory_budget: None,
+            metrics: false,
         }
     }
 }
@@ -254,6 +272,10 @@ pub fn parse_args(args: &[String]) -> Result<Config, String> {
             }
             "--output" => config.output = Some(value("--output", &mut iter)?.clone()),
             "--table" => config.table = Some(value("--table", &mut iter)?.clone()),
+            "--memory-budget" => {
+                config.memory_budget = Some(parse_budget(value("--memory-budget", &mut iter)?)?);
+            }
+            "--metrics" => config.metrics = true,
             "--format" => {
                 config.format = match value("--format", &mut iter)?.as_str() {
                     "text" => OutputFormat::Text,
@@ -280,6 +302,29 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// Parses a byte budget with an optional `k`/`m`/`g` suffix (binary
+/// units), e.g. `64m` = 64 MiB.
+fn parse_budget(text: &str) -> Result<u64, String> {
+    let lower = text.trim().to_ascii_lowercase();
+    let (digits, shift) = match lower.strip_suffix(['k', 'm', 'g']) {
+        Some(rest) => match lower.as_bytes()[lower.len() - 1] {
+            b'k' => (rest, 10),
+            b'm' => (rest, 20),
+            _ => (rest, 30),
+        },
+        None => (lower.as_str(), 0),
+    };
+    let base: u64 = digits.parse().map_err(|e| format!("bad --memory-budget '{text}': {e}"))?;
+    let bytes = base
+        .checked_shl(shift)
+        .filter(|b| *b >> shift == base)
+        .ok_or_else(|| format!("bad --memory-budget '{text}': overflows u64"))?;
+    if bytes == 0 {
+        return Err("--memory-budget must be positive".to_owned());
+    }
+    Ok(bytes)
+}
+
 fn parse_min_pts(text: &str) -> Result<(usize, usize), String> {
     if let Some((lb, ub)) = text.split_once("..") {
         let lb: usize = lb.parse().map_err(|e| format!("bad MinPts lower bound: {e}"))?;
@@ -298,7 +343,7 @@ fn parse_min_pts(text: &str) -> Result<(usize, usize), String> {
 }
 
 /// One parsed invocation: classic batch scoring, the bound-driven top-n
-/// engine, or one of the streaming modes.
+/// engine, out-of-core ingestion, or one of the streaming modes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `lof [OPTIONS] <INPUT.csv>` — batch scoring.
@@ -306,11 +351,67 @@ pub enum Command {
     /// `lof topn [OPTIONS] <INPUT.csv>` — the n most outlying objects via
     /// partition-bound pruning (exact, no full sweep).
     TopN(TopNArgs),
+    /// `lof ingest [OPTIONS] <INPUT.csv> <OUTPUT.lofd>` — schema-mapped
+    /// streaming conversion to the out-of-core columnar format.
+    Ingest(IngestArgs),
     /// `lof stream [OPTIONS] [INPUT]` — line-by-line scoring from a file
     /// or stdin.
     Stream(StreamArgs),
     /// `lof serve [OPTIONS]` — NDJSON scoring over TCP.
     Serve(StreamArgs),
+}
+
+/// Options of `lof ingest`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IngestArgs {
+    /// Input CSV path (must have a named-column header).
+    pub input: String,
+    /// Output `.lofd` path.
+    pub output: String,
+    /// Select these header columns, in this order (`None` = all).
+    pub columns: Option<Vec<String>>,
+    /// Continue an interrupted load from its last checkpoint.
+    pub resume: bool,
+}
+
+/// Parses the flags of `lof ingest`.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing values, or
+/// missing input/output paths.
+pub fn parse_ingest_args(args: &[String]) -> Result<IngestArgs, String> {
+    let mut parsed = IngestArgs::default();
+    let mut iter = args.iter();
+    let mut positional: Vec<&String> = Vec::new();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--columns" => {
+                let list = iter.next().ok_or_else(|| "--columns requires a value".to_owned())?;
+                let names: Vec<String> = list.split(',').map(|c| c.trim().to_owned()).collect();
+                if names.iter().any(String::is_empty) {
+                    return Err(format!("bad --columns '{list}': empty column name"));
+                }
+                parsed.columns = Some(names);
+            }
+            "--resume" => parsed.resume = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown ingest flag '{flag}'")),
+            _ => positional.push(arg),
+        }
+    }
+    match positional.as_slice() {
+        [input, output] => {
+            parsed.input = (*input).clone();
+            parsed.output = (*output).clone();
+        }
+        other => {
+            return Err(format!(
+                "ingest takes <INPUT.csv> <OUTPUT.lofd>, got {} paths",
+                other.len()
+            ))
+        }
+    }
+    Ok(parsed)
 }
 
 /// Options of `lof topn`.
@@ -505,9 +606,28 @@ impl Default for StreamArgs {
 pub fn parse_command(args: &[String]) -> Result<Command, String> {
     match args.first().map(String::as_str) {
         Some("topn") => Ok(Command::TopN(parse_topn_args(&args[1..])?)),
+        Some("ingest") => Ok(Command::Ingest(parse_ingest_args(&args[1..])?)),
         Some("stream") => Ok(Command::Stream(parse_stream_args(false, &args[1..])?)),
         Some("serve") => Ok(Command::Serve(parse_stream_args(true, &args[1..])?)),
         _ => Ok(Command::Batch(parse_args(args)?)),
+    }
+}
+
+/// Loads a scoring input by format sniffing: a `.lofd` magic opens the
+/// file as an mmap-backed out-of-core dataset (zero-copy coordinates),
+/// anything else parses as streaming CSV. Both return the same
+/// [`Dataset`]; every downstream path scores them bit-identically.
+///
+/// # Errors
+///
+/// Returns a human-readable message on I/O failures or malformed files
+/// (for `.lofd`, the typed [`lof_core::LofdError`] taxonomy rendered).
+pub fn load_input(path: &str) -> Result<Dataset, String> {
+    if lof_core::lofd::sniff(std::path::Path::new(path)) {
+        let lofd = Lofd::open(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+        Ok(lofd.dataset())
+    } else {
+        lof_data::csv::load_dataset(path).map_err(|e| e.to_string())
     }
 }
 
@@ -656,6 +776,10 @@ pub fn run(config: &Config, raw: &Dataset) -> Result<RunOutput, String> {
     };
     let data = if config.standardize { standardize(&projected) } else { projected };
 
+    if config.memory_budget.is_some() {
+        return run_spilled(config, &data);
+    }
+
     let detector = LofDetector::with_range(config.min_pts.0, config.min_pts.1)
         .map_err(|e| e.to_string())?
         .aggregate(config.aggregate)
@@ -686,6 +810,68 @@ pub fn run(config: &Config, raw: &Dataset) -> Result<RunOutput, String> {
         explanations.push(ex.render(&data));
     }
     Ok(RunOutput { report, scores, explanations })
+}
+
+/// The out-of-core batch path (`--memory-budget`): materializes the
+/// neighborhood table as disk-spilled CSR segments under the byte budget
+/// and folds the `MinPts`-range scores incrementally. Bit-identical to
+/// the in-RAM pipeline at any budget.
+fn run_spilled(config: &Config, data: &Dataset) -> Result<RunOutput, String> {
+    let budget = config.memory_budget.expect("caller checked") as usize;
+    if config.explain > 0 {
+        return Err(
+            "--explain needs the in-RAM materialization; drop --memory-budget to use it".to_owned()
+        );
+    }
+    if config.table.is_some() {
+        return Err("--table caches an in-RAM materialization and cannot be combined with \
+             --memory-budget"
+            .to_owned());
+    }
+    let range = MinPtsRange::new(config.min_pts.0, config.min_pts.1).map_err(|e| e.to_string())?;
+
+    fn go<P: KnnProvider>(
+        provider: &P,
+        config: &Config,
+        range: MinPtsRange,
+        budget: usize,
+    ) -> Result<RunOutput, String> {
+        let table =
+            SpilledNeighborhoodTable::build(provider, range.ub(), budget, &std::env::temp_dir())
+                .map_err(|e| e.to_string())?;
+        let ooc = table.lof_range(range, config.aggregate).map_err(|e| e.to_string())?;
+        let mut report = ooc.ranking();
+        if let Some(t) = config.threshold {
+            report.retain(|&(_, s)| s > t);
+        }
+        if let Some(top) = config.top {
+            report.truncate(top);
+        }
+        Ok(RunOutput { report, scores: ooc.scores().to_vec(), explanations: Vec::new() })
+    }
+    fn on_index<M: Metric + Clone>(
+        config: &Config,
+        data: &Dataset,
+        metric: M,
+        range: MinPtsRange,
+        budget: usize,
+    ) -> Result<RunOutput, String> {
+        match resolve_index(config, data) {
+            IndexChoice::Scan => go(&LinearScan::new(data, metric), config, range, budget),
+            IndexChoice::Grid => go(&GridIndex::new(data, metric), config, range, budget),
+            IndexChoice::KdTree => go(&KdTree::new(data, metric), config, range, budget),
+            IndexChoice::XTree => go(&XTree::new(data, metric), config, range, budget),
+            IndexChoice::VaFile => go(&VaFile::new(data, metric), config, range, budget),
+            IndexChoice::BallTree => go(&BallTree::new(data, metric), config, range, budget),
+            IndexChoice::Auto => unreachable!("resolved before dispatch"),
+        }
+    }
+    match config.metric {
+        MetricChoice::Euclidean => on_index(config, data, Euclidean, range, budget),
+        MetricChoice::Manhattan => on_index(config, data, Manhattan, range, budget),
+        MetricChoice::Chebyshev => on_index(config, data, Chebyshev, range, budget),
+        MetricChoice::Angular => on_index(config, data, Angular, range, budget),
+    }
 }
 
 /// Resolves `auto` to a concrete index for the data's dimensionality.
@@ -857,8 +1043,9 @@ pub fn render_report(report: &[(usize, f64)]) -> String {
 
 /// Usage text.
 pub fn usage() -> &'static str {
-    "usage: lof [OPTIONS] <INPUT.csv>
-       lof topn [OPTIONS] <INPUT.csv>
+    "usage: lof [OPTIONS] <INPUT.csv|INPUT.lofd>
+       lof topn [OPTIONS] <INPUT.csv|INPUT.lofd>
+       lof ingest [OPTIONS] <INPUT.csv> <OUTPUT.lofd>
        lof stream [OPTIONS] [INPUT]
        lof serve [OPTIONS]
 
@@ -867,10 +1054,13 @@ Factor (Breunig, Kriegel, Ng, Sander; SIGMOD 2000) and prints a ranked
 report. Topn mode answers only \"the N most outlying rows\" — exactly
 the batch ranking's head, but computed by pruning whole index partitions
 whose LOF upper bound cannot reach the running N-th best score instead
-of sweeping every row. Stream mode scores line-delimited events (CSV
-row, JSON array, or {\"point\": [...]}) from a file or stdin through a
-sliding window; serve mode does the same over TCP. Both emit one NDJSON
-record per event.
+of sweeping every row. Both accept a `.lofd` out-of-core columnar file
+(detected by magic) in place of a CSV and mmap it zero-copy; ingest mode
+converts a named-column CSV into that format, streaming in O(row)
+memory. Stream mode scores line-delimited events (CSV row, JSON array,
+or {\"point\": [...]}) from a file or stdin through a sliding window;
+serve mode does the same over TCP. Both emit one NDJSON record per
+event.
 
 batch options:
   --minpts LB[..UB]   MinPts value or range             [default: 10..20]
@@ -891,6 +1081,14 @@ batch options:
   --output FILE       also write an id,score CSV to FILE
   --table FILE        cache the materialization: load FILE if present,
                       else build and save it there
+  --memory-budget B   out-of-core scoring: build the neighborhood table
+                      as disk-spilled segments, keeping at most B bytes
+                      resident (suffixes k/m/g = KiB/MiB/GiB); scores
+                      are bit-identical to the in-RAM path (not
+                      combinable with --explain or --table)
+  --metrics           print a final metrics snapshot (Prometheus text,
+                      including the core.ooc.* out-of-core counters) to
+                      stderr
 
 topn options:
   --n N               result size                       [default: 10]
@@ -906,6 +1104,14 @@ topn options:
   --metrics           print a final metrics snapshot (Prometheus text,
                       including the core.topn.* pruning counters) to
                       stderr
+
+ingest options:
+  --columns N1,N2,..  select header columns by NAME, in this order (the
+                      schema mapping; default: every column in header
+                      order); every selected field is validated as a
+                      finite number with a row/column-located error
+  --resume            continue an interrupted load from its last
+                      checkpoint instead of starting over
 
 stream / serve options:
   --minpts K          MinPts of the window model        [default: 10]
@@ -1274,11 +1480,12 @@ mod tests {
     }
 
     #[test]
-    fn metrics_flag_parses_in_both_streaming_modes() {
+    fn metrics_flag_parses_in_every_mode() {
         assert!(parse_stream_args(false, &args(&["--metrics"])).unwrap().metrics);
         assert!(parse_stream_args(true, &args(&["--metrics"])).unwrap().metrics);
-        // The batch parser does not take it.
-        assert!(parse_args(&args(&["--metrics", "a.csv"])).is_err());
+        let batch = parse_args(&args(&["--metrics", "a.csv"])).unwrap();
+        assert!(batch.metrics);
+        assert!(!parse_args(&args(&["a.csv"])).unwrap().metrics, "--metrics is opt-in");
     }
 
     #[test]
@@ -1394,6 +1601,104 @@ mod tests {
         let tiny = Dataset::from_rows(&[[0.0], [1.0]]).unwrap();
         let args = TopNArgs { input: "unused".into(), min_pts: 10, ..TopNArgs::default() };
         assert!(run_topn(&args, &tiny).is_err());
+    }
+
+    #[test]
+    fn parses_memory_budget_with_suffixes() {
+        let config = parse_args(&args(&["--memory-budget", "64m", "a.csv"])).unwrap();
+        assert_eq!(config.memory_budget, Some(64 << 20));
+        assert_eq!(
+            parse_args(&args(&["--memory-budget", "4096", "a.csv"])).unwrap().memory_budget,
+            Some(4096)
+        );
+        assert_eq!(
+            parse_args(&args(&["--memory-budget", "2K", "a.csv"])).unwrap().memory_budget,
+            Some(2048)
+        );
+        assert_eq!(
+            parse_args(&args(&["--memory-budget", "1g", "a.csv"])).unwrap().memory_budget,
+            Some(1 << 30)
+        );
+        assert!(parse_args(&args(&["--memory-budget", "0", "a.csv"])).is_err());
+        assert!(parse_args(&args(&["--memory-budget", "x", "a.csv"])).is_err());
+        assert!(parse_args(&args(&["--memory-budget", "99999999999g", "a.csv"])).is_err());
+    }
+
+    #[test]
+    fn ingest_args_parse() {
+        let Command::Ingest(parsed) = parse_command(&args(&[
+            "ingest",
+            "--columns",
+            "x, y,z",
+            "--resume",
+            "in.csv",
+            "out.lofd",
+        ]))
+        .unwrap() else {
+            panic!("expected ingest mode");
+        };
+        assert_eq!(parsed.input, "in.csv");
+        assert_eq!(parsed.output, "out.lofd");
+        assert_eq!(parsed.columns, Some(vec!["x".into(), "y".into(), "z".into()]));
+        assert!(parsed.resume);
+        let defaults = parse_ingest_args(&args(&["a.csv", "b.lofd"])).unwrap();
+        assert_eq!(defaults.columns, None);
+        assert!(!defaults.resume);
+    }
+
+    #[test]
+    fn ingest_args_reject_invalid_input() {
+        assert!(parse_ingest_args(&args(&["only-one.csv"])).is_err());
+        assert!(parse_ingest_args(&args(&["a", "b", "c"])).is_err());
+        assert!(parse_ingest_args(&args(&["--bogus", "a", "b"])).is_err());
+        assert!(parse_ingest_args(&args(&["--columns", "x,,y", "a", "b"])).is_err());
+        assert!(parse_ingest_args(&args(&["--columns"])).is_err());
+    }
+
+    #[test]
+    fn memory_budget_scores_bit_identical_to_in_ram() {
+        let data = toy_dataset();
+        let base = Config { input: "unused".into(), min_pts: (5, 10), ..Config::default() };
+        let in_ram = run(&base, &data).unwrap();
+        // A budget far below the table size forces real spilling; scores
+        // and the ranked report must still match byte for byte.
+        for budget in [1u64 << 10, 1 << 30] {
+            let spilled =
+                run(&Config { memory_budget: Some(budget), ..base.clone() }, &data).unwrap();
+            assert_eq!(spilled.scores, in_ram.scores, "budget={budget}");
+            assert_eq!(spilled.report, in_ram.report, "budget={budget}");
+        }
+    }
+
+    #[test]
+    fn memory_budget_rejects_in_ram_only_features() {
+        let data = toy_dataset();
+        let base = Config {
+            input: "unused".into(),
+            min_pts: (5, 10),
+            memory_budget: Some(1 << 20),
+            ..Config::default()
+        };
+        assert!(run(&Config { explain: 1, ..base.clone() }, &data).is_err());
+        assert!(run(&Config { table: Some("t.lofm".into()), ..base.clone() }, &data).is_err());
+    }
+
+    #[test]
+    fn load_input_sniffs_lofd_and_falls_back_to_csv() {
+        let dir = std::env::temp_dir().join(format!("lof-cli-sniff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = toy_dataset();
+        let csv_path = dir.join("in.csv");
+        let lofd_path = dir.join("in.lofd");
+        lof_data::csv::save_dataset(&csv_path, &data).unwrap();
+        Lofd::write_dataset(&lofd_path, &data).unwrap();
+        let via_csv = load_input(csv_path.to_str().unwrap()).unwrap();
+        let via_lofd = load_input(lofd_path.to_str().unwrap()).unwrap();
+        assert_eq!(via_csv, data);
+        assert_eq!(via_lofd, data);
+        assert!(via_lofd.is_mapped(), ".lofd inputs are mmap-backed");
+        assert!(load_input(dir.join("missing.csv").to_str().unwrap()).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The `lof` command-line tool. See [`lof_cli::usage`] or run `lof --help`.
 
 use lof_cli::{
-    parse_command, render_json_report, render_report, run, run_topn, stream_window_config, usage,
-    Command, Config, MetricChoice, OutputFormat, StreamArgs, TopNArgs,
+    load_input, parse_command, render_json_report, render_report, run, run_topn,
+    stream_window_config, usage, Command, Config, IngestArgs, MetricChoice, OutputFormat,
+    StreamArgs, TopNArgs,
 };
 use lof_core::{Angular, Chebyshev, Euclidean, Manhattan, Metric};
 use lof_serve::{Quotas, ServeConfig, TenantSpec};
@@ -36,13 +37,44 @@ fn main() -> ExitCode {
     match command {
         Command::Batch(config) => run_batch(&config),
         Command::TopN(topn) => run_topn_mode(&topn),
+        Command::Ingest(ingest) => run_ingest_mode(&ingest),
         Command::Stream(stream) => dispatch_streaming(&stream, StreamMode::Stdin),
         Command::Serve(stream) => dispatch_streaming(&stream, StreamMode::Tcp),
     }
 }
 
+/// Streams a named-column CSV into the out-of-core `.lofd` format.
+fn run_ingest_mode(args: &IngestArgs) -> ExitCode {
+    let input = std::path::Path::new(&args.input);
+    let output = std::path::Path::new(&args.output);
+    match lof_data::ingest::ingest_csv(input, output, args.columns.as_deref(), args.resume) {
+        Ok(report) => {
+            let resumed = if report.resumed_rows > 0 {
+                format!(" ({} recovered from checkpoint)", report.resumed_rows)
+            } else {
+                String::new()
+            };
+            eprintln!(
+                "ingested {} rows x {} columns [{}] into {}{resumed}",
+                report.rows,
+                report.columns.len(),
+                report.columns.join(","),
+                args.output,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            if !args.resume {
+                eprintln!("(a partial output, if any, can be continued with --resume)");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run_topn_mode(args: &TopNArgs) -> ExitCode {
-    let data = match lof_data::csv::load_dataset(&args.input) {
+    let data = match load_input(&args.input) {
         Ok(data) => data,
         Err(e) => {
             eprintln!("error: cannot read '{}': {e}", args.input);
@@ -77,7 +109,7 @@ fn run_topn_mode(args: &TopNArgs) -> ExitCode {
 }
 
 fn run_batch(config: &Config) -> ExitCode {
-    let data = match lof_data::csv::load_dataset(&config.input) {
+    let data = match load_input(&config.input) {
         Ok(data) => data,
         Err(e) => {
             eprintln!("error: cannot read '{}': {e}", config.input);
@@ -114,6 +146,9 @@ fn run_batch(config: &Config) -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {} scores to {path}", rows.len());
+    }
+    if config.metrics {
+        eprintln!("{}", lof_obs::global().render_prometheus());
     }
     ExitCode::SUCCESS
 }

@@ -64,8 +64,10 @@ pub mod kdistance;
 pub mod kernel;
 pub mod knn;
 pub mod lof;
+pub mod lofd;
 pub mod lrd;
 pub mod materialize;
+pub mod mmap;
 pub mod neighbors;
 pub mod obs;
 pub mod parallel;
@@ -75,6 +77,7 @@ pub mod range;
 pub mod scan;
 pub(crate) mod shard;
 pub mod simd;
+pub mod spill;
 mod sweep;
 pub mod topn;
 
@@ -89,7 +92,9 @@ pub use incremental::{IncrementalLof, UpdateStats};
 pub use kernel::BlockKernel;
 pub use knn::{with_thread_scratch, BoundedMaxHeap, KnnScratch};
 pub use lof::{lof, lof_of_point, lof_of_point_with};
+pub use lofd::{Lofd, LofdError, LofdWriter};
 pub use materialize::NeighborhoodTable;
+pub use mmap::MappedFile;
 pub use neighbors::{KnnProvider, Neighbor};
 pub use obs::KernelStats;
 pub use parallel::build_table_parallel;
@@ -97,6 +102,7 @@ pub use point::Dataset;
 pub use range::{lof_range, lof_range_reference, Aggregate, LofRangeResult, MinPtsRange};
 pub use scan::LinearScan;
 pub use simd::Isa;
+pub use spill::{OocScores, SpillStats, SpilledNeighborhoodTable};
 pub use topn::{
     topn_reference, Partition, PartitionMetric, PartitionSource, TopNEngine, TopNResult, TopNStats,
 };

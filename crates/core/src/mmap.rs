@@ -1,0 +1,268 @@
+//! Read-only memory-mapped files.
+//!
+//! The workspace has no `libc`/`memmap2` (offline dependency policy), so —
+//! like `lof-serve`'s poller — this module declares the two syscalls it
+//! needs as `extern "C"` items against the platform libc every Rust binary
+//! already links. On non-Unix targets the "map" degrades to reading the
+//! file into an 8-byte-aligned heap buffer, which preserves the API (and
+//! the alignment guarantee) at the cost of residency.
+//!
+//! [`MappedFile`] is the storage cell behind out-of-core
+//! [`Dataset`](crate::Dataset)s: `.lofd` readers hand slices of the
+//! mapping straight to the kernels, so tiles stream off the page cache
+//! with no per-tile copies.
+//!
+//! **Caveat**: the mapping's length is fixed at open time. Truncating the
+//! underlying file while a map is live makes the OS deliver `SIGBUS` on
+//! the next touch of the vanished pages — the usual mmap contract. Treat
+//! `.lofd` files as immutable once written.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// The base address of every mapping (or aligned fallback buffer) is at
+/// least page-aligned, so any section offset that is a multiple of this
+/// keeps `f64`/`f32` reads aligned. `.lofd` aligns sections to it too,
+/// which also keeps them cache-line aligned.
+pub const SECTION_ALIGN: usize = 64;
+
+#[cfg(unix)]
+mod imp {
+    use super::*;
+    use std::ffi::{c_int, c_void};
+    use std::os::fd::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// A whole file mapped `PROT_READ` / `MAP_PRIVATE`.
+    #[derive(Debug)]
+    pub struct MappedFile {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only for its whole lifetime; sharing
+    // `&MappedFile` across threads only ever reads the mapped bytes.
+    unsafe impl Send for MappedFile {}
+    unsafe impl Sync for MappedFile {}
+
+    impl MappedFile {
+        pub fn open(path: &Path) -> io::Result<MappedFile> {
+            let file = File::open(path)?;
+            let len = file.metadata()?.len();
+            let len = usize::try_from(len)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+            if len == 0 {
+                // mmap rejects zero-length mappings (EINVAL); an empty
+                // file is an empty mapping.
+                return Ok(MappedFile { ptr: std::ptr::null_mut(), len: 0 });
+            }
+            // SAFETY: plain syscall; the fd stays open for the duration of
+            // the call, and the mapping outlives it by design (MAP_PRIVATE
+            // mappings survive the fd being closed).
+            let ptr = unsafe {
+                mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(MappedFile { ptr, len })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            if self.len == 0 {
+                return &[];
+            }
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, valid until Drop.
+            unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+        }
+    }
+
+    impl Drop for MappedFile {
+        fn drop(&mut self) {
+            if !self.ptr.is_null() {
+                // SAFETY: unmapping the exact region mmap returned.
+                unsafe {
+                    let _ = munmap(self.ptr, self.len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::*;
+    use std::io::Read;
+
+    /// Fallback "mapping": the file read into a `u64`-backed buffer so the
+    /// base address is 8-byte aligned like a real page-aligned mapping.
+    #[derive(Debug)]
+    pub struct MappedFile {
+        buf: Vec<u64>,
+        len: usize,
+    }
+
+    impl MappedFile {
+        pub fn open(path: &Path) -> io::Result<MappedFile> {
+            let mut file = File::open(path)?;
+            let len = usize::try_from(file.metadata()?.len()).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "file too large to read")
+            })?;
+            let mut buf = vec![0u64; len.div_ceil(8)];
+            // SAFETY: a u64 buffer reinterpreted as bytes is always valid.
+            let bytes =
+                unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), len) };
+            file.read_exact(bytes)?;
+            Ok(MappedFile { buf, len })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            // SAFETY: the buffer holds at least `len` initialized bytes.
+            unsafe { std::slice::from_raw_parts(self.buf.as_ptr().cast::<u8>(), self.len) }
+        }
+    }
+}
+
+/// A read-only file mapping (page-cache backed on Unix, an aligned heap
+/// copy elsewhere). Cheap to share behind an `Arc`; dropping the last
+/// handle unmaps.
+#[derive(Debug)]
+pub struct MappedFile {
+    inner: imp::MappedFile,
+}
+
+impl MappedFile {
+    /// Maps the whole file at `path` read-only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `open`/`stat`/`mmap` failures.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<MappedFile> {
+        Ok(MappedFile { inner: imp::MappedFile::open(path.as_ref())? })
+    }
+
+    /// The mapped bytes. The base address is at least 8-byte aligned.
+    pub fn bytes(&self) -> &[u8] {
+        self.inner.bytes()
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// True for an empty (zero-length) file.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reinterprets an aligned byte range of the mapping as `f64`s.
+    ///
+    /// `offset` is in bytes and must be 8-byte aligned (`.lofd` sections
+    /// are [`SECTION_ALIGN`]-aligned, which implies it); `len` counts
+    /// `f64` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range leaves the mapping or `offset` is misaligned
+    /// — both indicate a corrupt header that validation should already
+    /// have rejected.
+    pub fn f64_slice(&self, offset: usize, len: usize) -> &[f64] {
+        let bytes = self.bytes();
+        let end = offset.checked_add(len * 8).expect("f64 range overflows");
+        assert!(end <= bytes.len(), "f64 range {offset}..{end} outside mapping");
+        assert!(offset.is_multiple_of(8), "f64 section offset {offset} misaligned");
+        // SAFETY: in-bounds, 8-byte aligned (base is page/8-byte aligned
+        // and the offset is a multiple of 8), and any bit pattern is a
+        // valid f64.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().add(offset).cast::<f64>(), len) }
+    }
+
+    /// Reinterprets an aligned byte range of the mapping as `f32`s; same
+    /// contract as [`MappedFile::f64_slice`] with 4-byte alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range leaves the mapping or `offset` is misaligned.
+    pub fn f32_slice(&self, offset: usize, len: usize) -> &[f32] {
+        let bytes = self.bytes();
+        let end = offset.checked_add(len * 4).expect("f32 range overflows");
+        assert!(end <= bytes.len(), "f32 range {offset}..{end} outside mapping");
+        assert!(offset.is_multiple_of(4), "f32 section offset {offset} misaligned");
+        // SAFETY: in-bounds, 4-byte aligned, any bit pattern is valid f32.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().add(offset).cast::<f32>(), len) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_file_contents() {
+        let path = std::env::temp_dir().join(format!("lof-mmap-{}.bin", std::process::id()));
+        std::fs::write(&path, b"hello mapping").unwrap();
+        let map = MappedFile::open(&path).unwrap();
+        assert_eq!(map.bytes(), b"hello mapping");
+        assert_eq!(map.len(), 13);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = std::env::temp_dir().join(format!("lof-mmap-empty-{}.bin", std::process::id()));
+        std::fs::write(&path, b"").unwrap();
+        let map = MappedFile::open(&path).unwrap();
+        assert!(map.is_empty());
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn typed_slices_decode_aligned_sections() {
+        let path = std::env::temp_dir().join(format!("lof-mmap-f64-{}.bin", std::process::id()));
+        let values = [1.5f64, -2.25, 1e300];
+        let mut bytes = Vec::new();
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        bytes.extend_from_slice(&0.5f32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let map = MappedFile::open(&path).unwrap();
+        assert_eq!(map.f64_slice(0, 3), &values);
+        assert_eq!(map.f32_slice(24, 1), &[0.5f32]);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mapping")]
+    fn out_of_bounds_slice_panics() {
+        let path = std::env::temp_dir().join(format!("lof-mmap-oob-{}.bin", std::process::id()));
+        std::fs::write(&path, [0u8; 16]).unwrap();
+        let map = MappedFile::open(&path).unwrap();
+        let _ = map.f64_slice(0, 3);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(MappedFile::open("/nonexistent/lof-mmap-missing.bin").is_err());
+    }
+}

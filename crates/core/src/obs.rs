@@ -158,6 +158,12 @@ pub(crate) struct CoreMetrics {
     pub topn_objects_refined: Arc<Counter>,
     pub topn_tightenings: Arc<Counter>,
     pub topn_heap_churn: Arc<Counter>,
+    pub ooc_panel_faults: Arc<Counter>,
+    pub ooc_map_bytes: Arc<lof_obs::Gauge>,
+    pub ooc_segment_spills: Arc<Counter>,
+    pub ooc_segment_reloads: Arc<Counter>,
+    pub ooc_segment_evictions: Arc<Counter>,
+    pub ooc_resident_bytes: Arc<lof_obs::Gauge>,
 }
 
 #[cfg(feature = "obs")]
@@ -191,8 +197,50 @@ pub(crate) fn core_metrics() -> &'static CoreMetrics {
             topn_objects_refined: r.counter("core.topn.objects_refined"),
             topn_tightenings: r.counter("core.topn.threshold_tightenings"),
             topn_heap_churn: r.counter("core.topn.heap_churn"),
+            ooc_panel_faults: r.counter("core.ooc.panel_faults"),
+            ooc_map_bytes: r.gauge("core.ooc.map_bytes"),
+            ooc_segment_spills: r.counter("core.ooc.segment_spills"),
+            ooc_segment_reloads: r.counter("core.ooc.segment_reloads"),
+            ooc_segment_evictions: r.counter("core.ooc.segment_evictions"),
+            ooc_resident_bytes: r.gauge("core.ooc.resident_bytes"),
         }
     })
+}
+
+/// Records one out-of-core dataset open: the minor page faults its
+/// validation sweep took and the bytes now mapped. No-op with `obs` off.
+pub(crate) fn publish_ooc_open(faults: u64, map_bytes: u64) {
+    #[cfg(feature = "obs")]
+    {
+        let m = core_metrics();
+        if faults > 0 {
+            m.ooc_panel_faults.add(faults);
+        }
+        m.ooc_map_bytes.set(map_bytes as f64);
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = (faults, map_bytes);
+}
+
+/// Mirrors one spillable-table build/scoring run's accounting onto the
+/// `core.ooc.*` counters. No-op with `obs` off.
+pub(crate) fn publish_ooc_spill(stats: &crate::spill::SpillStats) {
+    #[cfg(feature = "obs")]
+    {
+        let m = core_metrics();
+        for (counter, value) in [
+            (&m.ooc_segment_spills, stats.segment_spills),
+            (&m.ooc_segment_reloads, stats.segment_reloads),
+            (&m.ooc_segment_evictions, stats.segment_evictions),
+        ] {
+            if value > 0 {
+                counter.add(value);
+            }
+        }
+        m.ooc_resident_bytes.set(stats.resident_bytes as f64);
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = stats;
 }
 
 /// Mirrors one top-n engine run's accounting onto the `core.topn.*`

@@ -5,28 +5,95 @@
 //! objects addressed by their index (`0..len`). All public APIs in this
 //! workspace refer to objects by these ids.
 
+use std::sync::Arc;
+
 use crate::error::{LofError, Result};
+use crate::mmap::MappedFile;
+
+/// Where a dataset's flat row-major buffer lives: an owned heap vector
+/// (every in-RAM constructor) or a borrowed window of a read-only file
+/// mapping (`.lofd` datasets). Both expose the same `&[f64]`, so every
+/// consumer of [`Dataset::as_flat`] — the blocked kernel, the tree
+/// builders, the batch self-joins — streams tiles off the page cache with
+/// zero per-tile copies when the storage is mapped.
+#[derive(Debug, Clone)]
+enum Storage {
+    Owned(Vec<f64>),
+    Mapped {
+        map: Arc<MappedFile>,
+        /// Byte offset of the coords section (8-byte aligned).
+        offset: usize,
+        /// Length in `f64` elements.
+        len: usize,
+    },
+}
+
+impl Storage {
+    #[inline]
+    fn as_slice(&self) -> &[f64] {
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Mapped { map, offset, len } => map.f64_slice(*offset, *len),
+        }
+    }
+}
 
 /// A dense collection of `len` points in `dims`-dimensional space.
 ///
 /// Coordinates are validated to be finite on construction, so downstream
 /// distance computations never see NaN (which would poison the total orders
-/// used by k-NN search).
-#[derive(Debug, Clone, PartialEq)]
+/// used by k-NN search). The invariant holds for both storage flavors:
+/// in-RAM constructors validate eagerly, and mmap-backed datasets are only
+/// built by [`crate::lofd::Lofd::open`], which validates the whole file
+/// before handing one out.
+#[derive(Debug, Clone)]
 pub struct Dataset {
     dims: usize,
-    coords: Vec<f64>,
+    coords: Storage,
+}
+
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        // Mapped and owned datasets with the same coordinates are equal —
+        // storage is a residency detail, not identity.
+        self.dims == other.dims && self.as_flat() == other.as_flat()
+    }
 }
 
 impl Dataset {
     /// Creates an empty dataset of the given dimensionality.
     pub fn new(dims: usize) -> Self {
-        Dataset { dims, coords: Vec::new() }
+        Dataset { dims, coords: Storage::Owned(Vec::new()) }
     }
 
     /// Creates an empty dataset with room for `capacity` points.
     pub fn with_capacity(dims: usize, capacity: usize) -> Self {
-        Dataset { dims, coords: Vec::with_capacity(dims * capacity) }
+        Dataset { dims, coords: Storage::Owned(Vec::with_capacity(dims * capacity)) }
+    }
+
+    /// Wraps a validated window of a file mapping (the `.lofd` reader's
+    /// constructor — the only path that skips eager validation, because
+    /// [`crate::lofd::Lofd::open`] has already checked finiteness).
+    pub(crate) fn from_mapped(
+        map: Arc<MappedFile>,
+        dims: usize,
+        offset: usize,
+        count: usize,
+    ) -> Self {
+        Dataset { dims, coords: Storage::Mapped { map, offset, len: count * dims } }
+    }
+
+    /// The owned coordinate vector, promoting mapped storage to an owned
+    /// copy first (copy-on-write: mutators call this, readers never do).
+    fn coords_mut(&mut self) -> &mut Vec<f64> {
+        if let Storage::Mapped { .. } = self.coords {
+            let owned = self.as_flat().to_vec();
+            self.coords = Storage::Owned(owned);
+        }
+        match &mut self.coords {
+            Storage::Owned(v) => v,
+            Storage::Mapped { .. } => unreachable!("just promoted"),
+        }
     }
 
     /// Builds a dataset from per-point rows.
@@ -62,7 +129,7 @@ impl Dataset {
                 return Err(LofError::NonFiniteCoordinate { point: i / dims, dim: i % dims });
             }
         }
-        Ok(Dataset { dims, coords })
+        Ok(Dataset { dims, coords: Storage::Owned(coords) })
     }
 
     /// Appends one point.
@@ -80,7 +147,7 @@ impl Dataset {
                 return Err(LofError::NonFiniteCoordinate { point: self.len(), dim: d });
             }
         }
-        self.coords.extend_from_slice(point);
+        self.coords_mut().extend_from_slice(point);
         Ok(())
     }
 
@@ -93,18 +160,18 @@ impl Dataset {
         if other.dims != self.dims {
             return Err(LofError::DimensionMismatch { expected: self.dims, found: other.dims });
         }
-        self.coords.extend_from_slice(&other.coords);
+        self.coords_mut().extend_from_slice(other.as_flat());
         Ok(())
     }
 
     /// Number of points.
     pub fn len(&self) -> usize {
-        self.coords.len().checked_div(self.dims).unwrap_or(0)
+        self.as_flat().len().checked_div(self.dims).unwrap_or(0)
     }
 
     /// True when the dataset holds no points.
     pub fn is_empty(&self) -> bool {
-        self.coords.is_empty()
+        self.as_flat().is_empty()
     }
 
     /// Dimensionality of every point.
@@ -119,7 +186,7 @@ impl Dataset {
     /// Panics if `id >= self.len()`.
     #[inline]
     pub fn point(&self, id: usize) -> &[f64] {
-        &self.coords[id * self.dims..(id + 1) * self.dims]
+        &self.as_flat()[id * self.dims..(id + 1) * self.dims]
     }
 
     /// Coordinates of the point with the given id, or `None` out of range.
@@ -133,12 +200,19 @@ impl Dataset {
 
     /// Iterates over `(id, coordinates)` pairs.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = (usize, &[f64])> {
-        self.coords.chunks_exact(self.dims.max(1)).enumerate()
+        self.as_flat().chunks_exact(self.dims.max(1)).enumerate()
     }
 
-    /// The raw row-major coordinate buffer.
+    /// The raw row-major coordinate buffer (the mapped section itself for
+    /// out-of-core datasets — no copy).
     pub fn as_flat(&self) -> &[f64] {
-        &self.coords
+        self.coords.as_slice()
+    }
+
+    /// True when the coordinates live in a read-only file mapping rather
+    /// than the heap.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.coords, Storage::Mapped { .. })
     }
 
     /// Projects the dataset onto a subset of its columns, in the given
@@ -210,11 +284,13 @@ impl Dataset {
         let n = self.len();
         assert!(id < n, "swap_remove out of range: {id} >= {n}");
         let last = n - 1;
+        let dims = self.dims;
+        let coords = self.coords_mut();
         if id != last {
-            let (head, tail) = self.coords.split_at_mut(last * self.dims);
-            head[id * self.dims..(id + 1) * self.dims].copy_from_slice(&tail[..self.dims]);
+            let (head, tail) = coords.split_at_mut(last * dims);
+            head[id * dims..(id + 1) * dims].copy_from_slice(&tail[..dims]);
         }
-        self.coords.truncate(last * self.dims);
+        coords.truncate(last * dims);
     }
 
     /// Validates that `id` addresses a point.

@@ -1,0 +1,670 @@
+//! A disk-spillable materialization database `M`.
+//!
+//! [`NeighborhoodTable`](crate::NeighborhoodTable) keeps the whole CSR
+//! arena resident — `n · MinPtsUB` entries, which at the 10M-point tier is
+//! gigabytes. [`SpilledNeighborhoodTable`] materializes the same
+//! tie-inclusive neighborhoods but writes them to disk in fixed row-range
+//! **segments**, appended in completion order as the batch self-join
+//! produces them, so peak build memory is one segment regardless of `n`.
+//!
+//! Reads go through a byte-budgeted segment cache: step 2's scans walk the
+//! table in id order, faulting each segment in once per pass and evicting
+//! the least-recently-used one when the budget is exceeded. The segment
+//! currently being scanned is always retained (handed out as an `Arc`, so
+//! eviction never invalidates a reader) — the "pinned-segment LRU".
+//!
+//! ## Exactness
+//!
+//! The scoring passes ([`SpilledNeighborhoodTable::k_distances`] /
+//! [`SpilledNeighborhoodTable::lof_range`]) are transcriptions of
+//! [`crate::lrd::local_reachability_densities_with`],
+//! [`crate::lof::lof_values_with`], and
+//! [`crate::range::lof_range_reference`]: same per-object loops, same
+//! summation order, same [`Aggregate`] folds in ascending-`MinPts` order.
+//! Segmentation only changes *where* a neighbor list is read from, never
+//! the arithmetic on it, so scores are bit-identical to the in-RAM path —
+//! which `tests` and the CI ingest gate assert with `to_bits` equality.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::{LofError, Result};
+use crate::lof::lrd_ratio;
+use crate::lrd::reach_dist;
+use crate::neighbors::{tie_inclusive_len, KnnProvider, Neighbor};
+use crate::range::{Aggregate, MinPtsRange};
+
+/// Accounting for one spillable table: segments written at build, cache
+/// misses and evictions during scoring, and current cache residency.
+/// Mirrored onto the `core.ooc.*` registry counters at publish points.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SpillStats {
+    /// CSR segments written to the spill file during the build.
+    pub segment_spills: u64,
+    /// Segments read back from disk (cache misses).
+    pub segment_reloads: u64,
+    /// Segments dropped from the cache to stay under the budget.
+    pub segment_evictions: u64,
+    /// Bytes currently held by the segment cache.
+    pub resident_bytes: u64,
+}
+
+/// Location of one serialized segment inside the spill file.
+#[derive(Debug, Clone, Copy)]
+struct SegmentMeta {
+    start_row: usize,
+    rows: usize,
+    entries: usize,
+    file_off: u64,
+}
+
+impl SegmentMeta {
+    fn byte_len(&self) -> u64 {
+        ((self.rows + 1) * 4 + self.entries * 16) as u64
+    }
+}
+
+/// One segment deserialized into RAM: local CSR offsets plus the
+/// concatenated sorted neighbor lists of rows
+/// `start_row..start_row + rows`.
+#[derive(Debug)]
+struct LoadedSegment {
+    start_row: usize,
+    offsets: Vec<u32>,
+    neighbors: Vec<Neighbor>,
+}
+
+impl LoadedSegment {
+    fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn list(&self, local: usize) -> &[Neighbor] {
+        &self.neighbors[self.offsets[local] as usize..self.offsets[local + 1] as usize]
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.offsets.len() * 4 + self.neighbors.len() * std::mem::size_of::<Neighbor>()
+    }
+}
+
+#[derive(Debug)]
+struct SegmentCache {
+    resident: Vec<Option<(Arc<LoadedSegment>, u64)>>,
+    tick: u64,
+    resident_bytes: usize,
+    stats: SpillStats,
+}
+
+/// The materialization database `M`, spilled to disk and read back through
+/// a budgeted segment cache. See the module docs.
+#[derive(Debug)]
+pub struct SpilledNeighborhoodTable {
+    max_k: usize,
+    n: usize,
+    budget_bytes: usize,
+    stored_entries: u64,
+    segments: Vec<SegmentMeta>,
+    file: File,
+    path: PathBuf,
+    cache: Mutex<SegmentCache>,
+}
+
+fn io_err(what: &str, e: std::io::Error) -> LofError {
+    LofError::InvalidPartition(format!("{what}: {e}"))
+}
+
+/// Rows per segment: sized so one segment is roughly an eighth of the
+/// cache budget (several segments stay resident at once) but at least 256
+/// rows, so tiny budgets degrade to more reloads instead of pathological
+/// per-row I/O.
+fn segment_rows(n: usize, max_k: usize, budget_bytes: usize) -> usize {
+    let bytes_per_row = 16 * (max_k + 1) + 4;
+    let target = (budget_bytes / 8).max(256 * bytes_per_row);
+    (target / bytes_per_row).min(n.max(1))
+}
+
+impl SpilledNeighborhoodTable {
+    /// Materializes every object's tie-inclusive `max_k`-neighborhood into
+    /// a spill file under `spill_dir`, holding at most one segment of
+    /// neighbor lists in memory at a time. `budget_bytes` caps the segment
+    /// cache used by the scoring passes (the build itself honors it by
+    /// segment sizing).
+    ///
+    /// The spill file is exclusive to this table and is deleted on drop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::EmptyDataset`] on an empty provider, propagates
+    /// provider errors ([`LofError::InvalidMinPts`], ...), and maps spill
+    /// I/O failures onto [`LofError::InvalidPartition`].
+    pub fn build<P: KnnProvider + ?Sized>(
+        provider: &P,
+        max_k: usize,
+        budget_bytes: usize,
+        spill_dir: &Path,
+    ) -> Result<Self> {
+        let n = provider.len();
+        if n == 0 {
+            return Err(LofError::EmptyDataset);
+        }
+        let _span = lof_obs::span!("core.spill.build");
+        static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = spill_dir.join(format!(
+            "lof-spill-{}-{}.bin",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| io_err("create spill file", e))?;
+        let mut writer = BufWriter::with_capacity(1 << 20, &file);
+
+        let seg_rows = segment_rows(n, max_k, budget_bytes);
+        let mut scratch = crate::knn::KnnScratch::new();
+        let mut neighbors: Vec<Neighbor> = Vec::new();
+        let mut lens: Vec<usize> = Vec::new();
+        let mut segments = Vec::with_capacity(n.div_ceil(seg_rows));
+        let mut stored_entries = 0u64;
+        let mut file_off = 0u64;
+        let mut spills = 0u64;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + seg_rows).min(n);
+            neighbors.clear();
+            lens.clear();
+            provider.batch_k_nearest(start..end, max_k, &mut scratch, &mut neighbors, &mut lens)?;
+            let mut acc = 0u32;
+            writer.write_all(&acc.to_le_bytes()).map_err(|e| io_err("write spill", e))?;
+            for &len in &lens {
+                acc += len as u32;
+                writer.write_all(&acc.to_le_bytes()).map_err(|e| io_err("write spill", e))?;
+            }
+            for nb in &neighbors {
+                writer
+                    .write_all(&(nb.id as u64).to_le_bytes())
+                    .and_then(|()| writer.write_all(&nb.dist.to_le_bytes()))
+                    .map_err(|e| io_err("write spill", e))?;
+            }
+            let meta = SegmentMeta {
+                start_row: start,
+                rows: end - start,
+                entries: neighbors.len(),
+                file_off,
+            };
+            file_off += meta.byte_len();
+            stored_entries += neighbors.len() as u64;
+            segments.push(meta);
+            spills += 1;
+            start = end;
+        }
+        writer.flush().map_err(|e| io_err("flush spill", e))?;
+        drop(writer);
+        scratch.stats.publish_and_reset();
+
+        let cache = SegmentCache {
+            resident: segments.iter().map(|_| None).collect(),
+            tick: 0,
+            resident_bytes: 0,
+            stats: SpillStats { segment_spills: spills, ..SpillStats::default() },
+        };
+        let table = SpilledNeighborhoodTable {
+            max_k,
+            n,
+            budget_bytes,
+            stored_entries,
+            segments,
+            file,
+            path,
+            cache: Mutex::new(cache),
+        };
+        table.publish_stats();
+        Ok(table)
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the table covers no objects (never: empty providers are
+    /// rejected at build).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The `MinPtsUB` the table was materialized with.
+    pub fn max_k(&self) -> usize {
+        self.max_k
+    }
+
+    /// Total stored `(neighbor, distance)` entries — the paper's
+    /// "size of M" — all of them on disk.
+    pub fn stored_entries(&self) -> u64 {
+        self.stored_entries
+    }
+
+    /// Number of on-disk segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The resident-memory budget of the segment cache, in bytes.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// A snapshot of the spill/reload/eviction accounting.
+    pub fn stats(&self) -> SpillStats {
+        let cache = self.cache.lock().expect("segment cache poisoned");
+        SpillStats { resident_bytes: cache.resident_bytes as u64, ..cache.stats }
+    }
+
+    fn publish_stats(&self) {
+        let snapshot = self.stats();
+        crate::obs::publish_ooc_spill(&snapshot);
+    }
+
+    fn validate_depth(&self, k: usize) -> Result<()> {
+        if k == 0 {
+            return Err(LofError::InvalidMinPts { min_pts: k, dataset_size: self.n });
+        }
+        if k > self.max_k {
+            return Err(LofError::TableTooShallow { materialized: self.max_k, requested: k });
+        }
+        Ok(())
+    }
+
+    /// The cached-or-reloaded segment `idx`, touching its LRU stamp and
+    /// evicting the coldest segments once the cache exceeds its budget
+    /// (the segment just returned is never the one evicted).
+    fn segment(&self, idx: usize) -> Result<Arc<LoadedSegment>> {
+        let mut cache = self.cache.lock().expect("segment cache poisoned");
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some((seg, stamp)) = &mut cache.resident[idx] {
+            *stamp = tick;
+            return Ok(Arc::clone(seg));
+        }
+
+        let meta = self.segments[idx];
+        let seg = Arc::new(self.read_segment(&meta)?);
+        cache.stats.segment_reloads += 1;
+        cache.resident_bytes += seg.heap_bytes();
+        cache.resident[idx] = Some((Arc::clone(&seg), tick));
+        while cache.resident_bytes > self.budget_bytes {
+            let coldest = cache
+                .resident
+                .iter()
+                .enumerate()
+                .filter(|(i, slot)| *i != idx && slot.is_some())
+                .min_by_key(|(_, slot)| slot.as_ref().expect("filtered Some").1)
+                .map(|(i, _)| i);
+            match coldest {
+                Some(i) => {
+                    let (evicted, _) = cache.resident[i].take().expect("filtered Some");
+                    cache.resident_bytes -= evicted.heap_bytes();
+                    cache.stats.segment_evictions += 1;
+                }
+                // Only the pinned segment is left; it may alone exceed a
+                // tiny budget, which is fine — correctness over ceremony.
+                None => break,
+            }
+        }
+        Ok(seg)
+    }
+
+    fn read_segment(&self, meta: &SegmentMeta) -> Result<LoadedSegment> {
+        // `&File` implements Read/Seek; the call sites hold the cache
+        // lock, so seek+read pairs never interleave.
+        let mut file = &self.file;
+        file.seek(SeekFrom::Start(meta.file_off)).map_err(|e| io_err("seek spill", e))?;
+        let mut buf = vec![0u8; meta.byte_len() as usize];
+        file.read_exact(&mut buf).map_err(|e| io_err("read spill", e))?;
+        let mut offsets = Vec::with_capacity(meta.rows + 1);
+        for chunk in buf[..(meta.rows + 1) * 4].chunks_exact(4) {
+            offsets.push(u32::from_le_bytes(chunk.try_into().expect("4 bytes")));
+        }
+        if offsets.last().copied() != Some(meta.entries as u32) {
+            return Err(LofError::InvalidPartition(format!(
+                "spill segment at {} is corrupt: {} entries indexed, {} stored",
+                meta.file_off,
+                offsets.last().copied().unwrap_or(0),
+                meta.entries
+            )));
+        }
+        let mut neighbors = Vec::with_capacity(meta.entries);
+        for entry in buf[(meta.rows + 1) * 4..].chunks_exact(16) {
+            let id = u64::from_le_bytes(entry[..8].try_into().expect("8 bytes")) as usize;
+            let dist = f64::from_le_bytes(entry[8..].try_into().expect("8 bytes"));
+            neighbors.push(Neighbor { id, dist });
+        }
+        Ok(LoadedSegment { start_row: meta.start_row, offsets, neighbors })
+    }
+
+    /// Runs `f` over every object's full materialized list, in id order,
+    /// faulting segments through the cache.
+    fn for_each_list(&self, mut f: impl FnMut(usize, &[Neighbor])) -> Result<()> {
+        for idx in 0..self.segments.len() {
+            let seg = self.segment(idx)?;
+            for local in 0..seg.rows() {
+                f(seg.start_row + local, seg.list(local));
+            }
+        }
+        Ok(())
+    }
+
+    /// `k-distance(id)` for every object — the same tie-inclusive prefix
+    /// read as [`crate::NeighborhoodTable::k_distances`], segment by
+    /// segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::InvalidMinPts`] for `k == 0` and
+    /// [`LofError::TableTooShallow`] for `k > max_k`.
+    pub fn k_distances(&self, k: usize) -> Result<Vec<f64>> {
+        self.validate_depth(k)?;
+        let mut out = Vec::with_capacity(self.n);
+        self.for_each_list(|_, full| {
+            let end = tie_inclusive_len(full, k);
+            out.push(full[end - 1].dist);
+        })?;
+        Ok(out)
+    }
+
+    /// Local reachability densities for one `MinPts` — the arithmetic of
+    /// [`crate::lrd::local_reachability_densities_with`] verbatim.
+    fn lrds(&self, k: usize, k_distances: &[f64]) -> Result<Vec<f64>> {
+        let mut lrd = Vec::with_capacity(self.n);
+        self.for_each_list(|_, full| {
+            let neighborhood = &full[..tie_inclusive_len(full, k)];
+            let mut sum = 0.0;
+            for nb in neighborhood {
+                sum += reach_dist(k_distances[nb.id], nb.dist);
+            }
+            let mean = sum / neighborhood.len() as f64;
+            lrd.push(if mean > 0.0 { 1.0 / mean } else { f64::INFINITY });
+        })?;
+        Ok(lrd)
+    }
+
+    /// LOF values for one `MinPts` — the arithmetic of
+    /// [`crate::lof::lof_values_with`] verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SpilledNeighborhoodTable::k_distances`].
+    pub fn lof_values(&self, k: usize) -> Result<Vec<f64>> {
+        self.validate_depth(k)?;
+        let k_distances = self.k_distances(k)?;
+        let lrd = self.lrds(k, &k_distances)?;
+        let mut lof = Vec::with_capacity(self.n);
+        self.for_each_list(|p, full| {
+            let neighborhood = &full[..tie_inclusive_len(full, k)];
+            let mut sum = 0.0;
+            for nb in neighborhood {
+                sum += lrd_ratio(lrd[nb.id], lrd[p]);
+            }
+            lof.push(sum / neighborhood.len() as f64);
+        })?;
+        self.publish_stats();
+        Ok(lof)
+    }
+
+    /// Aggregated LOF scores over a `MinPts` range, without ever holding
+    /// the `range.len() x n` value matrix: each `MinPts` is scored in
+    /// ascending order and folded into the running aggregate with exactly
+    /// the fold [`Aggregate`] applies to a full trace, so the result is
+    /// bit-identical to
+    /// `lof_range(..).scores(aggregate)` on the in-RAM path. Peak memory
+    /// is four `n`-vectors plus the segment cache budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::TableTooShallow`] when `range.ub() > max_k`
+    /// plus the usual validation errors.
+    pub fn lof_range(&self, range: MinPtsRange, aggregate: Aggregate) -> Result<OocScores> {
+        if range.ub() > self.max_k {
+            return Err(LofError::TableTooShallow {
+                materialized: self.max_k,
+                requested: range.ub(),
+            });
+        }
+        let _span = lof_obs::span!("core.spill.lof_range");
+        let init = match aggregate {
+            Aggregate::Max => f64::NEG_INFINITY,
+            Aggregate::Min => f64::INFINITY,
+            Aggregate::Mean => 0.0,
+        };
+        let mut scores = vec![init; self.n];
+        for min_pts in range.iter() {
+            let values = self.lof_values(min_pts)?;
+            match aggregate {
+                Aggregate::Max => {
+                    for (s, v) in scores.iter_mut().zip(&values) {
+                        *s = f64::max(*s, *v);
+                    }
+                }
+                Aggregate::Min => {
+                    for (s, v) in scores.iter_mut().zip(&values) {
+                        *s = f64::min(*s, *v);
+                    }
+                }
+                Aggregate::Mean => {
+                    for (s, v) in scores.iter_mut().zip(&values) {
+                        *s += *v;
+                    }
+                }
+            }
+        }
+        if let Aggregate::Mean = aggregate {
+            let count = range.len() as f64;
+            for s in &mut scores {
+                *s /= count;
+            }
+        }
+        self.publish_stats();
+        Ok(OocScores { range, aggregate, scores })
+    }
+}
+
+impl Drop for SpilledNeighborhoodTable {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Aggregated out-of-core scores: what
+/// [`SpilledNeighborhoodTable::lof_range`] returns instead of a
+/// [`crate::LofRangeResult`] (whose full per-`MinPts` matrix is exactly
+/// what a memory budget cannot afford).
+#[derive(Debug, Clone)]
+pub struct OocScores {
+    range: MinPtsRange,
+    aggregate: Aggregate,
+    scores: Vec<f64>,
+}
+
+impl OocScores {
+    /// The `MinPts` range scored.
+    pub fn range(&self) -> MinPtsRange {
+        self.range
+    }
+
+    /// The aggregate the scores were folded with.
+    pub fn aggregate(&self) -> Aggregate {
+        self.aggregate
+    }
+
+    /// Aggregated score per object, in id order.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// The aggregated score of one object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::UnknownObject`] for out-of-range ids.
+    pub fn score(&self, id: usize) -> Result<f64> {
+        self.scores
+            .get(id)
+            .copied()
+            .ok_or(LofError::UnknownObject { id, dataset_size: self.scores.len() })
+    }
+
+    /// Objects ranked most-outlying first, ties broken by id — the same
+    /// order as [`crate::LofRangeResult::ranking`].
+    pub fn ranking(&self) -> Vec<(usize, f64)> {
+        let mut ranked: Vec<(usize, f64)> = self.scores.iter().copied().enumerate().collect();
+        ranked.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Euclidean;
+    use crate::materialize::NeighborhoodTable;
+    use crate::point::Dataset;
+    use crate::range::lof_range_reference;
+    use crate::scan::LinearScan;
+
+    fn mixture(n: usize) -> Dataset {
+        // Deterministic two-cluster-plus-outliers scene, no RNG needed.
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let f = i as f64;
+            if i % 97 == 96 {
+                rows.push([50.0 + (f * 0.37).sin() * 40.0, -60.0 + (f * 0.71).cos() * 40.0]);
+            } else if i % 2 == 0 {
+                rows.push([(f * 0.13).sin() * 3.0, (f * 0.29).cos() * 3.0]);
+            } else {
+                rows.push([10.0 + (f * 0.17).sin(), 10.0 + (f * 0.23).cos()]);
+            }
+        }
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    fn spill_dir() -> PathBuf {
+        std::env::temp_dir()
+    }
+
+    #[test]
+    fn spilled_scores_are_bit_identical_to_reference() {
+        let data = mixture(600);
+        let scan = LinearScan::new(&data, Euclidean);
+        let range = MinPtsRange::new(5, 12).unwrap();
+
+        let table = NeighborhoodTable::build(&scan, 12).unwrap();
+        let reference = lof_range_reference(&table, range).unwrap();
+
+        // A budget far below the table size forces constant eviction.
+        let spilled = SpilledNeighborhoodTable::build(&scan, 12, 16 << 10, &spill_dir()).unwrap();
+        assert!(spilled.segment_count() > 1, "test must actually segment");
+
+        for aggregate in [Aggregate::Max, Aggregate::Min, Aggregate::Mean] {
+            let ooc = spilled.lof_range(range, aggregate).unwrap();
+            let expected = reference.scores(aggregate);
+            assert_eq!(ooc.scores().len(), expected.len());
+            for (id, (a, b)) in ooc.scores().iter().zip(&expected).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "id={id} aggregate={aggregate:?}");
+            }
+            assert_eq!(ooc.ranking(), reference.ranking(aggregate));
+        }
+    }
+
+    #[test]
+    fn per_k_passes_match_in_ram_table() {
+        let data = mixture(300);
+        let scan = LinearScan::new(&data, Euclidean);
+        let table = NeighborhoodTable::build(&scan, 8).unwrap();
+        let spilled = SpilledNeighborhoodTable::build(&scan, 8, 8 << 10, &spill_dir()).unwrap();
+        assert_eq!(spilled.stored_entries() as usize, table.stored_entries());
+        for k in 1..=8 {
+            let kd = spilled.k_distances(k).unwrap();
+            let expected = table.k_distances(k).unwrap();
+            for id in 0..data.len() {
+                assert_eq!(kd[id].to_bits(), expected[id].to_bits(), "k={k} id={id}");
+            }
+            let lof = spilled.lof_values(k).unwrap();
+            let expected = crate::lof::lof_values(&table, k).unwrap();
+            for id in 0..data.len() {
+                assert_eq!(lof[id].to_bits(), expected[id].to_bits(), "k={k} id={id}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_budget_spills_and_evicts() {
+        let data = mixture(500);
+        let scan = LinearScan::new(&data, Euclidean);
+        let spilled = SpilledNeighborhoodTable::build(&scan, 10, 4 << 10, &spill_dir()).unwrap();
+        let _ = spilled.lof_range(MinPtsRange::new(3, 10).unwrap(), Aggregate::Max).unwrap();
+        let stats = spilled.stats();
+        assert!(stats.segment_spills > 1, "spills: {stats:?}");
+        assert!(stats.segment_reloads > stats.segment_spills, "multi-pass reloads: {stats:?}");
+        assert!(stats.segment_evictions > 0, "evictions: {stats:?}");
+        assert!(stats.resident_bytes > 0);
+    }
+
+    #[test]
+    fn spill_file_is_removed_on_drop() {
+        let data = mixture(120);
+        let scan = LinearScan::new(&data, Euclidean);
+        let spilled = SpilledNeighborhoodTable::build(&scan, 5, 1 << 20, &spill_dir()).unwrap();
+        let path = spilled.path.clone();
+        assert!(path.exists());
+        drop(spilled);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn depth_validation_matches_in_ram_errors() {
+        let data = mixture(50);
+        let scan = LinearScan::new(&data, Euclidean);
+        let spilled = SpilledNeighborhoodTable::build(&scan, 5, 1 << 20, &spill_dir()).unwrap();
+        assert!(matches!(spilled.k_distances(0), Err(LofError::InvalidMinPts { .. })));
+        assert!(matches!(
+            spilled.k_distances(6),
+            Err(LofError::TableTooShallow { materialized: 5, requested: 6 })
+        ));
+        assert!(matches!(
+            spilled.lof_range(MinPtsRange::new(2, 6).unwrap(), Aggregate::Max),
+            Err(LofError::TableTooShallow { .. })
+        ));
+        assert!(matches!(
+            SpilledNeighborhoodTable::build(
+                &LinearScan::new(&Dataset::new(2), Euclidean),
+                3,
+                1,
+                &spill_dir()
+            ),
+            Err(LofError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn ooc_scores_accessors() {
+        let data = mixture(150);
+        let scan = LinearScan::new(&data, Euclidean);
+        let spilled = SpilledNeighborhoodTable::build(&scan, 6, 1 << 20, &spill_dir()).unwrap();
+        let range = MinPtsRange::new(4, 6).unwrap();
+        let ooc = spilled.lof_range(range, Aggregate::Max).unwrap();
+        assert_eq!(ooc.range(), range);
+        assert_eq!(ooc.aggregate(), Aggregate::Max);
+        assert_eq!(ooc.score(0).unwrap(), ooc.scores()[0]);
+        assert!(ooc.score(150).is_err());
+        let ranking = ooc.ranking();
+        assert_eq!(ranking.len(), 150);
+        assert!(ranking.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+}

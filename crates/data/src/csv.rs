@@ -7,7 +7,7 @@
 use lof_core::{Dataset, LofError};
 use std::fmt::Write as _;
 use std::fs;
-use std::io;
+use std::io::{self, BufRead};
 use std::path::Path;
 
 /// Serializes a dataset to CSV with a generated `x0,x1,…` header.
@@ -30,6 +30,51 @@ pub fn dataset_to_csv(data: &Dataset) -> String {
     out
 }
 
+enum CsvError {
+    Io(io::Error),
+    Lof(LofError),
+}
+
+/// The streaming parser behind both entry points: one line in flight at a
+/// time, rows pushed straight into the growing dataset, so memory is
+/// O(row), not O(file).
+fn parse_lines<R: BufRead>(reader: R) -> Result<Dataset, CsvError> {
+    let mut ds: Option<Dataset> = None;
+    let mut rows = 0usize;
+    let mut row_buf: Vec<f64> = Vec::new();
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line.map_err(CsvError::Io)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        row_buf.clear();
+        let parsed = trimmed.split(',').all(|f| match f.trim().parse::<f64>() {
+            Ok(v) => {
+                row_buf.push(v);
+                true
+            }
+            Err(_) => false,
+        });
+        if !parsed {
+            if line_no == 0 && rows == 0 {
+                continue; // header
+            }
+            return Err(CsvError::Lof(LofError::NonFiniteCoordinate { point: rows, dim: 0 }));
+        }
+        let ds = ds.get_or_insert_with(|| Dataset::new(row_buf.len()));
+        if row_buf.len() != ds.dims() {
+            return Err(CsvError::Lof(LofError::DimensionMismatch {
+                expected: ds.dims(),
+                found: row_buf.len(),
+            }));
+        }
+        ds.push(&row_buf).map_err(CsvError::Lof)?;
+        rows += 1;
+    }
+    Ok(ds.unwrap_or_else(|| Dataset::new(0)))
+}
+
 /// Parses a CSV of numeric columns (optional non-numeric header row is
 /// skipped automatically).
 ///
@@ -38,36 +83,27 @@ pub fn dataset_to_csv(data: &Dataset) -> String {
 /// Returns [`LofError::DimensionMismatch`] for ragged rows and
 /// [`LofError::NonFiniteCoordinate`] for unparsable or non-finite fields.
 pub fn dataset_from_csv(text: &str) -> Result<Dataset, LofError> {
-    let mut rows: Vec<Vec<f64>> = Vec::new();
-    for (line_no, line) in text.lines().enumerate() {
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
-        let parsed: Option<Vec<f64>> = fields.iter().map(|f| f.parse::<f64>().ok()).collect();
-        match parsed {
-            Some(values) => rows.push(values),
-            None if line_no == 0 && rows.is_empty() => continue, // header
-            None => {
-                return Err(LofError::NonFiniteCoordinate { point: rows.len(), dim: 0 });
-            }
-        }
+    match parse_lines(text.as_bytes()) {
+        Ok(ds) => Ok(ds),
+        Err(CsvError::Lof(e)) => Err(e),
+        // Unreachable from a &str source, but don't panic on principle.
+        Err(CsvError::Io(e)) => Err(LofError::InvalidPartition(format!("csv read: {e}"))),
     }
-    let dims = rows.first().map_or(0, Vec::len);
-    for row in &rows {
-        if row.len() != dims {
-            return Err(LofError::DimensionMismatch { expected: dims, found: row.len() });
-        }
-    }
-    if dims == 0 {
-        return Ok(Dataset::new(0));
-    }
-    let mut ds = Dataset::with_capacity(dims, rows.len());
-    for row in &rows {
-        ds.push(row)?;
-    }
-    Ok(ds)
+}
+
+/// Parses a CSV of numeric columns line-by-line from any [`BufRead`]
+/// source — the streaming form of [`dataset_from_csv`], with O(row)
+/// parser memory (the dataset itself still accumulates).
+///
+/// # Errors
+///
+/// Propagates reader errors; parse failures surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn dataset_from_reader<R: BufRead>(reader: R) -> io::Result<Dataset> {
+    parse_lines(reader).map_err(|e| match e {
+        CsvError::Io(e) => e,
+        CsvError::Lof(e) => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+    })
 }
 
 /// Writes a generic named-column table (the shape every experiment result
@@ -111,15 +147,16 @@ pub fn save_dataset(path: impl AsRef<Path>, data: &Dataset) -> io::Result<()> {
     fs::write(path, dataset_to_csv(data))
 }
 
-/// Loads a dataset from a CSV file.
+/// Loads a dataset from a CSV file, streaming it line-by-line (the file
+/// is never held in memory whole).
 ///
 /// # Errors
 ///
 /// Propagates I/O errors; parse failures surface as
 /// [`io::ErrorKind::InvalidData`].
 pub fn load_dataset(path: impl AsRef<Path>) -> io::Result<Dataset> {
-    let text = fs::read_to_string(path)?;
-    dataset_from_csv(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    let file = fs::File::open(path)?;
+    dataset_from_reader(io::BufReader::with_capacity(1 << 20, file))
 }
 
 #[cfg(test)]
@@ -155,6 +192,30 @@ mod tests {
     fn empty_input_gives_empty_dataset() {
         assert!(dataset_from_csv("").unwrap().is_empty());
         assert!(dataset_from_csv("a,b\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn reader_streams_line_by_line() {
+        // A reader that hands out one byte at a time: any whole-file read
+        // would misparse, so passing proves the parser is incremental.
+        struct OneByte<'a>(&'a [u8]);
+        impl std::io::Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                match self.0.split_first() {
+                    Some((&b, rest)) => {
+                        buf[0] = b;
+                        self.0 = rest;
+                        Ok(1)
+                    }
+                    None => Ok(0),
+                }
+            }
+        }
+        let text = "x0,x1\n1,2\n3,4\n5,6\n";
+        let ds =
+            dataset_from_reader(io::BufReader::with_capacity(1, OneByte(text.as_bytes()))).unwrap();
+        assert_eq!(ds, dataset_from_csv(text).unwrap());
+        assert!(dataset_from_reader(io::BufReader::new(&b"1,2\n3\n"[..])).is_err());
     }
 
     #[test]

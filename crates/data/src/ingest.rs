@@ -1,0 +1,365 @@
+//! Schema-mapped CSV → `.lofd` ingestion.
+//!
+//! [`ingest_csv`] streams a named-column CSV into the out-of-core `.lofd`
+//! format in O(row) memory: the header row is the schema, the caller picks
+//! columns **by name** (subsetting and reordering — the same workflow as
+//! [`Dataset::project`](lof_core::Dataset::project), but applied before
+//! anything is resident), and every field of a selected column is
+//! type-validated with a typed, located error. Loads are **resumable**:
+//! an interrupted ingest leaves a checkpointed partial `.lofd` plus its
+//! `.resume` sidecar, and re-running with `resume = true` skips the
+//! already-durable rows instead of starting over.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+
+use lof_core::lofd::LofdError;
+use lof_core::LofdWriter;
+
+/// The error taxonomy of a schema-mapped ingest. Every variant carries
+/// enough location to fix the input (1-based data row numbers, column
+/// names).
+#[derive(Debug)]
+pub enum IngestError {
+    /// Reading the input or writing the output failed.
+    Io(io::Error),
+    /// The input has no header row (empty file).
+    MissingHeader,
+    /// The input's first row looks numeric — there are no column names to
+    /// map a schema onto.
+    NumericHeader,
+    /// A requested column is not in the header.
+    UnknownColumn {
+        /// The name that failed to resolve.
+        name: String,
+        /// The header's names, for the error message.
+        available: Vec<String>,
+    },
+    /// The same column was requested twice.
+    DuplicateColumn(String),
+    /// No columns were selected.
+    NoColumns,
+    /// A data row has the wrong number of fields.
+    Ragged {
+        /// 1-based data row (header not counted).
+        row: u64,
+        /// Fields the header promises.
+        expected: usize,
+        /// Fields found.
+        found: usize,
+    },
+    /// A selected field does not parse as a finite number — the type
+    /// validation of the schema mapping.
+    BadField {
+        /// 1-based data row.
+        row: u64,
+        /// Column name the field belongs to.
+        column: String,
+        /// The offending text (truncated for display).
+        value: String,
+    },
+    /// The `.lofd` writer rejected the output (header/corruption errors on
+    /// resume, disk failures, ...).
+    Format(LofdError),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "ingest i/o error: {e}"),
+            IngestError::MissingHeader => write!(f, "input has no header row"),
+            IngestError::NumericHeader => {
+                write!(f, "input's first row is numeric — schema-mapped ingest needs named columns")
+            }
+            IngestError::UnknownColumn { name, available } => {
+                write!(f, "unknown column {name:?}; header has: {}", available.join(", "))
+            }
+            IngestError::DuplicateColumn(name) => {
+                write!(f, "column {name:?} requested more than once")
+            }
+            IngestError::NoColumns => write!(f, "no columns selected"),
+            IngestError::Ragged { row, expected, found } => {
+                write!(f, "row {row} has {found} fields, header has {expected}")
+            }
+            IngestError::BadField { row, column, value } => {
+                write!(f, "row {row}, column {column:?}: {value:?} is not a finite number")
+            }
+            IngestError::Format(e) => write!(f, "output format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            IngestError::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+impl From<LofdError> for IngestError {
+    fn from(e: LofdError) -> Self {
+        IngestError::Format(e)
+    }
+}
+
+/// What an ingest did: the shape of the resulting `.lofd` plus how much
+/// work a resume skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Rows in the finished file.
+    pub rows: u64,
+    /// Rows recovered from a previous run's checkpoint (0 for a fresh
+    /// ingest).
+    pub resumed_rows: u64,
+    /// The selected column names, in output order.
+    pub columns: Vec<String>,
+}
+
+/// Streams `input` (a named-column CSV) into a finished `.lofd` at
+/// `output`.
+///
+/// `columns` selects and orders the output schema by header name; `None`
+/// takes every column in header order. With `resume = true` an
+/// interrupted previous run's partial output is continued from its last
+/// checkpoint (the selection must match — the caller re-passes it).
+///
+/// # Errors
+///
+/// See [`IngestError`]; the partial output of a failed run stays on disk
+/// with its sidecar so a corrected re-run can resume.
+pub fn ingest_csv(
+    input: &Path,
+    output: &Path,
+    columns: Option<&[String]>,
+    resume: bool,
+) -> Result<IngestReport, IngestError> {
+    let reader = BufReader::with_capacity(1 << 20, File::open(input)?);
+    let mut lines = reader.lines();
+
+    let header_line = loop {
+        match lines.next() {
+            None => return Err(IngestError::MissingHeader),
+            Some(line) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+        }
+    };
+    let header: Vec<String> = header_line.split(',').map(|f| f.trim().to_string()).collect();
+    if header.iter().all(|name| name.parse::<f64>().is_ok()) {
+        return Err(IngestError::NumericHeader);
+    }
+
+    let selected: Vec<(usize, String)> = match columns {
+        None => header.iter().cloned().enumerate().collect(),
+        Some(names) => {
+            let mut picked = Vec::with_capacity(names.len());
+            for name in names {
+                if picked.iter().any(|(_, n): &(usize, String)| n == name) {
+                    return Err(IngestError::DuplicateColumn(name.clone()));
+                }
+                let idx = header.iter().position(|h| h == name).ok_or_else(|| {
+                    IngestError::UnknownColumn { name: name.clone(), available: header.clone() }
+                })?;
+                picked.push((idx, name.clone()));
+            }
+            picked
+        }
+    };
+    if selected.is_empty() {
+        return Err(IngestError::NoColumns);
+    }
+
+    let (mut writer, resumed_rows) = if resume {
+        let w = LofdWriter::resume(output)?;
+        let skip = w.rows();
+        (w, skip)
+    } else {
+        (LofdWriter::create(output, selected.len())?, 0)
+    };
+
+    let mut row_no = 0u64;
+    let mut out_row = vec![0.0f64; selected.len()];
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        row_no += 1;
+        if row_no <= resumed_rows {
+            continue; // already durable in the partial output
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() != header.len() {
+            return Err(IngestError::Ragged {
+                row: row_no,
+                expected: header.len(),
+                found: fields.len(),
+            });
+        }
+        for (slot, (idx, name)) in out_row.iter_mut().zip(&selected) {
+            let raw = fields[*idx];
+            match raw.parse::<f64>() {
+                Ok(v) if v.is_finite() => *slot = v,
+                _ => {
+                    return Err(IngestError::BadField {
+                        row: row_no,
+                        column: name.clone(),
+                        value: raw.chars().take(32).collect(),
+                    });
+                }
+            }
+        }
+        writer.push_row(&out_row)?;
+    }
+    let rows = writer.rows();
+    writer.finish()?;
+    Ok(IngestReport {
+        rows,
+        resumed_rows,
+        columns: selected.into_iter().map(|(_, name)| name).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lof_core::Lofd;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("lof-ingest-{}-{name}", std::process::id()))
+    }
+
+    fn write_input(name: &str, text: &str) -> PathBuf {
+        let path = tmp(name);
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_named_columns_in_requested_order() {
+        let input = write_input("map.csv", "a,b,c\n1,2,3\n4,5,6\n");
+        let output = tmp("map.lofd");
+        let cols = vec!["c".to_string(), "a".to_string()];
+        let report = ingest_csv(&input, &output, Some(&cols), false).unwrap();
+        assert_eq!(report, IngestReport { rows: 2, resumed_rows: 0, columns: cols });
+        let lofd = Lofd::open(&output).unwrap();
+        assert_eq!(lofd.dataset().as_flat(), &[3.0, 1.0, 6.0, 4.0]);
+        std::fs::remove_file(&input).unwrap();
+        std::fs::remove_file(&output).unwrap();
+    }
+
+    #[test]
+    fn default_selection_takes_the_whole_header() {
+        let input = write_input("all.csv", "x,y\n1,2\n\n3,4\n");
+        let output = tmp("all.lofd");
+        let report = ingest_csv(&input, &output, None, false).unwrap();
+        assert_eq!(report.columns, vec!["x", "y"]);
+        assert_eq!(report.rows, 2);
+        assert_eq!(Lofd::open(&output).unwrap().dataset().as_flat(), &[1.0, 2.0, 3.0, 4.0]);
+        std::fs::remove_file(&input).unwrap();
+        std::fs::remove_file(&output).unwrap();
+    }
+
+    #[test]
+    fn schema_errors_are_typed() {
+        let empty = write_input("empty.csv", "\n\n");
+        let numeric = write_input("numeric.csv", "1,2\n3,4\n");
+        let named = write_input("named.csv", "a,b\n1,2\n");
+        let out = tmp("schema.lofd");
+        assert!(matches!(ingest_csv(&empty, &out, None, false), Err(IngestError::MissingHeader)));
+        assert!(matches!(ingest_csv(&numeric, &out, None, false), Err(IngestError::NumericHeader)));
+        let bad = vec!["z".to_string()];
+        assert!(matches!(
+            ingest_csv(&named, &out, Some(&bad), false),
+            Err(IngestError::UnknownColumn { name, .. }) if name == "z"
+        ));
+        let dup = vec!["a".to_string(), "a".to_string()];
+        assert!(matches!(
+            ingest_csv(&named, &out, Some(&dup), false),
+            Err(IngestError::DuplicateColumn(name)) if name == "a"
+        ));
+        let none: Vec<String> = Vec::new();
+        assert!(matches!(
+            ingest_csv(&named, &out, Some(&none), false),
+            Err(IngestError::NoColumns)
+        ));
+        for p in [empty, numeric, named] {
+            std::fs::remove_file(p).unwrap();
+        }
+        let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn data_errors_carry_row_and_column() {
+        let ragged = write_input("ragged.csv", "a,b\n1,2\n3\n");
+        let bad = write_input("badfield.csv", "a,b\n1,2\n3,oops\n");
+        let inf = write_input("inf.csv", "a,b\n1,inf\n");
+        let out = tmp("data-errors.lofd");
+        assert!(matches!(
+            ingest_csv(&ragged, &out, None, false),
+            Err(IngestError::Ragged { row: 2, expected: 2, found: 1 })
+        ));
+        assert!(matches!(
+            ingest_csv(&bad, &out, None, false),
+            Err(IngestError::BadField { row: 2, column, value }) if column == "b" && value == "oops"
+        ));
+        // `inf` parses as a float but is not finite — same taxonomy slot.
+        assert!(matches!(
+            ingest_csv(&inf, &out, None, false),
+            Err(IngestError::BadField { row: 1, column, .. }) if column == "b"
+        ));
+        for p in [ragged, bad, inf] {
+            std::fs::remove_file(p).unwrap();
+        }
+        let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_file(format!("{}.resume", out.display()));
+    }
+
+    #[test]
+    fn interrupted_ingest_resumes_from_the_checkpoint() {
+        let input = write_input("resume.csv", "a\n1\n2\n3\n4\n5\n");
+        let output = tmp("resume.lofd");
+        // A first pass that dies after two rows, checkpointed.
+        {
+            let mut w = LofdWriter::create(&output, 1).unwrap();
+            w.push_row(&[1.0]).unwrap();
+            w.push_row(&[2.0]).unwrap();
+            w.checkpoint().unwrap();
+            // dropped unfinished
+        }
+        let report = ingest_csv(&input, &output, None, true).unwrap();
+        assert_eq!(report.rows, 5);
+        assert_eq!(report.resumed_rows, 2);
+        assert_eq!(Lofd::open(&output).unwrap().dataset().as_flat(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        std::fs::remove_file(&input).unwrap();
+        std::fs::remove_file(&output).unwrap();
+    }
+
+    #[test]
+    fn ingested_file_round_trips_through_the_dataset_loader() {
+        let input = write_input("roundtrip.csv", "x,y\n0.5,-1.25\n7,8\n");
+        let output = tmp("roundtrip.lofd");
+        ingest_csv(&input, &output, None, false).unwrap();
+        let via_csv = crate::csv::load_dataset(&input).unwrap();
+        let via_lofd = Lofd::open(&output).unwrap().dataset();
+        assert_eq!(via_csv, via_lofd);
+        std::fs::remove_file(&input).unwrap();
+        std::fs::remove_file(&output).unwrap();
+    }
+}

@@ -13,7 +13,9 @@
 //! * [`normalize`] — z-score / min-max column scaling;
 //! * [`metrics`] — detection-quality metrics (precision@k, ROC-AUC) for
 //!   labeled workloads;
-//! * [`csv`] — plain-text persistence for datasets and result tables.
+//! * [`csv`] — plain-text persistence for datasets and result tables;
+//! * [`ingest`] — schema-mapped streaming CSV → `.lofd` ingestion for the
+//!   out-of-core pipeline.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -21,11 +23,14 @@
 pub mod csv;
 pub mod generators;
 pub mod hockey;
+pub mod ingest;
 pub mod metrics;
 pub mod normalize;
 pub mod paper;
 pub mod rng;
 pub mod soccer;
+
+pub use ingest::{ingest_csv, IngestError, IngestReport};
 
 pub use generators::{
     gaussian_cluster, mixture, ring, uniform_box, uniform_disk, Component, LabeledDataset,

@@ -126,7 +126,40 @@ echo "== release smoke: batch join + sweep bit-identity at n=2000 =="
 LOF_MATERIALIZE_N=2000 \
   BENCH_MATERIALIZE_OUT=/tmp/lof_ci_bench_materialize.json \
   LOF_RESULTS=/tmp \
+  LOF_OOC_N=20000 \
   cargo run --release -q -p lof-bench --bin bench_materialize
+# LOF_OOC_N adds a small out-of-core tier on top: .lofd write -> mmap ->
+# kd self-join -> disk-spilled table under a tiny budget; the binary
+# aborts unless the budget forces real spilling AND the spilled scores
+# are bit-identical to the in-RAM pipeline.
+
+echo "== out-of-core: ingest round-trip smoke =="
+# CSV -> `lof ingest` -> .lofd -> batch scores must equal the CSV path's
+# scores byte for byte (the f64 Display round-trip makes the score CSVs
+# a bit-exact comparison).
+awk 'BEGIN{srand(3);print "x,y,noise";for(i=0;i<300;i++)printf "%.4f,%.4f,%d\n",(i%17)*0.7+rand(),(i%13)*0.9+rand(),i%5}' \
+  > /tmp/lof_ci_ooc_input.csv
+rm -f /tmp/lof_ci_ooc.lofd
+./target/release/lof ingest --columns x,y /tmp/lof_ci_ooc_input.csv /tmp/lof_ci_ooc.lofd
+./target/release/lof --minpts 5..10 --columns 0,1 --output /tmp/lof_ci_ooc_csv_scores.csv \
+  /tmp/lof_ci_ooc_input.csv > /dev/null
+./target/release/lof --minpts 5..10 --output /tmp/lof_ci_ooc_lofd_scores.csv \
+  /tmp/lof_ci_ooc.lofd > /dev/null
+cmp /tmp/lof_ci_ooc_csv_scores.csv /tmp/lof_ci_ooc_lofd_scores.csv
+echo "ingest round-trip OK"
+
+echo "== out-of-core: spill-forced batch run =="
+# A 16 KiB resident budget over the same input forces the neighborhood
+# table onto disk; the run must still score bit-identically and the
+# core.ooc.* counters must show real segment spills.
+./target/release/lof --minpts 5..10 --memory-budget 16k --metrics \
+  --output /tmp/lof_ci_ooc_spill_scores.csv /tmp/lof_ci_ooc.lofd \
+  > /dev/null 2> /tmp/lof_ci_ooc_spill.err
+cmp /tmp/lof_ci_ooc_csv_scores.csv /tmp/lof_ci_ooc_spill_scores.csv
+SPILLS=$(sed -n 's/^lof_core_ooc_segment_spills \([0-9][0-9]*\)$/\1/p' /tmp/lof_ci_ooc_spill.err)
+[ -n "$SPILLS" ] && [ "$SPILLS" -gt 1 ] \
+  || { echo "expected >1 segment spills, got '${SPILLS:-none}'"; exit 1; }
+echo "spill-forced run OK ($SPILLS segment spills)"
 
 echo "== rustfmt =="
 cargo fmt --check
